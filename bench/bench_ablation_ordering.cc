@@ -1,0 +1,87 @@
+// Ablation: how much does the subcategory presentation order matter in
+// the ONE scenario (Section 5.1.2 / Appendix A)? Compares, over randomized
+// 1-level category sets, four orderings:
+//   optimal     — ascending K/P + CostOne (Appendix A)
+//   desc-P      — the paper's practical heuristic
+//   arbitrary   — random order (what the baselines do)
+//   worst       — brute-force maximum (adversarial)
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/random.h"
+#include "common/statistics.h"
+#include "core/ordering.h"
+
+using namespace autocat;  // NOLINT
+
+int main() {
+  std::printf(
+      "Ablation: subcategory ordering vs expected ONE-scenario SHOWCAT "
+      "cost\n"
+      "(the paper orders by descending P as an approximation of the "
+      "optimal\n 1/P + CostOne ordering; baselines order arbitrarily)\n\n");
+  Random rng(20040613);
+  RunningStat optimal_stat;
+  RunningStat heuristic_stat;
+  RunningStat arbitrary_stat;
+  RunningStat worst_stat;
+  const double k = 1.0;
+  const int kTrials = 3000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const size_t n = static_cast<size_t>(rng.Uniform(3, 8));
+    std::vector<double> probs(n);
+    std::vector<double> costs(n);
+    for (size_t i = 0; i < n; ++i) {
+      probs[i] = rng.UniformReal(0.02, 1.0);
+      costs[i] = rng.UniformReal(1.0, 40.0);
+    }
+    const auto optimal = OptimalOneOrdering(probs, costs, k);
+    const auto heuristic = ProbabilityDescendingOrdering(probs);
+    std::vector<size_t> arbitrary(n);
+    for (size_t i = 0; i < n; ++i) {
+      arbitrary[i] = i;
+    }
+    rng.Shuffle(arbitrary);
+    const auto worst = BruteForceBestOrdering(probs, costs, k);
+
+    optimal_stat.Add(OrderedShowCatCostOne(probs, costs, k, optimal));
+    heuristic_stat.Add(OrderedShowCatCostOne(probs, costs, k, heuristic));
+    arbitrary_stat.Add(OrderedShowCatCostOne(probs, costs, k, arbitrary));
+    // Brute-force MAXIMUM: negate the costs trick does not apply; scan all
+    // permutations directly only for small n (they are).
+    double max_cost = 0;
+    std::vector<size_t> perm(n);
+    for (size_t i = 0; i < n; ++i) {
+      perm[i] = i;
+    }
+    do {
+      max_cost = std::max(max_cost,
+                          OrderedShowCatCostOne(probs, costs, k, perm));
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    worst_stat.Add(max_cost);
+    (void)worst;
+  }
+  std::printf("%-22s %14s\n", "ordering", "mean ONE cost");
+  std::printf("%-22s %14.3f\n", "optimal (1/P + C)", optimal_stat.mean());
+  std::printf("%-22s %14.3f\n", "desc-P heuristic", heuristic_stat.mean());
+  std::printf("%-22s %14.3f\n", "arbitrary", arbitrary_stat.mean());
+  std::printf("%-22s %14.3f\n", "worst case", worst_stat.mean());
+  const double heuristic_gap =
+      heuristic_stat.mean() / optimal_stat.mean() - 1.0;
+  const double arbitrary_gap =
+      arbitrary_stat.mean() / optimal_stat.mean() - 1.0;
+  std::printf(
+      "\ndesc-P heuristic is %.1f%% above optimal; arbitrary order costs "
+      "%.1f%% more than optimal\n(on these adversarial instances P and "
+      "CostOne are independent; in real trees high-P categories also tend "
+      "to be the cheap ones, which is why the paper's heuristic works)\n",
+      100 * heuristic_gap, 100 * arbitrary_gap);
+  const bool ok = optimal_stat.mean() < heuristic_stat.mean() &&
+                  heuristic_stat.mean() < arbitrary_stat.mean() &&
+                  arbitrary_stat.mean() < worst_stat.mean();
+  std::printf("Shape check: optimal < desc-P heuristic < arbitrary < "
+              "worst: %s\n", ok ? "HOLDS" : "DOES NOT HOLD");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,99 @@
+// Ablation: workload-driven tuple ranking inside categories — the
+// "complementary technique" the paper pairs with categorization
+// (Section 1). Measures the ONE-scenario cost of the cost-based trees
+// with and without ranked leaf presentation, across all personas and
+// tasks.
+
+#include <algorithm>
+#include <cmath>
+
+#include "bench_common.h"
+#include "core/ranking.h"
+#include "explore/exploration.h"
+#include "workload/counts.h"
+
+using namespace autocat;  // NOLINT
+
+int main() {
+  std::printf(
+      "Ablation: leaf-tuple ranking (categorization + ranking, the "
+      "complementary\npair of Section 1) vs unranked presentation — "
+      "ONE-scenario cost\n\n");
+  auto env = bench::MakeEnvironment();
+  if (!env.ok()) {
+    std::fprintf(stderr, "env: %s\n", env.status().ToString().c_str());
+    return 1;
+  }
+  const StudyConfig& config = env->config();
+  auto stats =
+      WorkloadStats::Build(env->workload(), env->schema(), config.stats);
+  if (!stats.ok()) {
+    return 1;
+  }
+  auto tasks = PaperStudyTasks(env->geo());
+  if (!tasks.ok()) {
+    return 1;
+  }
+  const auto personas = DefaultPersonas();
+
+  std::printf("%-8s %16s %16s\n", "Task", "ONE unranked", "ONE ranked");
+  double total_unranked = 0;
+  double total_ranked = 0;
+  for (size_t t = 0; t < tasks->size(); ++t) {
+    const StudyTask& task = (*tasks)[t];
+    auto result = env->ExecuteProfile(task.query);
+    if (!result.ok()) {
+      return 1;
+    }
+    const auto categorizer = MakeTechnique(
+        Technique::kCostBased, &stats.value(), config, config.seed);
+    auto tree = categorizer->Categorize(result.value(), &task.query);
+    if (!tree.ok()) {
+      return 1;
+    }
+    CategoryTree ranked_tree = tree.value();
+    const auto rank_status =
+        ApplyLeafRanking(ranked_tree, {}, stats.value());
+    if (!rank_status.ok()) {
+      std::fprintf(stderr, "ranking: %s\n",
+                   rank_status.ToString().c_str());
+      return 1;
+    }
+
+    double unranked = 0;
+    double ranked = 0;
+    for (const Persona& persona : personas) {
+      auto interest = PersonaInterest(task, persona, env->geo());
+      if (!interest.ok()) {
+        return 1;
+      }
+      SimulatedExplorer::Options options;
+      options.scenario = Scenario::kOne;
+      const SimulatedExplorer explorer(options);
+      unranked +=
+          explorer.Explore(tree.value(), interest.value()).items_examined;
+      ranked +=
+          explorer.Explore(ranked_tree, interest.value()).items_examined;
+    }
+    unranked /= static_cast<double>(personas.size());
+    ranked /= static_cast<double>(personas.size());
+    std::printf("%-8s %16.1f %16.1f\n", task.id.c_str(), unranked, ranked);
+    total_unranked += unranked;
+    total_ranked += ranked;
+  }
+  const double change = total_ranked / total_unranked - 1;
+  std::printf("\nsum over tasks: unranked %.1f vs ranked %.1f (%+.1f%% "
+              "change)\n", total_unranked, total_ranked, 100 * change);
+  std::printf(
+      "\nNote: these subjects have narrow within-category interests, so "
+      "global\npopularity ranking is roughly neutral for them; it pays "
+      "off when a user's\ntaste tracks the mainstream (the mechanism is "
+      "unit-tested directly in\ncore_extensions_test.cc). Ranking is "
+      "presentation-only: completeness and\nthe ALL-scenario cost are "
+      "untouched.\n");
+  const bool ok = std::abs(change) < 0.15;
+  std::printf("\nShape check: ranking is a bounded presentation-order "
+              "effect (|change| < 15%%): %s\n",
+              ok ? "HOLDS" : "DOES NOT HOLD");
+  return ok ? 0 : 1;
+}

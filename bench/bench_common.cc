@@ -1,0 +1,33 @@
+#include "bench_common.h"
+
+namespace autocat {
+namespace bench {
+
+StudyConfig FullScaleConfig() {
+  StudyConfig config = DefaultStudyConfig();
+  config.num_homes = 120000;
+  config.num_workload_queries = 20000;
+  config.num_subsets = 8;
+  config.subset_size = 100;
+  return config;
+}
+
+Result<StudyEnvironment> MakeEnvironment() {
+  return StudyEnvironment::Create(FullScaleConfig());
+}
+
+void PrintHeader(const std::string& artifact,
+                 const std::string& paper_says) {
+  std::printf("==============================================================\n");
+  std::printf("Reproducing %s\n", artifact.c_str());
+  std::printf("Paper reports: %s\n", paper_says.c_str());
+  std::printf("==============================================================\n");
+}
+
+void PrintShape(const std::string& shape) {
+  std::printf("--------------------------------------------------------------\n");
+  std::printf("Shape check: %s\n", shape.c_str());
+}
+
+}  // namespace bench
+}  // namespace autocat

@@ -1,0 +1,33 @@
+#ifndef AUTOCAT_BENCH_BENCH_COMMON_H_
+#define AUTOCAT_BENCH_BENCH_COMMON_H_
+
+// Shared setup for the per-table/per-figure reproduction harnesses: the
+// full-scale study environment (synthetic stand-in for the paper's MSN
+// House&Home data and query log) and small printing helpers.
+
+#include <cstdio>
+#include <string>
+
+#include "simgen/study.h"
+
+namespace autocat {
+namespace bench {
+
+/// The full-scale configuration every reproduction binary runs at:
+/// 120K homes, 20K workload queries, 8 x 100 synthetic explorations,
+/// M = 20, x = 0.4, paper split intervals.
+StudyConfig FullScaleConfig();
+
+/// Builds the environment (deterministic; ~1 s).
+Result<StudyEnvironment> MakeEnvironment();
+
+/// Prints a banner naming the paper artifact being reproduced.
+void PrintHeader(const std::string& artifact, const std::string& paper_says);
+
+/// Prints the closing line with the reproduced claim verdict.
+void PrintShape(const std::string& shape);
+
+}  // namespace bench
+}  // namespace autocat
+
+#endif  // AUTOCAT_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,98 @@
+// Figure 13: execution time of the cost-based categorization algorithm
+// for M in {10, 20, 50, 100}, averaged over workload queries (the paper
+// used 100 queries with average result size ~2000 and measured ~1 s on
+// 2004 hardware).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "workload/counts.h"
+
+namespace {
+
+using namespace autocat;  // NOLINT
+
+// Shared fixture: environment, count tables, and a pool of broadened
+// queries with their result sets, built once.
+struct Fig13Fixture {
+  StudyConfig config;
+  std::unique_ptr<StudyEnvironment> env;
+  std::unique_ptr<WorkloadStats> stats;
+  std::vector<SelectionProfile> queries;
+  std::vector<Table> results;
+
+  static Fig13Fixture& Get() {
+    static Fig13Fixture* fixture = [] {
+      auto* f = new Fig13Fixture();
+      f->config = bench::FullScaleConfig();
+      auto env = StudyEnvironment::Create(f->config);
+      AUTOCAT_CHECK(env.ok());
+      f->env = std::make_unique<StudyEnvironment>(std::move(env).value());
+      auto stats = WorkloadStats::Build(f->env->workload(),
+                                        f->env->schema(), f->config.stats);
+      AUTOCAT_CHECK(stats.ok());
+      f->stats = std::make_unique<WorkloadStats>(std::move(stats).value());
+      // 100 broadened workload queries, as in the paper's timing run.
+      size_t taken = 0;
+      for (size_t i = 0; i < f->env->workload().size() && taken < 100;
+           ++i) {
+        const SelectionProfile& w = f->env->workload().entry(i).profile;
+        if (!w.Constrains("neighborhood")) {
+          continue;
+        }
+        auto broadened = BroadenToRegion(w, f->env->geo());
+        if (!broadened.ok()) {
+          continue;
+        }
+        auto result = f->env->ExecuteProfile(broadened.value());
+        AUTOCAT_CHECK(result.ok());
+        if (result->empty()) {
+          continue;
+        }
+        f->queries.push_back(std::move(broadened).value());
+        f->results.push_back(std::move(result).value());
+        ++taken;
+      }
+      return f;
+    }();
+    return *fixture;
+  }
+};
+
+void BM_CostBasedCategorization(benchmark::State& state) {
+  Fig13Fixture& fixture = Fig13Fixture::Get();
+  CategorizerOptions options = fixture.config.categorizer;
+  options.max_tuples_per_category = static_cast<size_t>(state.range(0));
+  const CostBasedCategorizer categorizer(fixture.stats.get(), options);
+
+  size_t query = 0;
+  double total_rows = 0;
+  size_t trees = 0;
+  for (auto _ : state) {
+    const size_t i = query++ % fixture.results.size();
+    auto tree = categorizer.Categorize(fixture.results[i],
+                                       &fixture.queries[i]);
+    AUTOCAT_CHECK(tree.ok());
+    benchmark::DoNotOptimize(tree->num_nodes());
+    total_rows += static_cast<double>(fixture.results[i].num_rows());
+    ++trees;
+  }
+  state.counters["avg_result_rows"] =
+      trees > 0 ? total_rows / static_cast<double>(trees) : 0;
+  state.SetLabel("M=" + std::to_string(state.range(0)));
+}
+
+}  // namespace
+
+// The paper's Figure 13 sweep: M = 10, 20, 50, 100.
+BENCHMARK(BM_CostBasedCategorization)
+    ->Arg(10)
+    ->Arg(20)
+    ->Arg(50)
+    ->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

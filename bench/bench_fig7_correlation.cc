@@ -1,0 +1,77 @@
+// Figure 7: estimated vs actual exploration cost for the 8 x 100
+// cross-validated synthetic explorations, with the best-fit trend line.
+
+#include <algorithm>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace autocat;  // NOLINT
+
+int main() {
+  bench::PrintHeader(
+      "Figure 7: estimated cost vs actual cost, 800 synthetic "
+      "explorations (leave-subset-out count tables)",
+      "strong positive correlation; best linear fit through origin "
+      "y = 1.1002x");
+  auto env = bench::MakeEnvironment();
+  if (!env.ok()) {
+    std::fprintf(stderr, "env: %s\n", env.status().ToString().c_str());
+    return 1;
+  }
+  auto study = RunSimulatedStudy(env.value());
+  if (!study.ok()) {
+    std::fprintf(stderr, "study: %s\n", study.status().ToString().c_str());
+    return 1;
+  }
+
+  // Render the scatter as a decile summary (this is a terminal, not a
+  // plot): bucket the pooled explorations by estimated cost and report
+  // the mean actual cost per bucket.
+  std::vector<const SyntheticRecord*> pooled;
+  for (const SyntheticRecord& record : study->records) {
+    pooled.push_back(&record);
+  }
+  std::sort(pooled.begin(), pooled.end(),
+            [](const SyntheticRecord* a, const SyntheticRecord* b) {
+              return a->estimated_cost < b->estimated_cost;
+            });
+  std::printf("%-8s %16s %16s %8s\n", "decile", "mean est. cost",
+              "mean actual", "points");
+  const size_t n = pooled.size();
+  for (size_t d = 0; d < 10; ++d) {
+    const size_t begin = d * n / 10;
+    const size_t end = (d + 1) * n / 10;
+    double est_sum = 0;
+    double act_sum = 0;
+    for (size_t i = begin; i < end; ++i) {
+      est_sum += pooled[i]->estimated_cost;
+      act_sum += pooled[i]->actual_cost;
+    }
+    const double count = static_cast<double>(end - begin);
+    std::printf("%-8zu %16.1f %16.1f %8zu\n", d + 1, est_sum / count,
+                act_sum / count, end - begin);
+  }
+
+  const auto pooled_corr = study->PooledPearson(SIZE_MAX);
+  const auto pooled_slope = study->PooledFitSlope();
+  std::printf("\npooled explorations: %zu\n", n);
+  std::printf("best-fit slope through origin: y = %.4fx (paper: 1.1002)\n",
+              pooled_slope.value_or(-1));
+  std::printf("pooled Pearson correlation:    %.3f  (paper overall: 0.90)\n",
+              pooled_corr.value_or(-1));
+  for (Technique technique : kAllTechniques) {
+    std::printf("  %-11s Pearson %.3f, slope %.3f\n",
+                std::string(TechniqueToString(technique)).c_str(),
+                study->Pearson(technique, SIZE_MAX).value_or(-1),
+                study->FitSlope(technique).value_or(-1));
+  }
+  const bool ok = pooled_corr.ok() && pooled_corr.value() > 0.6 &&
+                  pooled_slope.ok() && pooled_slope.value() > 0.5 &&
+                  pooled_slope.value() < 2.0;
+  bench::PrintShape(
+      std::string("estimated cost tracks actual cost (strong positive "
+                  "correlation, near-unit slope): ") +
+      (ok ? "HOLDS" : "DOES NOT HOLD"));
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,46 @@
+// Table 1: Pearson correlation between estimated and actual cost, per
+// cross-validation subset and overall.
+
+#include "bench_common.h"
+
+using namespace autocat;  // NOLINT
+
+int main() {
+  bench::PrintHeader(
+      "Table 1: per-subset and overall Pearson correlation between "
+      "estimated and actual cost",
+      "subsets: 0.39 0.7 0.98 0.32 0.48 0.16 0.16 0.19 0.76; overall "
+      "0.90 (mixed weak/strong per subset, strong overall)");
+  auto env = bench::MakeEnvironment();
+  if (!env.ok()) {
+    std::fprintf(stderr, "env: %s\n", env.status().ToString().c_str());
+    return 1;
+  }
+  auto study = RunSimulatedStudy(env.value());
+  if (!study.ok()) {
+    std::fprintf(stderr, "study: %s\n", study.status().ToString().c_str());
+    return 1;
+  }
+
+  const size_t num_subsets = env->config().num_subsets;
+  std::printf("%-8s %22s\n", "Subset", "Pearson (pooled techniques)");
+  size_t positive = 0;
+  for (size_t s = 0; s < num_subsets; ++s) {
+    const auto r = study->PooledPearson(s);
+    std::printf("%-8zu %22.3f\n", s + 1, r.value_or(-9));
+    if (r.ok() && r.value() > 0) {
+      ++positive;
+    }
+  }
+  const auto overall = study->PooledPearson(SIZE_MAX);
+  std::printf("%-8s %22.3f   (paper: 0.90)\n", "All",
+              overall.value_or(-9));
+
+  const bool ok = overall.ok() && overall.value() > 0.6 &&
+                  positive == num_subsets;
+  bench::PrintShape(
+      std::string("every subset positively correlated, overall strongly "
+                  "positive: ") +
+      (ok ? "HOLDS" : "DOES NOT HOLD"));
+  return ok ? 0 : 1;
+}

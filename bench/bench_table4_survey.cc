@@ -1,0 +1,46 @@
+// Table 4: the post-study survey — which technique did each subject call
+// the best?
+
+#include "bench_common.h"
+
+using namespace autocat;  // NOLINT
+
+int main() {
+  bench::PrintHeader(
+      "Table 4: post-study survey (technique each subject called best)",
+      "Cost-based 8, Attr-cost 1, No cost 0, did not respond 2");
+  auto env = bench::MakeEnvironment();
+  if (!env.ok()) {
+    std::fprintf(stderr, "env: %s\n", env.status().ToString().c_str());
+    return 1;
+  }
+  auto study = RunUserStudy(env.value());
+  if (!study.ok()) {
+    std::fprintf(stderr, "study: %s\n", study.status().ToString().c_str());
+    return 1;
+  }
+
+  const auto votes = study->SurveyVotes();
+  std::printf("%-14s %8s\n", "Technique", "#votes");
+  for (Technique technique : kAllTechniques) {
+    const auto it = votes.find(technique);
+    std::printf("%-14s %8zu\n",
+                std::string(TechniqueToString(technique)).c_str(),
+                it == votes.end() ? 0 : it->second);
+  }
+  std::printf("(all 11 simulated subjects respond)\n");
+
+  const size_t cost_based = votes.count(Technique::kCostBased)
+                                ? votes.at(Technique::kCostBased)
+                                : 0;
+  bool top = true;
+  for (const auto& [technique, count] : votes) {
+    if (technique != Technique::kCostBased && count > cost_based) {
+      top = false;
+    }
+  }
+  bench::PrintShape(
+      std::string("cost-based categorization is the preferred technique: ") +
+      (top ? "HOLDS" : "DOES NOT HOLD"));
+  return top ? 0 : 1;
+}

@@ -1,0 +1,115 @@
+// The paper's motivating "Homes" scenario end-to-end: generate the
+// synthetic MSN-House&Home-style dataset and query log, run a broad home
+// search, and compare the three categorization techniques on it.
+
+#include <cstdio>
+
+#include "core/cost_model.h"
+#include "core/probability.h"
+#include "explore/exploration.h"
+#include "explore/metrics.h"
+#include "simgen/study.h"
+
+namespace {
+
+using namespace autocat;  // NOLINT: example brevity
+
+int Run() {
+  StudyConfig config = DefaultStudyConfig();
+  config.num_homes = 40000;
+  config.num_workload_queries = 6000;
+  std::printf("Generating %zu homes and %zu workload queries...\n",
+              config.num_homes, config.num_workload_queries);
+  auto env = StudyEnvironment::Create(config);
+  if (!env.ok()) {
+    std::fprintf(stderr, "env: %s\n", env.status().ToString().c_str());
+    return 1;
+  }
+
+  // The paper's intro query: Seattle/Bellevue homes, 200K-300K.
+  auto seattle = env->geo().FindRegion("Seattle/Bellevue");
+  if (!seattle.ok()) {
+    std::fprintf(stderr, "%s\n", seattle.status().ToString().c_str());
+    return 1;
+  }
+  SelectionProfile homes_query;
+  std::set<Value> neighborhoods;
+  for (const std::string& n : seattle.value()->neighborhoods) {
+    neighborhoods.insert(Value(n));
+  }
+  homes_query.Set("neighborhood",
+                  AttributeCondition::ValueSet(std::move(neighborhoods)));
+  NumericRange price;
+  price.lo = 200000;
+  price.hi = 300000;
+  homes_query.Set("price", AttributeCondition::Range(price));
+
+  auto result = env->ExecuteProfile(homes_query);
+  if (!result.ok()) {
+    std::fprintf(stderr, "query: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("The 'Homes' query returned %zu homes.\n\n",
+              result->num_rows());
+
+  auto stats = WorkloadStats::Build(env->workload(), env->schema(),
+                                    config.stats);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "stats: %s\n", stats.status().ToString().c_str());
+    return 1;
+  }
+  ProbabilityEstimator estimator(&stats.value(), &env->schema());
+  CostModel model(&estimator, config.categorizer.cost_params);
+
+  // A buyer who actually wants a 3-4 bedroom Redmond/Bellevue home around
+  // 225K-250K.
+  SelectionProfile buyer;
+  buyer.Set("neighborhood",
+            AttributeCondition::ValueSet(
+                {Value("Redmond"), Value("Bellevue")}));
+  NumericRange buyer_price;
+  buyer_price.lo = 225000;
+  buyer_price.hi = 250000;
+  buyer.Set("price", AttributeCondition::Range(buyer_price));
+  NumericRange buyer_beds;
+  buyer_beds.lo = 3;
+  buyer_beds.hi = 4;
+  buyer.Set("bedroomcount", AttributeCondition::Range(buyer_beds));
+
+  SimulatedExplorer::Options explorer_options;
+  explorer_options.scenario = Scenario::kAll;
+  const SimulatedExplorer explorer(explorer_options);
+
+  for (Technique technique : kAllTechniques) {
+    const auto categorizer =
+        MakeTechnique(technique, &stats.value(), config, /*seed=*/7);
+    auto tree = categorizer->Categorize(result.value(), &homes_query);
+    if (!tree.ok()) {
+      std::fprintf(stderr, "categorize: %s\n",
+                   tree.status().ToString().c_str());
+      return 1;
+    }
+    const ExplorationResult run = explorer.Explore(tree.value(), buyer);
+    std::printf("=== %s ===\n",
+                std::string(TechniqueToString(technique)).c_str());
+    std::printf("  categories: %zu, depth: %d, largest leaf: %zu tuples\n",
+                tree->num_categories(), tree->max_depth(),
+                tree->max_leaf_tset());
+    std::printf("  estimated CostAll(T): %.1f items\n",
+                model.CostAll(tree.value()));
+    std::printf(
+        "  buyer exploration: %.0f items examined, %zu relevant found "
+        "(%.1f items per relevant home; flat list: %zu items)\n",
+        run.items_examined, run.relevant_found, NormalizedCost(run),
+        result->num_rows());
+    if (technique == Technique::kCostBased) {
+      std::printf("\nTop of the cost-based tree:\n%s\n",
+                  tree->Render(/*max_children=*/6, /*max_depth=*/2).c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

@@ -1,0 +1,42 @@
+#ifndef AUTOCAT_AUTOCAT_H_
+#define AUTOCAT_AUTOCAT_H_
+
+/// Umbrella header: the public API of the autocat library.
+///
+/// Typical flow:
+///   1. Ingest the application's SQL query log:      Workload::Parse /
+///      Workload::LoadFile.
+///   2. Preprocess it once into count stores:        WorkloadStats::Build.
+///   3. At query time, categorize a result table:    CostBasedCategorizer.
+///   4. Evaluate or compare trees:                   CostModel,
+///      ProbabilityEstimator, PathAwareProbabilityEstimator.
+///   5. Serve the tree to a UI:                      CategoryTree::Render,
+///      TreeToJson, DrillDownSql; optionally ApplyLeafRanking.
+///
+/// The baselines (NoCostCategorizer, AttrCostCategorizer), the exhaustive
+/// optimizer (core/enumerate.h), the exploration simulator
+/// (explore/exploration.h) and the synthetic-study substrate (simgen/*)
+/// support experimentation and reproduction of the paper's evaluation.
+
+#include "common/result.h"    // IWYU pragma: export
+#include "common/status.h"    // IWYU pragma: export
+#include "common/value.h"     // IWYU pragma: export
+#include "core/categorizer.h" // IWYU pragma: export
+#include "core/category.h"    // IWYU pragma: export
+#include "core/correlation.h" // IWYU pragma: export
+#include "core/cost_model.h"  // IWYU pragma: export
+#include "core/export.h"      // IWYU pragma: export
+#include "core/ordering.h"    // IWYU pragma: export
+#include "core/partition.h"   // IWYU pragma: export
+#include "core/probability.h" // IWYU pragma: export
+#include "core/ranking.h"     // IWYU pragma: export
+#include "exec/executor.h"    // IWYU pragma: export
+#include "sql/parser.h"       // IWYU pragma: export
+#include "sql/selection.h"    // IWYU pragma: export
+#include "storage/csv.h"      // IWYU pragma: export
+#include "storage/schema.h"   // IWYU pragma: export
+#include "storage/table.h"    // IWYU pragma: export
+#include "workload/counts.h"  // IWYU pragma: export
+#include "workload/workload.h"// IWYU pragma: export
+
+#endif  // AUTOCAT_AUTOCAT_H_

@@ -1,0 +1,27 @@
+#ifndef AUTOCAT_COMMON_CHECK_H_
+#define AUTOCAT_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Aborts with a diagnostic when `cond` is false. Used for programming
+/// errors (broken invariants), never for recoverable conditions — those are
+/// reported through Status/Result.
+#define AUTOCAT_CHECK(cond)                                              \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "%s:%d: AUTOCAT_CHECK failed: %s\n",          \
+                   __FILE__, __LINE__, #cond);                           \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (false)
+
+#ifdef NDEBUG
+#define AUTOCAT_DCHECK(cond) \
+  do {                       \
+  } while (false)
+#else
+#define AUTOCAT_DCHECK(cond) AUTOCAT_CHECK(cond)
+#endif
+
+#endif  // AUTOCAT_COMMON_CHECK_H_

@@ -1,0 +1,76 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace autocat {
+
+int64_t Random::Uniform(int64_t lo, int64_t hi) {
+  AUTOCAT_CHECK(lo <= hi);
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Random::UniformReal(double lo, double hi) {
+  AUTOCAT_CHECK(lo <= hi);
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+bool Random::Bernoulli(double p) {
+  p = std::clamp(p, 0.0, 1.0);
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+double Random::Gaussian(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+size_t Random::Zipf(size_t n, double s) {
+  AUTOCAT_CHECK(n > 0);
+  if (n == 1) {
+    return 0;
+  }
+  // Inverse-CDF sampling over explicit harmonic weights.
+  double total = 0;
+  std::vector<double> cdf(n);
+  for (size_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf[i] = total;
+  }
+  const double u = UniformReal(0.0, total);
+  const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+  return static_cast<size_t>(std::distance(cdf.begin(), it));
+}
+
+size_t Random::WeightedChoice(const std::vector<double>& weights) {
+  AUTOCAT_CHECK(!weights.empty());
+  double total = 0;
+  for (double w : weights) {
+    AUTOCAT_CHECK(w >= 0);
+    total += w;
+  }
+  AUTOCAT_CHECK(total > 0);
+  double u = UniformReal(0.0, total);
+  for (size_t i = 0; i < weights.size(); ++i) {
+    if (u < weights[i]) {
+      return i;
+    }
+    u -= weights[i];
+  }
+  return weights.size() - 1;
+}
+
+std::vector<size_t> Random::SampleIndices(size_t n, size_t k) {
+  AUTOCAT_CHECK(k <= n);
+  std::vector<size_t> all(n);
+  std::iota(all.begin(), all.end(), 0);
+  Shuffle(all);
+  all.resize(k);
+  return all;
+}
+
+}  // namespace autocat

@@ -1,0 +1,68 @@
+#ifndef AUTOCAT_COMMON_RANDOM_H_
+#define AUTOCAT_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/check.h"
+
+namespace autocat {
+
+/// Deterministic pseudo-random source used by all generators and studies.
+///
+/// Every stochastic component takes an explicit `Random&` so experiments are
+/// reproducible from a single seed. Wraps std::mt19937_64 with the sampling
+/// helpers the synthetic-data generators need (uniform, Gaussian, Zipf,
+/// weighted choice, shuffling, subset sampling).
+class Random {
+ public:
+  explicit Random(uint64_t seed) : engine_(seed) {}
+
+  Random(const Random&) = delete;
+  Random& operator=(const Random&) = delete;
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi);
+
+  /// Uniform double in [lo, hi).
+  double UniformReal(double lo, double hi);
+
+  /// True with probability `p` (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  /// Normal sample with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  /// Zipf-distributed rank in [0, n) with exponent `s` (s = 0 is uniform;
+  /// larger s is more skewed). Uses an explicit CDF table; intended for the
+  /// modest n (hundreds to thousands) used by the generators.
+  size_t Zipf(size_t n, double s);
+
+  /// Index in [0, weights.size()) drawn proportionally to `weights`
+  /// (non-negative, not all zero).
+  size_t WeightedChoice(const std::vector<double>& weights);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      const size_t j = static_cast<size_t>(Uniform(0, static_cast<int64_t>(i) - 1));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Samples `k` distinct indices from [0, n) in uniformly random order.
+  /// Requires k <= n.
+  std::vector<size_t> SampleIndices(size_t n, size_t k);
+
+  /// Raw engine access for interoperating with <random> distributions.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace autocat
+
+#endif  // AUTOCAT_COMMON_RANDOM_H_

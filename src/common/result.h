@@ -1,0 +1,91 @@
+#ifndef AUTOCAT_COMMON_RESULT_H_
+#define AUTOCAT_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace autocat {
+
+/// A value-or-error holder, analogous to `absl::StatusOr<T>` /
+/// `arrow::Result<T>`.
+///
+/// A `Result<T>` holds either a `T` (when `ok()`) or a non-OK `Status`.
+/// It implicitly converts from both `T` and `Status`, so functions can
+/// `return value;` on success and `return Status::...(...)` on failure.
+/// Accessing the value of an error result aborts the process; call sites
+/// that can recover must test `ok()` first (or use `value_or`).
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a success value.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Constructs from an error status. Aborts if `status` is OK (an OK
+  /// result must carry a value).
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    if (status_.ok()) {
+      std::abort();
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the held value. Aborts if this result is an error.
+  const T& value() const& {
+    if (!ok()) std::abort();
+    return *value_;
+  }
+  T& value() & {
+    if (!ok()) std::abort();
+    return *value_;
+  }
+  T&& value() && {
+    if (!ok()) std::abort();
+    return std::move(*value_);
+  }
+
+  /// Returns the held value, or `fallback` if this result is an error.
+  T value_or(T fallback) const& {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace autocat
+
+/// Evaluates `rexpr` (a Result<T>); on error returns its status, otherwise
+/// move-assigns the value into `lhs` (which may be a declaration).
+#define AUTOCAT_ASSIGN_OR_RETURN(lhs, rexpr)                          \
+  AUTOCAT_ASSIGN_OR_RETURN_IMPL_(                                     \
+      AUTOCAT_CONCAT_(_autocat_result_, __LINE__), lhs, rexpr)
+
+#define AUTOCAT_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                   \
+  if (!tmp.ok()) {                                      \
+    return tmp.status();                                \
+  }                                                     \
+  lhs = std::move(tmp).value()
+
+#define AUTOCAT_CONCAT_(a, b) AUTOCAT_CONCAT_IMPL_(a, b)
+#define AUTOCAT_CONCAT_IMPL_(a, b) a##b
+
+#endif  // AUTOCAT_COMMON_RESULT_H_

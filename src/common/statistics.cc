@@ -1,0 +1,106 @@
+#include "common/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace autocat {
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) {
+    return 0;
+  }
+  double sum = 0;
+  for (double x : xs) {
+    sum += x;
+  }
+  return sum / static_cast<double>(xs.size());
+}
+
+double StdDev(const std::vector<double>& xs) {
+  if (xs.size() < 2) {
+    return 0;
+  }
+  const double mean = Mean(xs);
+  double acc = 0;
+  for (double x : xs) {
+    acc += (x - mean) * (x - mean);
+  }
+  return std::sqrt(acc / static_cast<double>(xs.size()));
+}
+
+Result<double> PearsonCorrelation(const std::vector<double>& xs,
+                                  const std::vector<double>& ys) {
+  if (xs.size() != ys.size()) {
+    return Status::InvalidArgument("correlation inputs differ in length");
+  }
+  if (xs.size() < 2) {
+    return Status::InvalidArgument(
+        "correlation requires at least two pairs");
+  }
+  const double mx = Mean(xs);
+  const double my = Mean(ys);
+  double sxy = 0;
+  double sxx = 0;
+  double syy = 0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0 || syy == 0) {
+    return Status::InvalidArgument(
+        "correlation undefined: a variable has zero variance");
+  }
+  return sxy / std::sqrt(sxx * syy);
+}
+
+Result<double> LeastSquaresSlopeThroughOrigin(
+    const std::vector<double>& xs, const std::vector<double>& ys) {
+  if (xs.size() != ys.size()) {
+    return Status::InvalidArgument("fit inputs differ in length");
+  }
+  double sxy = 0;
+  double sxx = 0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    sxy += xs[i] * ys[i];
+    sxx += xs[i] * xs[i];
+  }
+  if (sxx == 0) {
+    return Status::InvalidArgument("fit undefined: sum of x^2 is zero");
+  }
+  return sxy / sxx;
+}
+
+Result<double> Percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) {
+    return Status::InvalidArgument("percentile of empty sample");
+  }
+  if (p < 0 || p > 100) {
+    return Status::InvalidArgument("percentile p must be in [0, 100]");
+  }
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) {
+    return xs[0];
+  }
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const size_t lo = static_cast<size_t>(std::floor(rank));
+  const size_t hi = static_cast<size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] + (xs[hi] - xs[lo]) * frac;
+}
+
+void RunningStat::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  sum_ += x;
+  ++count_;
+}
+
+}  // namespace autocat

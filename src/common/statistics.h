@@ -1,0 +1,53 @@
+#ifndef AUTOCAT_COMMON_STATISTICS_H_
+#define AUTOCAT_COMMON_STATISTICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+
+namespace autocat {
+
+/// Arithmetic mean. Returns 0 for an empty input.
+double Mean(const std::vector<double>& xs);
+
+/// Population standard deviation. Returns 0 for fewer than 2 samples.
+double StdDev(const std::vector<double>& xs);
+
+/// Pearson product-moment correlation coefficient between paired samples.
+/// Errors when sizes differ, fewer than 2 pairs, or either side has zero
+/// variance (correlation undefined).
+Result<double> PearsonCorrelation(const std::vector<double>& xs,
+                                  const std::vector<double>& ys);
+
+/// Least-squares slope of y = b*x (regression through the origin), the fit
+/// the paper reports for Figure 7. Errors when sizes differ or sum(x^2)=0.
+Result<double> LeastSquaresSlopeThroughOrigin(const std::vector<double>& xs,
+                                              const std::vector<double>& ys);
+
+/// Linear interpolation percentile, p in [0, 100]. Errors on empty input.
+Result<double> Percentile(std::vector<double> xs, double p);
+
+/// Incremental mean/min/max/count accumulator for benchmark reporting.
+class RunningStat {
+ public:
+  RunningStat() = default;
+
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+  double sum() const { return sum_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  size_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+}  // namespace autocat
+
+#endif  // AUTOCAT_COMMON_STATISTICS_H_

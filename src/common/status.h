@@ -1,0 +1,107 @@
+#ifndef AUTOCAT_COMMON_STATUS_H_
+#define AUTOCAT_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace autocat {
+
+/// Result codes for operations that can fail.
+///
+/// The library reports recoverable failures through `Status` (and
+/// `Result<T>`, see result.h) rather than exceptions, following the
+/// convention of storage engines such as RocksDB: callers must inspect the
+/// returned status, and the failure message carries enough context to be
+/// actionable without a stack trace.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kParseError,
+  kNotSupported,
+  kIOError,
+  kInternal,
+};
+
+/// Returns the canonical lowercase name of `code` (e.g. "invalid argument").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A lightweight success-or-error value.
+///
+/// An OK status carries no message and no allocation. Error statuses carry a
+/// code plus a human-readable message. `Status` is copyable, movable, and
+/// cheap to return by value.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Factory helpers, one per error code.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+
+  /// The error message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace autocat
+
+/// Propagates a non-OK status to the caller. Usable in any function that
+/// returns `Status` or `Result<T>` (Result is constructible from Status).
+#define AUTOCAT_RETURN_IF_ERROR(expr)              \
+  do {                                             \
+    ::autocat::Status _autocat_status_ = (expr);   \
+    if (!_autocat_status_.ok()) {                  \
+      return _autocat_status_;                     \
+    }                                              \
+  } while (false)
+
+#endif  // AUTOCAT_COMMON_STATUS_H_

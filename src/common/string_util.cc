@@ -1,0 +1,114 @@
+#include "common/string_util.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace autocat {
+
+std::string_view TrimWhitespace(std::string_view text) {
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+std::string ToLower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+std::string ToUpper(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::string> Split(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(text.substr(start));
+      break;
+    }
+    out.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) {
+      out.append(sep);
+    }
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+namespace {
+
+std::string FormatScaled(double v, double divisor, const char* suffix) {
+  const double scaled = v / divisor;
+  char buf[64];
+  if (scaled == std::floor(scaled)) {
+    std::snprintf(buf, sizeof(buf), "%.0f%s", scaled, suffix);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f%s", scaled, suffix);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string HumanizeNumber(double v) {
+  const double mag = std::fabs(v);
+  if (mag >= 1e6 && std::fmod(v, 100000.0) == 0.0) {
+    return FormatScaled(v, 1e6, "M");
+  }
+  if (mag >= 1e3 && std::fmod(v, 1000.0) == 0.0) {
+    return FormatScaled(v, 1e3, "K");
+  }
+  char buf[64];
+  if (v == std::floor(v) && mag < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%g", v);
+  }
+  return buf;
+}
+
+}  // namespace autocat

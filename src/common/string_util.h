@@ -1,0 +1,38 @@
+#ifndef AUTOCAT_COMMON_STRING_UTIL_H_
+#define AUTOCAT_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace autocat {
+
+/// Returns `text` with ASCII whitespace removed from both ends.
+std::string_view TrimWhitespace(std::string_view text);
+
+/// ASCII-lowercases `text`.
+std::string ToLower(std::string_view text);
+
+/// ASCII-uppercases `text`.
+std::string ToUpper(std::string_view text);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Splits on `sep`; empty fields are preserved ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// True if `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Renders a (typically monetary) number compactly the way the paper's
+/// figures do: 200000 -> "200K", 1500000 -> "1.5M", 1234 -> "1234".
+std::string HumanizeNumber(double v);
+
+}  // namespace autocat
+
+#endif  // AUTOCAT_COMMON_STRING_UTIL_H_

@@ -1,0 +1,291 @@
+#include "core/categorizer.h"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace autocat {
+
+namespace {
+
+using PartitionFn = std::function<Result<std::vector<PartitionCategory>>(
+    const std::vector<size_t>& tuples, const std::string& attribute)>;
+
+// Returns the query's numeric range condition on `attribute`, or nullptr.
+const NumericRange* QueryRangeFor(const SelectionProfile* query,
+                                  const std::string& attribute) {
+  if (query == nullptr) {
+    return nullptr;
+  }
+  const AttributeCondition* cond = query->Find(attribute);
+  if (cond == nullptr || !cond->is_range()) {
+    return nullptr;
+  }
+  return &cond->range;
+}
+
+// Default candidate set: every column of the result schema.
+std::vector<std::string> DefaultCandidates(const Schema& schema) {
+  std::vector<std::string> out;
+  out.reserve(schema.num_columns());
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    out.push_back(schema.column(c).name);
+  }
+  return out;
+}
+
+Status ValidateCandidates(const std::vector<std::string>& candidates,
+                          const Schema& schema) {
+  for (const std::string& attr : candidates) {
+    AUTOCAT_RETURN_IF_ERROR(schema.ColumnIndex(attr).status());
+  }
+  return Status::OK();
+}
+
+// The level-by-level construction shared by all three techniques
+// (Figure 6). `cost_based_choice` selects the per-level attribute by
+// minimum COST_A; otherwise candidates are consumed in the given
+// (pre-shuffled for 'No cost') order.
+Result<CategoryTree> BuildLevelByLevel(
+    const Table& result, std::vector<std::string> candidates,
+    const CostModel& model, bool cost_based_choice,
+    const PartitionFn& partition, size_t max_tuples_per_category,
+    size_t max_levels) {
+  AUTOCAT_RETURN_IF_ERROR(ValidateCandidates(candidates, result.schema()));
+  CategoryTree tree(&result);
+  const ProbabilityEstimator& estimator = model.estimator();
+
+  int level = 1;
+  while (max_levels == 0 || static_cast<size_t>(level) <= max_levels) {
+    if (candidates.empty()) {
+      break;
+    }
+    // S: categories at the previous level with more than M tuples.
+    std::vector<NodeId> oversized;
+    for (NodeId id = 0; id < static_cast<NodeId>(tree.num_nodes()); ++id) {
+      const CategoryNode& node = tree.node(id);
+      if (node.level == level - 1 &&
+          node.tset_size() > max_tuples_per_category) {
+        oversized.push_back(id);
+      }
+    }
+    if (oversized.empty()) {
+      break;
+    }
+
+    // Choose the categorizing attribute for this level and compute the
+    // partitionings of every oversized category with it.
+    std::string chosen_attr;
+    std::vector<std::vector<PartitionCategory>> chosen_parts;
+    // A "partition" with a single category equal to its parent reduces
+    // nothing: for attribute *scoring* it must cost what browsing the
+    // tuples costs (otherwise a useless attribute looks cheap), but it is
+    // still attached — Figure 6 never revisits a level, so severing the
+    // lineage would strand the node above M forever while later
+    // attributes could still split it.
+    const auto is_degenerate =
+        [](const std::vector<PartitionCategory>& parts,
+           size_t parent_size) {
+          return parts.size() == 1 && parts[0].tuples.size() == parent_size;
+        };
+    if (!cost_based_choice) {
+      chosen_attr = candidates.front();
+      chosen_parts.reserve(oversized.size());
+      for (NodeId id : oversized) {
+        AUTOCAT_ASSIGN_OR_RETURN(
+            auto parts, partition(tree.node(id).tuples, chosen_attr));
+        chosen_parts.push_back(std::move(parts));
+      }
+    } else {
+      double best_cost = std::numeric_limits<double>::infinity();
+      for (const std::string& attr : candidates) {
+        const double pw = estimator.ShowTuplesProbability(attr);
+        double total = 0;
+        std::vector<std::vector<PartitionCategory>> parts_for_attr;
+        parts_for_attr.reserve(oversized.size());
+        for (NodeId id : oversized) {
+          const CategoryNode& node = tree.node(id);
+          AUTOCAT_ASSIGN_OR_RETURN(auto parts,
+                                   partition(node.tuples, attr));
+          double cost_one_level;
+          if (parts.empty() || is_degenerate(parts, node.tset_size())) {
+            // No way to subcategorize on this attribute: the user must
+            // browse the tuples.
+            cost_one_level = static_cast<double>(node.tset_size());
+          } else {
+            std::vector<double> probs;
+            std::vector<size_t> sizes;
+            probs.reserve(parts.size());
+            sizes.reserve(parts.size());
+            for (const PartitionCategory& part : parts) {
+              probs.push_back(
+                  estimator.ExplorationProbability(part.label));
+              sizes.push_back(part.tuples.size());
+            }
+            cost_one_level =
+                model.OneLevelCostAll(pw, node.tset_size(), probs, sizes);
+          }
+          total += model.NodeExplorationProbability(tree, id) *
+                   cost_one_level;
+          parts_for_attr.push_back(std::move(parts));
+        }
+        if (total < best_cost) {
+          best_cost = total;
+          chosen_attr = attr;
+          chosen_parts = std::move(parts_for_attr);
+        }
+      }
+    }
+    AUTOCAT_CHECK(!chosen_attr.empty());
+
+    // Attach the chosen partitionings and consume the attribute.
+    bool attached = false;
+    for (size_t i = 0; i < oversized.size(); ++i) {
+      for (PartitionCategory& part : chosen_parts[i]) {
+        tree.AddChild(oversized[i], std::move(part.label),
+                      std::move(part.tuples));
+        attached = true;
+      }
+    }
+    candidates.erase(
+        std::find(candidates.begin(), candidates.end(), chosen_attr));
+    if (attached) {
+      tree.AppendLevelAttribute(chosen_attr);
+      ++level;
+    }
+    // When nothing was attached (e.g. the attribute was all NULL in every
+    // oversized category), retry the same level with the remaining
+    // candidates.
+  }
+  return tree;
+}
+
+// Cost-based partitioning dispatch (Sections 5.1.2 / 5.1.3).
+PartitionFn MakeCostBasedPartition(const Table& result,
+                                   const WorkloadStats* stats,
+                                   const CategorizerOptions& options,
+                                   const SelectionProfile* query) {
+  return [&result, stats, &options, query](
+             const std::vector<size_t>& tuples,
+             const std::string& attribute)
+             -> Result<std::vector<PartitionCategory>> {
+    AUTOCAT_ASSIGN_OR_RETURN(const size_t col,
+                             result.schema().ColumnIndex(attribute));
+    if (result.schema().column(col).kind == ColumnKind::kCategorical) {
+      return PartitionCategorical(result, tuples, attribute, *stats);
+    }
+    NumericPartitionOptions numeric_options;
+    numeric_options.num_buckets = options.num_buckets;
+    numeric_options.max_tuples_per_category =
+        options.max_tuples_per_category;
+    numeric_options.max_buckets = options.max_buckets;
+    numeric_options.min_bucket_tuples = options.min_bucket_tuples;
+    numeric_options.auto_buckets = options.auto_numeric_buckets;
+    numeric_options.goodness_fraction = options.goodness_fraction;
+    return PartitionNumeric(result, tuples, attribute, *stats,
+                            numeric_options, QueryRangeFor(query, attribute));
+  };
+}
+
+// Baseline partitioning dispatch (Section 6.1): arbitrary-order
+// single-value categories and equi-width buckets.
+PartitionFn MakeBaselinePartition(const Table& result,
+                                  const WorkloadStats* stats,
+                                  const CategorizerOptions& options,
+                                  const SelectionProfile* query,
+                                  Random* rng) {
+  return [&result, stats, &options, query, rng](
+             const std::vector<size_t>& tuples,
+             const std::string& attribute)
+             -> Result<std::vector<PartitionCategory>> {
+    AUTOCAT_ASSIGN_OR_RETURN(const size_t col,
+                             result.schema().ColumnIndex(attribute));
+    if (result.schema().column(col).kind == ColumnKind::kCategorical) {
+      return PartitionCategoricalArbitrary(result, tuples, attribute, rng);
+    }
+    const double width = options.equiwidth_interval_multiplier *
+                         stats->split_interval(attribute);
+    return PartitionNumericEquiWidth(result, tuples, attribute, width,
+                                     QueryRangeFor(query, attribute));
+  };
+}
+
+}  // namespace
+
+std::vector<std::string> CostBasedCategorizer::RetainedAttributes(
+    const Schema& schema) const {
+  const std::vector<std::string> candidates =
+      options_.candidate_attributes.empty()
+          ? DefaultCandidates(schema)
+          : options_.candidate_attributes;
+  std::vector<std::string> retained;
+  for (const std::string& attr : candidates) {
+    if (stats_->AttrUsageFraction(attr) >=
+        options_.attribute_usage_threshold) {
+      retained.push_back(attr);
+    }
+  }
+  return retained;
+}
+
+Result<CategoryTree> CostBasedCategorizer::Categorize(
+    const Table& result, const SelectionProfile* query) const {
+  ProbabilityEstimator estimator(stats_, &result.schema());
+  CostModel model(&estimator, options_.cost_params);
+  return BuildLevelByLevel(
+      result, RetainedAttributes(result.schema()), model,
+      /*cost_based_choice=*/true,
+      MakeCostBasedPartition(result, stats_, options_, query),
+      options_.max_tuples_per_category, options_.max_levels);
+}
+
+Result<CategoryTree> AttrCostCategorizer::Categorize(
+    const Table& result, const SelectionProfile* query) const {
+  ProbabilityEstimator estimator(stats_, &result.schema());
+  CostModel model(&estimator, options_.cost_params);
+  Random rng(options_.arbitrary_seed);
+  const std::vector<std::string> candidates =
+      options_.candidate_attributes.empty()
+          ? DefaultCandidates(result.schema())
+          : options_.candidate_attributes;
+  return BuildLevelByLevel(
+      result, candidates, model,
+      /*cost_based_choice=*/true,
+      MakeBaselinePartition(result, stats_, options_, query, &rng),
+      options_.max_tuples_per_category, options_.max_levels);
+}
+
+Result<CategoryTree> CategorizeWithFixedAttributeOrder(
+    const Table& result, const std::vector<std::string>& attribute_order,
+    const WorkloadStats* stats, const CategorizerOptions& options,
+    const SelectionProfile* query) {
+  ProbabilityEstimator estimator(stats, &result.schema());
+  CostModel model(&estimator, options.cost_params);
+  return BuildLevelByLevel(
+      result, attribute_order, model,
+      /*cost_based_choice=*/false,
+      MakeCostBasedPartition(result, stats, options, query),
+      options.max_tuples_per_category, options.max_levels);
+}
+
+Result<CategoryTree> NoCostCategorizer::Categorize(
+    const Table& result, const SelectionProfile* query) const {
+  ProbabilityEstimator estimator(stats_, &result.schema());
+  CostModel model(&estimator, options_.cost_params);
+  Random rng(options_.arbitrary_seed);
+  std::vector<std::string> candidates =
+      options_.candidate_attributes.empty()
+          ? DefaultCandidates(result.schema())
+          : options_.candidate_attributes;
+  rng.Shuffle(candidates);
+  return BuildLevelByLevel(
+      result, std::move(candidates), model,
+      /*cost_based_choice=*/false,
+      MakeBaselinePartition(result, stats_, options_, query, &rng),
+      options_.max_tuples_per_category, options_.max_levels);
+}
+
+}  // namespace autocat

@@ -1,0 +1,195 @@
+#include "core/category.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace autocat {
+
+CategoryLabel CategoryLabel::Categorical(std::string attribute,
+                                         std::vector<Value> values) {
+  CategoryLabel label;
+  label.kind_ = Kind::kCategorical;
+  label.attribute_ = std::move(attribute);
+  label.values_ = std::move(values);
+  return label;
+}
+
+CategoryLabel CategoryLabel::Numeric(std::string attribute, double lo,
+                                     double hi, bool hi_inclusive) {
+  CategoryLabel label;
+  label.kind_ = Kind::kNumeric;
+  label.attribute_ = std::move(attribute);
+  label.lo_ = lo;
+  label.hi_ = hi;
+  label.hi_inclusive_ = hi_inclusive;
+  return label;
+}
+
+bool CategoryLabel::Matches(const Value& v) const {
+  if (v.is_null()) {
+    return false;
+  }
+  if (is_categorical()) {
+    return std::find(values_.begin(), values_.end(), v) != values_.end();
+  }
+  if (!v.is_numeric()) {
+    return false;
+  }
+  const double x = v.AsDouble();
+  if (x < lo_) {
+    return false;
+  }
+  return hi_inclusive_ ? x <= hi_ : x < hi_;
+}
+
+bool CategoryLabel::OverlapsCondition(const AttributeCondition& cond) const {
+  if (is_categorical()) {
+    return cond.OverlapsValueSet(
+        std::set<Value>(values_.begin(), values_.end()));
+  }
+  // Section 4.2 tests overlap against the closed interval [a1, a2].
+  return cond.OverlapsClosedInterval(lo_, hi_);
+}
+
+std::string CategoryLabel::ToString() const {
+  std::string out = attribute_ + ": ";
+  if (is_categorical()) {
+    for (size_t i = 0; i < values_.size(); ++i) {
+      if (i > 0) {
+        out += ", ";
+      }
+      out += values_[i].ToString();
+    }
+    return out;
+  }
+  out += HumanizeNumber(lo_) + "-" + HumanizeNumber(hi_);
+  return out;
+}
+
+std::string CategoryLabel::ToSqlPredicate() const {
+  if (is_categorical()) {
+    if (values_.size() == 1) {
+      return attribute_ + " = " + values_[0].ToSqlLiteral();
+    }
+    std::string out = attribute_ + " IN (";
+    for (size_t i = 0; i < values_.size(); ++i) {
+      if (i > 0) {
+        out += ", ";
+      }
+      out += values_[i].ToSqlLiteral();
+    }
+    out += ")";
+    return out;
+  }
+  return attribute_ + " >= " + Value(lo_).ToString() + " AND " + attribute_ +
+         (hi_inclusive_ ? " <= " : " < ") + Value(hi_).ToString();
+}
+
+CategoryTree::CategoryTree(const Table* result) : result_(result) {
+  AUTOCAT_CHECK(result != nullptr);
+  CategoryNode root;
+  root.id = kRootNode;
+  root.parent = -1;
+  root.level = 0;
+  root.tuples.resize(result->num_rows());
+  for (size_t i = 0; i < root.tuples.size(); ++i) {
+    root.tuples[i] = i;
+  }
+  nodes_.push_back(std::move(root));
+}
+
+NodeId CategoryTree::AddChild(NodeId parent, CategoryLabel label,
+                              std::vector<size_t> tuples) {
+  AUTOCAT_CHECK(parent >= 0 && parent < static_cast<NodeId>(nodes_.size()));
+  CategoryNode child;
+  child.id = static_cast<NodeId>(nodes_.size());
+  child.parent = parent;
+  child.level = nodes_[parent].level + 1;
+  child.label = std::move(label);
+  child.tuples = std::move(tuples);
+  nodes_[parent].children.push_back(child.id);
+  nodes_.push_back(std::move(child));
+  return nodes_.back().id;
+}
+
+Result<std::string> CategoryTree::SubcategorizingAttribute(NodeId id) const {
+  if (id < 0 || id >= static_cast<NodeId>(nodes_.size())) {
+    return Status::OutOfRange("node id out of range");
+  }
+  const CategoryNode& n = nodes_[id];
+  if (n.is_leaf()) {
+    return Status::NotFound("leaf node has no subcategorizing attribute");
+  }
+  return nodes_[n.children.front()].label.attribute();
+}
+
+size_t CategoryTree::num_leaves() const {
+  size_t leaves = 0;
+  for (const CategoryNode& n : nodes_) {
+    if (n.is_leaf()) {
+      ++leaves;
+    }
+  }
+  return leaves;
+}
+
+int CategoryTree::max_depth() const {
+  int depth = 0;
+  for (const CategoryNode& n : nodes_) {
+    depth = std::max(depth, n.level);
+  }
+  return depth;
+}
+
+size_t CategoryTree::max_leaf_tset() const {
+  size_t largest = 0;
+  for (const CategoryNode& n : nodes_) {
+    if (n.is_leaf()) {
+      largest = std::max(largest, n.tset_size());
+    }
+  }
+  return largest;
+}
+
+namespace {
+
+void RenderNode(const CategoryTree& tree, NodeId id, int indent,
+                size_t max_children, int max_depth, std::string& out) {
+  const CategoryNode& n = tree.node(id);
+  out.append(static_cast<size_t>(indent) * 2, ' ');
+  if (n.is_root()) {
+    out += "ALL";
+  } else {
+    out += n.label.ToString();
+  }
+  out += " [" + std::to_string(n.tset_size()) + " tuples]\n";
+  if (max_depth > 0 && n.level >= max_depth && !n.children.empty()) {
+    out.append(static_cast<size_t>(indent + 1) * 2, ' ');
+    out += "... (" + std::to_string(n.children.size()) +
+           " subcategories below depth limit)\n";
+    return;
+  }
+  size_t shown = 0;
+  for (NodeId child : n.children) {
+    if (shown == max_children) {
+      out.append(static_cast<size_t>(indent + 1) * 2, ' ');
+      out += "... (" + std::to_string(n.children.size() - shown) +
+             " more categories)\n";
+      break;
+    }
+    RenderNode(tree, child, indent + 1, max_children, max_depth, out);
+    ++shown;
+  }
+}
+
+}  // namespace
+
+std::string CategoryTree::Render(size_t max_children, int max_depth) const {
+  std::string out;
+  RenderNode(*this, root(), 0, max_children, max_depth, out);
+  return out;
+}
+
+}  // namespace autocat

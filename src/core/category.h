@@ -1,0 +1,154 @@
+#ifndef AUTOCAT_CORE_CATEGORY_H_
+#define AUTOCAT_CORE_CATEGORY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "sql/selection.h"
+#include "storage/table.h"
+
+namespace autocat {
+
+/// The predicate `label(C)` describing one category (Section 3.1).
+///
+/// Categorical labels have the form `A IN B` for a value set B; numeric
+/// labels have the form `a1 <= A < a2` (the highest bucket of a partition
+/// closes the upper end so the parent's maximum value is covered).
+class CategoryLabel {
+ public:
+  CategoryLabel() = default;
+
+  /// `attribute IN {values...}` (most categories are single-value).
+  static CategoryLabel Categorical(std::string attribute,
+                                   std::vector<Value> values);
+
+  /// `lo <= attribute < hi`, or `lo <= attribute <= hi` when
+  /// `hi_inclusive`.
+  static CategoryLabel Numeric(std::string attribute, double lo, double hi,
+                               bool hi_inclusive = false);
+
+  bool is_categorical() const { return kind_ == Kind::kCategorical; }
+  bool is_numeric() const { return kind_ == Kind::kNumeric; }
+
+  const std::string& attribute() const { return attribute_; }
+  const std::vector<Value>& values() const { return values_; }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  bool hi_inclusive() const { return hi_inclusive_; }
+
+  /// True when a tuple whose `attribute` cell is `v` satisfies the label.
+  /// NULL never matches.
+  bool Matches(const Value& v) const;
+
+  /// True when the workload condition `cond` (a condition on this label's
+  /// attribute) overlaps this label in the sense of Section 4.2: for
+  /// categorical labels the value sets intersect, for numeric labels the
+  /// condition admits a value in the closed interval [lo, hi].
+  bool OverlapsCondition(const AttributeCondition& cond) const;
+
+  /// Rendering used by the tree view, e.g. "Neighborhood: Redmond,
+  /// Bellevue" or "Price: 200K-225K".
+  std::string ToString() const;
+
+  /// The label as an SQL predicate, e.g. "price >= 200000 AND
+  /// price < 225000".
+  std::string ToSqlPredicate() const;
+
+ private:
+  enum class Kind { kCategorical, kNumeric };
+
+  Kind kind_ = Kind::kCategorical;
+  std::string attribute_;
+  std::vector<Value> values_;  // categorical
+  double lo_ = 0;              // numeric
+  double hi_ = 0;
+  bool hi_inclusive_ = false;
+};
+
+/// Handle type for nodes inside a CategoryTree. The root is always node 0.
+using NodeId = int;
+inline constexpr NodeId kRootNode = 0;
+
+/// One node of a category tree: its label (meaningless for the root), its
+/// position, and tset(C) as row indices into the categorized result table.
+struct CategoryNode {
+  NodeId id = kRootNode;
+  NodeId parent = -1;                 ///< -1 for the root.
+  std::vector<NodeId> children;       ///< Ordered subcategories.
+  CategoryLabel label;                ///< Unset for the root.
+  int level = 0;                      ///< Root is level 0.
+  std::vector<size_t> tuples;         ///< tset(C), indices into result().
+
+  bool is_root() const { return parent < 0; }
+  bool is_leaf() const { return children.empty(); }
+  size_t tset_size() const { return tuples.size(); }
+};
+
+/// A labeled hierarchical categorization (Section 3.1) of a result table.
+///
+/// The tree owns its nodes and records, per level, which attribute
+/// categorizes that level (the paper's 1:1 level/attribute association).
+/// It does not own the result table; the table must outlive the tree.
+class CategoryTree {
+ public:
+  /// Creates a tree whose root holds every row of `result`.
+  explicit CategoryTree(const Table* result);
+
+  CategoryTree(const CategoryTree&) = default;
+  CategoryTree& operator=(const CategoryTree&) = default;
+  CategoryTree(CategoryTree&&) = default;
+  CategoryTree& operator=(CategoryTree&&) = default;
+
+  const Table& result() const { return *result_; }
+
+  NodeId root() const { return kRootNode; }
+  const CategoryNode& node(NodeId id) const { return nodes_[id]; }
+  /// Mutable access for in-place transforms (e.g. leaf ranking). Callers
+  /// must preserve the structural invariants (labels, parent/child links).
+  CategoryNode& mutable_node(NodeId id) { return nodes_[id]; }
+  size_t num_nodes() const { return nodes_.size(); }
+
+  /// Appends a child category under `parent` with the given label and
+  /// tuple set; returns its id. Children keep insertion order (the order
+  /// the user examines them in).
+  NodeId AddChild(NodeId parent, CategoryLabel label,
+                  std::vector<size_t> tuples);
+
+  /// The attribute categorizing level `level` (1-based). Recorded once per
+  /// level by the categorization algorithms.
+  const std::vector<std::string>& level_attributes() const {
+    return level_attributes_;
+  }
+  void AppendLevelAttribute(std::string attribute) {
+    level_attributes_.push_back(std::move(attribute));
+  }
+
+  /// The subcategorizing attribute SA(C) of a non-leaf node: the attribute
+  /// that partitions it (== the label attribute of its children).
+  Result<std::string> SubcategorizingAttribute(NodeId id) const;
+
+  size_t num_leaves() const;
+  int max_depth() const;
+
+  /// Total number of category labels (non-root nodes) in the tree.
+  size_t num_categories() const { return nodes_.size() - 1; }
+
+  /// Largest leaf tuple-set size (the M guarantee is about this).
+  size_t max_leaf_tset() const;
+
+  /// ASCII rendering of the tree: label, |tset|, per node, indented.
+  /// `max_children` truncates wide fans and `max_depth` deep branches
+  /// (0 = unlimited depth) for readability.
+  std::string Render(size_t max_children = 20, int max_depth = 0) const;
+
+ private:
+  const Table* result_;
+  std::vector<CategoryNode> nodes_;
+  std::vector<std::string> level_attributes_;
+};
+
+}  // namespace autocat
+
+#endif  // AUTOCAT_CORE_CATEGORY_H_

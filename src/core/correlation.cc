@@ -1,0 +1,160 @@
+#include "core/correlation.h"
+
+#include <vector>
+
+#include "common/check.h"
+
+namespace autocat {
+
+namespace {
+
+// True when `profile` is compatible with `label`: it either leaves the
+// label's attribute unconstrained or its condition overlaps the label.
+bool Compatible(const SelectionProfile& profile, const CategoryLabel& label) {
+  const AttributeCondition* cond = profile.Find(label.attribute());
+  return cond == nullptr || label.OverlapsCondition(*cond);
+}
+
+// Shared recursive evaluation. `compatible` holds the indices of workload
+// queries compatible with the path to `id`. Exactly one of
+// `cost_all`/`cost_one` semantics is selected by `one_scenario`.
+class Evaluator {
+ public:
+  Evaluator(const Workload& workload,
+            const ProbabilityEstimator& independence,
+            const CostModelParams& params, bool one_scenario)
+      : workload_(workload),
+        independence_(independence),
+        params_(params),
+        one_scenario_(one_scenario) {}
+
+  double Evaluate(const CategoryTree& tree) const {
+    std::vector<uint32_t> all(workload_.size());
+    for (uint32_t i = 0; i < all.size(); ++i) {
+      all[i] = i;
+    }
+    return EvaluateNode(tree, tree.root(), all);
+  }
+
+  double ChildProbability(const CategoryTree& tree, NodeId child,
+                          const std::vector<uint32_t>& compatible) const {
+    const CategoryLabel& label = tree.node(child).label;
+    const std::string& attr = label.attribute();
+    size_t constrain = 0;  // compatible queries constraining CA(C)
+    size_t overlap = 0;    // ... whose condition also overlaps label(C)
+    for (uint32_t q : compatible) {
+      const AttributeCondition* cond =
+          workload_.entry(q).profile.Find(attr);
+      if (cond == nullptr) {
+        continue;
+      }
+      ++constrain;
+      if (label.OverlapsCondition(*cond)) {
+        ++overlap;
+      }
+    }
+    if (constrain == 0) {
+      // No conditional evidence on this path; fall back to independence.
+      return independence_.ExplorationProbability(label);
+    }
+    return static_cast<double>(overlap) / static_cast<double>(constrain);
+  }
+
+ private:
+  double EvaluateNode(const CategoryTree& tree, NodeId id,
+                      const std::vector<uint32_t>& compatible) const {
+    const CategoryNode& node = tree.node(id);
+    const double tset = static_cast<double>(node.tset_size());
+    if (node.is_leaf()) {
+      return one_scenario_ ? params_.frac * tset : tset;
+    }
+    const auto sa = tree.SubcategorizingAttribute(id);
+    AUTOCAT_CHECK(sa.ok());
+    const double pw = independence_.ShowTuplesProbability(sa.value());
+
+    double showcat = 0;
+    if (!one_scenario_) {
+      showcat = params_.k * static_cast<double>(node.children.size());
+    }
+    double none_before = 1.0;
+    for (size_t i = 0; i < node.children.size(); ++i) {
+      const NodeId child = node.children[i];
+      const double p = ChildProbability(tree, child, compatible);
+      // Narrow the compatible set for the child's subtree.
+      std::vector<uint32_t> child_compatible;
+      child_compatible.reserve(compatible.size());
+      for (uint32_t q : compatible) {
+        if (Compatible(workload_.entry(q).profile,
+                       tree.node(child).label)) {
+          child_compatible.push_back(q);
+        }
+      }
+      const double child_cost =
+          EvaluateNode(tree, child, child_compatible);
+      if (one_scenario_) {
+        showcat += none_before * p *
+                   (params_.k * static_cast<double>(i + 1) + child_cost);
+        none_before *= 1.0 - p;
+      } else {
+        showcat += p * child_cost;
+      }
+    }
+    if (one_scenario_) {
+      return pw * params_.frac * tset + (1.0 - pw) * showcat;
+    }
+    return pw * tset + (1.0 - pw) * showcat;
+  }
+
+  const Workload& workload_;
+  const ProbabilityEstimator& independence_;
+  const CostModelParams& params_;
+  const bool one_scenario_;
+};
+
+}  // namespace
+
+double PathAwareProbabilityEstimator::CostAll(const CategoryTree& tree,
+                                              CostModelParams params) const {
+  const Evaluator evaluator(*workload_, *independence_, params,
+                            /*one_scenario=*/false);
+  return evaluator.Evaluate(tree);
+}
+
+double PathAwareProbabilityEstimator::CostOne(const CategoryTree& tree,
+                                              CostModelParams params) const {
+  const Evaluator evaluator(*workload_, *independence_, params,
+                            /*one_scenario=*/true);
+  return evaluator.Evaluate(tree);
+}
+
+double PathAwareProbabilityEstimator::ExplorationProbability(
+    const CategoryTree& tree, NodeId id) const {
+  if (tree.node(id).is_root()) {
+    return 1.0;
+  }
+  // Collect queries compatible with the path to the parent.
+  std::vector<NodeId> path;
+  for (NodeId cur = tree.node(id).parent; cur > 0;
+       cur = tree.node(cur).parent) {
+    path.push_back(cur);
+  }
+  std::vector<uint32_t> compatible;
+  for (uint32_t q = 0; q < workload_->size(); ++q) {
+    bool ok = true;
+    for (NodeId ancestor : path) {
+      if (!Compatible(workload_->entry(q).profile,
+                      tree.node(ancestor).label)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      compatible.push_back(q);
+    }
+  }
+  const Evaluator evaluator(*workload_, *independence_, CostModelParams{},
+                            /*one_scenario=*/false);
+  return evaluator.ChildProbability(tree, id, compatible);
+}
+
+}  // namespace autocat

@@ -1,0 +1,56 @@
+#ifndef AUTOCAT_CORE_CORRELATION_H_
+#define AUTOCAT_CORE_CORRELATION_H_
+
+#include "core/cost_model.h"
+#include "core/probability.h"
+#include "workload/workload.h"
+
+namespace autocat {
+
+/// The correlation-aware refinement Section 5.2 leaves as ongoing work.
+///
+/// The baseline estimator assumes a user's interest in one attribute's
+/// values is independent of her interest in another's, giving
+/// `P(C) = NOverlap(C) / NAttr(CA(C))` regardless of where C sits in the
+/// tree. Real workloads are correlated (buyers of Palo Alto homes skew to
+/// higher price bands), so this estimator conditions on the whole path:
+///
+///   P(C) = #{q : q constrains CA(C), q's condition overlaps label(C),
+///               q compatible with path(parent)}
+///        / #{q : q constrains CA(C), q compatible with path(parent)}
+///
+/// where a query is *compatible* with a path when, for every label on it,
+/// the query either does not constrain the label's attribute or its
+/// condition overlaps the label. At level 1 (empty parent path) this
+/// reduces exactly to the paper's formula.
+///
+/// Evaluation walks the tree once, threading the compatible-query set
+/// down (cost O(sum of per-node compatible-set sizes)); it is built for
+/// tree *evaluation* and ablation, not for the inner loop of tree search.
+/// Whenever a conditional denominator vanishes the estimator falls back
+/// to the independence estimate for that node.
+class PathAwareProbabilityEstimator {
+ public:
+  /// Neither pointer is owned; both must outlive the estimator.
+  PathAwareProbabilityEstimator(const Workload* workload,
+                                const ProbabilityEstimator* independence)
+      : workload_(workload), independence_(independence) {}
+
+  /// Path-conditioned CostAll(T) (Equation 1 with conditional P(C)).
+  double CostAll(const CategoryTree& tree, CostModelParams params) const;
+
+  /// Path-conditioned CostOne(T) (Equation 2 with conditional P(C)).
+  double CostOne(const CategoryTree& tree, CostModelParams params) const;
+
+  /// The conditional exploration probability of one node (root: 1).
+  /// Exposed for tests; recomputes the path from scratch.
+  double ExplorationProbability(const CategoryTree& tree, NodeId id) const;
+
+ private:
+  const Workload* workload_;
+  const ProbabilityEstimator* independence_;
+};
+
+}  // namespace autocat
+
+#endif  // AUTOCAT_CORE_CORRELATION_H_

@@ -1,0 +1,76 @@
+#include "core/cost_model.h"
+
+#include "common/check.h"
+
+namespace autocat {
+
+double CostModel::NodeShowTuplesProbability(const CategoryTree& tree,
+                                            NodeId id) const {
+  const CategoryNode& node = tree.node(id);
+  if (node.is_leaf()) {
+    return 1.0;  // SHOWTUPLES is the only option at a leaf.
+  }
+  const auto sa = tree.SubcategorizingAttribute(id);
+  AUTOCAT_CHECK(sa.ok());
+  return estimator_->ShowTuplesProbability(sa.value());
+}
+
+double CostModel::NodeExplorationProbability(const CategoryTree& tree,
+                                             NodeId id) const {
+  const CategoryNode& node = tree.node(id);
+  if (node.is_root()) {
+    return 1.0;
+  }
+  return estimator_->ExplorationProbability(node.label);
+}
+
+double CostModel::CostAll(const CategoryTree& tree, NodeId id) const {
+  const CategoryNode& node = tree.node(id);
+  const double tset = static_cast<double>(node.tset_size());
+  if (node.is_leaf()) {
+    return tset;
+  }
+  const double pw = NodeShowTuplesProbability(tree, id);
+  double showcat =
+      params_.k * static_cast<double>(node.children.size());
+  for (NodeId child : node.children) {
+    showcat += NodeExplorationProbability(tree, child) *
+               CostAll(tree, child);
+  }
+  return pw * tset + (1.0 - pw) * showcat;
+}
+
+double CostModel::CostOne(const CategoryTree& tree, NodeId id) const {
+  const CategoryNode& node = tree.node(id);
+  const double tset = static_cast<double>(node.tset_size());
+  if (node.is_leaf()) {
+    return params_.frac * tset;
+  }
+  const double pw = NodeShowTuplesProbability(tree, id);
+  // SHOWCAT term: sum over i of Prob(C_i is the first explored child) *
+  // (K*i + CostOne(C_i)), with i counted from 1.
+  double showcat = 0;
+  double prob_none_before = 1.0;  // prod_{j<i} (1 - P(C_j))
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    const NodeId child = node.children[i];
+    const double p = NodeExplorationProbability(tree, child);
+    const double first_prob = prob_none_before * p;
+    showcat += first_prob * (params_.k * static_cast<double>(i + 1) +
+                             CostOne(tree, child));
+    prob_none_before *= (1.0 - p);
+  }
+  return pw * params_.frac * tset + (1.0 - pw) * showcat;
+}
+
+double CostModel::OneLevelCostAll(
+    double pw, size_t tset_size, const std::vector<double>& child_probs,
+    const std::vector<size_t>& child_sizes) const {
+  AUTOCAT_CHECK(child_probs.size() == child_sizes.size());
+  double showcat = params_.k * static_cast<double>(child_probs.size());
+  for (size_t i = 0; i < child_probs.size(); ++i) {
+    showcat += child_probs[i] * static_cast<double>(child_sizes[i]);
+  }
+  return pw * static_cast<double>(tset_size) + (1.0 - pw) * showcat;
+}
+
+}  // namespace autocat

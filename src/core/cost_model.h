@@ -1,0 +1,80 @@
+#ifndef AUTOCAT_CORE_COST_MODEL_H_
+#define AUTOCAT_CORE_COST_MODEL_H_
+
+#include "core/category.h"
+#include "core/probability.h"
+
+namespace autocat {
+
+/// Tunable constants of the cost models (values the paper leaves open).
+struct CostModelParams {
+  /// K: cost of examining a category label relative to examining a tuple
+  /// (Equation 1).
+  double k = 1.0;
+  /// frac(C): expected fraction of tset(C) scanned before the first
+  /// relevant tuple in the ONE scenario (Equation 2). 0.5 assumes the
+  /// first relevant tuple sits, on average, mid-list.
+  double frac = 0.5;
+};
+
+/// The analytical information-overload cost models of Section 4.1.
+///
+/// `CostAll` implements Equation (1): the expected number of items
+/// (category labels + tuples) a user examines to find *all* relevant
+/// tuples. `CostOne` implements Equation (2): the expected number examined
+/// to find the *first* relevant tuple. Both recurse over a CategoryTree
+/// using the workload-estimated probabilities.
+class CostModel {
+ public:
+  /// `estimator` is not owned and must outlive the model.
+  CostModel(const ProbabilityEstimator* estimator, CostModelParams params)
+      : estimator_(estimator), params_(params) {}
+
+  const CostModelParams& params() const { return params_; }
+  const ProbabilityEstimator& estimator() const { return *estimator_; }
+
+  /// CostAll of the subtree rooted at `id`, given that the user explores
+  /// it (Equation 1). Leaf: |tset(C)|.
+  double CostAll(const CategoryTree& tree, NodeId id) const;
+
+  /// CostAll(T) = CostAll(root).
+  double CostAll(const CategoryTree& tree) const {
+    return CostAll(tree, tree.root());
+  }
+
+  /// CostOne of the subtree rooted at `id`, given that the user explores
+  /// it (Equation 2). Leaf: frac * |tset(C)|.
+  double CostOne(const CategoryTree& tree, NodeId id) const;
+
+  /// CostOne(T) = CostOne(root).
+  double CostOne(const CategoryTree& tree) const {
+    return CostOne(tree, tree.root());
+  }
+
+  /// Pw(C) of a node: 1 for leaves, otherwise the SHOWTUPLES probability
+  /// derived from its subcategorizing attribute.
+  double NodeShowTuplesProbability(const CategoryTree& tree,
+                                   NodeId id) const;
+
+  /// P(C) of a node: 1 for the root (the user always explores it),
+  /// otherwise the label-overlap estimate.
+  double NodeExplorationProbability(const CategoryTree& tree,
+                                    NodeId id) const;
+
+  /// The 1-level cost the multilevel algorithm (Figure 6) scores a
+  /// candidate partitioning with: the CostAll of a node whose children are
+  /// `child_sizes`/`child_probs` big leaf categories, under SHOWTUPLES
+  /// probability `pw`:
+  ///   pw * tset + (1 - pw) * (K*n + sum_i probs[i] * sizes[i]).
+  double OneLevelCostAll(double pw, size_t tset_size,
+                         const std::vector<double>& child_probs,
+                         const std::vector<size_t>& child_sizes) const;
+
+ private:
+  const ProbabilityEstimator* estimator_;
+  CostModelParams params_;
+};
+
+}  // namespace autocat
+
+#endif  // AUTOCAT_CORE_COST_MODEL_H_

@@ -1,0 +1,197 @@
+#include "core/enumerate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+
+#include "core/cost_model.h"
+#include "core/partition.h"
+#include "core/probability.h"
+
+namespace autocat {
+
+namespace {
+
+// Builds a 1-level tree from ordered partition categories.
+CategoryTree OneLevelTree(const Table& result,
+                          std::vector<PartitionCategory> parts) {
+  CategoryTree tree(&result);
+  if (!parts.empty()) {
+    tree.AppendLevelAttribute(parts.front().label.attribute());
+  }
+  for (PartitionCategory& part : parts) {
+    tree.AddChild(tree.root(), std::move(part.label),
+                  std::move(part.tuples));
+  }
+  return tree;
+}
+
+// Assigns the root's tuples into buckets defined by ascending
+// `boundaries`, dropping empty buckets. Small-instance (O(n * buckets))
+// implementation; enumeration only runs on tiny inputs.
+std::vector<PartitionCategory> BucketsFromBoundaries(
+    const Table& result, size_t col, const std::string& attribute,
+    const std::vector<double>& boundaries) {
+  std::vector<PartitionCategory> parts;
+  for (size_t b = 0; b + 1 < boundaries.size(); ++b) {
+    const bool last = (b + 2 == boundaries.size());
+    PartitionCategory part;
+    part.label = CategoryLabel::Numeric(attribute, boundaries[b],
+                                        boundaries[b + 1], last);
+    for (size_t r = 0; r < result.num_rows(); ++r) {
+      if (part.label.Matches(result.ValueAt(r, col))) {
+        part.tuples.push_back(r);
+      }
+    }
+    if (!part.tuples.empty()) {
+      parts.push_back(std::move(part));
+    }
+  }
+  return parts;
+}
+
+void ConsiderCandidate(const CostModel& model, CategoryTree tree,
+                       std::vector<std::string> order,
+                       std::optional<EnumerationResult>* best) {
+  const double cost = model.CostAll(tree);
+  if (!best->has_value() || cost < (*best)->cost) {
+    best->emplace(EnumerationResult{std::move(tree), cost,
+                                    std::move(order)});
+  }
+}
+
+}  // namespace
+
+Result<EnumerationResult> EnumerateBestOneLevel(
+    const Table& result, const std::vector<std::string>& candidates,
+    const WorkloadStats* stats, const CategorizerOptions& options,
+    const SelectionProfile* query) {
+  if (candidates.empty()) {
+    return Status::InvalidArgument("no candidate attributes to enumerate");
+  }
+  ProbabilityEstimator estimator(stats, &result.schema());
+  CostModel model(&estimator, options.cost_params);
+  std::optional<EnumerationResult> best;
+
+  std::vector<size_t> all_rows(result.num_rows());
+  for (size_t i = 0; i < all_rows.size(); ++i) {
+    all_rows[i] = i;
+  }
+
+  for (const std::string& attr : candidates) {
+    AUTOCAT_ASSIGN_OR_RETURN(const size_t col,
+                             result.schema().ColumnIndex(attr));
+    if (result.schema().column(col).kind == ColumnKind::kCategorical) {
+      AUTOCAT_ASSIGN_OR_RETURN(
+          auto parts, PartitionCategorical(result, all_rows, attr, *stats));
+      ConsiderCandidate(model, OneLevelTree(result, std::move(parts)),
+                        {attr}, &best);
+      continue;
+    }
+    // Numeric: enumerate every subset of the candidate split points.
+    AUTOCAT_ASSIGN_OR_RETURN(const auto min_max, result.MinMax(col));
+    double vmin = min_max.first.AsDouble();
+    double vmax = min_max.second.AsDouble();
+    if (query != nullptr) {
+      const AttributeCondition* cond = query->Find(attr);
+      if (cond != nullptr && cond->is_range()) {
+        if (std::isfinite(cond->range.lo)) vmin = std::min(vmin, cond->range.lo);
+        if (std::isfinite(cond->range.hi)) vmax = std::max(vmax, cond->range.hi);
+      }
+    }
+    const std::vector<SplitPoint> points =
+        stats->SplitPointsInRange(attr, vmin, vmax);
+    if (points.size() > 16) {
+      return Status::InvalidArgument(
+          "attribute '" + attr + "' has " + std::to_string(points.size()) +
+          " candidate split points; enumeration is capped at 16");
+    }
+    const size_t max_splits =
+        options.max_buckets > 0 ? options.max_buckets - 1 : points.size();
+    for (uint32_t mask = 0; mask < (1u << points.size()); ++mask) {
+      const size_t bits = static_cast<size_t>(__builtin_popcount(mask));
+      if (bits > max_splits) {
+        continue;
+      }
+      std::vector<double> boundaries;
+      boundaries.push_back(vmin);
+      for (size_t i = 0; i < points.size(); ++i) {
+        if (mask & (1u << i)) {
+          boundaries.push_back(points[i].v);
+        }
+      }
+      boundaries.push_back(vmax);
+      if (vmin == vmax) {
+        boundaries = {vmin, vmax};
+      }
+      auto parts = BucketsFromBoundaries(result, col, attr, boundaries);
+      if (parts.empty()) {
+        continue;
+      }
+      ConsiderCandidate(model, OneLevelTree(result, std::move(parts)),
+                        {attr}, &best);
+    }
+  }
+  if (!best.has_value()) {
+    return Status::NotFound("no candidate produced a non-empty tree");
+  }
+  return std::move(*best);
+}
+
+namespace {
+
+void EnumerateOrders(const std::vector<std::string>& candidates,
+                     std::vector<bool>& used,
+                     std::vector<std::string>& current,
+                     std::vector<std::vector<std::string>>& out) {
+  if (!current.empty()) {
+    out.push_back(current);
+  }
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (used[i]) {
+      continue;
+    }
+    used[i] = true;
+    current.push_back(candidates[i]);
+    EnumerateOrders(candidates, used, current, out);
+    current.pop_back();
+    used[i] = false;
+  }
+}
+
+}  // namespace
+
+Result<EnumerationResult> EnumerateBestAttributeOrder(
+    const Table& result, const std::vector<std::string>& candidates,
+    const WorkloadStats* stats, const CategorizerOptions& options,
+    const SelectionProfile* query) {
+  if (candidates.empty()) {
+    return Status::InvalidArgument("no candidate attributes to enumerate");
+  }
+  if (candidates.size() > 6) {
+    return Status::InvalidArgument(
+        "attribute-order enumeration is capped at 6 attributes");
+  }
+  ProbabilityEstimator estimator(stats, &result.schema());
+  CostModel model(&estimator, options.cost_params);
+
+  std::vector<std::vector<std::string>> orders;
+  std::vector<bool> used(candidates.size(), false);
+  std::vector<std::string> current;
+  EnumerateOrders(candidates, used, current, orders);
+
+  std::optional<EnumerationResult> best;
+  for (const std::vector<std::string>& order : orders) {
+    AUTOCAT_ASSIGN_OR_RETURN(
+        CategoryTree tree,
+        CategorizeWithFixedAttributeOrder(result, order, stats, options,
+                                          query));
+    ConsiderCandidate(model, std::move(tree), order, &best);
+  }
+  if (!best.has_value()) {
+    return Status::NotFound("no attribute order produced a tree");
+  }
+  return std::move(*best);
+}
+
+}  // namespace autocat

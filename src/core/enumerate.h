@@ -1,0 +1,45 @@
+#ifndef AUTOCAT_CORE_ENUMERATE_H_
+#define AUTOCAT_CORE_ENUMERATE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/categorizer.h"
+#include "core/category.h"
+
+namespace autocat {
+
+/// A tree found by exhaustive search together with its estimated cost and
+/// the attribute order that produced it.
+struct EnumerationResult {
+  CategoryTree tree;
+  double cost = 0;
+  std::vector<std::string> attribute_order;
+};
+
+/// Exhaustively searches 1-level categorizations over `candidates`
+/// (Section 5's search space): for a categorical attribute the
+/// single-value partitioning; for a numeric attribute *every subset* of
+/// the workload split points inside the range (capped at
+/// `options.max_buckets - 1` chosen points). Returns the CostAll-optimal
+/// 1-level tree. Errors when a numeric attribute has more than 16
+/// candidate split points (2^16 subsets is the sanity limit — this is a
+/// validation tool for small instances, not a production path).
+Result<EnumerationResult> EnumerateBestOneLevel(
+    const Table& result, const std::vector<std::string>& candidates,
+    const WorkloadStats* stats, const CategorizerOptions& options,
+    const SelectionProfile* query);
+
+/// Exhaustively searches per-level attribute orders (every permutation of
+/// every subset of `candidates`, up to 6 attributes) with the cost-based
+/// partitionings fixed, returning the CostAll-optimal multilevel tree.
+/// Validates the greedy per-level attribute choice of Figure 6.
+Result<EnumerationResult> EnumerateBestAttributeOrder(
+    const Table& result, const std::vector<std::string>& candidates,
+    const WorkloadStats* stats, const CategorizerOptions& options,
+    const SelectionProfile* query);
+
+}  // namespace autocat
+
+#endif  // AUTOCAT_CORE_ENUMERATE_H_

@@ -1,0 +1,184 @@
+#include "core/export.h"
+
+#include <vector>
+
+namespace autocat {
+
+Result<std::string> PathPredicateSql(const CategoryTree& tree, NodeId id) {
+  if (id < 0 || id >= static_cast<NodeId>(tree.num_nodes())) {
+    return Status::OutOfRange("node id out of range");
+  }
+  std::vector<NodeId> path;
+  for (NodeId cur = id; cur > 0; cur = tree.node(cur).parent) {
+    path.push_back(cur);
+  }
+  std::string out;
+  for (auto it = path.rbegin(); it != path.rend(); ++it) {
+    if (!out.empty()) {
+      out += " AND ";
+    }
+    out += tree.node(*it).label.ToSqlPredicate();
+  }
+  return out;
+}
+
+Result<std::string> DrillDownSql(const CategoryTree& tree, NodeId id,
+                                 const std::string& table_name,
+                                 const std::string& where) {
+  if (table_name.empty()) {
+    return Status::InvalidArgument("table name must not be empty");
+  }
+  AUTOCAT_ASSIGN_OR_RETURN(const std::string path,
+                           PathPredicateSql(tree, id));
+  std::string sql = "SELECT * FROM " + table_name;
+  std::string predicate;
+  if (!where.empty()) {
+    predicate = "(" + where + ")";
+  }
+  if (!path.empty()) {
+    if (!predicate.empty()) {
+      predicate += " AND ";
+    }
+    predicate += path;
+  }
+  if (!predicate.empty()) {
+    sql += " WHERE " + predicate;
+  }
+  return sql;
+}
+
+namespace {
+
+void AppendJsonEscaped(const std::string& text, std::string& out) {
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string JsonNumber(double x) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", x);
+  return buf;
+}
+
+void NodeToJson(const CategoryTree& tree, NodeId id, const CostModel* model,
+                std::string& out) {
+  const CategoryNode& node = tree.node(id);
+  out += "{\"label\":\"";
+  AppendJsonEscaped(node.is_root() ? "ALL" : node.label.ToString(), out);
+  out += "\"";
+  if (!node.is_root()) {
+    out += ",\"attribute\":\"";
+    AppendJsonEscaped(node.label.attribute(), out);
+    out += "\",\"predicate\":\"";
+    AppendJsonEscaped(node.label.ToSqlPredicate(), out);
+    out += "\"";
+  }
+  out += ",\"count\":" + std::to_string(node.tset_size());
+  if (model != nullptr) {
+    out += ",\"p\":" +
+           JsonNumber(model->NodeExplorationProbability(tree, id));
+    out += ",\"pw\":" +
+           JsonNumber(model->NodeShowTuplesProbability(tree, id));
+    out += ",\"cost_all\":" + JsonNumber(model->CostAll(tree, id));
+  }
+  if (!node.children.empty()) {
+    out += ",\"children\":[";
+    for (size_t i = 0; i < node.children.size(); ++i) {
+      if (i > 0) {
+        out += ",";
+      }
+      NodeToJson(tree, node.children[i], model, out);
+    }
+    out += "]";
+  }
+  out += "}";
+}
+
+}  // namespace
+
+std::string TreeToJson(const CategoryTree& tree, const CostModel* model) {
+  std::string out;
+  NodeToJson(tree, tree.root(), model, out);
+  return out;
+}
+
+Result<SelectionProfile> RefinedProfile(const CategoryTree& tree, NodeId id,
+                                        const SelectionProfile& original) {
+  if (id < 0 || id >= static_cast<NodeId>(tree.num_nodes())) {
+    return Status::OutOfRange("node id out of range");
+  }
+  SelectionProfile refined = original;
+  for (NodeId cur = id; cur > 0; cur = tree.node(cur).parent) {
+    const CategoryLabel& label = tree.node(cur).label;
+    AttributeCondition from_label;
+    if (label.is_categorical()) {
+      from_label = AttributeCondition::ValueSet(std::set<Value>(
+          label.values().begin(), label.values().end()));
+    } else {
+      NumericRange range;
+      range.lo = label.lo();
+      range.hi = label.hi();
+      range.hi_inclusive = label.hi_inclusive();
+      from_label = AttributeCondition::Range(range);
+    }
+    const AttributeCondition* existing = refined.Find(label.attribute());
+    if (existing == nullptr) {
+      refined.Set(label.attribute(), std::move(from_label));
+      continue;
+    }
+    // Intersect with the query's own condition on this attribute.
+    if (existing->is_value_set() && from_label.is_value_set()) {
+      std::set<Value> intersection;
+      for (const Value& v : from_label.values) {
+        if (existing->values.count(v) > 0) {
+          intersection.insert(v);
+        }
+      }
+      refined.Set(label.attribute(),
+                  AttributeCondition::ValueSet(std::move(intersection)));
+    } else if (existing->is_range() && from_label.is_range()) {
+      refined.Set(label.attribute(),
+                  AttributeCondition::Range(
+                      existing->range.Intersect(from_label.range)));
+    } else {
+      // Mixed set/range: keep whichever values survive the range.
+      const AttributeCondition& set_cond =
+          existing->is_value_set() ? *existing : from_label;
+      const AttributeCondition& range_cond =
+          existing->is_value_set() ? from_label : *existing;
+      std::set<Value> kept;
+      for (const Value& v : set_cond.values) {
+        if (v.is_numeric() && range_cond.range.Contains(v.AsDouble())) {
+          kept.insert(v);
+        }
+      }
+      refined.Set(label.attribute(),
+                  AttributeCondition::ValueSet(std::move(kept)));
+    }
+  }
+  return refined;
+}
+
+}  // namespace autocat

@@ -1,0 +1,51 @@
+#ifndef AUTOCAT_CORE_EXPORT_H_
+#define AUTOCAT_CORE_EXPORT_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "core/category.h"
+#include "core/cost_model.h"
+#include "sql/selection.h"
+
+namespace autocat {
+
+/// The full path predicate of category C (Section 3.1): the conjunction
+/// of the category labels on the path from the root to C, as an SQL
+/// boolean expression. The root yields "" (no restriction).
+Result<std::string> PathPredicateSql(const CategoryTree& tree, NodeId id);
+
+/// The drill-down query of category C: the SELECT statement a UI issues
+/// when the user clicks SHOWTUPLES on C — the original query's FROM table
+/// restricted by C's path predicate. `where` optionally prepends the
+/// original query's own WHERE clause.
+Result<std::string> DrillDownSql(const CategoryTree& tree, NodeId id,
+                                 const std::string& table_name,
+                                 const std::string& where = "");
+
+/// Serializes the tree as JSON for UI consumption:
+///   {"label": "ALL", "count": N, "children": [
+///      {"label": "...", "attribute": "...", "count": n,
+///       "predicate": "...", "children": [...]}, ...]}
+/// Tuple sets are represented only by their counts (the UI drills down
+/// via DrillDownSql), so the output stays small.
+///
+/// When `model` is non-null, every category additionally carries the
+/// model's estimates — "p" (exploration probability), "pw" (SHOWTUPLES
+/// probability) and "cost_all" — the "sufficient information ... to
+/// properly decide between SHOWTUPLES and SHOWCAT" the paper's interface
+/// footnote calls for (Section 3.2, footnote 3).
+std::string TreeToJson(const CategoryTree& tree,
+                       const CostModel* model = nullptr);
+
+/// The refined query of Section 1's reformulation loop: the original
+/// query's conditions conjoined with the labels on the path to `id`
+/// (categorical labels intersect value sets, numeric labels intersect
+/// ranges). Running the refined profile reproduces tset(C) — it is the
+/// "more focused narrower query" the user would pose next.
+Result<SelectionProfile> RefinedProfile(const CategoryTree& tree, NodeId id,
+                                        const SelectionProfile& original);
+
+}  // namespace autocat
+
+#endif  // AUTOCAT_CORE_EXPORT_H_

@@ -1,0 +1,88 @@
+#include "core/ordering.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace autocat {
+
+double OrderedShowCatCostOne(const std::vector<double>& probs,
+                             const std::vector<double>& costs, double k) {
+  AUTOCAT_CHECK(probs.size() == costs.size());
+  double total = 0;
+  double none_before = 1.0;
+  for (size_t i = 0; i < probs.size(); ++i) {
+    total += none_before * probs[i] *
+             (k * static_cast<double>(i + 1) + costs[i]);
+    none_before *= (1.0 - probs[i]);
+  }
+  return total;
+}
+
+double OrderedShowCatCostOne(const std::vector<double>& probs,
+                             const std::vector<double>& costs, double k,
+                             const std::vector<size_t>& order) {
+  AUTOCAT_CHECK(order.size() == probs.size());
+  std::vector<double> p(order.size());
+  std::vector<double> c(order.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    p[i] = probs[order[i]];
+    c[i] = costs[order[i]];
+  }
+  return OrderedShowCatCostOne(p, c, k);
+}
+
+std::vector<size_t> OptimalOneOrdering(const std::vector<double>& probs,
+                                       const std::vector<double>& costs,
+                                       double k) {
+  AUTOCAT_CHECK(probs.size() == costs.size());
+  std::vector<size_t> order(probs.size());
+  std::iota(order.begin(), order.end(), 0);
+  auto key = [&](size_t i) {
+    if (probs[i] <= 0) {
+      return std::numeric_limits<double>::infinity();
+    }
+    return k / probs[i] + costs[i];
+  };
+  std::stable_sort(order.begin(), order.end(),
+                   [&](size_t a, size_t b) { return key(a) < key(b); });
+  return order;
+}
+
+std::vector<size_t> ProbabilityDescendingOrdering(
+    const std::vector<double>& probs) {
+  std::vector<size_t> order(probs.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return probs[a] > probs[b];
+  });
+  return order;
+}
+
+Result<std::vector<size_t>> BruteForceBestOrdering(
+    const std::vector<double>& probs, const std::vector<double>& costs,
+    double k) {
+  if (probs.size() != costs.size()) {
+    return Status::InvalidArgument("probs/costs length mismatch");
+  }
+  if (probs.size() > 9) {
+    return Status::InvalidArgument(
+        "brute-force ordering capped at 9 categories");
+  }
+  std::vector<size_t> order(probs.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<size_t> best = order;
+  double best_cost = OrderedShowCatCostOne(probs, costs, k, order);
+  while (std::next_permutation(order.begin(), order.end())) {
+    const double cost = OrderedShowCatCostOne(probs, costs, k, order);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = order;
+    }
+  }
+  return best;
+}
+
+}  // namespace autocat

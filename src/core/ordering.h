@@ -1,0 +1,44 @@
+#ifndef AUTOCAT_CORE_ORDERING_H_
+#define AUTOCAT_CORE_ORDERING_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace autocat {
+
+/// The SHOWCAT component of CostOne (Equation 2) when subcategories with
+/// exploration probabilities `probs` and subtree costs `costs` are
+/// presented in the given order:
+///   sum_i [ prod_{j<i} (1 - p_j) ] * p_i * (K*i + cost_i),  i from 1.
+double OrderedShowCatCostOne(const std::vector<double>& probs,
+                             const std::vector<double>& costs, double k);
+
+/// Applies `order` (a permutation of indices) to probs/costs and evaluates
+/// OrderedShowCatCostOne.
+double OrderedShowCatCostOne(const std::vector<double>& probs,
+                             const std::vector<double>& costs, double k,
+                             const std::vector<size_t>& order);
+
+/// The provably optimal presentation order of Appendix A: ascending
+/// K/P(C_i) + CostOne(C_i) (the paper states it for K = 1 as
+/// 1/P + CostOne; the exchange argument generalizes to any label cost K).
+/// Categories with P == 0 sort last. Returns the permutation of indices.
+std::vector<size_t> OptimalOneOrdering(const std::vector<double>& probs,
+                                       const std::vector<double>& costs,
+                                       double k = 1.0);
+
+/// The paper's practical heuristic (Section 5.1.2): descending P(C_i),
+/// ignoring the CostOne term. Returns the permutation of indices.
+std::vector<size_t> ProbabilityDescendingOrdering(
+    const std::vector<double>& probs);
+
+/// Exhaustive search over all n! orderings; for validating the Appendix A
+/// theorem in tests and ablations. Errors when n > 9.
+Result<std::vector<size_t>> BruteForceBestOrdering(
+    const std::vector<double>& probs, const std::vector<double>& costs,
+    double k);
+
+}  // namespace autocat
+
+#endif  // AUTOCAT_CORE_ORDERING_H_

@@ -1,0 +1,78 @@
+#ifndef AUTOCAT_CORE_PARTITION_H_
+#define AUTOCAT_CORE_PARTITION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "core/category.h"
+#include "workload/counts.h"
+
+namespace autocat {
+
+/// One category produced by a partitioner: its label and tset as row
+/// indices into the result table. Order within the returned vector is the
+/// presentation order.
+struct PartitionCategory {
+  CategoryLabel label;
+  std::vector<size_t> tuples;
+};
+
+/// Options for cost-based numeric partitioning (Section 5.1.3).
+struct NumericPartitionOptions {
+  /// Fixed bucket count m; 0 derives m = clamp(2*ceil(n / M), 2,
+  /// max_buckets) from the tuple count n.
+  size_t num_buckets = 0;
+  /// M, the per-category tuple budget used to derive m.
+  size_t max_tuples_per_category = 20;
+  size_t max_buckets = 10;
+  /// A split point is "unnecessary" (skipped) when an adjacent resulting
+  /// bucket would hold fewer than this many tuples.
+  size_t min_bucket_tuples = 1;
+  /// When true (and num_buckets == 0), m is determined by the goodness
+  /// distribution instead (the paper: "the goodness metric may be used as
+  /// a basis for automatically determining m"): candidates are taken in
+  /// decreasing goodness while their goodness stays at least
+  /// `goodness_fraction` of the best candidate's, capped at
+  /// max_buckets - 1 split points.
+  bool auto_buckets = false;
+  double goodness_fraction = 0.3;
+};
+
+/// Cost-based categorical partitioning (Section 5.1.2): one single-value
+/// category per distinct value of `attribute` among `tuples`, presented in
+/// decreasing occurrence count occ(v) (ties in value order). Tuples with a
+/// NULL cell are not placed in any category.
+Result<std::vector<PartitionCategory>> PartitionCategorical(
+    const Table& result, const std::vector<size_t>& tuples,
+    const std::string& attribute, const WorkloadStats& stats);
+
+/// Cost-based numeric partitioning (Section 5.1.3): picks the top
+/// necessary split points by goodness score SUM(start_v, end_v) from the
+/// workload's SplitPoints store, producing buckets in ascending value
+/// order. `query_range`, when non-null, supplies vmin/vmax from the user
+/// query's selection condition; otherwise the tuple values define the
+/// range. Empty buckets are dropped.
+Result<std::vector<PartitionCategory>> PartitionNumeric(
+    const Table& result, const std::vector<size_t>& tuples,
+    const std::string& attribute, const WorkloadStats& stats,
+    const NumericPartitionOptions& options, const NumericRange* query_range);
+
+/// Baseline categorical partitioning (Section 6.1, 'No cost'):
+/// single-value categories in arbitrary order — value order, shuffled when
+/// `rng` is provided.
+Result<std::vector<PartitionCategory>> PartitionCategoricalArbitrary(
+    const Table& result, const std::vector<size_t>& tuples,
+    const std::string& attribute, Random* rng);
+
+/// Baseline numeric partitioning (Section 6.1): equi-width buckets of the
+/// given width aligned to multiples of the width, empty buckets removed.
+Result<std::vector<PartitionCategory>> PartitionNumericEquiWidth(
+    const Table& result, const std::vector<size_t>& tuples,
+    const std::string& attribute, double width,
+    const NumericRange* query_range);
+
+}  // namespace autocat
+
+#endif  // AUTOCAT_CORE_PARTITION_H_

@@ -1,0 +1,38 @@
+#include "core/probability.h"
+
+#include <algorithm>
+#include <set>
+
+namespace autocat {
+
+double ProbabilityEstimator::ShowTuplesProbability(
+    std::string_view subcategorizing_attribute) const {
+  if (stats_->num_queries() == 0) {
+    return 1.0;
+  }
+  const double frac = stats_->AttrUsageFraction(subcategorizing_attribute);
+  return std::clamp(1.0 - frac, 0.0, 1.0);
+}
+
+size_t ProbabilityEstimator::NOverlap(const CategoryLabel& label) const {
+  if (label.is_categorical()) {
+    return stats_->CountConditionsOverlappingSet(
+        label.attribute(),
+        std::set<Value>(label.values().begin(), label.values().end()));
+  }
+  return stats_->CountConditionsOverlappingInterval(label.attribute(),
+                                                    label.lo(), label.hi());
+}
+
+double ProbabilityEstimator::ExplorationProbability(
+    const CategoryLabel& label) const {
+  const size_t nattr = stats_->AttrUsageCount(label.attribute());
+  if (nattr == 0) {
+    return 0.0;
+  }
+  const size_t overlap = NOverlap(label);
+  return std::clamp(
+      static_cast<double>(overlap) / static_cast<double>(nattr), 0.0, 1.0);
+}
+
+}  // namespace autocat

@@ -1,0 +1,52 @@
+#ifndef AUTOCAT_CORE_PROBABILITY_H_
+#define AUTOCAT_CORE_PROBABILITY_H_
+
+#include <string>
+#include <string_view>
+
+#include "core/category.h"
+#include "workload/counts.h"
+
+namespace autocat {
+
+/// Workload-driven estimates of the two exploration probabilities of
+/// Section 4.2.
+///
+/// * SHOWTUPLES probability: `Pw(C) = 1 - NAttr(SA(C)) / N` — a user who
+///   never filters on C's subcategorizing attribute browses tuples rather
+///   than subcategories.
+/// * Exploration probability: `P(C) = NOverlap(C) / NAttr(CA(C))` — among
+///   users who filter on the categorizing attribute, the fraction whose
+///   condition overlaps label(C).
+///
+/// Degenerate cases: with an empty workload Pw is 1 (everyone browses) and
+/// P is 0; when NAttr(CA(C)) is 0 the conditional P(C) is undefined and
+/// reported as 0.
+class ProbabilityEstimator {
+ public:
+  /// Neither pointer is owned; both must outlive the estimator.
+  ProbabilityEstimator(const WorkloadStats* stats, const Schema* schema)
+      : stats_(stats), schema_(schema) {}
+
+  /// Pw of a node partitioned on `subcategorizing_attribute`.
+  double ShowTuplesProbability(
+      std::string_view subcategorizing_attribute) const;
+
+  /// P(C) for a category carrying `label`.
+  double ExplorationProbability(const CategoryLabel& label) const;
+
+  /// NOverlap(C): workload queries whose condition on the label's
+  /// attribute overlaps the label.
+  size_t NOverlap(const CategoryLabel& label) const;
+
+  const WorkloadStats& stats() const { return *stats_; }
+  const Schema& schema() const { return *schema_; }
+
+ private:
+  const WorkloadStats* stats_;
+  const Schema* schema_;
+};
+
+}  // namespace autocat
+
+#endif  // AUTOCAT_CORE_PROBABILITY_H_

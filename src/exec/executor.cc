@@ -1,0 +1,72 @@
+#include "exec/executor.h"
+
+#include <numeric>
+
+#include "common/string_util.h"
+#include "exec/predicate.h"
+#include "sql/parser.h"
+
+namespace autocat {
+
+Status Database::RegisterTable(std::string_view name, Table table) {
+  const std::string key = ToLower(name);
+  if (tables_.count(key) > 0) {
+    return Status::AlreadyExists("table '" + std::string(name) +
+                                 "' already registered");
+  }
+  tables_.emplace(key, std::move(table));
+  return Status::OK();
+}
+
+void Database::PutTable(std::string_view name, Table table) {
+  tables_[ToLower(name)] = std::move(table);
+}
+
+Result<const Table*> Database::GetTable(std::string_view name) const {
+  const auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named '" + std::string(name) + "'");
+  }
+  return &it->second;
+}
+
+bool Database::HasTable(std::string_view name) const {
+  return tables_.count(ToLower(name)) > 0;
+}
+
+Result<std::vector<size_t>> FilterTable(const Table& table,
+                                        const Expr* where) {
+  std::vector<size_t> indices;
+  if (where == nullptr) {
+    indices.resize(table.num_rows());
+    std::iota(indices.begin(), indices.end(), 0);
+    return indices;
+  }
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    AUTOCAT_ASSIGN_OR_RETURN(
+        const bool keep,
+        EvaluatePredicate(*where, table.row(r), table.schema()));
+    if (keep) {
+      indices.push_back(r);
+    }
+  }
+  return indices;
+}
+
+Result<Table> ExecuteQuery(const SelectQuery& query, const Database& db) {
+  AUTOCAT_ASSIGN_OR_RETURN(const Table* table, db.GetTable(query.table_name));
+  AUTOCAT_ASSIGN_OR_RETURN(const std::vector<size_t> indices,
+                           FilterTable(*table, query.where.get()));
+  AUTOCAT_ASSIGN_OR_RETURN(Table selected, table->SelectRows(indices));
+  if (query.select_all()) {
+    return selected;
+  }
+  return selected.Project(query.columns);
+}
+
+Result<Table> ExecuteSql(std::string_view sql, const Database& db) {
+  AUTOCAT_ASSIGN_OR_RETURN(const SelectQuery query, ParseQuery(sql));
+  return ExecuteQuery(query, db);
+}
+
+}  // namespace autocat

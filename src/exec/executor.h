@@ -1,0 +1,51 @@
+#ifndef AUTOCAT_EXEC_EXECUTOR_H_
+#define AUTOCAT_EXEC_EXECUTOR_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "sql/ast.h"
+#include "storage/table.h"
+
+namespace autocat {
+
+/// A minimal named-table catalog: the "database" queries run against.
+class Database {
+ public:
+  Database() = default;
+
+  /// Registers `table` under `name` (case-insensitive). Errors when a table
+  /// with that name already exists.
+  Status RegisterTable(std::string_view name, Table table);
+
+  /// Replaces or creates the table under `name`.
+  void PutTable(std::string_view name, Table table);
+
+  /// Looks up a table by name.
+  Result<const Table*> GetTable(std::string_view name) const;
+
+  bool HasTable(std::string_view name) const;
+  size_t num_tables() const { return tables_.size(); }
+
+ private:
+  std::map<std::string, Table> tables_;  // keyed by lowercase name
+};
+
+/// Executes a parsed selection/projection query against `db`: scans the
+/// FROM table, keeps rows matching the WHERE clause, then projects the
+/// select list. Returns the result relation.
+Result<Table> ExecuteQuery(const SelectQuery& query, const Database& db);
+
+/// Parses and executes an SQL string.
+Result<Table> ExecuteSql(std::string_view sql, const Database& db);
+
+/// Returns the indices of the rows of `table` matched by `where`
+/// (nullptr matches everything).
+Result<std::vector<size_t>> FilterTable(const Table& table,
+                                        const Expr* where);
+
+}  // namespace autocat
+
+#endif  // AUTOCAT_EXEC_EXECUTOR_H_

@@ -1,0 +1,109 @@
+#include "exec/index_scan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/string_util.h"
+
+namespace autocat {
+
+std::vector<size_t> IndexScan(const SortedColumnIndex& index,
+                              const AttributeCondition& cond) {
+  if (cond.is_value_set()) {
+    std::vector<size_t> out;
+    for (const Value& v : cond.values) {
+      const std::vector<size_t> hits = index.Lookup(v);
+      out.insert(out.end(), hits.begin(), hits.end());
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+  }
+  const NumericRange& r = cond.range;
+  const Value lo = std::isfinite(r.lo) ? Value(r.lo) : Value();
+  const Value hi = std::isfinite(r.hi) ? Value(r.hi) : Value();
+  return index.RangeLookup(lo, r.lo_inclusive, hi, r.hi_inclusive);
+}
+
+Result<IndexedTable> IndexedTable::Build(
+    const Table* table, const std::vector<std::string>& columns) {
+  if (table == nullptr) {
+    return Status::InvalidArgument("table must not be null");
+  }
+  IndexedTable indexed;
+  indexed.table_ = table;
+  std::vector<std::string> targets = columns;
+  if (targets.empty()) {
+    for (size_t c = 0; c < table->schema().num_columns(); ++c) {
+      targets.push_back(table->schema().column(c).name);
+    }
+  }
+  for (const std::string& column : targets) {
+    AUTOCAT_ASSIGN_OR_RETURN(SortedColumnIndex index,
+                             SortedColumnIndex::Build(*table, column));
+    indexed.indexes_.emplace(ToLower(column), std::move(index));
+  }
+  return indexed;
+}
+
+bool IndexedTable::HasIndex(std::string_view column) const {
+  return indexes_.count(ToLower(column)) > 0;
+}
+
+std::vector<size_t> IndexedTable::Select(
+    const SelectionProfile& profile) const {
+  // Pick the indexed condition with the fewest matches as the driver.
+  const SortedColumnIndex* driver_index = nullptr;
+  const AttributeCondition* driver_cond = nullptr;
+  std::string driver_attr;
+  std::vector<size_t> driver_rows;
+  size_t best = std::numeric_limits<size_t>::max();
+  for (const auto& [attr, cond] : profile.conditions()) {
+    const auto it = indexes_.find(attr);
+    if (it == indexes_.end()) {
+      continue;
+    }
+    std::vector<size_t> rows = IndexScan(it->second, cond);
+    if (rows.size() < best) {
+      best = rows.size();
+      driver_index = &it->second;
+      driver_cond = &cond;
+      driver_attr = attr;
+      driver_rows = std::move(rows);
+    }
+  }
+  (void)driver_index;
+  (void)driver_cond;
+
+  if (driver_attr.empty()) {
+    // Nothing indexed: fall back to a scan.
+    return table_->FilterIndices([&](const Row& row) {
+      return profile.MatchesRow(row, table_->schema());
+    });
+  }
+  // Verify the remaining conditions on the driver's candidates.
+  std::vector<size_t> out;
+  out.reserve(driver_rows.size());
+  const Schema& schema = table_->schema();
+  for (size_t row_id : driver_rows) {
+    const Row& row = table_->row(row_id);
+    bool keep = true;
+    for (const auto& [attr, cond] : profile.conditions()) {
+      if (attr == driver_attr) {
+        continue;  // already satisfied by the index scan
+      }
+      const auto col = schema.ColumnIndex(attr);
+      if (!col.ok() || !cond.Matches(row[col.value()])) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) {
+      out.push_back(row_id);
+    }
+  }
+  return out;
+}
+
+}  // namespace autocat

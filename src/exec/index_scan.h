@@ -1,0 +1,50 @@
+#ifndef AUTOCAT_EXEC_INDEX_SCAN_H_
+#define AUTOCAT_EXEC_INDEX_SCAN_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/selection.h"
+#include "storage/index.h"
+#include "storage/table.h"
+
+namespace autocat {
+
+/// Row ids of `index`'s table matching a normalized attribute condition
+/// (value set -> one point lookup per value; numeric range -> one range
+/// scan). Ascending row order.
+std::vector<size_t> IndexScan(const SortedColumnIndex& index,
+                              const AttributeCondition& cond);
+
+/// A set of secondary indexes over one table, used to answer
+/// SelectionProfile queries faster than a full scan: the most selective
+/// indexed condition drives an index scan and the remaining conditions
+/// are verified per row.
+class IndexedTable {
+ public:
+  /// Builds indexes over `columns` of `table` (empty = every column).
+  /// The table is not owned and must outlive the IndexedTable; it must
+  /// not be appended to afterwards.
+  static Result<IndexedTable> Build(const Table* table,
+                                    const std::vector<std::string>& columns);
+
+  const Table& table() const { return *table_; }
+  bool HasIndex(std::string_view column) const;
+  size_t num_indexes() const { return indexes_.size(); }
+
+  /// Row ids matching `profile` (conjunctive semantics). Uses the indexed
+  /// condition with the fewest candidates as the driver when one exists,
+  /// otherwise falls back to a scan. Ascending row order; equals exactly
+  /// what a full scan with MatchesRow produces.
+  std::vector<size_t> Select(const SelectionProfile& profile) const;
+
+ private:
+  const Table* table_ = nullptr;
+  std::map<std::string, SortedColumnIndex> indexes_;  // keyed lowercase
+};
+
+}  // namespace autocat
+
+#endif  // AUTOCAT_EXEC_INDEX_SCAN_H_

@@ -1,0 +1,20 @@
+#ifndef AUTOCAT_EXEC_PREDICATE_H_
+#define AUTOCAT_EXEC_PREDICATE_H_
+
+#include "common/result.h"
+#include "sql/ast.h"
+#include "storage/table.h"
+
+namespace autocat {
+
+/// Evaluates a WHERE-clause expression against one row using SQL-like
+/// semantics: a comparison/IN/BETWEEN over a NULL cell is false (our
+/// boolean domain is two-valued; NULL propagates to "does not match"),
+/// `IS NULL` tests NULL-ness directly, and comparing a string cell with a
+/// numeric literal (or vice versa) is an error surfaced to the caller.
+Result<bool> EvaluatePredicate(const Expr& expr, const Row& row,
+                               const Schema& schema);
+
+}  // namespace autocat
+
+#endif  // AUTOCAT_EXEC_PREDICATE_H_

@@ -1,0 +1,92 @@
+#ifndef AUTOCAT_EXPLORE_EXPLORATION_H_
+#define AUTOCAT_EXPLORE_EXPLORATION_H_
+
+#include <string>
+
+#include "common/random.h"
+#include "core/category.h"
+#include "explore/trace.h"
+#include "sql/selection.h"
+
+namespace autocat {
+
+/// Which exploration model drives the simulated user (Section 3.2):
+/// `kAll` examines until every relevant tuple is found (Figure 2),
+/// `kOne` stops at the first relevant tuple (Figure 3).
+enum class Scenario {
+  kAll,
+  kOne,
+};
+
+std::string_view ScenarioToString(Scenario scenario);
+
+/// Measurements from one simulated exploration. `items_examined` is the
+/// paper's actual cost: every examined category label and every examined
+/// tuple counts one item (weighted by `label_cost` for labels).
+struct ExplorationResult {
+  double items_examined = 0;
+  size_t labels_examined = 0;
+  size_t tuples_examined = 0;
+  size_t relevant_found = 0;
+  size_t categories_explored = 0;
+  /// ONE scenario: whether the exploration found a relevant tuple at all.
+  bool found_any = false;
+};
+
+/// A deterministic (optionally noisy) user following the exploration
+/// models of Figures 2 and 3, driven by an interest profile:
+///
+/// * At a non-leaf category C she chooses SHOWCAT iff her profile has a
+///   selection condition on C's subcategorizing attribute (the presumption
+///   Section 4.2 builds Pw from), otherwise SHOWTUPLES.
+/// * Under SHOWCAT she examines subcategory labels in presentation order
+///   and explores exactly those whose label overlaps her condition on the
+///   label's attribute (a label on an unconstrained attribute is always
+///   explored — she cannot rule it out).
+/// * A tuple is relevant iff the profile matches the row.
+///
+/// This is precisely the synthetic-exploration semantics of Section 6.2
+/// ("drills down into those categories of T that satisfy the selection
+/// conditions in W and ignores the rest"). With `decision_noise > 0`, each
+/// explore/ignore and SHOWCAT/SHOWTUPLES choice is flipped with that
+/// probability (using `rng`), modeling the imperfect humans of the
+/// real-life study.
+class SimulatedExplorer {
+ public:
+  struct Options {
+    Scenario scenario = Scenario::kAll;
+    /// Weight of one label in `items_examined` (a tuple weighs 1).
+    double label_cost = 1.0;
+    /// Probability of flipping each binary decision; requires `rng`.
+    double decision_noise = 0;
+    /// Not owned; may be null when `decision_noise` is 0.
+    Random* rng = nullptr;
+    /// Optional event sink (not owned): when set, the explorer appends
+    /// the full click/expand/collapse stream — the log the paper's study
+    /// recorded (Section 6.3). See explore/trace.h.
+    std::vector<ExplorationEvent>* trace = nullptr;
+  };
+
+  explicit SimulatedExplorer(Options options);
+
+  /// Explores `tree` driven by `interest`, starting at the root.
+  ExplorationResult Explore(const CategoryTree& tree,
+                            const SelectionProfile& interest) const;
+
+ private:
+  bool MaybeFlip(bool decision) const;
+  void Record(ExplorationEvent::Kind kind, NodeId node,
+              size_t tuples_examined = 0, size_t relevant_found = 0) const;
+  void ExploreNode(const CategoryTree& tree, NodeId id,
+                   const SelectionProfile& interest,
+                   ExplorationResult* result) const;
+  void ExamineTuples(const CategoryTree& tree, NodeId id,
+                     const SelectionProfile& interest,
+                     ExplorationResult* result) const;
+
+  Options options_;
+};
+
+}  // namespace autocat
+
+#endif  // AUTOCAT_EXPLORE_EXPLORATION_H_

@@ -1,0 +1,51 @@
+#include "explore/metrics.h"
+
+#include <algorithm>
+
+namespace autocat {
+
+double FractionalCost(const ExplorationResult& result, size_t result_size) {
+  if (result_size == 0) {
+    return 0;
+  }
+  return result.items_examined / static_cast<double>(result_size);
+}
+
+double NormalizedCost(const ExplorationResult& result) {
+  const size_t denom = std::max<size_t>(1, result.relevant_found);
+  return result.items_examined / static_cast<double>(denom);
+}
+
+namespace {
+
+template <typename Fn>
+double MeanOf(const std::vector<ExplorationResult>& results, Fn fn) {
+  if (results.empty()) {
+    return 0;
+  }
+  double sum = 0;
+  for (const ExplorationResult& r : results) {
+    sum += fn(r);
+  }
+  return sum / static_cast<double>(results.size());
+}
+
+}  // namespace
+
+double MeanItemsExamined(const std::vector<ExplorationResult>& results) {
+  return MeanOf(results,
+                [](const ExplorationResult& r) { return r.items_examined; });
+}
+
+double MeanRelevantFound(const std::vector<ExplorationResult>& results) {
+  return MeanOf(results, [](const ExplorationResult& r) {
+    return static_cast<double>(r.relevant_found);
+  });
+}
+
+double MeanNormalizedCost(const std::vector<ExplorationResult>& results) {
+  return MeanOf(results,
+                [](const ExplorationResult& r) { return NormalizedCost(r); });
+}
+
+}  // namespace autocat

@@ -1,0 +1,27 @@
+#ifndef AUTOCAT_EXPLORE_METRICS_H_
+#define AUTOCAT_EXPLORE_METRICS_H_
+
+#include <vector>
+
+#include "explore/exploration.h"
+
+namespace autocat {
+
+/// CostAll(W,T) / |Result(Q_W)|: the fraction of the result set's size a
+/// user effectively examined (Figure 8's metric). Returns 0 for an empty
+/// result set.
+double FractionalCost(const ExplorationResult& result, size_t result_size);
+
+/// Items examined per relevant tuple found (Figure 11's normalized cost).
+/// When nothing relevant was found the exploration cost is returned
+/// unnormalized (denominator clamped to 1), keeping averages finite.
+double NormalizedCost(const ExplorationResult& result);
+
+/// Mean of a field across explorations; helpers for the study tables.
+double MeanItemsExamined(const std::vector<ExplorationResult>& results);
+double MeanRelevantFound(const std::vector<ExplorationResult>& results);
+double MeanNormalizedCost(const std::vector<ExplorationResult>& results);
+
+}  // namespace autocat
+
+#endif  // AUTOCAT_EXPLORE_METRICS_H_

@@ -1,0 +1,54 @@
+#include "explore/trace.h"
+
+namespace autocat {
+
+std::string FormatTrace(const CategoryTree& tree,
+                        const std::vector<ExplorationEvent>& events) {
+  std::string out;
+  auto label_of = [&](NodeId id) {
+    return tree.node(id).is_root() ? std::string("ALL")
+                                   : tree.node(id).label.ToString();
+  };
+  auto describe_explore = [&](const ExplorationEvent& event) {
+    if (event.kind == ExplorationEvent::Kind::kShowCat) {
+      return std::string("explore using SHOWCAT");
+    }
+    return "explore using SHOWTUPLES (" +
+           std::to_string(event.tuples_examined) + " tuples, " +
+           std::to_string(event.relevant_found) + " relevant)";
+  };
+
+  for (size_t i = 0; i < events.size(); ++i) {
+    const ExplorationEvent& event = events[i];
+    switch (event.kind) {
+      case ExplorationEvent::Kind::kExamineLabel: {
+        out += "examine \"" + label_of(event.node) + "\"";
+        // Merge the decision about the same node onto this line.
+        if (i + 1 < events.size() && events[i + 1].node == event.node) {
+          const ExplorationEvent& next = events[i + 1];
+          if (next.kind == ExplorationEvent::Kind::kIgnore) {
+            out += " -> ignore";
+            ++i;
+          } else if (next.kind == ExplorationEvent::Kind::kShowCat ||
+                     next.kind == ExplorationEvent::Kind::kShowTuples) {
+            out += " -> " + describe_explore(next);
+            ++i;
+          }
+        }
+        out += "\n";
+        break;
+      }
+      case ExplorationEvent::Kind::kIgnore:
+        out += "ignore \"" + label_of(event.node) + "\"\n";
+        break;
+      case ExplorationEvent::Kind::kShowCat:
+      case ExplorationEvent::Kind::kShowTuples:
+        out += "\"" + label_of(event.node) + "\": " +
+               describe_explore(event) + "\n";
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace autocat

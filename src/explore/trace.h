@@ -1,0 +1,41 @@
+#ifndef AUTOCAT_EXPLORE_TRACE_H_
+#define AUTOCAT_EXPLORE_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/category.h"
+
+namespace autocat {
+
+/// One step of an exploration, in the vocabulary of the paper's examples
+/// ("examine X and ignore it", "explore Y using SHOWTUPLES", ...). The
+/// paper's user study recorded exactly this event stream (the
+/// click/expand/collapse log of Section 6.3).
+struct ExplorationEvent {
+  enum class Kind {
+    kExamineLabel,   ///< Read the label of `node`.
+    kIgnore,         ///< Decided not to explore `node`.
+    kShowCat,        ///< Chose SHOWCAT at `node`.
+    kShowTuples,     ///< Chose SHOWTUPLES at `node`; `tuples_examined`
+                     ///< and `relevant_found` describe the scan.
+  };
+
+  Kind kind = Kind::kExamineLabel;
+  NodeId node = kRootNode;
+  size_t tuples_examined = 0;
+  size_t relevant_found = 0;
+};
+
+/// Renders a trace as the paper's narrative style, one step per line:
+///   explore ALL using SHOWCAT
+///   examine "Neighborhood: Redmond, Bellevue" -> explore (SHOWCAT)
+///   examine "Price: 200K-225K" -> ignore
+///   examine "Price: 225K-250K" -> explore (SHOWTUPLES: 20 tuples,
+///   20 relevant)
+std::string FormatTrace(const CategoryTree& tree,
+                        const std::vector<ExplorationEvent>& events);
+
+}  // namespace autocat
+
+#endif  // AUTOCAT_EXPLORE_TRACE_H_

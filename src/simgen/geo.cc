@@ -1,0 +1,264 @@
+#include "simgen/geo.h"
+
+#include "common/string_util.h"
+
+namespace autocat {
+
+namespace {
+
+Region MakeRegion(std::string name, std::string state,
+                  std::vector<std::string> neighborhoods,
+                  double price_center, double price_sigma,
+                  double popularity) {
+  Region region;
+  region.name = std::move(name);
+  region.state = std::move(state);
+  region.neighborhoods = std::move(neighborhoods);
+  region.price_center = price_center;
+  region.price_sigma = price_sigma;
+  region.popularity = popularity;
+  return region;
+}
+
+}  // namespace
+
+double NeighborhoodPriceMultiplier(size_t index, size_t count) {
+  if (count <= 1) {
+    return 1.0;
+  }
+  const double t = static_cast<double>(index) / static_cast<double>(count - 1);
+  return 1.3 - 0.55 * t;
+}
+
+Geography::Geography(std::vector<Region> regions)
+    : regions_(std::move(regions)) {}
+
+Geography Geography::UnitedStates() {
+  std::vector<Region> regions;
+  // The three regions the paper's tasks search. Price levels are tuned so
+  // the four tasks produce result sets of the same orders of magnitude as
+  // the paper's (Table 3): ~18K, ~2.6K, ~600, ~7K.
+  regions.push_back(MakeRegion(
+      "Seattle/Bellevue", "WA",
+      {"Bellevue",
+       "Redmond",
+       "Issaquah",
+       "Sammamish",
+       "Kirkland",
+       "Seattle - Capitol Hill",
+       "Seattle - Ballard",
+       "Seattle - Queen Anne",
+       "Seattle - Fremont",
+       "Seattle - Ravenna",
+       "Seattle - West Seattle",
+       "Seattle - Greenwood",
+       "Seattle - Magnolia",
+       "Seattle - Laurelhurst",
+       "Seattle - Madrona",
+       "Seattle - Beacon Hill",
+       "Seattle - Columbia City",
+       "Seattle - Wallingford",
+       "Seattle - Green Lake",
+       "Seattle - Phinney Ridge",
+       "Seattle - Montlake",
+       "Seattle - Madison Park",
+       "Seattle - Seward Park",
+       "Seattle - Northgate",
+       "Seattle - Lake City",
+       "Mercer Island",
+       "Renton",
+       "Bothell",
+       "Woodinville",
+       "Newcastle",
+       "Kenmore",
+       "Shoreline",
+       "Edmonds",
+       "Lynnwood",
+       "Burien",
+       "Des Moines WA",
+       "Kent",
+       "Federal Way",
+       "Auburn WA",
+       "Maple Valley",
+       "Covington",
+       "Snoqualmie",
+       "North Bend",
+       "Duvall",
+       "Mill Creek"},
+      340000, 0.45, 0.20));
+  regions.push_back(MakeRegion(
+      "Bay Area - Penin/SanJose", "CA",
+      {"Palo Alto",
+       "Menlo Park",
+       "Mountain View",
+       "Sunnyvale",
+       "Santa Clara",
+       "San Jose - Willow Glen",
+       "San Jose - Almaden",
+       "San Jose - Evergreen",
+       "San Jose - Berryessa",
+       "San Jose - Cambrian",
+       "San Jose - Rose Garden",
+       "San Jose - Japantown",
+       "San Jose - Alum Rock",
+       "San Jose - Blossom Valley",
+       "Cupertino",
+       "Los Altos",
+       "Los Altos Hills",
+       "Redwood City",
+       "San Mateo",
+       "Campbell",
+       "Saratoga",
+       "Milpitas",
+       "Los Gatos",
+       "Morgan Hill",
+       "Gilroy",
+       "Fremont CA",
+       "Newark CA",
+       "Union City",
+       "Foster City",
+       "Belmont",
+       "San Carlos",
+       "Burlingame",
+       "Millbrae",
+       "Atherton",
+       "Woodside",
+       "Portola Valley",
+       "East Palo Alto",
+       "Half Moon Bay"},
+      700000, 0.35, 0.14));
+  regions.push_back(MakeRegion(
+      "NYC - Manhattan, Bronx", "NY",
+      {"Upper East Side",
+       "Upper West Side",
+       "Chelsea",
+       "Tribeca",
+       "SoHo",
+       "Greenwich Village",
+       "Harlem",
+       "East Village",
+       "Midtown",
+       "Financial District",
+       "Murray Hill",
+       "Gramercy",
+       "NoHo",
+       "Nolita",
+       "Lower East Side",
+       "Chinatown",
+       "Hell's Kitchen",
+       "Morningside Heights",
+       "Hamilton Heights",
+       "Sugar Hill",
+       "Inwood",
+       "Washington Heights",
+       "Riverdale",
+       "Fordham",
+       "Pelham Bay",
+       "Morris Park",
+       "Throgs Neck",
+       "Kingsbridge",
+       "Mott Haven",
+       "City Island",
+       "Marble Hill",
+       "Norwood",
+       "Bedford Park",
+       "Hunts Point",
+       "Soundview",
+       "Castle Hill",
+       "Parkchester",
+       "Co-op City",
+       "Wakefield",
+       "Williamsbridge"},
+      1600000, 0.45, 0.05));
+  // Smaller metros filling out the national dataset.
+  regions.push_back(MakeRegion(
+      "Chicago", "IL",
+      {"Lincoln Park", "Lakeview", "Wicker Park", "Hyde Park",
+       "Logan Square", "Bucktown", "Evanston", "Oak Park", "Naperville",
+       "Schaumburg"},
+      280000, 0.45, 0.10));
+  regions.push_back(MakeRegion(
+      "Los Angeles", "CA",
+      {"Santa Monica", "Pasadena", "Silver Lake", "Venice", "Burbank",
+       "Glendale", "Culver City", "Sherman Oaks", "Long Beach", "Torrance"},
+      520000, 0.45, 0.10));
+  regions.push_back(MakeRegion(
+      "Boston", "MA",
+      {"Back Bay", "Beacon Hill", "Cambridge", "Somerville", "Brookline",
+       "Jamaica Plain", "South End", "Charlestown", "Newton", "Quincy"},
+      450000, 0.4, 0.07));
+  regions.push_back(MakeRegion(
+      "Austin", "TX",
+      {"Hyde Park Austin", "Zilker", "Tarrytown", "Mueller", "Round Rock",
+       "Cedar Park", "Pflugerville", "Westlake Hills"},
+      210000, 0.4, 0.05));
+  regions.push_back(MakeRegion(
+      "Denver", "CO",
+      {"Capitol Hill Denver", "Highlands", "Cherry Creek", "Washington Park",
+       "Aurora", "Lakewood", "Littleton", "Arvada"},
+      250000, 0.4, 0.04));
+  regions.push_back(MakeRegion(
+      "Atlanta", "GA",
+      {"Buckhead", "Midtown Atlanta", "Virginia-Highland", "Decatur",
+       "Sandy Springs", "Marietta", "Alpharetta", "East Atlanta"},
+      200000, 0.4, 0.04));
+  regions.push_back(MakeRegion(
+      "Phoenix", "AZ",
+      {"Arcadia", "Ahwatukee", "Scottsdale", "Tempe", "Chandler", "Mesa",
+       "Glendale AZ", "Peoria"},
+      180000, 0.35, 0.03));
+  regions.push_back(MakeRegion(
+      "Dallas", "TX",
+      {"Uptown Dallas", "Lakewood Dallas", "Oak Lawn", "Plano", "Frisco",
+       "Irving", "Richardson", "Garland"},
+      190000, 0.4, 0.03));
+  regions.push_back(MakeRegion(
+      "Portland", "OR",
+      {"Pearl District", "Hawthorne", "Alberta", "Sellwood", "Beaverton",
+       "Lake Oswego", "Gresham", "Hillsboro"},
+      240000, 0.4, 0.02));
+  regions.push_back(MakeRegion(
+      "Minneapolis", "MN",
+      {"Uptown Minneapolis", "Linden Hills", "Northeast Minneapolis",
+       "Edina", "St. Louis Park", "Bloomington", "Plymouth MN"},
+      220000, 0.35, 0.015));
+  regions.push_back(MakeRegion(
+      "Miami", "FL",
+      {"Coral Gables", "Coconut Grove", "Brickell", "Key Biscayne",
+       "Aventura", "Kendall", "Hialeah", "Doral"},
+      260000, 0.5, 0.01));
+  return Geography(std::move(regions));
+}
+
+Result<const Region*> Geography::FindRegion(std::string_view name) const {
+  for (const Region& region : regions_) {
+    if (EqualsIgnoreCase(region.name, name)) {
+      return &region;
+    }
+  }
+  return Status::NotFound("no region named '" + std::string(name) + "'");
+}
+
+Result<const Region*> Geography::RegionOfNeighborhood(
+    std::string_view neighborhood) const {
+  for (const Region& region : regions_) {
+    for (const std::string& n : region.neighborhoods) {
+      if (EqualsIgnoreCase(n, neighborhood)) {
+        return &region;
+      }
+    }
+  }
+  return Status::NotFound("no region contains neighborhood '" +
+                          std::string(neighborhood) + "'");
+}
+
+std::vector<std::string> Geography::AllNeighborhoods() const {
+  std::vector<std::string> out;
+  for (const Region& region : regions_) {
+    out.insert(out.end(), region.neighborhoods.begin(),
+               region.neighborhoods.end());
+  }
+  return out;
+}
+
+}  // namespace autocat

@@ -1,0 +1,65 @@
+#ifndef AUTOCAT_SIMGEN_GEO_H_
+#define AUTOCAT_SIMGEN_GEO_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace autocat {
+
+/// One metro region of the synthetic housing market. Regions drive both
+/// data generation (how many homes, at what price level) and query
+/// generation (buyers search within one region), and define the
+/// query-broadening of the simulated study ("expand the set of
+/// neighborhoods in W to all neighborhoods in the region").
+struct Region {
+  std::string name;                        ///< e.g. "Seattle/Bellevue"
+  std::string state;                       ///< e.g. "WA"
+  std::vector<std::string> neighborhoods;  ///< Unique across all regions.
+  /// Median price level of the region (dollars) and log-normal sigma.
+  double price_center = 350000;
+  double price_sigma = 0.45;
+  /// Relative share of listings and of buyer queries.
+  double popularity = 1.0;
+};
+
+/// Price multiplier of the i-th neighborhood of an n-neighborhood region:
+/// earlier-listed neighborhoods are the pricier ones, spanning roughly
+/// [0.75, 1.3] around the regional center. Shared by the data generator
+/// (homes in Palo Alto cost more) and the workload generator (buyers
+/// searching Palo Alto type higher price ranges) — this is the
+/// cross-attribute correlation the Section 5.2 refinement can exploit.
+double NeighborhoodPriceMultiplier(size_t index, size_t count);
+
+/// The region catalog. Neighborhood names are globally unique, so a
+/// neighborhood string identifies its region.
+class Geography {
+ public:
+  /// The built-in catalog: three large, hand-tuned regions
+  /// (Seattle/Bellevue, Bay Area - Penin/SanJose, NYC - Manhattan, Bronx —
+  /// the regions of the paper's tasks) plus a dozen smaller metros.
+  static Geography UnitedStates();
+
+  explicit Geography(std::vector<Region> regions);
+
+  const std::vector<Region>& regions() const { return regions_; }
+  size_t num_regions() const { return regions_.size(); }
+
+  Result<const Region*> FindRegion(std::string_view name) const;
+
+  /// Region owning the given neighborhood.
+  Result<const Region*> RegionOfNeighborhood(
+      std::string_view neighborhood) const;
+
+  /// All neighborhood names, across regions.
+  std::vector<std::string> AllNeighborhoods() const;
+
+ private:
+  std::vector<Region> regions_;
+};
+
+}  // namespace autocat
+
+#endif  // AUTOCAT_SIMGEN_GEO_H_

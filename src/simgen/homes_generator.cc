@@ -1,0 +1,133 @@
+#include "simgen/homes_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/random.h"
+
+namespace autocat {
+
+Result<Schema> HomesGenerator::ListPropertySchema() {
+  return Schema::Create({
+      ColumnDef("neighborhood", ValueType::kString, ColumnKind::kCategorical),
+      ColumnDef("city", ValueType::kString, ColumnKind::kCategorical),
+      ColumnDef("state", ValueType::kString, ColumnKind::kCategorical),
+      ColumnDef("zipcode", ValueType::kString, ColumnKind::kCategorical),
+      ColumnDef("price", ValueType::kInt64, ColumnKind::kNumeric),
+      ColumnDef("bedroomcount", ValueType::kInt64, ColumnKind::kNumeric),
+      ColumnDef("bathcount", ValueType::kInt64, ColumnKind::kNumeric),
+      ColumnDef("yearbuilt", ValueType::kInt64, ColumnKind::kNumeric),
+      ColumnDef("propertytype", ValueType::kString,
+                ColumnKind::kCategorical),
+      ColumnDef("squarefootage", ValueType::kInt64, ColumnKind::kNumeric),
+  });
+}
+
+namespace {
+
+// "Seattle - Ballard" -> "Seattle"; otherwise the neighborhood itself.
+std::string CityOf(const std::string& neighborhood) {
+  const size_t pos = neighborhood.find(" - ");
+  if (pos != std::string::npos) {
+    return neighborhood.substr(0, pos);
+  }
+  return neighborhood;
+}
+
+std::string ZipcodeOf(size_t region_idx, size_t neighborhood_idx) {
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), "%05zu",
+                10000 + region_idx * 487 + neighborhood_idx * 7);
+  return buf;
+}
+
+int64_t SampleBedrooms(Random& rng) {
+  static const std::vector<double> kWeights = {5,  15, 30,  28, 14,
+                                               5,  2,  0.7, 0.3};
+  return static_cast<int64_t>(rng.WeightedChoice(kWeights)) + 1;
+}
+
+std::string SamplePropertyType(Random& rng, bool urban) {
+  const std::vector<double> weights =
+      urban ? std::vector<double>{0.30, 0.55, 0.10, 0.05}
+            : std::vector<double>{0.58, 0.22, 0.13, 0.07};
+  static const char* kTypes[] = {"Single Family", "Condo", "Townhouse",
+                                 "Multi-Family"};
+  return kTypes[rng.WeightedChoice(weights)];
+}
+
+}  // namespace
+
+Result<Table> HomesGenerator::Generate() const {
+  AUTOCAT_ASSIGN_OR_RETURN(Schema schema, ListPropertySchema());
+  Table table(std::move(schema));
+  table.Reserve(config_.num_rows);
+  Random rng(config_.seed);
+
+  const std::vector<Region>& regions = geo_->regions();
+  std::vector<double> popularity;
+  popularity.reserve(regions.size());
+  for (const Region& region : regions) {
+    popularity.push_back(region.popularity);
+  }
+
+  for (size_t r = 0; r < config_.num_rows; ++r) {
+    const size_t region_idx = rng.WeightedChoice(popularity);
+    const Region& region = regions[region_idx];
+    const size_t nb_idx = rng.Zipf(region.neighborhoods.size(), 0.6);
+    const std::string& neighborhood = region.neighborhoods[nb_idx];
+    const bool urban = region.price_center >= 600000;
+
+    const int64_t bedrooms = SampleBedrooms(rng);
+    const std::string prop_type = SamplePropertyType(rng, urban);
+    const bool condo = prop_type == "Condo";
+
+    // Square footage follows bedrooms (condos smaller), with noise.
+    double sqft = 420.0 * static_cast<double>(bedrooms) +
+                  rng.Gaussian(350, 320);
+    if (condo) {
+      sqft *= 0.72;
+    }
+    sqft = std::clamp(sqft, 320.0, 9000.0);
+    const int64_t sqft_i = static_cast<int64_t>(std::round(sqft / 10) * 10);
+
+    // Price: regional log-normal scaled by neighborhood tier and by size.
+    const double size_factor = std::pow(
+        sqft / (420.0 * static_cast<double>(bedrooms) + 350.0), 0.35);
+    double price = region.price_center *
+                   NeighborhoodPriceMultiplier(
+                       nb_idx, region.neighborhoods.size()) *
+                   std::exp(rng.Gaussian(0, region.price_sigma)) *
+                   size_factor * (condo ? 0.82 : 1.0);
+    price = std::clamp(price, 40000.0, 8000000.0);
+    const int64_t price_i =
+        static_cast<int64_t>(std::round(price / 100) * 100);
+
+    int64_t baths = static_cast<int64_t>(
+        std::llround(0.62 * static_cast<double>(bedrooms) +
+                     rng.Gaussian(0.4, 0.5)));
+    baths = std::clamp<int64_t>(baths, 1, bedrooms + 1);
+
+    // Year built skews recent with a long tail back to 1900.
+    const double age = -25.0 * std::log(rng.UniformReal(1e-6, 1.0));
+    const int64_t year =
+        std::clamp<int64_t>(2004 - static_cast<int64_t>(age), 1900, 2004);
+
+    AUTOCAT_RETURN_IF_ERROR(table.AppendRow({
+        Value(neighborhood),
+        Value(CityOf(neighborhood)),
+        Value(region.state),
+        Value(ZipcodeOf(region_idx, nb_idx)),
+        Value(price_i),
+        Value(bedrooms),
+        Value(baths),
+        Value(year),
+        Value(prop_type),
+        Value(sqft_i),
+    }));
+  }
+  return table;
+}
+
+}  // namespace autocat

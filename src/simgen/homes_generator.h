@@ -1,0 +1,46 @@
+#ifndef AUTOCAT_SIMGEN_HOMES_GENERATOR_H_
+#define AUTOCAT_SIMGEN_HOMES_GENERATOR_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "simgen/geo.h"
+#include "storage/table.h"
+
+namespace autocat {
+
+/// Configuration of the synthetic `ListProperty` table.
+struct HomesGeneratorConfig {
+  size_t num_rows = 120000;
+  uint64_t seed = 20040613;  // SIGMOD 2004 opening day
+};
+
+/// Generates the stand-in for the paper's MSN House&Home `ListProperty`
+/// relation: one row per home for sale with the attributes the paper
+/// lists — neighborhood, city, state, zipcode, price, bedroomcount,
+/// bathcount, yearbuilt, propertytype, squarefootage — all non-NULL, with
+/// realistic correlations (price follows a per-region log-normal scaled by
+/// a per-neighborhood multiplier and by size; square footage follows
+/// bedrooms; bathrooms follow bedrooms; condos skew small and urban).
+class HomesGenerator {
+ public:
+  /// `geo` is not owned and must outlive the generator.
+  HomesGenerator(const Geography* geo, HomesGeneratorConfig config)
+      : geo_(geo), config_(config) {}
+
+  /// The ListProperty schema. Neighborhood/city/state/zipcode/propertytype
+  /// are categorical; price/bedroomcount/bathcount/yearbuilt/squarefootage
+  /// are numeric.
+  static Result<Schema> ListPropertySchema();
+
+  /// Generates the table deterministically from the seed.
+  Result<Table> Generate() const;
+
+ private:
+  const Geography* geo_;
+  HomesGeneratorConfig config_;
+};
+
+}  // namespace autocat
+
+#endif  // AUTOCAT_SIMGEN_HOMES_GENERATOR_H_

@@ -1,0 +1,246 @@
+#include "simgen/user_simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <set>
+
+#include "common/random.h"
+
+namespace autocat {
+
+namespace {
+
+AttributeCondition NeighborhoodsOf(const Region& region) {
+  std::set<Value> values;
+  for (const std::string& n : region.neighborhoods) {
+    values.insert(Value(n));
+  }
+  return AttributeCondition::ValueSet(std::move(values));
+}
+
+NumericRange PriceBelow(double cap) {
+  NumericRange range;
+  range.hi = cap;
+  range.hi_inclusive = false;
+  return range;
+}
+
+NumericRange ClosedRange(double lo, double hi) {
+  NumericRange range;
+  range.lo = lo;
+  range.hi = hi;
+  return range;
+}
+
+}  // namespace
+
+Result<std::vector<StudyTask>> PaperStudyTasks(const Geography& geo) {
+  AUTOCAT_ASSIGN_OR_RETURN(const Region* seattle,
+                           geo.FindRegion("Seattle/Bellevue"));
+  AUTOCAT_ASSIGN_OR_RETURN(const Region* bay_area,
+                           geo.FindRegion("Bay Area - Penin/SanJose"));
+  AUTOCAT_ASSIGN_OR_RETURN(const Region* nyc,
+                           geo.FindRegion("NYC - Manhattan, Bronx"));
+
+  std::vector<StudyTask> tasks;
+
+  {
+    StudyTask task;
+    task.id = "Task 1";
+    task.description =
+        "Any neighborhood in Seattle/Bellevue, Price < 1 Million";
+    task.query.Set("neighborhood", NeighborhoodsOf(*seattle));
+    task.query.Set("price", AttributeCondition::Range(PriceBelow(1e6)));
+    tasks.push_back(std::move(task));
+  }
+  {
+    StudyTask task;
+    task.id = "Task 2";
+    task.description =
+        "Any neighborhood in Bay Area - Penin/SanJose, Price between 300K "
+        "and 500K";
+    task.query.Set("neighborhood", NeighborhoodsOf(*bay_area));
+    task.query.Set("price",
+                   AttributeCondition::Range(ClosedRange(3e5, 5e5)));
+    tasks.push_back(std::move(task));
+  }
+  {
+    StudyTask task;
+    task.id = "Task 3";
+    task.description =
+        "15 selected neighborhoods in NYC - Manhattan, Bronx, Price < 1 "
+        "Million";
+    if (nyc->neighborhoods.size() < 15) {
+      return Status::Internal("NYC region needs at least 15 neighborhoods");
+    }
+    std::set<Value> selected;
+    for (size_t i = 0; i < 15; ++i) {
+      selected.insert(Value(nyc->neighborhoods[i]));
+    }
+    task.query.Set("neighborhood",
+                   AttributeCondition::ValueSet(std::move(selected)));
+    task.query.Set("price", AttributeCondition::Range(PriceBelow(1e6)));
+    tasks.push_back(std::move(task));
+  }
+  {
+    StudyTask task;
+    task.id = "Task 4";
+    task.description =
+        "Any neighborhood in Seattle/Bellevue, Price between 200K and "
+        "400K, BedroomCount between 3 and 4";
+    task.query.Set("neighborhood", NeighborhoodsOf(*seattle));
+    task.query.Set("price",
+                   AttributeCondition::Range(ClosedRange(2e5, 4e5)));
+    task.query.Set("bedroomcount",
+                   AttributeCondition::Range(ClosedRange(3, 4)));
+    tasks.push_back(std::move(task));
+  }
+  return tasks;
+}
+
+std::vector<Persona> DefaultPersonas() {
+  // Noise levels chosen so per-user correlations span the paper's Table 2
+  // spread (mostly strong, a couple weak, one erratic). A single flipped
+  // decision near the root changes hundreds of items, so even small rates
+  // inject substantial run-to-run spread.
+  const double kNoise[] = {0.02,  0.01, 0.04, 0.06, 0.03, 0.08,
+                           0.005, 0.12, 0.30, 0.05, 0.015};
+  std::vector<Persona> personas;
+  for (size_t i = 0; i < 11; ++i) {
+    Persona persona;
+    persona.name = "U" + std::to_string(i + 1);
+    persona.decision_noise = kNoise[i];
+    persona.seed = 0x9E3779B97F4A7C15ULL * (i + 1);
+    personas.push_back(std::move(persona));
+  }
+  return personas;
+}
+
+Result<SelectionProfile> PersonaInterest(const StudyTask& task,
+                                         const Persona& persona,
+                                         const Geography& geo) {
+  Random rng(persona.seed ^ std::hash<std::string>()(task.id));
+  SelectionProfile interest;
+
+  // Neighborhoods: the subject truly cares about a few of the task's,
+  // with the same popularity skew the query log shows (subjects are drawn
+  // from the population whose searches the workload records), so popular
+  // neighborhoods are preferred.
+  const AttributeCondition* nb = task.query.Find("neighborhood");
+  if (nb == nullptr || !nb->is_value_set() || nb->values.empty()) {
+    return Status::InvalidArgument("task query must name neighborhoods");
+  }
+  AUTOCAT_ASSIGN_OR_RETURN(
+      const Region* region,
+      geo.RegionOfNeighborhood(nb->values.begin()->ToString()));
+  // The task pool in the region's (popularity-ordered) listing order.
+  std::vector<Value> pool;
+  for (const std::string& name : region->neighborhoods) {
+    if (nb->values.count(Value(name)) > 0) {
+      pool.push_back(Value(name));
+    }
+  }
+  if (pool.empty()) {
+    pool.assign(nb->values.begin(), nb->values.end());
+  }
+  const size_t picks = static_cast<size_t>(
+      rng.Uniform(2, std::min<int64_t>(4, static_cast<int64_t>(pool.size()))));
+  std::set<Value> chosen;
+  while (chosen.size() < std::min(picks, pool.size())) {
+    chosen.insert(pool[rng.Zipf(pool.size(), 0.6)]);
+  }
+  // Mean price tier of the chosen neighborhoods (region listing order is
+  // price order): like the workload's buyers, the subject's budget tracks
+  // where she wants to live.
+  double tier = 0;
+  for (const Value& v : chosen) {
+    for (size_t i = 0; i < region->neighborhoods.size(); ++i) {
+      if (region->neighborhoods[i] == v.ToString()) {
+        tier += NeighborhoodPriceMultiplier(i,
+                                            region->neighborhoods.size());
+        break;
+      }
+    }
+  }
+  tier /= static_cast<double>(chosen.size());
+  interest.Set("neighborhood",
+               AttributeCondition::ValueSet(std::move(chosen)));
+
+  // Price: a sub-band of the task's price window. True interest bands sit
+  // on a finer 5K grid than the round 25K/50K numbers typed into search
+  // forms — a subject is happy with a 230K-285K home even if her logged
+  // queries said 225K-300K.
+  const AttributeCondition* price = task.query.Find("price");
+  double lo = 75000;
+  double hi = 1.5e6;
+  if (price != nullptr && price->is_range()) {
+    if (std::isfinite(price->range.lo)) lo = price->range.lo;
+    if (std::isfinite(price->range.hi)) hi = price->range.hi;
+  }
+  const double span = hi - lo;
+  const double band = std::max(50000.0, span * rng.UniformReal(0.25, 0.5));
+  // Center the band on what her neighborhoods cost (clamped into the task
+  // window), with personal spread.
+  const double anchor =
+      std::clamp(region->price_center * tier *
+                     std::exp(rng.Gaussian(0, 0.2)),
+                 lo + band / 2, std::max(lo + band / 2, hi - band / 2));
+  const double start = anchor - band / 2;
+  const double band_lo = std::max(lo, std::floor(start / 5000) * 5000);
+  const double band_hi =
+      std::min(hi, std::ceil((start + band) / 5000) * 5000);
+  interest.Set("price", AttributeCondition::Range(
+                            ClosedRange(band_lo, band_hi)));
+
+  // The remaining preferences follow the same per-attribute propensities
+  // as the query log (the paper's premise: individual users conform to
+  // the aggregate behaviour the workload captures) — otherwise the cost
+  // model would systematically bet on attributes no subject cares about.
+
+  // Bedrooms: keep the task's constraint if any; otherwise often have one.
+  const AttributeCondition* beds = task.query.Find("bedroomcount");
+  if (beds != nullptr) {
+    interest.Set("bedroomcount", *beds);
+  } else if (rng.Bernoulli(0.7)) {
+    const int64_t b = rng.Uniform(2, 4);
+    interest.Set("bedroomcount", AttributeCondition::Range(ClosedRange(
+                                     static_cast<double>(b),
+                                     static_cast<double>(b + 1))));
+  }
+
+  if (rng.Bernoulli(0.5)) {
+    const int64_t b = rng.Uniform(1, 3);
+    interest.Set("bathcount", AttributeCondition::Range(ClosedRange(
+                                  static_cast<double>(b),
+                                  static_cast<double>(b + 1))));
+  }
+
+  if (rng.Bernoulli(0.52)) {
+    const double lo = 500.0 * static_cast<double>(rng.Uniform(1, 4));
+    const double span = 500.0 * static_cast<double>(rng.Uniform(2, 4));
+    interest.Set("squarefootage",
+                 AttributeCondition::Range(ClosedRange(lo, lo + span)));
+  }
+
+  if (rng.Bernoulli(0.25)) {
+    const double year = 1950 + 5 * static_cast<double>(rng.Uniform(0, 9));
+    NumericRange newer;
+    newer.lo = year;
+    interest.Set("yearbuilt", AttributeCondition::Range(newer));
+  }
+
+  // Sometimes a property-type preference.
+  if (rng.Bernoulli(0.48)) {
+    static const char* kTypes[] = {"Single Family", "Condo", "Townhouse"};
+    std::set<Value> types = {Value(kTypes[rng.Uniform(0, 2)])};
+    if (rng.Bernoulli(0.3)) {
+      types.insert(Value(kTypes[rng.Uniform(0, 2)]));
+    }
+    interest.Set("propertytype",
+                 AttributeCondition::ValueSet(std::move(types)));
+  }
+  return interest;
+}
+
+}  // namespace autocat

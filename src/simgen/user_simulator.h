@@ -1,0 +1,57 @@
+#ifndef AUTOCAT_SIMGEN_USER_SIMULATOR_H_
+#define AUTOCAT_SIMGEN_USER_SIMULATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "simgen/geo.h"
+#include "sql/selection.h"
+
+namespace autocat {
+
+/// One of the four search tasks of the paper's real-life user study
+/// (Section 6.3), expressed as the broad query the subject starts from.
+struct StudyTask {
+  std::string id;           ///< "Task 1" .. "Task 4".
+  std::string description;  ///< The paper's wording.
+  SelectionProfile query;   ///< The query whose result is categorized.
+};
+
+/// The paper's four tasks:
+///  1. Any neighborhood in Seattle/Bellevue, price < 1M
+///  2. Bay Area - Penin/SanJose, price 300K-500K
+///  3. 15 selected neighborhoods in NYC - Manhattan, Bronx, price < 1M
+///  4. Seattle/Bellevue, price 200K-400K, bedrooms 3-4
+Result<std::vector<StudyTask>> PaperStudyTasks(const Geography& geo);
+
+/// A simulated study subject. `decision_noise` is the probability of
+/// deviating from the ideal exploration model at each binary choice —
+/// real subjects mis-click, skim labels, and satisfice, which is why the
+/// paper's per-user correlations (Table 2) range from ~1.0 down to
+/// negative.
+struct Persona {
+  std::string name;
+  double decision_noise = 0.05;
+  uint64_t seed = 0;
+};
+
+/// Eleven personas mirroring the paper's 11 subjects: most follow the
+/// model closely (noise 2-12%), one is erratic (35%, playing the role of
+/// the paper's U9 whose correlation came out negative).
+std::vector<Persona> DefaultPersonas();
+
+/// The hidden ground-truth interest of `persona` performing `task`: a
+/// narrowing of the task query (a couple of preferred neighborhoods, a
+/// tighter price band, and sometimes bedroom/property-type preferences).
+/// Deterministic in (persona.seed, task.id). This one profile drives both
+/// the subject's drill-down decisions and which tuples count as relevant
+/// ("interesting homes").
+Result<SelectionProfile> PersonaInterest(const StudyTask& task,
+                                         const Persona& persona,
+                                         const Geography& geo);
+
+}  // namespace autocat
+
+#endif  // AUTOCAT_SIMGEN_USER_SIMULATOR_H_

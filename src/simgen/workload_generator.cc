@@ -1,0 +1,228 @@
+#include "simgen/workload_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace autocat {
+
+namespace {
+
+// Rounds to a multiple of `granularity` (down or up).
+double RoundDown(double x, double granularity) {
+  return std::floor(x / granularity) * granularity;
+}
+double RoundUp(double x, double granularity) {
+  return std::ceil(x / granularity) * granularity;
+}
+
+// Picks 1-5 distinct neighborhood indices, Zipf-skewed toward the
+// popular (early) ones.
+std::vector<size_t> PickNeighborhoods(const Region& region, Random& rng) {
+  const size_t max_picks =
+      std::min<size_t>(5, region.neighborhoods.size());
+  const size_t count = static_cast<size_t>(rng.Uniform(
+      1, static_cast<int64_t>(max_picks)));
+  std::set<size_t> picked;
+  while (picked.size() < count) {
+    picked.insert(rng.Zipf(region.neighborhoods.size(), 0.6));
+  }
+  return std::vector<size_t>(picked.begin(), picked.end());
+}
+
+// Mean price tier of the picked neighborhoods (1.0 when none picked):
+// buyers searching pricier neighborhoods type higher price ranges — the
+// cross-attribute correlation in the log.
+double NeighborhoodTier(const Region& region,
+                        const std::vector<size_t>& picked) {
+  if (picked.empty()) {
+    return 1.0;
+  }
+  double sum = 0;
+  for (size_t idx : picked) {
+    sum += NeighborhoodPriceMultiplier(idx, region.neighborhoods.size());
+  }
+  return sum / static_cast<double>(picked.size());
+}
+
+std::string NeighborhoodCondition(const Region& region,
+                                  const std::vector<size_t>& picked) {
+  // std::set order = index order; render by name for stable SQL.
+  std::set<std::string> names;
+  for (size_t idx : picked) {
+    names.insert(region.neighborhoods[idx]);
+  }
+  std::string cond = "neighborhood IN (";
+  bool first = true;
+  for (const std::string& n : names) {
+    if (!first) {
+      cond += ", ";
+    }
+    first = false;
+    cond += Value(n).ToSqlLiteral();
+  }
+  cond += ")";
+  return cond;
+}
+
+std::string PriceCondition(const Region& region, double tier, Random& rng) {
+  // Buyers anchor around what their target neighborhoods cost, with
+  // personal spread, and use round numbers: mostly 25K granularity,
+  // sometimes 50K or 100K.
+  static const std::vector<double> kGranularityWeights = {0.6, 0.3, 0.1};
+  static const double kGranularities[] = {25000, 50000, 100000};
+  const double granularity =
+      kGranularities[rng.WeightedChoice(kGranularityWeights)];
+  const double center =
+      region.price_center * tier * std::exp(rng.Gaussian(0, 0.25));
+  if (rng.Bernoulli(0.15)) {
+    // Budget-capped search: "price <= X".
+    const double cap = std::max(granularity, RoundUp(center * 1.2,
+                                                     granularity));
+    return "price <= " + Value(cap).ToString();
+  }
+  double lo = std::max(0.0, RoundDown(center * 0.72, granularity));
+  double hi = RoundUp(center * 1.28, granularity);
+  if (hi <= lo) {
+    hi = lo + granularity;
+  }
+  return "price BETWEEN " + Value(lo).ToString() + " AND " +
+         Value(hi).ToString();
+}
+
+std::string BedroomsCondition(Random& rng) {
+  static const std::vector<double> kBaseWeights = {10, 25, 35, 20, 10};
+  static const std::vector<double> kSpanWeights = {35, 45, 20};
+  const int64_t lo = static_cast<int64_t>(rng.WeightedChoice(kBaseWeights)) + 1;
+  const int64_t span = static_cast<int64_t>(rng.WeightedChoice(kSpanWeights));
+  return "bedroomcount BETWEEN " + std::to_string(lo) + " AND " +
+         std::to_string(lo + span);
+}
+
+std::string BathsCondition(Random& rng) {
+  static const std::vector<double> kBaseWeights = {30, 40, 20, 10};
+  const int64_t lo = static_cast<int64_t>(rng.WeightedChoice(kBaseWeights)) + 1;
+  const int64_t span = rng.Bernoulli(0.5) ? 1 : 0;
+  return "bathcount BETWEEN " + std::to_string(lo) + " AND " +
+         std::to_string(lo + span);
+}
+
+std::string SqftCondition(Random& rng) {
+  const double lo = 500.0 * static_cast<double>(rng.Uniform(1, 5));
+  static const std::vector<double> kSpanWeights = {40, 40, 20};
+  const double span =
+      500.0 * static_cast<double>(rng.WeightedChoice(kSpanWeights) + 1);
+  return "squarefootage BETWEEN " + Value(lo).ToString() + " AND " +
+         Value(lo + span).ToString();
+}
+
+std::string YearBuiltCondition(Random& rng) {
+  const int64_t year = 1950 + 5 * rng.Uniform(0, 10);
+  if (rng.Bernoulli(0.6)) {
+    return "yearbuilt >= " + std::to_string(year);
+  }
+  const int64_t hi = std::min<int64_t>(2004, year + 5 * rng.Uniform(2, 6));
+  return "yearbuilt BETWEEN " + std::to_string(year) + " AND " +
+         std::to_string(hi);
+}
+
+std::string PropertyTypeCondition(Random& rng) {
+  static const char* kTypes[] = {"Single Family", "Condo", "Townhouse",
+                                 "Multi-Family"};
+  static const std::vector<double> kWeights = {50, 30, 12, 8};
+  const size_t first = rng.WeightedChoice(kWeights);
+  std::set<std::string> picked = {kTypes[first]};
+  if (rng.Bernoulli(0.25)) {
+    picked.insert(kTypes[rng.WeightedChoice(kWeights)]);
+  }
+  if (picked.size() == 1) {
+    return std::string("propertytype = ") +
+           Value(*picked.begin()).ToSqlLiteral();
+  }
+  std::string cond = "propertytype IN (";
+  bool first_item = true;
+  for (const std::string& t : picked) {
+    if (!first_item) {
+      cond += ", ";
+    }
+    first_item = false;
+    cond += Value(t).ToSqlLiteral();
+  }
+  cond += ")";
+  return cond;
+}
+
+}  // namespace
+
+std::vector<std::string> WorkloadGenerator::GenerateSql() const {
+  Random rng(config_.seed);
+  const std::vector<Region>& regions = geo_->regions();
+  std::vector<double> popularity;
+  popularity.reserve(regions.size());
+  for (const Region& region : regions) {
+    popularity.push_back(region.popularity);
+  }
+
+  std::vector<std::string> queries;
+  queries.reserve(config_.num_queries);
+  for (size_t q = 0; q < config_.num_queries; ++q) {
+    const Region& region = regions[rng.WeightedChoice(popularity)];
+    std::vector<std::string> conditions;
+    double tier = 1.0;
+    if (rng.Bernoulli(config_.p_neighborhood)) {
+      const std::vector<size_t> picked = PickNeighborhoods(region, rng);
+      tier = NeighborhoodTier(region, picked);
+      conditions.push_back(NeighborhoodCondition(region, picked));
+    }
+    if (rng.Bernoulli(config_.p_bedrooms)) {
+      conditions.push_back(BedroomsCondition(rng));
+    }
+    if (rng.Bernoulli(config_.p_price)) {
+      conditions.push_back(PriceCondition(region, tier, rng));
+    }
+    if (rng.Bernoulli(config_.p_sqft)) {
+      conditions.push_back(SqftCondition(rng));
+    }
+    if (rng.Bernoulli(config_.p_bathcount)) {
+      conditions.push_back(BathsCondition(rng));
+    }
+    if (rng.Bernoulli(config_.p_propertytype)) {
+      conditions.push_back(PropertyTypeCondition(rng));
+    }
+    if (rng.Bernoulli(config_.p_yearbuilt)) {
+      conditions.push_back(YearBuiltCondition(rng));
+    }
+    if (conditions.empty()) {
+      // Every logged search filtered on something; default to location.
+      conditions.push_back(
+          NeighborhoodCondition(region, PickNeighborhoods(region, rng)));
+    }
+    rng.Shuffle(conditions);
+    queries.push_back("SELECT * FROM ListProperty WHERE " +
+                      Join(conditions, " AND "));
+  }
+  return queries;
+}
+
+Result<Workload> WorkloadGenerator::Generate(
+    const Schema& schema, WorkloadParseReport* report) const {
+  const std::vector<std::string> sqls = GenerateSql();
+  WorkloadParseReport local_report;
+  Workload workload =
+      Workload::Parse(sqls, schema, report ? report : &local_report);
+  const WorkloadParseReport& used = report ? *report : local_report;
+  if (used.parsed != used.total) {
+    return Status::Internal(
+        "generated workload failed to round-trip: " +
+        std::to_string(used.total - used.parsed) + " of " +
+        std::to_string(used.total) + " queries rejected" +
+        (used.sample_errors.empty() ? ""
+                                    : "; first: " + used.sample_errors[0]));
+  }
+  return workload;
+}
+
+}  // namespace autocat

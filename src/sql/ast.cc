@@ -1,0 +1,111 @@
+#include "sql/ast.h"
+
+#include "common/string_util.h"
+
+namespace autocat {
+
+std::string_view ComparisonOpToString(ComparisonOp op) {
+  switch (op) {
+    case ComparisonOp::kEq: return "=";
+    case ComparisonOp::kNotEq: return "<>";
+    case ComparisonOp::kLess: return "<";
+    case ComparisonOp::kLessEq: return "<=";
+    case ComparisonOp::kGreater: return ">";
+    case ComparisonOp::kGreaterEq: return ">=";
+  }
+  return "?";
+}
+
+std::string ComparisonExpr::ToSql() const {
+  return column_ + " " + std::string(ComparisonOpToString(op_)) + " " +
+         literal_.ToSqlLiteral();
+}
+
+std::string InListExpr::ToSql() const {
+  std::string out = column_;
+  if (negated_) {
+    out += " NOT";
+  }
+  out += " IN (";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) {
+      out += ", ";
+    }
+    out += values_[i].ToSqlLiteral();
+  }
+  out += ")";
+  return out;
+}
+
+std::string BetweenExpr::ToSql() const {
+  std::string out = column_;
+  if (negated_) {
+    out += " NOT";
+  }
+  out += " BETWEEN " + lo_.ToSqlLiteral() + " AND " + hi_.ToSqlLiteral();
+  return out;
+}
+
+std::string IsNullExpr::ToSql() const {
+  return column_ + (negated_ ? " IS NOT NULL" : " IS NULL");
+}
+
+std::string LogicalExpr::ToSql() const {
+  const std::string_view joiner = (op_ == Op::kAnd) ? " AND " : " OR ";
+  std::string out;
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (i > 0) {
+      out += joiner;
+    }
+    const Expr& child = *children_[i];
+    // Parenthesize nested logical expressions to preserve precedence.
+    const bool parenthesize = child.kind() == ExprKind::kLogical;
+    if (parenthesize) {
+      out += '(';
+    }
+    out += child.ToSql();
+    if (parenthesize) {
+      out += ')';
+    }
+  }
+  return out;
+}
+
+std::unique_ptr<Expr> LogicalExpr::Clone() const {
+  std::vector<std::unique_ptr<Expr>> cloned;
+  cloned.reserve(children_.size());
+  for (const auto& child : children_) {
+    cloned.push_back(child->Clone());
+  }
+  return std::make_unique<LogicalExpr>(op_, std::move(cloned));
+}
+
+SelectQuery::SelectQuery(const SelectQuery& other)
+    : columns(other.columns),
+      table_name(other.table_name),
+      where(other.where ? other.where->Clone() : nullptr) {}
+
+SelectQuery& SelectQuery::operator=(const SelectQuery& other) {
+  if (this != &other) {
+    columns = other.columns;
+    table_name = other.table_name;
+    where = other.where ? other.where->Clone() : nullptr;
+  }
+  return *this;
+}
+
+std::string SelectQuery::ToSql() const {
+  std::string out = "SELECT ";
+  if (select_all()) {
+    out += "*";
+  } else {
+    out += Join(columns, ", ");
+  }
+  out += " FROM " + table_name;
+  if (where != nullptr) {
+    out += " WHERE " + where->ToSql();
+  }
+  return out;
+}
+
+}  // namespace autocat

@@ -1,0 +1,187 @@
+#ifndef AUTOCAT_SQL_AST_H_
+#define AUTOCAT_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace autocat {
+
+/// Expression node kinds (see subclasses below).
+enum class ExprKind {
+  kComparison,
+  kInList,
+  kBetween,
+  kIsNull,
+  kLogical,
+};
+
+/// Comparison operators for `column OP literal` predicates.
+enum class ComparisonOp {
+  kEq,
+  kNotEq,
+  kLess,
+  kLessEq,
+  kGreater,
+  kGreaterEq,
+};
+
+std::string_view ComparisonOpToString(ComparisonOp op);
+
+/// Base class of the WHERE-clause expression tree.
+///
+/// The grammar is deliberately the paper's: predicates compare a column
+/// against literals (`price <= 300000`, `neighborhood IN ('Bellevue')`,
+/// `price BETWEEN 200000 AND 300000`, `sqft IS NOT NULL`), combined with
+/// AND/OR. This matches the selection queries of a star-schema workload
+/// (Section 4.2, footnote 6).
+class Expr {
+ public:
+  virtual ~Expr() = default;
+  virtual ExprKind kind() const = 0;
+  /// Unparses the expression back to SQL text.
+  virtual std::string ToSql() const = 0;
+  /// Deep copy.
+  virtual std::unique_ptr<Expr> Clone() const = 0;
+};
+
+/// `column OP literal`.
+class ComparisonExpr final : public Expr {
+ public:
+  ComparisonExpr(std::string column, ComparisonOp op, Value literal)
+      : column_(std::move(column)), op_(op), literal_(std::move(literal)) {}
+
+  ExprKind kind() const override { return ExprKind::kComparison; }
+  std::string ToSql() const override;
+  std::unique_ptr<Expr> Clone() const override {
+    return std::make_unique<ComparisonExpr>(column_, op_, literal_);
+  }
+
+  const std::string& column() const { return column_; }
+  ComparisonOp op() const { return op_; }
+  const Value& literal() const { return literal_; }
+
+ private:
+  std::string column_;
+  ComparisonOp op_;
+  Value literal_;
+};
+
+/// `column [NOT] IN (v1, v2, ...)`.
+class InListExpr final : public Expr {
+ public:
+  InListExpr(std::string column, std::vector<Value> values, bool negated)
+      : column_(std::move(column)),
+        values_(std::move(values)),
+        negated_(negated) {}
+
+  ExprKind kind() const override { return ExprKind::kInList; }
+  std::string ToSql() const override;
+  std::unique_ptr<Expr> Clone() const override {
+    return std::make_unique<InListExpr>(column_, values_, negated_);
+  }
+
+  const std::string& column() const { return column_; }
+  const std::vector<Value>& values() const { return values_; }
+  bool negated() const { return negated_; }
+
+ private:
+  std::string column_;
+  std::vector<Value> values_;
+  bool negated_;
+};
+
+/// `column [NOT] BETWEEN lo AND hi` (inclusive on both ends, as in SQL).
+class BetweenExpr final : public Expr {
+ public:
+  BetweenExpr(std::string column, Value lo, Value hi, bool negated)
+      : column_(std::move(column)),
+        lo_(std::move(lo)),
+        hi_(std::move(hi)),
+        negated_(negated) {}
+
+  ExprKind kind() const override { return ExprKind::kBetween; }
+  std::string ToSql() const override;
+  std::unique_ptr<Expr> Clone() const override {
+    return std::make_unique<BetweenExpr>(column_, lo_, hi_, negated_);
+  }
+
+  const std::string& column() const { return column_; }
+  const Value& lo() const { return lo_; }
+  const Value& hi() const { return hi_; }
+  bool negated() const { return negated_; }
+
+ private:
+  std::string column_;
+  Value lo_;
+  Value hi_;
+  bool negated_;
+};
+
+/// `column IS [NOT] NULL`.
+class IsNullExpr final : public Expr {
+ public:
+  IsNullExpr(std::string column, bool negated)
+      : column_(std::move(column)), negated_(negated) {}
+
+  ExprKind kind() const override { return ExprKind::kIsNull; }
+  std::string ToSql() const override;
+  std::unique_ptr<Expr> Clone() const override {
+    return std::make_unique<IsNullExpr>(column_, negated_);
+  }
+
+  const std::string& column() const { return column_; }
+  bool negated() const { return negated_; }
+
+ private:
+  std::string column_;
+  bool negated_;
+};
+
+/// AND/OR over two or more children.
+class LogicalExpr final : public Expr {
+ public:
+  enum class Op { kAnd, kOr };
+
+  LogicalExpr(Op op, std::vector<std::unique_ptr<Expr>> children)
+      : op_(op), children_(std::move(children)) {}
+
+  ExprKind kind() const override { return ExprKind::kLogical; }
+  std::string ToSql() const override;
+  std::unique_ptr<Expr> Clone() const override;
+
+  Op op() const { return op_; }
+  const std::vector<std::unique_ptr<Expr>>& children() const {
+    return children_;
+  }
+
+ private:
+  Op op_;
+  std::vector<std::unique_ptr<Expr>> children_;
+};
+
+/// A parsed `SELECT <cols|*> FROM <table> [WHERE <expr>]` statement.
+struct SelectQuery {
+  /// Empty means `SELECT *`.
+  std::vector<std::string> columns;
+  std::string table_name;
+  /// Null when there is no WHERE clause.
+  std::unique_ptr<Expr> where;
+
+  SelectQuery() = default;
+  SelectQuery(SelectQuery&&) = default;
+  SelectQuery& operator=(SelectQuery&&) = default;
+  SelectQuery(const SelectQuery& other);
+  SelectQuery& operator=(const SelectQuery& other);
+
+  bool select_all() const { return columns.empty(); }
+  /// Unparses the statement back to SQL text.
+  std::string ToSql() const;
+};
+
+}  // namespace autocat
+
+#endif  // AUTOCAT_SQL_AST_H_

@@ -1,0 +1,195 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace autocat {
+
+std::string_view TokenKindToString(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdentifier: return "identifier";
+    case TokenKind::kStringLiteral: return "string literal";
+    case TokenKind::kNumberLiteral: return "number literal";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kDot: return "'.'";
+    case TokenKind::kSemicolon: return "';'";
+    case TokenKind::kEq: return "'='";
+    case TokenKind::kNotEq: return "'<>'";
+    case TokenKind::kLess: return "'<'";
+    case TokenKind::kLessEq: return "'<='";
+    case TokenKind::kGreater: return "'>'";
+    case TokenKind::kGreaterEq: return "'>='";
+    case TokenKind::kEnd: return "end of input";
+  }
+  return "unknown";
+}
+
+bool Token::IsKeyword(std::string_view keyword) const {
+  return kind == TokenKind::kIdentifier && EqualsIgnoreCase(text, keyword);
+}
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+
+  auto push = [&](TokenKind kind, std::string text, size_t offset) {
+    tokens.push_back(Token{kind, std::move(text), offset});
+  };
+
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    const size_t start = i;
+    if (IsIdentStart(c)) {
+      size_t j = i + 1;
+      while (j < n && IsIdentChar(sql[j])) {
+        ++j;
+      }
+      push(TokenKind::kIdentifier, std::string(sql.substr(i, j - i)), start);
+      i = j;
+      continue;
+    }
+    if (IsDigit(c) || (c == '.' && i + 1 < n && IsDigit(sql[i + 1]))) {
+      size_t j = i;
+      bool seen_dot = false;
+      bool seen_exp = false;
+      while (j < n) {
+        const char d = sql[j];
+        if (IsDigit(d)) {
+          ++j;
+        } else if (d == '.' && !seen_dot && !seen_exp) {
+          seen_dot = true;
+          ++j;
+        } else if ((d == 'e' || d == 'E') && !seen_exp && j > i) {
+          seen_exp = true;
+          ++j;
+          if (j < n && (sql[j] == '+' || sql[j] == '-')) {
+            ++j;
+          }
+        } else {
+          break;
+        }
+      }
+      push(TokenKind::kNumberLiteral, std::string(sql.substr(i, j - i)),
+           start);
+      i = j;
+      continue;
+    }
+    if (c == '\'') {
+      std::string content;
+      size_t j = i + 1;
+      bool terminated = false;
+      while (j < n) {
+        if (sql[j] == '\'') {
+          if (j + 1 < n && sql[j + 1] == '\'') {
+            content += '\'';
+            j += 2;
+          } else {
+            terminated = true;
+            ++j;
+            break;
+          }
+        } else {
+          content += sql[j];
+          ++j;
+        }
+      }
+      if (!terminated) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(start));
+      }
+      push(TokenKind::kStringLiteral, std::move(content), start);
+      i = j;
+      continue;
+    }
+    switch (c) {
+      case ',':
+        push(TokenKind::kComma, ",", start);
+        ++i;
+        continue;
+      case '(':
+        push(TokenKind::kLParen, "(", start);
+        ++i;
+        continue;
+      case ')':
+        push(TokenKind::kRParen, ")", start);
+        ++i;
+        continue;
+      case '*':
+        push(TokenKind::kStar, "*", start);
+        ++i;
+        continue;
+      case '.':
+        push(TokenKind::kDot, ".", start);
+        ++i;
+        continue;
+      case ';':
+        push(TokenKind::kSemicolon, ";", start);
+        ++i;
+        continue;
+      case '=':
+        push(TokenKind::kEq, "=", start);
+        ++i;
+        continue;
+      case '<':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          push(TokenKind::kLessEq, "<=", start);
+          i += 2;
+        } else if (i + 1 < n && sql[i + 1] == '>') {
+          push(TokenKind::kNotEq, "<>", start);
+          i += 2;
+        } else {
+          push(TokenKind::kLess, "<", start);
+          ++i;
+        }
+        continue;
+      case '>':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          push(TokenKind::kGreaterEq, ">=", start);
+          i += 2;
+        } else {
+          push(TokenKind::kGreater, ">", start);
+          ++i;
+        }
+        continue;
+      case '!':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          push(TokenKind::kNotEq, "!=", start);
+          i += 2;
+          continue;
+        }
+        return Status::ParseError("unexpected '!' at offset " +
+                                  std::to_string(start));
+      default:
+        return Status::ParseError("unexpected character '" +
+                                  std::string(1, c) + "' at offset " +
+                                  std::to_string(start));
+    }
+  }
+  push(TokenKind::kEnd, "", n);
+  return tokens;
+}
+
+}  // namespace autocat

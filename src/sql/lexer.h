@@ -1,0 +1,18 @@
+#ifndef AUTOCAT_SQL_LEXER_H_
+#define AUTOCAT_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/token.h"
+
+namespace autocat {
+
+/// Tokenizes `sql` into a token vector ending in a kEnd token. Errors on
+/// unterminated string literals and unrecognized characters.
+Result<std::vector<Token>> Tokenize(std::string_view sql);
+
+}  // namespace autocat
+
+#endif  // AUTOCAT_SQL_LEXER_H_

@@ -1,0 +1,298 @@
+#include "sql/parser.h"
+
+#include <utility>
+#include <vector>
+
+#include "sql/lexer.h"
+
+namespace autocat {
+
+namespace {
+
+/// Recursive-descent parser over a pre-lexed token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SelectQuery> ParseQuery();
+  Result<std::unique_ptr<Expr>> ParseBareExpression();
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool AtEnd() const { return Peek().kind == TokenKind::kEnd; }
+
+  bool MatchKeyword(std::string_view keyword) {
+    if (Peek().IsKeyword(keyword)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  bool Match(TokenKind kind) {
+    if (Peek().kind == kind) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectKeyword(std::string_view keyword) {
+    if (!MatchKeyword(keyword)) {
+      return Error("expected keyword " + std::string(keyword));
+    }
+    return Status::OK();
+  }
+
+  Status Expect(TokenKind kind) {
+    if (!Match(kind)) {
+      return Error("expected " + std::string(TokenKindToString(kind)));
+    }
+    return Status::OK();
+  }
+
+  Status Error(const std::string& what) const {
+    const Token& tok = Peek();
+    std::string got = (tok.kind == TokenKind::kEnd)
+                          ? "end of input"
+                          : "'" + tok.text + "'";
+    return Status::ParseError(what + ", got " + got + " at offset " +
+                              std::to_string(tok.offset));
+  }
+
+  Result<std::string> ParseIdentifier(std::string_view what);
+  Result<Value> ParseLiteral();
+  Result<std::unique_ptr<Expr>> ParseOr();
+  Result<std::unique_ptr<Expr>> ParseAnd();
+  Result<std::unique_ptr<Expr>> ParsePrimary();
+  Result<std::unique_ptr<Expr>> ParsePredicate();
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+// Keywords that terminate an identifier position (cannot be column names).
+bool IsReservedKeyword(const Token& tok) {
+  static constexpr std::string_view kReserved[] = {
+      "select", "from", "where", "and", "or", "in", "not",
+      "between", "is", "null", "order", "by", "asc", "desc"};
+  for (std::string_view kw : kReserved) {
+    if (tok.IsKeyword(kw)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Result<std::string> Parser::ParseIdentifier(std::string_view what) {
+  if (Peek().kind != TokenKind::kIdentifier || IsReservedKeyword(Peek())) {
+    return Error("expected " + std::string(what));
+  }
+  return Advance().text;
+}
+
+Result<Value> Parser::ParseLiteral() {
+  const Token& tok = Peek();
+  if (tok.kind == TokenKind::kStringLiteral) {
+    return Value(Advance().text);
+  }
+  if (tok.kind == TokenKind::kNumberLiteral) {
+    return Value::ParseNumeric(Advance().text);
+  }
+  if (tok.IsKeyword("null")) {
+    Advance();
+    return Value();
+  }
+  return Error("expected literal");
+}
+
+Result<std::unique_ptr<Expr>> Parser::ParseOr() {
+  AUTOCAT_ASSIGN_OR_RETURN(std::unique_ptr<Expr> first, ParseAnd());
+  if (!Peek().IsKeyword("or")) {
+    return first;
+  }
+  std::vector<std::unique_ptr<Expr>> children;
+  children.push_back(std::move(first));
+  while (MatchKeyword("or")) {
+    AUTOCAT_ASSIGN_OR_RETURN(std::unique_ptr<Expr> next, ParseAnd());
+    children.push_back(std::move(next));
+  }
+  return std::unique_ptr<Expr>(
+      new LogicalExpr(LogicalExpr::Op::kOr, std::move(children)));
+}
+
+Result<std::unique_ptr<Expr>> Parser::ParseAnd() {
+  AUTOCAT_ASSIGN_OR_RETURN(std::unique_ptr<Expr> first, ParsePrimary());
+  if (!Peek().IsKeyword("and")) {
+    return first;
+  }
+  std::vector<std::unique_ptr<Expr>> children;
+  children.push_back(std::move(first));
+  while (MatchKeyword("and")) {
+    AUTOCAT_ASSIGN_OR_RETURN(std::unique_ptr<Expr> next, ParsePrimary());
+    children.push_back(std::move(next));
+  }
+  return std::unique_ptr<Expr>(
+      new LogicalExpr(LogicalExpr::Op::kAnd, std::move(children)));
+}
+
+Result<std::unique_ptr<Expr>> Parser::ParsePrimary() {
+  if (Match(TokenKind::kLParen)) {
+    AUTOCAT_ASSIGN_OR_RETURN(std::unique_ptr<Expr> inner, ParseOr());
+    AUTOCAT_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+    return inner;
+  }
+  return ParsePredicate();
+}
+
+ComparisonOp FlipOp(ComparisonOp op) {
+  switch (op) {
+    case ComparisonOp::kLess: return ComparisonOp::kGreater;
+    case ComparisonOp::kLessEq: return ComparisonOp::kGreaterEq;
+    case ComparisonOp::kGreater: return ComparisonOp::kLess;
+    case ComparisonOp::kGreaterEq: return ComparisonOp::kLessEq;
+    case ComparisonOp::kEq:
+    case ComparisonOp::kNotEq:
+      return op;
+  }
+  return op;
+}
+
+Result<std::unique_ptr<Expr>> Parser::ParsePredicate() {
+  // `literal OP column` form: normalize by flipping the operator.
+  if (Peek().kind == TokenKind::kNumberLiteral ||
+      Peek().kind == TokenKind::kStringLiteral) {
+    AUTOCAT_ASSIGN_OR_RETURN(Value literal, ParseLiteral());
+    ComparisonOp op;
+    switch (Peek().kind) {
+      case TokenKind::kEq: op = ComparisonOp::kEq; break;
+      case TokenKind::kNotEq: op = ComparisonOp::kNotEq; break;
+      case TokenKind::kLess: op = ComparisonOp::kLess; break;
+      case TokenKind::kLessEq: op = ComparisonOp::kLessEq; break;
+      case TokenKind::kGreater: op = ComparisonOp::kGreater; break;
+      case TokenKind::kGreaterEq: op = ComparisonOp::kGreaterEq; break;
+      default:
+        return Error("expected comparison operator after literal");
+    }
+    Advance();
+    AUTOCAT_ASSIGN_OR_RETURN(std::string column,
+                             ParseIdentifier("column name"));
+    return std::unique_ptr<Expr>(new ComparisonExpr(
+        std::move(column), FlipOp(op), std::move(literal)));
+  }
+
+  AUTOCAT_ASSIGN_OR_RETURN(std::string column,
+                           ParseIdentifier("column name"));
+
+  // IS [NOT] NULL
+  if (MatchKeyword("is")) {
+    const bool negated = MatchKeyword("not");
+    AUTOCAT_RETURN_IF_ERROR(ExpectKeyword("null"));
+    return std::unique_ptr<Expr>(new IsNullExpr(std::move(column), negated));
+  }
+
+  bool negated = MatchKeyword("not");
+
+  // [NOT] IN (v1, v2, ...)
+  if (MatchKeyword("in")) {
+    AUTOCAT_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+    std::vector<Value> values;
+    do {
+      AUTOCAT_ASSIGN_OR_RETURN(Value v, ParseLiteral());
+      values.push_back(std::move(v));
+    } while (Match(TokenKind::kComma));
+    AUTOCAT_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+    return std::unique_ptr<Expr>(
+        new InListExpr(std::move(column), std::move(values), negated));
+  }
+
+  // [NOT] BETWEEN lo AND hi
+  if (MatchKeyword("between")) {
+    AUTOCAT_ASSIGN_OR_RETURN(Value lo, ParseLiteral());
+    AUTOCAT_RETURN_IF_ERROR(ExpectKeyword("and"));
+    AUTOCAT_ASSIGN_OR_RETURN(Value hi, ParseLiteral());
+    return std::unique_ptr<Expr>(new BetweenExpr(
+        std::move(column), std::move(lo), std::move(hi), negated));
+  }
+
+  if (negated) {
+    return Error("expected IN or BETWEEN after NOT");
+  }
+
+  // column OP literal
+  ComparisonOp op;
+  switch (Peek().kind) {
+    case TokenKind::kEq: op = ComparisonOp::kEq; break;
+    case TokenKind::kNotEq: op = ComparisonOp::kNotEq; break;
+    case TokenKind::kLess: op = ComparisonOp::kLess; break;
+    case TokenKind::kLessEq: op = ComparisonOp::kLessEq; break;
+    case TokenKind::kGreater: op = ComparisonOp::kGreater; break;
+    case TokenKind::kGreaterEq: op = ComparisonOp::kGreaterEq; break;
+    default:
+      return Error("expected comparison operator");
+  }
+  Advance();
+  AUTOCAT_ASSIGN_OR_RETURN(Value literal, ParseLiteral());
+  return std::unique_ptr<Expr>(
+      new ComparisonExpr(std::move(column), op, std::move(literal)));
+}
+
+Result<SelectQuery> Parser::ParseQuery() {
+  AUTOCAT_RETURN_IF_ERROR(ExpectKeyword("select"));
+  SelectQuery query;
+  if (!Match(TokenKind::kStar)) {
+    do {
+      AUTOCAT_ASSIGN_OR_RETURN(std::string col,
+                               ParseIdentifier("column name"));
+      query.columns.push_back(std::move(col));
+    } while (Match(TokenKind::kComma));
+  }
+  AUTOCAT_RETURN_IF_ERROR(ExpectKeyword("from"));
+  AUTOCAT_ASSIGN_OR_RETURN(query.table_name,
+                           ParseIdentifier("table name"));
+  if (MatchKeyword("where")) {
+    AUTOCAT_ASSIGN_OR_RETURN(query.where, ParseOr());
+  }
+  // Tolerate a trailing ORDER BY clause (the categorizer ignores ordering).
+  if (MatchKeyword("order")) {
+    AUTOCAT_RETURN_IF_ERROR(ExpectKeyword("by"));
+    do {
+      AUTOCAT_ASSIGN_OR_RETURN(std::string col,
+                               ParseIdentifier("column name"));
+      (void)col;
+      if (!MatchKeyword("asc")) {
+        MatchKeyword("desc");
+      }
+    } while (Match(TokenKind::kComma));
+  }
+  Match(TokenKind::kSemicolon);
+  if (!AtEnd()) {
+    return Error("unexpected trailing input");
+  }
+  return query;
+}
+
+Result<std::unique_ptr<Expr>> Parser::ParseBareExpression() {
+  AUTOCAT_ASSIGN_OR_RETURN(std::unique_ptr<Expr> expr, ParseOr());
+  if (!AtEnd()) {
+    return Error("unexpected trailing input");
+  }
+  return expr;
+}
+
+}  // namespace
+
+Result<SelectQuery> ParseQuery(std::string_view sql) {
+  AUTOCAT_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseQuery();
+}
+
+Result<std::unique_ptr<Expr>> ParseExpression(std::string_view text) {
+  AUTOCAT_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  return parser.ParseBareExpression();
+}
+
+}  // namespace autocat

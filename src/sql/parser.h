@@ -1,0 +1,34 @@
+#ifndef AUTOCAT_SQL_PARSER_H_
+#define AUTOCAT_SQL_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace autocat {
+
+/// Parses a full `SELECT ... FROM ... [WHERE ...][;]` statement.
+///
+/// Grammar (case-insensitive keywords):
+///
+///   query      := SELECT select_list FROM identifier [WHERE or_expr] [';']
+///   select_list:= '*' | identifier (',' identifier)*
+///   or_expr    := and_expr (OR and_expr)*
+///   and_expr   := primary (AND primary)*
+///   primary    := '(' or_expr ')' | predicate
+///   predicate  := column cmp_op literal
+///               | literal cmp_op column            (normalized by flipping)
+///               | column [NOT] IN '(' literal (',' literal)* ')'
+///               | column [NOT] BETWEEN literal AND literal
+///               | column IS [NOT] NULL
+///   literal    := number | string
+Result<SelectQuery> ParseQuery(std::string_view sql);
+
+/// Parses a standalone boolean expression (the body of a WHERE clause).
+Result<std::unique_ptr<Expr>> ParseExpression(std::string_view text);
+
+}  // namespace autocat
+
+#endif  // AUTOCAT_SQL_PARSER_H_

@@ -1,0 +1,45 @@
+#ifndef AUTOCAT_SQL_TOKEN_H_
+#define AUTOCAT_SQL_TOKEN_H_
+
+#include <string>
+#include <string_view>
+
+namespace autocat {
+
+/// Lexical token kinds for the SQL subset the workload uses.
+enum class TokenKind {
+  kIdentifier,     // column / table / keyword text (keywords resolved later)
+  kStringLiteral,  // 'text' with '' escaping
+  kNumberLiteral,  // 123, 1.5, .5, 1e6
+  kComma,
+  kLParen,
+  kRParen,
+  kStar,
+  kDot,
+  kSemicolon,
+  kEq,             // =
+  kNotEq,          // <> or !=
+  kLess,           // <
+  kLessEq,         // <=
+  kGreater,        // >
+  kGreaterEq,      // >=
+  kEnd,            // end of input
+};
+
+std::string_view TokenKindToString(TokenKind kind);
+
+/// A single lexical token with its source offset (for error messages).
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  /// Identifier text (original case), string literal content (unescaped),
+  /// or number literal text.
+  std::string text;
+  size_t offset = 0;
+
+  /// Case-insensitive keyword test, valid only for identifiers.
+  bool IsKeyword(std::string_view keyword) const;
+};
+
+}  // namespace autocat
+
+#endif  // AUTOCAT_SQL_TOKEN_H_

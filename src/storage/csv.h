@@ -1,0 +1,28 @@
+#ifndef AUTOCAT_STORAGE_CSV_H_
+#define AUTOCAT_STORAGE_CSV_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace autocat {
+
+/// Serializes `table` as RFC-4180-style CSV (header row, quoting applied to
+/// fields containing commas/quotes/newlines; NULL rendered as empty field).
+std::string TableToCsv(const Table& table);
+
+/// Parses CSV text into a table with the given schema. The header row must
+/// name the schema's columns in order (case-insensitive). Empty fields load
+/// as NULL; cells in numeric columns must parse as numbers.
+Result<Table> TableFromCsv(const Schema& schema, const std::string& csv);
+
+/// Writes `table` to `path` as CSV.
+Status WriteCsvFile(const Table& table, const std::string& path);
+
+/// Reads a CSV file into a table with the given schema.
+Result<Table> ReadCsvFile(const Schema& schema, const std::string& path);
+
+}  // namespace autocat
+
+#endif  // AUTOCAT_STORAGE_CSV_H_

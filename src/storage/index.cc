@@ -1,0 +1,80 @@
+#include "storage/index.h"
+
+#include <algorithm>
+
+namespace autocat {
+
+Result<SortedColumnIndex> SortedColumnIndex::Build(
+    const Table& table, std::string_view column_name) {
+  AUTOCAT_ASSIGN_OR_RETURN(const size_t col,
+                           table.schema().ColumnIndex(column_name));
+  SortedColumnIndex index;
+  index.column_name_ = table.schema().column(col).name;
+  index.entries_.reserve(table.num_rows());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    const Value& v = table.ValueAt(r, col);
+    if (!v.is_null()) {
+      index.entries_.emplace_back(v, r);
+    }
+  }
+  std::sort(index.entries_.begin(), index.entries_.end(),
+            [](const auto& a, const auto& b) {
+              const int cmp = a.first.Compare(b.first);
+              if (cmp != 0) {
+                return cmp < 0;
+              }
+              return a.second < b.second;
+            });
+  return index;
+}
+
+std::vector<size_t> SortedColumnIndex::Lookup(const Value& v) const {
+  const auto lower = std::lower_bound(
+      entries_.begin(), entries_.end(), v,
+      [](const auto& entry, const Value& key) {
+        return entry.first.Compare(key) < 0;
+      });
+  std::vector<size_t> out;
+  for (auto it = lower; it != entries_.end() && it->first == v; ++it) {
+    out.push_back(it->second);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<size_t> SortedColumnIndex::RangeLookup(
+    const Value& lo, bool lo_inclusive, const Value& hi,
+    bool hi_inclusive) const {
+  auto begin = entries_.begin();
+  if (!lo.is_null()) {
+    begin = lo_inclusive
+                ? std::lower_bound(entries_.begin(), entries_.end(), lo,
+                                   [](const auto& entry, const Value& key) {
+                                     return entry.first.Compare(key) < 0;
+                                   })
+                : std::upper_bound(entries_.begin(), entries_.end(), lo,
+                                   [](const Value& key, const auto& entry) {
+                                     return key.Compare(entry.first) < 0;
+                                   });
+  }
+  auto end = entries_.end();
+  if (!hi.is_null()) {
+    end = hi_inclusive
+              ? std::upper_bound(entries_.begin(), entries_.end(), hi,
+                                 [](const Value& key, const auto& entry) {
+                                   return key.Compare(entry.first) < 0;
+                                 })
+              : std::lower_bound(entries_.begin(), entries_.end(), hi,
+                                 [](const auto& entry, const Value& key) {
+                                   return entry.first.Compare(key) < 0;
+                                 });
+  }
+  std::vector<size_t> out;
+  for (auto it = begin; it < end; ++it) {
+    out.push_back(it->second);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace autocat

@@ -1,0 +1,49 @@
+#ifndef AUTOCAT_STORAGE_INDEX_H_
+#define AUTOCAT_STORAGE_INDEX_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "storage/table.h"
+
+namespace autocat {
+
+/// A sorted secondary index over one column of a table: (value, row id)
+/// pairs in value order, answering point and range lookups in
+/// O(log n + matches). This is the substrate the paper assumes when it
+/// says the count tables are "indexed on the value to make retrieval
+/// efficient" (Section 5.1.2) — and it accelerates result-set computation
+/// for selection queries.
+///
+/// The index holds row ids into the table it was built from; it does not
+/// observe later appends (rebuild after bulk loads). NULL cells are not
+/// indexed (no predicate matches them).
+class SortedColumnIndex {
+ public:
+  /// Builds an index over column `column_name` of `table`.
+  static Result<SortedColumnIndex> Build(const Table& table,
+                                         std::string_view column_name);
+
+  const std::string& column_name() const { return column_name_; }
+  size_t num_entries() const { return entries_.size(); }
+
+  /// Row ids whose cell equals `v`, in ascending row order.
+  std::vector<size_t> Lookup(const Value& v) const;
+
+  /// Row ids whose cell lies in [lo, hi] (either bound may be NULL for
+  /// unbounded), honoring the inclusivity flags. Ascending row order.
+  /// (Condition-level scans live in exec/index_scan.h, which can see the
+  /// normalized SQL condition types.)
+  std::vector<size_t> RangeLookup(const Value& lo, bool lo_inclusive,
+                                  const Value& hi, bool hi_inclusive) const;
+
+ private:
+  std::string column_name_;
+  std::vector<std::pair<Value, size_t>> entries_;  // sorted by (value, row)
+};
+
+}  // namespace autocat
+
+#endif  // AUTOCAT_STORAGE_INDEX_H_

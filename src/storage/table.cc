@@ -1,0 +1,188 @@
+#include "storage/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace autocat {
+
+namespace {
+
+// Coerces `cell` to the declared `type` when a lossless conversion exists.
+// NULL passes through untouched.
+Result<Value> CoerceCell(const Value& cell, const ColumnDef& col) {
+  if (cell.is_null()) {
+    return cell;
+  }
+  if (cell.type() == col.type) {
+    return cell;
+  }
+  if (col.type == ValueType::kDouble && cell.is_int64()) {
+    return Value(static_cast<double>(cell.int64_value()));
+  }
+  if (col.type == ValueType::kInt64 && cell.is_double()) {
+    const double d = cell.double_value();
+    if (std::floor(d) == d && std::fabs(d) < 9.2e18) {
+      return Value(static_cast<int64_t>(d));
+    }
+    return Status::InvalidArgument(
+        "cannot losslessly store " + cell.ToString() + " in int64 column '" +
+        col.name + "'");
+  }
+  return Status::InvalidArgument(
+      "type mismatch in column '" + col.name + "': expected " +
+      std::string(ValueTypeToString(col.type)) + ", got " +
+      std::string(ValueTypeToString(cell.type())));
+}
+
+}  // namespace
+
+Status Table::AppendRow(Row row) {
+  if (row.size() != schema_.num_columns()) {
+    return Status::InvalidArgument(
+        "row has " + std::to_string(row.size()) + " cells, schema has " +
+        std::to_string(schema_.num_columns()) + " columns");
+  }
+  for (size_t c = 0; c < row.size(); ++c) {
+    AUTOCAT_ASSIGN_OR_RETURN(row[c], CoerceCell(row[c], schema_.column(c)));
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+Result<Table> Table::SelectRows(const std::vector<size_t>& indices) const {
+  Table out(schema_);
+  out.Reserve(indices.size());
+  for (size_t idx : indices) {
+    if (idx >= rows_.size()) {
+      return Status::OutOfRange("row index " + std::to_string(idx) +
+                                " out of range");
+    }
+    out.rows_.push_back(rows_[idx]);
+  }
+  return out;
+}
+
+std::vector<size_t> Table::FilterIndices(
+    const std::function<bool(const Row&)>& pred) const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (pred(rows_[i])) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+Result<Table> Table::Project(
+    const std::vector<std::string>& column_names) const {
+  std::vector<ColumnDef> cols;
+  std::vector<size_t> src_indices;
+  cols.reserve(column_names.size());
+  for (const std::string& name : column_names) {
+    AUTOCAT_ASSIGN_OR_RETURN(const size_t idx, schema_.ColumnIndex(name));
+    cols.push_back(schema_.column(idx));
+    src_indices.push_back(idx);
+  }
+  AUTOCAT_ASSIGN_OR_RETURN(Schema out_schema, Schema::Create(std::move(cols)));
+  Table out(std::move(out_schema));
+  out.Reserve(rows_.size());
+  for (const Row& r : rows_) {
+    Row projected;
+    projected.reserve(src_indices.size());
+    for (size_t idx : src_indices) {
+      projected.push_back(r[idx]);
+    }
+    out.rows_.push_back(std::move(projected));
+  }
+  return out;
+}
+
+Result<std::vector<Value>> Table::DistinctValues(size_t col) const {
+  if (col >= schema_.num_columns()) {
+    return Status::OutOfRange("column index out of range");
+  }
+  std::set<Value> distinct;
+  for (const Row& r : rows_) {
+    if (!r[col].is_null()) {
+      distinct.insert(r[col]);
+    }
+  }
+  return std::vector<Value>(distinct.begin(), distinct.end());
+}
+
+Result<std::pair<Value, Value>> Table::MinMax(size_t col) const {
+  if (col >= schema_.num_columns()) {
+    return Status::OutOfRange("column index out of range");
+  }
+  bool seen = false;
+  Value min_v;
+  Value max_v;
+  for (const Row& r : rows_) {
+    const Value& v = r[col];
+    if (v.is_null()) {
+      continue;
+    }
+    if (!seen) {
+      min_v = v;
+      max_v = v;
+      seen = true;
+    } else {
+      if (v < min_v) min_v = v;
+      if (v > max_v) max_v = v;
+    }
+  }
+  if (!seen) {
+    return Status::NotFound("column '" + schema_.column(col).name +
+                            "' has no non-NULL values");
+  }
+  return std::make_pair(min_v, max_v);
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  const size_t ncols = schema_.num_columns();
+  const size_t shown = std::min(max_rows, rows_.size());
+
+  std::vector<std::vector<std::string>> cells;
+  std::vector<size_t> widths(ncols, 0);
+  std::vector<std::string> header(ncols);
+  for (size_t c = 0; c < ncols; ++c) {
+    header[c] = schema_.column(c).name;
+    widths[c] = header[c].size();
+  }
+  for (size_t r = 0; r < shown; ++r) {
+    std::vector<std::string> row_cells(ncols);
+    for (size_t c = 0; c < ncols; ++c) {
+      row_cells[c] = rows_[r][c].ToString();
+      widths[c] = std::max(widths[c], row_cells[c].size());
+    }
+    cells.push_back(std::move(row_cells));
+  }
+
+  auto append_row = [&](std::string& out,
+                        const std::vector<std::string>& row_cells) {
+    for (size_t c = 0; c < ncols; ++c) {
+      out += "| ";
+      out += row_cells[c];
+      out.append(widths[c] - row_cells[c].size() + 1, ' ');
+    }
+    out += "|\n";
+  };
+
+  std::string out;
+  append_row(out, header);
+  for (size_t c = 0; c < ncols; ++c) {
+    out += "|";
+    out.append(widths[c] + 2, '-');
+  }
+  out += "|\n";
+  for (const auto& row_cells : cells) {
+    append_row(out, row_cells);
+  }
+  if (shown < rows_.size()) {
+    out += "... (" + std::to_string(rows_.size() - shown) + " more rows)\n";
+  }
+  return out;
+}
+
+}  // namespace autocat

@@ -1,0 +1,84 @@
+#ifndef AUTOCAT_STORAGE_TABLE_H_
+#define AUTOCAT_STORAGE_TABLE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "storage/schema.h"
+
+namespace autocat {
+
+/// A row of cells. Rows are owned by a Table and always match its schema.
+using Row = std::vector<Value>;
+
+/// An in-memory row-store relation.
+///
+/// `Table` is the substrate every other module operates on: the base
+/// `ListProperty` relation, query result sets, and the workload count
+/// tables (AttributeUsageCounts / OccurrenceCounts / SplitPoints) are all
+/// `Table`s. Appends validate arity and cell types against the schema and
+/// coerce int64 into double columns (and vice versa when lossless), so a
+/// stored column is always homogeneous.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema) : schema_(std::move(schema)) {}
+
+  Table(const Table&) = default;
+  Table& operator=(const Table&) = default;
+  Table(Table&&) = default;
+  Table& operator=(Table&&) = default;
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_columns() const { return schema_.num_columns(); }
+  bool empty() const { return rows_.empty(); }
+
+  const Row& row(size_t i) const { return rows_[i]; }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  /// Cell accessor; bounds unchecked in release builds.
+  const Value& ValueAt(size_t row, size_t col) const {
+    return rows_[row][col];
+  }
+
+  /// Appends `row` after validating arity and coercing numeric cells to the
+  /// declared column type. NULL is accepted in any column.
+  Status AppendRow(Row row);
+
+  /// Reserves capacity for `n` rows.
+  void Reserve(size_t n) { rows_.reserve(n); }
+
+  /// Returns a table with the same schema containing the rows at `indices`
+  /// (in the given order). Indices must be in range.
+  Result<Table> SelectRows(const std::vector<size_t>& indices) const;
+
+  /// Returns indices of the rows for which `pred` is true.
+  std::vector<size_t> FilterIndices(
+      const std::function<bool(const Row&)>& pred) const;
+
+  /// Returns a table with only the named columns, in the given order.
+  Result<Table> Project(const std::vector<std::string>& column_names) const;
+
+  /// Sorted distinct non-NULL values of column `col`.
+  Result<std::vector<Value>> DistinctValues(size_t col) const;
+
+  /// Min and max of the non-NULL values in column `col`. Errors if the
+  /// column has no non-NULL values.
+  Result<std::pair<Value, Value>> MinMax(size_t col) const;
+
+  /// Renders up to `max_rows` rows as an aligned ASCII table (for examples
+  /// and debugging).
+  std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace autocat
+
+#endif  // AUTOCAT_STORAGE_TABLE_H_

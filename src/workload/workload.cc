@@ -1,0 +1,104 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+
+#include "common/string_util.h"
+#include "sql/parser.h"
+
+namespace autocat {
+
+namespace {
+
+void RecordError(WorkloadParseReport* report, const std::string& what) {
+  if (report != nullptr && report->sample_errors.size() < 10) {
+    report->sample_errors.push_back(what);
+  }
+}
+
+}  // namespace
+
+Workload Workload::Parse(const std::vector<std::string>& sqls,
+                         const Schema& schema,
+                         WorkloadParseReport* report) {
+  Workload workload;
+  for (const std::string& sql : sqls) {
+    if (report != nullptr) {
+      ++report->total;
+    }
+    auto query = ParseQuery(sql);
+    if (!query.ok()) {
+      if (report != nullptr) {
+        ++report->parse_errors;
+      }
+      RecordError(report, sql + " -- " + query.status().ToString());
+      continue;
+    }
+    auto profile = SelectionProfile::FromQuery(query.value(), schema);
+    if (!profile.ok()) {
+      if (report != nullptr) {
+        ++report->unsupported;
+      }
+      RecordError(report, sql + " -- " + profile.status().ToString());
+      continue;
+    }
+    if (report != nullptr) {
+      ++report->parsed;
+    }
+    workload.entries_.push_back(
+        WorkloadEntry{sql, std::move(profile).value()});
+  }
+  return workload;
+}
+
+Result<Workload> Workload::LoadFile(const std::string& path,
+                                    const Schema& schema,
+                                    WorkloadParseReport* report) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot open workload file '" + path + "'");
+  }
+  std::vector<std::string> sqls;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string_view trimmed = TrimWhitespace(line);
+    if (trimmed.empty() || trimmed[0] == '#') {
+      continue;
+    }
+    sqls.emplace_back(trimmed);
+  }
+  return Parse(sqls, schema, report);
+}
+
+Status Workload::SaveFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  for (const WorkloadEntry& entry : entries_) {
+    out << entry.sql << '\n';
+  }
+  if (!out) {
+    return Status::IOError("write to '" + path + "' failed");
+  }
+  return Status::OK();
+}
+
+Workload Workload::Without(const std::vector<size_t>& indices,
+                           std::vector<WorkloadEntry>* held_out) const {
+  const std::set<size_t> removed(indices.begin(), indices.end());
+  Workload rest;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (removed.count(i) > 0) {
+      if (held_out != nullptr) {
+        held_out->push_back(entries_[i]);
+      }
+    } else {
+      rest.entries_.push_back(entries_[i]);
+    }
+  }
+  return rest;
+}
+
+}  // namespace autocat

@@ -1,0 +1,73 @@
+#ifndef AUTOCAT_WORKLOAD_WORKLOAD_H_
+#define AUTOCAT_WORKLOAD_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/selection.h"
+#include "storage/schema.h"
+
+namespace autocat {
+
+/// One usable workload query: its SQL text and normalized selection
+/// conditions.
+struct WorkloadEntry {
+  std::string sql;
+  SelectionProfile profile;
+};
+
+/// Diagnostics from workload ingestion. Queries that fail to parse or use
+/// constructs outside the normalized form are skipped, not fatal — a real
+/// query log always contains noise.
+struct WorkloadParseReport {
+  size_t total = 0;        ///< Lines presented.
+  size_t parsed = 0;       ///< Usable queries kept.
+  size_t parse_errors = 0; ///< Malformed SQL.
+  size_t unsupported = 0;  ///< Parsed but not normalizable (OR across
+                           ///< attributes, NOT IN, ...).
+  /// Up to 10 sample diagnostics for logging.
+  std::vector<std::string> sample_errors;
+};
+
+/// The query log ("workload") of Section 4.2: the sequence of SQL query
+/// strings users of the application issued in the past. Holds the usable
+/// queries in input order together with their normalized profiles.
+class Workload {
+ public:
+  Workload() = default;
+
+  /// Parses each SQL string against `schema`, skipping (and counting)
+  /// unusable ones. `report` may be null.
+  static Workload Parse(const std::vector<std::string>& sqls,
+                        const Schema& schema, WorkloadParseReport* report);
+
+  /// Loads a workload file with one SQL query per line. Blank lines and
+  /// lines starting with '#' are ignored.
+  static Result<Workload> LoadFile(const std::string& path,
+                                   const Schema& schema,
+                                   WorkloadParseReport* report);
+
+  /// Writes one query per line.
+  Status SaveFile(const std::string& path) const;
+
+  /// Appends a pre-normalized entry (used by generators).
+  void Add(WorkloadEntry entry) { entries_.push_back(std::move(entry)); }
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  const WorkloadEntry& entry(size_t i) const { return entries_[i]; }
+  const std::vector<WorkloadEntry>& entries() const { return entries_; }
+
+  /// Returns a workload containing the entries at `indices` (for
+  /// leave-subset-out cross-validation) and, via `held_out`, the rest.
+  Workload Without(const std::vector<size_t>& indices,
+                   std::vector<WorkloadEntry>* held_out) const;
+
+ private:
+  std::vector<WorkloadEntry> entries_;
+};
+
+}  // namespace autocat
+
+#endif  // AUTOCAT_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,248 @@
+// Tests for string utilities, statistics, and the deterministic RNG.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/random.h"
+#include "common/statistics.h"
+#include "common/string_util.h"
+
+namespace autocat {
+namespace {
+
+// ---------------------------------------------------------------- strings
+
+TEST(StringUtilTest, TrimWhitespace) {
+  EXPECT_EQ(TrimWhitespace("  abc  "), "abc");
+  EXPECT_EQ(TrimWhitespace("abc"), "abc");
+  EXPECT_EQ(TrimWhitespace("   "), "");
+  EXPECT_EQ(TrimWhitespace(""), "");
+  EXPECT_EQ(TrimWhitespace("\t a b \n"), "a b");
+}
+
+TEST(StringUtilTest, CaseConversion) {
+  EXPECT_EQ(ToLower("AbC"), "abc");
+  EXPECT_EQ(ToUpper("AbC"), "ABC");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+TEST(StringUtilTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("Neighborhood", "NEIGHBORHOOD"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abd"));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abcd"));
+}
+
+TEST(StringUtilTest, SplitPreservesEmptyFields) {
+  EXPECT_EQ(Split("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"only"}, ", "), "only");
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("SELECT *", "SELECT"));
+  EXPECT_FALSE(StartsWith("SELECT", "SELECT *"));
+}
+
+TEST(StringUtilTest, HumanizeNumber) {
+  EXPECT_EQ(HumanizeNumber(200000), "200K");
+  EXPECT_EQ(HumanizeNumber(225000), "225K");
+  EXPECT_EQ(HumanizeNumber(1000000), "1M");
+  EXPECT_EQ(HumanizeNumber(1500000), "1.5M");
+  EXPECT_EQ(HumanizeNumber(1234), "1234");
+  EXPECT_EQ(HumanizeNumber(5), "5");
+  EXPECT_EQ(HumanizeNumber(2.5), "2.5");
+}
+
+// ------------------------------------------------------------- statistics
+
+TEST(StatisticsTest, MeanAndStdDev) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0);
+  EXPECT_DOUBLE_EQ(Mean({2, 4, 6}), 4);
+  EXPECT_DOUBLE_EQ(StdDev({5}), 0);
+  EXPECT_DOUBLE_EQ(StdDev({2, 2, 2}), 0);
+  EXPECT_NEAR(StdDev({1, 2, 3, 4}), std::sqrt(1.25), 1e-12);
+}
+
+TEST(StatisticsTest, PerfectPositiveCorrelation) {
+  const auto r = PearsonCorrelation({1, 2, 3}, {10, 20, 30});
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value(), 1.0, 1e-12);
+}
+
+TEST(StatisticsTest, PerfectNegativeCorrelation) {
+  const auto r = PearsonCorrelation({1, 2, 3}, {30, 20, 10});
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value(), -1.0, 1e-12);
+}
+
+TEST(StatisticsTest, CorrelationInvariantToAffineTransform) {
+  const std::vector<double> x = {1, 4, 2, 8, 5};
+  const std::vector<double> y = {2, 5, 4, 9, 7};
+  std::vector<double> y_scaled;
+  for (double v : y) {
+    y_scaled.push_back(3 * v + 100);
+  }
+  EXPECT_NEAR(PearsonCorrelation(x, y).value(),
+              PearsonCorrelation(x, y_scaled).value(), 1e-12);
+}
+
+TEST(StatisticsTest, CorrelationErrorCases) {
+  EXPECT_FALSE(PearsonCorrelation({1, 2}, {1}).ok());
+  EXPECT_FALSE(PearsonCorrelation({1}, {1}).ok());
+  EXPECT_FALSE(PearsonCorrelation({1, 1, 1}, {1, 2, 3}).ok());
+}
+
+TEST(StatisticsTest, SlopeThroughOrigin) {
+  const auto slope = LeastSquaresSlopeThroughOrigin({1, 2, 3}, {2, 4, 6});
+  ASSERT_TRUE(slope.ok());
+  EXPECT_NEAR(slope.value(), 2.0, 1e-12);
+  EXPECT_FALSE(LeastSquaresSlopeThroughOrigin({0, 0}, {1, 2}).ok());
+  EXPECT_FALSE(LeastSquaresSlopeThroughOrigin({1, 2}, {1}).ok());
+}
+
+TEST(StatisticsTest, Percentile) {
+  EXPECT_DOUBLE_EQ(Percentile({5}, 50).value(), 5);
+  EXPECT_DOUBLE_EQ(Percentile({1, 2, 3, 4, 5}, 0).value(), 1);
+  EXPECT_DOUBLE_EQ(Percentile({1, 2, 3, 4, 5}, 100).value(), 5);
+  EXPECT_DOUBLE_EQ(Percentile({1, 2, 3, 4, 5}, 50).value(), 3);
+  EXPECT_DOUBLE_EQ(Percentile({1, 2, 3, 4}, 50).value(), 2.5);
+  EXPECT_FALSE(Percentile({}, 50).ok());
+  EXPECT_FALSE(Percentile({1}, 101).ok());
+}
+
+TEST(StatisticsTest, RunningStat) {
+  RunningStat stat;
+  EXPECT_EQ(stat.count(), 0u);
+  EXPECT_DOUBLE_EQ(stat.mean(), 0);
+  stat.Add(2);
+  stat.Add(8);
+  stat.Add(-1);
+  EXPECT_EQ(stat.count(), 3u);
+  EXPECT_DOUBLE_EQ(stat.mean(), 3);
+  EXPECT_DOUBLE_EQ(stat.min(), -1);
+  EXPECT_DOUBLE_EQ(stat.max(), 8);
+  EXPECT_DOUBLE_EQ(stat.sum(), 9);
+}
+
+// ------------------------------------------------------------------- rng
+
+TEST(RandomTest, DeterministicGivenSeed) {
+  Random a(7);
+  Random b(7);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.Uniform(0, 1000), b.Uniform(0, 1000));
+  }
+}
+
+TEST(RandomTest, UniformRespectsBounds) {
+  Random rng(1);
+  for (int i = 0; i < 500; ++i) {
+    const int64_t v = rng.Uniform(-3, 9);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 9);
+  }
+  EXPECT_EQ(rng.Uniform(5, 5), 5);
+}
+
+TEST(RandomTest, UniformRealRespectsBounds) {
+  Random rng(2);
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.UniformReal(1.5, 2.5);
+    EXPECT_GE(v, 1.5);
+    EXPECT_LT(v, 2.5);
+  }
+}
+
+TEST(RandomTest, BernoulliExtremes) {
+  Random rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0));
+    EXPECT_TRUE(rng.Bernoulli(1));
+  }
+  // Out-of-range probabilities are clamped rather than UB.
+  EXPECT_TRUE(rng.Bernoulli(2.0));
+  EXPECT_FALSE(rng.Bernoulli(-1.0));
+}
+
+TEST(RandomTest, GaussianRoughMoments) {
+  Random rng(4);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.Gaussian(10, 2);
+  }
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(RandomTest, ZipfSkewsTowardLowRanks) {
+  Random rng(5);
+  size_t first = 0;
+  size_t last = 0;
+  const size_t n = 10;
+  for (int i = 0; i < 20000; ++i) {
+    const size_t r = rng.Zipf(n, 1.0);
+    ASSERT_LT(r, n);
+    if (r == 0) ++first;
+    if (r == n - 1) ++last;
+  }
+  EXPECT_GT(first, 4 * last);
+  EXPECT_EQ(rng.Zipf(1, 1.0), 0u);
+}
+
+TEST(RandomTest, ZipfZeroExponentIsRoughlyUniform) {
+  Random rng(6);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 40000; ++i) {
+    ++counts[rng.Zipf(4, 0.0)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, 10000, 600);
+  }
+}
+
+TEST(RandomTest, WeightedChoiceRespectsWeights) {
+  Random rng(7);
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 30000; ++i) {
+    ++counts[rng.WeightedChoice({1, 0, 3})];
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.35);
+}
+
+TEST(RandomTest, ShufflePreservesElements) {
+  Random rng(8);
+  std::vector<int> items = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> original = items;
+  rng.Shuffle(items);
+  std::sort(items.begin(), items.end());
+  EXPECT_EQ(items, original);
+}
+
+TEST(RandomTest, SampleIndicesDistinctAndInRange) {
+  Random rng(9);
+  const auto sample = rng.SampleIndices(100, 10);
+  EXPECT_EQ(sample.size(), 10u);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+  for (size_t idx : sample) {
+    EXPECT_LT(idx, 100u);
+  }
+  EXPECT_TRUE(rng.SampleIndices(5, 0).empty());
+  EXPECT_EQ(rng.SampleIndices(5, 5).size(), 5u);
+}
+
+}  // namespace
+}  // namespace autocat

@@ -1,0 +1,162 @@
+// Tests for CategoryLabel and CategoryTree (Section 3.1's structures).
+
+#include "core/category.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace autocat {
+namespace {
+
+using test::HomesTable;
+
+TEST(CategoryLabelTest, CategoricalMatches) {
+  const auto label = CategoryLabel::Categorical(
+      "neighborhood", {Value("Redmond"), Value("Bellevue")});
+  EXPECT_TRUE(label.is_categorical());
+  EXPECT_TRUE(label.Matches(Value("Redmond")));
+  EXPECT_TRUE(label.Matches(Value("Bellevue")));
+  EXPECT_FALSE(label.Matches(Value("Seattle")));
+  EXPECT_FALSE(label.Matches(Value()));
+}
+
+TEST(CategoryLabelTest, NumericMatchesHalfOpen) {
+  const auto label = CategoryLabel::Numeric("price", 200000, 225000);
+  EXPECT_TRUE(label.is_numeric());
+  EXPECT_TRUE(label.Matches(Value(200000)));
+  EXPECT_TRUE(label.Matches(Value(224999)));
+  EXPECT_FALSE(label.Matches(Value(225000)));  // a1 <= A < a2
+  EXPECT_FALSE(label.Matches(Value(199999)));
+  EXPECT_FALSE(label.Matches(Value("200000")));
+}
+
+TEST(CategoryLabelTest, NumericClosedTopBucket) {
+  const auto label =
+      CategoryLabel::Numeric("price", 275000, 300000, /*hi_inclusive=*/true);
+  EXPECT_TRUE(label.Matches(Value(300000)));
+}
+
+TEST(CategoryLabelTest, OverlapsCondition) {
+  const auto categorical = CategoryLabel::Categorical(
+      "neighborhood", {Value("Redmond"), Value("Bellevue")});
+  EXPECT_TRUE(categorical.OverlapsCondition(
+      AttributeCondition::ValueSet({Value("Bellevue"), Value("X")})));
+  EXPECT_FALSE(categorical.OverlapsCondition(
+      AttributeCondition::ValueSet({Value("Seattle")})));
+
+  const auto numeric = CategoryLabel::Numeric("price", 200000, 225000);
+  NumericRange touching;
+  touching.lo = 225000;  // closed-interval overlap semantics (Section 4.2)
+  touching.hi = 250000;
+  EXPECT_TRUE(numeric.OverlapsCondition(AttributeCondition::Range(touching)));
+  NumericRange disjoint;
+  disjoint.lo = 225001;
+  disjoint.hi = 250000;
+  EXPECT_FALSE(
+      numeric.OverlapsCondition(AttributeCondition::Range(disjoint)));
+}
+
+TEST(CategoryLabelTest, RenderingMatchesPaperStyle) {
+  EXPECT_EQ(CategoryLabel::Categorical("Neighborhood",
+                                       {Value("Redmond"), Value("Bellevue")})
+                .ToString(),
+            "Neighborhood: Redmond, Bellevue");
+  EXPECT_EQ(CategoryLabel::Numeric("Price", 200000, 225000).ToString(),
+            "Price: 200K-225K");
+}
+
+TEST(CategoryLabelTest, SqlPredicate) {
+  EXPECT_EQ(
+      CategoryLabel::Categorical("neighborhood", {Value("Redmond")})
+          .ToSqlPredicate(),
+      "neighborhood = 'Redmond'");
+  EXPECT_EQ(CategoryLabel::Categorical("n", {Value("a"), Value("b")})
+                .ToSqlPredicate(),
+            "n IN ('a', 'b')");
+  EXPECT_EQ(CategoryLabel::Numeric("price", 100, 200).ToSqlPredicate(),
+            "price >= 100 AND price < 200");
+  EXPECT_EQ(CategoryLabel::Numeric("price", 100, 200, true).ToSqlPredicate(),
+            "price >= 100 AND price <= 200");
+}
+
+TEST(CategoryTreeTest, RootHoldsAllRows) {
+  const Table table = HomesTable({{"a", 1, 1}, {"b", 2, 2}, {"c", 3, 3}});
+  const CategoryTree tree(&table);
+  EXPECT_EQ(tree.num_nodes(), 1u);
+  EXPECT_EQ(tree.node(tree.root()).tset_size(), 3u);
+  EXPECT_TRUE(tree.node(tree.root()).is_root());
+  EXPECT_TRUE(tree.node(tree.root()).is_leaf());
+  EXPECT_EQ(tree.num_categories(), 0u);
+  EXPECT_EQ(tree.max_depth(), 0);
+}
+
+TEST(CategoryTreeTest, AddChildrenMaintainsStructure) {
+  const Table table = HomesTable({{"a", 1, 1}, {"b", 2, 2}, {"a", 3, 3}});
+  CategoryTree tree(&table);
+  const NodeId first = tree.AddChild(
+      tree.root(), CategoryLabel::Categorical("neighborhood", {Value("a")}),
+      {0, 2});
+  const NodeId second = tree.AddChild(
+      tree.root(), CategoryLabel::Categorical("neighborhood", {Value("b")}),
+      {1});
+  tree.AppendLevelAttribute("neighborhood");
+
+  EXPECT_EQ(tree.num_nodes(), 3u);
+  EXPECT_EQ(tree.num_categories(), 2u);
+  EXPECT_EQ(tree.node(first).level, 1);
+  EXPECT_EQ(tree.node(first).parent, tree.root());
+  EXPECT_EQ(tree.node(tree.root()).children,
+            (std::vector<NodeId>{first, second}));
+  EXPECT_EQ(tree.max_depth(), 1);
+  EXPECT_EQ(tree.num_leaves(), 2u);
+  EXPECT_EQ(tree.max_leaf_tset(), 2u);
+
+  const auto sa = tree.SubcategorizingAttribute(tree.root());
+  ASSERT_TRUE(sa.ok());
+  EXPECT_EQ(sa.value(), "neighborhood");
+  EXPECT_FALSE(tree.SubcategorizingAttribute(first).ok());  // leaf
+  EXPECT_FALSE(tree.SubcategorizingAttribute(99).ok());
+}
+
+TEST(CategoryTreeTest, LevelAttributes) {
+  const Table table = HomesTable({{"a", 1, 1}});
+  CategoryTree tree(&table);
+  tree.AppendLevelAttribute("neighborhood");
+  tree.AppendLevelAttribute("price");
+  EXPECT_EQ(tree.level_attributes(),
+            (std::vector<std::string>{"neighborhood", "price"}));
+}
+
+TEST(CategoryTreeTest, RenderShowsLabelsAndCounts) {
+  const Table table = HomesTable({{"a", 1, 1}, {"b", 2, 2}});
+  CategoryTree tree(&table);
+  tree.AddChild(tree.root(),
+                CategoryLabel::Categorical("neighborhood", {Value("a")}),
+                {0});
+  const std::string rendered = tree.Render();
+  EXPECT_NE(rendered.find("ALL [2 tuples]"), std::string::npos);
+  EXPECT_NE(rendered.find("neighborhood: a [1 tuples]"),
+            std::string::npos);
+}
+
+TEST(CategoryTreeTest, RenderTruncation) {
+  const Table table = HomesTable({{"a", 1, 1}});
+  CategoryTree tree(&table);
+  for (int i = 0; i < 5; ++i) {
+    tree.AddChild(tree.root(),
+                  CategoryLabel::Numeric("price", i, i + 1), {0});
+  }
+  const std::string rendered = tree.Render(/*max_children=*/2);
+  EXPECT_NE(rendered.find("3 more categories"), std::string::npos);
+
+  const NodeId deep = tree.node(tree.root()).children[0];
+  CategoryTree tree2 = tree;
+  tree2.AddChild(deep, CategoryLabel::Numeric("bedroomcount", 0, 1), {0});
+  const std::string depth_limited =
+      tree2.Render(/*max_children=*/10, /*max_depth=*/1);
+  EXPECT_NE(depth_limited.find("below depth limit"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace autocat

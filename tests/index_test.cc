@@ -1,0 +1,188 @@
+// Tests for the sorted column index and index-driven selection.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+#include "exec/index_scan.h"
+#include "storage/index.h"
+#include "test_util.h"
+
+namespace autocat {
+namespace {
+
+using test::HomesTable;
+
+Table SmallTable() {
+  return HomesTable({
+      {"b", 300, 3},   // row 0
+      {"a", 100, 1},   // row 1
+      {"c", 200, 2},   // row 2
+      {"a", 300, 4},   // row 3
+      {"b", 100, 5},   // row 4
+  });
+}
+
+TEST(SortedColumnIndexTest, BuildAndLookup) {
+  const Table table = SmallTable();
+  const auto index = SortedColumnIndex::Build(table, "neighborhood");
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->column_name(), "neighborhood");
+  EXPECT_EQ(index->num_entries(), 5u);
+  EXPECT_EQ(index->Lookup(Value("a")), (std::vector<size_t>{1, 3}));
+  EXPECT_EQ(index->Lookup(Value("b")), (std::vector<size_t>{0, 4}));
+  EXPECT_TRUE(index->Lookup(Value("zzz")).empty());
+  EXPECT_FALSE(SortedColumnIndex::Build(table, "bogus").ok());
+}
+
+TEST(SortedColumnIndexTest, NullsAreNotIndexed) {
+  Table table(test::HomesSchema());
+  ASSERT_TRUE(
+      table.AppendRow({Value(), Value(100), Value(1), Value("Condo")})
+          .ok());
+  ASSERT_TRUE(
+      table.AppendRow({Value("a"), Value(200), Value(2), Value("Condo")})
+          .ok());
+  const auto index = SortedColumnIndex::Build(table, "neighborhood");
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->num_entries(), 1u);
+}
+
+TEST(SortedColumnIndexTest, RangeLookupBounds) {
+  const Table table = SmallTable();
+  const auto index = SortedColumnIndex::Build(table, "price");
+  ASSERT_TRUE(index.ok());
+  // [100, 300] inclusive: everything.
+  EXPECT_EQ(index->RangeLookup(Value(100), true, Value(300), true).size(),
+            5u);
+  // (100, 300): only the 200.
+  EXPECT_EQ(index->RangeLookup(Value(100), false, Value(300), false),
+            (std::vector<size_t>{2}));
+  // Unbounded low.
+  EXPECT_EQ(index->RangeLookup(Value(), true, Value(150), true),
+            (std::vector<size_t>{1, 4}));
+  // Unbounded high.
+  EXPECT_EQ(index->RangeLookup(Value(250), true, Value(), true),
+            (std::vector<size_t>{0, 3}));
+  // Fully unbounded.
+  EXPECT_EQ(index->RangeLookup(Value(), true, Value(), true).size(), 5u);
+  // Empty range.
+  EXPECT_TRUE(index->RangeLookup(Value(400), true, Value(500), true)
+                  .empty());
+}
+
+TEST(IndexScanTest, ConditionDispatch) {
+  const Table table = SmallTable();
+  const auto nb_index = SortedColumnIndex::Build(table, "neighborhood");
+  ASSERT_TRUE(nb_index.ok());
+  const auto set_cond =
+      AttributeCondition::ValueSet({Value("a"), Value("c")});
+  EXPECT_EQ(IndexScan(nb_index.value(), set_cond),
+            (std::vector<size_t>{1, 2, 3}));
+
+  const auto price_index = SortedColumnIndex::Build(table, "price");
+  ASSERT_TRUE(price_index.ok());
+  NumericRange r;
+  r.lo = 150;
+  r.hi = 300;
+  r.hi_inclusive = false;
+  EXPECT_EQ(IndexScan(price_index.value(), AttributeCondition::Range(r)),
+            (std::vector<size_t>{2}));
+}
+
+TEST(IndexedTableTest, SelectMatchesFullScan) {
+  const Table table = SmallTable();
+  const auto indexed = IndexedTable::Build(&table, {});
+  ASSERT_TRUE(indexed.ok());
+  EXPECT_EQ(indexed->num_indexes(), 4u);
+  EXPECT_TRUE(indexed->HasIndex("PRICE"));
+
+  SelectionProfile profile;
+  profile.Set("neighborhood",
+              AttributeCondition::ValueSet({Value("a"), Value("b")}));
+  NumericRange r;
+  r.lo = 150;
+  profile.Set("price", AttributeCondition::Range(r));
+  const auto scan = table.FilterIndices([&](const Row& row) {
+    return profile.MatchesRow(row, table.schema());
+  });
+  EXPECT_EQ(indexed->Select(profile), scan);
+}
+
+TEST(IndexedTableTest, UnindexedProfileFallsBackToScan) {
+  const Table table = SmallTable();
+  const auto indexed = IndexedTable::Build(&table, {"price"});
+  ASSERT_TRUE(indexed.ok());
+  SelectionProfile profile;
+  profile.Set("neighborhood",
+              AttributeCondition::ValueSet({Value("a")}));
+  EXPECT_EQ(indexed->Select(profile), (std::vector<size_t>{1, 3}));
+}
+
+TEST(IndexedTableTest, EmptyProfileSelectsEverything) {
+  const Table table = SmallTable();
+  const auto indexed = IndexedTable::Build(&table, {});
+  ASSERT_TRUE(indexed.ok());
+  EXPECT_EQ(indexed->Select(SelectionProfile()).size(), table.num_rows());
+}
+
+TEST(IndexedTableTest, NullTableRejected) {
+  EXPECT_FALSE(IndexedTable::Build(nullptr, {}).ok());
+}
+
+// Property: index-driven selection agrees with the scan on random data
+// and random profiles.
+class IndexEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IndexEquivalenceTest, SelectEqualsScan) {
+  Random rng(static_cast<uint64_t>(GetParam()) * 31337);
+  std::vector<test::HomeRow> rows;
+  const char* kNeighborhoods[] = {"a", "b", "c", "d", "e", "f"};
+  for (int i = 0; i < 300; ++i) {
+    rows.push_back(test::HomeRow{kNeighborhoods[rng.Uniform(0, 5)],
+                                 rng.Uniform(0, 50) * 100,
+                                 rng.Uniform(1, 6)});
+  }
+  const Table table = HomesTable(rows);
+  const auto indexed = IndexedTable::Build(&table, {});
+  ASSERT_TRUE(indexed.ok());
+
+  for (int trial = 0; trial < 40; ++trial) {
+    SelectionProfile profile;
+    if (rng.Bernoulli(0.7)) {
+      std::set<Value> wanted;
+      const size_t n = static_cast<size_t>(rng.Uniform(1, 3));
+      while (wanted.size() < n) {
+        wanted.insert(Value(kNeighborhoods[rng.Uniform(0, 5)]));
+      }
+      profile.Set("neighborhood",
+                  AttributeCondition::ValueSet(std::move(wanted)));
+    }
+    if (rng.Bernoulli(0.7)) {
+      NumericRange r;
+      r.lo = static_cast<double>(rng.Uniform(0, 40) * 100);
+      r.hi = r.lo + static_cast<double>(rng.Uniform(0, 20) * 100);
+      r.lo_inclusive = rng.Bernoulli(0.5);
+      r.hi_inclusive = rng.Bernoulli(0.5);
+      profile.Set("price", AttributeCondition::Range(r));
+    }
+    if (rng.Bernoulli(0.4)) {
+      NumericRange beds;
+      beds.lo = static_cast<double>(rng.Uniform(1, 4));
+      beds.hi = beds.lo + 1;
+      profile.Set("bedroomcount", AttributeCondition::Range(beds));
+    }
+    const auto scan = table.FilterIndices([&](const Row& row) {
+      return profile.MatchesRow(row, table.schema());
+    });
+    EXPECT_EQ(indexed->Select(profile), scan)
+        << "profile " << profile.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IndexEquivalenceTest,
+                         ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace autocat

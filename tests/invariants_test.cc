@@ -1,0 +1,271 @@
+// Analytical invariants: monotonicity and bounds of the probability
+// estimator, the cost models, and the range algebra, checked over
+// randomized inputs.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "core/categorizer.h"
+#include "core/cost_model.h"
+#include "core/probability.h"
+#include "test_util.h"
+
+namespace autocat {
+namespace {
+
+using test::HomesTable;
+using test::StatsFromSql;
+
+std::vector<std::string> RandomWorkloadSql(Random& rng, int queries) {
+  static const char* kNeighborhoods[] = {"a", "b", "c", "d"};
+  std::vector<std::string> sqls;
+  for (int i = 0; i < queries; ++i) {
+    if (rng.Bernoulli(0.5)) {
+      const int64_t lo = rng.Uniform(0, 8) * 1000;
+      sqls.push_back("SELECT * FROM homes WHERE price BETWEEN " +
+                     std::to_string(lo) + " AND " +
+                     std::to_string(lo + rng.Uniform(1, 4) * 1000));
+    } else {
+      sqls.push_back(
+          std::string("SELECT * FROM homes WHERE neighborhood = '") +
+          kNeighborhoods[rng.Uniform(0, 3)] + "'");
+    }
+  }
+  return sqls;
+}
+
+// ------------------------------------------------ estimator monotonicity
+
+class EstimatorMonotonicityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EstimatorMonotonicityTest, WiderLabelsNeverLoseOverlap) {
+  Random rng(static_cast<uint64_t>(GetParam()) * 2718);
+  const WorkloadStats stats = StatsFromSql(RandomWorkloadSql(rng, 30));
+  const Schema schema = test::HomesSchema();
+  const ProbabilityEstimator estimator(&stats, &schema);
+
+  for (int trial = 0; trial < 30; ++trial) {
+    // Numeric: a label contained in another has <= its NOverlap.
+    const double lo = static_cast<double>(rng.Uniform(0, 8) * 1000);
+    const double hi = lo + static_cast<double>(rng.Uniform(1, 4) * 1000);
+    const double wider_lo = lo - static_cast<double>(rng.Uniform(0, 2) * 1000);
+    const double wider_hi = hi + static_cast<double>(rng.Uniform(0, 2) * 1000);
+    EXPECT_LE(estimator.NOverlap(CategoryLabel::Numeric("price", lo, hi)),
+              estimator.NOverlap(
+                  CategoryLabel::Numeric("price", wider_lo, wider_hi)));
+    // Categorical: adding values never reduces NOverlap.
+    const auto narrow =
+        CategoryLabel::Categorical("neighborhood", {Value("a")});
+    const auto wide = CategoryLabel::Categorical(
+        "neighborhood", {Value("a"), Value("b"), Value("c")});
+    EXPECT_LE(estimator.NOverlap(narrow), estimator.NOverlap(wide));
+  }
+}
+
+TEST_P(EstimatorMonotonicityTest, ProbabilitiesBounded) {
+  Random rng(static_cast<uint64_t>(GetParam()) * 31337);
+  const WorkloadStats stats = StatsFromSql(RandomWorkloadSql(rng, 25));
+  const Schema schema = test::HomesSchema();
+  const ProbabilityEstimator estimator(&stats, &schema);
+  for (int trial = 0; trial < 50; ++trial) {
+    const double lo = rng.UniformReal(-5000, 15000);
+    const double hi = lo + rng.UniformReal(0, 10000);
+    const double p = estimator.ExplorationProbability(
+        CategoryLabel::Numeric("price", lo, hi));
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    const double pw = estimator.ShowTuplesProbability("price");
+    EXPECT_GE(pw, 0.0);
+    EXPECT_LE(pw, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EstimatorMonotonicityTest,
+                         ::testing::Range(1, 7));
+
+// ----------------------------------------------------- cost-model bounds
+
+struct CostFixture {
+  Table table;
+  WorkloadStats stats;
+  Schema schema = test::HomesSchema();
+  CategoryTree tree;
+
+  static CostFixture Make(uint64_t seed) {
+    Random rng(seed);
+    std::vector<test::HomeRow> rows;
+    const char* kNeighborhoods[] = {"a", "b", "c", "d"};
+    for (int i = 0; i < 200; ++i) {
+      rows.push_back(test::HomeRow{kNeighborhoods[rng.Uniform(0, 3)],
+                                   rng.Uniform(0, 9) * 1000,
+                                   rng.Uniform(1, 6)});
+    }
+    Table table = HomesTable(rows);
+    WorkloadStats stats = StatsFromSql(RandomWorkloadSql(rng, 30));
+    CategorizerOptions options;
+    options.max_tuples_per_category = 12;
+    options.attribute_usage_threshold = 0.0;
+    options.candidate_attributes = {"neighborhood", "price",
+                                    "bedroomcount"};
+    const CostBasedCategorizer categorizer(&stats, options);
+    auto tree = categorizer.Categorize(table, nullptr);
+    EXPECT_TRUE(tree.ok());
+    return CostFixture{std::move(table), std::move(stats),
+                       test::HomesSchema(), std::move(tree).value()};
+  }
+};
+
+class CostModelBoundsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CostModelBoundsTest, CostAllMonotoneInK) {
+  const CostFixture fixture =
+      CostFixture::Make(static_cast<uint64_t>(GetParam()));
+  const ProbabilityEstimator estimator(&fixture.stats, &fixture.schema);
+  double previous = -1;
+  for (const double k : {0.0, 0.25, 0.5, 1.0, 2.0, 4.0}) {
+    const CostModel model(&estimator, CostModelParams{k, 0.5});
+    const double cost = model.CostAll(fixture.tree);
+    EXPECT_GE(cost, previous) << "k = " << k;
+    previous = cost;
+  }
+}
+
+TEST_P(CostModelBoundsTest, CostOneMonotoneInFrac) {
+  const CostFixture fixture =
+      CostFixture::Make(static_cast<uint64_t>(GetParam()) + 50);
+  const ProbabilityEstimator estimator(&fixture.stats, &fixture.schema);
+  double previous = -1;
+  for (const double frac : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const CostModel model(&estimator, CostModelParams{1.0, frac});
+    const double cost = model.CostOne(fixture.tree);
+    EXPECT_GE(cost, previous) << "frac = " << frac;
+    previous = cost;
+  }
+}
+
+TEST_P(CostModelBoundsTest, CostOneNeverExceedsCostAll) {
+  const CostFixture fixture =
+      CostFixture::Make(static_cast<uint64_t>(GetParam()) + 100);
+  const ProbabilityEstimator estimator(&fixture.stats, &fixture.schema);
+  const CostModel model(&estimator, CostModelParams{1.0, 0.5});
+  EXPECT_LE(model.CostOne(fixture.tree),
+            model.CostAll(fixture.tree) + 1e-9);
+}
+
+TEST_P(CostModelBoundsTest, CostAllNonNegativeAndFinite) {
+  const CostFixture fixture =
+      CostFixture::Make(static_cast<uint64_t>(GetParam()) + 150);
+  const ProbabilityEstimator estimator(&fixture.stats, &fixture.schema);
+  const CostModel model(&estimator, CostModelParams{1.0, 0.5});
+  for (NodeId id = 0;
+       id < static_cast<NodeId>(fixture.tree.num_nodes()); ++id) {
+    const double cost = model.CostAll(fixture.tree, id);
+    EXPECT_GE(cost, 0.0);
+    EXPECT_TRUE(std::isfinite(cost));
+    // A subtree's cost never exceeds browsing it flat plus reading every
+    // label in it once (SHOWCAT mixes in label overhead, SHOWTUPLES the
+    // tuples; probabilities only shrink terms).
+    size_t subtree_labels = 0;
+    for (NodeId other = 0;
+         other < static_cast<NodeId>(fixture.tree.num_nodes()); ++other) {
+      // Count descendants of id (walk up the parent chain).
+      NodeId cur = other;
+      while (cur > 0 && cur != id) {
+        cur = fixture.tree.node(cur).parent;
+      }
+      if (cur == id && other != id) {
+        ++subtree_labels;
+      }
+    }
+    EXPECT_LE(cost,
+              static_cast<double>(fixture.tree.node(id).tset_size()) +
+                  static_cast<double>(subtree_labels) + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CostModelBoundsTest,
+                         ::testing::Range(1, 7));
+
+// -------------------------------------------------------- range algebra
+
+class RangeAlgebraTest : public ::testing::TestWithParam<int> {};
+
+NumericRange RandomRange(Random& rng) {
+  NumericRange r;
+  if (rng.Bernoulli(0.85)) {
+    r.lo = static_cast<double>(rng.Uniform(-10, 10));
+  }
+  if (rng.Bernoulli(0.85)) {
+    r.hi = r.lo + static_cast<double>(rng.Uniform(-2, 15));
+    if (!std::isfinite(r.lo)) {
+      r.hi = static_cast<double>(rng.Uniform(-10, 10));
+    }
+  }
+  r.lo_inclusive = rng.Bernoulli(0.5);
+  r.hi_inclusive = rng.Bernoulli(0.5);
+  return r;
+}
+
+TEST_P(RangeAlgebraTest, IntersectIsCommutativeAndSound) {
+  Random rng(static_cast<uint64_t>(GetParam()) * 17);
+  for (int trial = 0; trial < 200; ++trial) {
+    const NumericRange a = RandomRange(rng);
+    const NumericRange b = RandomRange(rng);
+    const NumericRange ab = a.Intersect(b);
+    const NumericRange ba = b.Intersect(a);
+    EXPECT_EQ(ab.lo, ba.lo);
+    EXPECT_EQ(ab.hi, ba.hi);
+    EXPECT_EQ(ab.lo_inclusive, ba.lo_inclusive);
+    EXPECT_EQ(ab.hi_inclusive, ba.hi_inclusive);
+    // Soundness: x in a∩b iff x in a and x in b, sampled.
+    for (int s = 0; s < 20; ++s) {
+      const double x = rng.UniformReal(-12, 25);
+      EXPECT_EQ(ab.Contains(x), a.Contains(x) && b.Contains(x))
+          << "x = " << x << " a=" << a.ToString() << " b=" << b.ToString();
+    }
+  }
+}
+
+TEST_P(RangeAlgebraTest, HullContainsBothInputs) {
+  Random rng(static_cast<uint64_t>(GetParam()) * 23);
+  for (int trial = 0; trial < 200; ++trial) {
+    const NumericRange a = RandomRange(rng);
+    const NumericRange b = RandomRange(rng);
+    const NumericRange hull = a.Hull(b);
+    for (int s = 0; s < 20; ++s) {
+      const double x = rng.UniformReal(-12, 25);
+      if (a.Contains(x) || b.Contains(x)) {
+        EXPECT_TRUE(hull.Contains(x))
+            << "x = " << x << " a=" << a.ToString()
+            << " b=" << b.ToString();
+      }
+    }
+  }
+}
+
+TEST_P(RangeAlgebraTest, OverlapsClosedAgreesWithSampling) {
+  Random rng(static_cast<uint64_t>(GetParam()) * 29);
+  for (int trial = 0; trial < 200; ++trial) {
+    const NumericRange r = RandomRange(rng);
+    const double a = static_cast<double>(rng.Uniform(-10, 15));
+    const double b = a + static_cast<double>(rng.Uniform(0, 10));
+    // Dense integer+half sampling of [a, b] approximates the truth on
+    // our integer-endpoint ranges.
+    bool sampled = false;
+    for (double x = a; x <= b + 1e-12; x += 0.5) {
+      if (r.Contains(x)) {
+        sampled = true;
+        break;
+      }
+    }
+    EXPECT_EQ(r.OverlapsClosed(a, b), sampled)
+        << r.ToString() << " vs [" << a << ", " << b << "]";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RangeAlgebraTest, ::testing::Range(1, 7));
+
+}  // namespace
+}  // namespace autocat

@@ -1,0 +1,233 @@
+// Tests for the SQL lexer and parser.
+
+#include "sql/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/lexer.h"
+
+namespace autocat {
+namespace {
+
+// ------------------------------------------------------------------- lexer
+
+TEST(LexerTest, BasicTokens) {
+  const auto tokens = Tokenize("SELECT * FROM t WHERE a >= 10");
+  ASSERT_TRUE(tokens.ok());
+  // SELECT, *, FROM, t, WHERE, a, >=, 10, <end> = 9 tokens.
+  ASSERT_EQ(tokens->size(), 9u);
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kStar);
+  EXPECT_EQ((*tokens)[6].kind, TokenKind::kGreaterEq);
+  EXPECT_EQ((*tokens)[7].kind, TokenKind::kNumberLiteral);
+  EXPECT_EQ((*tokens)[8].kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, StringLiteralsWithEscapes) {
+  const auto tokens = Tokenize("'O''Hare'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kStringLiteral);
+  EXPECT_EQ((*tokens)[0].text, "O'Hare");
+}
+
+TEST(LexerTest, NumberForms) {
+  for (const char* text : {"123", "1.5", ".5", "1e6", "2.5E-3"}) {
+    const auto tokens = Tokenize(text);
+    ASSERT_TRUE(tokens.ok()) << text;
+    EXPECT_EQ((*tokens)[0].kind, TokenKind::kNumberLiteral) << text;
+    EXPECT_EQ((*tokens)[0].text, text);
+  }
+}
+
+TEST(LexerTest, ComparisonOperators) {
+  const auto tokens = Tokenize("< <= > >= = <> !=");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kLess);
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kLessEq);
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kGreater);
+  EXPECT_EQ((*tokens)[3].kind, TokenKind::kGreaterEq);
+  EXPECT_EQ((*tokens)[4].kind, TokenKind::kEq);
+  EXPECT_EQ((*tokens)[5].kind, TokenKind::kNotEq);
+  EXPECT_EQ((*tokens)[6].kind, TokenKind::kNotEq);
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Tokenize("'unterminated").ok());
+  EXPECT_FALSE(Tokenize("a ~ b").ok());
+  EXPECT_FALSE(Tokenize("a ! b").ok());
+}
+
+TEST(LexerTest, KeywordDetectionIsCaseInsensitive) {
+  const auto tokens = Tokenize("SeLeCt");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_TRUE((*tokens)[0].IsKeyword("select"));
+  EXPECT_FALSE((*tokens)[0].IsKeyword("from"));
+}
+
+// ------------------------------------------------------------------ parser
+
+TEST(ParserTest, SelectStar) {
+  const auto query = ParseQuery("SELECT * FROM homes");
+  ASSERT_TRUE(query.ok());
+  EXPECT_TRUE(query->select_all());
+  EXPECT_EQ(query->table_name, "homes");
+  EXPECT_EQ(query->where, nullptr);
+}
+
+TEST(ParserTest, SelectColumns) {
+  const auto query = ParseQuery("SELECT price, neighborhood FROM homes;");
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->columns,
+            (std::vector<std::string>{"price", "neighborhood"}));
+}
+
+TEST(ParserTest, ComparisonPredicate) {
+  const auto query =
+      ParseQuery("SELECT * FROM homes WHERE price <= 300000");
+  ASSERT_TRUE(query.ok());
+  ASSERT_NE(query->where, nullptr);
+  ASSERT_EQ(query->where->kind(), ExprKind::kComparison);
+  const auto& cmp = static_cast<const ComparisonExpr&>(*query->where);
+  EXPECT_EQ(cmp.column(), "price");
+  EXPECT_EQ(cmp.op(), ComparisonOp::kLessEq);
+  EXPECT_EQ(cmp.literal(), Value(300000));
+}
+
+TEST(ParserTest, ReversedComparisonIsNormalized) {
+  const auto query =
+      ParseQuery("SELECT * FROM homes WHERE 300000 >= price");
+  ASSERT_TRUE(query.ok());
+  const auto& cmp = static_cast<const ComparisonExpr&>(*query->where);
+  EXPECT_EQ(cmp.column(), "price");
+  EXPECT_EQ(cmp.op(), ComparisonOp::kLessEq);
+}
+
+TEST(ParserTest, InList) {
+  const auto query = ParseQuery(
+      "SELECT * FROM homes WHERE neighborhood IN ('Redmond', 'Bellevue')");
+  ASSERT_TRUE(query.ok());
+  ASSERT_EQ(query->where->kind(), ExprKind::kInList);
+  const auto& in = static_cast<const InListExpr&>(*query->where);
+  EXPECT_EQ(in.column(), "neighborhood");
+  EXPECT_FALSE(in.negated());
+  ASSERT_EQ(in.values().size(), 2u);
+  EXPECT_EQ(in.values()[0], Value("Redmond"));
+}
+
+TEST(ParserTest, NotIn) {
+  const auto query =
+      ParseQuery("SELECT * FROM t WHERE a NOT IN (1, 2)");
+  ASSERT_TRUE(query.ok());
+  const auto& in = static_cast<const InListExpr&>(*query->where);
+  EXPECT_TRUE(in.negated());
+}
+
+TEST(ParserTest, Between) {
+  const auto query = ParseQuery(
+      "SELECT * FROM homes WHERE price BETWEEN 200000 AND 300000");
+  ASSERT_TRUE(query.ok());
+  ASSERT_EQ(query->where->kind(), ExprKind::kBetween);
+  const auto& bt = static_cast<const BetweenExpr&>(*query->where);
+  EXPECT_EQ(bt.lo(), Value(200000));
+  EXPECT_EQ(bt.hi(), Value(300000));
+  EXPECT_FALSE(bt.negated());
+}
+
+TEST(ParserTest, IsNullAndIsNotNull) {
+  auto query = ParseQuery("SELECT * FROM t WHERE a IS NULL");
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->where->kind(), ExprKind::kIsNull);
+  EXPECT_FALSE(static_cast<const IsNullExpr&>(*query->where).negated());
+
+  query = ParseQuery("SELECT * FROM t WHERE a IS NOT NULL");
+  ASSERT_TRUE(query.ok());
+  EXPECT_TRUE(static_cast<const IsNullExpr&>(*query->where).negated());
+}
+
+TEST(ParserTest, AndOrPrecedence) {
+  // a = 1 OR b = 2 AND c = 3  parses as  a = 1 OR (b = 2 AND c = 3).
+  const auto query =
+      ParseQuery("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3");
+  ASSERT_TRUE(query.ok());
+  ASSERT_EQ(query->where->kind(), ExprKind::kLogical);
+  const auto& outer = static_cast<const LogicalExpr&>(*query->where);
+  EXPECT_EQ(outer.op(), LogicalExpr::Op::kOr);
+  ASSERT_EQ(outer.children().size(), 2u);
+  EXPECT_EQ(outer.children()[1]->kind(), ExprKind::kLogical);
+  const auto& inner =
+      static_cast<const LogicalExpr&>(*outer.children()[1]);
+  EXPECT_EQ(inner.op(), LogicalExpr::Op::kAnd);
+}
+
+TEST(ParserTest, ParenthesesOverridePrecedence) {
+  const auto query =
+      ParseQuery("SELECT * FROM t WHERE (a = 1 OR b = 2) AND c = 3");
+  ASSERT_TRUE(query.ok());
+  const auto& outer = static_cast<const LogicalExpr&>(*query->where);
+  EXPECT_EQ(outer.op(), LogicalExpr::Op::kAnd);
+  EXPECT_EQ(outer.children()[0]->kind(), ExprKind::kLogical);
+}
+
+TEST(ParserTest, OrderByIsToleratedAndIgnored) {
+  const auto query = ParseQuery(
+      "SELECT * FROM t WHERE a = 1 ORDER BY a DESC, b ASC;");
+  ASSERT_TRUE(query.ok());
+  EXPECT_NE(query->where, nullptr);
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseQuery("").ok());
+  EXPECT_FALSE(ParseQuery("SELECT").ok());
+  EXPECT_FALSE(ParseQuery("SELECT * FROM").ok());
+  EXPECT_FALSE(ParseQuery("SELECT * FROM t WHERE").ok());
+  EXPECT_FALSE(ParseQuery("SELECT * FROM t WHERE a").ok());
+  EXPECT_FALSE(ParseQuery("SELECT * FROM t WHERE a = ").ok());
+  EXPECT_FALSE(ParseQuery("SELECT * FROM t WHERE a IN ()").ok());
+  EXPECT_FALSE(ParseQuery("SELECT * FROM t WHERE a BETWEEN 1").ok());
+  EXPECT_FALSE(ParseQuery("SELECT * FROM t WHERE a NOT = 1").ok());
+  EXPECT_FALSE(ParseQuery("SELECT * FROM t extra garbage").ok());
+  EXPECT_FALSE(ParseQuery("SELECT * FROM t WHERE select = 1").ok());
+}
+
+TEST(ParserTest, ToSqlRoundTrip) {
+  const char* kQueries[] = {
+      "SELECT * FROM homes WHERE price BETWEEN 200000 AND 300000",
+      "SELECT * FROM homes WHERE neighborhood IN ('Redmond', 'Bellevue') "
+      "AND price <= 500000",
+      "SELECT price FROM homes WHERE a = 1 OR b = 2",
+      "SELECT * FROM t WHERE x IS NOT NULL",
+  };
+  for (const char* sql : kQueries) {
+    const auto first = ParseQuery(sql);
+    ASSERT_TRUE(first.ok()) << sql;
+    const std::string regenerated = first->ToSql();
+    const auto second = ParseQuery(regenerated);
+    ASSERT_TRUE(second.ok()) << regenerated;
+    EXPECT_EQ(second->ToSql(), regenerated) << sql;
+  }
+}
+
+TEST(ParserTest, CloneProducesIndependentCopy) {
+  const auto query = ParseQuery(
+      "SELECT * FROM t WHERE a = 1 AND b IN (2, 3) OR c BETWEEN 4 AND 5");
+  ASSERT_TRUE(query.ok());
+  const SelectQuery copy = query.value();  // deep copy via Clone
+  EXPECT_EQ(copy.ToSql(), query->ToSql());
+  EXPECT_NE(copy.where.get(), query->where.get());
+}
+
+TEST(ParserTest, BareExpression) {
+  const auto expr = ParseExpression("price >= 100 AND price < 200");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_EQ((*expr)->kind(), ExprKind::kLogical);
+  EXPECT_FALSE(ParseExpression("price >= 100 extra").ok());
+}
+
+TEST(ParserTest, ComparisonOpNames) {
+  EXPECT_EQ(ComparisonOpToString(ComparisonOp::kEq), "=");
+  EXPECT_EQ(ComparisonOpToString(ComparisonOp::kNotEq), "<>");
+  EXPECT_EQ(ComparisonOpToString(ComparisonOp::kLessEq), "<=");
+}
+
+}  // namespace
+}  // namespace autocat

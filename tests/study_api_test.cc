@@ -1,0 +1,165 @@
+// Unit tests for the study-result accessors and the technique factory —
+// the API the bench harnesses consume.
+
+#include <gtest/gtest.h>
+
+#include "simgen/study.h"
+
+namespace autocat {
+namespace {
+
+SimulatedStudyResult MakeSyntheticResult() {
+  SimulatedStudyResult result;
+  // Two subsets, two techniques, hand-set costs.
+  const struct {
+    size_t subset;
+    Technique technique;
+    double estimated;
+    double actual;
+    size_t size;
+  } kRecords[] = {
+      {0, Technique::kCostBased, 10, 12, 100},
+      {0, Technique::kCostBased, 20, 21, 100},
+      {0, Technique::kNoCost, 50, 55, 100},
+      {1, Technique::kCostBased, 30, 33, 200},
+      {1, Technique::kCostBased, 40, 44, 200},
+      {1, Technique::kNoCost, 90, 100, 200},
+  };
+  for (const auto& r : kRecords) {
+    SyntheticRecord record;
+    record.subset = r.subset;
+    record.technique = r.technique;
+    record.estimated_cost = r.estimated;
+    record.actual_cost = r.actual;
+    record.result_size = r.size;
+    result.records.push_back(record);
+  }
+  return result;
+}
+
+TEST(SimulatedStudyResultTest, SelectFiltersBySubsetAndTechnique) {
+  const SimulatedStudyResult result = MakeSyntheticResult();
+  EXPECT_EQ(result.Select(Technique::kCostBased, SIZE_MAX).size(), 4u);
+  EXPECT_EQ(result.Select(Technique::kCostBased, 0).size(), 2u);
+  EXPECT_EQ(result.Select(Technique::kNoCost, 1).size(), 1u);
+  EXPECT_TRUE(result.Select(Technique::kAttrCost, SIZE_MAX).empty());
+}
+
+TEST(SimulatedStudyResultTest, PearsonAndSlope) {
+  const SimulatedStudyResult result = MakeSyntheticResult();
+  const auto pearson = result.Pearson(Technique::kCostBased, SIZE_MAX);
+  ASSERT_TRUE(pearson.ok());
+  EXPECT_GT(pearson.value(), 0.99);  // nearly perfectly linear by design
+  const auto slope = result.FitSlope(Technique::kCostBased);
+  ASSERT_TRUE(slope.ok());
+  EXPECT_NEAR(slope.value(), 1.1, 0.02);
+  // Too few points for Attr-cost.
+  EXPECT_FALSE(result.Pearson(Technique::kAttrCost, SIZE_MAX).ok());
+  const auto pooled = result.PooledPearson(SIZE_MAX);
+  ASSERT_TRUE(pooled.ok());
+  EXPECT_GT(pooled.value(), 0.9);
+}
+
+TEST(SimulatedStudyResultTest, MeanFractionalCost) {
+  const SimulatedStudyResult result = MakeSyntheticResult();
+  // Subset 0 cost-based: (12/100 + 21/100) / 2 = 0.165.
+  EXPECT_NEAR(result.MeanFractionalCost(Technique::kCostBased, 0), 0.165,
+              1e-12);
+  // Empty selection -> 0.
+  EXPECT_DOUBLE_EQ(result.MeanFractionalCost(Technique::kAttrCost, 0), 0);
+}
+
+TEST(UserStudyResultTest, SelectorsAndVotes) {
+  UserStudyResult result;
+  const struct {
+    const char* user;
+    const char* task;
+    Technique technique;
+    double est;
+    double all;
+    double one;
+    size_t relevant;
+  } kRuns[] = {
+      // U1 finds cost-based cheap, no-cost dear, on both tasks.
+      {"U1", "T1", Technique::kCostBased, 10, 10, 2, 5},
+      {"U1", "T1", Technique::kNoCost, 50, 60, 30, 5},
+      {"U1", "T2", Technique::kCostBased, 20, 22, 3, 4},
+      {"U1", "T2", Technique::kNoCost, 80, 90, 40, 4},
+      // U2 prefers no cost (contrarian data).
+      {"U2", "T1", Technique::kCostBased, 10, 100, 50, 1},
+      {"U2", "T1", Technique::kNoCost, 50, 10, 2, 5},
+  };
+  for (const auto& r : kRuns) {
+    UserRunRecord record;
+    record.user = r.user;
+    record.task = r.task;
+    record.technique = r.technique;
+    record.estimated_cost = r.est;
+    record.actual_cost_all = r.all;
+    record.actual_cost_one = r.one;
+    record.relevant_found = r.relevant;
+    record.result_size = 100;
+    record.paper_assignment = true;
+    result.records.push_back(record);
+  }
+  EXPECT_EQ(result.Select("T1", Technique::kCostBased).size(), 2u);
+  EXPECT_EQ(result.Select("T2", Technique::kNoCost).size(), 1u);
+  EXPECT_TRUE(result.Select("T3", Technique::kCostBased).empty());
+
+  const auto u1 = result.UserPearson("U1");
+  ASSERT_TRUE(u1.ok());
+  EXPECT_GT(u1.value(), 0.99);
+  EXPECT_FALSE(result.UserPearson("U9").ok());  // no runs
+
+  const auto votes = result.SurveyVotes();
+  ASSERT_EQ(votes.size(), 2u);
+  EXPECT_EQ(votes.at(Technique::kCostBased), 1u);  // U1
+  EXPECT_EQ(votes.at(Technique::kNoCost), 1u);     // U2
+}
+
+TEST(UserStudyResultTest, UserPearsonUsesOnlyRotationRuns) {
+  UserStudyResult result;
+  // Two rotation runs perfectly correlated; one factorial-only run that
+  // would destroy the correlation if it were included.
+  UserRunRecord a;
+  a.user = "U1";
+  a.task = "T1";
+  a.estimated_cost = 10;
+  a.actual_cost_all = 10;
+  a.paper_assignment = true;
+  UserRunRecord b = a;
+  b.task = "T2";
+  b.estimated_cost = 20;
+  b.actual_cost_all = 20;
+  UserRunRecord outlier = a;
+  outlier.task = "T3";
+  outlier.estimated_cost = 30;
+  outlier.actual_cost_all = -1000;
+  outlier.paper_assignment = false;
+  result.records = {a, b, outlier};
+  const auto r = result.UserPearson("U1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value(), 1.0, 1e-12);
+}
+
+TEST(TechniqueFactoryTest, CostBasedIgnoresPredefinedSet) {
+  // The cost-based technique derives candidates from the schema plus the
+  // usage threshold; the baselines take the predefined set.
+  StudyConfig config = DefaultStudyConfig();
+  config.predefined_attributes = {"price"};
+  Workload empty;
+  const auto schema = HomesGenerator::ListPropertySchema();
+  ASSERT_TRUE(schema.ok());
+  const auto stats =
+      WorkloadStats::Build(empty, schema.value(), config.stats);
+  ASSERT_TRUE(stats.ok());
+  const auto cost_based =
+      MakeTechnique(Technique::kCostBased, &stats.value(), config, 1);
+  const auto* concrete =
+      dynamic_cast<const CostBasedCategorizer*>(cost_based.get());
+  ASSERT_NE(concrete, nullptr);
+  EXPECT_TRUE(concrete->options().candidate_attributes.empty());
+}
+
+}  // namespace
+}  // namespace autocat
