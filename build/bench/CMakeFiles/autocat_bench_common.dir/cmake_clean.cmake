@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autocat_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/autocat_bench_common.dir/bench_common.cc.o.d"
+  "libautocat_bench_common.a"
+  "libautocat_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autocat_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

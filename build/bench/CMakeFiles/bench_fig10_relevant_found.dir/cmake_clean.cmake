@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_relevant_found.dir/bench_fig10_relevant_found.cc.o"
+  "CMakeFiles/bench_fig10_relevant_found.dir/bench_fig10_relevant_found.cc.o.d"
+  "bench_fig10_relevant_found"
+  "bench_fig10_relevant_found.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_relevant_found.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_cost_one_tasks.dir/bench_fig12_cost_one_tasks.cc.o"
+  "CMakeFiles/bench_fig12_cost_one_tasks.dir/bench_fig12_cost_one_tasks.cc.o.d"
+  "bench_fig12_cost_one_tasks"
+  "bench_fig12_cost_one_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_cost_one_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_fig5_counts.dir/bench_fig4_fig5_counts.cc.o"
+  "CMakeFiles/bench_fig4_fig5_counts.dir/bench_fig4_fig5_counts.cc.o.d"
+  "bench_fig4_fig5_counts"
+  "bench_fig4_fig5_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_fig5_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

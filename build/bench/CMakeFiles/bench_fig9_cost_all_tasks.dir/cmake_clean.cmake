@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_cost_all_tasks.dir/bench_fig9_cost_all_tasks.cc.o"
+  "CMakeFiles/bench_fig9_cost_all_tasks.dir/bench_fig9_cost_all_tasks.cc.o.d"
+  "bench_fig9_cost_all_tasks"
+  "bench_fig9_cost_all_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_cost_all_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table1_subset_correlation.cc" "bench/CMakeFiles/bench_table1_subset_correlation.dir/bench_table1_subset_correlation.cc.o" "gcc" "bench/CMakeFiles/bench_table1_subset_correlation.dir/bench_table1_subset_correlation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/autocat_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/autocat_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/explore/CMakeFiles/autocat_explore.dir/DependInfo.cmake"
+  "/root/repo/build/src/simgen/CMakeFiles/autocat_simgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/autocat_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/autocat_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/autocat_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/autocat_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/autocat_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

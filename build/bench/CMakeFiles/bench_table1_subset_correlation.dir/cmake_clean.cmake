@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_subset_correlation.dir/bench_table1_subset_correlation.cc.o"
+  "CMakeFiles/bench_table1_subset_correlation.dir/bench_table1_subset_correlation.cc.o.d"
+  "bench_table1_subset_correlation"
+  "bench_table1_subset_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_subset_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

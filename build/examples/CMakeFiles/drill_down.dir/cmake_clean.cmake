@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drill_down.dir/drill_down.cpp.o"
+  "CMakeFiles/drill_down.dir/drill_down.cpp.o.d"
+  "drill_down"
+  "drill_down.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drill_down.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

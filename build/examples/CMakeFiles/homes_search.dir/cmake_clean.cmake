@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/homes_search.dir/homes_search.cpp.o"
+  "CMakeFiles/homes_search.dir/homes_search.cpp.o.d"
+  "homes_search"
+  "homes_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/homes_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

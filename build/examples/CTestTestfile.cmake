@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;9;autocat_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_homes_search "/root/repo/build/examples/homes_search")
+set_tests_properties(example_homes_search PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;10;autocat_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_workload_insights "/root/repo/build/examples/workload_insights")
+set_tests_properties(example_workload_insights PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;11;autocat_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_compare_techniques "/root/repo/build/examples/compare_techniques")
+set_tests_properties(example_compare_techniques PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;12;autocat_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_drill_down "/root/repo/build/examples/drill_down")
+set_tests_properties(example_drill_down PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;13;autocat_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_csv_workflow "/root/repo/build/examples/csv_workflow")
+set_tests_properties(example_csv_workflow PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;14;autocat_example;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autocat_common.dir/random.cc.o"
+  "CMakeFiles/autocat_common.dir/random.cc.o.d"
+  "CMakeFiles/autocat_common.dir/statistics.cc.o"
+  "CMakeFiles/autocat_common.dir/statistics.cc.o.d"
+  "CMakeFiles/autocat_common.dir/status.cc.o"
+  "CMakeFiles/autocat_common.dir/status.cc.o.d"
+  "CMakeFiles/autocat_common.dir/string_util.cc.o"
+  "CMakeFiles/autocat_common.dir/string_util.cc.o.d"
+  "CMakeFiles/autocat_common.dir/value.cc.o"
+  "CMakeFiles/autocat_common.dir/value.cc.o.d"
+  "libautocat_common.a"
+  "libautocat_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autocat_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

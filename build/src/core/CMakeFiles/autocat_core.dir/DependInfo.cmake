@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/categorizer.cc" "src/core/CMakeFiles/autocat_core.dir/categorizer.cc.o" "gcc" "src/core/CMakeFiles/autocat_core.dir/categorizer.cc.o.d"
+  "/root/repo/src/core/category.cc" "src/core/CMakeFiles/autocat_core.dir/category.cc.o" "gcc" "src/core/CMakeFiles/autocat_core.dir/category.cc.o.d"
+  "/root/repo/src/core/correlation.cc" "src/core/CMakeFiles/autocat_core.dir/correlation.cc.o" "gcc" "src/core/CMakeFiles/autocat_core.dir/correlation.cc.o.d"
+  "/root/repo/src/core/cost_model.cc" "src/core/CMakeFiles/autocat_core.dir/cost_model.cc.o" "gcc" "src/core/CMakeFiles/autocat_core.dir/cost_model.cc.o.d"
+  "/root/repo/src/core/enumerate.cc" "src/core/CMakeFiles/autocat_core.dir/enumerate.cc.o" "gcc" "src/core/CMakeFiles/autocat_core.dir/enumerate.cc.o.d"
+  "/root/repo/src/core/export.cc" "src/core/CMakeFiles/autocat_core.dir/export.cc.o" "gcc" "src/core/CMakeFiles/autocat_core.dir/export.cc.o.d"
+  "/root/repo/src/core/ordering.cc" "src/core/CMakeFiles/autocat_core.dir/ordering.cc.o" "gcc" "src/core/CMakeFiles/autocat_core.dir/ordering.cc.o.d"
+  "/root/repo/src/core/partition.cc" "src/core/CMakeFiles/autocat_core.dir/partition.cc.o" "gcc" "src/core/CMakeFiles/autocat_core.dir/partition.cc.o.d"
+  "/root/repo/src/core/probability.cc" "src/core/CMakeFiles/autocat_core.dir/probability.cc.o" "gcc" "src/core/CMakeFiles/autocat_core.dir/probability.cc.o.d"
+  "/root/repo/src/core/ranking.cc" "src/core/CMakeFiles/autocat_core.dir/ranking.cc.o" "gcc" "src/core/CMakeFiles/autocat_core.dir/ranking.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/autocat_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/autocat_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/autocat_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/autocat_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

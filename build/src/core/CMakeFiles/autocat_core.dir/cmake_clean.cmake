@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autocat_core.dir/categorizer.cc.o"
+  "CMakeFiles/autocat_core.dir/categorizer.cc.o.d"
+  "CMakeFiles/autocat_core.dir/category.cc.o"
+  "CMakeFiles/autocat_core.dir/category.cc.o.d"
+  "CMakeFiles/autocat_core.dir/correlation.cc.o"
+  "CMakeFiles/autocat_core.dir/correlation.cc.o.d"
+  "CMakeFiles/autocat_core.dir/cost_model.cc.o"
+  "CMakeFiles/autocat_core.dir/cost_model.cc.o.d"
+  "CMakeFiles/autocat_core.dir/enumerate.cc.o"
+  "CMakeFiles/autocat_core.dir/enumerate.cc.o.d"
+  "CMakeFiles/autocat_core.dir/export.cc.o"
+  "CMakeFiles/autocat_core.dir/export.cc.o.d"
+  "CMakeFiles/autocat_core.dir/ordering.cc.o"
+  "CMakeFiles/autocat_core.dir/ordering.cc.o.d"
+  "CMakeFiles/autocat_core.dir/partition.cc.o"
+  "CMakeFiles/autocat_core.dir/partition.cc.o.d"
+  "CMakeFiles/autocat_core.dir/probability.cc.o"
+  "CMakeFiles/autocat_core.dir/probability.cc.o.d"
+  "CMakeFiles/autocat_core.dir/ranking.cc.o"
+  "CMakeFiles/autocat_core.dir/ranking.cc.o.d"
+  "libautocat_core.a"
+  "libautocat_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autocat_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libautocat_core.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/executor.cc" "src/exec/CMakeFiles/autocat_exec.dir/executor.cc.o" "gcc" "src/exec/CMakeFiles/autocat_exec.dir/executor.cc.o.d"
+  "/root/repo/src/exec/index_scan.cc" "src/exec/CMakeFiles/autocat_exec.dir/index_scan.cc.o" "gcc" "src/exec/CMakeFiles/autocat_exec.dir/index_scan.cc.o.d"
+  "/root/repo/src/exec/predicate.cc" "src/exec/CMakeFiles/autocat_exec.dir/predicate.cc.o" "gcc" "src/exec/CMakeFiles/autocat_exec.dir/predicate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sql/CMakeFiles/autocat_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/autocat_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/autocat_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autocat_exec.dir/executor.cc.o"
+  "CMakeFiles/autocat_exec.dir/executor.cc.o.d"
+  "CMakeFiles/autocat_exec.dir/index_scan.cc.o"
+  "CMakeFiles/autocat_exec.dir/index_scan.cc.o.d"
+  "CMakeFiles/autocat_exec.dir/predicate.cc.o"
+  "CMakeFiles/autocat_exec.dir/predicate.cc.o.d"
+  "libautocat_exec.a"
+  "libautocat_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autocat_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

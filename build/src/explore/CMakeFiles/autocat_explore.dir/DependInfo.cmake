@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/explore/exploration.cc" "src/explore/CMakeFiles/autocat_explore.dir/exploration.cc.o" "gcc" "src/explore/CMakeFiles/autocat_explore.dir/exploration.cc.o.d"
+  "/root/repo/src/explore/metrics.cc" "src/explore/CMakeFiles/autocat_explore.dir/metrics.cc.o" "gcc" "src/explore/CMakeFiles/autocat_explore.dir/metrics.cc.o.d"
+  "/root/repo/src/explore/trace.cc" "src/explore/CMakeFiles/autocat_explore.dir/trace.cc.o" "gcc" "src/explore/CMakeFiles/autocat_explore.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/autocat_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/autocat_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/autocat_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/autocat_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/autocat_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

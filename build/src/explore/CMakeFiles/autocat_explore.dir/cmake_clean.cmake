@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autocat_explore.dir/exploration.cc.o"
+  "CMakeFiles/autocat_explore.dir/exploration.cc.o.d"
+  "CMakeFiles/autocat_explore.dir/metrics.cc.o"
+  "CMakeFiles/autocat_explore.dir/metrics.cc.o.d"
+  "CMakeFiles/autocat_explore.dir/trace.cc.o"
+  "CMakeFiles/autocat_explore.dir/trace.cc.o.d"
+  "libautocat_explore.a"
+  "libautocat_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autocat_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

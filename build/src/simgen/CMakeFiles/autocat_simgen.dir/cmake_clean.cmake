@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autocat_simgen.dir/geo.cc.o"
+  "CMakeFiles/autocat_simgen.dir/geo.cc.o.d"
+  "CMakeFiles/autocat_simgen.dir/homes_generator.cc.o"
+  "CMakeFiles/autocat_simgen.dir/homes_generator.cc.o.d"
+  "CMakeFiles/autocat_simgen.dir/study.cc.o"
+  "CMakeFiles/autocat_simgen.dir/study.cc.o.d"
+  "CMakeFiles/autocat_simgen.dir/user_simulator.cc.o"
+  "CMakeFiles/autocat_simgen.dir/user_simulator.cc.o.d"
+  "CMakeFiles/autocat_simgen.dir/workload_generator.cc.o"
+  "CMakeFiles/autocat_simgen.dir/workload_generator.cc.o.d"
+  "libautocat_simgen.a"
+  "libautocat_simgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autocat_simgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autocat_sql.dir/ast.cc.o"
+  "CMakeFiles/autocat_sql.dir/ast.cc.o.d"
+  "CMakeFiles/autocat_sql.dir/lexer.cc.o"
+  "CMakeFiles/autocat_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/autocat_sql.dir/parser.cc.o"
+  "CMakeFiles/autocat_sql.dir/parser.cc.o.d"
+  "CMakeFiles/autocat_sql.dir/selection.cc.o"
+  "CMakeFiles/autocat_sql.dir/selection.cc.o.d"
+  "libautocat_sql.a"
+  "libautocat_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autocat_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autocat_storage.dir/column_stats.cc.o"
+  "CMakeFiles/autocat_storage.dir/column_stats.cc.o.d"
+  "CMakeFiles/autocat_storage.dir/csv.cc.o"
+  "CMakeFiles/autocat_storage.dir/csv.cc.o.d"
+  "CMakeFiles/autocat_storage.dir/index.cc.o"
+  "CMakeFiles/autocat_storage.dir/index.cc.o.d"
+  "CMakeFiles/autocat_storage.dir/schema.cc.o"
+  "CMakeFiles/autocat_storage.dir/schema.cc.o.d"
+  "CMakeFiles/autocat_storage.dir/table.cc.o"
+  "CMakeFiles/autocat_storage.dir/table.cc.o.d"
+  "libautocat_storage.a"
+  "libautocat_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autocat_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autocat_workload.dir/counts.cc.o"
+  "CMakeFiles/autocat_workload.dir/counts.cc.o.d"
+  "CMakeFiles/autocat_workload.dir/workload.cc.o"
+  "CMakeFiles/autocat_workload.dir/workload.cc.o.d"
+  "libautocat_workload.a"
+  "libautocat_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autocat_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

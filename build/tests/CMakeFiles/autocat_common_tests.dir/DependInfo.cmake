@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common_status_test.cc" "tests/CMakeFiles/autocat_common_tests.dir/common_status_test.cc.o" "gcc" "tests/CMakeFiles/autocat_common_tests.dir/common_status_test.cc.o.d"
+  "/root/repo/tests/common_util_test.cc" "tests/CMakeFiles/autocat_common_tests.dir/common_util_test.cc.o" "gcc" "tests/CMakeFiles/autocat_common_tests.dir/common_util_test.cc.o.d"
+  "/root/repo/tests/common_value_test.cc" "tests/CMakeFiles/autocat_common_tests.dir/common_value_test.cc.o" "gcc" "tests/CMakeFiles/autocat_common_tests.dir/common_value_test.cc.o.d"
+  "/root/repo/tests/storage_test.cc" "tests/CMakeFiles/autocat_common_tests.dir/storage_test.cc.o" "gcc" "tests/CMakeFiles/autocat_common_tests.dir/storage_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simgen/CMakeFiles/autocat_simgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/explore/CMakeFiles/autocat_explore.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/autocat_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/autocat_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/autocat_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/autocat_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/autocat_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/autocat_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

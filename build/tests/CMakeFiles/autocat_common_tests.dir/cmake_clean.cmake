@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autocat_common_tests.dir/common_status_test.cc.o"
+  "CMakeFiles/autocat_common_tests.dir/common_status_test.cc.o.d"
+  "CMakeFiles/autocat_common_tests.dir/common_util_test.cc.o"
+  "CMakeFiles/autocat_common_tests.dir/common_util_test.cc.o.d"
+  "CMakeFiles/autocat_common_tests.dir/common_value_test.cc.o"
+  "CMakeFiles/autocat_common_tests.dir/common_value_test.cc.o.d"
+  "CMakeFiles/autocat_common_tests.dir/storage_test.cc.o"
+  "CMakeFiles/autocat_common_tests.dir/storage_test.cc.o.d"
+  "autocat_common_tests"
+  "autocat_common_tests.pdb"
+  "autocat_common_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autocat_common_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

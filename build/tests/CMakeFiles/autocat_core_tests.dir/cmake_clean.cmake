@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autocat_core_tests.dir/core_categorizer_test.cc.o"
+  "CMakeFiles/autocat_core_tests.dir/core_categorizer_test.cc.o.d"
+  "CMakeFiles/autocat_core_tests.dir/core_category_test.cc.o"
+  "CMakeFiles/autocat_core_tests.dir/core_category_test.cc.o.d"
+  "CMakeFiles/autocat_core_tests.dir/core_cost_model_test.cc.o"
+  "CMakeFiles/autocat_core_tests.dir/core_cost_model_test.cc.o.d"
+  "CMakeFiles/autocat_core_tests.dir/core_extensions_test.cc.o"
+  "CMakeFiles/autocat_core_tests.dir/core_extensions_test.cc.o.d"
+  "CMakeFiles/autocat_core_tests.dir/core_ordering_test.cc.o"
+  "CMakeFiles/autocat_core_tests.dir/core_ordering_test.cc.o.d"
+  "CMakeFiles/autocat_core_tests.dir/core_partition_test.cc.o"
+  "CMakeFiles/autocat_core_tests.dir/core_partition_test.cc.o.d"
+  "CMakeFiles/autocat_core_tests.dir/explore_test.cc.o"
+  "CMakeFiles/autocat_core_tests.dir/explore_test.cc.o.d"
+  "CMakeFiles/autocat_core_tests.dir/invariants_test.cc.o"
+  "CMakeFiles/autocat_core_tests.dir/invariants_test.cc.o.d"
+  "autocat_core_tests"
+  "autocat_core_tests.pdb"
+  "autocat_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autocat_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autocat_sim_tests.dir/robustness_test.cc.o"
+  "CMakeFiles/autocat_sim_tests.dir/robustness_test.cc.o.d"
+  "CMakeFiles/autocat_sim_tests.dir/seed_robustness_test.cc.o"
+  "CMakeFiles/autocat_sim_tests.dir/seed_robustness_test.cc.o.d"
+  "CMakeFiles/autocat_sim_tests.dir/simgen_test.cc.o"
+  "CMakeFiles/autocat_sim_tests.dir/simgen_test.cc.o.d"
+  "CMakeFiles/autocat_sim_tests.dir/study_api_test.cc.o"
+  "CMakeFiles/autocat_sim_tests.dir/study_api_test.cc.o.d"
+  "CMakeFiles/autocat_sim_tests.dir/study_integration_test.cc.o"
+  "CMakeFiles/autocat_sim_tests.dir/study_integration_test.cc.o.d"
+  "autocat_sim_tests"
+  "autocat_sim_tests.pdb"
+  "autocat_sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autocat_sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autocat_sql_tests.dir/exec_test.cc.o"
+  "CMakeFiles/autocat_sql_tests.dir/exec_test.cc.o.d"
+  "CMakeFiles/autocat_sql_tests.dir/index_test.cc.o"
+  "CMakeFiles/autocat_sql_tests.dir/index_test.cc.o.d"
+  "CMakeFiles/autocat_sql_tests.dir/sql_parser_test.cc.o"
+  "CMakeFiles/autocat_sql_tests.dir/sql_parser_test.cc.o.d"
+  "CMakeFiles/autocat_sql_tests.dir/sql_selection_test.cc.o"
+  "CMakeFiles/autocat_sql_tests.dir/sql_selection_test.cc.o.d"
+  "CMakeFiles/autocat_sql_tests.dir/workload_test.cc.o"
+  "CMakeFiles/autocat_sql_tests.dir/workload_test.cc.o.d"
+  "autocat_sql_tests"
+  "autocat_sql_tests.pdb"
+  "autocat_sql_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autocat_sql_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

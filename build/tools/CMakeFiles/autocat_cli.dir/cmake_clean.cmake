@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autocat_cli.dir/autocat_cli.cc.o"
+  "CMakeFiles/autocat_cli.dir/autocat_cli.cc.o.d"
+  "autocat_cli"
+  "autocat_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autocat_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
