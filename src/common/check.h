@@ -3,6 +3,8 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
+#include <string>
 
 /// Aborts with a diagnostic when `cond` is false. Used for programming
 /// errors (broken invariants), never for recoverable conditions — those are
@@ -16,12 +18,72 @@
     }                                                                    \
   } while (false)
 
+namespace autocat::internal {
+
+/// Renders an operand for a failed AUTOCAT_CHECK_* message. Streamable
+/// types print their value; everything else prints a placeholder so the
+/// macros stay usable with arbitrary operand types.
+template <typename T>
+std::string CheckOperandToString(const T& v) {
+  if constexpr (requires(std::ostringstream& os) { os << v; }) {
+    std::ostringstream os;
+    os << v;
+    return os.str();
+  } else {
+    return "<unprintable>";
+  }
+}
+
+}  // namespace autocat::internal
+
+/// Binary-comparison checks that print both operand values on failure,
+/// e.g. `a.cc:7: AUTOCAT_CHECK_GE failed: n >= lo (2 vs 5)`.
+/// Operands are evaluated exactly once.
+#define AUTOCAT_CHECK_OP_(name, op, a, b)                                  \
+  do {                                                                     \
+    const auto& _autocat_a_ = (a);                                         \
+    const auto& _autocat_b_ = (b);                                         \
+    if (!(_autocat_a_ op _autocat_b_)) {                                   \
+      std::fprintf(                                                        \
+          stderr, "%s:%d: %s failed: %s %s %s (%s vs %s)\n", __FILE__,     \
+          __LINE__, name, #a, #op, #b,                                     \
+          ::autocat::internal::CheckOperandToString(_autocat_a_).c_str(),  \
+          ::autocat::internal::CheckOperandToString(_autocat_b_).c_str()); \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (false)
+
+#define AUTOCAT_CHECK_EQ(a, b) AUTOCAT_CHECK_OP_("AUTOCAT_CHECK_EQ", ==, a, b)
+#define AUTOCAT_CHECK_NE(a, b) AUTOCAT_CHECK_OP_("AUTOCAT_CHECK_NE", !=, a, b)
+#define AUTOCAT_CHECK_LT(a, b) AUTOCAT_CHECK_OP_("AUTOCAT_CHECK_LT", <, a, b)
+#define AUTOCAT_CHECK_LE(a, b) AUTOCAT_CHECK_OP_("AUTOCAT_CHECK_LE", <=, a, b)
+#define AUTOCAT_CHECK_GT(a, b) AUTOCAT_CHECK_OP_("AUTOCAT_CHECK_GT", >, a, b)
+#define AUTOCAT_CHECK_GE(a, b) AUTOCAT_CHECK_OP_("AUTOCAT_CHECK_GE", >=, a, b)
+
+/// Debug-only variants. Release builds compile the condition away entirely
+/// (operands are not evaluated), so Validate()-style invariant sweeps can
+/// sit on hot mutation paths for free.
 #ifdef NDEBUG
 #define AUTOCAT_DCHECK(cond) \
   do {                       \
   } while (false)
+#define AUTOCAT_DCHECK_OP_IGNORE_(a, b) \
+  do {                                  \
+  } while (false)
+#define AUTOCAT_DCHECK_EQ(a, b) AUTOCAT_DCHECK_OP_IGNORE_(a, b)
+#define AUTOCAT_DCHECK_NE(a, b) AUTOCAT_DCHECK_OP_IGNORE_(a, b)
+#define AUTOCAT_DCHECK_LT(a, b) AUTOCAT_DCHECK_OP_IGNORE_(a, b)
+#define AUTOCAT_DCHECK_LE(a, b) AUTOCAT_DCHECK_OP_IGNORE_(a, b)
+#define AUTOCAT_DCHECK_GT(a, b) AUTOCAT_DCHECK_OP_IGNORE_(a, b)
+#define AUTOCAT_DCHECK_GE(a, b) AUTOCAT_DCHECK_OP_IGNORE_(a, b)
 #else
 #define AUTOCAT_DCHECK(cond) AUTOCAT_CHECK(cond)
+#define AUTOCAT_DCHECK_EQ(a, b) AUTOCAT_CHECK_EQ(a, b)
+#define AUTOCAT_DCHECK_NE(a, b) AUTOCAT_CHECK_NE(a, b)
+#define AUTOCAT_DCHECK_LT(a, b) AUTOCAT_CHECK_LT(a, b)
+#define AUTOCAT_DCHECK_LE(a, b) AUTOCAT_CHECK_LE(a, b)
+#define AUTOCAT_DCHECK_GT(a, b) AUTOCAT_CHECK_GT(a, b)
+#define AUTOCAT_DCHECK_GE(a, b) AUTOCAT_CHECK_GE(a, b)
 #endif
 
 #endif  // AUTOCAT_COMMON_CHECK_H_

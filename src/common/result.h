@@ -17,8 +17,11 @@ namespace autocat {
 /// `return value;` on success and `return Status::...(...)` on failure.
 /// Accessing the value of an error result aborts the process; call sites
 /// that can recover must test `ok()` first (or use `value_or`).
+///
+/// Like `Status`, the class is `[[nodiscard]]`: silently dropping a
+/// `Result` return value is a build error under `AUTOCAT_WERROR`.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs from a success value.
   Result(T value)  // NOLINT(google-explicit-constructor)

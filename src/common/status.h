@@ -34,7 +34,11 @@ std::string_view StatusCodeToString(StatusCode code);
 /// An OK status carries no message and no allocation. Error statuses carry a
 /// code plus a human-readable message. `Status` is copyable, movable, and
 /// cheap to return by value.
-class Status {
+///
+/// The class is `[[nodiscard]]`: every function returning a `Status` must
+/// have its result inspected (or explicitly voided) at the call site;
+/// `tools/autocat_lint` enforces the same rule textually as a backstop.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}

@@ -4,6 +4,7 @@
 #include <functional>
 #include <limits>
 
+#include "common/check.h"
 #include "common/random.h"
 #include "common/string_util.h"
 
@@ -160,6 +161,7 @@ Result<CategoryTree> BuildLevelByLevel(
     // oversized category), retry the same level with the remaining
     // candidates.
   }
+  AUTOCAT_DCHECK(tree.Validate().ok());
   return tree;
 }
 

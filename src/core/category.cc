@@ -1,6 +1,7 @@
 #include "core/category.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "common/check.h"
 #include "common/string_util.h"
@@ -103,6 +104,11 @@ CategoryTree::CategoryTree(const Table* result) : result_(result) {
 NodeId CategoryTree::AddChild(NodeId parent, CategoryLabel label,
                               std::vector<size_t> tuples) {
   AUTOCAT_CHECK(parent >= 0 && parent < static_cast<NodeId>(nodes_.size()));
+#ifndef NDEBUG
+  for (size_t idx : tuples) {
+    AUTOCAT_DCHECK_LT(idx, result_->num_rows());
+  }
+#endif
   CategoryNode child;
   child.id = static_cast<NodeId>(nodes_.size());
   child.parent = parent;
@@ -190,6 +196,75 @@ std::string CategoryTree::Render(size_t max_children, int max_depth) const {
   std::string out;
   RenderNode(*this, root(), 0, max_children, max_depth, out);
   return out;
+}
+
+Status CategoryTree::Validate() const {
+  const auto fail = [](NodeId id, const std::string& what) {
+    return Status::Internal("category tree node " + std::to_string(id) +
+                            ": " + what);
+  };
+  if (nodes_.empty()) {
+    return Status::Internal("category tree has no root");
+  }
+  if (!nodes_[0].is_root() || nodes_[0].level != 0) {
+    return fail(0, "root must have parent -1 and level 0");
+  }
+  for (NodeId id = 0; id < static_cast<NodeId>(nodes_.size()); ++id) {
+    const CategoryNode& n = nodes_[id];
+    if (n.id != id) {
+      return fail(id, "id does not match its position");
+    }
+    if (id != kRootNode) {
+      if (n.parent < 0 || n.parent >= static_cast<NodeId>(nodes_.size())) {
+        return fail(id, "parent out of range");
+      }
+      if (n.parent >= id) {
+        return fail(id, "parent must precede child (append-only order)");
+      }
+      const CategoryNode& p = nodes_[n.parent];
+      if (n.level != p.level + 1) {
+        return fail(id, "level must be parent level + 1");
+      }
+      if (std::count(p.children.begin(), p.children.end(), id) != 1) {
+        return fail(id, "must appear exactly once in parent's children");
+      }
+      if (n.label.attribute().empty()) {
+        return fail(id, "non-root node has an unlabeled attribute");
+      }
+    }
+    // Siblings share one subcategorizing attribute (the 1:1
+    // level/attribute association SubcategorizingAttribute relies on).
+    for (NodeId child : n.children) {
+      if (child <= id || child >= static_cast<NodeId>(nodes_.size())) {
+        return fail(id, "child id out of range");
+      }
+      if (nodes_[child].parent != id) {
+        return fail(child, "child does not point back to its parent");
+      }
+      if (nodes_[child].label.attribute() !=
+          nodes_[n.children.front()].label.attribute()) {
+        return fail(child, "siblings disagree on their label attribute");
+      }
+    }
+    // tset containment: every tuple is a table row and (for non-root
+    // nodes) also belongs to the parent's tset.
+    const std::unordered_set<size_t> parent_tuples =
+        n.is_root() ? std::unordered_set<size_t>()
+                    : std::unordered_set<size_t>(
+                          nodes_[n.parent].tuples.begin(),
+                          nodes_[n.parent].tuples.end());
+    for (size_t idx : n.tuples) {
+      if (idx >= result_->num_rows()) {
+        return fail(id, "tuple index " + std::to_string(idx) +
+                            " out of range");
+      }
+      if (!n.is_root() && parent_tuples.count(idx) == 0) {
+        return fail(id, "tuple " + std::to_string(idx) +
+                            " missing from parent's tset");
+      }
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace autocat

@@ -143,6 +143,15 @@ class CategoryTree {
   /// (0 = unlimited depth) for readability.
   std::string Render(size_t max_children = 20, int max_depth = 0) const;
 
+  /// Full well-formedness sweep over the tree: parent/child links are
+  /// mutually consistent, levels increase by one along edges, every
+  /// non-root node carries a labeled attribute, siblings share one
+  /// subcategorizing attribute, tuple indices are in range, and each
+  /// child's tset is a subset of its parent's. Returns the first violation
+  /// found. O(total tuples); run it under AUTOCAT_DCHECK after
+  /// construction and bulk mutation, not per AddChild.
+  Status Validate() const;
+
  private:
   const Table* result_;
   std::vector<CategoryNode> nodes_;

@@ -12,7 +12,9 @@ double CostModel::NodeShowTuplesProbability(const CategoryTree& tree,
   }
   const auto sa = tree.SubcategorizingAttribute(id);
   AUTOCAT_CHECK(sa.ok());
-  return estimator_->ShowTuplesProbability(sa.value());
+  const double pw = estimator_->ShowTuplesProbability(sa.value());
+  AUTOCAT_DCHECK(IsValidProbability(pw));
+  return pw;
 }
 
 double CostModel::NodeExplorationProbability(const CategoryTree& tree,
@@ -21,7 +23,9 @@ double CostModel::NodeExplorationProbability(const CategoryTree& tree,
   if (node.is_root()) {
     return 1.0;
   }
-  return estimator_->ExplorationProbability(node.label);
+  const double p = estimator_->ExplorationProbability(node.label);
+  AUTOCAT_DCHECK(IsValidProbability(p));
+  return p;
 }
 
 double CostModel::CostAll(const CategoryTree& tree, NodeId id) const {
@@ -65,7 +69,9 @@ double CostModel::CostOne(const CategoryTree& tree, NodeId id) const {
 double CostModel::OneLevelCostAll(
     double pw, size_t tset_size, const std::vector<double>& child_probs,
     const std::vector<size_t>& child_sizes) const {
-  AUTOCAT_CHECK(child_probs.size() == child_sizes.size());
+  AUTOCAT_CHECK_EQ(child_probs.size(), child_sizes.size());
+  AUTOCAT_DCHECK(ValidateProbabilities(child_probs).ok());
+  AUTOCAT_DCHECK(IsValidProbability(pw));
   double showcat = params_.k * static_cast<double>(child_probs.size());
   for (size_t i = 0; i < child_probs.size(); ++i) {
     showcat += child_probs[i] * static_cast<double>(child_sizes[i]);

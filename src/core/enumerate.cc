@@ -4,6 +4,7 @@
 #include <cmath>
 #include <optional>
 
+#include "common/check.h"
 #include "core/cost_model.h"
 #include "core/partition.h"
 #include "core/probability.h"
@@ -23,6 +24,7 @@ CategoryTree OneLevelTree(const Table& result,
     tree.AddChild(tree.root(), std::move(part.label),
                   std::move(part.tuples));
   }
+  AUTOCAT_DCHECK(tree.Validate().ok());
   return tree;
 }
 

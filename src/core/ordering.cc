@@ -5,12 +5,14 @@
 #include <numeric>
 
 #include "common/check.h"
+#include "core/probability.h"
 
 namespace autocat {
 
 double OrderedShowCatCostOne(const std::vector<double>& probs,
                              const std::vector<double>& costs, double k) {
-  AUTOCAT_CHECK(probs.size() == costs.size());
+  AUTOCAT_CHECK_EQ(probs.size(), costs.size());
+  AUTOCAT_DCHECK(ValidateProbabilities(probs).ok());
   double total = 0;
   double none_before = 1.0;
   for (size_t i = 0; i < probs.size(); ++i) {
@@ -24,7 +26,7 @@ double OrderedShowCatCostOne(const std::vector<double>& probs,
 double OrderedShowCatCostOne(const std::vector<double>& probs,
                              const std::vector<double>& costs, double k,
                              const std::vector<size_t>& order) {
-  AUTOCAT_CHECK(order.size() == probs.size());
+  AUTOCAT_CHECK_EQ(order.size(), probs.size());
   std::vector<double> p(order.size());
   std::vector<double> c(order.size());
   for (size_t i = 0; i < order.size(); ++i) {
@@ -37,7 +39,7 @@ double OrderedShowCatCostOne(const std::vector<double>& probs,
 std::vector<size_t> OptimalOneOrdering(const std::vector<double>& probs,
                                        const std::vector<double>& costs,
                                        double k) {
-  AUTOCAT_CHECK(probs.size() == costs.size());
+  AUTOCAT_CHECK_EQ(probs.size(), costs.size());
   std::vector<size_t> order(probs.size());
   std::iota(order.begin(), order.end(), 0);
   auto key = [&](size_t i) {

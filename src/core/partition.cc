@@ -4,8 +4,96 @@
 #include <cmath>
 #include <map>
 #include <set>
+#include <unordered_set>
+
+#include "common/check.h"
 
 namespace autocat {
+
+namespace {
+
+// Shared across both Validate* sweeps: non-empty pairwise-disjoint tuple
+// sets and one shared label attribute.
+Status ValidateCommonPartitionShape(
+    const std::vector<PartitionCategory>& parts) {
+  std::unordered_set<size_t> seen;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    const PartitionCategory& part = parts[i];
+    if (part.label.attribute().empty()) {
+      return Status::Internal("partition category " + std::to_string(i) +
+                              " has no attribute");
+    }
+    if (part.label.attribute() != parts.front().label.attribute()) {
+      return Status::Internal("partition categories disagree on attribute");
+    }
+    if (part.tuples.empty()) {
+      return Status::Internal("partition category " + std::to_string(i) +
+                              " is empty");
+    }
+    for (size_t idx : part.tuples) {
+      if (!seen.insert(idx).second) {
+        return Status::Internal("tuple " + std::to_string(idx) +
+                                " placed in two partition categories");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ValidateNumericPartition(const std::vector<PartitionCategory>& parts) {
+  if (parts.empty()) {
+    return Status::OK();
+  }
+  AUTOCAT_RETURN_IF_ERROR(ValidateCommonPartitionShape(parts));
+  for (size_t i = 0; i < parts.size(); ++i) {
+    const CategoryLabel& label = parts[i].label;
+    if (!label.is_numeric()) {
+      return Status::Internal("partition category " + std::to_string(i) +
+                              " is not a numeric bucket");
+    }
+    const bool degenerate_point = label.lo() == label.hi() &&
+                                  label.hi_inclusive() && parts.size() == 1;
+    if (!(label.lo() < label.hi() || degenerate_point)) {
+      return Status::Internal("bucket " + std::to_string(i) +
+                              " has inverted bounds [" +
+                              std::to_string(label.lo()) + ", " +
+                              std::to_string(label.hi()) + ")");
+    }
+    if (label.hi_inclusive() && i + 1 != parts.size()) {
+      return Status::Internal("only the final bucket may be closed");
+    }
+    if (i > 0 && label.lo() < parts[i - 1].label.hi()) {
+      return Status::Internal("buckets " + std::to_string(i - 1) + " and " +
+                              std::to_string(i) + " overlap");
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateCategoricalPartition(
+    const std::vector<PartitionCategory>& parts) {
+  if (parts.empty()) {
+    return Status::OK();
+  }
+  AUTOCAT_RETURN_IF_ERROR(ValidateCommonPartitionShape(parts));
+  std::set<Value> seen_values;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    const CategoryLabel& label = parts[i].label;
+    if (!label.is_categorical() || label.values().empty()) {
+      return Status::Internal("partition category " + std::to_string(i) +
+                              " is not a non-empty value set");
+    }
+    for (const Value& v : label.values()) {
+      if (!seen_values.insert(v).second) {
+        return Status::Internal("value " + v.ToString() +
+                                " labels two partition categories");
+      }
+    }
+  }
+  return Status::OK();
+}
 
 namespace {
 
@@ -54,6 +142,7 @@ Result<std::vector<PartitionCategory>> PartitionCategorical(
         CategoryLabel::Categorical(attribute, {e.value}),
         std::move(e.tuples)});
   }
+  AUTOCAT_DCHECK(ValidateCategoricalPartition(out).ok());
   return out;
 }
 
@@ -258,9 +347,13 @@ Result<std::vector<PartitionCategory>> PartitionNumeric(
       category.tuples.push_back(idx);
     }
     out.push_back(std::move(category));
+    AUTOCAT_DCHECK(ValidateNumericPartition(out).ok());
     return out;
   }
-  return MaterializeBuckets(attribute, values, boundaries);
+  std::vector<PartitionCategory> out =
+      MaterializeBuckets(attribute, values, boundaries);
+  AUTOCAT_DCHECK(ValidateNumericPartition(out).ok());
+  return out;
 }
 
 Result<std::vector<PartitionCategory>> PartitionCategoricalArbitrary(
@@ -284,6 +377,7 @@ Result<std::vector<PartitionCategory>> PartitionCategoricalArbitrary(
   if (rng != nullptr) {
     rng->Shuffle(out);
   }
+  AUTOCAT_DCHECK(ValidateCategoricalPartition(out).ok());
   return out;
 }
 
@@ -315,7 +409,10 @@ Result<std::vector<PartitionCategory>> PartitionNumericEquiWidth(
   if (boundaries.size() < 2) {
     boundaries.push_back(boundaries.front() + width);
   }
-  return MaterializeBuckets(attribute, values, boundaries);
+  std::vector<PartitionCategory> out =
+      MaterializeBuckets(attribute, values, boundaries);
+  AUTOCAT_DCHECK(ValidateNumericPartition(out).ok());
+  return out;
 }
 
 }  // namespace autocat

@@ -73,6 +73,20 @@ Result<std::vector<PartitionCategory>> PartitionNumericEquiWidth(
     const std::string& attribute, double width,
     const NumericRange* query_range);
 
+/// Invariant sweep over a numeric partitioning: every label is a numeric
+/// bucket on one shared attribute, buckets are in ascending value order and
+/// pairwise non-overlapping (next.lo >= prev.hi; only the final bucket may
+/// close its upper end), each bucket is non-degenerate and non-empty, and
+/// the tuple sets are pairwise disjoint. Returns the first violation.
+/// Partitioners run this under AUTOCAT_DCHECK before returning.
+Status ValidateNumericPartition(const std::vector<PartitionCategory>& parts);
+
+/// Invariant sweep over a categorical partitioning: single shared
+/// attribute, categorical labels with pairwise-disjoint value sets, and
+/// non-empty pairwise-disjoint tuple sets. Returns the first violation.
+Status ValidateCategoricalPartition(
+    const std::vector<PartitionCategory>& parts);
+
 }  // namespace autocat
 
 #endif  // AUTOCAT_CORE_PARTITION_H_

@@ -1,9 +1,44 @@
 #include "core/probability.h"
 
 #include <algorithm>
+#include <cmath>
 #include <set>
 
+#include "common/check.h"
+
 namespace autocat {
+
+bool IsValidProbability(double p) {
+  return std::isfinite(p) && p >= 0.0 && p <= 1.0;
+}
+
+Status ValidateProbabilities(const std::vector<double>& probs) {
+  for (size_t i = 0; i < probs.size(); ++i) {
+    if (!IsValidProbability(probs[i])) {
+      return Status::Internal("probability " + std::to_string(i) + " is " +
+                              std::to_string(probs[i]) +
+                              ", outside [0, 1]");
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateDistribution(const std::vector<double>& probs,
+                            double tolerance) {
+  if (probs.empty()) {
+    return Status::Internal("empty probability distribution");
+  }
+  AUTOCAT_RETURN_IF_ERROR(ValidateProbabilities(probs));
+  double sum = 0;
+  for (double p : probs) {
+    sum += p;
+  }
+  if (std::abs(sum - 1.0) > tolerance) {
+    return Status::Internal("distribution sums to " + std::to_string(sum) +
+                            ", not 1");
+  }
+  return Status::OK();
+}
 
 double ProbabilityEstimator::ShowTuplesProbability(
     std::string_view subcategorizing_attribute) const {
@@ -11,7 +46,11 @@ double ProbabilityEstimator::ShowTuplesProbability(
     return 1.0;
   }
   const double frac = stats_->AttrUsageFraction(subcategorizing_attribute);
-  return std::clamp(1.0 - frac, 0.0, 1.0);
+  const double pw = std::clamp(1.0 - frac, 0.0, 1.0);
+  // Pw and its complement (the SHOWCAT branch) form a two-way
+  // distribution over the user's next move.
+  AUTOCAT_DCHECK(ValidateDistribution({pw, 1.0 - pw}).ok());
+  return pw;
 }
 
 size_t ProbabilityEstimator::NOverlap(const CategoryLabel& label) const {
@@ -31,8 +70,10 @@ double ProbabilityEstimator::ExplorationProbability(
     return 0.0;
   }
   const size_t overlap = NOverlap(label);
-  return std::clamp(
+  const double p = std::clamp(
       static_cast<double>(overlap) / static_cast<double>(nattr), 0.0, 1.0);
+  AUTOCAT_DCHECK(IsValidProbability(p));
+  return p;
 }
 
 }  // namespace autocat

@@ -3,11 +3,27 @@
 
 #include <string>
 #include <string_view>
+#include <vector>
 
+#include "common/status.h"
 #include "core/category.h"
 #include "workload/counts.h"
 
 namespace autocat {
+
+/// True when `p` is a finite value in [0, 1]. Every probability produced
+/// by the estimator and consumed by the cost model must satisfy this;
+/// call sites assert it under AUTOCAT_DCHECK.
+bool IsValidProbability(double p);
+
+/// Checks that every element of `probs` is a valid probability. Returns
+/// the first violation (index and value in the message).
+Status ValidateProbabilities(const std::vector<double>& probs);
+
+/// Checks that `probs` is a probability distribution: every element valid
+/// and the total within `tolerance` of 1. An empty vector is rejected.
+Status ValidateDistribution(const std::vector<double>& probs,
+                            double tolerance = 1e-9);
 
 /// Workload-driven estimates of the two exploration probabilities of
 /// Section 4.2.

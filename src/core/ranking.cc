@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/check.h"
+
 namespace autocat {
 
 Result<double> TupleScore(const Table& table, size_t row,
@@ -66,6 +68,8 @@ Status ApplyLeafRanking(CategoryTree& tree,
     AUTOCAT_ASSIGN_OR_RETURN(
         node.tuples, RankTuples(tree.result(), node.tuples, attrs, stats));
   }
+  // Reordering tsets must not break the structural invariants.
+  AUTOCAT_DCHECK(tree.Validate().ok());
   return Status::OK();
 }
 

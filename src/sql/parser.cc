@@ -68,8 +68,13 @@ class Parser {
   Result<std::unique_ptr<Expr>> ParsePrimary();
   Result<std::unique_ptr<Expr>> ParsePredicate();
 
+  /// Parenthesized expressions recurse; untrusted input like "(((((..."
+  /// must hit a parse error before it exhausts the real stack.
+  static constexpr size_t kMaxNestingDepth = 128;
+
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  size_t paren_depth_ = 0;
 };
 
 // Keywords that terminate an identifier position (cannot be column names).
@@ -139,8 +144,13 @@ Result<std::unique_ptr<Expr>> Parser::ParseAnd() {
 
 Result<std::unique_ptr<Expr>> Parser::ParsePrimary() {
   if (Match(TokenKind::kLParen)) {
+    if (++paren_depth_ > kMaxNestingDepth) {
+      return Error("expression nesting exceeds depth limit of " +
+                   std::to_string(kMaxNestingDepth));
+    }
     AUTOCAT_ASSIGN_OR_RETURN(std::unique_ptr<Expr> inner, ParseOr());
     AUTOCAT_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+    --paren_depth_;
     return inner;
   }
   return ParsePredicate();

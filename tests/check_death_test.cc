@@ -1,0 +1,89 @@
+// Death tests for the contract layer (common/check.h): the CHECK macros
+// must abort with a file/line diagnostic, the _OP variants must print
+// both operand values, and DCHECK must compile away under NDEBUG.
+
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
+namespace {
+
+TEST(CheckDeathTest, CheckPassesOnTrueCondition) {
+  AUTOCAT_CHECK(1 + 1 == 2);  // must not abort
+}
+
+TEST(CheckDeathTest, CheckAbortsWithConditionText) {
+  EXPECT_DEATH(AUTOCAT_CHECK(2 < 1), "AUTOCAT_CHECK failed: 2 < 1");
+}
+
+TEST(CheckDeathTest, CheckEqPrintsBothValues) {
+  const int lhs = 4;
+  const int rhs = 5;
+  EXPECT_DEATH(AUTOCAT_CHECK_EQ(lhs, rhs),
+               "AUTOCAT_CHECK_EQ failed: lhs == rhs \\(4 vs 5\\)");
+}
+
+TEST(CheckDeathTest, CheckNePassesAndFails) {
+  AUTOCAT_CHECK_NE(3, 4);
+  EXPECT_DEATH(AUTOCAT_CHECK_NE(7, 7), "\\(7 vs 7\\)");
+}
+
+TEST(CheckDeathTest, CheckOrderingVariants) {
+  AUTOCAT_CHECK_LT(1, 2);
+  AUTOCAT_CHECK_LE(2, 2);
+  AUTOCAT_CHECK_GT(3, 2);
+  AUTOCAT_CHECK_GE(3, 3);
+  EXPECT_DEATH(AUTOCAT_CHECK_LT(2, 1), "AUTOCAT_CHECK_LT failed");
+  EXPECT_DEATH(AUTOCAT_CHECK_LE(2, 1), "AUTOCAT_CHECK_LE failed");
+  EXPECT_DEATH(AUTOCAT_CHECK_GT(1, 2), "AUTOCAT_CHECK_GT failed");
+  EXPECT_DEATH(AUTOCAT_CHECK_GE(1, 2), "AUTOCAT_CHECK_GE failed");
+}
+
+TEST(CheckDeathTest, CheckGePrintsDoubleValues) {
+  const double p = -0.25;
+  EXPECT_DEATH(AUTOCAT_CHECK_GE(p, 0.0), "-0.25 vs 0");
+}
+
+TEST(CheckDeathTest, CheckEqWorksWithStrings) {
+  const std::string a = "alpha";
+  AUTOCAT_CHECK_EQ(a, "alpha");
+  EXPECT_DEATH(AUTOCAT_CHECK_EQ(a, std::string("beta")),
+               "\\(alpha vs beta\\)");
+}
+
+TEST(CheckDeathTest, UnstreamableOperandsPrintPlaceholder) {
+  const std::pair<int, int> a{1, 2};
+  const std::pair<int, int> b{3, 4};
+  EXPECT_DEATH(AUTOCAT_CHECK_EQ(a, b),
+               "\\(<unprintable> vs <unprintable>\\)");
+}
+
+TEST(CheckDeathTest, CheckOpEvaluatesOperandsOnce) {
+  int n = 0;
+  AUTOCAT_CHECK_EQ(++n, 1);
+  EXPECT_EQ(n, 1);
+}
+
+#ifdef NDEBUG
+TEST(CheckDeathTest, DcheckIsNoOpInReleaseBuilds) {
+  AUTOCAT_DCHECK(false);          // must not abort
+  AUTOCAT_DCHECK_EQ(1, 2);        // must not abort
+  AUTOCAT_DCHECK_GE(-1.0, 0.0);   // must not abort
+}
+
+TEST(CheckDeathTest, DcheckDoesNotEvaluateOperandsInReleaseBuilds) {
+  int n = 0;
+  AUTOCAT_DCHECK_EQ(++n, 1);
+  EXPECT_EQ(n, 0);
+}
+#else
+TEST(CheckDeathTest, DcheckAbortsInDebugBuilds) {
+  EXPECT_DEATH(AUTOCAT_DCHECK(false), "AUTOCAT_CHECK failed");
+  EXPECT_DEATH(AUTOCAT_DCHECK_EQ(1, 2), "\\(1 vs 2\\)");
+}
+#endif
+
+}  // namespace

@@ -1,0 +1,210 @@
+// Tests for the debug-mode invariant checkers added by the correctness
+// tooling layer: CategoryTree::Validate(), the partition validators, and
+// the probability validity helpers.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "core/category.h"
+#include "core/partition.h"
+#include "core/probability.h"
+#include "test_util.h"
+
+namespace autocat {
+namespace {
+
+using test::HomesTable;
+
+Table SmallTable() {
+  return HomesTable({
+      {"Redmond", 200000, 3},
+      {"Redmond", 210000, 2},
+      {"Bellevue", 300000, 4},
+      {"Seattle", 150000, 1},
+  });
+}
+
+TEST(CategoryTreeValidateTest, FreshTreeIsValid) {
+  const Table table = SmallTable();
+  CategoryTree tree(&table);
+  EXPECT_TRUE(tree.Validate().ok());
+}
+
+TEST(CategoryTreeValidateTest, WellFormedTwoLevelTreeIsValid) {
+  const Table table = SmallTable();
+  CategoryTree tree(&table);
+  const NodeId redmond = tree.AddChild(
+      tree.root(),
+      CategoryLabel::Categorical("neighborhood", {Value("Redmond")}),
+      {0, 1});
+  tree.AddChild(tree.root(),
+                CategoryLabel::Categorical("neighborhood",
+                                           {Value("Bellevue")}),
+                {2});
+  tree.AddChild(redmond, CategoryLabel::Numeric("price", 200000, 225000),
+                {0, 1});
+  EXPECT_TRUE(tree.Validate().ok());
+}
+
+TEST(CategoryTreeValidateTest, RejectsTupleOutsideParentTset) {
+  const Table table = SmallTable();
+  CategoryTree tree(&table);
+  const NodeId redmond = tree.AddChild(
+      tree.root(),
+      CategoryLabel::Categorical("neighborhood", {Value("Redmond")}),
+      {0, 1});
+  // Row 3 is not in Redmond's tset; planting it in a child breaks
+  // containment.
+  tree.mutable_node(tree.AddChild(
+          redmond, CategoryLabel::Numeric("price", 0, 1), {0}))
+      .tuples = {3};
+  const Status status = tree.Validate();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("missing from parent"), std::string::npos);
+}
+
+TEST(CategoryTreeValidateTest, RejectsOutOfRangeTupleIndex) {
+  const Table table = SmallTable();
+  CategoryTree tree(&table);
+  const NodeId child = tree.AddChild(
+      tree.root(),
+      CategoryLabel::Categorical("neighborhood", {Value("Redmond")}), {0});
+  tree.mutable_node(child).tuples = {99};
+  EXPECT_FALSE(tree.Validate().ok());
+}
+
+TEST(CategoryTreeValidateTest, RejectsSiblingAttributeDisagreement) {
+  const Table table = SmallTable();
+  CategoryTree tree(&table);
+  tree.AddChild(tree.root(),
+                CategoryLabel::Categorical("neighborhood",
+                                           {Value("Redmond")}),
+                {0, 1});
+  tree.AddChild(tree.root(), CategoryLabel::Numeric("price", 0, 1e6), {2});
+  const Status status = tree.Validate();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("siblings disagree"), std::string::npos);
+}
+
+TEST(CategoryTreeValidateTest, RejectsBrokenParentLink) {
+  const Table table = SmallTable();
+  CategoryTree tree(&table);
+  const NodeId child = tree.AddChild(
+      tree.root(),
+      CategoryLabel::Categorical("neighborhood", {Value("Redmond")}), {0});
+  tree.mutable_node(child).parent = child;  // self-loop
+  EXPECT_FALSE(tree.Validate().ok());
+}
+
+TEST(ValidateNumericPartitionTest, AcceptsSortedDisjointBuckets) {
+  std::vector<PartitionCategory> parts;
+  parts.push_back({CategoryLabel::Numeric("price", 0, 100), {0}});
+  parts.push_back({CategoryLabel::Numeric("price", 100, 200), {1}});
+  parts.push_back(
+      {CategoryLabel::Numeric("price", 250, 300, /*hi_inclusive=*/true),
+       {2, 3}});
+  EXPECT_TRUE(ValidateNumericPartition(parts).ok());
+}
+
+TEST(ValidateNumericPartitionTest, RejectsOverlappingBuckets) {
+  std::vector<PartitionCategory> parts;
+  parts.push_back({CategoryLabel::Numeric("price", 0, 150), {0}});
+  parts.push_back({CategoryLabel::Numeric("price", 100, 200), {1}});
+  const Status status = ValidateNumericPartition(parts);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("overlap"), std::string::npos);
+}
+
+TEST(ValidateNumericPartitionTest, RejectsUnsortedBuckets) {
+  std::vector<PartitionCategory> parts;
+  parts.push_back({CategoryLabel::Numeric("price", 100, 200), {0}});
+  parts.push_back({CategoryLabel::Numeric("price", 0, 100), {1}});
+  EXPECT_FALSE(ValidateNumericPartition(parts).ok());
+}
+
+TEST(ValidateNumericPartitionTest, RejectsNonFinalClosedBucket) {
+  std::vector<PartitionCategory> parts;
+  parts.push_back(
+      {CategoryLabel::Numeric("price", 0, 100, /*hi_inclusive=*/true), {0}});
+  parts.push_back({CategoryLabel::Numeric("price", 200, 300), {1}});
+  EXPECT_FALSE(ValidateNumericPartition(parts).ok());
+}
+
+TEST(ValidateNumericPartitionTest, RejectsDuplicateTupleAcrossBuckets) {
+  std::vector<PartitionCategory> parts;
+  parts.push_back({CategoryLabel::Numeric("price", 0, 100), {0, 1}});
+  parts.push_back({CategoryLabel::Numeric("price", 100, 200), {1}});
+  EXPECT_FALSE(ValidateNumericPartition(parts).ok());
+}
+
+TEST(ValidateNumericPartitionTest, RejectsEmptyBucket) {
+  std::vector<PartitionCategory> parts;
+  parts.push_back({CategoryLabel::Numeric("price", 0, 100), {}});
+  EXPECT_FALSE(ValidateNumericPartition(parts).ok());
+}
+
+TEST(ValidateNumericPartitionTest, AcceptsSinglePointDomain) {
+  std::vector<PartitionCategory> parts;
+  parts.push_back(
+      {CategoryLabel::Numeric("price", 5, 5, /*hi_inclusive=*/true), {0}});
+  EXPECT_TRUE(ValidateNumericPartition(parts).ok());
+}
+
+TEST(ValidateCategoricalPartitionTest, AcceptsDisjointValueSets) {
+  std::vector<PartitionCategory> parts;
+  parts.push_back(
+      {CategoryLabel::Categorical("city", {Value("Redmond")}), {0, 1}});
+  parts.push_back(
+      {CategoryLabel::Categorical("city", {Value("Bellevue")}), {2}});
+  EXPECT_TRUE(ValidateCategoricalPartition(parts).ok());
+}
+
+TEST(ValidateCategoricalPartitionTest, RejectsRepeatedValue) {
+  std::vector<PartitionCategory> parts;
+  parts.push_back(
+      {CategoryLabel::Categorical("city", {Value("Redmond")}), {0}});
+  parts.push_back(
+      {CategoryLabel::Categorical("city", {Value("Redmond")}), {1}});
+  EXPECT_FALSE(ValidateCategoricalPartition(parts).ok());
+}
+
+TEST(ValidateCategoricalPartitionTest, RejectsAttributeMismatch) {
+  std::vector<PartitionCategory> parts;
+  parts.push_back(
+      {CategoryLabel::Categorical("city", {Value("Redmond")}), {0}});
+  parts.push_back(
+      {CategoryLabel::Categorical("type", {Value("Condo")}), {1}});
+  EXPECT_FALSE(ValidateCategoricalPartition(parts).ok());
+}
+
+TEST(ProbabilityValidityTest, IsValidProbability) {
+  EXPECT_TRUE(IsValidProbability(0.0));
+  EXPECT_TRUE(IsValidProbability(0.5));
+  EXPECT_TRUE(IsValidProbability(1.0));
+  EXPECT_FALSE(IsValidProbability(-0.01));
+  EXPECT_FALSE(IsValidProbability(1.01));
+  EXPECT_FALSE(IsValidProbability(
+      std::numeric_limits<double>::quiet_NaN()));
+  EXPECT_FALSE(IsValidProbability(
+      std::numeric_limits<double>::infinity()));
+}
+
+TEST(ProbabilityValidityTest, ValidateProbabilitiesFindsOffender) {
+  EXPECT_TRUE(ValidateProbabilities({0.1, 0.9, 1.0}).ok());
+  const Status status = ValidateProbabilities({0.1, 1.5});
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("1"), std::string::npos);
+}
+
+TEST(ProbabilityValidityTest, ValidateDistribution) {
+  EXPECT_TRUE(ValidateDistribution({0.25, 0.25, 0.5}).ok());
+  EXPECT_TRUE(ValidateDistribution({1.0}).ok());
+  EXPECT_FALSE(ValidateDistribution({}).ok());
+  EXPECT_FALSE(ValidateDistribution({0.5, 0.4}).ok());
+  // A loose tolerance admits accumulated floating-point error.
+  EXPECT_TRUE(ValidateDistribution({0.5, 0.5 + 1e-12}, 1e-9).ok());
+}
+
+}  // namespace
+}  // namespace autocat

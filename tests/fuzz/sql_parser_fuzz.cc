@@ -1,0 +1,135 @@
+// libFuzzer harness for the SQL front end: lexer -> parser -> selection
+// normalization -> canonical-SQL round trip.
+//
+// The harness asserts behavioral properties, not just "no crash":
+//   1. Tokenize/ParseQuery never crash and only ever reject input through
+//      Status (no exceptions, no aborts, bounded recursion).
+//   2. Canonicalization (profile -> ToSqlWhere -> re-parse -> profile) is
+//      idempotent: the first pass may lose information the canonical text
+//      cannot carry (float-literal precision, OR-hulls that collapse to an
+//      unbounded range and are omitted from the WHERE text), but a second
+//      pass must reach a fixed point — and the canonical text must always
+//      re-parse and re-normalize without error.
+//
+// Built as a libFuzzer target (autocat_sql_fuzzer) only when the compiler
+// supports -fsanitize=fuzzer (clang); in every configuration the same
+// entry point links against tests/fuzz/fuzz_replay_main.cc into
+// autocat_fuzz_replay, which replays tests/fuzz/corpus under plain ctest.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+#include "sql/lexer.h"
+#include "sql/parser.h"
+#include "sql/selection.h"
+#include "storage/schema.h"
+
+namespace {
+
+using autocat::AttributeCondition;
+using autocat::ColumnDef;
+using autocat::ColumnKind;
+using autocat::Schema;
+using autocat::SelectionProfile;
+using autocat::ValueType;
+
+// The homes schema of the paper's running example: a realistic mix of
+// categorical and numeric attributes for profiles to normalize against.
+const Schema& FuzzSchema() {
+  static const Schema* schema = [] {
+    auto result = Schema::Create({
+        ColumnDef("neighborhood", ValueType::kString,
+                  ColumnKind::kCategorical),
+        ColumnDef("city", ValueType::kString, ColumnKind::kCategorical),
+        ColumnDef("propertytype", ValueType::kString,
+                  ColumnKind::kCategorical),
+        ColumnDef("price", ValueType::kDouble, ColumnKind::kNumeric),
+        ColumnDef("bedroomcount", ValueType::kInt64, ColumnKind::kNumeric),
+        ColumnDef("bathcount", ValueType::kDouble, ColumnKind::kNumeric),
+        ColumnDef("squarefootage", ValueType::kDouble, ColumnKind::kNumeric),
+        ColumnDef("yearbuilt", ValueType::kInt64, ColumnKind::kNumeric),
+    });
+    if (!result.ok()) {
+      std::fprintf(stderr, "fuzz schema construction failed: %s\n",
+                   result.status().ToString().c_str());
+      std::abort();  // autocat-lint: allow(banned-call) — harness setup
+    }
+    return new Schema(std::move(result).value());
+  }();
+  return *schema;
+}
+
+void FailRoundTrip(std::string_view stage, std::string_view detail,
+                   std::string_view input) {
+  std::fprintf(stderr,
+               "sql round-trip violation at %s: %.*s\ninput was: %.*s\n",
+               std::string(stage).c_str(),
+               static_cast<int>(detail.size()), detail.data(),
+               static_cast<int>(input.size()), input.data());
+  std::abort();  // autocat-lint: allow(banned-call) — fuzzer failure path
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view sql(reinterpret_cast<const char*>(data), size);
+
+  // Stage 1: lexing. Must return tokens or a Status, never crash.
+  auto tokens = autocat::Tokenize(sql);
+  if (!tokens.ok()) {
+    return 0;
+  }
+
+  // Stage 2: parsing. Recursion must stay bounded on adversarial nesting.
+  auto query = autocat::ParseQuery(sql);
+  if (!query.ok()) {
+    return 0;
+  }
+
+  // Stage 3: selection normalization against the homes schema. Unknown
+  // columns and unsupported shapes surface as Status; anything else must
+  // produce a profile.
+  auto profile = SelectionProfile::FromQuery(query.value(), FuzzSchema());
+  if (!profile.ok()) {
+    return 0;
+  }
+
+  // Stage 4: canonical SQL text must re-parse and re-normalize cleanly,
+  // and a second canonicalization pass must be a fixed point.
+  const std::string where = profile.value().ToSqlWhere();
+  if (where.empty()) {
+    return 0;  // no conditions survived normalization
+  }
+  auto reparsed = autocat::ParseExpression(where);
+  if (!reparsed.ok()) {
+    FailRoundTrip("reparse", reparsed.status().ToString(), where);
+  }
+  auto reprofile =
+      SelectionProfile::FromExpr(*reparsed.value(), FuzzSchema());
+  if (!reprofile.ok()) {
+    FailRoundTrip("renormalize", reprofile.status().ToString(), where);
+  }
+  const std::string where2 = reprofile.value().ToSqlWhere();
+  if (where2.empty()) {
+    return 0;  // everything collapsed away on the second pass
+  }
+  auto reparsed2 = autocat::ParseExpression(where2);
+  if (!reparsed2.ok()) {
+    FailRoundTrip("reparse2", reparsed2.status().ToString(), where2);
+  }
+  auto reprofile2 =
+      SelectionProfile::FromExpr(*reparsed2.value(), FuzzSchema());
+  if (!reprofile2.ok()) {
+    FailRoundTrip("renormalize2", reprofile2.status().ToString(), where2);
+  }
+  const std::string second = reprofile.value().ToString();
+  const std::string third = reprofile2.value().ToString();
+  if (second != third) {
+    FailRoundTrip("canonicalization not idempotent",
+                  second + " != " + third, sql);
+  }
+  return 0;
+}

@@ -1,0 +1,12 @@
+#include <cassert>
+#include <cstdlib>
+
+// Fixture: three banned calls outside src/common.
+void Crash(int n) {
+  assert(n > 0);
+  if (n == 1) {
+    std::abort();
+  }
+  int unused = rand();
+  (void)unused;
+}

@@ -1,0 +1,11 @@
+#include "widget/widget.h"
+
+namespace autocat {
+
+// Fixture: both Status-returning calls are dropped on the floor.
+void Sloppy() {
+  LoadWidget("a");
+  SaveWidget("b");
+}
+
+}  // namespace autocat

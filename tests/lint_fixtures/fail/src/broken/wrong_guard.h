@@ -1,0 +1,6 @@
+#ifndef SOME_OTHER_GUARD_H
+#define SOME_OTHER_GUARD_H
+
+// Fixture: guard does not match AUTOCAT_BROKEN_WRONG_GUARD_H_.
+
+#endif  // SOME_OTHER_GUARD_H

@@ -1,0 +1,18 @@
+#include "widget/widget.h"
+
+namespace autocat {
+
+// Fixture: every Status return is consumed; the mention of abort() in
+// this comment and in the "call abort() now" string below must not trip
+// the banned-call rule.
+Status UseWidget(const std::string& name) {
+  Status s = LoadWidget(name);
+  if (!s.ok()) {
+    return s;
+  }
+  const std::string msg = "call abort() now";
+  (void)msg;
+  return SaveWidget(name);
+}
+
+}  // namespace autocat

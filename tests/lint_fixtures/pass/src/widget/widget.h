@@ -1,0 +1,17 @@
+#ifndef AUTOCAT_WIDGET_WIDGET_H_
+#define AUTOCAT_WIDGET_WIDGET_H_
+
+#include <string>
+
+namespace autocat {
+
+class Status;
+
+/// Fixture: a clean header the lint must accept — guard derived from its
+/// path, no banned calls, declarations only.
+Status LoadWidget(const std::string& name);
+Status SaveWidget(const std::string& name);
+
+}  // namespace autocat
+
+#endif  // AUTOCAT_WIDGET_WIDGET_H_

@@ -1,0 +1,198 @@
+// Unit tests for each autocat_lint rule (tools/lint.h): expected-guard
+// derivation, banned-call detection with comment/string/suppression
+// handling, Status/Result declaration harvesting, dropped-return
+// detection, and end-to-end runs over the fixture trees in
+// tests/lint_fixtures (pass/ must lint clean, fail/ must trip every
+// rule).
+
+#include "tools/lint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace autocat::lint {
+namespace {
+
+bool HasRule(const std::vector<LintIssue>& issues, const std::string& rule) {
+  return std::any_of(issues.begin(), issues.end(),
+                     [&](const LintIssue& i) { return i.rule == rule; });
+}
+
+TEST(IncludeGuardRuleTest, ExpectedGuardDerivation) {
+  EXPECT_EQ(ExpectedIncludeGuard("src/core/category.h"),
+            "AUTOCAT_CORE_CATEGORY_H_");
+  EXPECT_EQ(ExpectedIncludeGuard("src/autocat.h"), "AUTOCAT_AUTOCAT_H_");
+  EXPECT_EQ(ExpectedIncludeGuard("tools/lint.h"), "AUTOCAT_TOOLS_LINT_H_");
+  EXPECT_EQ(ExpectedIncludeGuard("tests/test_util.h"),
+            "AUTOCAT_TESTS_TEST_UTIL_H_");
+}
+
+TEST(IncludeGuardRuleTest, AcceptsMatchingGuard) {
+  const std::string content =
+      "#ifndef AUTOCAT_CORE_FOO_H_\n"
+      "#define AUTOCAT_CORE_FOO_H_\n"
+      "#endif\n";
+  EXPECT_TRUE(CheckIncludeGuard("src/core/foo.h", content).empty());
+}
+
+TEST(IncludeGuardRuleTest, RejectsMismatchedGuard) {
+  const std::string content =
+      "#ifndef WRONG_GUARD_H_\n"
+      "#define WRONG_GUARD_H_\n"
+      "#endif\n";
+  const auto issues = CheckIncludeGuard("src/core/foo.h", content);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].rule, "include-guard");
+  EXPECT_NE(issues[0].message.find("AUTOCAT_CORE_FOO_H_"),
+            std::string::npos);
+}
+
+TEST(IncludeGuardRuleTest, RejectsMissingGuard) {
+  EXPECT_FALSE(CheckIncludeGuard("src/core/foo.h", "int x;\n").empty());
+}
+
+TEST(IncludeGuardRuleTest, RejectsGuardWithoutDefine) {
+  const std::string content =
+      "#ifndef AUTOCAT_CORE_FOO_H_\n"
+      "int x;\n"
+      "#endif\n";
+  const auto issues = CheckIncludeGuard("src/core/foo.h", content);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_NE(issues[0].message.find("#define"), std::string::npos);
+}
+
+TEST(BannedCallRuleTest, FlagsAssertAbortRand) {
+  const std::string content =
+      "void f() {\n"
+      "  assert(true);\n"
+      "  std::abort();\n"
+      "  int x = rand();\n"
+      "  srand(42);\n"
+      "}\n";
+  const auto issues = CheckBannedCalls("src/core/foo.cc", content);
+  EXPECT_EQ(issues.size(), 4u);
+}
+
+TEST(BannedCallRuleTest, ExemptsCommonLayer) {
+  EXPECT_TRUE(
+      CheckBannedCalls("src/common/check.cc", "std::abort();\n").empty());
+}
+
+TEST(BannedCallRuleTest, IgnoresCommentsAndStrings) {
+  const std::string content =
+      "// abort() in a line comment\n"
+      "/* assert(x) in a block comment */\n"
+      "const char* s = \"srand(1)\";\n"
+      "/* multi-line\n"
+      "   rand() still inside\n"
+      "*/\n";
+  EXPECT_TRUE(CheckBannedCalls("src/core/foo.cc", content).empty());
+}
+
+TEST(BannedCallRuleTest, DoesNotFlagIdentifierSuffixes) {
+  const std::string content =
+      "my_assert(x);\n"
+      "Random rng = MakeRandom(7);\n"
+      "controller.abort_requested();\n";
+  EXPECT_TRUE(CheckBannedCalls("src/core/foo.cc", content).empty());
+}
+
+TEST(BannedCallRuleTest, SuppressionCommentIsHonored) {
+  const std::string content =
+      "std::abort();  // autocat-lint: allow(banned-call)\n";
+  EXPECT_TRUE(CheckBannedCalls("src/core/foo.cc", content).empty());
+}
+
+TEST(DroppedStatusRuleTest, CollectsStatusAndResultDeclarations) {
+  const std::string header =
+      "Status Flush(int fd);\n"
+      "  static Status Open(const std::string& path);\n"
+      "Result<std::vector<int>> ParseAll(std::string_view text);\n"
+      "void NotCollected();\n"
+      "int AlsoNotCollected();\n";
+  const auto names = CollectStatusFunctions(header);
+  EXPECT_EQ(names.count("Flush"), 1u);
+  EXPECT_EQ(names.count("Open"), 1u);
+  EXPECT_EQ(names.count("ParseAll"), 1u);
+  EXPECT_EQ(names.count("NotCollected"), 0u);
+  EXPECT_EQ(names.count("AlsoNotCollected"), 0u);
+}
+
+TEST(DroppedStatusRuleTest, FlagsBareCallStatement) {
+  const auto issues = CheckDroppedStatus(
+      "src/core/foo.cc", "  Flush(3);\n  writer.Flush(4);\n", {"Flush"});
+  EXPECT_EQ(issues.size(), 2u);
+  EXPECT_EQ(issues[0].rule, "dropped-status");
+}
+
+TEST(DroppedStatusRuleTest, AcceptsConsumedReturns) {
+  const std::string content =
+      "Status s = Flush(3);\n"
+      "return Flush(4);\n"
+      "if (!Flush(5).ok()) {\n"
+      "AUTOCAT_RETURN_IF_ERROR(Flush(6));\n"
+      "EXPECT_TRUE(Flush(7).ok());\n"
+      "(void)Flush(8);\n";
+  EXPECT_TRUE(
+      CheckDroppedStatus("src/core/foo.cc", content, {"Flush"}).empty());
+}
+
+TEST(DroppedStatusRuleTest, SuppressionCommentIsHonored) {
+  const std::string content =
+      "Flush(3);  // autocat-lint: allow(dropped-status)\n";
+  EXPECT_TRUE(
+      CheckDroppedStatus("src/core/foo.cc", content, {"Flush"}).empty());
+}
+
+TEST(DroppedStatusRuleTest, UnknownNamesAreIgnored) {
+  EXPECT_TRUE(
+      CheckDroppedStatus("src/core/foo.cc", "DoStuff();\n", {"Flush"})
+          .empty());
+}
+
+TEST(LintFixtureTest, PassTreeLintsClean) {
+  std::vector<LintIssue> issues;
+  const std::string root =
+      std::string(AUTOCAT_LINT_FIXTURE_DIR) + "/pass";
+  ASSERT_TRUE(LintFiles(root,
+                        {"src/widget/widget.h", "src/widget/widget.cc"},
+                        &issues));
+  for (const auto& issue : issues) {
+    ADD_FAILURE() << issue.ToString();
+  }
+}
+
+TEST(LintFixtureTest, FailTreeTripsEveryRule) {
+  std::vector<LintIssue> issues;
+  const std::string root =
+      std::string(AUTOCAT_LINT_FIXTURE_DIR) + "/fail";
+  // The fixture's dropped.cc calls functions declared in the pass tree's
+  // header; hand the checker that header's declarations by linting it
+  // from the fail root via a relative path.
+  ASSERT_TRUE(LintFiles(root,
+                        {"src/broken/wrong_guard.h", "src/broken/banned.cc",
+                         "src/broken/dropped.cc",
+                         "../pass/src/widget/widget.h"},
+                        &issues));
+  EXPECT_TRUE(HasRule(issues, "include-guard"));
+  EXPECT_TRUE(HasRule(issues, "banned-call"));
+  EXPECT_TRUE(HasRule(issues, "dropped-status"));
+  // banned.cc carries exactly three banned calls.
+  const auto banned =
+      std::count_if(issues.begin(), issues.end(), [](const LintIssue& i) {
+        return i.rule == "banned-call";
+      });
+  EXPECT_EQ(banned, 3);
+  // dropped.cc drops exactly two Status returns.
+  const auto dropped =
+      std::count_if(issues.begin(), issues.end(), [](const LintIssue& i) {
+        return i.rule == "dropped-status";
+      });
+  EXPECT_EQ(dropped, 2);
+}
+
+}  // namespace
+}  // namespace autocat::lint

@@ -48,7 +48,11 @@ TEST(GeographyTest, NeighborhoodLookupFindsOwner) {
 }
 
 TEST(GeographyTest, PopularitiesArePositive) {
-  for (const Region& region : Geography::UnitedStates().regions()) {
+  // The Geography must outlive the loop: regions() returns a reference
+  // into the object, and iterating `UnitedStates().regions()` directly
+  // leaves the temporary destroyed before the body runs (caught by ASan).
+  const Geography geo = Geography::UnitedStates();
+  for (const Region& region : geo.regions()) {
     EXPECT_GT(region.popularity, 0) << region.name;
     EXPECT_GT(region.price_center, 0) << region.name;
     EXPECT_FALSE(region.neighborhoods.empty()) << region.name;

@@ -189,6 +189,23 @@ TEST(ParserTest, Errors) {
   EXPECT_FALSE(ParseQuery("SELECT * FROM t WHERE select = 1").ok());
 }
 
+TEST(ParserTest, DeepNestingIsRejectedNotStackOverflow) {
+  // Regression: adversarial "(((((..." input used to recurse once per
+  // paren with no bound; the parser now rejects past a fixed depth.
+  const std::string open(5000, '(');
+  const std::string close(5000, ')');
+  const auto deep =
+      ParseQuery("SELECT * FROM t WHERE " + open + "a = 1" + close);
+  ASSERT_FALSE(deep.ok());
+  EXPECT_NE(deep.status().ToString().find("nesting"), std::string::npos);
+  // Nesting at or under the limit still parses.
+  const std::string ok_open(64, '(');
+  const std::string ok_close(64, ')');
+  EXPECT_TRUE(
+      ParseQuery("SELECT * FROM t WHERE " + ok_open + "a = 1" + ok_close)
+          .ok());
+}
+
 TEST(ParserTest, ToSqlRoundTrip) {
   const char* kQueries[] = {
       "SELECT * FROM homes WHERE price BETWEEN 200000 AND 300000",

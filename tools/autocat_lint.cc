@@ -1,0 +1,102 @@
+// autocat_lint: repo-specific lint rules (include guards, banned calls,
+// dropped Status/Result returns). Runs as a ctest gate; see tools/lint.h
+// for the rule definitions and DESIGN.md for the conventions it enforces.
+//
+// Usage: autocat_lint --root <repo-root> [path ...]
+//   Paths are repo-root-relative files or directories (directories are
+//   walked recursively for .h/.cc/.cpp). Default paths: src tools.
+// Exits 0 when clean, 1 on violations, 2 on usage/IO errors.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "tools/lint.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool HasLintableExtension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp";
+}
+
+// Expands a root-relative path to the root-relative source files in it.
+bool CollectFiles(const std::string& root, const std::string& rel,
+                  std::vector<std::string>* out) {
+  const fs::path abs = fs::path(root) / rel;
+  std::error_code ec;
+  if (fs::is_regular_file(abs, ec)) {
+    out->push_back(rel);
+    return true;
+  }
+  if (!fs::is_directory(abs, ec)) {
+    std::fprintf(stderr, "autocat_lint: no such file or directory: %s\n",
+                 abs.string().c_str());
+    return false;
+  }
+  for (const auto& entry :
+       fs::recursive_directory_iterator(abs, ec)) {
+    if (entry.is_regular_file() && HasLintableExtension(entry.path())) {
+      out->push_back(
+          fs::relative(entry.path(), fs::path(root), ec).string());
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "autocat_lint: --root needs a value\n");
+        return 2;
+      }
+      root = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::fprintf(stderr,
+                   "usage: autocat_lint --root <repo-root> [path ...]\n");
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    paths = {"src", "tools"};
+  }
+
+  std::vector<std::string> files;
+  for (const std::string& rel : paths) {
+    if (!CollectFiles(root, rel, &files)) {
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  std::vector<autocat::lint::LintIssue> issues;
+  if (!autocat::lint::LintFiles(root, files, &issues)) {
+    for (const auto& issue : issues) {
+      std::fprintf(stderr, "%s\n", issue.ToString().c_str());
+    }
+    return 2;
+  }
+  for (const auto& issue : issues) {
+    std::fprintf(stderr, "%s\n", issue.ToString().c_str());
+  }
+  if (!issues.empty()) {
+    std::fprintf(stderr, "autocat_lint: %zu issue(s) in %zu file(s)\n",
+                 issues.size(), files.size());
+    return 1;
+  }
+  std::printf("autocat_lint: %zu files clean\n", files.size());
+  return 0;
+}

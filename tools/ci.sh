@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Correctness-tooling CI matrix for autocat.
+#
+# Runs, in order:
+#   1. Release build + full ctest (includes the autocat_lint gate and the
+#      SQL fuzz-corpus replay)
+#   2. Debug + AddressSanitizer build + full ctest
+#   3. Debug + UndefinedBehaviorSanitizer build + full ctest
+#   4. clang-tidy over src/ (skipped with a notice when clang-tidy is not
+#      installed; the ctest gate skips the same way via exit code 77)
+#
+# Usage: tools/ci.sh [--fast]
+#   --fast  run only the Release leg (useful as a pre-push smoke test)
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+FAST=0
+if [[ "${1:-}" == "--fast" ]]; then
+  FAST=1
+fi
+
+run_leg() {
+  local name="$1" dir="$2"
+  shift 2
+  echo "==== [$name] configure ===="
+  cmake -B "$ROOT/$dir" -S "$ROOT" "$@"
+  echo "==== [$name] build ===="
+  cmake --build "$ROOT/$dir" -j "$JOBS"
+  echo "==== [$name] ctest ===="
+  (cd "$ROOT/$dir" && ctest --output-on-failure -j "$JOBS")
+}
+
+run_leg release build-ci-release -DCMAKE_BUILD_TYPE=Release
+
+if [[ "$FAST" == "0" ]]; then
+  run_leg asan build-ci-asan \
+    -DCMAKE_BUILD_TYPE=Debug -DAUTOCAT_SANITIZE=address
+  run_leg ubsan build-ci-ubsan \
+    -DCMAKE_BUILD_TYPE=Debug -DAUTOCAT_SANITIZE=undefined
+fi
+
+echo "==== [clang-tidy] ===="
+if "$ROOT/tools/run_clang_tidy.sh" "$ROOT" "$ROOT/build-ci-release"; then
+  echo "clang-tidy: clean"
+else
+  rc=$?
+  if [[ "$rc" == "77" ]]; then
+    echo "clang-tidy: not installed, skipped"
+  else
+    echo "clang-tidy: FAILED (exit $rc)" >&2
+    exit "$rc"
+  fi
+fi
+
+echo "==== CI matrix passed ===="

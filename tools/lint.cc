@@ -1,0 +1,284 @@
+#include "tools/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <regex>
+#include <sstream>
+
+namespace autocat::lint {
+
+namespace {
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::vector<std::string> SplitLines(const std::string& content) {
+  std::vector<std::string> lines;
+  std::string line;
+  std::istringstream in(content);
+  while (std::getline(in, line)) {
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+}  // namespace
+
+std::string LintIssue::ToString() const {
+  std::string out = file;
+  if (line > 0) {
+    out += ":" + std::to_string(line);
+  }
+  out += ": [" + rule + "] " + message;
+  return out;
+}
+
+bool IsSuppressed(const std::string& line, const std::string& rule) {
+  return line.find("autocat-lint: allow(" + rule + ")") != std::string::npos;
+}
+
+std::string StripCommentsAndStrings(const std::string& line,
+                                    bool* in_block_comment) {
+  std::string out(line.size(), ' ');
+  char in_quote = '\0';
+  for (size_t i = 0; i < line.size(); ++i) {
+    if (*in_block_comment) {
+      if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+        *in_block_comment = false;
+        ++i;
+      }
+      continue;
+    }
+    if (in_quote != '\0') {
+      if (line[i] == '\\') {
+        ++i;  // skip the escaped character
+      } else if (line[i] == in_quote) {
+        in_quote = '\0';
+      }
+      continue;
+    }
+    if (line[i] == '"' || line[i] == '\'') {
+      in_quote = line[i];
+      continue;
+    }
+    if (line[i] == '/' && i + 1 < line.size()) {
+      if (line[i + 1] == '/') {
+        break;  // rest of the line is a comment
+      }
+      if (line[i + 1] == '*') {
+        *in_block_comment = true;
+        ++i;
+        continue;
+      }
+    }
+    out[i] = line[i];
+  }
+  return out;
+}
+
+std::string ExpectedIncludeGuard(const std::string& rel_path) {
+  std::string path = rel_path;
+  if (StartsWith(path, "src/")) {
+    path = path.substr(4);
+  }
+  std::string guard = "AUTOCAT_";
+  for (char c : path) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      guard += static_cast<char>(
+          std::toupper(static_cast<unsigned char>(c)));
+    } else {
+      guard += '_';
+    }
+  }
+  guard += '_';
+  return guard;
+}
+
+std::vector<LintIssue> CheckIncludeGuard(const std::string& rel_path,
+                                         const std::string& content) {
+  std::vector<LintIssue> issues;
+  const std::string expected = ExpectedIncludeGuard(rel_path);
+  const std::vector<std::string> lines = SplitLines(content);
+  std::string ifndef_guard;
+  size_t ifndef_line = 0;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    std::smatch m;
+    static const std::regex kIfndef(R"(^\s*#ifndef\s+([A-Za-z0-9_]+)\s*$)");
+    if (std::regex_match(lines[i], m, kIfndef)) {
+      ifndef_guard = m[1];
+      ifndef_line = i + 1;
+      break;
+    }
+    // Anything other than blank lines and comments before the guard means
+    // the file is not guard-first; tolerate those, stop at real code.
+  }
+  if (ifndef_guard.empty()) {
+    issues.push_back(LintIssue{rel_path, 0, "include-guard",
+                               "header has no #ifndef include guard "
+                               "(expected " + expected + ")"});
+    return issues;
+  }
+  if (ifndef_guard != expected) {
+    issues.push_back(LintIssue{
+        rel_path, ifndef_line, "include-guard",
+        "guard '" + ifndef_guard + "' does not match path (expected '" +
+            expected + "')"});
+    return issues;
+  }
+  // The matching #define must directly follow.
+  if (ifndef_line >= lines.size() ||
+      !std::regex_match(lines[ifndef_line],
+                        std::regex(R"(^\s*#define\s+)" + expected +
+                                   R"(\s*$)"))) {
+    issues.push_back(LintIssue{rel_path, ifndef_line + 1, "include-guard",
+                               "#ifndef " + expected +
+                                   " is not followed by its #define"});
+  }
+  return issues;
+}
+
+std::vector<LintIssue> CheckBannedCalls(const std::string& rel_path,
+                                        const std::string& content) {
+  std::vector<LintIssue> issues;
+  if (StartsWith(rel_path, "src/common/")) {
+    return issues;  // the common layer implements the sanctioned wrappers
+  }
+  static const std::regex kBanned(
+      R"((^|[^A-Za-z0-9_:])((?:std::)?(?:assert|abort|rand|srand))\s*\()");
+  const std::vector<std::string> lines = SplitLines(content);
+  bool in_block_comment = false;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string code = StripCommentsAndStrings(lines[i],
+                                                     &in_block_comment);
+    if (IsSuppressed(lines[i], "banned-call")) {
+      continue;
+    }
+    std::smatch m;
+    if (std::regex_search(code, m, kBanned)) {
+      issues.push_back(LintIssue{
+          rel_path, i + 1, "banned-call",
+          "call to '" + m[2].str() +
+              "' outside src/common; use AUTOCAT_CHECK* / common/random.h"});
+    }
+  }
+  return issues;
+}
+
+std::set<std::string> CollectStatusFunctions(const std::string& content) {
+  std::set<std::string> names;
+  // Declarations whose return type opens the line: `Status Foo(`,
+  // `Result<...> Foo(`, optionally static/virtual/inline-qualified.
+  static const std::regex kDecl(
+      R"(^\s*(?:static\s+|virtual\s+|inline\s+)*(?:Status|Result<.*>)\s+([A-Za-z_][A-Za-z0-9_]*)\()");
+  bool in_block_comment = false;
+  for (const std::string& line : SplitLines(content)) {
+    const std::string code = StripCommentsAndStrings(line,
+                                                     &in_block_comment);
+    std::smatch m;
+    if (std::regex_search(code, m, kDecl)) {
+      names.insert(m[1]);
+    }
+  }
+  return names;
+}
+
+std::vector<LintIssue> CheckDroppedStatus(
+    const std::string& rel_path, const std::string& content,
+    const std::set<std::string>& status_functions) {
+  std::vector<LintIssue> issues;
+  const std::vector<std::string> lines = SplitLines(content);
+  bool in_block_comment = false;
+  // A bare call statement: optional receiver, a known name, arguments,
+  // then `;` — all on one line.
+  static const std::regex kCallStmt(
+      R"(^\s*(?:[A-Za-z_][A-Za-z0-9_]*(?:\.|->))?([A-Za-z_][A-Za-z0-9_]*)\(.*\)\s*;\s*$)");
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string code = StripCommentsAndStrings(lines[i],
+                                                     &in_block_comment);
+    if (IsSuppressed(lines[i], "dropped-status")) {
+      continue;
+    }
+    std::smatch m;
+    if (!std::regex_match(code, m, kCallStmt)) {
+      continue;
+    }
+    // A continuation line of a multi-line expression (e.g. the last
+    // argument of AUTOCAT_ASSIGN_OR_RETURN(..., Foo(x)); ) can look like
+    // a bare call but closes parens opened on earlier lines; a genuine
+    // single-statement call balances its parentheses on its own line.
+    const auto opens = std::count(code.begin(), code.end(), '(');
+    const auto closes = std::count(code.begin(), code.end(), ')');
+    if (opens != closes) {
+      continue;
+    }
+    const std::string name = m[1];
+    if (status_functions.count(name) == 0) {
+      continue;
+    }
+    // Anything that consumes the value disqualifies the match; the regex
+    // above already excludes `x = Foo();`, `return Foo();`, `if (Foo())`
+    // because they don't start with the call. Declarations like
+    // `Status s;` don't match the call shape either.
+    issues.push_back(LintIssue{
+        rel_path, i + 1, "dropped-status",
+        "return value of '" + name +
+            "' (Status/Result) is discarded; check it or cast to (void)"});
+  }
+  return issues;
+}
+
+std::vector<LintIssue> LintFileContent(
+    const std::string& rel_path, const std::string& content,
+    const std::set<std::string>& status_functions) {
+  std::vector<LintIssue> issues;
+  if (EndsWith(rel_path, ".h")) {
+    auto guard_issues = CheckIncludeGuard(rel_path, content);
+    issues.insert(issues.end(), guard_issues.begin(), guard_issues.end());
+  }
+  auto banned = CheckBannedCalls(rel_path, content);
+  issues.insert(issues.end(), banned.begin(), banned.end());
+  auto dropped = CheckDroppedStatus(rel_path, content, status_functions);
+  issues.insert(issues.end(), dropped.begin(), dropped.end());
+  return issues;
+}
+
+bool LintFiles(const std::string& root, const std::vector<std::string>& files,
+               std::vector<LintIssue>* issues) {
+  std::vector<std::pair<std::string, std::string>> loaded;
+  loaded.reserve(files.size());
+  for (const std::string& rel : files) {
+    std::ifstream in(root + "/" + rel);
+    if (!in) {
+      issues->push_back(
+          LintIssue{rel, 0, "io", "cannot read file under root " + root});
+      return false;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    loaded.emplace_back(rel, buffer.str());
+  }
+  // Pass 1: harvest Status/Result-returning declarations from headers.
+  std::set<std::string> status_functions;
+  for (const auto& [rel, content] : loaded) {
+    if (EndsWith(rel, ".h")) {
+      for (const std::string& name : CollectStatusFunctions(content)) {
+        status_functions.insert(name);
+      }
+    }
+  }
+  // Pass 2: lint every file.
+  for (const auto& [rel, content] : loaded) {
+    auto file_issues = LintFileContent(rel, content, status_functions);
+    issues->insert(issues->end(), file_issues.begin(), file_issues.end());
+  }
+  return true;
+}
+
+}  // namespace autocat::lint

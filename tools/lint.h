@@ -1,0 +1,83 @@
+#ifndef AUTOCAT_TOOLS_LINT_H_
+#define AUTOCAT_TOOLS_LINT_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+/// Repo-specific lint rules for the autocat tree (see DESIGN.md,
+/// "Correctness tooling"). The rules are deliberately textual: they are a
+/// greppable backstop behind the compiler-level enforcement
+/// ([[nodiscard]], AUTOCAT_WERROR), not a C++ front-end. Each rule can be
+/// suppressed on a specific line with `// autocat-lint: allow(<rule>)`.
+namespace autocat::lint {
+
+/// One rule violation. `line` is 1-based; 0 means the whole file.
+struct LintIssue {
+  std::string file;
+  size_t line = 0;
+  std::string rule;
+  std::string message;
+
+  /// "file:line: [rule] message" (line omitted when 0).
+  std::string ToString() const;
+};
+
+/// Rule `include-guard`: a header's #ifndef/#define guard must be derived
+/// from its repo-relative path — `AUTOCAT_<PATH>_H_` with the leading
+/// `src/` stripped, uppercased, and `/` and `.` mapped to `_` (e.g.
+/// src/core/category.h -> AUTOCAT_CORE_CATEGORY_H_). Returns the guard
+/// expected for `rel_path`.
+std::string ExpectedIncludeGuard(const std::string& rel_path);
+
+/// Checks rule `include-guard` on a header's `content`.
+std::vector<LintIssue> CheckIncludeGuard(const std::string& rel_path,
+                                         const std::string& content);
+
+/// Rule `banned-call`: `assert(`, `abort(`, `std::rand`, `rand(`, and
+/// `srand(` may appear only under src/common — everything else must use
+/// AUTOCAT_CHECK* (which prints file/line and values) and common/random.h
+/// (seeded, reproducible). Comment and string contents are ignored.
+std::vector<LintIssue> CheckBannedCalls(const std::string& rel_path,
+                                        const std::string& content);
+
+/// Harvests names of functions declared to return `Status` or
+/// `Result<...>` from a header's `content` (declaration-at-line-start
+/// heuristic), for use with CheckDroppedStatus.
+std::set<std::string> CollectStatusFunctions(const std::string& content);
+
+/// Rule `dropped-status`: flags single-line expression statements that
+/// call a function from `status_functions` and visibly discard the
+/// returned Status/Result (no assignment, return, branch condition, test
+/// macro, or (void) cast on the line). Heuristic by design — the
+/// [[nodiscard]] attributes are the sound enforcement.
+std::vector<LintIssue> CheckDroppedStatus(
+    const std::string& rel_path, const std::string& content,
+    const std::set<std::string>& status_functions);
+
+/// Strips `//` and `/*...*/` comments and string/char literal contents
+/// from one line of code, preserving column positions with spaces.
+/// `in_block_comment` carries /*...*/ state across lines.
+std::string StripCommentsAndStrings(const std::string& line,
+                                    bool* in_block_comment);
+
+/// True when `line` carries an `// autocat-lint: allow(<rule>)`
+/// suppression for `rule`.
+bool IsSuppressed(const std::string& line, const std::string& rule);
+
+/// Runs every applicable rule over one file's content. `rel_path` decides
+/// which rules apply (headers get include-guard; src/common is exempt
+/// from banned-call).
+std::vector<LintIssue> LintFileContent(
+    const std::string& rel_path, const std::string& content,
+    const std::set<std::string>& status_functions);
+
+/// Loads `root`-relative `files`, harvests Status/Result declarations
+/// from every header among them, lints each file, and appends issues.
+/// Returns false when any file cannot be read.
+bool LintFiles(const std::string& root, const std::vector<std::string>& files,
+               std::vector<LintIssue>* issues);
+
+}  // namespace autocat::lint
+
+#endif  // AUTOCAT_TOOLS_LINT_H_

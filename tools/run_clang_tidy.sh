@@ -1,0 +1,33 @@
+#!/bin/sh
+# clang-tidy gate over src/, driven by the repo-root .clang-tidy and the
+# compile database exported by CMake (CMAKE_EXPORT_COMPILE_COMMANDS).
+#
+# Usage: run_clang_tidy.sh <source-root> <build-dir>
+# Exit codes: 0 clean, 1 findings, 2 usage error,
+#             77 clang-tidy unavailable (ctest SKIP_RETURN_CODE).
+set -u
+
+if [ "$#" -ne 2 ]; then
+  echo "usage: $0 <source-root> <build-dir>" >&2
+  exit 2
+fi
+SRC_ROOT=$1
+BUILD_DIR=$2
+
+TIDY=${CLANG_TIDY:-clang-tidy}
+if ! command -v "$TIDY" >/dev/null 2>&1; then
+  echo "clang-tidy not found in PATH; skipping (install llvm to enable)" >&2
+  exit 77
+fi
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "no compile_commands.json in $BUILD_DIR" >&2
+  exit 2
+fi
+
+FAILED=0
+for f in "$SRC_ROOT"/src/*/*.cc; do
+  if ! "$TIDY" --quiet -p "$BUILD_DIR" "$f"; then
+    FAILED=1
+  fi
+done
+exit "$FAILED"
