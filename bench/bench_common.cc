@@ -29,5 +29,50 @@ void PrintShape(const std::string& shape) {
   std::printf("Shape check: %s\n", shape.c_str());
 }
 
+void ThreadScalingReporter::Record(const std::string& label, size_t threads,
+                                   double ms) {
+  ms_[label][threads] = ms;
+}
+
+double ThreadScalingReporter::Speedup(const std::string& label,
+                                      size_t threads) const {
+  const auto label_it = ms_.find(label);
+  if (label_it == ms_.end()) {
+    return 0;
+  }
+  const auto base_it = label_it->second.find(1);
+  const auto run_it = label_it->second.find(threads);
+  if (base_it == label_it->second.end() ||
+      run_it == label_it->second.end() || run_it->second <= 0) {
+    return 0;
+  }
+  return base_it->second / run_it->second;
+}
+
+void ThreadScalingReporter::Print() const {
+  if (ms_.empty()) {
+    return;
+  }
+  // stderr, so machine-readable stdout (--benchmark_format=json) stays
+  // clean.
+  std::fprintf(stderr,
+               "----------------------------------------------------------\n");
+  std::fprintf(stderr, "Thread scaling (speedup vs threads=1)\n");
+  std::fprintf(stderr, "%-32s %8s %12s %10s\n", "label", "threads", "ms/op",
+               "speedup");
+  for (const auto& [label, runs] : ms_) {
+    for (const auto& [threads, ms] : runs) {
+      const double speedup = Speedup(label, threads);
+      if (speedup > 0) {
+        std::fprintf(stderr, "%-32s %8zu %12.3f %9.2fx\n", label.c_str(),
+                     threads, ms, speedup);
+      } else {
+        std::fprintf(stderr, "%-32s %8zu %12.3f %10s\n", label.c_str(),
+                     threads, ms, "n/a");
+      }
+    }
+  }
+}
+
 }  // namespace bench
 }  // namespace autocat

@@ -5,7 +5,9 @@
 // full-scale study environment (synthetic stand-in for the paper's MSN
 // House&Home data and query log) and small printing helpers.
 
+#include <cstddef>
 #include <cstdio>
+#include <map>
 #include <string>
 
 #include "simgen/study.h"
@@ -26,6 +28,27 @@ void PrintHeader(const std::string& artifact, const std::string& paper_says);
 
 /// Prints the closing line with the reproduced claim verdict.
 void PrintShape(const std::string& shape);
+
+/// Accumulates milliseconds-per-operation timings for labelled benchmark
+/// configurations across thread counts and prints a speedup table
+/// relative to each label's threads=1 run.
+class ThreadScalingReporter {
+ public:
+  /// Records one measurement; a later Record for the same
+  /// (label, threads) pair overwrites the earlier one.
+  void Record(const std::string& label, size_t threads, double ms);
+
+  /// Speedup of the `threads` run over the threads=1 run of the same
+  /// label, or 0 when either measurement is missing.
+  double Speedup(const std::string& label, size_t threads) const;
+
+  /// Prints one row per (label, threads) with ms/op and speedup. Silent
+  /// when nothing was recorded.
+  void Print() const;
+
+ private:
+  std::map<std::string, std::map<size_t, double>> ms_;
+};
 
 }  // namespace bench
 }  // namespace autocat

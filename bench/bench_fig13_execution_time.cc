@@ -2,10 +2,20 @@
 // for M in {10, 20, 50, 100}, averaged over workload queries (the paper
 // used 100 queries with average result size ~2000 and measured ~1 s on
 // 2004 hardware).
+//
+// On top of the paper's M sweep, every benchmark runs at thread counts
+// {1, 2, 4, 8} (restrict with --threads=N). Each registered benchmark
+// name carries its thread count and every run reports a "threads"
+// counter, so --benchmark_out JSON keeps per-thread-count timings; a
+// closing table reports the speedup of each configuration over its own
+// threads=1 run.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "bench_common.h"
@@ -15,14 +25,21 @@ namespace {
 
 using namespace autocat;  // NOLINT
 
-// Shared fixture: environment, count tables, and a pool of broadened
-// queries with their result sets, built once.
+bench::ThreadScalingReporter& Reporter() {
+  static auto* reporter = new bench::ThreadScalingReporter();
+  return *reporter;
+}
+
+// Shared fixture: environment, count tables, a pool of broadened queries
+// with their result sets, and the raw SQL log (for the preprocessing
+// benchmark), built once.
 struct Fig13Fixture {
   StudyConfig config;
   std::unique_ptr<StudyEnvironment> env;
   std::unique_ptr<WorkloadStats> stats;
   std::vector<SelectionProfile> queries;
   std::vector<Table> results;
+  std::vector<std::string> sqls;
 
   static Fig13Fixture& Get() {
     static Fig13Fixture* fixture = [] {
@@ -35,6 +52,13 @@ struct Fig13Fixture {
                                         f->env->schema(), f->config.stats);
       AUTOCAT_CHECK(stats.ok());
       f->stats = std::make_unique<WorkloadStats>(std::move(stats).value());
+      // The raw query log, regenerated with the environment's workload
+      // seed (StudyEnvironment keeps only the parsed form).
+      WorkloadGeneratorConfig workload_config;
+      workload_config.num_queries = f->config.num_workload_queries;
+      workload_config.seed = f->config.seed * 3 + 7;
+      f->sqls =
+          WorkloadGenerator(&f->env->geo(), workload_config).GenerateSql();
       // 100 broadened workload queries, as in the paper's timing run.
       size_t taken = 0;
       for (size_t i = 0; i < f->env->workload().size() && taken < 100;
@@ -62,15 +86,18 @@ struct Fig13Fixture {
   }
 };
 
-void BM_CostBasedCategorization(benchmark::State& state) {
+void BM_CostBasedCategorization(benchmark::State& state, size_t m,
+                                size_t threads) {
   Fig13Fixture& fixture = Fig13Fixture::Get();
   CategorizerOptions options = fixture.config.categorizer;
-  options.max_tuples_per_category = static_cast<size_t>(state.range(0));
+  options.max_tuples_per_category = m;
+  options.parallel.threads = threads;
   const CostBasedCategorizer categorizer(fixture.stats.get(), options);
 
   size_t query = 0;
   double total_rows = 0;
   size_t trees = 0;
+  const auto start = std::chrono::steady_clock::now();
   for (auto _ : state) {
     const size_t i = query++ % fixture.results.size();
     auto tree = categorizer.Categorize(fixture.results[i],
@@ -80,19 +107,99 @@ void BM_CostBasedCategorization(benchmark::State& state) {
     total_rows += static_cast<double>(fixture.results[i].num_rows());
     ++trees;
   }
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  state.counters["threads"] = static_cast<double>(threads);
   state.counters["avg_result_rows"] =
       trees > 0 ? total_rows / static_cast<double>(trees) : 0;
-  state.SetLabel("M=" + std::to_string(state.range(0)));
+  state.SetLabel("M=" + std::to_string(m) +
+                 " threads=" + std::to_string(threads));
+  if (trees > 0) {
+    Reporter().Record("categorize/M=" + std::to_string(m), threads,
+                      elapsed_ms / static_cast<double>(trees));
+  }
+}
+
+void BM_WorkloadPreprocess(benchmark::State& state, size_t threads) {
+  Fig13Fixture& fixture = Fig13Fixture::Get();
+  ParallelOptions parallel;
+  parallel.threads = threads;
+  size_t iterations = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (auto _ : state) {
+    WorkloadParseReport report;
+    Workload workload = Workload::Parse(fixture.sqls, fixture.env->schema(),
+                                        &report, parallel);
+    auto stats = WorkloadStats::Build(workload, fixture.env->schema(),
+                                      fixture.config.stats, parallel);
+    AUTOCAT_CHECK(stats.ok());
+    benchmark::DoNotOptimize(stats.value());
+    ++iterations;
+  }
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  state.counters["threads"] = static_cast<double>(threads);
+  state.SetLabel("queries=" + std::to_string(fixture.sqls.size()) +
+                 " threads=" + std::to_string(threads));
+  if (iterations > 0) {
+    Reporter().Record("preprocess", threads,
+                      elapsed_ms / static_cast<double>(iterations));
+  }
 }
 
 }  // namespace
 
-// The paper's Figure 13 sweep: M = 10, 20, 50, 100.
-BENCHMARK(BM_CostBasedCategorization)
-    ->Arg(10)
-    ->Arg(20)
-    ->Arg(50)
-    ->Arg(100)
-    ->Unit(benchmark::kMillisecond);
+int main(int argc, char** argv) {
+  // --threads=N restricts the sweep to a single thread count; every other
+  // argument falls through to the benchmark library.
+  std::vector<size_t> sweep = {1, 2, 4, 8};
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      sweep.assign(1, static_cast<size_t>(std::stoul(argv[i] + 10)));
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
 
-BENCHMARK_MAIN();
+  // The paper's Figure 13 sweep (M = 10, 20, 50, 100) crossed with the
+  // thread sweep; UseRealTime because the win is wall-clock, not
+  // main-thread CPU.
+  for (const size_t m : {size_t{10}, size_t{20}, size_t{50}, size_t{100}}) {
+    for (const size_t threads : sweep) {
+      benchmark::RegisterBenchmark(
+          ("BM_CostBasedCategorization/M=" + std::to_string(m) +
+           "/threads=" + std::to_string(threads))
+              .c_str(),
+          [m, threads](benchmark::State& state) {
+            BM_CostBasedCategorization(state, m, threads);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->UseRealTime();
+    }
+  }
+  for (const size_t threads : sweep) {
+    benchmark::RegisterBenchmark(
+        ("BM_WorkloadPreprocess/threads=" + std::to_string(threads))
+            .c_str(),
+        [threads](benchmark::State& state) {
+          BM_WorkloadPreprocess(state, threads);
+        })
+        ->Unit(benchmark::kMillisecond)
+        ->UseRealTime();
+  }
+
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  Reporter().Print();
+  return 0;
+}

@@ -6,6 +6,16 @@
 
 namespace autocat {
 
+uint64_t SplitMixSeed(uint64_t seed, uint64_t stream) {
+  // splitmix64 finalizer (Steele, Lea, Flood 2014) over the combined
+  // (seed, stream) state; the odd multiplier decorrelates nearby streams.
+  uint64_t z = seed + stream * 0x9E3779B97F4A7C15ULL;
+  z += 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
 int64_t Random::Uniform(int64_t lo, int64_t hi) {
   AUTOCAT_CHECK(lo <= hi);
   std::uniform_int_distribution<int64_t> dist(lo, hi);

@@ -9,6 +9,13 @@
 
 namespace autocat {
 
+/// Derives an independent stream seed from a base seed and a stream index
+/// (splitmix64 finalizer over their combination). The parallel generators
+/// seed one `Random` per fixed-size chunk of output — chunk boundaries and
+/// seeds depend only on the base seed and chunk index, never on the thread
+/// count, so generated data is identical at any parallelism.
+uint64_t SplitMixSeed(uint64_t seed, uint64_t stream);
+
 /// Deterministic pseudo-random source used by all generators and studies.
 ///
 /// Every stochastic component takes an explicit `Random&` so experiments are

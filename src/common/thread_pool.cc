@@ -1,0 +1,231 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <memory>
+
+namespace autocat {
+
+namespace {
+
+/// Set while the current thread executes ParallelFor chunks (either as the
+/// caller or as a pool worker). Guards against nested parallel regions,
+/// which could deadlock a fixed-size pool.
+thread_local bool tls_in_parallel_for = false;
+
+Status NestedParallelForError() {
+  return Status::NotSupported(
+      "nested ParallelFor: this thread is already executing a parallel "
+      "region; restructure the outer loop to cover the inner work");
+}
+
+/// Shared state of one ParallelFor: the claim counter plus the error of
+/// the lowest-indexed failing chunk. Chunks are claimed in ascending index
+/// order, so the set of claimed chunks is always a prefix — which makes
+/// the recorded minimum failing chunk equal to the first chunk a
+/// sequential in-order run would fail on, independent of thread count.
+struct ForState {
+  size_t begin = 0;
+  size_t end = 0;
+  size_t grain = 1;
+  size_t num_chunks = 0;
+  const std::function<Status(size_t, size_t)>* fn = nullptr;
+
+  std::atomic<size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::mutex mu;
+  size_t first_error_chunk = std::numeric_limits<size_t>::max();
+  Status error;
+};
+
+Status RunChunk(const ForState& state, size_t chunk) {
+  const size_t lo = state.begin + chunk * state.grain;
+  const size_t hi = std::min(state.end, lo + state.grain);
+  try {
+    return (*state.fn)(lo, hi);
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("ParallelFor body threw: ") +
+                            e.what());
+  } catch (...) {
+    return Status::Internal("ParallelFor body threw a non-std exception");
+  }
+}
+
+void RunChunks(ForState& state) {
+  tls_in_parallel_for = true;
+  while (!state.failed.load(std::memory_order_acquire)) {
+    const size_t chunk = state.next.fetch_add(1, std::memory_order_relaxed);
+    if (chunk >= state.num_chunks) {
+      break;
+    }
+    Status status = RunChunk(state, chunk);
+    if (!status.ok()) {
+      std::lock_guard<std::mutex> lock(state.mu);
+      if (chunk < state.first_error_chunk) {
+        state.first_error_chunk = chunk;
+        state.error = std::move(status);
+      }
+      state.failed.store(true, std::memory_order_release);
+    }
+  }
+  tls_in_parallel_for = false;
+}
+
+}  // namespace
+
+size_t ParallelOptions::ResolvedThreads() const {
+  if (threads > 0) {
+    return threads;
+  }
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 1 : hardware;
+}
+
+ThreadPool::ThreadPool(size_t threads) {
+  const size_t workers = threads > 1 ? threads - 1 : 0;
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stop_ set and nothing left to drain
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+std::future<Status> ThreadPool::Submit(std::function<Status()> task) {
+  auto wrapped = std::make_shared<std::packaged_task<Status()>>(
+      [moved_task = std::move(task)]() -> Status {
+        try {
+          return moved_task();
+        } catch (const std::exception& e) {
+          return Status::Internal(std::string("submitted task threw: ") +
+                                  e.what());
+        } catch (...) {
+          return Status::Internal(
+              "submitted task threw a non-std exception");
+        }
+      });
+  std::future<Status> future = wrapped->get_future();
+  if (workers_.empty()) {
+    (*wrapped)();
+    return future;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.emplace_back([wrapped] { (*wrapped)(); });
+  }
+  cv_.notify_one();
+  return future;
+}
+
+Status ThreadPool::ParallelFor(
+    size_t begin, size_t end, size_t grain,
+    const std::function<Status(size_t, size_t)>& fn, size_t max_threads) {
+  if (tls_in_parallel_for) {
+    return NestedParallelForError();
+  }
+  if (begin >= end) {
+    return Status::OK();
+  }
+  if (grain == 0) {
+    grain = 1;
+  }
+  ForState state;
+  state.begin = begin;
+  state.end = end;
+  state.grain = grain;
+  state.num_chunks = (end - begin + grain - 1) / grain;
+  state.fn = &fn;
+
+  size_t budget = threads();
+  if (max_threads > 0) {
+    budget = std::min(budget, max_threads);
+  }
+  const size_t helpers = std::min(
+      {budget > 0 ? budget - 1 : 0, workers_.size(), state.num_chunks - 1});
+  std::vector<std::future<Status>> pending;
+  pending.reserve(helpers);
+  for (size_t i = 0; i < helpers; ++i) {
+    pending.push_back(Submit([&state]() -> Status {
+      RunChunks(state);
+      return Status::OK();
+    }));
+  }
+  RunChunks(state);
+  for (std::future<Status>& future : pending) {
+    // Helpers always return OK; real failures land in state.error with
+    // their chunk index so the reported error is deterministic.
+    (void)future.get();
+  }
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.error;
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool* pool = new ThreadPool(
+      std::max<size_t>(ParallelOptions{}.ResolvedThreads(), 16));
+  return *pool;
+}
+
+Status ParallelFor(const ParallelOptions& options, size_t begin, size_t end,
+                   size_t grain,
+                   const std::function<Status(size_t, size_t)>& fn) {
+  const size_t threads = options.ResolvedThreads();
+  if (threads > 1) {
+    return ThreadPool::Shared().ParallelFor(begin, end, grain, fn, threads);
+  }
+  // Sequential mode: same chunking, error selection, and nesting rules,
+  // with every chunk run in order on the calling thread.
+  if (tls_in_parallel_for) {
+    return NestedParallelForError();
+  }
+  if (begin >= end) {
+    return Status::OK();
+  }
+  if (grain == 0) {
+    grain = 1;
+  }
+  ForState state;
+  state.begin = begin;
+  state.end = end;
+  state.grain = grain;
+  state.num_chunks = (end - begin + grain - 1) / grain;
+  state.fn = &fn;
+  tls_in_parallel_for = true;
+  Status status = Status::OK();
+  for (size_t chunk = 0; chunk < state.num_chunks; ++chunk) {
+    status = RunChunk(state, chunk);
+    if (!status.ok()) {
+      break;
+    }
+  }
+  tls_in_parallel_for = false;
+  return status;
+}
+
+}  // namespace autocat

@@ -1,0 +1,106 @@
+#ifndef AUTOCAT_COMMON_THREAD_POOL_H_
+#define AUTOCAT_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace autocat {
+
+/// Degree-of-parallelism knob shared by every parallel hot path (workload
+/// preprocessing, per-level candidate scoring, simgen generation).
+///
+/// Every parallel path in the tree is *deterministic in the input, not in
+/// the thread count*: work is split into chunks whose boundaries depend
+/// only on the problem size, partial results live in per-chunk shards, and
+/// shards are merged in chunk order. `threads = 1` therefore produces
+/// byte-identical output to any other setting, and is also guaranteed to
+/// run strictly sequentially on the calling thread.
+struct ParallelOptions {
+  /// Total threads participating in a parallel region, including the
+  /// calling thread. 0 means hardware_concurrency(); 1 runs sequentially.
+  size_t threads = 0;
+
+  /// `threads`, with 0 resolved to hardware_concurrency() (at least 1).
+  size_t ResolvedThreads() const;
+};
+
+/// A fixed-size worker pool with a task-futures API and a chunked
+/// ParallelFor helper.
+///
+/// Error handling follows the repo convention: no exceptions cross the
+/// pool boundary — tasks report failure by returning a non-OK `Status`,
+/// and a stray exception inside a task is converted to
+/// `Status::Internal`. See DESIGN.md, "Parallel execution model".
+class ThreadPool {
+ public:
+  /// Creates a pool with `threads` total threads of parallelism: the
+  /// calling thread plus `threads - 1` workers (0 is treated as 1, i.e.
+  /// no workers — everything runs inline on the caller).
+  explicit ThreadPool(size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism: worker count + 1 for the participating caller.
+  size_t threads() const { return workers_.size() + 1; }
+
+  /// Enqueues `task` and returns a future for its Status. With no workers
+  /// the task runs inline before Submit returns. Tasks must not block on
+  /// futures of other submitted tasks (the pool does not grow).
+  std::future<Status> Submit(std::function<Status()> task);
+
+  /// Runs `fn(chunk_begin, chunk_end)` over [begin, end) split into
+  /// chunks of at most `grain` items (chunk i covers
+  /// [begin + i*grain, min(begin + (i+1)*grain, end))). Chunk boundaries
+  /// depend only on (begin, end, grain), never on the thread count, so
+  /// callers can shard per-chunk state deterministically.
+  ///
+  /// The calling thread participates; up to min(threads() - 1,
+  /// max_threads - 1) workers help (max_threads = 0 means no extra cap).
+  /// Chunks are claimed in ascending index order. On failure the error of
+  /// the lowest-indexed failing chunk is returned — the same error a
+  /// sequential in-order run would return first — and unclaimed chunks
+  /// are skipped. Nested calls (ParallelFor from inside a ParallelFor
+  /// chunk on the same thread) are rejected with NotSupported.
+  Status ParallelFor(size_t begin, size_t end, size_t grain,
+                     const std::function<Status(size_t, size_t)>& fn,
+                     size_t max_threads = 0);
+
+  /// Process-wide shared pool, sized max(hardware_concurrency(), 16) so
+  /// explicitly requested parallelism up to 16 is honored even on small
+  /// machines (the determinism suite exercises thread counts above the
+  /// core count). Created on first use; never destroyed.
+  static ThreadPool& Shared();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Convenience front-end used by the hot paths: resolves `options` and
+/// runs `fn` over [begin, end) in `grain`-sized chunks — strictly
+/// sequentially (in chunk order, on the calling thread) when the resolved
+/// thread count is 1, on the shared pool capped at that count otherwise.
+/// Chunking, error selection, and nested-call rejection are identical in
+/// both modes.
+Status ParallelFor(const ParallelOptions& options, size_t begin, size_t end,
+                   size_t grain,
+                   const std::function<Status(size_t, size_t)>& fn);
+
+}  // namespace autocat
+
+#endif  // AUTOCAT_COMMON_THREAD_POOL_H_

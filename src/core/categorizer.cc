@@ -50,11 +50,20 @@ Status ValidateCandidates(const std::vector<std::string>& candidates,
 // (Figure 6). `cost_based_choice` selects the per-level attribute by
 // minimum COST_A; otherwise candidates are consumed in the given
 // (pre-shuffled for 'No cost') order.
+//
+// `parallel`, when non-null, spreads the per-level candidate scoring over
+// threads — requires `partition` to be thread-safe (the cost-based
+// dispatch is; the baseline one mutates a shared Random, so the baselines
+// pass null). Each candidate's score is computed by exactly the same
+// sequence of operations as the sequential loop, and the reduction takes
+// the strict minimum in candidate order (earliest wins on ties), so the
+// chosen attribute — hence the whole tree — is identical at any thread
+// count.
 Result<CategoryTree> BuildLevelByLevel(
     const Table& result, std::vector<std::string> candidates,
     const CostModel& model, bool cost_based_choice,
     const PartitionFn& partition, size_t max_tuples_per_category,
-    size_t max_levels) {
+    size_t max_levels, const ParallelOptions* parallel) {
   AUTOCAT_RETURN_IF_ERROR(ValidateCandidates(candidates, result.schema()));
   CategoryTree tree(&result);
   const ProbabilityEstimator& estimator = model.estimator();
@@ -101,12 +110,16 @@ Result<CategoryTree> BuildLevelByLevel(
         chosen_parts.push_back(std::move(parts));
       }
     } else {
-      double best_cost = std::numeric_limits<double>::infinity();
-      for (const std::string& attr : candidates) {
-        const double pw = estimator.ShowTuplesProbability(attr);
+      // One score per candidate, computed independently (possibly on
+      // different threads) and reduced below in candidate order.
+      struct CandidateScore {
         double total = 0;
-        std::vector<std::vector<PartitionCategory>> parts_for_attr;
-        parts_for_attr.reserve(oversized.size());
+        std::vector<std::vector<PartitionCategory>> parts;
+      };
+      const auto evaluate = [&](const std::string& attr,
+                                CandidateScore* score) -> Status {
+        const double pw = estimator.ShowTuplesProbability(attr);
+        score->parts.reserve(oversized.size());
         for (NodeId id : oversized) {
           const CategoryNode& node = tree.node(id);
           AUTOCAT_ASSIGN_OR_RETURN(auto parts,
@@ -129,15 +142,44 @@ Result<CategoryTree> BuildLevelByLevel(
             cost_one_level =
                 model.OneLevelCostAll(pw, node.tset_size(), probs, sizes);
           }
-          total += model.NodeExplorationProbability(tree, id) *
-                   cost_one_level;
-          parts_for_attr.push_back(std::move(parts));
+          score->total += model.NodeExplorationProbability(tree, id) *
+                          cost_one_level;
+          score->parts.push_back(std::move(parts));
         }
-        if (total < best_cost) {
-          best_cost = total;
-          chosen_attr = attr;
-          chosen_parts = std::move(parts_for_attr);
+        return Status::OK();
+      };
+
+      std::vector<CandidateScore> scores(candidates.size());
+      if (parallel != nullptr && parallel->ResolvedThreads() > 1 &&
+          candidates.size() > 1) {
+        AUTOCAT_RETURN_IF_ERROR(ParallelFor(
+            *parallel, 0, candidates.size(), /*grain=*/1,
+            [&](size_t lo, size_t hi) -> Status {
+              for (size_t i = lo; i < hi; ++i) {
+                AUTOCAT_RETURN_IF_ERROR(
+                    evaluate(candidates[i], &scores[i]));
+              }
+              return Status::OK();
+            }));
+      } else {
+        for (size_t i = 0; i < candidates.size(); ++i) {
+          AUTOCAT_RETURN_IF_ERROR(evaluate(candidates[i], &scores[i]));
         }
+      }
+
+      // Strict minimum in candidate order: identical to the sequential
+      // "total < best_cost" scan, regardless of evaluation order above.
+      double best_cost = std::numeric_limits<double>::infinity();
+      size_t best_i = candidates.size();
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        if (scores[i].total < best_cost) {
+          best_cost = scores[i].total;
+          best_i = i;
+        }
+      }
+      if (best_i < candidates.size()) {
+        chosen_attr = candidates[best_i];
+        chosen_parts = std::move(scores[best_i].parts);
       }
     }
     AUTOCAT_CHECK(!chosen_attr.empty());
@@ -241,7 +283,8 @@ Result<CategoryTree> CostBasedCategorizer::Categorize(
       result, RetainedAttributes(result.schema()), model,
       /*cost_based_choice=*/true,
       MakeCostBasedPartition(result, stats_, options_, query),
-      options_.max_tuples_per_category, options_.max_levels);
+      options_.max_tuples_per_category, options_.max_levels,
+      &options_.parallel);
 }
 
 Result<CategoryTree> AttrCostCategorizer::Categorize(
@@ -253,11 +296,14 @@ Result<CategoryTree> AttrCostCategorizer::Categorize(
       options_.candidate_attributes.empty()
           ? DefaultCandidates(result.schema())
           : options_.candidate_attributes;
+  // The baseline partitioner draws from a shared Random: keep scoring
+  // sequential so its stream (hence the tree) is unchanged.
   return BuildLevelByLevel(
       result, candidates, model,
       /*cost_based_choice=*/true,
       MakeBaselinePartition(result, stats_, options_, query, &rng),
-      options_.max_tuples_per_category, options_.max_levels);
+      options_.max_tuples_per_category, options_.max_levels,
+      /*parallel=*/nullptr);
 }
 
 Result<CategoryTree> CategorizeWithFixedAttributeOrder(
@@ -270,7 +316,8 @@ Result<CategoryTree> CategorizeWithFixedAttributeOrder(
       result, attribute_order, model,
       /*cost_based_choice=*/false,
       MakeCostBasedPartition(result, stats, options, query),
-      options.max_tuples_per_category, options.max_levels);
+      options.max_tuples_per_category, options.max_levels,
+      /*parallel=*/nullptr);
 }
 
 Result<CategoryTree> NoCostCategorizer::Categorize(
@@ -287,7 +334,8 @@ Result<CategoryTree> NoCostCategorizer::Categorize(
       result, std::move(candidates), model,
       /*cost_based_choice=*/false,
       MakeBaselinePartition(result, stats_, options_, query, &rng),
-      options_.max_tuples_per_category, options_.max_levels);
+      options_.max_tuples_per_category, options_.max_levels,
+      /*parallel=*/nullptr);
 }
 
 }  // namespace autocat

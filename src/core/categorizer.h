@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "core/category.h"
 #include "core/cost_model.h"
 #include "core/partition.h"
@@ -53,6 +54,14 @@ struct CategorizerOptions {
   /// Seed for the 'No cost' technique's arbitrary choices (attribute order
   /// and category order).
   uint64_t arbitrary_seed = 42;
+
+  /// Threads used by the cost-based technique to score candidate
+  /// attributes concurrently per level. Candidate costs are reduced in
+  /// candidate order with a strict-minimum tie-break, so the chosen tree
+  /// is bit-identical at any thread count; `threads = 1` runs the original
+  /// sequential loop. The baselines ignore this (their partitioners share
+  /// a mutable Random).
+  ParallelOptions parallel;
 };
 
 /// Common interface of the categorization techniques. `Categorize` builds

@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "core/cost_model.h"
 #include "core/partition.h"
 #include "core/probability.h"
@@ -73,22 +74,27 @@ Result<EnumerationResult> EnumerateBestOneLevel(
   }
   ProbabilityEstimator estimator(stats, &result.schema());
   CostModel model(&estimator, options.cost_params);
-  std::optional<EnumerationResult> best;
 
   std::vector<size_t> all_rows(result.num_rows());
   for (size_t i = 0; i < all_rows.size(); ++i) {
     all_rows[i] = i;
   }
 
-  for (const std::string& attr : candidates) {
+  // Scores each candidate independently (masks in ascending order, local
+  // strict-minimum) into its own slot, then reduces the slots in candidate
+  // order below. That reduction is exactly the sequential earliest-wins
+  // scan, so the winning tree is identical at any thread count.
+  const auto evaluate = [&](const std::string& attr,
+                            std::optional<EnumerationResult>* best)
+      -> Status {
     AUTOCAT_ASSIGN_OR_RETURN(const size_t col,
                              result.schema().ColumnIndex(attr));
     if (result.schema().column(col).kind == ColumnKind::kCategorical) {
       AUTOCAT_ASSIGN_OR_RETURN(
           auto parts, PartitionCategorical(result, all_rows, attr, *stats));
       ConsiderCandidate(model, OneLevelTree(result, std::move(parts)),
-                        {attr}, &best);
-      continue;
+                        {attr}, best);
+      return Status::OK();
     }
     // Numeric: enumerate every subset of the candidate split points.
     AUTOCAT_ASSIGN_OR_RETURN(const auto min_max, result.MinMax(col));
@@ -131,7 +137,28 @@ Result<EnumerationResult> EnumerateBestOneLevel(
         continue;
       }
       ConsiderCandidate(model, OneLevelTree(result, std::move(parts)),
-                        {attr}, &best);
+                        {attr}, best);
+    }
+    return Status::OK();
+  };
+
+  std::vector<std::optional<EnumerationResult>> per_candidate(
+      candidates.size());
+  AUTOCAT_RETURN_IF_ERROR(ParallelFor(
+      options.parallel, 0, candidates.size(), /*grain=*/1,
+      [&](size_t lo, size_t hi) -> Status {
+        for (size_t i = lo; i < hi; ++i) {
+          AUTOCAT_RETURN_IF_ERROR(
+              evaluate(candidates[i], &per_candidate[i]));
+        }
+        return Status::OK();
+      }));
+
+  std::optional<EnumerationResult> best;
+  for (std::optional<EnumerationResult>& candidate_best : per_candidate) {
+    if (candidate_best.has_value() &&
+        (!best.has_value() || candidate_best->cost < best->cost)) {
+      best = std::move(candidate_best);
     }
   }
   if (!best.has_value()) {
@@ -182,13 +209,33 @@ Result<EnumerationResult> EnumerateBestAttributeOrder(
   std::vector<std::string> current;
   EnumerateOrders(candidates, used, current, orders);
 
+  // Each chunk of orders keeps a local strict-minimum best; chunks are
+  // reduced in chunk (= order) sequence, so ties resolve to the earliest
+  // order exactly as the sequential scan does.
+  constexpr size_t kOrderGrain = 16;
+  const size_t num_chunks =
+      orders.empty() ? 0 : (orders.size() + kOrderGrain - 1) / kOrderGrain;
+  std::vector<std::optional<EnumerationResult>> per_chunk(num_chunks);
+  AUTOCAT_RETURN_IF_ERROR(ParallelFor(
+      options.parallel, 0, orders.size(), kOrderGrain,
+      [&](size_t lo, size_t hi) -> Status {
+        std::optional<EnumerationResult>& best = per_chunk[lo / kOrderGrain];
+        for (size_t i = lo; i < hi; ++i) {
+          AUTOCAT_ASSIGN_OR_RETURN(
+              CategoryTree tree,
+              CategorizeWithFixedAttributeOrder(result, orders[i], stats,
+                                                options, query));
+          ConsiderCandidate(model, std::move(tree), orders[i], &best);
+        }
+        return Status::OK();
+      }));
+
   std::optional<EnumerationResult> best;
-  for (const std::vector<std::string>& order : orders) {
-    AUTOCAT_ASSIGN_OR_RETURN(
-        CategoryTree tree,
-        CategorizeWithFixedAttributeOrder(result, order, stats, options,
-                                          query));
-    ConsiderCandidate(model, std::move(tree), order, &best);
+  for (std::optional<EnumerationResult>& chunk_best : per_chunk) {
+    if (chunk_best.has_value() &&
+        (!best.has_value() || chunk_best->cost < best->cost)) {
+      best = std::move(chunk_best);
+    }
   }
   if (!best.has_value()) {
     return Status::NotFound("no attribute order produced a tree");

@@ -57,13 +57,77 @@ std::string SamplePropertyType(Random& rng, bool urban) {
   return kTypes[rng.WeightedChoice(weights)];
 }
 
+/// Rows generated per RNG stream. The chunk size is a fixed constant (not
+/// derived from the thread count), so chunk c always covers the same rows
+/// and draws from the same stream — the table is identical at any
+/// parallelism.
+constexpr size_t kRowsPerChunk = 1024;
+
+// One home row, drawn entirely from `rng`.
+std::vector<Value> GenerateRow(Random& rng,
+                               const std::vector<Region>& regions,
+                               const std::vector<double>& popularity) {
+  const size_t region_idx = rng.WeightedChoice(popularity);
+  const Region& region = regions[region_idx];
+  const size_t nb_idx = rng.Zipf(region.neighborhoods.size(), 0.6);
+  const std::string& neighborhood = region.neighborhoods[nb_idx];
+  const bool urban = region.price_center >= 600000;
+
+  const int64_t bedrooms = SampleBedrooms(rng);
+  const std::string prop_type = SamplePropertyType(rng, urban);
+  const bool condo = prop_type == "Condo";
+
+  // Square footage follows bedrooms (condos smaller), with noise.
+  double sqft = 420.0 * static_cast<double>(bedrooms) +
+                rng.Gaussian(350, 320);
+  if (condo) {
+    sqft *= 0.72;
+  }
+  sqft = std::clamp(sqft, 320.0, 9000.0);
+  const int64_t sqft_i = static_cast<int64_t>(std::round(sqft / 10) * 10);
+
+  // Price: regional log-normal scaled by neighborhood tier and by size.
+  const double size_factor = std::pow(
+      sqft / (420.0 * static_cast<double>(bedrooms) + 350.0), 0.35);
+  double price = region.price_center *
+                 NeighborhoodPriceMultiplier(
+                     nb_idx, region.neighborhoods.size()) *
+                 std::exp(rng.Gaussian(0, region.price_sigma)) *
+                 size_factor * (condo ? 0.82 : 1.0);
+  price = std::clamp(price, 40000.0, 8000000.0);
+  const int64_t price_i =
+      static_cast<int64_t>(std::round(price / 100) * 100);
+
+  int64_t baths = static_cast<int64_t>(
+      std::llround(0.62 * static_cast<double>(bedrooms) +
+                   rng.Gaussian(0.4, 0.5)));
+  baths = std::clamp<int64_t>(baths, 1, bedrooms + 1);
+
+  // Year built skews recent with a long tail back to 1900.
+  const double age = -25.0 * std::log(rng.UniformReal(1e-6, 1.0));
+  const int64_t year =
+      std::clamp<int64_t>(2004 - static_cast<int64_t>(age), 1900, 2004);
+
+  return {
+      Value(neighborhood),
+      Value(CityOf(neighborhood)),
+      Value(region.state),
+      Value(ZipcodeOf(region_idx, nb_idx)),
+      Value(price_i),
+      Value(bedrooms),
+      Value(baths),
+      Value(year),
+      Value(prop_type),
+      Value(sqft_i),
+  };
+}
+
 }  // namespace
 
 Result<Table> HomesGenerator::Generate() const {
   AUTOCAT_ASSIGN_OR_RETURN(Schema schema, ListPropertySchema());
   Table table(std::move(schema));
   table.Reserve(config_.num_rows);
-  Random rng(config_.seed);
 
   const std::vector<Region>& regions = geo_->regions();
   std::vector<double> popularity;
@@ -72,60 +136,29 @@ Result<Table> HomesGenerator::Generate() const {
     popularity.push_back(region.popularity);
   }
 
-  for (size_t r = 0; r < config_.num_rows; ++r) {
-    const size_t region_idx = rng.WeightedChoice(popularity);
-    const Region& region = regions[region_idx];
-    const size_t nb_idx = rng.Zipf(region.neighborhoods.size(), 0.6);
-    const std::string& neighborhood = region.neighborhoods[nb_idx];
-    const bool urban = region.price_center >= 600000;
-
-    const int64_t bedrooms = SampleBedrooms(rng);
-    const std::string prop_type = SamplePropertyType(rng, urban);
-    const bool condo = prop_type == "Condo";
-
-    // Square footage follows bedrooms (condos smaller), with noise.
-    double sqft = 420.0 * static_cast<double>(bedrooms) +
-                  rng.Gaussian(350, 320);
-    if (condo) {
-      sqft *= 0.72;
+  // Generate per-chunk row buffers concurrently, each from its own RNG
+  // stream, then append them in chunk order.
+  const size_t num_chunks =
+      config_.num_rows == 0
+          ? 0
+          : (config_.num_rows + kRowsPerChunk - 1) / kRowsPerChunk;
+  std::vector<std::vector<std::vector<Value>>> chunks(num_chunks);
+  AUTOCAT_RETURN_IF_ERROR(ParallelFor(
+      config_.parallel, 0, config_.num_rows, kRowsPerChunk,
+      [&](size_t lo, size_t hi) -> Status {
+        const size_t chunk = lo / kRowsPerChunk;
+        Random rng(SplitMixSeed(config_.seed, chunk));
+        std::vector<std::vector<Value>>& rows = chunks[chunk];
+        rows.reserve(hi - lo);
+        for (size_t r = lo; r < hi; ++r) {
+          rows.push_back(GenerateRow(rng, regions, popularity));
+        }
+        return Status::OK();
+      }));
+  for (std::vector<std::vector<Value>>& rows : chunks) {
+    for (std::vector<Value>& row : rows) {
+      AUTOCAT_RETURN_IF_ERROR(table.AppendRow(std::move(row)));
     }
-    sqft = std::clamp(sqft, 320.0, 9000.0);
-    const int64_t sqft_i = static_cast<int64_t>(std::round(sqft / 10) * 10);
-
-    // Price: regional log-normal scaled by neighborhood tier and by size.
-    const double size_factor = std::pow(
-        sqft / (420.0 * static_cast<double>(bedrooms) + 350.0), 0.35);
-    double price = region.price_center *
-                   NeighborhoodPriceMultiplier(
-                       nb_idx, region.neighborhoods.size()) *
-                   std::exp(rng.Gaussian(0, region.price_sigma)) *
-                   size_factor * (condo ? 0.82 : 1.0);
-    price = std::clamp(price, 40000.0, 8000000.0);
-    const int64_t price_i =
-        static_cast<int64_t>(std::round(price / 100) * 100);
-
-    int64_t baths = static_cast<int64_t>(
-        std::llround(0.62 * static_cast<double>(bedrooms) +
-                     rng.Gaussian(0.4, 0.5)));
-    baths = std::clamp<int64_t>(baths, 1, bedrooms + 1);
-
-    // Year built skews recent with a long tail back to 1900.
-    const double age = -25.0 * std::log(rng.UniformReal(1e-6, 1.0));
-    const int64_t year =
-        std::clamp<int64_t>(2004 - static_cast<int64_t>(age), 1900, 2004);
-
-    AUTOCAT_RETURN_IF_ERROR(table.AppendRow({
-        Value(neighborhood),
-        Value(CityOf(neighborhood)),
-        Value(region.state),
-        Value(ZipcodeOf(region_idx, nb_idx)),
-        Value(price_i),
-        Value(bedrooms),
-        Value(baths),
-        Value(year),
-        Value(prop_type),
-        Value(sqft_i),
-    }));
   }
   return table;
 }

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "simgen/geo.h"
 #include "storage/table.h"
 
@@ -13,6 +14,10 @@ namespace autocat {
 struct HomesGeneratorConfig {
   size_t num_rows = 120000;
   uint64_t seed = 20040613;  // SIGMOD 2004 opening day
+  /// Rows are generated in fixed-size chunks, each from its own RNG stream
+  /// seeded by (seed, chunk index), so the table is byte-identical at any
+  /// thread count.
+  ParallelOptions parallel;
 };
 
 /// Generates the stand-in for the paper's MSN House&Home `ListProperty`

@@ -42,6 +42,7 @@ Result<StudyEnvironment> StudyEnvironment::Create(const StudyConfig& config) {
   HomesGeneratorConfig homes_config;
   homes_config.num_rows = config.num_homes;
   homes_config.seed = config.seed * 2 + 1;
+  homes_config.parallel = config.parallel;
   HomesGenerator homes_generator(&geo, homes_config);
   AUTOCAT_ASSIGN_OR_RETURN(Table generated, homes_generator.Generate());
   auto homes = std::make_unique<Table>(std::move(generated));
@@ -57,6 +58,7 @@ Result<StudyEnvironment> StudyEnvironment::Create(const StudyConfig& config) {
   WorkloadGeneratorConfig workload_config;
   workload_config.num_queries = config.num_workload_queries;
   workload_config.seed = config.seed * 3 + 7;
+  workload_config.parallel = config.parallel;
   WorkloadGenerator workload_generator(&geo, workload_config);
   AUTOCAT_ASSIGN_OR_RETURN(
       Workload workload,
@@ -229,7 +231,8 @@ Result<SimulatedStudyResult> RunSimulatedStudy(const StudyEnvironment& env) {
     const Workload rest = env.workload().Without(subset_indices, nullptr);
     AUTOCAT_ASSIGN_OR_RETURN(
         const WorkloadStats stats,
-        WorkloadStats::Build(rest, env.schema(), config.stats));
+        WorkloadStats::Build(rest, env.schema(), config.stats,
+                             config.parallel));
     ProbabilityEstimator estimator(&stats, &env.schema());
     CostModel model(&estimator, config.categorizer.cost_params);
     SimulatedExplorer::Options explorer_options;
@@ -347,7 +350,8 @@ Result<UserStudyResult> RunUserStudy(const StudyEnvironment& env) {
   const StudyConfig& config = env.config();
   AUTOCAT_ASSIGN_OR_RETURN(
       const WorkloadStats stats,
-      WorkloadStats::Build(env.workload(), env.schema(), config.stats));
+      WorkloadStats::Build(env.workload(), env.schema(), config.stats,
+                           config.parallel));
   ProbabilityEstimator estimator(&stats, &env.schema());
   CostModel model(&estimator, config.categorizer.cost_params);
 

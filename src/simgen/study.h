@@ -37,6 +37,11 @@ struct StudyConfig {
   std::vector<std::string> predefined_attributes = {
       "neighborhood", "propertytype", "bedroomcount",
       "price",        "yearbuilt",    "squarefootage"};
+  /// Threads for data/workload generation and workload preprocessing.
+  /// All parallel paths are deterministic: results are identical at any
+  /// thread count. Tree construction is governed separately by
+  /// `categorizer.parallel`.
+  ParallelOptions parallel;
 };
 
 /// The defaults described in DESIGN.md (paper parameters where given).

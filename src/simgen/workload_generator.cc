@@ -4,6 +4,7 @@
 #include <cmath>
 #include <set>
 
+#include "common/check.h"
 #include "common/random.h"
 #include "common/string_util.h"
 
@@ -155,10 +156,14 @@ std::string PropertyTypeCondition(Random& rng) {
   return cond;
 }
 
+/// Queries generated per RNG stream. Fixed constant (not derived from the
+/// thread count), so chunk c always covers the same queries and draws from
+/// the same stream — the log is identical at any parallelism.
+constexpr size_t kQueriesPerChunk = 256;
+
 }  // namespace
 
 std::vector<std::string> WorkloadGenerator::GenerateSql() const {
-  Random rng(config_.seed);
   const std::vector<Region>& regions = geo_->regions();
   std::vector<double> popularity;
   popularity.reserve(regions.size());
@@ -166,44 +171,54 @@ std::vector<std::string> WorkloadGenerator::GenerateSql() const {
     popularity.push_back(region.popularity);
   }
 
-  std::vector<std::string> queries;
-  queries.reserve(config_.num_queries);
-  for (size_t q = 0; q < config_.num_queries; ++q) {
-    const Region& region = regions[rng.WeightedChoice(popularity)];
-    std::vector<std::string> conditions;
-    double tier = 1.0;
-    if (rng.Bernoulli(config_.p_neighborhood)) {
-      const std::vector<size_t> picked = PickNeighborhoods(region, rng);
-      tier = NeighborhoodTier(region, picked);
-      conditions.push_back(NeighborhoodCondition(region, picked));
-    }
-    if (rng.Bernoulli(config_.p_bedrooms)) {
-      conditions.push_back(BedroomsCondition(rng));
-    }
-    if (rng.Bernoulli(config_.p_price)) {
-      conditions.push_back(PriceCondition(region, tier, rng));
-    }
-    if (rng.Bernoulli(config_.p_sqft)) {
-      conditions.push_back(SqftCondition(rng));
-    }
-    if (rng.Bernoulli(config_.p_bathcount)) {
-      conditions.push_back(BathsCondition(rng));
-    }
-    if (rng.Bernoulli(config_.p_propertytype)) {
-      conditions.push_back(PropertyTypeCondition(rng));
-    }
-    if (rng.Bernoulli(config_.p_yearbuilt)) {
-      conditions.push_back(YearBuiltCondition(rng));
-    }
-    if (conditions.empty()) {
-      // Every logged search filtered on something; default to location.
-      conditions.push_back(
-          NeighborhoodCondition(region, PickNeighborhoods(region, rng)));
-    }
-    rng.Shuffle(conditions);
-    queries.push_back("SELECT * FROM ListProperty WHERE " +
-                      Join(conditions, " AND "));
-  }
+  std::vector<std::string> queries(config_.num_queries);
+  const Status status = ParallelFor(
+      config_.parallel, 0, config_.num_queries, kQueriesPerChunk,
+      [&](size_t lo, size_t hi) -> Status {
+        Random rng(SplitMixSeed(config_.seed, lo / kQueriesPerChunk));
+        for (size_t q = lo; q < hi; ++q) {
+          const Region& region = regions[rng.WeightedChoice(popularity)];
+          std::vector<std::string> conditions;
+          double tier = 1.0;
+          if (rng.Bernoulli(config_.p_neighborhood)) {
+            const std::vector<size_t> picked =
+                PickNeighborhoods(region, rng);
+            tier = NeighborhoodTier(region, picked);
+            conditions.push_back(NeighborhoodCondition(region, picked));
+          }
+          if (rng.Bernoulli(config_.p_bedrooms)) {
+            conditions.push_back(BedroomsCondition(rng));
+          }
+          if (rng.Bernoulli(config_.p_price)) {
+            conditions.push_back(PriceCondition(region, tier, rng));
+          }
+          if (rng.Bernoulli(config_.p_sqft)) {
+            conditions.push_back(SqftCondition(rng));
+          }
+          if (rng.Bernoulli(config_.p_bathcount)) {
+            conditions.push_back(BathsCondition(rng));
+          }
+          if (rng.Bernoulli(config_.p_propertytype)) {
+            conditions.push_back(PropertyTypeCondition(rng));
+          }
+          if (rng.Bernoulli(config_.p_yearbuilt)) {
+            conditions.push_back(YearBuiltCondition(rng));
+          }
+          if (conditions.empty()) {
+            // Every logged search filtered on something; default to
+            // location.
+            conditions.push_back(NeighborhoodCondition(
+                region, PickNeighborhoods(region, rng)));
+          }
+          rng.Shuffle(conditions);
+          queries[q] = "SELECT * FROM ListProperty WHERE " +
+                       Join(conditions, " AND ");
+        }
+        return Status::OK();
+      });
+  // The chunk body never fails; only a nested-ParallelFor contract
+  // violation could surface here.
+  AUTOCAT_CHECK(status.ok());
   return queries;
 }
 
@@ -211,8 +226,9 @@ Result<Workload> WorkloadGenerator::Generate(
     const Schema& schema, WorkloadParseReport* report) const {
   const std::vector<std::string> sqls = GenerateSql();
   WorkloadParseReport local_report;
-  Workload workload =
-      Workload::Parse(sqls, schema, report ? report : &local_report);
+  Workload workload = Workload::Parse(sqls, schema,
+                                      report ? report : &local_report,
+                                      config_.parallel);
   const WorkloadParseReport& used = report ? *report : local_report;
   if (used.parsed != used.total) {
     return Status::Internal(

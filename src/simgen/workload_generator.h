@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "simgen/geo.h"
 #include "workload/workload.h"
 
@@ -27,6 +28,10 @@ struct WorkloadGeneratorConfig {
   double p_bathcount = 0.50;
   double p_propertytype = 0.48;
   double p_yearbuilt = 0.25;
+  /// Queries are generated in fixed-size chunks, each from its own RNG
+  /// stream seeded by (seed, chunk index), so the log is byte-identical at
+  /// any thread count. Also spreads the parse in `Generate`.
+  ParallelOptions parallel;
 };
 
 /// Generates the stand-in for the paper's 176,262-query MSN House&Home

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 
 #include "common/check.h"
 #include "common/string_util.h"
@@ -17,6 +18,20 @@ double SnapDown(double x, double interval) {
 double SnapUp(double x, double interval) {
   return std::ceil(x / interval) * interval;
 }
+
+/// Entries scanned per ParallelFor chunk. Chunk boundaries are fixed, so
+/// per-chunk shards merge to the same tables at any thread count.
+constexpr size_t kCountGrain = 512;
+
+/// Per-chunk count accumulators, mirroring the WorkloadStats members they
+/// merge into. Condition vectors keep within-chunk input order.
+struct CountShard {
+  std::map<std::string, size_t> attr_usage;
+  std::map<std::string, std::map<Value, size_t>> occurrence;
+  std::map<std::string, std::vector<AttributeCondition>> raw_conditions;
+  std::map<std::string, std::vector<AttributeCondition>> set_conditions;
+  std::map<std::string, std::map<double, std::pair<size_t, size_t>>> grid;
+};
 
 }  // namespace
 
@@ -43,7 +58,7 @@ size_t WorkloadStats::NumericCounts::CountOverlapping(double a,
 
 Result<WorkloadStats> WorkloadStats::Build(
     const Workload& workload, const Schema& schema,
-    const WorkloadStatsOptions& options) {
+    const WorkloadStatsOptions& options, const ParallelOptions& parallel) {
   WorkloadStats stats;
   stats.num_queries_ = workload.size();
   stats.intervals_ = options.split_intervals;
@@ -62,48 +77,88 @@ Result<WorkloadStats> WorkloadStats::Build(
     }
   }
 
-  // Accumulate per-point start/end counts before building prefix sums.
+  const std::vector<WorkloadEntry>& entries = workload.entries();
+  const size_t num_chunks =
+      entries.empty() ? 0 : (entries.size() + kCountGrain - 1) / kCountGrain;
+  std::vector<CountShard> shards(num_chunks);
+  AUTOCAT_RETURN_IF_ERROR(ParallelFor(
+      parallel, 0, entries.size(), kCountGrain,
+      [&entries, &schema, &stats, &shards](size_t lo, size_t hi) -> Status {
+        CountShard& shard = shards[lo / kCountGrain];
+        for (size_t i = lo; i < hi; ++i) {
+          for (const auto& [attr, cond] : entries[i].profile.conditions()) {
+            ++shard.attr_usage[attr];
+            shard.raw_conditions[attr].push_back(cond);
+
+            const auto col = schema.ColumnIndex(attr);
+            const bool numeric_attr =
+                col.ok() &&
+                schema.column(col.value()).kind == ColumnKind::kNumeric;
+
+            if (cond.is_value_set()) {
+              for (const Value& v : cond.values) {
+                ++shard.occurrence[attr][v];
+              }
+              if (numeric_attr) {
+                shard.set_conditions[attr].push_back(cond);
+              }
+              continue;
+            }
+            if (!numeric_attr) {
+              return Status::InvalidArgument(
+                  "range condition on non-numeric attribute '" + attr + "'");
+            }
+            // split_interval only reads intervals_/default_interval_, which
+            // are fixed before the scan starts.
+            const double interval = stats.split_interval(attr);
+            double lo_v = cond.range.lo;
+            double hi_v = cond.range.hi;
+            if (std::isfinite(lo_v)) {
+              lo_v = SnapDown(lo_v, interval);
+            }
+            if (std::isfinite(hi_v)) {
+              hi_v = SnapUp(hi_v, interval);
+            }
+            auto& [starts, ends] = shard.grid[attr][lo_v];
+            ++starts;
+            (void)ends;
+            auto& [starts2, ends2] = shard.grid[attr][hi_v];
+            ++ends2;
+            (void)starts2;
+          }
+        }
+        return Status::OK();
+      }));
+
+  // Merge shards in chunk (= input) order: counts are sums, condition
+  // vectors concatenate, so the result matches a sequential scan exactly.
   std::map<std::string, std::map<double, std::pair<size_t, size_t>>>
       grid_accum;
-
-  for (const WorkloadEntry& entry : workload.entries()) {
-    for (const auto& [attr, cond] : entry.profile.conditions()) {
-      ++stats.attr_usage_[attr];
-      stats.raw_conditions_[attr].push_back(cond);
-
-      const auto col = schema.ColumnIndex(attr);
-      const bool numeric_attr =
-          col.ok() &&
-          schema.column(col.value()).kind == ColumnKind::kNumeric;
-
-      if (cond.is_value_set()) {
-        for (const Value& v : cond.values) {
-          ++stats.occurrence_[attr][v];
-        }
-        if (numeric_attr) {
-          stats.numeric_set_conditions_[attr].push_back(cond);
-        }
-        continue;
+  for (CountShard& shard : shards) {
+    for (const auto& [attr, n] : shard.attr_usage) {
+      stats.attr_usage_[attr] += n;
+    }
+    for (const auto& [attr, occ] : shard.occurrence) {
+      auto& into = stats.occurrence_[attr];
+      for (const auto& [v, n] : occ) {
+        into[v] += n;
       }
-      if (!numeric_attr) {
-        return Status::InvalidArgument(
-            "range condition on non-numeric attribute '" + attr + "'");
+    }
+    for (auto& [attr, conds] : shard.raw_conditions) {
+      auto& into = stats.raw_conditions_[attr];
+      std::move(conds.begin(), conds.end(), std::back_inserter(into));
+    }
+    for (auto& [attr, conds] : shard.set_conditions) {
+      auto& into = stats.numeric_set_conditions_[attr];
+      std::move(conds.begin(), conds.end(), std::back_inserter(into));
+    }
+    for (const auto& [attr, grid] : shard.grid) {
+      auto& into = grid_accum[attr];
+      for (const auto& [point, start_end] : grid) {
+        auto& [starts, ends] = into[point];
+        starts += start_end.first;
+        ends += start_end.second;
       }
-      const double interval = stats.split_interval(attr);
-      double lo = cond.range.lo;
-      double hi = cond.range.hi;
-      if (std::isfinite(lo)) {
-        lo = SnapDown(lo, interval);
-      }
-      if (std::isfinite(hi)) {
-        hi = SnapUp(hi, interval);
-      }
-      auto& [starts, ends] = grid_accum[attr][lo];
-      ++starts;
-      (void)ends;
-      auto& [starts2, ends2] = grid_accum[attr][hi];
-      ++ends2;
-      (void)starts2;
     }
   }
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "common/value.h"
 #include "sql/selection.h"
 #include "storage/schema.h"
@@ -47,10 +48,16 @@ struct SplitPoint {
 /// prefix sums over the grid in O(log #points).
 class WorkloadStats {
  public:
-  /// Scans `workload` once and builds all count structures.
+  /// Scans `workload` once and builds all count structures. The scan is
+  /// spread over `parallel.threads` threads in fixed-size entry chunks;
+  /// each chunk accumulates into a private shard and shards are merged in
+  /// chunk order, so every count table (and the order of stored raw
+  /// conditions) is identical at any thread count. Must not be called
+  /// from inside a ParallelFor region.
   static Result<WorkloadStats> Build(const Workload& workload,
                                      const Schema& schema,
-                                     const WorkloadStatsOptions& options);
+                                     const WorkloadStatsOptions& options,
+                                     const ParallelOptions& parallel = {});
 
   /// Total number of (usable) workload queries: the `N` of Section 4.2.
   size_t num_queries() const { return num_queries_; }

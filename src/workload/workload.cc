@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <fstream>
+#include <iterator>
 #include <set>
 
+#include "common/check.h"
 #include "common/string_util.h"
 #include "sql/parser.h"
 
@@ -11,50 +13,94 @@ namespace autocat {
 
 namespace {
 
-void RecordError(WorkloadParseReport* report, const std::string& what) {
-  if (report != nullptr && report->sample_errors.size() < 10) {
-    report->sample_errors.push_back(what);
+/// Maximum diagnostics kept in WorkloadParseReport::sample_errors.
+constexpr size_t kMaxSampleErrors = 10;
+
+/// Queries parsed per ParallelFor chunk. Chunk boundaries are fixed, so
+/// per-chunk shards merge to the same result at any thread count.
+constexpr size_t kParseGrain = 256;
+
+/// Per-chunk parse results: the usable entries plus the report counters,
+/// all in input order within the chunk.
+struct ParseShard {
+  std::vector<WorkloadEntry> entries;
+  size_t parse_errors = 0;
+  size_t unsupported = 0;
+  std::vector<std::string> sample_errors;  // capped at kMaxSampleErrors
+};
+
+void ParseRange(const std::vector<std::string>& sqls, const Schema& schema,
+                size_t lo, size_t hi, ParseShard* shard) {
+  for (size_t i = lo; i < hi; ++i) {
+    const std::string& sql = sqls[i];
+    auto query = ParseQuery(sql);
+    if (!query.ok()) {
+      ++shard->parse_errors;
+      if (shard->sample_errors.size() < kMaxSampleErrors) {
+        shard->sample_errors.push_back(sql + " -- " +
+                                       query.status().ToString());
+      }
+      continue;
+    }
+    auto profile = SelectionProfile::FromQuery(query.value(), schema);
+    if (!profile.ok()) {
+      ++shard->unsupported;
+      if (shard->sample_errors.size() < kMaxSampleErrors) {
+        shard->sample_errors.push_back(sql + " -- " +
+                                       profile.status().ToString());
+      }
+      continue;
+    }
+    shard->entries.push_back(WorkloadEntry{sql, std::move(profile).value()});
   }
 }
 
 }  // namespace
 
 Workload Workload::Parse(const std::vector<std::string>& sqls,
-                         const Schema& schema,
-                         WorkloadParseReport* report) {
+                         const Schema& schema, WorkloadParseReport* report,
+                         const ParallelOptions& parallel) {
+  const size_t num_chunks =
+      sqls.empty() ? 0 : (sqls.size() + kParseGrain - 1) / kParseGrain;
+  std::vector<ParseShard> shards(num_chunks);
+  const Status status = ParallelFor(
+      parallel, 0, sqls.size(), kParseGrain,
+      [&sqls, &schema, &shards](size_t lo, size_t hi) -> Status {
+        ParseRange(sqls, schema, lo, hi, &shards[lo / kParseGrain]);
+        return Status::OK();
+      });
+  // The chunk body never fails; only a nested-ParallelFor contract
+  // violation could surface here.
+  AUTOCAT_CHECK(status.ok());
+
+  // Merge shards in chunk (= input) order: entries, counters, and the
+  // first kMaxSampleErrors diagnostics come out exactly as a sequential
+  // scan would produce them.
   Workload workload;
-  for (const std::string& sql : sqls) {
+  for (ParseShard& shard : shards) {
     if (report != nullptr) {
-      ++report->total;
-    }
-    auto query = ParseQuery(sql);
-    if (!query.ok()) {
-      if (report != nullptr) {
-        ++report->parse_errors;
+      report->parse_errors += shard.parse_errors;
+      report->unsupported += shard.unsupported;
+      for (std::string& sample : shard.sample_errors) {
+        if (report->sample_errors.size() < kMaxSampleErrors) {
+          report->sample_errors.push_back(std::move(sample));
+        }
       }
-      RecordError(report, sql + " -- " + query.status().ToString());
-      continue;
     }
-    auto profile = SelectionProfile::FromQuery(query.value(), schema);
-    if (!profile.ok()) {
-      if (report != nullptr) {
-        ++report->unsupported;
-      }
-      RecordError(report, sql + " -- " + profile.status().ToString());
-      continue;
-    }
-    if (report != nullptr) {
-      ++report->parsed;
-    }
-    workload.entries_.push_back(
-        WorkloadEntry{sql, std::move(profile).value()});
+    std::move(shard.entries.begin(), shard.entries.end(),
+              std::back_inserter(workload.entries_));
+  }
+  if (report != nullptr) {
+    report->total += sqls.size();
+    report->parsed += workload.entries_.size();
   }
   return workload;
 }
 
 Result<Workload> Workload::LoadFile(const std::string& path,
                                     const Schema& schema,
-                                    WorkloadParseReport* report) {
+                                    WorkloadParseReport* report,
+                                    const ParallelOptions& parallel) {
   std::ifstream in(path);
   if (!in) {
     return Status::IOError("cannot open workload file '" + path + "'");
@@ -68,7 +114,7 @@ Result<Workload> Workload::LoadFile(const std::string& path,
     }
     sqls.emplace_back(trimmed);
   }
-  return Parse(sqls, schema, report);
+  return Parse(sqls, schema, report, parallel);
 }
 
 Status Workload::SaveFile(const std::string& path) const {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "sql/selection.h"
 #include "storage/schema.h"
 
@@ -38,15 +39,21 @@ class Workload {
   Workload() = default;
 
   /// Parses each SQL string against `schema`, skipping (and counting)
-  /// unusable ones. `report` may be null.
+  /// unusable ones. `report` may be null. Parsing is spread over
+  /// `parallel.threads` threads in fixed-size chunks whose per-chunk
+  /// results are merged in input order, so the entries, counts, and
+  /// sample diagnostics are identical at any thread count. Must not be
+  /// called from inside a ParallelFor region.
   static Workload Parse(const std::vector<std::string>& sqls,
-                        const Schema& schema, WorkloadParseReport* report);
+                        const Schema& schema, WorkloadParseReport* report,
+                        const ParallelOptions& parallel = {});
 
   /// Loads a workload file with one SQL query per line. Blank lines and
   /// lines starting with '#' are ignored.
   static Result<Workload> LoadFile(const std::string& path,
                                    const Schema& schema,
-                                   WorkloadParseReport* report);
+                                   WorkloadParseReport* report,
+                                   const ParallelOptions& parallel = {});
 
   /// Writes one query per line.
   Status SaveFile(const std::string& path) const;

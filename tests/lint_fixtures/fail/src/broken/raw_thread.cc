@@ -1,0 +1,9 @@
+// Fixture for the raw-thread rule: spawns a thread directly instead of
+// going through ThreadPool / ParallelFor. Carries exactly two violations
+// (the include and the construction).
+#include <thread>
+
+void SpawnDirectly() {
+  std::thread worker([] {});
+  worker.join();
+}

@@ -106,6 +106,44 @@ TEST(BannedCallRuleTest, SuppressionCommentIsHonored) {
   EXPECT_TRUE(CheckBannedCalls("src/core/foo.cc", content).empty());
 }
 
+TEST(RawThreadRuleTest, FlagsThreadUsesOutsideThreadPool) {
+  const std::string content =
+      "#include <thread>\n"
+      "std::thread t([] {});\n"
+      "std::jthread j([] {});\n";
+  EXPECT_EQ(CheckRawThread("src/core/foo.cc", content).size(), 3u);
+  EXPECT_EQ(CheckRawThread("src/core/foo.cc", content)[0].rule,
+            "raw-thread");
+}
+
+TEST(RawThreadRuleTest, ExemptsOnlyTheThreadPoolFiles) {
+  EXPECT_TRUE(
+      CheckRawThread("src/common/thread_pool.cc", "std::thread t;\n")
+          .empty());
+  EXPECT_TRUE(
+      CheckRawThread("src/common/thread_pool.h", "#include <thread>\n")
+          .empty());
+  // The rest of src/common is not exempt (unlike banned-call).
+  EXPECT_FALSE(
+      CheckRawThread("src/common/random.cc", "std::thread t;\n").empty());
+}
+
+TEST(RawThreadRuleTest, IgnoresCommentsStringsAndSuppressions) {
+  const std::string content =
+      "// std::thread in a line comment\n"
+      "/* std::jthread in a block comment */\n"
+      "const char* s = \"std::thread\";\n"
+      "std::thread t;  // autocat-lint: allow(raw-thread)\n";
+  EXPECT_TRUE(CheckRawThread("src/core/foo.cc", content).empty());
+}
+
+TEST(RawThreadRuleTest, DoesNotFlagIdentifierLookalikes) {
+  const std::string content =
+      "my::thread_helper h;\n"
+      "int thread_count = pool.threads();\n";
+  EXPECT_TRUE(CheckRawThread("src/core/foo.cc", content).empty());
+}
+
 TEST(DroppedStatusRuleTest, CollectsStatusAndResultDeclarations) {
   const std::string header =
       "Status Flush(int fd);\n"
@@ -175,11 +213,13 @@ TEST(LintFixtureTest, FailTreeTripsEveryRule) {
   ASSERT_TRUE(LintFiles(root,
                         {"src/broken/wrong_guard.h", "src/broken/banned.cc",
                          "src/broken/dropped.cc",
+                         "src/broken/raw_thread.cc",
                          "../pass/src/widget/widget.h"},
                         &issues));
   EXPECT_TRUE(HasRule(issues, "include-guard"));
   EXPECT_TRUE(HasRule(issues, "banned-call"));
   EXPECT_TRUE(HasRule(issues, "dropped-status"));
+  EXPECT_TRUE(HasRule(issues, "raw-thread"));
   // banned.cc carries exactly three banned calls.
   const auto banned =
       std::count_if(issues.begin(), issues.end(), [](const LintIssue& i) {
@@ -192,6 +232,12 @@ TEST(LintFixtureTest, FailTreeTripsEveryRule) {
         return i.rule == "dropped-status";
       });
   EXPECT_EQ(dropped, 2);
+  // raw_thread.cc carries exactly two raw-thread uses.
+  const auto raw =
+      std::count_if(issues.begin(), issues.end(), [](const LintIssue& i) {
+        return i.rule == "raw-thread";
+      });
+  EXPECT_EQ(raw, 2);
 }
 
 }  // namespace

@@ -18,7 +18,7 @@ StudyConfig SmallConfig() {
   config.num_homes = 60000;
   config.num_workload_queries = 8000;
   config.num_subsets = 2;
-  config.subset_size = 15;
+  config.subset_size = 25;
   return config;
 }
 

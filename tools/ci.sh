@@ -6,7 +6,9 @@
 #      SQL fuzz-corpus replay)
 #   2. Debug + AddressSanitizer build + full ctest
 #   3. Debug + UndefinedBehaviorSanitizer build + full ctest
-#   4. clang-tidy over src/ (skipped with a notice when clang-tidy is not
+#   4. Debug + ThreadSanitizer build + full ctest (the parallel engine's
+#      pool, hot paths, and determinism suite under real interleavings)
+#   5. clang-tidy over src/ (skipped with a notice when clang-tidy is not
 #      installed; the ctest gate skips the same way via exit code 77)
 #
 # Usage: tools/ci.sh [--fast]
@@ -39,6 +41,8 @@ if [[ "$FAST" == "0" ]]; then
     -DCMAKE_BUILD_TYPE=Debug -DAUTOCAT_SANITIZE=address
   run_leg ubsan build-ci-ubsan \
     -DCMAKE_BUILD_TYPE=Debug -DAUTOCAT_SANITIZE=undefined
+  run_leg tsan build-ci-tsan \
+    -DCMAKE_BUILD_TYPE=Debug -DAUTOCAT_SANITIZE=thread
 fi
 
 echo "==== [clang-tidy] ===="

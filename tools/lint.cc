@@ -171,6 +171,32 @@ std::vector<LintIssue> CheckBannedCalls(const std::string& rel_path,
   return issues;
 }
 
+std::vector<LintIssue> CheckRawThread(const std::string& rel_path,
+                                      const std::string& content) {
+  std::vector<LintIssue> issues;
+  if (StartsWith(rel_path, "src/common/thread_pool.")) {
+    return issues;  // the one sanctioned home of raw threads
+  }
+  static const std::regex kRawThread(
+      R"(^\s*#\s*include\s*<thread>|std::j?thread\b)");
+  const std::vector<std::string> lines = SplitLines(content);
+  bool in_block_comment = false;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string code = StripCommentsAndStrings(lines[i],
+                                                     &in_block_comment);
+    if (IsSuppressed(lines[i], "raw-thread")) {
+      continue;
+    }
+    if (std::regex_search(code, kRawThread)) {
+      issues.push_back(LintIssue{
+          rel_path, i + 1, "raw-thread",
+          "raw std::thread use outside src/common/thread_pool.*; use "
+          "ThreadPool / ParallelFor (common/thread_pool.h)"});
+    }
+  }
+  return issues;
+}
+
 std::set<std::string> CollectStatusFunctions(const std::string& content) {
   std::set<std::string> names;
   // Declarations whose return type opens the line: `Status Foo(`,
@@ -244,6 +270,8 @@ std::vector<LintIssue> LintFileContent(
   }
   auto banned = CheckBannedCalls(rel_path, content);
   issues.insert(issues.end(), banned.begin(), banned.end());
+  auto raw_thread = CheckRawThread(rel_path, content);
+  issues.insert(issues.end(), raw_thread.begin(), raw_thread.end());
   auto dropped = CheckDroppedStatus(rel_path, content, status_functions);
   issues.insert(issues.end(), dropped.begin(), dropped.end());
   return issues;

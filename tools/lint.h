@@ -41,6 +41,14 @@ std::vector<LintIssue> CheckIncludeGuard(const std::string& rel_path,
 std::vector<LintIssue> CheckBannedCalls(const std::string& rel_path,
                                         const std::string& content);
 
+/// Rule `raw-thread`: `std::thread`, `std::jthread`, and `#include
+/// <thread>` may appear only in src/common/thread_pool.{h,cc} — every
+/// other layer must go through ThreadPool / ParallelFor, which carry the
+/// determinism and Status-error contracts raw threads lack. Comment and
+/// string contents are ignored.
+std::vector<LintIssue> CheckRawThread(const std::string& rel_path,
+                                      const std::string& content);
+
 /// Harvests names of functions declared to return `Status` or
 /// `Result<...>` from a header's `content` (declaration-at-line-start
 /// heuristic), for use with CheckDroppedStatus.
