@@ -12,6 +12,8 @@
 ///      ProbabilityEstimator, PathAwareProbabilityEstimator.
 ///   5. Serve the tree to a UI:                      CategoryTree::Render,
 ///      TreeToJson, DrillDownSql; optionally ApplyLeafRanking.
+///   6. Run steps 3-5 as a long-lived service with a query-signature
+///      cache, admission control, and metrics:       CategorizationService.
 ///
 /// The baselines (NoCostCategorizer, AttrCostCategorizer), the exhaustive
 /// optimizer (core/enumerate.h), the exploration simulator
@@ -31,6 +33,7 @@
 #include "core/probability.h" // IWYU pragma: export
 #include "core/ranking.h"     // IWYU pragma: export
 #include "exec/executor.h"    // IWYU pragma: export
+#include "serve/service.h"    // IWYU pragma: export
 #include "sql/parser.h"       // IWYU pragma: export
 #include "sql/selection.h"    // IWYU pragma: export
 #include "storage/csv.h"      // IWYU pragma: export

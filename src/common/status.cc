@@ -22,6 +22,10 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "I/O error";
     case StatusCode::kInternal:
       return "internal error";
+    case StatusCode::kOverloaded:
+      return "overloaded";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline exceeded";
   }
   return "unknown";
 }

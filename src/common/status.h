@@ -24,6 +24,11 @@ enum class StatusCode {
   kNotSupported,
   kIOError,
   kInternal,
+  /// The serving layer's load-shedding verdict: a bounded queue was full
+  /// and the request was rejected rather than enqueued (see src/serve/).
+  kOverloaded,
+  /// A request's deadline passed before the work completed.
+  kDeadlineExceeded,
 };
 
 /// Returns the canonical lowercase name of `code` (e.g. "invalid argument").
@@ -73,6 +78,12 @@ class [[nodiscard]] Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

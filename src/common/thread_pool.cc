@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <limits>
 #include <memory>
 
@@ -226,6 +227,13 @@ Status ParallelFor(const ParallelOptions& options, size_t begin, size_t end,
   }
   tls_in_parallel_for = false;
   return status;
+}
+
+void SleepForMillis(int64_t ms) {
+  if (ms <= 0) {
+    return;
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
 }
 
 }  // namespace autocat

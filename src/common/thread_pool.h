@@ -101,6 +101,11 @@ Status ParallelFor(const ParallelOptions& options, size_t begin, size_t end,
                    size_t grain,
                    const std::function<Status(size_t, size_t)>& fn);
 
+/// Blocks the calling thread for (at least) `ms` milliseconds. Lives here
+/// because thread_pool.* is the one sanctioned home of <thread>
+/// (raw-thread lint rule); used by the load generator for request pacing.
+void SleepForMillis(int64_t ms);
+
 }  // namespace autocat
 
 #endif  // AUTOCAT_COMMON_THREAD_POOL_H_

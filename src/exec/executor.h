@@ -20,10 +20,20 @@ class Database {
   /// with that name already exists.
   Status RegisterTable(std::string_view name, Table table);
 
-  /// Replaces or creates the table under `name`.
+  /// Replaces or creates the table under `name`. Replacement happens in
+  /// place: the `Table` object keeps its address (see GetTable), only its
+  /// contents change.
   void PutTable(std::string_view name, Table table);
 
   /// Looks up a table by name.
+  ///
+  /// Pointer-stability contract: the returned pointer stays valid for the
+  /// lifetime of the Database and is never invalidated by later
+  /// RegisterTable or PutTable calls (tables live in a node-based map).
+  /// PutTable replaces the *contents* behind the pointer, so callers that
+  /// must not observe mixed contents (e.g. the serving layer reading a
+  /// table while another thread calls PutTable) still need their own
+  /// synchronization — the contract is about the address, not the data.
   Result<const Table*> GetTable(std::string_view name) const;
 
   bool HasTable(std::string_view name) const;

@@ -1,0 +1,79 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace autocat {
+
+AdmissionController::AdmissionController(size_t max_concurrent,
+                                         size_t max_queue,
+                                         std::function<int64_t()> now_ms)
+    : max_concurrent_(std::max<size_t>(max_concurrent, 1)),
+      max_queue_(max_queue),
+      now_ms_(std::move(now_ms)) {}
+
+int64_t AdmissionController::NowMs() const {
+  if (now_ms_) {
+    return now_ms_();
+  }
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Status AdmissionController::Admit(const Deadline& deadline) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (executing_ < max_concurrent_) {
+    ++executing_;
+    return Status::OK();
+  }
+  if (queued_ >= max_queue_) {
+    ++rejected_;
+    return Status::Overloaded(
+        "admission queue full (" + std::to_string(max_queue_) +
+        " waiting, " + std::to_string(max_concurrent_) + " executing)");
+  }
+  ++queued_;
+  queue_high_water_ = std::max(queue_high_water_, queued_);
+  while (executing_ >= max_concurrent_) {
+    if (deadline.ExpiredAt(NowMs())) {
+      --queued_;
+      cv_.notify_one();  // another waiter may be runnable now
+      return Status::DeadlineExceeded(
+          "deadline passed while queued for admission");
+    }
+    if (deadline.is_unbounded()) {
+      cv_.wait(lock);
+    } else {
+      // The deadline is expressed against the (possibly injected) service
+      // clock; the condition-variable timeout just bounds how long one
+      // sleep lasts before the deadline is re-checked against that clock.
+      const int64_t remaining = deadline.RemainingMs(NowMs());
+      cv_.wait_for(lock, std::chrono::milliseconds(
+                             std::clamp<int64_t>(remaining, 1, 100)));
+    }
+  }
+  --queued_;
+  ++executing_;
+  return Status::OK();
+}
+
+void AdmissionController::Release() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --executing_;
+  }
+  cv_.notify_one();
+}
+
+size_t AdmissionController::queue_high_water() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_high_water_;
+}
+
+uint64_t AdmissionController::rejected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rejected_;
+}
+
+}  // namespace autocat

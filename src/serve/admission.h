@@ -1,0 +1,86 @@
+#ifndef AUTOCAT_SERVE_ADMISSION_H_
+#define AUTOCAT_SERVE_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <mutex>
+
+#include "common/status.h"
+
+namespace autocat {
+
+/// A request's absolute deadline in the service clock's milliseconds.
+/// Default-constructed deadlines never expire.
+struct Deadline {
+  int64_t at_ms = std::numeric_limits<int64_t>::max();
+
+  static Deadline Never() { return Deadline{}; }
+  static Deadline At(int64_t ms) { return Deadline{ms}; }
+
+  bool is_unbounded() const {
+    return at_ms == std::numeric_limits<int64_t>::max();
+  }
+  bool ExpiredAt(int64_t now_ms) const { return now_ms >= at_ms; }
+  int64_t RemainingMs(int64_t now_ms) const {
+    return is_unbounded() ? std::numeric_limits<int64_t>::max()
+                          : at_ms - now_ms;
+  }
+};
+
+/// Bounds the serving layer's concurrency on top of the shared thread
+/// pool: at most `max_concurrent` requests execute at once, at most
+/// `max_queue` more wait, and anything beyond that is rejected with
+/// kOverloaded immediately — the explicit load-shedding the ISSUE calls
+/// for instead of unbounded queueing. A queued request whose deadline
+/// passes before a slot frees gives up with kDeadlineExceeded.
+///
+/// Waiting in the queue is safe from inside ThreadPool tasks: a waiter
+/// blocks only on requests that are already *executing* on their own
+/// threads (never on pool scheduling), so progress is guaranteed as long
+/// as max_concurrent >= 1 (enforced).
+class AdmissionController {
+ public:
+  /// `now_ms` is the service clock (injectable for tests); null uses the
+  /// steady clock. `max_concurrent` is clamped to >= 1.
+  AdmissionController(size_t max_concurrent, size_t max_queue,
+                      std::function<int64_t()> now_ms = nullptr);
+
+  /// Blocks until an execution slot is free (possibly waiting in the
+  /// bounded queue). Returns OK when admitted — the caller must pair it
+  /// with Release() — kOverloaded when the queue is full, or
+  /// kDeadlineExceeded when `deadline` passed before a slot freed.
+  Status Admit(const Deadline& deadline);
+
+  /// Frees the execution slot taken by a successful Admit().
+  void Release();
+
+  size_t max_concurrent() const { return max_concurrent_; }
+  size_t max_queue() const { return max_queue_; }
+
+  /// Largest number of simultaneously queued (waiting, not executing)
+  /// requests observed so far.
+  size_t queue_high_water() const;
+
+  /// Requests rejected with kOverloaded so far.
+  uint64_t rejected() const;
+
+ private:
+  int64_t NowMs() const;
+
+  const size_t max_concurrent_;
+  const size_t max_queue_;
+  const std::function<int64_t()> now_ms_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  size_t executing_ = 0;
+  size_t queued_ = 0;
+  size_t queue_high_water_ = 0;
+  uint64_t rejected_ = 0;
+};
+
+}  // namespace autocat
+
+#endif  // AUTOCAT_SERVE_ADMISSION_H_

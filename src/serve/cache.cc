@@ -1,0 +1,191 @@
+#include "serve/cache.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+namespace autocat {
+
+namespace {
+
+size_t ApproxValueBytes(const Value& v) {
+  size_t bytes = sizeof(Value);
+  if (v.is_string()) {
+    bytes += v.string_value().capacity();
+  }
+  return bytes;
+}
+
+size_t ApproxTableBytes(const Table& table) {
+  size_t bytes = sizeof(Table);
+  for (const Row& row : table.rows()) {
+    bytes += sizeof(Row);
+    for (const Value& v : row) {
+      bytes += ApproxValueBytes(v);
+    }
+  }
+  return bytes;
+}
+
+size_t ApproxTreeBytes(const CategoryTree& tree) {
+  size_t bytes = sizeof(CategoryTree);
+  for (size_t id = 0; id < tree.num_nodes(); ++id) {
+    const CategoryNode& node = tree.node(static_cast<NodeId>(id));
+    bytes += sizeof(CategoryNode);
+    bytes += node.children.size() * sizeof(NodeId);
+    bytes += node.tuples.size() * sizeof(size_t);
+    bytes += node.label.attribute().size();
+    for (const Value& v : node.label.values()) {
+      bytes += ApproxValueBytes(v);
+    }
+  }
+  return bytes;
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const CachedCategorization>> CachedCategorization::
+    Build(Table result,
+          const std::function<Result<CategoryTree>(const Table&)>&
+              build_tree) {
+  std::shared_ptr<CachedCategorization> payload(
+      new CachedCategorization(std::move(result)));
+  AUTOCAT_ASSIGN_OR_RETURN(CategoryTree tree, build_tree(payload->result_));
+  payload->tree_ = std::move(tree);
+  payload->approx_bytes_ =
+      ApproxTableBytes(payload->result_) + ApproxTreeBytes(payload->tree_);
+  return std::shared_ptr<const CachedCategorization>(std::move(payload));
+}
+
+SignatureCache::SignatureCache(CacheOptions options)
+    : options_(std::move(options)) {
+  const size_t num_shards = std::max<size_t>(options_.shards, 1);
+  per_shard_capacity_ = std::max<size_t>(options_.capacity_bytes /
+                                             num_shards, 1);
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+int64_t SignatureCache::NowMs() const {
+  if (options_.now_ms) {
+    return options_.now_ms();
+  }
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void SignatureCache::RemoveLocked(Shard& shard,
+                                  std::list<Entry>::iterator it) {
+  shard.bytes -= it->bytes;
+  shard.index.erase(it->key);
+  shard.lru.erase(it);
+}
+
+std::shared_ptr<const CachedCategorization> SignatureCache::Get(
+    const std::string& key, uint64_t hash) {
+  Shard& shard = ShardFor(hash);
+  const uint64_t epoch = epoch_.load(std::memory_order_acquire);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return nullptr;
+  }
+  if (it->second->epoch != epoch) {
+    ++shard.invalidations;
+    ++shard.misses;
+    RemoveLocked(shard, it->second);
+    return nullptr;
+  }
+  if (NowMs() >= it->second->expires_at_ms) {
+    ++shard.expirations;
+    ++shard.misses;
+    RemoveLocked(shard, it->second);
+    return nullptr;
+  }
+  // Refresh the LRU position: splice the entry to the front.
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  ++shard.hits;
+  return it->second->payload;
+}
+
+void SignatureCache::Insert(
+    const std::string& key, uint64_t hash,
+    std::shared_ptr<const CachedCategorization> payload) {
+  Insert(key, hash, std::move(payload),
+         epoch_.load(std::memory_order_acquire));
+}
+
+void SignatureCache::Insert(
+    const std::string& key, uint64_t hash,
+    std::shared_ptr<const CachedCategorization> payload,
+    uint64_t observed_epoch) {
+  if (payload == nullptr) {
+    return;
+  }
+  // Per-entry overhead: the key (stored twice) plus node bookkeeping.
+  const size_t bytes = payload->approx_bytes() + 2 * key.size() +
+                       sizeof(Entry) + 64;
+  Shard& shard = ShardFor(hash);
+  const uint64_t epoch = observed_epoch;
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (bytes > per_shard_capacity_) {
+    ++shard.oversized;
+    return;
+  }
+  const auto existing = shard.index.find(key);
+  if (existing != shard.index.end()) {
+    RemoveLocked(shard, existing->second);
+  }
+  while (shard.bytes + bytes > per_shard_capacity_ && !shard.lru.empty()) {
+    ++shard.evictions;
+    RemoveLocked(shard, std::prev(shard.lru.end()));
+  }
+  Entry entry;
+  entry.key = key;
+  entry.payload = std::move(payload);
+  entry.bytes = bytes;
+  entry.epoch = epoch;
+  entry.expires_at_ms =
+      options_.ttl_ms > 0 ? NowMs() + options_.ttl_ms
+                          : std::numeric_limits<int64_t>::max();
+  shard.lru.push_front(std::move(entry));
+  shard.index[key] = shard.lru.begin();
+  shard.bytes += bytes;
+}
+
+void SignatureCache::BumpEpoch() {
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void SignatureCache::Clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->index.clear();
+    shard->bytes = 0;
+  }
+}
+
+CacheStats SignatureCache::Stats() const {
+  CacheStats stats;
+  stats.capacity_bytes = per_shard_capacity_ * shards_.size();
+  stats.epoch = epoch_.load(std::memory_order_acquire);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    stats.hits += shard->hits;
+    stats.misses += shard->misses;
+    stats.evictions += shard->evictions;
+    stats.expirations += shard->expirations;
+    stats.invalidations += shard->invalidations;
+    stats.oversized += shard->oversized;
+    stats.entries += shard->lru.size();
+    stats.bytes += shard->bytes;
+  }
+  return stats;
+}
+
+}  // namespace autocat

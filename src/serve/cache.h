@@ -1,0 +1,166 @@
+#ifndef AUTOCAT_SERVE_CACHE_H_
+#define AUTOCAT_SERVE_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/category.h"
+#include "storage/table.h"
+
+namespace autocat {
+
+/// One cached categorization: the canonical query's result table, the
+/// category tree built over it, and the byte estimate the cache accounts
+/// it at. The payload owns the table at a stable heap address so the
+/// tree's internal `const Table*` stays valid for the payload's lifetime;
+/// entries are handed out as shared_ptr so eviction never invalidates an
+/// in-flight reader.
+class CachedCategorization {
+ public:
+  /// Takes ownership of `result`, then runs `build_tree` against the
+  /// stored (address-stable) copy. Propagates the builder's error.
+  static Result<std::shared_ptr<const CachedCategorization>> Build(
+      Table result,
+      const std::function<Result<CategoryTree>(const Table&)>& build_tree);
+
+  const Table& result() const { return result_; }
+  const CategoryTree& tree() const { return tree_; }
+  size_t result_rows() const { return result_.num_rows(); }
+
+  /// The byte estimate used for cache capacity accounting: table cells
+  /// (including string payloads) plus tree nodes and tuple lists.
+  size_t approx_bytes() const { return approx_bytes_; }
+
+ private:
+  explicit CachedCategorization(Table result)
+      : result_(std::move(result)), tree_(&result_) {}
+
+  Table result_;
+  CategoryTree tree_;
+  size_t approx_bytes_ = 0;
+};
+
+/// Cache configuration.
+struct CacheOptions {
+  /// Total capacity across all shards, split evenly per shard. An entry
+  /// larger than one shard's share is not cached (counted as oversized).
+  size_t capacity_bytes = 64ull << 20;
+  /// Entry time-to-live in milliseconds; 0 disables expiry.
+  int64_t ttl_ms = 0;
+  /// Number of independently locked shards (clamped to >= 1).
+  size_t shards = 8;
+  /// Monotonic clock in milliseconds; injectable for TTL tests. Null uses
+  /// the steady clock.
+  std::function<int64_t()> now_ms;
+};
+
+/// Aggregate cache counters (sum over shards), snapshotted atomically per
+/// shard. All fields are totals since construction.
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;      ///< Capacity-driven LRU removals.
+  uint64_t expirations = 0;    ///< TTL-driven removals.
+  uint64_t invalidations = 0;  ///< Epoch-mismatch removals.
+  uint64_t oversized = 0;      ///< Inserts skipped: entry > shard share.
+  size_t entries = 0;          ///< Live entries right now.
+  size_t bytes = 0;            ///< Accounted bytes right now.
+  size_t capacity_bytes = 0;
+  uint64_t epoch = 0;          ///< Current invalidation epoch.
+};
+
+/// A sharded LRU cache keyed by canonical query signature.
+///
+/// Each shard is an independently locked LRU list + ordered index, chosen
+/// by the signature hash, so concurrent requests for different shards
+/// never contend. Three removal mechanisms compose:
+///   - capacity: inserting past the shard's byte share evicts from the
+///     LRU tail;
+///   - TTL: entries older than `ttl_ms` are treated as misses and removed
+///     on access;
+///   - epoch: `BumpEpoch()` (called by the service when table contents or
+///     workload stats change) logically invalidates every entry at once;
+///     stale entries are removed lazily on access.
+/// All operations are thread-safe.
+class SignatureCache {
+ public:
+  explicit SignatureCache(CacheOptions options);
+
+  /// Returns the payload for `key`, or nullptr on miss (also on TTL
+  /// expiry and epoch mismatch, which remove the stale entry). A hit
+  /// refreshes the entry's LRU position.
+  std::shared_ptr<const CachedCategorization> Get(const std::string& key,
+                                                  uint64_t hash);
+
+  /// Inserts (or replaces) the entry for `key`, evicting LRU entries as
+  /// needed to fit the shard's byte share. Oversized payloads are skipped.
+  /// The entry is stamped with the current epoch.
+  void Insert(const std::string& key, uint64_t hash,
+              std::shared_ptr<const CachedCategorization> payload);
+
+  /// Insert stamped with the epoch the caller observed while computing
+  /// `payload`. If the epoch advanced mid-computation the entry is
+  /// already stale; it will be dropped on its next access rather than
+  /// served. The service uses this to close the read-table/insert race.
+  void Insert(const std::string& key, uint64_t hash,
+              std::shared_ptr<const CachedCategorization> payload,
+              uint64_t observed_epoch);
+
+  /// The current invalidation epoch.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  /// Invalidates every cached entry (logically, in O(1)): entries from
+  /// earlier epochs miss on their next access and are removed then.
+  void BumpEpoch();
+
+  /// Removes every entry immediately (counters are kept).
+  void Clear();
+
+  CacheStats Stats() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const CachedCategorization> payload;
+    size_t bytes = 0;
+    uint64_t epoch = 0;
+    int64_t expires_at_ms = 0;  ///< INT64_MAX when TTL is disabled.
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::map<std::string, std::list<Entry>::iterator> index;
+    size_t bytes = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t expirations = 0;
+    uint64_t invalidations = 0;
+    uint64_t oversized = 0;
+  };
+
+  Shard& ShardFor(uint64_t hash) {
+    return *shards_[hash % shards_.size()];
+  }
+  int64_t NowMs() const;
+  // Removes `it` from `shard` (index, list, byte accounting).
+  static void RemoveLocked(Shard& shard, std::list<Entry>::iterator it);
+
+  CacheOptions options_;
+  size_t per_shard_capacity_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> epoch_{0};
+};
+
+}  // namespace autocat
+
+#endif  // AUTOCAT_SERVE_CACHE_H_

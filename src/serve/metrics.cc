@@ -1,0 +1,73 @@
+#include "serve/metrics.h"
+
+namespace autocat {
+
+std::string_view ServeOutcomeToString(ServeOutcome outcome) {
+  switch (outcome) {
+    case ServeOutcome::kHit:
+      return "hit";
+    case ServeOutcome::kMiss:
+      return "miss";
+    case ServeOutcome::kOverloaded:
+      return "overloaded";
+    case ServeOutcome::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case ServeOutcome::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+void ServiceMetrics::Record(ServeOutcome outcome, double latency_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++by_outcome_[static_cast<size_t>(outcome)];
+  latency_all_.Add(latency_ms);
+  if (outcome == ServeOutcome::kHit) {
+    latency_hit_.Add(latency_ms);
+  } else if (outcome == ServeOutcome::kMiss) {
+    latency_miss_.Add(latency_ms);
+  }
+}
+
+void ServiceMetrics::FillSnapshot(ServiceMetricsSnapshot* snapshot) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot->requests_total = 0;
+  for (size_t i = 0; i < kNumServeOutcomes; ++i) {
+    snapshot->by_outcome[i] = by_outcome_[i];
+    snapshot->requests_total += by_outcome_[i];
+  }
+  snapshot->latency_all = latency_all_;
+  snapshot->latency_hit = latency_hit_;
+  snapshot->latency_miss = latency_miss_;
+}
+
+std::string ServiceMetricsSnapshot::ToJson() const {
+  std::string out = "{\"requests\":{\"total\":" +
+                    std::to_string(requests_total);
+  for (size_t i = 0; i < kNumServeOutcomes; ++i) {
+    out += ",\"";
+    out += ServeOutcomeToString(static_cast<ServeOutcome>(i));
+    out += "\":" + std::to_string(by_outcome[i]);
+  }
+  out += "},\"cache\":{";
+  out += "\"hits\":" + std::to_string(cache.hits);
+  out += ",\"misses\":" + std::to_string(cache.misses);
+  out += ",\"evictions\":" + std::to_string(cache.evictions);
+  out += ",\"expirations\":" + std::to_string(cache.expirations);
+  out += ",\"invalidations\":" + std::to_string(cache.invalidations);
+  out += ",\"oversized\":" + std::to_string(cache.oversized);
+  out += ",\"entries\":" + std::to_string(cache.entries);
+  out += ",\"bytes\":" + std::to_string(cache.bytes);
+  out += ",\"capacity_bytes\":" + std::to_string(cache.capacity_bytes);
+  out += ",\"epoch\":" + std::to_string(cache.epoch);
+  out += "},\"latency_ms\":{";
+  out += "\"all\":" + latency_all.ToJson();
+  out += ",\"hit\":" + latency_hit.ToJson();
+  out += ",\"miss\":" + latency_miss.ToJson();
+  out += "},\"queue\":{\"depth_high_water\":" +
+         std::to_string(queue_depth_high_water);
+  out += "}}";
+  return out;
+}
+
+}  // namespace autocat

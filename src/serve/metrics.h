@@ -1,0 +1,68 @@
+#ifndef AUTOCAT_SERVE_METRICS_H_
+#define AUTOCAT_SERVE_METRICS_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/histogram.h"
+#include "serve/cache.h"
+
+namespace autocat {
+
+/// How one request ended. kHit/kMiss both answered successfully (from the
+/// cache / by running categorization); the rest are failures with their
+/// own Status codes.
+enum class ServeOutcome {
+  kHit = 0,
+  kMiss,
+  kOverloaded,
+  kDeadlineExceeded,
+  kError,
+};
+inline constexpr size_t kNumServeOutcomes = 5;
+
+std::string_view ServeOutcomeToString(ServeOutcome outcome);
+
+/// A point-in-time copy of every service counter, assembled by
+/// CategorizationService::SnapshotMetrics(). ToJson() renders with fixed
+/// key order and fixed-precision numbers, so two snapshots of identical
+/// state are byte-identical (the serve lint rule keeps unordered
+/// containers out of this layer for the same reason).
+struct ServiceMetricsSnapshot {
+  uint64_t requests_total = 0;
+  uint64_t by_outcome[kNumServeOutcomes] = {0, 0, 0, 0, 0};
+  Histogram latency_all = Histogram::LatencyMs();
+  Histogram latency_hit = Histogram::LatencyMs();
+  Histogram latency_miss = Histogram::LatencyMs();
+  CacheStats cache;
+  size_t queue_depth_high_water = 0;
+
+  std::string ToJson() const;
+};
+
+/// Thread-safe accumulator for request outcomes and latencies. Cache and
+/// admission counters live in their own components; the service merges
+/// all three into one snapshot.
+class ServiceMetrics {
+ public:
+  ServiceMetrics() = default;
+
+  void Record(ServeOutcome outcome, double latency_ms);
+
+  /// Copies the request-side counters into `snapshot` (cache and queue
+  /// fields are the caller's to fill).
+  void FillSnapshot(ServiceMetricsSnapshot* snapshot) const;
+
+ private:
+  mutable std::mutex mu_;
+  uint64_t by_outcome_[kNumServeOutcomes] = {0, 0, 0, 0, 0};
+  Histogram latency_all_ = Histogram::LatencyMs();
+  Histogram latency_hit_ = Histogram::LatencyMs();
+  Histogram latency_miss_ = Histogram::LatencyMs();
+};
+
+}  // namespace autocat
+
+#endif  // AUTOCAT_SERVE_METRICS_H_

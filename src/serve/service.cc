@@ -1,0 +1,260 @@
+#include "serve/service.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "sql/parser.h"
+
+namespace autocat {
+
+namespace {
+
+// Releases the admission slot on every exit path.
+class AdmissionSlot {
+ public:
+  explicit AdmissionSlot(AdmissionController* admission)
+      : admission_(admission) {}
+  ~AdmissionSlot() { admission_->Release(); }
+  AdmissionSlot(const AdmissionSlot&) = delete;
+  AdmissionSlot& operator=(const AdmissionSlot&) = delete;
+
+ private:
+  AdmissionController* admission_;
+};
+
+double WallMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+CacheOptions WithServiceClock(CacheOptions cache,
+                              const std::function<int64_t()>& now_ms) {
+  if (!cache.now_ms && now_ms) {
+    cache.now_ms = now_ms;
+  }
+  return cache;
+}
+
+SignatureOptions WithDefaultBuckets(SignatureOptions signature,
+                                    const WorkloadStatsOptions& stats) {
+  if (signature.bucket_widths.empty()) {
+    signature.bucket_widths = stats.split_intervals;
+  }
+  return signature;
+}
+
+}  // namespace
+
+CategorizationService::CategorizationService(Database db, Workload workload,
+                                             ServiceOptions options)
+    : options_(std::move(options)),
+      db_(std::move(db)),
+      workload_(std::move(workload)),
+      cache_(WithServiceClock(options_.cache, options_.now_ms)),
+      admission_(options_.max_concurrent, options_.max_queue,
+                 options_.now_ms) {
+  options_.signature =
+      WithDefaultBuckets(std::move(options_.signature), options_.stats);
+  // The serving layer takes its parallelism across requests; an
+  // unconfigured categorizer (threads = 0 elsewhere means "hardware")
+  // builds each tree sequentially so concurrent requests don't oversubscribe.
+  if (options_.categorizer.parallel.threads == 0) {
+    options_.categorizer.parallel.threads = 1;
+  }
+}
+
+int64_t CategorizationService::NowMs() const {
+  if (options_.now_ms) {
+    return options_.now_ms();
+  }
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Result<ServeResponse> CategorizationService::Handle(
+    const ServeRequest& request) {
+  const double wall_start = WallMs();
+  const int64_t now = NowMs();
+  Deadline deadline = Deadline::Never();
+  if (request.deadline_ms > 0) {
+    deadline = Deadline::At(now + request.deadline_ms);
+  } else if (options_.default_deadline_ms > 0) {
+    deadline = Deadline::At(now + options_.default_deadline_ms);
+  }
+
+  const Status admitted = admission_.Admit(deadline);
+  if (!admitted.ok()) {
+    const ServeOutcome outcome =
+        admitted.code() == StatusCode::kOverloaded
+            ? ServeOutcome::kOverloaded
+            : ServeOutcome::kDeadlineExceeded;
+    metrics_.Record(outcome, WallMs() - wall_start);
+    return admitted;
+  }
+  AdmissionSlot slot(&admission_);
+
+  ServeOutcome outcome = ServeOutcome::kError;
+  auto response = HandleAdmitted(request, deadline, &outcome);
+  const double latency = WallMs() - wall_start;
+  metrics_.Record(outcome, latency);
+  if (response.ok()) {
+    response.value().latency_ms = latency;
+  }
+  return response;
+}
+
+Result<ServeResponse> CategorizationService::HandleAdmitted(
+    const ServeRequest& request, const Deadline& deadline,
+    ServeOutcome* outcome) {
+  *outcome = ServeOutcome::kError;
+  AUTOCAT_ASSIGN_OR_RETURN(const SelectQuery query,
+                           ParseQuery(request.sql));
+  const std::string table_key = ToLower(query.table_name);
+
+  // Two passes at most: the second runs after StatsFor built the missing
+  // per-table WorkloadStats under the write lock. Everything that reads
+  // table contents stays inside one shared-lock section, paired with the
+  // cache epoch observed in that same section, so a concurrent PutTable
+  // can never leak mixed-state entries into the cache.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    std::shared_ptr<const WorkloadStats> stats;
+    {
+      std::shared_lock<std::shared_mutex> lock(state_mu_);
+      AUTOCAT_ASSIGN_OR_RETURN(const Table* table,
+                               db_.GetTable(table_key));
+      AUTOCAT_ASSIGN_OR_RETURN(
+          CanonicalQuery canonical,
+          CanonicalizeQuery(query, table->schema(), options_.signature));
+
+      if (!request.bypass_cache) {
+        if (auto payload = cache_.Get(canonical.key, canonical.hash)) {
+          *outcome = ServeOutcome::kHit;
+          ServeResponse response;
+          response.payload = std::move(payload);
+          response.cache_hit = true;
+          response.signature = std::move(canonical.key);
+          return response;
+        }
+      }
+
+      if (deadline.ExpiredAt(NowMs())) {
+        *outcome = ServeOutcome::kDeadlineExceeded;
+        return Status::DeadlineExceeded(
+            "deadline passed before query execution");
+      }
+
+      const auto stats_it = stats_by_table_.find(table_key);
+      if (stats_it != stats_by_table_.end()) {
+        stats = stats_it->second;
+        const uint64_t observed_epoch = cache_.epoch();
+
+        const Schema& schema = table->schema();
+        const SelectionProfile& profile = canonical.profile;
+        const std::vector<size_t> indices = table->FilterIndices(
+            [&](const Row& row) { return profile.MatchesRow(row, schema); });
+        AUTOCAT_ASSIGN_OR_RETURN(Table result, table->SelectRows(indices));
+        if (!canonical.columns.empty()) {
+          AUTOCAT_ASSIGN_OR_RETURN(result,
+                                   result.Project(canonical.columns));
+        }
+
+        if (deadline.ExpiredAt(NowMs())) {
+          *outcome = ServeOutcome::kDeadlineExceeded;
+          return Status::DeadlineExceeded(
+              "deadline passed before categorization");
+        }
+
+        const CostBasedCategorizer categorizer(stats.get(),
+                                               options_.categorizer);
+        AUTOCAT_ASSIGN_OR_RETURN(
+            auto payload,
+            CachedCategorization::Build(
+                std::move(result), [&](const Table& owned) {
+                  return categorizer.Categorize(owned, &canonical.profile);
+                }));
+        if (!request.bypass_cache) {
+          cache_.Insert(canonical.key, canonical.hash, payload,
+                        observed_epoch);
+        }
+        *outcome = ServeOutcome::kMiss;
+        ServeResponse response;
+        response.payload = std::move(payload);
+        response.cache_hit = false;
+        response.signature = std::move(canonical.key);
+        return response;
+      }
+    }
+    // Stats missing: build them under the write lock, then retry the
+    // read section from scratch (the table may have changed meanwhile).
+    AUTOCAT_RETURN_IF_ERROR(StatsFor(table_key).status());
+  }
+  return Status::Internal("workload stats kept disappearing for table '" +
+                          table_key + "'");
+}
+
+Result<std::shared_ptr<const WorkloadStats>> CategorizationService::StatsFor(
+    const std::string& table_key) {
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
+  const auto it = stats_by_table_.find(table_key);
+  if (it != stats_by_table_.end()) {
+    return it->second;
+  }
+  AUTOCAT_ASSIGN_OR_RETURN(const Table* table, db_.GetTable(table_key));
+  // Sequential build: serving-path determinism and no pool interaction
+  // from inside request tasks; this is a once-per-table warmup cost.
+  ParallelOptions sequential;
+  sequential.threads = 1;
+  AUTOCAT_ASSIGN_OR_RETURN(
+      WorkloadStats built,
+      WorkloadStats::Build(workload_, table->schema(), options_.stats,
+                           sequential));
+  auto stats = std::make_shared<const WorkloadStats>(std::move(built));
+  stats_by_table_[table_key] = stats;
+  return stats;
+}
+
+void CategorizationService::PutTable(std::string_view name, Table table) {
+  {
+    std::unique_lock<std::shared_mutex> lock(state_mu_);
+    db_.PutTable(name, std::move(table));
+    // The schema (hence the stats' numeric/categorical view) may have
+    // changed; rebuild lazily on next use.
+    stats_by_table_.erase(ToLower(name));
+  }
+  cache_.BumpEpoch();
+}
+
+Status CategorizationService::RegisterTable(std::string_view name,
+                                            Table table) {
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
+  // A brand-new table cannot be referenced by any cached entry, so the
+  // epoch is deliberately kept.
+  return db_.RegisterTable(name, std::move(table));
+}
+
+void CategorizationService::RebuildWorkload(Workload workload) {
+  {
+    std::unique_lock<std::shared_mutex> lock(state_mu_);
+    workload_ = std::move(workload);
+    stats_by_table_.clear();
+  }
+  cache_.BumpEpoch();
+}
+
+ServiceMetricsSnapshot CategorizationService::SnapshotMetrics() const {
+  ServiceMetricsSnapshot snapshot;
+  metrics_.FillSnapshot(&snapshot);
+  snapshot.cache = cache_.Stats();
+  snapshot.queue_depth_high_water = admission_.queue_high_water();
+  return snapshot;
+}
+
+std::string CategorizationService::MetricsJson() const {
+  return SnapshotMetrics().ToJson();
+}
+
+}  // namespace autocat

@@ -1,0 +1,143 @@
+#ifndef AUTOCAT_SERVE_SERVICE_H_
+#define AUTOCAT_SERVE_SERVICE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+
+#include "common/result.h"
+#include "core/categorizer.h"
+#include "exec/executor.h"
+#include "serve/admission.h"
+#include "serve/cache.h"
+#include "serve/metrics.h"
+#include "serve/signature.h"
+#include "workload/counts.h"
+#include "workload/workload.h"
+
+namespace autocat {
+
+/// One SQL categorization request.
+struct ServeRequest {
+  std::string sql;
+  /// Relative latency budget in service-clock milliseconds; 0 falls back
+  /// to ServiceOptions::default_deadline_ms (0 there = unbounded).
+  int64_t deadline_ms = 0;
+  /// Skips cache lookup AND insert: the request always runs the cold
+  /// path (benchmarking / debugging).
+  bool bypass_cache = false;
+};
+
+/// A successful answer: the canonical query's result set and category
+/// tree. The payload is shared with the cache — holding the response
+/// keeps it alive even across eviction or invalidation.
+struct ServeResponse {
+  std::shared_ptr<const CachedCategorization> payload;
+  bool cache_hit = false;
+  std::string signature;   ///< The canonical cache key.
+  double latency_ms = 0;   ///< Wall-clock, measured by the service.
+};
+
+/// Service configuration.
+struct ServiceOptions {
+  /// Knobs for the cost-based categorizer run on cache misses. The
+  /// default leaves `parallel.threads` at 1: the serving layer gets its
+  /// parallelism across requests (thread pool + sharded cache), not
+  /// inside one tree build.
+  CategorizerOptions categorizer;
+  /// Workload-preprocessing configuration (split intervals).
+  WorkloadStatsOptions stats;
+  /// Signature bucketing. When `bucket_widths` is empty it is seeded from
+  /// `stats.split_intervals`, so signatures snap to the same grid the
+  /// split points live on.
+  SignatureOptions signature;
+  CacheOptions cache;
+  /// Admission control: max_concurrent executing, max_queue waiting,
+  /// anything beyond rejected with kOverloaded.
+  size_t max_concurrent = 4;
+  size_t max_queue = 16;
+  int64_t default_deadline_ms = 0;
+  /// Service clock in milliseconds (monotonic); injectable for deadline
+  /// and TTL tests. Null uses the steady clock. Also used by the cache
+  /// and admission controller unless their own clocks are set.
+  std::function<int64_t()> now_ms;
+};
+
+/// The paper's query-time categorization, packaged as a long-lived
+/// service (DESIGN.md §9): it owns the Database, the query log, the
+/// preprocessed per-table WorkloadStats, a signature-keyed result cache,
+/// and an admission controller, and answers a stream of SQL requests.
+///
+/// Handle() is thread-safe and blocking; drive concurrency by submitting
+/// Handle calls onto the shared ThreadPool (tools/loadgen does). Table
+/// and workload mutations (PutTable / RebuildWorkload) serialize against
+/// in-flight requests with a reader-writer lock and bump the cache epoch,
+/// so a response never mixes old and new table contents.
+class CategorizationService {
+ public:
+  CategorizationService(Database db, Workload workload,
+                        ServiceOptions options);
+
+  CategorizationService(const CategorizationService&) = delete;
+  CategorizationService& operator=(const CategorizationService&) = delete;
+
+  /// Serves one request: admission -> parse -> canonicalize -> cache
+  /// lookup -> (on miss) execute + categorize + insert. Failures map to
+  /// explicit codes: kOverloaded (queue full), kDeadlineExceeded (budget
+  /// spent while queued or before a stage started), kParseError /
+  /// kNotFound / kNotSupported for bad requests. The deadline is checked
+  /// at stage boundaries; a request whose final stage completes is
+  /// answered even if the budget ran out during it.
+  Result<ServeResponse> Handle(const ServeRequest& request);
+
+  /// Replaces or creates a table and invalidates every cached entry (the
+  /// epoch bump). Blocks until in-flight requests finish.
+  void PutTable(std::string_view name, Table table);
+
+  /// Registers a new table (kAlreadyExists if the name is taken). New
+  /// tables cannot affect cached entries, so the epoch is kept.
+  Status RegisterTable(std::string_view name, Table table);
+
+  /// Replaces the query log, drops every preprocessed WorkloadStats, and
+  /// invalidates the cache (trees depend on workload counts).
+  void RebuildWorkload(Workload workload);
+
+  /// Merged snapshot of request, cache, and admission counters.
+  ServiceMetricsSnapshot SnapshotMetrics() const;
+  /// SnapshotMetrics() rendered as deterministic JSON.
+  std::string MetricsJson() const;
+
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  int64_t NowMs() const;
+  /// The preprocessed stats for `table_key`, built on first use under the
+  /// write lock (the table's schema is re-fetched there, so a concurrent
+  /// PutTable cannot leave the stats keyed to a stale schema).
+  Result<std::shared_ptr<const WorkloadStats>> StatsFor(
+      const std::string& table_key);
+  /// The post-admission pipeline; sets `outcome` for metrics.
+  Result<ServeResponse> HandleAdmitted(const ServeRequest& request,
+                                       const Deadline& deadline,
+                                       ServeOutcome* outcome);
+
+  ServiceOptions options_;
+  // Guards db_, workload_, and stats_by_table_: requests hold it shared
+  // for their whole read (the GetTable pointer-stability contract makes
+  // the pointer safe, but contents mutate under PutTable's unique lock).
+  mutable std::shared_mutex state_mu_;
+  Database db_;
+  Workload workload_;
+  std::map<std::string, std::shared_ptr<const WorkloadStats>>
+      stats_by_table_;
+  SignatureCache cache_;
+  AdmissionController admission_;
+  ServiceMetrics metrics_;
+};
+
+}  // namespace autocat
+
+#endif  // AUTOCAT_SERVE_SERVICE_H_

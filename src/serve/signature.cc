@@ -1,0 +1,134 @@
+#include "serve/signature.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace autocat {
+
+namespace {
+
+// Exact endpoint rendering (%.17g round-trips doubles); the display-
+// oriented NumericRange::ToString humanizes numbers (200000 -> "200K"),
+// which could merge distinct endpoints in the key.
+std::string FormatEndpoint(double v) {
+  if (std::isinf(v)) {
+    return v < 0 ? "-inf" : "+inf";
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+double LookupWidth(const SignatureOptions& options, const std::string& attr) {
+  const auto it = options.bucket_widths.find(attr);
+  return it == options.bucket_widths.end() ? options.default_bucket_width
+                                           : it->second;
+}
+
+// Snaps a range outward to the bucket grid: the canonical query is a
+// superset of the original, the same direction WorkloadStats snaps
+// workload ranges to the split-point grid.
+NumericRange SnapRange(const NumericRange& r, double width) {
+  NumericRange out = r;
+  if (width <= 0) {
+    return out;
+  }
+  if (std::isfinite(out.lo)) {
+    out.lo = std::floor(out.lo / width) * width;
+    out.lo_inclusive = true;
+  }
+  if (std::isfinite(out.hi)) {
+    out.hi = std::ceil(out.hi / width) * width;
+    out.hi_inclusive = true;
+  }
+  return out;
+}
+
+}  // namespace
+
+uint64_t SignatureHash(const std::string& key) {
+  uint64_t h = 14695981039346656037ULL;  // FNV offset basis
+  for (const char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;  // FNV prime
+  }
+  return h;
+}
+
+Result<CanonicalQuery> CanonicalizeQuery(const SelectQuery& query,
+                                         const Schema& schema,
+                                         const SignatureOptions& options) {
+  CanonicalQuery out;
+  out.table = ToLower(query.table_name);
+
+  for (const std::string& col : query.columns) {
+    AUTOCAT_ASSIGN_OR_RETURN(const size_t idx, schema.ColumnIndex(col));
+    (void)idx;
+    out.columns.push_back(ToLower(col));
+  }
+  std::sort(out.columns.begin(), out.columns.end());
+  out.columns.erase(std::unique(out.columns.begin(), out.columns.end()),
+                    out.columns.end());
+
+  AUTOCAT_ASSIGN_OR_RETURN(SelectionProfile profile,
+                           SelectionProfile::FromQuery(query, schema));
+  // Snap numeric ranges to the bucket grid. conditions() is an ordered
+  // map, so the rendering below is independent of predicate order in the
+  // original WHERE clause.
+  for (const auto& [attr, cond] : profile.conditions()) {
+    if (cond.is_range()) {
+      AttributeCondition snapped =
+          AttributeCondition::Range(SnapRange(cond.range,
+                                              LookupWidth(options, attr)));
+      out.profile.Set(attr, std::move(snapped));
+    } else {
+      out.profile.Set(attr, cond);
+    }
+  }
+
+  std::string key = "t=" + out.table;
+  key += "|c=";
+  for (size_t i = 0; i < out.columns.size(); ++i) {
+    if (i > 0) {
+      key += ",";
+    }
+    key += out.columns[i];
+  }
+  key += "|w=";
+  bool first = true;
+  for (const auto& [attr, cond] : out.profile.conditions()) {
+    if (!first) {
+      key += ";";
+    }
+    first = false;
+    key += attr;
+    if (cond.is_range()) {
+      key += cond.range.lo_inclusive ? "[" : "(";
+      key += FormatEndpoint(cond.range.lo);
+      key += ",";
+      key += FormatEndpoint(cond.range.hi);
+      key += cond.range.hi_inclusive ? "]" : ")";
+    } else {
+      key += "{";
+      bool first_value = true;
+      for (const Value& v : cond.values) {
+        if (!first_value) {
+          key += ",";
+        }
+        first_value = false;
+        // SQL-literal rendering quotes and escapes strings, so embedded
+        // separators cannot collide two different value sets.
+        key += v.ToSqlLiteral();
+      }
+      key += "}";
+    }
+  }
+  out.key = std::move(key);
+  out.hash = SignatureHash(out.key);
+  return out;
+}
+
+}  // namespace autocat

@@ -1,0 +1,64 @@
+#ifndef AUTOCAT_SERVE_SIGNATURE_H_
+#define AUTOCAT_SERVE_SIGNATURE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/ast.h"
+#include "sql/selection.h"
+#include "storage/schema.h"
+
+namespace autocat {
+
+/// Canonicalization knobs. Production workloads are dominated by a small
+/// set of parameterized query templates instantiated at high volume; the
+/// signature is designed so instantiations that would produce the same
+/// categorization share one cache entry.
+struct SignatureOptions {
+  /// Bucket width per numeric attribute (lowercase name): range endpoints
+  /// are snapped outward to multiples of the width (floor for lows, ceil
+  /// for highs) before keying — mirroring how WorkloadStats snaps ranges
+  /// to the split-point grid. The serving layer seeds these from
+  /// WorkloadStatsOptions::split_intervals.
+  std::map<std::string, double> bucket_widths;
+  /// Width for numeric attributes not listed above. 0 keeps endpoints
+  /// exact (no snapping).
+  double default_bucket_width = 0;
+};
+
+/// The canonical form of one categorization request.
+///
+/// `key` is a deterministic rendering of (table, projected columns,
+/// normalized + bucket-snapped selection conditions); two textually
+/// different SQL strings get the same key exactly when the service would
+/// answer them identically. `profile` carries the snapped conditions the
+/// service executes on a cache miss, so hit and miss responses agree: both
+/// describe the canonical (snapped-outward, hence slightly broader) query.
+struct CanonicalQuery {
+  std::string table;               ///< Lowercase FROM-table name.
+  std::vector<std::string> columns;///< Sorted lowercase projection; empty=*.
+  SelectionProfile profile;        ///< Snapped conditions, sorted by attr.
+  std::string key;                 ///< The cache key.
+  uint64_t hash = 0;               ///< FNV-1a of `key` (shard selector).
+};
+
+/// Stable 64-bit FNV-1a (not std::hash, whose value is
+/// implementation-defined — shard assignment must not change across
+/// platforms or library versions).
+uint64_t SignatureHash(const std::string& key);
+
+/// Normalizes a parsed query against `schema` into its canonical form.
+/// Uses SelectionProfile normalization, so the same WHERE shapes are
+/// accepted as everywhere else in the tree; non-normalizable queries
+/// (cross-attribute ORs, NOT IN, ...) return kNotSupported. Unknown
+/// columns in the select list or WHERE clause are errors.
+Result<CanonicalQuery> CanonicalizeQuery(const SelectQuery& query,
+                                         const Schema& schema,
+                                         const SignatureOptions& options);
+
+}  // namespace autocat
+
+#endif  // AUTOCAT_SERVE_SIGNATURE_H_

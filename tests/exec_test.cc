@@ -118,6 +118,38 @@ TEST(DatabaseTest, RegisterAndLookup) {
   EXPECT_EQ(db.num_tables(), 1u);
 }
 
+// The pointer-stability contract documented on Database::GetTable: the
+// serving layer holds table pointers across PutTable/RegisterTable calls
+// and relies on the address never moving.
+TEST(DatabaseTest, GetTablePointerIsStableAcrossMutations) {
+  Database db;
+  ASSERT_TRUE(db.RegisterTable("Homes", HomesTable()).ok());
+  auto homes = db.GetTable("homes");
+  ASSERT_TRUE(homes.ok());
+  const Table* const before = homes.value();
+  const size_t rows_before = before->num_rows();
+
+  // Registering other tables never moves an existing one.
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(
+        db.RegisterTable("t" + std::to_string(i), HomesTable()).ok());
+  }
+  ASSERT_TRUE(db.GetTable("homes").ok());
+  EXPECT_EQ(db.GetTable("homes").value(), before);
+
+  // PutTable replaces the contents in place: same address, new data.
+  db.PutTable("Homes", Table(HomesSchema()));
+  ASSERT_TRUE(db.GetTable("homes").ok());
+  EXPECT_EQ(db.GetTable("homes").value(), before);
+  EXPECT_EQ(before->num_rows(), 0u);
+  EXPECT_NE(before->num_rows(), rows_before);
+
+  // And another PutTable restores rows behind the very same pointer.
+  db.PutTable("Homes", HomesTable());
+  EXPECT_EQ(db.GetTable("homes").value(), before);
+  EXPECT_EQ(before->num_rows(), rows_before);
+}
+
 // ---------------------------------------------------------------- executor
 
 TEST(ExecutorTest, SelectStarNoWhere) {

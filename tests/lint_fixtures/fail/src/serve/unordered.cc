@@ -1,0 +1,25 @@
+// Fixture for the unordered-container rule: a serving-layer file keying
+// state by hash order. Carries exactly three violations (the include and
+// the two container mentions); the suppressed line and the comment/string
+// mentions below must not trip the rule.
+#include <unordered_map>
+
+#include <map>
+#include <string>
+
+namespace autocat {
+
+// std::unordered_map in a comment is fine.
+void AccumulateCounters() {
+  std::unordered_map<std::string, int> counters;
+  counters["hit"] = 1;
+  const std::string note = "std::unordered_set in a string is fine";
+  (void)note;
+  std::unordered_set<std::string> keys;  // NOLINT
+  std::map<std::string, int> allowed;    // the sanctioned container
+  (void)allowed;
+  std::unordered_map<int, int> tolerated;  // autocat-lint: allow(unordered-container)
+  (void)tolerated;
+}
+
+}  // namespace autocat

@@ -1,0 +1,19 @@
+// Fixture: a serving-layer file using only ordered containers, which the
+// unordered-container rule must accept. The std::unordered_map mention in
+// this comment and the string below must not trip it.
+#include <map>
+#include <set>
+#include <string>
+
+namespace autocat {
+
+void SnapshotCounters() {
+  std::map<std::string, int> counters;
+  counters["hit"] = 1;
+  std::set<std::string> keys;
+  keys.insert("k");
+  const std::string note = "std::unordered_set is banned here";
+  (void)note;
+}
+
+}  // namespace autocat

@@ -191,12 +191,55 @@ TEST(DroppedStatusRuleTest, UnknownNamesAreIgnored) {
           .empty());
 }
 
+TEST(UnorderedContainerRuleTest, FlagsUnorderedContainersInServe) {
+  const std::string content =
+      "#include <unordered_map>\n"
+      "std::unordered_map<int, int> m;\n"
+      "std::unordered_set<int> s;\n"
+      "std::unordered_multimap<int, int> mm;\n";
+  const auto issues = CheckUnorderedContainer("src/serve/cache.cc", content);
+  EXPECT_EQ(issues.size(), 4u);
+  EXPECT_TRUE(HasRule(issues, "unordered-container"));
+}
+
+TEST(UnorderedContainerRuleTest, OnlyAppliesToServe) {
+  const std::string content = "std::unordered_map<int, int> m;\n";
+  EXPECT_TRUE(CheckUnorderedContainer("src/core/foo.cc", content).empty());
+  EXPECT_TRUE(CheckUnorderedContainer("tools/foo.cc", content).empty());
+  EXPECT_EQ(CheckUnorderedContainer("src/serve/foo.cc", content).size(),
+            1u);
+}
+
+TEST(UnorderedContainerRuleTest, IgnoresCommentsStringsAndSuppressions) {
+  EXPECT_TRUE(CheckUnorderedContainer("src/serve/foo.cc",
+                                      "// std::unordered_map is banned\n")
+                  .empty());
+  EXPECT_TRUE(CheckUnorderedContainer(
+                  "src/serve/foo.cc",
+                  "const char* s = \"std::unordered_set\";\n")
+                  .empty());
+  EXPECT_TRUE(
+      CheckUnorderedContainer(
+          "src/serve/foo.cc",
+          "std::unordered_map<int, int> m;  "
+          "// autocat-lint: allow(unordered-container)\n")
+          .empty());
+}
+
+TEST(UnorderedContainerRuleTest, AcceptsOrderedContainers) {
+  EXPECT_TRUE(CheckUnorderedContainer(
+                  "src/serve/foo.cc",
+                  "std::map<int, int> m;\nstd::set<int> s;\n")
+                  .empty());
+}
+
 TEST(LintFixtureTest, PassTreeLintsClean) {
   std::vector<LintIssue> issues;
   const std::string root =
       std::string(AUTOCAT_LINT_FIXTURE_DIR) + "/pass";
   ASSERT_TRUE(LintFiles(root,
-                        {"src/widget/widget.h", "src/widget/widget.cc"},
+                        {"src/widget/widget.h", "src/widget/widget.cc",
+                         "src/serve/ordered.cc"},
                         &issues));
   for (const auto& issue : issues) {
     ADD_FAILURE() << issue.ToString();
@@ -214,12 +257,14 @@ TEST(LintFixtureTest, FailTreeTripsEveryRule) {
                         {"src/broken/wrong_guard.h", "src/broken/banned.cc",
                          "src/broken/dropped.cc",
                          "src/broken/raw_thread.cc",
+                         "src/serve/unordered.cc",
                          "../pass/src/widget/widget.h"},
                         &issues));
   EXPECT_TRUE(HasRule(issues, "include-guard"));
   EXPECT_TRUE(HasRule(issues, "banned-call"));
   EXPECT_TRUE(HasRule(issues, "dropped-status"));
   EXPECT_TRUE(HasRule(issues, "raw-thread"));
+  EXPECT_TRUE(HasRule(issues, "unordered-container"));
   // banned.cc carries exactly three banned calls.
   const auto banned =
       std::count_if(issues.begin(), issues.end(), [](const LintIssue& i) {
@@ -238,6 +283,13 @@ TEST(LintFixtureTest, FailTreeTripsEveryRule) {
         return i.rule == "raw-thread";
       });
   EXPECT_EQ(raw, 2);
+  // serve/unordered.cc carries exactly three hash-container uses (the
+  // suppressed one and the comment/string mentions don't count).
+  const auto unordered =
+      std::count_if(issues.begin(), issues.end(), [](const LintIssue& i) {
+        return i.rule == "unordered-container";
+      });
+  EXPECT_EQ(unordered, 3);
 }
 
 }  // namespace

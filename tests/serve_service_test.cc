@@ -1,0 +1,358 @@
+// End-to-end tests for the categorization service: cache hit/miss flow,
+// signature sharing, invalidation on PutTable/RebuildWorkload, deadline
+// and overload handling, and deterministic metrics export.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "serve/admission.h"
+#include "serve/metrics.h"
+#include "serve/service.h"
+
+namespace autocat {
+namespace {
+
+Schema HomesSchema() {
+  auto schema = Schema::Create({
+      ColumnDef("neighborhood", ValueType::kString,
+                ColumnKind::kCategorical),
+      ColumnDef("price", ValueType::kInt64, ColumnKind::kNumeric),
+      ColumnDef("bedroomcount", ValueType::kInt64, ColumnKind::kNumeric),
+  });
+  EXPECT_TRUE(schema.ok());
+  return std::move(schema).value();
+}
+
+Table HomesTable(size_t rows = 40) {
+  const char* kNeighborhoods[] = {"Redmond", "Bellevue", "Seattle",
+                                  "Issaquah"};
+  Table table(HomesSchema());
+  for (size_t i = 0; i < rows; ++i) {
+    EXPECT_TRUE(table
+                    .AppendRow({Value(kNeighborhoods[i % 4]),
+                                Value(static_cast<int64_t>(
+                                    150000 + 5000 * (i % 37))),
+                                Value(static_cast<int64_t>(1 + i % 5))})
+                    .ok());
+  }
+  return table;
+}
+
+Workload HomesWorkload() {
+  const std::vector<std::string> sqls = {
+      "SELECT * FROM Homes WHERE neighborhood = 'Redmond'",
+      "SELECT * FROM Homes WHERE neighborhood IN ('Redmond', 'Bellevue')",
+      "SELECT * FROM Homes WHERE price BETWEEN 150000 AND 250000",
+      "SELECT * FROM Homes WHERE price <= 300000 AND bedroomcount >= 2",
+      "SELECT * FROM Homes WHERE neighborhood = 'Seattle' AND price >= "
+      "200000",
+  };
+  WorkloadParseReport report;
+  Workload workload = Workload::Parse(sqls, HomesSchema(), &report);
+  EXPECT_EQ(report.parsed, sqls.size());
+  return workload;
+}
+
+std::unique_ptr<CategorizationService> MakeService(
+    ServiceOptions options = {}) {
+  Database db;
+  EXPECT_TRUE(db.RegisterTable("Homes", HomesTable()).ok());
+  if (options.stats.split_intervals.empty()) {
+    options.stats.split_intervals["price"] = 5000;
+  }
+  return std::make_unique<CategorizationService>(
+      std::move(db), HomesWorkload(), std::move(options));
+}
+
+TEST(ServiceTest, MissThenHitSharesOnePayload) {
+  auto service = MakeService();
+  ServeRequest request;
+  request.sql = "SELECT * FROM Homes WHERE price <= 300000";
+
+  auto miss = service->Handle(request);
+  ASSERT_TRUE(miss.ok()) << miss.status().ToString();
+  EXPECT_FALSE(miss->cache_hit);
+  EXPECT_GT(miss->payload->result_rows(), 0u);
+
+  auto hit = service->Handle(request);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(hit->cache_hit);
+  EXPECT_EQ(hit->payload.get(), miss->payload.get());
+  EXPECT_EQ(hit->signature, miss->signature);
+
+  const ServiceMetricsSnapshot snapshot = service->SnapshotMetrics();
+  EXPECT_EQ(snapshot.requests_total, 2u);
+  EXPECT_EQ(snapshot.by_outcome[static_cast<size_t>(ServeOutcome::kHit)],
+            1u);
+  EXPECT_EQ(snapshot.by_outcome[static_cast<size_t>(ServeOutcome::kMiss)],
+            1u);
+}
+
+TEST(ServiceTest, EquivalentSqlFormsHitTheSameEntry) {
+  auto service = MakeService();
+  ServeRequest a;
+  a.sql = "SELECT * FROM Homes WHERE price BETWEEN 200000 AND 300000";
+  ServeRequest b;
+  b.sql =
+      "select * from HOMES where Price >= 200000 and Price <= 300000";
+  ASSERT_TRUE(service->Handle(a).ok());
+  auto second = service->Handle(b);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->cache_hit);
+}
+
+TEST(ServiceTest, BucketSnappedConstantsShareAnEntry) {
+  // price splits every 5000 (seeded from stats.split_intervals), so both
+  // constants canonicalize to price <= 205000 — and the miss executes the
+  // snapped query, making hit and miss responses agree.
+  auto service = MakeService();
+  ServeRequest a;
+  a.sql = "SELECT * FROM Homes WHERE price <= 201000";
+  ServeRequest b;
+  b.sql = "SELECT * FROM Homes WHERE price <= 204999";
+  auto miss = service->Handle(a);
+  ASSERT_TRUE(miss.ok());
+  auto hit = service->Handle(b);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(hit->cache_hit);
+  EXPECT_EQ(hit->payload->result_rows(), miss->payload->result_rows());
+}
+
+TEST(ServiceTest, BypassCacheAlwaysRunsCold) {
+  auto service = MakeService();
+  ServeRequest request;
+  request.sql = "SELECT * FROM Homes WHERE price <= 300000";
+  request.bypass_cache = true;
+  ASSERT_TRUE(service->Handle(request).ok());
+  auto second = service->Handle(request);
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second->cache_hit);
+  EXPECT_EQ(service->SnapshotMetrics().cache.entries, 0u);
+}
+
+TEST(ServiceTest, PutTableInvalidatesCachedEntries) {
+  auto service = MakeService();
+  ServeRequest request;
+  request.sql = "SELECT * FROM Homes WHERE price <= 300000";
+  auto before = service->Handle(request);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(service->Handle(request)->cache_hit);
+
+  service->PutTable("Homes", HomesTable(80));
+
+  auto after = service->Handle(request);
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after->cache_hit);
+  // The rebuilt entry reflects the replaced table's contents.
+  EXPECT_GT(after->payload->result_rows(), before->payload->result_rows());
+  EXPECT_GE(service->SnapshotMetrics().cache.epoch, 1u);
+}
+
+TEST(ServiceTest, RebuildWorkloadInvalidatesCachedEntries) {
+  auto service = MakeService();
+  ServeRequest request;
+  request.sql = "SELECT * FROM Homes WHERE price <= 300000";
+  ASSERT_TRUE(service->Handle(request).ok());
+  ASSERT_TRUE(service->Handle(request)->cache_hit);
+
+  service->RebuildWorkload(HomesWorkload());
+
+  auto after = service->Handle(request);
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after->cache_hit);
+}
+
+TEST(ServiceTest, RegisterTableRejectsDuplicatesAndKeepsCache) {
+  auto service = MakeService();
+  ServeRequest request;
+  request.sql = "SELECT * FROM Homes WHERE price <= 300000";
+  ASSERT_TRUE(service->Handle(request).ok());
+
+  EXPECT_EQ(service->RegisterTable("Homes", HomesTable()).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_TRUE(service->RegisterTable("Condos", HomesTable()).ok());
+
+  // Registering a brand-new table does not invalidate existing entries.
+  auto hit = service->Handle(request);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(hit->cache_hit);
+
+  ServeRequest condos;
+  condos.sql = "SELECT * FROM Condos WHERE price <= 300000";
+  auto response = service->Handle(condos);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_FALSE(response->cache_hit);
+}
+
+TEST(ServiceTest, DeadlineExceededWithInjectedClock) {
+  // Every clock read advances 100 ms, so a 50 ms budget expires between
+  // admission and execution.
+  int64_t now = 0;
+  ServiceOptions options;
+  options.now_ms = [&now]() {
+    now += 100;
+    return now;
+  };
+  auto service = MakeService(std::move(options));
+  ServeRequest request;
+  request.sql = "SELECT * FROM Homes WHERE price <= 300000";
+  request.deadline_ms = 50;
+  auto response = service->Handle(request);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kDeadlineExceeded);
+  const ServiceMetricsSnapshot snapshot = service->SnapshotMetrics();
+  EXPECT_EQ(snapshot.by_outcome[static_cast<size_t>(
+                ServeOutcome::kDeadlineExceeded)],
+            1u);
+}
+
+TEST(ServiceTest, DefaultDeadlineAppliesWhenRequestHasNone) {
+  int64_t now = 0;
+  ServiceOptions options;
+  options.default_deadline_ms = 50;
+  options.now_ms = [&now]() {
+    now += 100;
+    return now;
+  };
+  auto service = MakeService(std::move(options));
+  ServeRequest request;
+  request.sql = "SELECT * FROM Homes WHERE price <= 300000";
+  auto response = service->Handle(request);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(ServiceTest, BadRequestsMapToErrorOutcomes) {
+  auto service = MakeService();
+
+  ServeRequest malformed;
+  malformed.sql = "SELEC * FRM Homes";
+  EXPECT_FALSE(service->Handle(malformed).ok());
+
+  ServeRequest unknown_table;
+  unknown_table.sql = "SELECT * FROM Castles";
+  EXPECT_EQ(service->Handle(unknown_table).status().code(),
+            StatusCode::kNotFound);
+
+  ServeRequest unsupported;
+  unsupported.sql =
+      "SELECT * FROM Homes WHERE price > 100000 OR neighborhood = "
+      "'Redmond'";
+  EXPECT_EQ(service->Handle(unsupported).status().code(),
+            StatusCode::kNotSupported);
+
+  const ServiceMetricsSnapshot snapshot = service->SnapshotMetrics();
+  EXPECT_EQ(snapshot.by_outcome[static_cast<size_t>(ServeOutcome::kError)],
+            3u);
+  EXPECT_EQ(snapshot.requests_total, 3u);
+}
+
+TEST(ServiceTest, MetricsJsonIsDeterministic) {
+  auto service = MakeService();
+  ServeRequest request;
+  request.sql = "SELECT * FROM Homes WHERE price <= 300000";
+  ASSERT_TRUE(service->Handle(request).ok());
+  ASSERT_TRUE(service->Handle(request).ok());
+
+  const std::string a = service->MetricsJson();
+  const std::string b = service->MetricsJson();
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"requests\":{\"total\":2,\"hit\":1,\"miss\":1"),
+            std::string::npos);
+  EXPECT_NE(a.find("\"cache\":{"), std::string::npos);
+  EXPECT_NE(a.find("\"latency_ms\":{"), std::string::npos);
+  EXPECT_NE(a.find("\"queue\":{"), std::string::npos);
+}
+
+TEST(ServiceTest, ConcurrentRequestsThroughThreadPool) {
+  auto service = MakeService();
+  const std::vector<std::string> sqls = {
+      "SELECT * FROM Homes WHERE price <= 300000",
+      "SELECT * FROM Homes WHERE neighborhood = 'Redmond'",
+      "SELECT * FROM Homes WHERE bedroomcount >= 2",
+  };
+  constexpr size_t kRequests = 48;
+  ThreadPool pool(4);
+  std::vector<std::future<Status>> done;
+  for (size_t i = 0; i < kRequests; ++i) {
+    done.push_back(pool.Submit([&service, &sqls, i]() {
+      ServeRequest request;
+      request.sql = sqls[i % sqls.size()];
+      return service->Handle(request).status();
+    }));
+  }
+  for (auto& f : done) {
+    EXPECT_TRUE(f.get().ok());
+  }
+  const ServiceMetricsSnapshot snapshot = service->SnapshotMetrics();
+  EXPECT_EQ(snapshot.requests_total, kRequests);
+  const uint64_t hits =
+      snapshot.by_outcome[static_cast<size_t>(ServeOutcome::kHit)];
+  const uint64_t misses =
+      snapshot.by_outcome[static_cast<size_t>(ServeOutcome::kMiss)];
+  EXPECT_EQ(hits + misses, kRequests);
+  // Each distinct signature is categorized at least once; concurrent
+  // first requests may race to build the same entry, but steady state is
+  // all hits.
+  EXPECT_GE(misses, sqls.size());
+  EXPECT_GT(hits, 0u);
+}
+
+TEST(AdmissionTest, RejectsWhenQueueIsFull) {
+  AdmissionController admission(1, 0);
+  ASSERT_TRUE(admission.Admit(Deadline::Never()).ok());
+  const Status second = admission.Admit(Deadline::Never());
+  EXPECT_EQ(second.code(), StatusCode::kOverloaded);
+  EXPECT_EQ(admission.rejected(), 1u);
+  admission.Release();
+  ASSERT_TRUE(admission.Admit(Deadline::Never()).ok());
+  admission.Release();
+}
+
+TEST(AdmissionTest, QueuedRequestGivesUpAtDeadline) {
+  int64_t now = 0;
+  AdmissionController admission(1, 4, [&now]() { return now; });
+  ASSERT_TRUE(admission.Admit(Deadline::Never()).ok());
+  now = 10;
+  const Status timed_out = admission.Admit(Deadline::At(10));
+  EXPECT_EQ(timed_out.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(admission.queue_high_water(), 1u);
+  admission.Release();
+}
+
+TEST(AdmissionTest, WaiterProceedsWhenSlotFrees) {
+  AdmissionController admission(1, 4);
+  ASSERT_TRUE(admission.Admit(Deadline::Never()).ok());
+  ThreadPool pool(2);
+  auto waiter = pool.Submit([&admission]() {
+    AUTOCAT_RETURN_IF_ERROR(admission.Admit(Deadline::Never()));
+    admission.Release();
+    return Status::OK();
+  });
+  SleepForMillis(20);
+  admission.Release();
+  EXPECT_TRUE(waiter.get().ok());
+}
+
+TEST(ServiceMetricsTest, RecordAndSnapshot) {
+  ServiceMetrics metrics;
+  metrics.Record(ServeOutcome::kHit, 0.5);
+  metrics.Record(ServeOutcome::kMiss, 5.0);
+  metrics.Record(ServeOutcome::kError, 0.1);
+  ServiceMetricsSnapshot snapshot;
+  metrics.FillSnapshot(&snapshot);
+  EXPECT_EQ(snapshot.requests_total, 3u);
+  EXPECT_EQ(snapshot.latency_all.count(), 3u);
+  EXPECT_EQ(snapshot.latency_hit.count(), 1u);
+  EXPECT_EQ(snapshot.latency_miss.count(), 1u);
+  EXPECT_DOUBLE_EQ(snapshot.latency_hit.max(), 0.5);
+}
+
+}  // namespace
+}  // namespace autocat

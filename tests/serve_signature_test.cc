@@ -1,0 +1,173 @@
+// Tests for the query canonicalizer behind the serving-layer cache key.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "serve/signature.h"
+#include "sql/parser.h"
+
+namespace autocat {
+namespace {
+
+Schema HomesSchema() {
+  auto schema = Schema::Create({
+      ColumnDef("neighborhood", ValueType::kString,
+                ColumnKind::kCategorical),
+      ColumnDef("price", ValueType::kInt64, ColumnKind::kNumeric),
+      ColumnDef("bedroomcount", ValueType::kInt64, ColumnKind::kNumeric),
+  });
+  EXPECT_TRUE(schema.ok());
+  return std::move(schema).value();
+}
+
+Result<CanonicalQuery> Canonicalize(const std::string& sql,
+                                    const SignatureOptions& options = {}) {
+  auto query = ParseQuery(sql);
+  if (!query.ok()) {
+    return query.status();
+  }
+  return CanonicalizeQuery(query.value(), HomesSchema(), options);
+}
+
+std::string KeyOf(const std::string& sql,
+                  const SignatureOptions& options = {}) {
+  auto canonical = Canonicalize(sql, options);
+  EXPECT_TRUE(canonical.ok()) << canonical.status().ToString();
+  return canonical.ok() ? canonical->key : std::string();
+}
+
+TEST(SignatureTest, EquivalentWhereFormsShareOneKey) {
+  const std::string a =
+      KeyOf("SELECT * FROM Homes WHERE price >= 200000 AND price <= 300000");
+  const std::string b =
+      KeyOf("SELECT * FROM Homes WHERE price BETWEEN 200000 AND 300000");
+  EXPECT_EQ(a, b);
+
+  const std::string c = KeyOf(
+      "SELECT * FROM Homes WHERE neighborhood IN ('Redmond', 'Bellevue')");
+  const std::string d = KeyOf(
+      "SELECT * FROM Homes WHERE neighborhood IN ('Bellevue', 'Redmond')");
+  EXPECT_EQ(c, d);
+}
+
+TEST(SignatureTest, IdentifierCaseAndConditionOrderDoNotMatter) {
+  const std::string a = KeyOf(
+      "SELECT * FROM HOMES WHERE Price <= 300000 AND NEIGHBORHOOD = "
+      "'Redmond'");
+  const std::string b = KeyOf(
+      "select * from homes where neighborhood = 'Redmond' and price <= "
+      "300000");
+  EXPECT_EQ(a, b);
+}
+
+TEST(SignatureTest, ProjectionIsSortedLowercasedAndKeyed) {
+  const std::string a = KeyOf("SELECT Price, NEIGHBORHOOD FROM Homes");
+  const std::string b = KeyOf("SELECT neighborhood, price FROM Homes");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, KeyOf("SELECT * FROM Homes"));
+  EXPECT_NE(a, KeyOf("SELECT price FROM Homes"));
+}
+
+TEST(SignatureTest, BucketSnappingMergesNearbyConstants) {
+  SignatureOptions options;
+  options.bucket_widths["price"] = 5000;
+  const std::string a =
+      KeyOf("SELECT * FROM Homes WHERE price <= 201000", options);
+  const std::string b =
+      KeyOf("SELECT * FROM Homes WHERE price <= 204999", options);
+  const std::string c =
+      KeyOf("SELECT * FROM Homes WHERE price <= 206000", options);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+
+  // Without widths the constants stay exact.
+  EXPECT_NE(KeyOf("SELECT * FROM Homes WHERE price <= 201000"),
+            KeyOf("SELECT * FROM Homes WHERE price <= 204999"));
+}
+
+TEST(SignatureTest, RangesSnapOutward) {
+  SignatureOptions options;
+  options.bucket_widths["price"] = 5000;
+  auto canonical = Canonicalize(
+      "SELECT * FROM Homes WHERE price BETWEEN 201000 AND 298000", options);
+  ASSERT_TRUE(canonical.ok());
+  const AttributeCondition* cond = canonical->profile.Find("price");
+  ASSERT_NE(cond, nullptr);
+  ASSERT_TRUE(cond->is_range());
+  // Low floors, high ceils: the canonical query is a superset of the
+  // original, never a subset.
+  EXPECT_DOUBLE_EQ(cond->range.lo, 200000);
+  EXPECT_DOUBLE_EQ(cond->range.hi, 300000);
+  EXPECT_TRUE(cond->range.lo_inclusive);
+  EXPECT_TRUE(cond->range.hi_inclusive);
+}
+
+TEST(SignatureTest, SnappedProfileIsSupersetOfOriginal) {
+  SignatureOptions options;
+  options.bucket_widths["price"] = 5000;
+  const std::string sql =
+      "SELECT * FROM Homes WHERE price BETWEEN 201000 AND 298000";
+  auto query = ParseQuery(sql);
+  ASSERT_TRUE(query.ok());
+  auto original = SelectionProfile::FromQuery(query.value(), HomesSchema());
+  ASSERT_TRUE(original.ok());
+  auto canonical = Canonicalize(sql, options);
+  ASSERT_TRUE(canonical.ok());
+
+  const Schema schema = HomesSchema();
+  for (int64_t price : {201000, 250000, 298000}) {
+    const Row row = {Value("Redmond"), Value(price), Value(3)};
+    ASSERT_TRUE(original->MatchesRow(row, schema));
+    EXPECT_TRUE(canonical->profile.MatchesRow(row, schema));
+  }
+}
+
+TEST(SignatureTest, ValueSetsStayExact) {
+  SignatureOptions options;
+  options.bucket_widths["bedroomcount"] = 2;
+  // Equality is a value set, not a range: never snapped.
+  EXPECT_NE(
+      KeyOf("SELECT * FROM Homes WHERE bedroomcount = 3", options),
+      KeyOf("SELECT * FROM Homes WHERE bedroomcount = 4", options));
+}
+
+TEST(SignatureTest, EscapedStringsDoNotCollide) {
+  EXPECT_NE(
+      KeyOf("SELECT * FROM Homes WHERE neighborhood IN ('a', 'b')"),
+      KeyOf("SELECT * FROM Homes WHERE neighborhood = 'a'',''b'"));
+}
+
+TEST(SignatureTest, UnknownColumnsAreErrors) {
+  EXPECT_FALSE(Canonicalize("SELECT zipcode FROM Homes").ok());
+  EXPECT_FALSE(
+      Canonicalize("SELECT * FROM Homes WHERE zipcode = 12345").ok());
+}
+
+TEST(SignatureTest, NonNormalizableWhereIsNotSupported) {
+  auto canonical = Canonicalize(
+      "SELECT * FROM Homes WHERE price > 100000 OR neighborhood = "
+      "'Redmond'");
+  ASSERT_FALSE(canonical.ok());
+  EXPECT_EQ(canonical.status().code(), StatusCode::kNotSupported);
+}
+
+TEST(SignatureTest, HashMatchesFnv1aReferenceVectors) {
+  // Shard selection must be stable across platforms and std-lib versions;
+  // pin the classic FNV-1a 64 test vectors.
+  EXPECT_EQ(SignatureHash(""), 14695981039346656037ull);
+  EXPECT_EQ(SignatureHash("a"), 0xaf63dc4c8601ec8cull);
+}
+
+TEST(SignatureTest, KeyIsHumanReadable) {
+  auto canonical = Canonicalize(
+      "SELECT * FROM Homes WHERE price BETWEEN 200000 AND 300000 AND "
+      "neighborhood = 'Redmond'");
+  ASSERT_TRUE(canonical.ok());
+  EXPECT_EQ(canonical->key,
+            "t=homes|c=|w=neighborhood{'Redmond'};price[200000,300000]");
+  EXPECT_EQ(canonical->hash, SignatureHash(canonical->key));
+}
+
+}  // namespace
+}  // namespace autocat

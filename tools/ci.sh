@@ -11,16 +11,47 @@
 #   5. clang-tidy over src/ (skipped with a notice when clang-tidy is not
 #      installed; the ctest gate skips the same way via exit code 77)
 #
-# Usage: tools/ci.sh [--fast]
-#   --fast  run only the Release leg (useful as a pre-push smoke test)
+# Usage: tools/ci.sh [--fast|--serve]
+#   --fast   run only the Release leg (useful as a pre-push smoke test)
+#   --serve  run only the serving-layer suite (src/serve/ + histogram)
+#            under ASan and TSan — the targeted gate for cache/admission
+#            concurrency work
 
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 FAST=0
+SERVE=0
 if [[ "${1:-}" == "--fast" ]]; then
   FAST=1
+elif [[ "${1:-}" == "--serve" ]]; then
+  SERVE=1
+fi
+
+# Every serving-layer test suite, plus the histogram the metrics build on.
+SERVE_FILTER='^(ServiceTest|SignatureTest|SignatureCacheTest|CachedCategorizationTest|AdmissionTest|ServiceMetricsTest|HistogramTest)\.'
+
+serve_leg() {
+  local name="$1" dir="$2"
+  shift 2
+  echo "==== [serve/$name] configure ===="
+  cmake -B "$ROOT/$dir" -S "$ROOT" "$@"
+  echo "==== [serve/$name] build ===="
+  cmake --build "$ROOT/$dir" -j "$JOBS" \
+    --target autocat_serve_tests autocat_common_tests
+  echo "==== [serve/$name] ctest ===="
+  (cd "$ROOT/$dir" && ctest --output-on-failure -j "$JOBS" \
+    -R "$SERVE_FILTER")
+}
+
+if [[ "$SERVE" == "1" ]]; then
+  serve_leg asan build-ci-asan \
+    -DCMAKE_BUILD_TYPE=Debug -DAUTOCAT_SANITIZE=address
+  serve_leg tsan build-ci-tsan \
+    -DCMAKE_BUILD_TYPE=Debug -DAUTOCAT_SANITIZE=thread
+  echo "==== serve legs passed ===="
+  exit 0
 fi
 
 run_leg() {

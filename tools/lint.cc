@@ -197,6 +197,33 @@ std::vector<LintIssue> CheckRawThread(const std::string& rel_path,
   return issues;
 }
 
+std::vector<LintIssue> CheckUnorderedContainer(const std::string& rel_path,
+                                               const std::string& content) {
+  std::vector<LintIssue> issues;
+  if (!StartsWith(rel_path, "src/serve/")) {
+    return issues;  // the determinism requirement is the serving layer's
+  }
+  static const std::regex kUnordered(
+      R"(^\s*#\s*include\s*<unordered_(?:map|set)>|std::unordered_(?:multi)?(?:map|set)\b)");
+  const std::vector<std::string> lines = SplitLines(content);
+  bool in_block_comment = false;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string code = StripCommentsAndStrings(lines[i],
+                                                     &in_block_comment);
+    if (IsSuppressed(lines[i], "unordered-container")) {
+      continue;
+    }
+    if (std::regex_search(code, kUnordered)) {
+      issues.push_back(LintIssue{
+          rel_path, i + 1, "unordered-container",
+          "hash-ordered container in src/serve/; cache keys and metrics "
+          "snapshots must be iteration-order deterministic — use std::map "
+          "/ std::set"});
+    }
+  }
+  return issues;
+}
+
 std::set<std::string> CollectStatusFunctions(const std::string& content) {
   std::set<std::string> names;
   // Declarations whose return type opens the line: `Status Foo(`,
@@ -272,6 +299,8 @@ std::vector<LintIssue> LintFileContent(
   issues.insert(issues.end(), banned.begin(), banned.end());
   auto raw_thread = CheckRawThread(rel_path, content);
   issues.insert(issues.end(), raw_thread.begin(), raw_thread.end());
+  auto unordered = CheckUnorderedContainer(rel_path, content);
+  issues.insert(issues.end(), unordered.begin(), unordered.end());
   auto dropped = CheckDroppedStatus(rel_path, content, status_functions);
   issues.insert(issues.end(), dropped.begin(), dropped.end());
   return issues;

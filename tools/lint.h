@@ -49,6 +49,16 @@ std::vector<LintIssue> CheckBannedCalls(const std::string& rel_path,
 std::vector<LintIssue> CheckRawThread(const std::string& rel_path,
                                       const std::string& content);
 
+/// Rule `unordered-container`: `std::unordered_map`, `std::unordered_set`
+/// (and their multi variants), and `#include <unordered_map|set>` may not
+/// appear under src/serve/ — the serving layer's cache keys, metrics JSON,
+/// and response payloads must not depend on hash-iteration order, which
+/// varies across standard libraries and would break the deterministic
+/// snapshot guarantees. Use std::map / std::set. Comment and string
+/// contents are ignored.
+std::vector<LintIssue> CheckUnorderedContainer(const std::string& rel_path,
+                                               const std::string& content);
+
 /// Harvests names of functions declared to return `Status` or
 /// `Result<...>` from a header's `content` (declaration-at-line-start
 /// heuristic), for use with CheckDroppedStatus.
