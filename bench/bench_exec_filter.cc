@@ -1,0 +1,225 @@
+// Columnar execution engine microbenchmark: row-at-a-time filtering vs
+// the vectorized predicate kernels vs the kernels with a threaded
+// chunk-order merge, swept across selectivities {0.1%, 1%, 10%, 90%} of
+// the synthetic ListProperty table (price-quantile range predicates).
+//
+// Flags:
+//   --threads=N   restrict the parallel sweep to one thread count
+//   --smoke       tiny table (4K rows) and a {1, 2} sweep, for running
+//                 under sanitizers in CI (tools/ci.sh --bench-smoke)
+//
+// Startup cross-checks every (selectivity) query on both paths and
+// aborts on any divergence, so the timings below are only ever reported
+// for bit-identical results.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/check.h"
+#include "exec/executor.h"
+#include "simgen/geo.h"
+#include "simgen/homes_generator.h"
+#include "sql/parser.h"
+
+namespace {
+
+using namespace autocat;  // NOLINT
+
+bool& SmokeMode() {
+  static bool smoke = false;
+  return smoke;
+}
+
+bench::ThreadScalingReporter& Reporter() {
+  static auto* reporter = new bench::ThreadScalingReporter();
+  return *reporter;
+}
+
+struct SelectivityCase {
+  std::string label;    // e.g. "sel=1%"
+  SelectQuery query;    // SELECT * FROM ListProperty WHERE price <= X
+  size_t matching = 0;  // rows the predicate keeps (both paths agree)
+};
+
+// The homes table, its database, and one pre-parsed query per target
+// selectivity. Built once, after flag parsing.
+struct FilterFixture {
+  Database db;
+  size_t num_rows = 0;
+  std::vector<SelectivityCase> cases;
+
+  static FilterFixture& Get() {
+    static FilterFixture* fixture = [] {
+      auto* f = new FilterFixture();
+      const Geography geo = Geography::UnitedStates();
+      HomesGeneratorConfig config;
+      config.num_rows = SmokeMode() ? 4000 : 120000;
+      const HomesGenerator generator(&geo, config);
+      auto homes = generator.Generate();
+      AUTOCAT_CHECK(homes.ok());
+      f->num_rows = homes.value().num_rows();
+
+      // Price thresholds at the target quantiles.
+      size_t price_col = homes.value().schema().num_columns();
+      for (size_t c = 0; c < homes.value().schema().num_columns(); ++c) {
+        if (homes.value().schema().column(c).name == "price") {
+          price_col = c;
+        }
+      }
+      AUTOCAT_CHECK(price_col < homes.value().schema().num_columns());
+      std::vector<double> prices;
+      prices.reserve(f->num_rows);
+      for (size_t r = 0; r < f->num_rows; ++r) {
+        prices.push_back(homes.value().ValueAt(r, price_col).AsDouble());
+      }
+      std::sort(prices.begin(), prices.end());
+
+      const struct {
+        const char* label;
+        double quantile;
+      } targets[] = {{"sel=0.1%", 0.001},
+                     {"sel=1%", 0.01},
+                     {"sel=10%", 0.10},
+                     {"sel=90%", 0.90}};
+      AUTOCAT_CHECK(f->db.RegisterTable("ListProperty",
+                                        std::move(homes).value())
+                        .ok());
+      for (const auto& target : targets) {
+        const size_t rank = std::min(
+            prices.size() - 1,
+            static_cast<size_t>(target.quantile *
+                                static_cast<double>(prices.size())));
+        const std::string sql = "SELECT * FROM ListProperty WHERE price <= " +
+                                std::to_string(prices[rank]);
+        auto query = ParseQuery(sql);
+        AUTOCAT_CHECK(query.ok());
+        SelectivityCase c;
+        c.label = target.label;
+        c.query = std::move(query).value();
+        f->cases.push_back(std::move(c));
+      }
+
+      // Equality gate: both paths must agree cell-for-cell before any
+      // timing is trusted.
+      for (SelectivityCase& c : f->cases) {
+        ExecOptions row_opts;
+        row_opts.use_columnar = false;
+        ExecOptions col_opts;
+        auto by_rows = ExecuteQuery(c.query, f->db, row_opts);
+        auto by_cols = ExecuteQuery(c.query, f->db, col_opts);
+        AUTOCAT_CHECK(by_rows.ok() && by_cols.ok());
+        AUTOCAT_CHECK(by_rows.value().num_rows() ==
+                      by_cols.value().num_rows());
+        for (size_t r = 0; r < by_rows.value().num_rows(); ++r) {
+          for (size_t col = 0; col < by_rows.value().schema().num_columns();
+               ++col) {
+            AUTOCAT_CHECK(by_rows.value().ValueAt(r, col) ==
+                          by_cols.value().ValueAt(r, col));
+          }
+        }
+        c.matching = by_rows.value().num_rows();
+      }
+      return f;
+    }();
+    return *fixture;
+  }
+};
+
+// One benchmark body: execute the case's query end to end (filter +
+// materialize) with the given options, reporting ms/op and selectivity.
+void BM_Filter(benchmark::State& state, const std::string& mode,
+               size_t case_index, bool use_columnar, size_t threads) {
+  FilterFixture& fixture = FilterFixture::Get();
+  const SelectivityCase& c = fixture.cases[case_index];
+  ExecOptions options;
+  options.use_columnar = use_columnar;
+  options.parallel.threads = threads;
+  size_t ops = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (auto _ : state) {
+    auto result = ExecuteQuery(c.query, fixture.db, options);
+    AUTOCAT_CHECK(result.ok());
+    benchmark::DoNotOptimize(result.value());
+    ++ops;
+  }
+  const double elapsed_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["rows"] = static_cast<double>(fixture.num_rows);
+  state.counters["selected"] = static_cast<double>(c.matching);
+  state.SetLabel(c.label);
+  if (ops > 0) {
+    Reporter().Record(mode + " " + c.label, threads,
+                      elapsed_ms / static_cast<double>(ops));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<size_t> sweep = {2, 4, 8};
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      sweep.assign(1, static_cast<size_t>(std::stoul(argv[i] + 10)));
+      continue;
+    }
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      SmokeMode() = true;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  if (SmokeMode()) {
+    sweep.assign(1, size_t{2});
+  }
+  int filtered_argc = static_cast<int>(args.size());
+
+  const size_t num_cases = 4;  // mirrors FilterFixture's target table
+  for (size_t i = 0; i < num_cases; ++i) {
+    const std::string suffix = "/case=" + std::to_string(i);
+    benchmark::RegisterBenchmark(
+        ("BM_FilterRow" + suffix).c_str(),
+        [i](benchmark::State& state) {
+          BM_Filter(state, "row", i, false, 1);
+        })
+        ->Unit(benchmark::kMillisecond)
+        ->UseRealTime();
+    benchmark::RegisterBenchmark(
+        ("BM_FilterColumnar" + suffix).c_str(),
+        [i](benchmark::State& state) {
+          BM_Filter(state, "columnar", i, true, 1);
+        })
+        ->Unit(benchmark::kMillisecond)
+        ->UseRealTime();
+    for (const size_t threads : sweep) {
+      benchmark::RegisterBenchmark(
+          ("BM_FilterColumnarParallel" + suffix + "/threads=" +
+           std::to_string(threads))
+              .c_str(),
+          [i, threads](benchmark::State& state) {
+            BM_Filter(state, "columnar", i, true, threads);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->UseRealTime();
+    }
+  }
+
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  Reporter().Print();
+  return 0;
+}

@@ -23,6 +23,14 @@ namespace {
 
 using namespace autocat;  // NOLINT
 
+// --smoke: tiny environment (2K homes / 500 workload queries) and a
+// {1, 2} thread sweep, for sanitizer runs in CI (tools/ci.sh
+// --bench-smoke).
+bool& SmokeMode() {
+  static bool smoke = false;
+  return smoke;
+}
+
 bench::ThreadScalingReporter& Reporter() {
   static auto* reporter = new bench::ThreadScalingReporter();
   return *reporter;
@@ -51,6 +59,10 @@ struct ServeFixture {
     static ServeFixture* fixture = [] {
       auto* f = new ServeFixture();
       f->config = bench::FullScaleConfig();
+      if (SmokeMode()) {
+        f->config.num_homes = 2000;
+        f->config.num_workload_queries = 500;
+      }
       auto env = StudyEnvironment::Create(f->config);
       AUTOCAT_CHECK(env.ok());
       f->env = std::make_unique<StudyEnvironment>(std::move(env).value());
@@ -195,7 +207,14 @@ int main(int argc, char** argv) {
       sweep.assign(1, static_cast<size_t>(std::stoul(argv[i] + 10)));
       continue;
     }
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      SmokeMode() = true;
+      continue;
+    }
     args.push_back(argv[i]);
+  }
+  if (SmokeMode()) {
+    sweep = {1, 2};
   }
   int filtered_argc = static_cast<int>(args.size());
 

@@ -33,9 +33,11 @@
 #include "core/probability.h" // IWYU pragma: export
 #include "core/ranking.h"     // IWYU pragma: export
 #include "exec/executor.h"    // IWYU pragma: export
+#include "exec/kernels.h"     // IWYU pragma: export
 #include "serve/service.h"    // IWYU pragma: export
 #include "sql/parser.h"       // IWYU pragma: export
 #include "sql/selection.h"    // IWYU pragma: export
+#include "storage/columnar.h" // IWYU pragma: export
 #include "storage/csv.h"      // IWYU pragma: export
 #include "storage/schema.h"   // IWYU pragma: export
 #include "storage/table.h"    // IWYU pragma: export

@@ -234,6 +234,35 @@ PartitionFn MakeCostBasedPartition(const Table& result,
   };
 }
 
+// Columnar flavor of the cost-based dispatch: identical decisions, with
+// the partitioners reading through the view's dictionary codes / typed
+// arrays instead of result cells.
+PartitionFn MakeCostBasedPartition(const TableView& view,
+                                   const WorkloadStats* stats,
+                                   const CategorizerOptions& options,
+                                   const SelectionProfile* query) {
+  return [&view, stats, &options, query](
+             const std::vector<size_t>& tuples,
+             const std::string& attribute)
+             -> Result<std::vector<PartitionCategory>> {
+    AUTOCAT_ASSIGN_OR_RETURN(const size_t col,
+                             view.schema().ColumnIndex(attribute));
+    if (view.schema().column(col).kind == ColumnKind::kCategorical) {
+      return PartitionCategorical(view, tuples, attribute, *stats);
+    }
+    NumericPartitionOptions numeric_options;
+    numeric_options.num_buckets = options.num_buckets;
+    numeric_options.max_tuples_per_category =
+        options.max_tuples_per_category;
+    numeric_options.max_buckets = options.max_buckets;
+    numeric_options.min_bucket_tuples = options.min_bucket_tuples;
+    numeric_options.auto_buckets = options.auto_numeric_buckets;
+    numeric_options.goodness_fraction = options.goodness_fraction;
+    return PartitionNumeric(view, tuples, attribute, *stats,
+                            numeric_options, QueryRangeFor(query, attribute));
+  };
+}
+
 // Baseline partitioning dispatch (Section 6.1): arbitrary-order
 // single-value categories and equi-width buckets.
 PartitionFn MakeBaselinePartition(const Table& result,
@@ -283,6 +312,34 @@ Result<CategoryTree> CostBasedCategorizer::Categorize(
       result, RetainedAttributes(result.schema()), model,
       /*cost_based_choice=*/true,
       MakeCostBasedPartition(result, stats_, options_, query),
+      options_.max_tuples_per_category, options_.max_levels,
+      &options_.parallel);
+}
+
+Result<CategoryTree> CostBasedCategorizer::Categorize(
+    const TableView& view, const Table& result,
+    const SelectionProfile* query) const {
+  // The tree's tuple indices are rows of `result`; the partitioners read
+  // the same rows through `view`, so the two must describe one relation.
+  if (view.num_rows() != result.num_rows() ||
+      view.num_columns() != result.num_columns()) {
+    return Status::InvalidArgument(
+        "view shape does not match the result table");
+  }
+  for (size_t c = 0; c < result.num_columns(); ++c) {
+    if (view.schema().column(c).name != result.schema().column(c).name ||
+        view.schema().column(c).type != result.schema().column(c).type ||
+        view.schema().column(c).kind != result.schema().column(c).kind) {
+      return Status::InvalidArgument(
+          "view schema does not match the result table");
+    }
+  }
+  ProbabilityEstimator estimator(stats_, &result.schema());
+  CostModel model(&estimator, options_.cost_params);
+  return BuildLevelByLevel(
+      result, RetainedAttributes(result.schema()), model,
+      /*cost_based_choice=*/true,
+      MakeCostBasedPartition(view, stats_, options_, query),
       options_.max_tuples_per_category, options_.max_levels,
       &options_.parallel);
 }

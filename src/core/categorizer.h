@@ -76,6 +76,19 @@ class Categorizer {
   virtual Result<CategoryTree> Categorize(
       const Table& result, const SelectionProfile* query) const = 0;
 
+  /// View-aware overload for the columnar serving path: `view` describes
+  /// the same rows as `result` (view row i == result row i; `result` is
+  /// the view materialized and owns the tuples the tree references).
+  /// Techniques that can read through the view override this to partition
+  /// on dictionary codes / typed arrays; the default ignores the view and
+  /// builds from `result`. Either way the tree is identical.
+  virtual Result<CategoryTree> Categorize(
+      const TableView& view, const Table& result,
+      const SelectionProfile* query) const {
+    (void)view;
+    return Categorize(result, query);
+  }
+
   /// Display name ("Cost-based", "Attr-cost", "No cost").
   virtual std::string name() const = 0;
 };
@@ -93,6 +106,14 @@ class CostBasedCategorizer final : public Categorizer {
 
   Result<CategoryTree> Categorize(
       const Table& result, const SelectionProfile* query) const override;
+
+  /// Columnar construction: the same level-by-level algorithm with the
+  /// partitioners reading dictionary codes / typed arrays through `view`.
+  /// Errors InvalidArgument when `view` and `result` disagree on shape.
+  Result<CategoryTree> Categorize(
+      const TableView& view, const Table& result,
+      const SelectionProfile* query) const override;
+
   std::string name() const override { return "Cost-based"; }
 
   /// The candidate attributes surviving elimination for `schema`
@@ -114,6 +135,7 @@ class AttrCostCategorizer final : public Categorizer {
   AttrCostCategorizer(const WorkloadStats* stats, CategorizerOptions options)
       : stats_(stats), options_(std::move(options)) {}
 
+  using Categorizer::Categorize;  // keep the view overload reachable
   Result<CategoryTree> Categorize(
       const Table& result, const SelectionProfile* query) const override;
   std::string name() const override { return "Attr-cost"; }
@@ -132,6 +154,7 @@ class NoCostCategorizer final : public Categorizer {
   NoCostCategorizer(const WorkloadStats* stats, CategorizerOptions options)
       : stats_(stats), options_(std::move(options)) {}
 
+  using Categorizer::Categorize;  // keep the view overload reachable
   Result<CategoryTree> Categorize(
       const Table& result, const SelectionProfile* query) const override;
   std::string name() const override { return "No cost"; }

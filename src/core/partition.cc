@@ -104,13 +104,17 @@ Result<size_t> AttributeColumn(const Table& result,
   return result.schema().ColumnIndex(attribute);
 }
 
-}  // namespace
+Result<size_t> AttributeColumn(const TableView& view,
+                               const std::string& attribute) {
+  return view.schema().ColumnIndex(attribute);
+}
 
-Result<std::vector<PartitionCategory>> PartitionCategorical(
-    const Table& result, const std::vector<size_t>& tuples,
-    const std::string& attribute, const WorkloadStats& stats) {
-  AUTOCAT_ASSIGN_OR_RETURN(const size_t col,
-                           AttributeColumn(result, attribute));
+// Distinct-value groups over `tuples` in ascending value order, NULL cells
+// dropped — the shape both categorical partitioners consume.
+using ValueGroups = std::vector<std::pair<Value, std::vector<size_t>>>;
+
+ValueGroups GroupsOf(const Table& result, const std::vector<size_t>& tuples,
+                     size_t col) {
   std::map<Value, std::vector<size_t>> groups;
   for (size_t idx : tuples) {
     const Value& v = result.ValueAt(idx, col);
@@ -118,6 +122,64 @@ Result<std::vector<PartitionCategory>> PartitionCategorical(
       groups[v].push_back(idx);
     }
   }
+  ValueGroups out;
+  out.reserve(groups.size());
+  for (auto& [value, group] : groups) {
+    out.emplace_back(value, std::move(group));
+  }
+  return out;
+}
+
+// View flavor: a dictionary-encoded string column groups by code — the
+// dictionary is sorted, so ascending code order *is* ascending value
+// order and the map walk above is reproduced without Value comparisons.
+ValueGroups GroupsOf(const TableView& view, const std::vector<size_t>& tuples,
+                     size_t col) {
+  const ColumnarTable::Column* cc =
+      view.columnar() == nullptr
+          ? nullptr
+          : &view.columnar()->column(view.base_column(col));
+  if (cc != nullptr && cc->regular && cc->type == ValueType::kString) {
+    std::vector<std::vector<size_t>> buckets(cc->dict.size());
+    std::vector<uint32_t> touched;
+    for (size_t idx : tuples) {
+      const uint32_t row = view.base_row(idx);
+      if (cc->IsNull(row)) {
+        continue;
+      }
+      const uint32_t code = cc->codes[row];
+      if (buckets[code].empty()) {
+        touched.push_back(code);
+      }
+      buckets[code].push_back(idx);
+    }
+    std::sort(touched.begin(), touched.end());
+    ValueGroups out;
+    out.reserve(touched.size());
+    for (uint32_t code : touched) {
+      out.emplace_back(Value(cc->dict[code]), std::move(buckets[code]));
+    }
+    return out;
+  }
+  std::map<Value, std::vector<size_t>> groups;
+  for (size_t idx : tuples) {
+    const Value& v = view.ValueAt(idx, col);
+    if (!v.is_null()) {
+      groups[v].push_back(idx);
+    }
+  }
+  ValueGroups out;
+  out.reserve(groups.size());
+  for (auto& [value, group] : groups) {
+    out.emplace_back(value, std::move(group));
+  }
+  return out;
+}
+
+// Section 5.1.2 presentation order over pre-grouped values.
+std::vector<PartitionCategory> CostCategoricalFromGroups(
+    const std::string& attribute, const WorkloadStats& stats,
+    ValueGroups groups) {
   struct Entry {
     Value value;
     size_t occ;
@@ -126,11 +188,10 @@ Result<std::vector<PartitionCategory>> PartitionCategorical(
   std::vector<Entry> entries;
   entries.reserve(groups.size());
   for (auto& [value, group] : groups) {
-    entries.push_back(
-        Entry{value, stats.OccurrenceCount(attribute, value),
-              std::move(group)});
+    entries.push_back(Entry{value, stats.OccurrenceCount(attribute, value),
+                            std::move(group)});
   }
-  // Decreasing occurrence count; map order (ascending value) breaks ties.
+  // Decreasing occurrence count; group order (ascending value) breaks ties.
   std::stable_sort(entries.begin(), entries.end(),
                    [](const Entry& a, const Entry& b) {
                      return a.occ > b.occ;
@@ -144,6 +205,42 @@ Result<std::vector<PartitionCategory>> PartitionCategorical(
   }
   AUTOCAT_DCHECK(ValidateCategoricalPartition(out).ok());
   return out;
+}
+
+// Section 6.1 'No cost' order over pre-grouped values.
+std::vector<PartitionCategory> ArbitraryCategoricalFromGroups(
+    const std::string& attribute, Random* rng, ValueGroups groups) {
+  std::vector<PartitionCategory> out;
+  out.reserve(groups.size());
+  for (auto& [value, group] : groups) {
+    out.push_back(PartitionCategory{
+        CategoryLabel::Categorical(attribute, {value}), std::move(group)});
+  }
+  if (rng != nullptr) {
+    rng->Shuffle(out);
+  }
+  AUTOCAT_DCHECK(ValidateCategoricalPartition(out).ok());
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<PartitionCategory>> PartitionCategorical(
+    const Table& result, const std::vector<size_t>& tuples,
+    const std::string& attribute, const WorkloadStats& stats) {
+  AUTOCAT_ASSIGN_OR_RETURN(const size_t col,
+                           AttributeColumn(result, attribute));
+  return CostCategoricalFromGroups(attribute, stats,
+                                   GroupsOf(result, tuples, col));
+}
+
+Result<std::vector<PartitionCategory>> PartitionCategorical(
+    const TableView& view, const std::vector<size_t>& tuples,
+    const std::string& attribute, const WorkloadStats& stats) {
+  AUTOCAT_ASSIGN_OR_RETURN(const size_t col,
+                           AttributeColumn(view, attribute));
+  return CostCategoricalFromGroups(attribute, stats,
+                                   GroupsOf(view, tuples, col));
 }
 
 namespace {
@@ -209,6 +306,49 @@ Result<std::vector<std::pair<double, size_t>>> SortedNumericValues(
   return values;
 }
 
+// View flavor: reads the typed arrays (and the null bitmap) directly when
+// the column has a regular columnar shadow; falls back to the generic
+// cell walk otherwise. Extracted doubles are identical to AsDouble().
+Result<std::vector<std::pair<double, size_t>>> SortedNumericValues(
+    const TableView& view, const std::vector<size_t>& tuples, size_t col,
+    const std::string& attribute) {
+  if (view.schema().column(col).kind != ColumnKind::kNumeric) {
+    return Status::InvalidArgument("attribute '" + attribute +
+                                   "' is not numeric");
+  }
+  std::vector<std::pair<double, size_t>> values;
+  values.reserve(tuples.size());
+  const ColumnarTable::Column* cc =
+      view.columnar() == nullptr
+          ? nullptr
+          : &view.columnar()->column(view.base_column(col));
+  if (cc != nullptr && cc->regular && cc->type == ValueType::kInt64) {
+    for (size_t idx : tuples) {
+      const uint32_t row = view.base_row(idx);
+      if (!cc->IsNull(row)) {
+        values.emplace_back(static_cast<double>(cc->i64[row]), idx);
+      }
+    }
+  } else if (cc != nullptr && cc->regular &&
+             cc->type == ValueType::kDouble) {
+    for (size_t idx : tuples) {
+      const uint32_t row = view.base_row(idx);
+      if (!cc->IsNull(row)) {
+        values.emplace_back(cc->f64[row], idx);
+      }
+    }
+  } else {
+    for (size_t idx : tuples) {
+      const Value& v = view.ValueAt(idx, col);
+      if (!v.is_null()) {
+        values.emplace_back(v.AsDouble(), idx);
+      }
+    }
+  }
+  std::sort(values.begin(), values.end());
+  return values;
+}
+
 // Resolves [vmin, vmax] from the query's condition when it bounds that
 // side, otherwise from the data.
 void ResolveRange(const std::vector<std::pair<double, size_t>>& values,
@@ -249,17 +389,12 @@ size_t CountInRange(const std::vector<std::pair<double, size_t>>& values,
   return static_cast<size_t>(end - begin);
 }
 
-}  // namespace
-
-Result<std::vector<PartitionCategory>> PartitionNumeric(
-    const Table& result, const std::vector<size_t>& tuples,
+// Section 5.1.3 over pre-sorted (value, index) pairs; shared by the Table
+// and TableView overloads.
+std::vector<PartitionCategory> PartitionNumericCore(
     const std::string& attribute, const WorkloadStats& stats,
-    const NumericPartitionOptions& options,
-    const NumericRange* query_range) {
-  AUTOCAT_ASSIGN_OR_RETURN(const size_t col,
-                           AttributeColumn(result, attribute));
-  AUTOCAT_ASSIGN_OR_RETURN(
-      const auto values, SortedNumericValues(result, tuples, col, attribute));
+    const NumericPartitionOptions& options, const NumericRange* query_range,
+    const std::vector<std::pair<double, size_t>>& values) {
   if (values.empty()) {
     return std::vector<PartitionCategory>{};
   }
@@ -356,42 +491,11 @@ Result<std::vector<PartitionCategory>> PartitionNumeric(
   return out;
 }
 
-Result<std::vector<PartitionCategory>> PartitionCategoricalArbitrary(
-    const Table& result, const std::vector<size_t>& tuples,
-    const std::string& attribute, Random* rng) {
-  AUTOCAT_ASSIGN_OR_RETURN(const size_t col,
-                           AttributeColumn(result, attribute));
-  std::map<Value, std::vector<size_t>> groups;
-  for (size_t idx : tuples) {
-    const Value& v = result.ValueAt(idx, col);
-    if (!v.is_null()) {
-      groups[v].push_back(idx);
-    }
-  }
-  std::vector<PartitionCategory> out;
-  out.reserve(groups.size());
-  for (auto& [value, group] : groups) {
-    out.push_back(PartitionCategory{
-        CategoryLabel::Categorical(attribute, {value}), std::move(group)});
-  }
-  if (rng != nullptr) {
-    rng->Shuffle(out);
-  }
-  AUTOCAT_DCHECK(ValidateCategoricalPartition(out).ok());
-  return out;
-}
-
-Result<std::vector<PartitionCategory>> PartitionNumericEquiWidth(
-    const Table& result, const std::vector<size_t>& tuples,
+// Section 6.1 equi-width buckets over pre-sorted (value, index) pairs.
+std::vector<PartitionCategory> EquiWidthCore(
     const std::string& attribute, double width,
-    const NumericRange* query_range) {
-  if (width <= 0) {
-    return Status::InvalidArgument("bucket width must be positive");
-  }
-  AUTOCAT_ASSIGN_OR_RETURN(const size_t col,
-                           AttributeColumn(result, attribute));
-  AUTOCAT_ASSIGN_OR_RETURN(
-      const auto values, SortedNumericValues(result, tuples, col, attribute));
+    const NumericRange* query_range,
+    const std::vector<std::pair<double, size_t>>& values) {
   if (values.empty()) {
     return std::vector<PartitionCategory>{};
   }
@@ -413,6 +517,80 @@ Result<std::vector<PartitionCategory>> PartitionNumericEquiWidth(
       MaterializeBuckets(attribute, values, boundaries);
   AUTOCAT_DCHECK(ValidateNumericPartition(out).ok());
   return out;
+}
+
+}  // namespace
+
+Result<std::vector<PartitionCategory>> PartitionNumeric(
+    const Table& result, const std::vector<size_t>& tuples,
+    const std::string& attribute, const WorkloadStats& stats,
+    const NumericPartitionOptions& options,
+    const NumericRange* query_range) {
+  AUTOCAT_ASSIGN_OR_RETURN(const size_t col,
+                           AttributeColumn(result, attribute));
+  AUTOCAT_ASSIGN_OR_RETURN(
+      const auto values, SortedNumericValues(result, tuples, col, attribute));
+  return PartitionNumericCore(attribute, stats, options, query_range,
+                              values);
+}
+
+Result<std::vector<PartitionCategory>> PartitionNumeric(
+    const TableView& view, const std::vector<size_t>& tuples,
+    const std::string& attribute, const WorkloadStats& stats,
+    const NumericPartitionOptions& options,
+    const NumericRange* query_range) {
+  AUTOCAT_ASSIGN_OR_RETURN(const size_t col,
+                           AttributeColumn(view, attribute));
+  AUTOCAT_ASSIGN_OR_RETURN(
+      const auto values, SortedNumericValues(view, tuples, col, attribute));
+  return PartitionNumericCore(attribute, stats, options, query_range,
+                              values);
+}
+
+Result<std::vector<PartitionCategory>> PartitionCategoricalArbitrary(
+    const Table& result, const std::vector<size_t>& tuples,
+    const std::string& attribute, Random* rng) {
+  AUTOCAT_ASSIGN_OR_RETURN(const size_t col,
+                           AttributeColumn(result, attribute));
+  return ArbitraryCategoricalFromGroups(attribute, rng,
+                                        GroupsOf(result, tuples, col));
+}
+
+Result<std::vector<PartitionCategory>> PartitionCategoricalArbitrary(
+    const TableView& view, const std::vector<size_t>& tuples,
+    const std::string& attribute, Random* rng) {
+  AUTOCAT_ASSIGN_OR_RETURN(const size_t col,
+                           AttributeColumn(view, attribute));
+  return ArbitraryCategoricalFromGroups(attribute, rng,
+                                        GroupsOf(view, tuples, col));
+}
+
+Result<std::vector<PartitionCategory>> PartitionNumericEquiWidth(
+    const Table& result, const std::vector<size_t>& tuples,
+    const std::string& attribute, double width,
+    const NumericRange* query_range) {
+  if (width <= 0) {
+    return Status::InvalidArgument("bucket width must be positive");
+  }
+  AUTOCAT_ASSIGN_OR_RETURN(const size_t col,
+                           AttributeColumn(result, attribute));
+  AUTOCAT_ASSIGN_OR_RETURN(
+      const auto values, SortedNumericValues(result, tuples, col, attribute));
+  return EquiWidthCore(attribute, width, query_range, values);
+}
+
+Result<std::vector<PartitionCategory>> PartitionNumericEquiWidth(
+    const TableView& view, const std::vector<size_t>& tuples,
+    const std::string& attribute, double width,
+    const NumericRange* query_range) {
+  if (width <= 0) {
+    return Status::InvalidArgument("bucket width must be positive");
+  }
+  AUTOCAT_ASSIGN_OR_RETURN(const size_t col,
+                           AttributeColumn(view, attribute));
+  AUTOCAT_ASSIGN_OR_RETURN(
+      const auto values, SortedNumericValues(view, tuples, col, attribute));
+  return EquiWidthCore(attribute, width, query_range, values);
 }
 
 }  // namespace autocat

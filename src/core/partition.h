@@ -7,6 +7,7 @@
 #include "common/random.h"
 #include "common/result.h"
 #include "core/category.h"
+#include "storage/columnar.h"
 #include "workload/counts.h"
 
 namespace autocat {
@@ -48,6 +49,15 @@ Result<std::vector<PartitionCategory>> PartitionCategorical(
     const Table& result, const std::vector<size_t>& tuples,
     const std::string& attribute, const WorkloadStats& stats);
 
+/// TableView overload. `tuples` index view rows (== rows of the
+/// materialized result, so the output is interchangeable with the Table
+/// overload's). Dictionary-encoded string columns group by code instead of
+/// by `Value` comparisons; dictionary order is value order, so the
+/// partitioning is bit-identical.
+Result<std::vector<PartitionCategory>> PartitionCategorical(
+    const TableView& view, const std::vector<size_t>& tuples,
+    const std::string& attribute, const WorkloadStats& stats);
+
 /// Cost-based numeric partitioning (Section 5.1.3): picks the top
 /// necessary split points by goodness score SUM(start_v, end_v) from the
 /// workload's SplitPoints store, producing buckets in ascending value
@@ -59,6 +69,12 @@ Result<std::vector<PartitionCategory>> PartitionNumeric(
     const std::string& attribute, const WorkloadStats& stats,
     const NumericPartitionOptions& options, const NumericRange* query_range);
 
+/// TableView overload (typed-array value extraction, identical output).
+Result<std::vector<PartitionCategory>> PartitionNumeric(
+    const TableView& view, const std::vector<size_t>& tuples,
+    const std::string& attribute, const WorkloadStats& stats,
+    const NumericPartitionOptions& options, const NumericRange* query_range);
+
 /// Baseline categorical partitioning (Section 6.1, 'No cost'):
 /// single-value categories in arbitrary order — value order, shuffled when
 /// `rng` is provided.
@@ -66,10 +82,21 @@ Result<std::vector<PartitionCategory>> PartitionCategoricalArbitrary(
     const Table& result, const std::vector<size_t>& tuples,
     const std::string& attribute, Random* rng);
 
+/// TableView overload (identical output, including the shuffle order).
+Result<std::vector<PartitionCategory>> PartitionCategoricalArbitrary(
+    const TableView& view, const std::vector<size_t>& tuples,
+    const std::string& attribute, Random* rng);
+
 /// Baseline numeric partitioning (Section 6.1): equi-width buckets of the
 /// given width aligned to multiples of the width, empty buckets removed.
 Result<std::vector<PartitionCategory>> PartitionNumericEquiWidth(
     const Table& result, const std::vector<size_t>& tuples,
+    const std::string& attribute, double width,
+    const NumericRange* query_range);
+
+/// TableView overload (typed-array value extraction, identical output).
+Result<std::vector<PartitionCategory>> PartitionNumericEquiWidth(
+    const TableView& view, const std::vector<size_t>& tuples,
     const std::string& attribute, double width,
     const NumericRange* query_range);
 

@@ -1,12 +1,40 @@
 #include "exec/executor.h"
 
+#include <cstdint>
+#include <limits>
 #include <numeric>
+#include <utility>
+#include <vector>
 
 #include "common/string_util.h"
+#include "exec/kernels.h"
 #include "exec/predicate.h"
 #include "sql/parser.h"
 
 namespace autocat {
+
+Database::Database(const Database& other) : tables_(other.tables_) {}
+
+Database& Database::operator=(const Database& other) {
+  if (this != &other) {
+    tables_ = other.tables_;
+    const std::lock_guard<std::mutex> lock(columnar_mu_);
+    columnar_.clear();
+  }
+  return *this;
+}
+
+Database::Database(Database&& other) noexcept
+    : tables_(std::move(other.tables_)) {}
+
+Database& Database::operator=(Database&& other) noexcept {
+  if (this != &other) {
+    tables_ = std::move(other.tables_);
+    const std::lock_guard<std::mutex> lock(columnar_mu_);
+    columnar_.clear();
+  }
+  return *this;
+}
 
 Status Database::RegisterTable(std::string_view name, Table table) {
   const std::string key = ToLower(name);
@@ -19,7 +47,10 @@ Status Database::RegisterTable(std::string_view name, Table table) {
 }
 
 void Database::PutTable(std::string_view name, Table table) {
-  tables_[ToLower(name)] = std::move(table);
+  const std::string key = ToLower(name);
+  tables_[key] = std::move(table);
+  const std::lock_guard<std::mutex> lock(columnar_mu_);
+  columnar_.erase(key);
 }
 
 Result<const Table*> Database::GetTable(std::string_view name) const {
@@ -28,6 +59,32 @@ Result<const Table*> Database::GetTable(std::string_view name) const {
     return Status::NotFound("no table named '" + std::string(name) + "'");
   }
   return &it->second;
+}
+
+Result<std::shared_ptr<const ColumnarTable>> Database::ColumnarFor(
+    std::string_view name) const {
+  const std::string key = ToLower(name);
+  const auto it = tables_.find(key);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named '" + std::string(name) + "'");
+  }
+  if (it->second.num_rows() > std::numeric_limits<uint32_t>::max()) {
+    return Status::NotSupported("table '" + std::string(name) +
+                                "' too large for a columnar shadow");
+  }
+  {
+    const std::lock_guard<std::mutex> lock(columnar_mu_);
+    const auto cached = columnar_.find(key);
+    if (cached != columnar_.end()) {
+      return cached->second;
+    }
+  }
+  // Build outside the lock; if two threads race here the second insert is
+  // a no-op and both return an equivalent shadow.
+  auto shadow =
+      std::make_shared<const ColumnarTable>(ColumnarTable::Build(it->second));
+  const std::lock_guard<std::mutex> lock(columnar_mu_);
+  return columnar_.emplace(key, std::move(shadow)).first->second;
 }
 
 bool Database::HasTable(std::string_view name) const {
@@ -53,8 +110,47 @@ Result<std::vector<size_t>> FilterTable(const Table& table,
   return indices;
 }
 
-Result<Table> ExecuteQuery(const SelectQuery& query, const Database& db) {
+namespace {
+
+// Columnar execution of `query` over `table`. Returns kNotSupported when
+// the WHERE clause is not covered by the kernels (or the shadow cannot be
+// built); any other error is final and matches the row path's error.
+Result<Table> ExecuteQueryColumnar(const SelectQuery& query,
+                                   const Database& db, const Table& table,
+                                   const ExecOptions& options) {
+  AUTOCAT_ASSIGN_OR_RETURN(std::shared_ptr<const ColumnarTable> columnar,
+                           db.ColumnarFor(query.table_name));
+  std::vector<uint32_t> rows;
+  if (query.where == nullptr) {
+    rows.resize(table.num_rows());
+    std::iota(rows.begin(), rows.end(), uint32_t{0});
+  } else {
+    AUTOCAT_ASSIGN_OR_RETURN(
+        const CompiledPredicate pred,
+        CompiledPredicate::Compile(*query.where, table.schema(), columnar));
+    AUTOCAT_ASSIGN_OR_RETURN(rows, pred.Filter(options.parallel));
+  }
+  static const std::vector<std::string> kAllColumns;
+  AUTOCAT_ASSIGN_OR_RETURN(
+      const TableView view,
+      TableView::Create(table, std::move(columnar), std::move(rows),
+                        query.select_all() ? kAllColumns : query.columns));
+  return view.Materialize();
+}
+
+}  // namespace
+
+Result<Table> ExecuteQuery(const SelectQuery& query, const Database& db,
+                           const ExecOptions& options) {
   AUTOCAT_ASSIGN_OR_RETURN(const Table* table, db.GetTable(query.table_name));
+  if (options.use_columnar) {
+    Result<Table> columnar = ExecuteQueryColumnar(query, db, *table, options);
+    if (columnar.ok() ||
+        columnar.status().code() != StatusCode::kNotSupported) {
+      return columnar;
+    }
+    // Compilation refused: fall back to the exact row-at-a-time path.
+  }
   AUTOCAT_ASSIGN_OR_RETURN(const std::vector<size_t> indices,
                            FilterTable(*table, query.where.get()));
   AUTOCAT_ASSIGN_OR_RETURN(Table selected, table->SelectRows(indices));
@@ -64,9 +160,18 @@ Result<Table> ExecuteQuery(const SelectQuery& query, const Database& db) {
   return selected.Project(query.columns);
 }
 
-Result<Table> ExecuteSql(std::string_view sql, const Database& db) {
+Result<Table> ExecuteQuery(const SelectQuery& query, const Database& db) {
+  return ExecuteQuery(query, db, ExecOptions());
+}
+
+Result<Table> ExecuteSql(std::string_view sql, const Database& db,
+                         const ExecOptions& options) {
   AUTOCAT_ASSIGN_OR_RETURN(const SelectQuery query, ParseQuery(sql));
-  return ExecuteQuery(query, db);
+  return ExecuteQuery(query, db, options);
+}
+
+Result<Table> ExecuteSql(std::string_view sql, const Database& db) {
+  return ExecuteSql(sql, db, ExecOptions());
 }
 
 }  // namespace autocat

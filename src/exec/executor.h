@@ -2,11 +2,15 @@
 #define AUTOCAT_EXEC_EXECUTOR_H_
 
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "sql/ast.h"
+#include "storage/columnar.h"
 #include "storage/table.h"
 
 namespace autocat {
@@ -16,13 +20,22 @@ class Database {
  public:
   Database() = default;
 
+  // Copy/move transfer only the row-store tables; columnar shadows are
+  // dropped and rebuilt lazily on first use. (As with the rest of the
+  // class, copying or moving a Database that another thread is mutating
+  // requires external synchronization.)
+  Database(const Database& other);
+  Database& operator=(const Database& other);
+  Database(Database&& other) noexcept;
+  Database& operator=(Database&& other) noexcept;
+
   /// Registers `table` under `name` (case-insensitive). Errors when a table
   /// with that name already exists.
   Status RegisterTable(std::string_view name, Table table);
 
   /// Replaces or creates the table under `name`. Replacement happens in
   /// place: the `Table` object keeps its address (see GetTable), only its
-  /// contents change.
+  /// contents change. Invalidates the table's columnar shadow.
   void PutTable(std::string_view name, Table table);
 
   /// Looks up a table by name.
@@ -36,19 +49,58 @@ class Database {
   /// synchronization — the contract is about the address, not the data.
   Result<const Table*> GetTable(std::string_view name) const;
 
+  /// Returns the table's columnar shadow (see storage/columnar.h),
+  /// building and caching it on first use. The shared_ptr keeps the shadow
+  /// alive across a concurrent PutTable, which only drops the cache entry.
+  /// Errors: kNotFound for an unknown table; kNotSupported when the table
+  /// has more rows than a uint32_t selection vector can address (callers
+  /// fall back to the row path).
+  ///
+  /// Thread-safe against concurrent ColumnarFor/PutTable on *other*
+  /// threads only under the same external synchronization GetTable
+  /// requires for the row data itself.
+  Result<std::shared_ptr<const ColumnarTable>> ColumnarFor(
+      std::string_view name) const;
+
   bool HasTable(std::string_view name) const;
   size_t num_tables() const { return tables_.size(); }
 
  private:
   std::map<std::string, Table> tables_;  // keyed by lowercase name
+
+  // Lazily built columnar shadows, keyed like tables_. Guarded by
+  // columnar_mu_ so read-only callers (ColumnarFor is const) can share a
+  // cache without racing on the map itself.
+  mutable std::mutex columnar_mu_;
+  mutable std::map<std::string, std::shared_ptr<const ColumnarTable>>
+      columnar_;
+};
+
+/// Knobs for ExecuteQuery/ExecuteSql. Defaults favor the serving layer:
+/// columnar kernels on, single-threaded filter.
+struct ExecOptions {
+  ExecOptions() { parallel.threads = 1; }
+
+  /// Try the columnar path first (vectorized kernels + zero-copy view);
+  /// fall back to the row path whenever compilation refuses. Results are
+  /// bit-identical either way.
+  bool use_columnar = true;
+
+  /// Threading for the columnar filter (chunk-order merge keeps the
+  /// result deterministic at any thread count).
+  ParallelOptions parallel;
 };
 
 /// Executes a parsed selection/projection query against `db`: scans the
 /// FROM table, keeps rows matching the WHERE clause, then projects the
 /// select list. Returns the result relation.
+Result<Table> ExecuteQuery(const SelectQuery& query, const Database& db,
+                           const ExecOptions& options);
 Result<Table> ExecuteQuery(const SelectQuery& query, const Database& db);
 
 /// Parses and executes an SQL string.
+Result<Table> ExecuteSql(std::string_view sql, const Database& db,
+                         const ExecOptions& options);
 Result<Table> ExecuteSql(std::string_view sql, const Database& db);
 
 /// Returns the indices of the rows of `table` matched by `where`

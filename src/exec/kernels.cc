@@ -1,0 +1,808 @@
+#include "exec/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <utility>
+
+namespace autocat {
+
+namespace {
+
+using Node = CompiledPredicate::Node;
+using Column = ColumnarTable::Column;
+
+Node ConstNode(bool value) {
+  Node node;
+  node.kind = value ? Node::Kind::kConstTrue : Node::Kind::kConstFalse;
+  return node;
+}
+
+Node LeafNode(std::function<void(size_t, size_t, uint8_t*)> fn) {
+  Node node;
+  node.kind = Node::Kind::kLeaf;
+  node.leaf = std::move(fn);
+  return node;
+}
+
+Status NotCovered(const std::string& what) {
+  return Status::NotSupported("predicate not covered by columnar kernels: " +
+                              what);
+}
+
+// Comparison class of Value::Compare: numerics are one class, strings
+// another (NULL literals are handled before classification).
+int ClassOf(const Value& v) { return v.is_numeric() ? 1 : 2; }
+
+int ClassOfColumn(ValueType type) {
+  switch (type) {
+    case ValueType::kInt64:
+    case ValueType::kDouble:
+      return 1;
+    case ValueType::kString:
+      return 2;
+    case ValueType::kNull:
+      return 0;
+  }
+  return 0;
+}
+
+// Encodes a comparison op as a truth table over the three-way result
+// c in {-1, 0, 1}: bit (c + 1) set <=> the op accepts c. The three-way
+// compare in every kernel is Cmp3 below, which matches Value::Compare
+// exactly: NaN operands yield c == 0 — "equal" — just as on the row path.
+uint8_t OpTruthTable(ComparisonOp op) {
+  switch (op) {
+    case ComparisonOp::kEq:
+      return 0b010;
+    case ComparisonOp::kNotEq:
+      return 0b101;
+    case ComparisonOp::kLess:
+      return 0b001;
+    case ComparisonOp::kLessEq:
+      return 0b011;
+    case ComparisonOp::kGreater:
+      return 0b100;
+    case ComparisonOp::kGreaterEq:
+      return 0b110;
+  }
+  return 0;
+}
+
+// ---- branchless helpers ----------------------------------------------
+//
+// The per-row loops below avoid data-dependent branches: on ~random data
+// every short-circuit `&&` and every `?:` three-way compare mispredicts,
+// which costs an order of magnitude more than the arithmetic it saves.
+// Leaves also capture raw array pointers (stable for the lifetime of the
+// shared shadow) rather than the Column*, so the `uint8_t* mask` stores —
+// which may alias anything — cannot force the compiler to reload the
+// vector data pointers on every iteration.
+
+// Three-way compare, branch-free: (a > b) - (a < b) is -1/0/1, with NaN
+// operands yielding 0 ("equal") exactly like Value::Compare.
+template <typename T>
+int Cmp3(T a, T b) {
+  return static_cast<int>(a > b) - static_cast<int>(a < b);
+}
+
+// Exact membership in a sorted vector: small sets scan linearly (branch
+// free, vectorizable); larger ones binary-search.
+bool MemberOf(const std::vector<int64_t>& v, int64_t a) {
+  if (v.size() > 16) {
+    return std::binary_search(v.begin(), v.end(), a);
+  }
+  bool found = false;
+  for (const int64_t x : v) {
+    found |= (a == x);
+  }
+  return found;
+}
+
+bool MemberOf(const std::vector<double>& v, double a) {
+  if (v.size() > 16) {
+    return std::binary_search(v.begin(), v.end(), a);
+  }
+  bool found = false;
+  for (const double x : v) {
+    found |= (a == x);
+  }
+  return found;
+}
+
+// Wraps a per-row predicate (null handling excluded) into a leaf that
+// masks NULL rows off with the null bitmap — or skips the bitmap
+// entirely when the column has no NULLs. The predicate is evaluated
+// unconditionally: NULL slots hold in-range defaults (0 / 0.0 / code 0,
+// see ColumnarTable::Build), so the loads are safe and the `&` keeps the
+// result exact.
+template <typename Pred>
+Node MaskedLeaf(const Column* col, Pred pred) {
+  Node node;
+  if (col->null_count == 0) {
+    node = LeafNode([pred](size_t begin, size_t end, uint8_t* mask) {
+      for (size_t r = begin; r < end; ++r) {
+        mask[r - begin] = static_cast<uint8_t>(pred(r));
+      }
+    });
+    node.row_pred = pred;
+    return node;
+  }
+  const uint64_t* null_words = col->null_words.data();
+  node = LeafNode([null_words, pred](size_t begin, size_t end,
+                                     uint8_t* mask) {
+    for (size_t r = begin; r < end; ++r) {
+      const auto not_null =
+          static_cast<uint8_t>(~(null_words[r >> 6] >> (r & 63)) & 1);
+      mask[r - begin] = static_cast<uint8_t>(not_null & pred(r));
+    }
+  });
+  node.row_pred = [null_words, pred](size_t r) {
+    return ((~(null_words[r >> 6] >> (r & 63)) & 1) != 0) && pred(r);
+  };
+  return node;
+}
+
+// ---- comparison kernels ----------------------------------------------
+
+Node NumericCompareLeaf(const Column* col, const Value& lit, uint8_t table) {
+  if (col->type == ValueType::kInt64 && lit.is_int64()) {
+    // Both int64: Value::Compare compares exactly, with no double
+    // round-trip (distinguishes 2^53 + 1 from 2^53).
+    const int64_t b = lit.int64_value();
+    return MaskedLeaf(col, [vals = col->i64.data(), b, table](size_t r) {
+      return ((table >> (Cmp3(vals[r], b) + 1)) & 1) != 0;
+    });
+  }
+  if (col->type == ValueType::kInt64) {
+    // int64 cell vs double literal: mixed numerics widen via AsDouble.
+    const double b = lit.double_value();
+    return MaskedLeaf(col, [vals = col->i64.data(), b, table](size_t r) {
+      return ((table >> (Cmp3(static_cast<double>(vals[r]), b) + 1)) & 1) !=
+             0;
+    });
+  }
+  const double b = lit.AsDouble();
+  return MaskedLeaf(col, [vals = col->f64.data(), b, table](size_t r) {
+    return ((table >> (Cmp3(vals[r], b) + 1)) & 1) != 0;
+  });
+}
+
+Node StringCompareLeaf(const Column* col, const std::string& s,
+                       uint8_t table) {
+  // p = first dictionary code with dict[code] >= s. Because the dictionary
+  // is sorted, cell < s <=> code < p; when s is present, cell == s <=>
+  // code == p; when absent, no cell equals s (c never 0 below). The
+  // verdict depends only on the code, so it is precomputed per code and
+  // the per-row loop is a single table lookup.
+  const auto it = std::lower_bound(col->dict.begin(), col->dict.end(), s);
+  const uint32_t p = static_cast<uint32_t>(it - col->dict.begin());
+  const bool present = it != col->dict.end() && *it == s;
+  std::vector<uint8_t> accept(col->dict.size() + 1, 0);
+  for (uint32_t code = 0; code < col->dict.size(); ++code) {
+    const int c = present ? Cmp3(code, p) : (code < p ? -1 : 1);
+    accept[code] = static_cast<uint8_t>((table >> (c + 1)) & 1);
+  }
+  return MaskedLeaf(col, [codes = col->codes.data(),
+                          accept = std::move(accept)](size_t r) {
+    return accept[codes[r]] != 0;
+  });
+}
+
+Result<Node> CompileComparison(const ComparisonExpr& cmp,
+                               const Schema& schema,
+                               const ColumnarTable& ct) {
+  const auto col_idx = schema.ColumnIndex(cmp.column());
+  if (!col_idx.ok()) {
+    // Unknown column: the row path errors per evaluated row (so a zero-row
+    // table does NOT error). Refusing reproduces both outcomes.
+    return NotCovered("unknown column '" + cmp.column() + "'");
+  }
+  const Column& col = ct.column(col_idx.value());
+  if (!col.regular) {
+    return NotCovered("irregular column '" + cmp.column() + "'");
+  }
+  const Value& lit = cmp.literal();
+  if (lit.is_null()) {
+    return ConstNode(false);  // comparison with NULL never matches
+  }
+  const int cc = ClassOfColumn(col.type);
+  if (cc != ClassOf(lit)) {
+    if (col.null_count == ct.num_rows()) {
+      // Every cell NULL: the row path returns false before the
+      // string-vs-numeric comparability check can error.
+      return ConstNode(false);
+    }
+    // The row path errors on the first non-NULL cell — but only if
+    // evaluation reaches it (AND/OR short-circuit): data-dependent, so
+    // fall back rather than approximate.
+    return NotCovered("class mismatch on column '" + cmp.column() + "'");
+  }
+  const uint8_t table = OpTruthTable(cmp.op());
+  if (cc == 2) {
+    return StringCompareLeaf(&col, lit.string_value(), table);
+  }
+  return NumericCompareLeaf(&col, lit, table);
+}
+
+// ---- IN (...) kernels ------------------------------------------------
+
+Result<Node> CompileInList(const InListExpr& in, const Schema& schema,
+                           const ColumnarTable& ct) {
+  const auto col_idx = schema.ColumnIndex(in.column());
+  if (!col_idx.ok()) {
+    return NotCovered("unknown column '" + in.column() + "'");
+  }
+  const Column& col = ct.column(col_idx.value());
+  if (!col.regular) {
+    return NotCovered("irregular column '" + in.column() + "'");
+  }
+  const int cc = ClassOfColumn(col.type);
+  if (cc == 0 || col.null_count == ct.num_rows()) {
+    // NULL cells return false *before* negation applies.
+    return ConstNode(false);
+  }
+  for (const Value& v : in.values()) {
+    if (!v.is_null() && ClassOf(v) != cc) {
+      // Row path: error on the first cell that actually reaches this
+      // literal (the scan breaks as soon as an earlier literal matches).
+      return NotCovered("class mismatch in IN list on '" + in.column() +
+                        "'");
+    }
+  }
+  const bool negated = in.negated();
+  if (cc == 2) {
+    // Dictionary-code membership bitset (size + 1 so data() stays valid
+    // for an empty dictionary; NULL rows carry code 0 and are masked).
+    // NOT IN flips the bits up front so the loop stays a plain lookup.
+    std::vector<uint8_t> member(col.dict.size() + 1, 0);
+    for (const Value& v : in.values()) {
+      if (v.is_null()) {
+        continue;
+      }
+      const auto it = std::lower_bound(col.dict.begin(), col.dict.end(),
+                                       v.string_value());
+      if (it != col.dict.end() && *it == v.string_value()) {
+        member[static_cast<size_t>(it - col.dict.begin())] = 1;
+      }
+    }
+    if (negated) {
+      for (size_t code = 0; code < col.dict.size(); ++code) {
+        member[code] ^= 1;
+      }
+    }
+    return MaskedLeaf(&col, [codes = col.codes.data(),
+                             member = std::move(member)](size_t r) {
+      return member[codes[r]] != 0;
+    });
+  }
+  // Numeric column. int64 literals are kept exact for int64 columns; a
+  // NaN literal compares "equal" to every numeric cell under
+  // Value::Compare, so it matches every non-NULL row.
+  bool match_all = false;
+  if (col.type == ValueType::kInt64) {
+    std::vector<int64_t> vi;
+    std::vector<double> vd;
+    for (const Value& v : in.values()) {
+      if (v.is_null()) {
+        continue;
+      }
+      if (v.is_int64()) {
+        vi.push_back(v.int64_value());
+      } else if (std::isnan(v.double_value())) {
+        match_all = true;
+      } else {
+        vd.push_back(v.double_value());
+      }
+    }
+    std::sort(vi.begin(), vi.end());
+    std::sort(vd.begin(), vd.end());
+    return MaskedLeaf(&col, [vals = col.i64.data(), vi = std::move(vi),
+                             vd = std::move(vd), match_all,
+                             negated](size_t r) {
+      const int64_t a = vals[r];
+      const bool found =
+          match_all || MemberOf(vi, a) ||
+          (!vd.empty() && MemberOf(vd, static_cast<double>(a)));
+      return found != negated;
+    });
+  }
+  bool any_numeric = false;
+  std::vector<double> vd;
+  for (const Value& v : in.values()) {
+    if (v.is_null()) {
+      continue;
+    }
+    any_numeric = true;
+    const double d = v.AsDouble();
+    if (std::isnan(d)) {
+      match_all = true;
+    } else {
+      vd.push_back(d);
+    }
+  }
+  std::sort(vd.begin(), vd.end());
+  return MaskedLeaf(&col, [vals = col.f64.data(), vd = std::move(vd),
+                           match_all, any_numeric, negated](size_t r) {
+    const double a = vals[r];
+    // A NaN cell compares "equal" to the first numeric literal the row
+    // scan reaches, so it matches iff the list has any numeric entry.
+    const bool found =
+        std::isnan(a) ? any_numeric : (match_all || MemberOf(vd, a));
+    return found != negated;
+  });
+}
+
+// ---- BETWEEN kernels -------------------------------------------------
+
+// One BETWEEN endpoint: int64 endpoints compare exactly against int64
+// cells; everything else widens to double (Value::Compare semantics).
+struct NumBound {
+  bool is_int = false;
+  int64_t i = 0;
+  double d = 0;
+};
+
+NumBound MakeBound(const Value& v) {
+  NumBound b;
+  if (v.is_int64()) {
+    b.is_int = true;
+    b.i = v.int64_value();
+    b.d = static_cast<double>(v.int64_value());
+  } else {
+    b.d = v.double_value();
+  }
+  return b;
+}
+
+Result<Node> CompileBetween(const BetweenExpr& bt, const Schema& schema,
+                            const ColumnarTable& ct) {
+  const auto col_idx = schema.ColumnIndex(bt.column());
+  if (!col_idx.ok()) {
+    return NotCovered("unknown column '" + bt.column() + "'");
+  }
+  const Column& col = ct.column(col_idx.value());
+  if (!col.regular) {
+    return NotCovered("irregular column '" + bt.column() + "'");
+  }
+  if (bt.lo().is_null() || bt.hi().is_null()) {
+    // Row path returns false (before negation) for every row.
+    return ConstNode(false);
+  }
+  const int cc = ClassOfColumn(col.type);
+  if (cc == 0 || col.null_count == ct.num_rows()) {
+    return ConstNode(false);  // NULL cells return false before negation
+  }
+  if (ClassOf(bt.lo()) != cc || ClassOf(bt.hi()) != cc) {
+    return NotCovered("class mismatch in BETWEEN on '" + bt.column() + "'");
+  }
+  const bool negated = bt.negated();
+  if (cc == 2) {
+    // inside <=> lo <= cell <= hi <=> lb(lo) <= code < ub(hi); the verdict
+    // depends only on the code, so precompute it per code.
+    const auto lo_it = std::lower_bound(col.dict.begin(), col.dict.end(),
+                                        bt.lo().string_value());
+    const auto hi_it = std::upper_bound(col.dict.begin(), col.dict.end(),
+                                        bt.hi().string_value());
+    const uint32_t lo_code = static_cast<uint32_t>(lo_it - col.dict.begin());
+    const uint32_t hi_code = static_cast<uint32_t>(hi_it - col.dict.begin());
+    std::vector<uint8_t> accept(col.dict.size() + 1, 0);
+    for (uint32_t code = 0; code < col.dict.size(); ++code) {
+      const bool inside = code >= lo_code && code < hi_code;
+      accept[code] = static_cast<uint8_t>(inside != negated);
+    }
+    return MaskedLeaf(&col, [codes = col.codes.data(),
+                             accept = std::move(accept)](size_t r) {
+      return accept[codes[r]] != 0;
+    });
+  }
+  const NumBound lo = MakeBound(bt.lo());
+  const NumBound hi = MakeBound(bt.hi());
+  if (col.type == ValueType::kInt64) {
+    return MaskedLeaf(&col, [vals = col.i64.data(), lo, hi,
+                             negated](size_t r) {
+      const int64_t a = vals[r];
+      const int c1 = lo.is_int ? Cmp3(a, lo.i)
+                               : Cmp3(static_cast<double>(a), lo.d);
+      const int c2 = hi.is_int ? Cmp3(a, hi.i)
+                               : Cmp3(static_cast<double>(a), hi.d);
+      const bool inside = (c1 >= 0) & (c2 <= 0);
+      return inside != negated;
+    });
+  }
+  return MaskedLeaf(&col, [vals = col.f64.data(), lo, hi,
+                           negated](size_t r) {
+    const double a = vals[r];
+    const bool inside = (Cmp3(a, lo.d) >= 0) & (Cmp3(a, hi.d) <= 0);
+    return inside != negated;
+  });
+}
+
+// ---- IS NULL / logical -----------------------------------------------
+
+Result<Node> CompileIsNull(const IsNullExpr& expr, const Schema& schema,
+                           const ColumnarTable& ct) {
+  const auto col_idx = schema.ColumnIndex(expr.column());
+  if (!col_idx.ok()) {
+    return NotCovered("unknown column '" + expr.column() + "'");
+  }
+  const Column& col = ct.column(col_idx.value());
+  const bool negated = expr.negated();
+  // Uniform bitmaps fold to constants (the common no-NULL case skips the
+  // per-row loop entirely); IS [NOT] NULL never errors on the row path,
+  // so the fold is exact under AND/OR short-circuit too.
+  if (col.null_count == 0) {
+    return ConstNode(negated);
+  }
+  if (col.null_count == ct.num_rows()) {
+    return ConstNode(!negated);
+  }
+  const auto flip = static_cast<uint64_t>(negated ? 1 : 0);
+  const uint64_t* null_words = col.null_words.data();
+  Node node = LeafNode([null_words, flip](size_t begin, size_t end,
+                                          uint8_t* mask) {
+    for (size_t r = begin; r < end; ++r) {
+      mask[r - begin] = static_cast<uint8_t>(
+          ((null_words[r >> 6] >> (r & 63)) & 1) ^ flip);
+    }
+  });
+  node.row_pred = [null_words, flip](size_t r) {
+    return (((null_words[r >> 6] >> (r & 63)) & 1) ^ flip) != 0;
+  };
+  return node;
+}
+
+Result<Node> CompileExpr(const Expr& expr, const Schema& schema,
+                         const ColumnarTable& ct);
+
+Result<Node> CompileLogical(const LogicalExpr& expr, const Schema& schema,
+                            const ColumnarTable& ct) {
+  const bool is_and = expr.op() == LogicalExpr::Op::kAnd;
+  std::vector<Node> kids;
+  for (const auto& child : expr.children()) {
+    AUTOCAT_ASSIGN_OR_RETURN(Node node, CompileExpr(*child, schema, ct));
+    if (is_and) {
+      if (node.kind == Node::Kind::kConstFalse) {
+        // Constant-false conjunct: the row path short-circuits every row
+        // before reaching later children, so their (possibly
+        // uncompilable) semantics can never be observed.
+        return ConstNode(false);
+      }
+      if (node.kind == Node::Kind::kConstTrue) {
+        continue;
+      }
+    } else {
+      if (node.kind == Node::Kind::kConstTrue) {
+        return ConstNode(true);
+      }
+      if (node.kind == Node::Kind::kConstFalse) {
+        continue;
+      }
+    }
+    kids.push_back(std::move(node));
+  }
+  if (kids.empty()) {
+    return ConstNode(is_and);
+  }
+  if (kids.size() == 1) {
+    return std::move(kids.front());
+  }
+  Node out;
+  out.kind = is_and ? Node::Kind::kAnd : Node::Kind::kOr;
+  out.children = std::move(kids);
+  return out;
+}
+
+Result<Node> CompileExpr(const Expr& expr, const Schema& schema,
+                         const ColumnarTable& ct) {
+  switch (expr.kind()) {
+    case ExprKind::kComparison:
+      return CompileComparison(static_cast<const ComparisonExpr&>(expr),
+                               schema, ct);
+    case ExprKind::kInList:
+      return CompileInList(static_cast<const InListExpr&>(expr), schema,
+                           ct);
+    case ExprKind::kBetween:
+      return CompileBetween(static_cast<const BetweenExpr&>(expr), schema,
+                            ct);
+    case ExprKind::kIsNull:
+      return CompileIsNull(static_cast<const IsNullExpr&>(expr), schema,
+                           ct);
+    case ExprKind::kLogical:
+      return CompileLogical(static_cast<const LogicalExpr&>(expr), schema,
+                            ct);
+  }
+  return NotCovered("unknown expression kind");
+}
+
+// ---- profile conditions ----------------------------------------------
+
+Result<Node> CompileCondition(const AttributeCondition& cond,
+                              const Column& col, const std::string& attr) {
+  const int cc = ClassOfColumn(col.type);
+  if (cond.is_range()) {
+    if (cc != 1) {
+      // Matches(): non-numeric cells never satisfy a range; NULL never
+      // matches. (A NaN cell, however, satisfies *every* range — the
+      // literal Contains() translation below preserves that.)
+      return ConstNode(false);
+    }
+    const NumericRange range = cond.range;
+    if (col.type == ValueType::kInt64) {
+      return MaskedLeaf(&col, [vals = col.i64.data(), range](size_t r) {
+        const double x = static_cast<double>(vals[r]);
+        const bool out_lo =
+            (x < range.lo) | ((x == range.lo) & !range.lo_inclusive);
+        const bool out_hi =
+            (x > range.hi) | ((x == range.hi) & !range.hi_inclusive);
+        return !(out_lo | out_hi);
+      });
+    }
+    return MaskedLeaf(&col, [vals = col.f64.data(), range](size_t r) {
+      const double x = vals[r];
+      const bool out_lo =
+          (x < range.lo) | ((x == range.lo) & !range.lo_inclusive);
+      const bool out_hi =
+          (x > range.hi) | ((x == range.hi) & !range.hi_inclusive);
+      return !(out_lo | out_hi);
+    });
+  }
+  // Value set: only members of the column's comparison class can be equal
+  // to a cell; mixed-class members are simply never matched by the
+  // std::set<Value>::count tree walk (the value order is total), so they
+  // are dropped here — except NaN members, which break the set's strict
+  // weak ordering and make count() layout-dependent: refuse those.
+  if (cc == 0) {
+    return ConstNode(false);
+  }
+  if (cc == 2) {
+    std::vector<uint8_t> member(col.dict.size() + 1, 0);
+    bool any = false;
+    for (const Value& v : cond.values) {
+      if (!v.is_string()) {
+        continue;
+      }
+      const auto it = std::lower_bound(col.dict.begin(), col.dict.end(),
+                                       v.string_value());
+      if (it != col.dict.end() && *it == v.string_value()) {
+        member[static_cast<size_t>(it - col.dict.begin())] = 1;
+        any = true;
+      }
+    }
+    if (!any) {
+      return ConstNode(false);
+    }
+    return MaskedLeaf(&col, [codes = col.codes.data(),
+                             member = std::move(member)](size_t r) {
+      return member[codes[r]] != 0;
+    });
+  }
+  bool any_numeric = false;
+  std::vector<int64_t> vi;
+  std::vector<double> vd;
+  for (const Value& v : cond.values) {
+    if (!v.is_numeric()) {
+      continue;
+    }
+    any_numeric = true;
+    if (v.is_double() && std::isnan(v.double_value())) {
+      return NotCovered("NaN member in value set on '" + attr + "'");
+    }
+    if (col.type == ValueType::kInt64 && v.is_int64()) {
+      vi.push_back(v.int64_value());
+    } else {
+      vd.push_back(v.AsDouble());
+    }
+  }
+  if (!any_numeric) {
+    return ConstNode(false);
+  }
+  std::sort(vi.begin(), vi.end());
+  std::sort(vd.begin(), vd.end());
+  if (col.type == ValueType::kInt64) {
+    return MaskedLeaf(&col, [vals = col.i64.data(), vi = std::move(vi),
+                             vd = std::move(vd)](size_t r) {
+      const int64_t a = vals[r];
+      return MemberOf(vi, a) ||
+             (!vd.empty() && MemberOf(vd, static_cast<double>(a)));
+    });
+  }
+  return MaskedLeaf(&col, [vals = col.f64.data(), vd = std::move(vd),
+                           any_numeric](size_t r) {
+    const double a = vals[r];
+    // A NaN cell is "equivalent" to any numeric member under the set's
+    // comparator, so count() finds one iff a numeric member exists.
+    return std::isnan(a) ? any_numeric : MemberOf(vd, a);
+  });
+}
+
+// ---- evaluation ------------------------------------------------------
+
+constexpr size_t kChunkRows = 2048;
+
+void EvalNode(const Node& node, size_t begin, size_t end, uint8_t* mask);
+
+// All-leaf conjunction (the CompileProfile shape): evaluate the first
+// child densely, then test later children only on the rows still alive,
+// compacting the survivor list as it shrinks. The final mask is
+// bit-identical to the dense merge in EvalNode: compiled leaves are
+// exact and error-free, so evaluation order cannot be observed. Kept out
+// of EvalNode so the survivor array is not stacked once per recursion
+// level.
+void EvalAndOfLeaves(const Node& node, size_t begin, size_t end,
+                     uint8_t* mask) {
+  const size_t n = end - begin;
+  EvalNode(node.children.front(), begin, end, mask);
+  uint32_t idx[kChunkRows];  // surviving offsets within the chunk
+  size_t count = 0;
+  for (size_t j = 0; j < n; ++j) {
+    idx[count] = static_cast<uint32_t>(j);
+    count += mask[j];
+  }
+  for (size_t i = 1; i < node.children.size() && count > 0; ++i) {
+    const auto& pred = node.children[i].row_pred;
+    size_t kept = 0;
+    for (size_t k = 0; k < count; ++k) {
+      const uint32_t j = idx[k];
+      idx[kept] = j;
+      kept += static_cast<size_t>(pred(begin + j));
+    }
+    count = kept;
+  }
+  std::fill_n(mask, n, uint8_t{0});
+  for (size_t k = 0; k < count; ++k) {
+    mask[idx[k]] = 1;
+  }
+}
+
+void EvalNode(const Node& node, size_t begin, size_t end, uint8_t* mask) {
+  const size_t n = end - begin;
+  switch (node.kind) {
+    case Node::Kind::kConstFalse:
+      std::fill_n(mask, n, uint8_t{0});
+      return;
+    case Node::Kind::kConstTrue:
+      std::fill_n(mask, n, uint8_t{1});
+      return;
+    case Node::Kind::kLeaf:
+      node.leaf(begin, end, mask);
+      return;
+    case Node::Kind::kAnd:
+    case Node::Kind::kOr: {
+      if (node.kind == Node::Kind::kAnd && n <= kChunkRows &&
+          std::all_of(node.children.begin(), node.children.end(),
+                      [](const Node& c) {
+                        return static_cast<bool>(c.row_pred);
+                      })) {
+        EvalAndOfLeaves(node, begin, end, mask);
+        return;
+      }
+      EvalNode(node.children.front(), begin, end, mask);
+      std::vector<uint8_t> tmp(n);
+      const bool is_and = node.kind == Node::Kind::kAnd;
+      for (size_t i = 1; i < node.children.size(); ++i) {
+        EvalNode(node.children[i], begin, end, tmp.data());
+        if (is_and) {
+          for (size_t j = 0; j < n; ++j) {
+            mask[j] &= tmp[j];
+          }
+        } else {
+          for (size_t j = 0; j < n; ++j) {
+            mask[j] |= tmp[j];
+          }
+        }
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+Result<CompiledPredicate> CompiledPredicate::Compile(
+    const Expr& expr, const Schema& schema,
+    std::shared_ptr<const ColumnarTable> columnar) {
+  if (columnar == nullptr) {
+    return Status::NotSupported("no columnar shadow");
+  }
+  AUTOCAT_ASSIGN_OR_RETURN(Node root, CompileExpr(expr, schema, *columnar));
+  return CompiledPredicate(std::move(columnar), std::move(root));
+}
+
+Result<CompiledPredicate> CompiledPredicate::CompileProfile(
+    const SelectionProfile& profile, const Schema& schema,
+    std::shared_ptr<const ColumnarTable> columnar) {
+  if (columnar == nullptr) {
+    return Status::NotSupported("no columnar shadow");
+  }
+  std::vector<Node> kids;
+  bool const_false = false;
+  for (const auto& [attr, cond] : profile.conditions()) {
+    const auto col_idx = schema.ColumnIndex(attr);
+    if (!col_idx.ok()) {
+      // MatchesRow: an unknown attribute makes every row non-matching.
+      const_false = true;
+      break;
+    }
+    const Column& col = columnar->column(col_idx.value());
+    if (!col.regular) {
+      return NotCovered("irregular column '" + attr + "'");
+    }
+    AUTOCAT_ASSIGN_OR_RETURN(Node node, CompileCondition(cond, col, attr));
+    if (node.kind == Node::Kind::kConstFalse) {
+      const_false = true;
+      break;
+    }
+    if (node.kind != Node::Kind::kConstTrue) {
+      kids.push_back(std::move(node));
+    }
+  }
+  Node root;
+  if (const_false) {
+    root = ConstNode(false);
+  } else if (kids.empty()) {
+    root = ConstNode(true);
+  } else if (kids.size() == 1) {
+    root = std::move(kids.front());
+  } else {
+    root.kind = Node::Kind::kAnd;
+    root.children = std::move(kids);
+  }
+  return CompiledPredicate(std::move(columnar), std::move(root));
+}
+
+Result<std::vector<uint32_t>> CompiledPredicate::Filter(
+    const ParallelOptions& parallel) const {
+  const size_t n = num_rows();
+  std::vector<uint32_t> out;
+  if (n == 0) {
+    return out;
+  }
+  const size_t num_chunks = (n + kChunkRows - 1) / kChunkRows;
+  if (parallel.ResolvedThreads() <= 1 || num_chunks <= 1) {
+    // Sequential fast path: identical chunking, appended in chunk order.
+    std::vector<uint8_t> mask(kChunkRows);
+    for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
+      const size_t begin = chunk * kChunkRows;
+      const size_t end = std::min(n, begin + kChunkRows);
+      EvalNode(root_, begin, end, mask.data());
+      for (size_t r = begin; r < end; ++r) {
+        if (mask[r - begin] != 0) {
+          out.push_back(static_cast<uint32_t>(r));
+        }
+      }
+    }
+    return out;
+  }
+  // Per-chunk shards merged in chunk order: bit-identical to the
+  // sequential path at any thread count.
+  std::vector<std::vector<uint32_t>> shards(num_chunks);
+  AUTOCAT_RETURN_IF_ERROR(ParallelFor(
+      parallel, 0, num_chunks, /*grain=*/1,
+      [&](size_t lo, size_t hi) -> Status {
+        std::vector<uint8_t> mask(kChunkRows);
+        for (size_t chunk = lo; chunk < hi; ++chunk) {
+          const size_t begin = chunk * kChunkRows;
+          const size_t end = std::min(n, begin + kChunkRows);
+          EvalNode(root_, begin, end, mask.data());
+          std::vector<uint32_t>& shard = shards[chunk];
+          for (size_t r = begin; r < end; ++r) {
+            if (mask[r - begin] != 0) {
+              shard.push_back(static_cast<uint32_t>(r));
+            }
+          }
+        }
+        return Status::OK();
+      }));
+  size_t total = 0;
+  for (const auto& shard : shards) {
+    total += shard.size();
+  }
+  out.reserve(total);
+  for (const auto& shard : shards) {
+    out.insert(out.end(), shard.begin(), shard.end());
+  }
+  return out;
+}
+
+}  // namespace autocat

@@ -1,0 +1,86 @@
+#ifndef AUTOCAT_EXEC_KERNELS_H_
+#define AUTOCAT_EXEC_KERNELS_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "sql/ast.h"
+#include "sql/selection.h"
+#include "storage/columnar.h"
+#include "storage/schema.h"
+
+namespace autocat {
+
+/// A WHERE clause (or serving-layer SelectionProfile) compiled into
+/// vectorized per-column kernels over a `ColumnarTable`.
+///
+/// Compilation is *refuse-or-exact*: `Compile`/`CompileProfile` either
+/// return a predicate whose `Filter` output is bit-identical to the
+/// row-at-a-time path (`EvaluatePredicate` / `MatchesRow` over every row,
+/// ascending), or they return `kNotSupported` and the caller falls back to
+/// the row path. Compilation itself never surfaces data errors; in
+/// particular it refuses whenever the row path *could* error (the
+/// string-vs-numeric comparison error is data- and order-dependent, so any
+/// literal whose comparison class differs from the column's storage class
+/// forces a fallback unless the column is all-NULL, where no row-path
+/// error can occur). The semantics-preservation argument is spelled out
+/// in DESIGN.md §10.
+///
+/// `Filter` runs chunked through `ParallelFor` with per-chunk selection
+/// shards merged in chunk order, so the selection vector is bit-identical
+/// at any thread count.
+class CompiledPredicate {
+ public:
+  /// Implementation detail, public only so the compiler helpers in
+  /// kernels.cc can build trees: a predicate node. Leaves fill a 0/1 mask
+  /// for base rows [begin, end); And/Or combine child masks bitwise
+  /// (valid because a compiled predicate is statically error-free, so
+  /// short-circuit order cannot be observed).
+  struct Node {
+    enum class Kind { kConstFalse, kConstTrue, kAnd, kOr, kLeaf };
+    Kind kind = Kind::kConstFalse;
+    std::vector<Node> children;
+    std::function<void(size_t begin, size_t end, uint8_t* mask)> leaf;
+    /// Single-row form of `leaf` (same verdict for every row, including
+    /// the null mask). Lets an all-leaf conjunction evaluate its first
+    /// child densely and test later children only on surviving rows.
+    std::function<bool(size_t row)> row_pred;
+  };
+
+  /// Compiles a WHERE expression against the table's schema and columnar
+  /// shadow. Returns kNotSupported when any sub-expression is not covered
+  /// exactly (caller falls back to the row path).
+  static Result<CompiledPredicate> Compile(
+      const Expr& expr, const Schema& schema,
+      std::shared_ptr<const ColumnarTable> columnar);
+
+  /// Compiles a serving-layer selection profile (conjunction of
+  /// per-attribute conditions, `MatchesRow` semantics: an unknown
+  /// attribute makes every row non-matching rather than erroring).
+  static Result<CompiledPredicate> CompileProfile(
+      const SelectionProfile& profile, const Schema& schema,
+      std::shared_ptr<const ColumnarTable> columnar);
+
+  /// Evaluates the predicate over every base row and returns the matching
+  /// row indices in ascending order. Deterministic at any thread count.
+  Result<std::vector<uint32_t>> Filter(const ParallelOptions& parallel) const;
+
+  size_t num_rows() const {
+    return columnar_ == nullptr ? 0 : columnar_->num_rows();
+  }
+
+ private:
+  CompiledPredicate(std::shared_ptr<const ColumnarTable> columnar, Node root)
+      : columnar_(std::move(columnar)), root_(std::move(root)) {}
+
+  std::shared_ptr<const ColumnarTable> columnar_;
+  Node root_;
+};
+
+}  // namespace autocat
+
+#endif  // AUTOCAT_EXEC_KERNELS_H_

@@ -18,6 +18,22 @@ std::string_view ServeOutcomeToString(ServeOutcome outcome) {
   return "unknown";
 }
 
+std::string_view ServeStageToString(ServeStage stage) {
+  switch (stage) {
+    case ServeStage::kParse:
+      return "parse";
+    case ServeStage::kFilter:
+      return "filter";
+    case ServeStage::kMaterialize:
+      return "materialize";
+    case ServeStage::kStats:
+      return "stats";
+    case ServeStage::kCategorize:
+      return "categorize";
+  }
+  return "unknown";
+}
+
 void ServiceMetrics::Record(ServeOutcome outcome, double latency_ms) {
   std::lock_guard<std::mutex> lock(mu_);
   ++by_outcome_[static_cast<size_t>(outcome)];
@@ -27,6 +43,11 @@ void ServiceMetrics::Record(ServeOutcome outcome, double latency_ms) {
   } else if (outcome == ServeOutcome::kMiss) {
     latency_miss_.Add(latency_ms);
   }
+}
+
+void ServiceMetrics::RecordStage(ServeStage stage, double ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stage_ms_[static_cast<size_t>(stage)].Add(ms);
 }
 
 void ServiceMetrics::FillSnapshot(ServiceMetricsSnapshot* snapshot) const {
@@ -39,6 +60,7 @@ void ServiceMetrics::FillSnapshot(ServiceMetricsSnapshot* snapshot) const {
   snapshot->latency_all = latency_all_;
   snapshot->latency_hit = latency_hit_;
   snapshot->latency_miss = latency_miss_;
+  snapshot->stage_ms = stage_ms_;
 }
 
 std::string ServiceMetricsSnapshot::ToJson() const {
@@ -64,6 +86,15 @@ std::string ServiceMetricsSnapshot::ToJson() const {
   out += "\"all\":" + latency_all.ToJson();
   out += ",\"hit\":" + latency_hit.ToJson();
   out += ",\"miss\":" + latency_miss.ToJson();
+  out += "},\"stages\":{";
+  for (size_t i = 0; i < kNumServeStages && i < stage_ms.size(); ++i) {
+    if (i > 0) {
+      out += ",";
+    }
+    out += "\"";
+    out += ServeStageToString(static_cast<ServeStage>(i));
+    out += "\":" + stage_ms[i].ToJson();
+  }
   out += "},\"queue\":{\"depth_high_water\":" +
          std::to_string(queue_depth_high_water);
   out += "}}";

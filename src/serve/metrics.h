@@ -5,6 +5,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/histogram.h"
 #include "serve/cache.h"
@@ -25,6 +26,20 @@ inline constexpr size_t kNumServeOutcomes = 5;
 
 std::string_view ServeOutcomeToString(ServeOutcome outcome);
 
+/// Cold-path stage breakdown: where a cache miss spends its time. Each
+/// stage is recorded once per request that reaches it (kStats only when
+/// the per-table WorkloadStats had to be built).
+enum class ServeStage {
+  kParse = 0,
+  kFilter,
+  kMaterialize,
+  kStats,
+  kCategorize,
+};
+inline constexpr size_t kNumServeStages = 5;
+
+std::string_view ServeStageToString(ServeStage stage);
+
 /// A point-in-time copy of every service counter, assembled by
 /// CategorizationService::SnapshotMetrics(). ToJson() renders with fixed
 /// key order and fixed-precision numbers, so two snapshots of identical
@@ -38,6 +53,9 @@ struct ServiceMetricsSnapshot {
   Histogram latency_miss = Histogram::LatencyMs();
   CacheStats cache;
   size_t queue_depth_high_water = 0;
+  /// Indexed by ServeStage.
+  std::vector<Histogram> stage_ms =
+      std::vector<Histogram>(kNumServeStages, Histogram::LatencyMs());
 
   std::string ToJson() const;
 };
@@ -51,6 +69,9 @@ class ServiceMetrics {
 
   void Record(ServeOutcome outcome, double latency_ms);
 
+  /// Adds one cold-path stage duration (see ServeStage).
+  void RecordStage(ServeStage stage, double ms);
+
   /// Copies the request-side counters into `snapshot` (cache and queue
   /// fields are the caller's to fill).
   void FillSnapshot(ServiceMetricsSnapshot* snapshot) const;
@@ -61,6 +82,8 @@ class ServiceMetrics {
   Histogram latency_all_ = Histogram::LatencyMs();
   Histogram latency_hit_ = Histogram::LatencyMs();
   Histogram latency_miss_ = Histogram::LatencyMs();
+  std::vector<Histogram> stage_ms_ =
+      std::vector<Histogram>(kNumServeStages, Histogram::LatencyMs());
 };
 
 }  // namespace autocat

@@ -1,11 +1,15 @@
 #include "serve/service.h"
 
 #include <chrono>
+#include <cstdint>
 #include <utility>
+#include <vector>
 
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "exec/kernels.h"
 #include "sql/parser.h"
+#include "storage/columnar.h"
 
 namespace autocat {
 
@@ -111,8 +115,10 @@ Result<ServeResponse> CategorizationService::HandleAdmitted(
     const ServeRequest& request, const Deadline& deadline,
     ServeOutcome* outcome) {
   *outcome = ServeOutcome::kError;
+  const double parse_start = WallMs();
   AUTOCAT_ASSIGN_OR_RETURN(const SelectQuery query,
                            ParseQuery(request.sql));
+  metrics_.RecordStage(ServeStage::kParse, WallMs() - parse_start);
   const std::string table_key = ToLower(query.table_name);
 
   // Two passes at most: the second runs after StatsFor built the missing
@@ -152,14 +158,69 @@ Result<ServeResponse> CategorizationService::HandleAdmitted(
         stats = stats_it->second;
         const uint64_t observed_epoch = cache_.epoch();
 
-        const Schema& schema = table->schema();
-        const SelectionProfile& profile = canonical.profile;
-        const std::vector<size_t> indices = table->FilterIndices(
-            [&](const Row& row) { return profile.MatchesRow(row, schema); });
-        AUTOCAT_ASSIGN_OR_RETURN(Table result, table->SelectRows(indices));
-        if (!canonical.columns.empty()) {
-          AUTOCAT_ASSIGN_OR_RETURN(result,
-                                   result.Project(canonical.columns));
+        // Columnar fast path: compile the canonical profile against the
+        // table's columnar shadow and filter vectorized. Every refusal is
+        // kNotSupported and falls back to the row path below, which is
+        // bit-identical by the kernels' refuse-or-exact contract; any
+        // other status is a real error.
+        const double filter_start = WallMs();
+        TableView view;
+        bool columnar_ok = false;
+        {
+          const auto attempt = [&]() -> Result<TableView> {
+            AUTOCAT_ASSIGN_OR_RETURN(
+                std::shared_ptr<const ColumnarTable> shadow,
+                db_.ColumnarFor(table_key));
+            AUTOCAT_ASSIGN_OR_RETURN(
+                const CompiledPredicate compiled,
+                CompiledPredicate::CompileProfile(canonical.profile,
+                                                  table->schema(), shadow));
+            // Request tasks stay sequential (same policy as StatsFor).
+            ParallelOptions sequential;
+            sequential.threads = 1;
+            AUTOCAT_ASSIGN_OR_RETURN(std::vector<uint32_t> selection,
+                                     compiled.Filter(sequential));
+            return TableView::Create(*table, std::move(shadow),
+                                     std::move(selection),
+                                     canonical.columns);
+          };
+          Result<TableView> attempted = attempt();
+          if (attempted.ok()) {
+            view = std::move(attempted).value();
+            columnar_ok = true;
+          } else if (attempted.status().code() !=
+                     StatusCode::kNotSupported) {
+            return attempted.status();
+          }
+        }
+
+        Table result;
+        if (columnar_ok) {
+          metrics_.RecordStage(ServeStage::kFilter,
+                               WallMs() - filter_start);
+          const double mat_start = WallMs();
+          result = view.Materialize();
+          metrics_.RecordStage(ServeStage::kMaterialize,
+                               WallMs() - mat_start);
+        } else {
+          // Row fallback keeps size_t indices, so a table too large for a
+          // columnar shadow is still servable.
+          const Schema& schema = table->schema();
+          const SelectionProfile& profile = canonical.profile;
+          const std::vector<size_t> indices = table->FilterIndices(
+              [&](const Row& row) {
+                return profile.MatchesRow(row, schema);
+              });
+          metrics_.RecordStage(ServeStage::kFilter,
+                               WallMs() - filter_start);
+          const double mat_start = WallMs();
+          AUTOCAT_ASSIGN_OR_RETURN(result, table->SelectRows(indices));
+          if (!canonical.columns.empty()) {
+            AUTOCAT_ASSIGN_OR_RETURN(result,
+                                     result.Project(canonical.columns));
+          }
+          metrics_.RecordStage(ServeStage::kMaterialize,
+                               WallMs() - mat_start);
         }
 
         if (deadline.ExpiredAt(NowMs())) {
@@ -170,12 +231,21 @@ Result<ServeResponse> CategorizationService::HandleAdmitted(
 
         const CostBasedCategorizer categorizer(stats.get(),
                                                options_.categorizer);
+        // The view borrows the database's base table and shadow (not
+        // `result`), so it stays valid across the move into the payload.
+        const double categorize_start = WallMs();
         AUTOCAT_ASSIGN_OR_RETURN(
             auto payload,
             CachedCategorization::Build(
                 std::move(result), [&](const Table& owned) {
-                  return categorizer.Categorize(owned, &canonical.profile);
+                  return columnar_ok
+                             ? categorizer.Categorize(view, owned,
+                                                      &canonical.profile)
+                             : categorizer.Categorize(owned,
+                                                      &canonical.profile);
                 }));
+        metrics_.RecordStage(ServeStage::kCategorize,
+                             WallMs() - categorize_start);
         if (!request.bypass_cache) {
           cache_.Insert(canonical.key, canonical.hash, payload,
                         observed_epoch);
@@ -208,10 +278,12 @@ Result<std::shared_ptr<const WorkloadStats>> CategorizationService::StatsFor(
   // from inside request tasks; this is a once-per-table warmup cost.
   ParallelOptions sequential;
   sequential.threads = 1;
+  const double stats_start = WallMs();
   AUTOCAT_ASSIGN_OR_RETURN(
       WorkloadStats built,
       WorkloadStats::Build(workload_, table->schema(), options_.stats,
                            sequential));
+  metrics_.RecordStage(ServeStage::kStats, WallMs() - stats_start);
   auto stats = std::make_shared<const WorkloadStats>(std::move(built));
   stats_by_table_[table_key] = stats;
   return stats;

@@ -1,0 +1,166 @@
+#include "storage/columnar.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <string_view>
+#include <utility>
+
+namespace autocat {
+
+ColumnarTable ColumnarTable::Build(const Table& table) {
+  const size_t n = table.num_rows();
+  const size_t words = (n + 63) / 64;
+  ColumnarTable out;
+  out.num_rows_ = n;
+  out.columns_.resize(table.num_columns());
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    Column& col = out.columns_[c];
+    col.type = table.schema().column(c).type;
+    col.null_words.assign(words, 0);
+    switch (col.type) {
+      case ValueType::kInt64:
+        col.i64.assign(n, 0);
+        break;
+      case ValueType::kDouble:
+        col.f64.assign(n, 0);
+        break;
+      case ValueType::kString:
+        col.codes.assign(n, 0);
+        break;
+      case ValueType::kNull:
+        break;
+    }
+    if (col.type == ValueType::kString) {
+      // Pass 1: sorted distinct strings. string_view order equals
+      // std::string order equals Value string order.
+      std::map<std::string_view, uint32_t> dict_map;
+      for (size_t r = 0; r < n; ++r) {
+        const Value& v = table.ValueAt(r, c);
+        if (v.is_null()) {
+          col.null_words[r >> 6] |= uint64_t{1} << (r & 63);
+          ++col.null_count;
+        } else if (v.is_string()) {
+          dict_map.emplace(v.string_value(), 0);
+        } else {
+          col.regular = false;
+        }
+      }
+      if (!col.regular) {
+        continue;
+      }
+      col.dict.reserve(dict_map.size());
+      for (auto& [sv, code] : dict_map) {
+        code = static_cast<uint32_t>(col.dict.size());
+        col.dict.emplace_back(sv);
+      }
+      // Pass 2: codes.
+      for (size_t r = 0; r < n; ++r) {
+        const Value& v = table.ValueAt(r, c);
+        if (!v.is_null()) {
+          col.codes[r] = dict_map.find(v.string_value())->second;
+        }
+      }
+      continue;
+    }
+    for (size_t r = 0; r < n; ++r) {
+      const Value& v = table.ValueAt(r, c);
+      if (v.is_null()) {
+        col.null_words[r >> 6] |= uint64_t{1} << (r & 63);
+        ++col.null_count;
+        continue;
+      }
+      if (v.type() != col.type) {
+        col.regular = false;
+        continue;
+      }
+      if (col.type == ValueType::kInt64) {
+        col.i64[r] = v.int64_value();
+      } else if (col.type == ValueType::kDouble) {
+        col.f64[r] = v.double_value();
+      }
+    }
+  }
+  return out;
+}
+
+TableView TableView::All(const Table& base,
+                         std::shared_ptr<const ColumnarTable> columnar) {
+  TableView view;
+  view.base_ = &base;
+  view.columnar_ = std::move(columnar);
+  view.rows_.resize(base.num_rows());
+  std::iota(view.rows_.begin(), view.rows_.end(), uint32_t{0});
+  view.projection_.resize(base.num_columns());
+  std::iota(view.projection_.begin(), view.projection_.end(), size_t{0});
+  view.schema_ = base.schema();
+  return view;
+}
+
+Result<TableView> TableView::Create(
+    const Table& base, std::shared_ptr<const ColumnarTable> columnar,
+    std::vector<uint32_t> rows, const std::vector<std::string>& columns) {
+  for (const uint32_t r : rows) {
+    if (r >= base.num_rows()) {
+      return Status::OutOfRange("row index " + std::to_string(r) +
+                                " out of range");
+    }
+  }
+  TableView view;
+  view.base_ = &base;
+  view.columnar_ = std::move(columnar);
+  view.rows_ = std::move(rows);
+  if (columns.empty()) {
+    view.projection_.resize(base.num_columns());
+    std::iota(view.projection_.begin(), view.projection_.end(), size_t{0});
+    view.schema_ = base.schema();
+    return view;
+  }
+  std::vector<ColumnDef> cols;
+  cols.reserve(columns.size());
+  view.projection_.reserve(columns.size());
+  for (const std::string& name : columns) {
+    AUTOCAT_ASSIGN_OR_RETURN(const size_t idx,
+                             base.schema().ColumnIndex(name));
+    cols.push_back(base.schema().column(idx));
+    view.projection_.push_back(idx);
+  }
+  AUTOCAT_ASSIGN_OR_RETURN(view.schema_, Schema::Create(std::move(cols)));
+  return view;
+}
+
+Table TableView::Materialize() const {
+  Table out(schema_);
+  if (base_ == nullptr) {
+    return out;
+  }
+  out.rows_.reserve(rows_.size());
+  const bool identity =
+      projection_.size() == base_->num_columns() &&
+      [this] {
+        for (size_t c = 0; c < projection_.size(); ++c) {
+          if (projection_[c] != c) {
+            return false;
+          }
+        }
+        return true;
+      }();
+  if (identity) {
+    for (const uint32_t r : rows_) {
+      out.rows_.push_back(base_->rows_[r]);
+    }
+    return out;
+  }
+  for (const uint32_t r : rows_) {
+    const Row& src = base_->rows_[r];
+    Row projected;
+    projected.reserve(projection_.size());
+    for (const size_t c : projection_) {
+      projected.push_back(src[c]);
+    }
+    out.rows_.push_back(std::move(projected));
+  }
+  return out;
+}
+
+}  // namespace autocat

@@ -1,0 +1,129 @@
+#ifndef AUTOCAT_STORAGE_COLUMNAR_H_
+#define AUTOCAT_STORAGE_COLUMNAR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "storage/schema.h"
+#include "storage/table.h"
+
+namespace autocat {
+
+/// A read-only columnar shadow of a row-store `Table`: per column, one
+/// contiguous typed array plus a null bitmap. Strings are
+/// dictionary-encoded against a *sorted* dictionary, so dictionary-code
+/// order equals `Value` comparison order — grouping or comparing by code
+/// is exactly grouping or comparing by value.
+///
+/// The shadow is immutable after `Build` and carries no reference to the
+/// source table; `Database::ColumnarFor` caches one per table and drops it
+/// when `PutTable` replaces the contents. Columns whose cells do not all
+/// match the declared type (impossible through `Table::AppendRow`, which
+/// coerces) are marked `regular = false` and consumers fall back to the
+/// row representation.
+class ColumnarTable {
+ public:
+  struct Column {
+    /// Declared storage type. Cells are this type or NULL when `regular`.
+    ValueType type = ValueType::kNull;
+    bool regular = true;
+    size_t null_count = 0;
+    /// Bit r set <=> row r is NULL. size = ceil(num_rows / 64).
+    std::vector<uint64_t> null_words;
+    /// type == kInt64: one entry per row (0 for NULL cells).
+    std::vector<int64_t> i64;
+    /// type == kDouble: one entry per row (0 for NULL cells).
+    std::vector<double> f64;
+    /// type == kString: dictionary code per row (0 for NULL cells).
+    std::vector<uint32_t> codes;
+    /// type == kString: sorted distinct non-NULL strings.
+    std::vector<std::string> dict;
+
+    bool IsNull(size_t row) const {
+      return (null_words[row >> 6] >> (row & 63)) & 1;
+    }
+  };
+
+  ColumnarTable() = default;
+
+  /// Builds the shadow in one pass per column (two for strings: dictionary
+  /// then codes). Requires `table.num_rows() <= UINT32_MAX` (callers gate;
+  /// selection vectors are 32-bit).
+  static ColumnarTable Build(const Table& table);
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t c) const { return columns_[c]; }
+
+ private:
+  size_t num_rows_ = 0;
+  std::vector<Column> columns_;
+};
+
+/// A zero-copy view over a base table: a selection vector of base-row
+/// indices plus a projection map of base-column indices. This is the
+/// result representation on the cold categorization path — the filter
+/// kernels emit the selection, partitioners/stats/ranking read cells
+/// through the view, and `Materialize()` performs the single fused
+/// gather (replacing SelectRows + Project) when an owned table is needed.
+///
+/// Lifetime: the view borrows `base` (and optionally shares a columnar
+/// shadow); the base table must outlive the view and must not be mutated
+/// while the view is live. View row i of `Materialize()`'s output is view
+/// row i, so tuple indices computed through the view index the
+/// materialized table directly.
+class TableView {
+ public:
+  TableView() = default;
+
+  /// A view of every row and column of `base`. `columnar` may be null
+  /// (consumers then use the generic per-Value path).
+  static TableView All(const Table& base,
+                       std::shared_ptr<const ColumnarTable> columnar);
+
+  /// A view of the base rows listed in `rows` (in that order) projected to
+  /// `columns` (in that order; empty = all columns). Errors mirror
+  /// `Table::Project` (unknown / duplicate column) and `Table::SelectRows`
+  /// (row index out of range).
+  static Result<TableView> Create(
+      const Table& base, std::shared_ptr<const ColumnarTable> columnar,
+      std::vector<uint32_t> rows, const std::vector<std::string>& columns);
+
+  const Table& base() const { return *base_; }
+  /// The base table's columnar shadow, or nullptr.
+  const ColumnarTable* columnar() const { return columnar_.get(); }
+  /// Schema of the *projected* view.
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_columns() const { return projection_.size(); }
+
+  /// Base-table row index of view row `row`.
+  uint32_t base_row(size_t row) const { return rows_[row]; }
+  /// Base-table column index of view column `col`.
+  size_t base_column(size_t col) const { return projection_[col]; }
+  const std::vector<uint32_t>& selection() const { return rows_; }
+
+  /// Cell accessor in view coordinates; bounds unchecked in release.
+  const Value& ValueAt(size_t row, size_t col) const {
+    return base_->ValueAt(rows_[row], projection_[col]);
+  }
+
+  /// Copies the view into an owned row-store table: one gather pass, row
+  /// copies taken whole when the projection is the identity.
+  Table Materialize() const;
+
+ private:
+  const Table* base_ = nullptr;
+  std::shared_ptr<const ColumnarTable> columnar_;
+  std::vector<uint32_t> rows_;
+  std::vector<size_t> projection_;
+  Schema schema_;
+};
+
+}  // namespace autocat
+
+#endif  // AUTOCAT_STORAGE_COLUMNAR_H_

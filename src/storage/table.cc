@@ -66,6 +66,10 @@ Result<Table> Table::SelectRows(const std::vector<size_t>& indices) const {
 std::vector<size_t> Table::FilterIndices(
     const std::function<bool(const Row&)>& pred) const {
   std::vector<size_t> out;
+  // Heuristic: most filters on this path are selective; a quarter of the
+  // table avoids the early doubling reallocations without ballooning
+  // memory when only a handful of rows match.
+  out.reserve(rows_.size() / 4 + 16);
   for (size_t i = 0; i < rows_.size(); ++i) {
     if (pred(rows_[i])) {
       out.push_back(i);
@@ -85,13 +89,28 @@ Result<Table> Table::Project(
     src_indices.push_back(idx);
   }
   AUTOCAT_ASSIGN_OR_RETURN(Schema out_schema, Schema::Create(std::move(cols)));
+  // Identity projection: every column in schema order — the rows can be
+  // copied whole instead of cell by cell.
+  const bool identity =
+      src_indices.size() == schema_.num_columns() &&
+      [&src_indices] {
+        for (size_t c = 0; c < src_indices.size(); ++c) {
+          if (src_indices[c] != c) {
+            return false;
+          }
+        }
+        return true;
+      }();
   Table out(std::move(out_schema));
   out.Reserve(rows_.size());
+  if (identity) {
+    out.rows_ = rows_;
+    return out;
+  }
   for (const Row& r : rows_) {
-    Row projected;
-    projected.reserve(src_indices.size());
-    for (size_t idx : src_indices) {
-      projected.push_back(r[idx]);
+    Row projected(src_indices.size());
+    for (size_t c = 0; c < src_indices.size(); ++c) {
+      projected[c] = r[src_indices[c]];
     }
     out.rows_.push_back(std::move(projected));
   }

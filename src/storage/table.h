@@ -75,6 +75,10 @@ class Table {
   std::string ToString(size_t max_rows = 20) const;
 
  private:
+  // TableView::Materialize gathers rows_ directly (one pass, no
+  // per-cell Status plumbing); see storage/columnar.h.
+  friend class TableView;
+
   Schema schema_;
   std::vector<Row> rows_;
 };

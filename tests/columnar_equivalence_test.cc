@@ -1,0 +1,732 @@
+// Row-vs-columnar equivalence gate for the columnar execution engine.
+//
+// The columnar kernels promise *refuse-or-exact* compilation: whatever
+// `ExecuteQuery` / `CompiledPredicate::Filter` produce must be
+// bit-identical to the row-at-a-time path — same cells (doubles compared
+// by bit pattern), same row order, same error Status — at every tested
+// thread count. These tests replay the checked-in SQL fuzz corpus, sweep
+// randomized queries over a deterministic table seeded with edge values
+// (NaN, -0.0, 2^53+1, INT64_MIN/MAX, NULLs), and pin the view-based
+// overloads (ColumnStats / partitioners / ranking / cost-based
+// categorizer) to their row-store twins.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/categorizer.h"
+#include "core/partition.h"
+#include "core/ranking.h"
+#include "exec/executor.h"
+#include "exec/kernels.h"
+#include "sql/parser.h"
+#include "sql/selection.h"
+#include "storage/column_stats.h"
+#include "storage/columnar.h"
+#include "storage/table.h"
+#include "workload/counts.h"
+#include "workload/workload.h"
+
+// ASSERT that `rexpr` (a Result) is ok and move its value into `decl`.
+// Local to this file; usable only where ASSERT_* is (void-returning test
+// bodies).
+#define AUTOCAT_EQUIV_CONCAT_(a, b) a##b
+#define AUTOCAT_EQUIV_CONCAT(a, b) AUTOCAT_EQUIV_CONCAT_(a, b)
+#define AUTOCAT_ASSERT_OK_AND_MOVE(decl, rexpr)                     \
+  auto AUTOCAT_EQUIV_CONCAT(result_, __LINE__) = (rexpr);           \
+  ASSERT_TRUE(AUTOCAT_EQUIV_CONCAT(result_, __LINE__).ok())         \
+      << AUTOCAT_EQUIV_CONCAT(result_, __LINE__).status().ToString(); \
+  decl = std::move(AUTOCAT_EQUIV_CONCAT(result_, __LINE__)).value()
+
+namespace autocat {
+namespace {
+
+// The homes schema of the SQL fuzz harness (tests/fuzz/sql_parser_fuzz.cc):
+// the corpus queries reference exactly these columns and types.
+Schema FuzzSchema() {
+  auto schema = Schema::Create({
+      ColumnDef("neighborhood", ValueType::kString,
+                ColumnKind::kCategorical),
+      ColumnDef("city", ValueType::kString, ColumnKind::kCategorical),
+      ColumnDef("propertytype", ValueType::kString,
+                ColumnKind::kCategorical),
+      ColumnDef("price", ValueType::kDouble, ColumnKind::kNumeric),
+      ColumnDef("bedroomcount", ValueType::kInt64, ColumnKind::kNumeric),
+      ColumnDef("bathcount", ValueType::kDouble, ColumnKind::kNumeric),
+      ColumnDef("squarefootage", ValueType::kDouble, ColumnKind::kNumeric),
+      ColumnDef("yearbuilt", ValueType::kInt64, ColumnKind::kNumeric),
+  });
+  EXPECT_TRUE(schema.ok());
+  return std::move(schema).value();
+}
+
+const char* const kNeighborhoods[] = {"Redmond",  "Bellevue", "Seattle",
+                                      "Kirkland", "Ballard",  "Queen Anne"};
+const char* const kCities[] = {"Seattle", "Bellevue", "Redmond"};
+const char* const kTypes[] = {"Single Family", "Condo", "Townhome"};
+
+// Deterministic table over FuzzSchema. `null_p` sprinkles NULL cells;
+// `with_hostile_cells` plants values with sharp comparison semantics:
+// NaN (Value::Compare treats it as equal to everything), signed zeros,
+// 2^53 + 1 (not representable as double), and the int64 extremes.
+// Partition/sort-based tests pass with_hostile_cells = false because the
+// row path itself feeds values into std::sort / std::map, whose ordering
+// contracts NaN would break on either path.
+Table MakeHomes(size_t n, uint64_t seed, double null_p,
+                bool with_hostile_cells) {
+  Table table(FuzzSchema());
+  Random rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    Row row;
+    auto cell = [&](Value v) {
+      row.push_back(rng.Bernoulli(null_p) ? Value() : std::move(v));
+    };
+    cell(Value(kNeighborhoods[rng.Uniform(0, 5)]));
+    cell(Value(kCities[rng.Uniform(0, 2)]));
+    cell(Value(kTypes[rng.Uniform(0, 2)]));
+
+    double price = rng.UniformReal(50000, 900000);
+    if (rng.Bernoulli(0.2)) {
+      price = 25000.0 * rng.Uniform(2, 30);  // exact split-point multiples
+    }
+    cell(Value(price));
+    cell(Value(rng.Uniform(0, 8)));
+    cell(Value(0.25 * rng.Uniform(4, 20)));
+    cell(Value(rng.UniformReal(300, 8000)));
+    cell(Value(rng.Uniform(1900, 2026)));
+
+    if (with_hostile_cells && i % 17 == 0) {
+      const size_t variant = i / 17 % 6;
+      switch (variant) {
+        case 0:
+          row[3] = Value(std::numeric_limits<double>::quiet_NaN());
+          break;
+        case 1:
+          row[3] = Value(-0.0);
+          break;
+        case 2:
+          row[3] = Value(0.0);
+          break;
+        case 3:
+          row[4] = Value(std::numeric_limits<int64_t>::max());
+          break;
+        case 4:
+          row[4] = Value(std::numeric_limits<int64_t>::min());
+          break;
+        default:
+          row[7] = Value(int64_t{9007199254740993});  // 2^53 + 1
+          break;
+      }
+    }
+    EXPECT_TRUE(table.AppendRow(std::move(row)).ok());
+  }
+  return table;
+}
+
+// Bit-exact cell equality: same dynamic type, and doubles compared by
+// representation so NaN == NaN and -0.0 != 0.0 (Value::operator== would
+// accept int64(3) == double(3.0) and any NaN == anything).
+bool BitIdentical(const Value& a, const Value& b) {
+  if (a.type() != b.type()) {
+    return false;
+  }
+  switch (a.type()) {
+    case ValueType::kNull:
+      return true;
+    case ValueType::kInt64:
+      return a.int64_value() == b.int64_value();
+    case ValueType::kDouble: {
+      uint64_t ba = 0;
+      uint64_t bb = 0;
+      const double da = a.double_value();
+      const double db = b.double_value();
+      std::memcpy(&ba, &da, sizeof(ba));
+      std::memcpy(&bb, &db, sizeof(bb));
+      return ba == bb;
+    }
+    case ValueType::kString:
+      return a.string_value() == b.string_value();
+  }
+  return false;
+}
+
+void ExpectTablesBitIdentical(const Table& row_result,
+                              const Table& col_result,
+                              const std::string& context) {
+  ASSERT_EQ(row_result.schema().num_columns(),
+            col_result.schema().num_columns())
+      << context;
+  for (size_t c = 0; c < row_result.schema().num_columns(); ++c) {
+    EXPECT_EQ(row_result.schema().column(c).name,
+              col_result.schema().column(c).name)
+        << context;
+    EXPECT_EQ(row_result.schema().column(c).type,
+              col_result.schema().column(c).type)
+        << context;
+    EXPECT_EQ(row_result.schema().column(c).kind,
+              col_result.schema().column(c).kind)
+        << context;
+  }
+  ASSERT_EQ(row_result.num_rows(), col_result.num_rows()) << context;
+  for (size_t r = 0; r < row_result.num_rows(); ++r) {
+    for (size_t c = 0; c < row_result.schema().num_columns(); ++c) {
+      ASSERT_TRUE(
+          BitIdentical(row_result.ValueAt(r, c), col_result.ValueAt(r, c)))
+          << context << " differs at row " << r << " col " << c << ": "
+          << row_result.ValueAt(r, c).ToString() << " vs "
+          << col_result.ValueAt(r, c).ToString();
+    }
+  }
+}
+
+// Runs `sql` through the row path and through the columnar path at the
+// given thread count; success results must be bit-identical tables and
+// failures must carry the same Status.
+void ExpectSqlEquivalent(const Database& db, const std::string& sql,
+                         size_t threads) {
+  ExecOptions row_opts;
+  row_opts.use_columnar = false;
+  ExecOptions col_opts;
+  col_opts.use_columnar = true;
+  col_opts.parallel.threads = threads;
+
+  const Result<Table> row_result = ExecuteSql(sql, db, row_opts);
+  const Result<Table> col_result = ExecuteSql(sql, db, col_opts);
+  ASSERT_EQ(row_result.ok(), col_result.ok())
+      << sql << " (threads=" << threads
+      << "): " << (row_result.ok() ? col_result : row_result)
+                      .status()
+                      .ToString();
+  if (!row_result.ok()) {
+    EXPECT_EQ(row_result.status().ToString(), col_result.status().ToString())
+        << sql;
+    return;
+  }
+  ExpectTablesBitIdentical(row_result.value(), col_result.value(),
+                           sql + " (threads=" + std::to_string(threads) +
+                               ")");
+}
+
+Database HomesDb(Table table) {
+  Database db;
+  EXPECT_TRUE(db.RegisterTable("homes", std::move(table)).ok());
+  return db;
+}
+
+// ----------------------------------------------------------- corpus replay
+
+TEST(ColumnarEquivalenceTest, FuzzCorpusRowVsColumnar) {
+  const Database db = HomesDb(MakeHomes(500, 101, 0.08, true));
+  const std::filesystem::path corpus(AUTOCAT_FUZZ_CORPUS_DIR);
+  ASSERT_TRUE(std::filesystem::is_directory(corpus));
+  size_t replayed = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(corpus)) {
+    if (!entry.is_regular_file()) {
+      continue;
+    }
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::string sql((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+    for (const size_t threads : {size_t{1}, size_t{7}}) {
+      ExpectSqlEquivalent(db, sql, threads);
+    }
+    ++replayed;
+  }
+  EXPECT_GE(replayed, 10u) << "corpus directory looks truncated";
+}
+
+// ------------------------------------------------------ randomized queries
+
+std::string RandomLiteral(Random& rng, size_t col) {
+  if (col <= 2) {  // string columns
+    const char* const* vocab =
+        col == 0 ? kNeighborhoods : (col == 1 ? kCities : kTypes);
+    const int64_t hi = col == 0 ? 5 : 2;
+    return std::string("'") + vocab[rng.Uniform(0, hi)] + "'";
+  }
+  switch (rng.Uniform(0, 3)) {
+    case 0:
+      return std::to_string(rng.Uniform(-5, 1000000));
+    case 1:
+      return std::to_string(25000.0 * rng.Uniform(0, 30));
+    case 2:
+      return "9007199254740993";  // 2^53 + 1
+    default:
+      return std::to_string(rng.UniformReal(0, 900000));
+  }
+}
+
+std::string RandomCondition(Random& rng, const Schema& schema) {
+  // Occasionally target an unknown column or cross the string/numeric
+  // class boundary: the columnar path must then reproduce the row path's
+  // behavior (error or empty result) exactly, not merely "do something
+  // reasonable".
+  const bool hostile = rng.Bernoulli(0.15);
+  const size_t col = static_cast<size_t>(rng.Uniform(0, 7));
+  std::string name =
+      hostile && rng.Bernoulli(0.3) ? "bogus" : schema.column(col).name;
+  const size_t lit_col =
+      hostile ? static_cast<size_t>(rng.Uniform(0, 7)) : col;
+  switch (rng.Uniform(0, 6)) {
+    case 0:
+      return name + " = " + RandomLiteral(rng, lit_col);
+    case 1:
+      return name + " <> " + RandomLiteral(rng, lit_col);
+    case 2: {
+      const char* const ops[] = {"<", "<=", ">", ">="};
+      return name + " " + ops[rng.Uniform(0, 3)] + " " +
+             RandomLiteral(rng, lit_col);
+    }
+    case 3: {
+      std::string a = RandomLiteral(rng, lit_col);
+      std::string b = RandomLiteral(rng, lit_col);
+      return name + (rng.Bernoulli(0.3) ? " NOT BETWEEN " : " BETWEEN ") +
+             a + " AND " + b;
+    }
+    case 4: {
+      std::string list = RandomLiteral(rng, lit_col);
+      const int64_t extra = rng.Uniform(0, 3);
+      for (int64_t i = 0; i < extra; ++i) {
+        list += ", " + RandomLiteral(rng, lit_col);
+      }
+      return name + (rng.Bernoulli(0.3) ? " NOT IN (" : " IN (") + list +
+             ")";
+    }
+    default:
+      return name + (rng.Bernoulli(0.5) ? " IS NULL" : " IS NOT NULL");
+  }
+}
+
+std::string RandomQuery(Random& rng, const Schema& schema) {
+  std::string sql = "SELECT * FROM homes WHERE ";
+  const int64_t conds = rng.Uniform(1, 3);
+  for (int64_t i = 0; i < conds; ++i) {
+    if (i > 0) {
+      sql += rng.Bernoulli(0.5) ? " AND " : " OR ";
+    }
+    sql += RandomCondition(rng, schema);
+  }
+  return sql;
+}
+
+TEST(ColumnarEquivalenceTest, RandomizedQueriesRowVsColumnar) {
+  const Schema schema = FuzzSchema();
+  const Database db = HomesDb(MakeHomes(600, 202, 0.1, true));
+  Random rng(777);
+  for (int i = 0; i < 250; ++i) {
+    const std::string sql = RandomQuery(rng, schema);
+    for (const size_t threads : {size_t{1}, size_t{7}}) {
+      ExpectSqlEquivalent(db, sql, threads);
+    }
+  }
+}
+
+TEST(ColumnarEquivalenceTest, EdgeCaseQueries) {
+  const Database db = HomesDb(MakeHomes(300, 303, 0.12, true));
+  const std::vector<std::string> queries = {
+      // NaN cells meet every comparison shape.
+      "SELECT * FROM homes WHERE price > 0",
+      "SELECT * FROM homes WHERE price = 100000",
+      "SELECT * FROM homes WHERE price <> 100000",
+      "SELECT * FROM homes WHERE price BETWEEN 0 AND 1000000",
+      "SELECT * FROM homes WHERE price IN (100000, 200000)",
+      "SELECT * FROM homes WHERE price NOT IN (100000)",
+      // Signed zero: -0.0 == 0.0 numerically on both paths.
+      "SELECT * FROM homes WHERE price = 0",
+      "SELECT * FROM homes WHERE price < 0",
+      // 2^53 + 1: exact on the int64 path, rounds on the double path.
+      "SELECT * FROM homes WHERE yearbuilt = 9007199254740993",
+      "SELECT * FROM homes WHERE yearbuilt = 9007199254740992",
+      "SELECT * FROM homes WHERE bedroomcount = 9223372036854775807",
+      "SELECT * FROM homes WHERE bedroomcount >= -9223372036854775807",
+      // NULL handling.
+      "SELECT * FROM homes WHERE price IS NULL",
+      "SELECT * FROM homes WHERE price IS NOT NULL",
+      "SELECT * FROM homes WHERE neighborhood IS NULL OR price > 500000",
+      // String-vs-numeric class mismatches: the row path errors on the
+      // first matching row; the columnar path must refuse and fall back.
+      "SELECT * FROM homes WHERE price = 'expensive'",
+      "SELECT * FROM homes WHERE neighborhood < 5",
+      "SELECT * FROM homes WHERE neighborhood IN (1, 2)",
+      "SELECT * FROM homes WHERE bedroomcount BETWEEN 'a' AND 'b'",
+      // Unknown column errors identically.
+      "SELECT * FROM homes WHERE bogus = 1",
+      // Projection through the zero-copy view.
+      "SELECT neighborhood, price FROM homes WHERE bedroomcount >= 3",
+      "SELECT price FROM homes WHERE neighborhood = 'Redmond'",
+  };
+  for (const std::string& sql : queries) {
+    for (const size_t threads : {size_t{1}, size_t{7}}) {
+      ExpectSqlEquivalent(db, sql, threads);
+    }
+  }
+}
+
+TEST(ColumnarEquivalenceTest, EmptyTableAndAllNullColumn) {
+  // Empty table: every query returns an empty result on both paths (the
+  // row path does not even surface type errors — no rows to evaluate).
+  {
+    const Database db = HomesDb(Table(FuzzSchema()));
+    for (const std::string sql :
+         {"SELECT * FROM homes WHERE price > 0",
+          "SELECT * FROM homes WHERE price = 'expensive'",
+          "SELECT * FROM homes WHERE bogus = 1"}) {
+      ExpectSqlEquivalent(db, sql, 1);
+    }
+  }
+  // All-NULL column: comparisons never match, IS NULL matches everything,
+  // and even class-mismatched literals cannot error on the row path.
+  {
+    Table table(FuzzSchema());
+    Random rng(9);
+    for (int i = 0; i < 64; ++i) {
+      ASSERT_TRUE(table
+                      .AppendRow({Value(kNeighborhoods[i % 6]), Value(),
+                                  Value(kTypes[i % 3]), Value(),
+                                  Value(rng.Uniform(0, 8)), Value(1.5),
+                                  Value(rng.UniformReal(300, 5000)),
+                                  Value(rng.Uniform(1900, 2026))})
+                      .ok());
+    }
+    const Database db = HomesDb(std::move(table));
+    for (const std::string sql :
+         {"SELECT * FROM homes WHERE price > 0",
+          "SELECT * FROM homes WHERE price = 'expensive'",
+          "SELECT * FROM homes WHERE price IS NULL",
+          "SELECT * FROM homes WHERE city IS NOT NULL",
+          "SELECT * FROM homes WHERE city = 'Seattle'"}) {
+      ExpectSqlEquivalent(db, sql, 1);
+    }
+  }
+}
+
+TEST(ColumnarEquivalenceTest, PutTableInvalidatesShadow) {
+  Database db = HomesDb(MakeHomes(50, 11, 0.0, false));
+  ExecOptions opts;  // columnar on
+  const std::string sql = "SELECT * FROM homes WHERE bedroomcount >= 0";
+  AUTOCAT_ASSERT_OK_AND_MOVE(Table before, ExecuteSql(sql, db, opts));
+  EXPECT_EQ(before.num_rows(), 50u);
+  db.PutTable("homes", MakeHomes(20, 12, 0.0, false));
+  AUTOCAT_ASSERT_OK_AND_MOVE(Table after, ExecuteSql(sql, db, opts));
+  EXPECT_EQ(after.num_rows(), 20u);
+}
+
+// -------------------------------------------- profile (serving-path) filter
+
+TEST(ColumnarEquivalenceTest, CompiledProfileMatchesRowSemantics) {
+  const Schema schema = FuzzSchema();
+  const Table table = MakeHomes(400, 404, 0.1, true);
+  Database db;
+  ASSERT_TRUE(db.RegisterTable("homes", Table(table)).ok());
+  AUTOCAT_ASSERT_OK_AND_MOVE(std::shared_ptr<const ColumnarTable> shadow,
+                             db.ColumnarFor("homes"));
+
+  Random rng(555);
+  size_t compiled_profiles = 0;
+  for (int i = 0; i < 500; ++i) {
+    const std::string sql = RandomQuery(rng, schema);
+    auto query = ParseQuery(sql);
+    if (!query.ok()) {
+      continue;
+    }
+    auto profile = SelectionProfile::FromQuery(query.value(), schema);
+    if (!profile.ok()) {
+      continue;
+    }
+    auto compiled =
+        CompiledPredicate::CompileProfile(profile.value(), schema, shadow);
+    if (!compiled.ok()) {
+      ASSERT_EQ(compiled.status().code(), StatusCode::kNotSupported) << sql;
+      continue;
+    }
+    ++compiled_profiles;
+    std::vector<uint32_t> expected;
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      if (profile.value().MatchesRow(table.row(r), schema)) {
+        expected.push_back(static_cast<uint32_t>(r));
+      }
+    }
+    for (const size_t threads : {size_t{1}, size_t{7}}) {
+      ParallelOptions parallel;
+      parallel.threads = threads;
+      AUTOCAT_ASSERT_OK_AND_MOVE(std::vector<uint32_t> got,
+                                 compiled.value().Filter(parallel));
+      EXPECT_EQ(got, expected) << sql << " (threads=" << threads << ")";
+    }
+  }
+  EXPECT_GE(compiled_profiles, 50u)
+      << "profile compiler refused too often to be a meaningful gate";
+}
+
+// ------------------------------------------------- view-based consumers
+
+struct ViewFixture {
+  Table table;
+  Database db;
+  std::shared_ptr<const ColumnarTable> shadow;
+  TableView view;       // filtered + projected
+  Table materialized;   // view.Materialize()
+  std::vector<size_t> all_tuples;
+
+  explicit ViewFixture(bool projected) : table(MakeHomes(350, 42, 0.07,
+                                                         false)) {
+    EXPECT_TRUE(db.RegisterTable("homes", Table(table)).ok());
+    auto shadow_or = db.ColumnarFor("homes");
+    EXPECT_TRUE(shadow_or.ok());
+    shadow = std::move(shadow_or).value();
+    std::vector<uint32_t> rows;
+    for (uint32_t r = 0; r < table.num_rows(); r += 2) {
+      rows.push_back(r);  // every other row, ascending
+    }
+    const std::vector<std::string> columns =
+        projected ? std::vector<std::string>{"neighborhood", "price",
+                                             "bedroomcount", "yearbuilt"}
+                  : std::vector<std::string>{};
+    auto view_or =
+        TableView::Create(*db.GetTable("homes").value(), shadow,
+                          std::move(rows), columns);
+    EXPECT_TRUE(view_or.ok());
+    view = std::move(view_or).value();
+    materialized = view.Materialize();
+    for (size_t i = 0; i < view.num_rows(); ++i) {
+      all_tuples.push_back(i);
+    }
+  }
+};
+
+TEST(ColumnarEquivalenceTest, ViewMaterializeMatchesSelectRowsProject) {
+  const ViewFixture f(true);
+  std::vector<size_t> rows;
+  for (size_t r = 0; r < f.table.num_rows(); r += 2) {
+    rows.push_back(r);
+  }
+  AUTOCAT_ASSERT_OK_AND_MOVE(Table selected, f.table.SelectRows(rows));
+  AUTOCAT_ASSERT_OK_AND_MOVE(
+      Table expected,
+      selected.Project({"neighborhood", "price", "bedroomcount",
+                        "yearbuilt"}));
+  ExpectTablesBitIdentical(expected, f.materialized,
+                           "view materialization");
+  // ValueAt through the view reads the same cells without materializing.
+  for (size_t r = 0; r < f.view.num_rows(); ++r) {
+    for (size_t c = 0; c < f.view.num_columns(); ++c) {
+      EXPECT_TRUE(BitIdentical(f.view.ValueAt(r, c), expected.ValueAt(r, c)))
+          << "view cell " << r << "," << c;
+    }
+  }
+}
+
+TEST(ColumnarEquivalenceTest, ColumnStatsViewVsMaterialized) {
+  for (const bool projected : {false, true}) {
+    const ViewFixture f(projected);
+    for (size_t c = 0; c < f.view.num_columns(); ++c) {
+      AUTOCAT_ASSERT_OK_AND_MOVE(ColumnStats from_view,
+                                 ColumnStats::Compute(f.view, c));
+      AUTOCAT_ASSERT_OK_AND_MOVE(ColumnStats from_table,
+                                 ColumnStats::Compute(f.materialized, c));
+      EXPECT_EQ(from_view.column_name, from_table.column_name);
+      EXPECT_EQ(from_view.row_count, from_table.row_count);
+      EXPECT_EQ(from_view.null_count, from_table.null_count);
+      ASSERT_EQ(from_view.value_counts.size(),
+                from_table.value_counts.size())
+          << from_view.column_name;
+      auto it_v = from_view.value_counts.begin();
+      auto it_t = from_table.value_counts.begin();
+      for (; it_t != from_table.value_counts.end(); ++it_v, ++it_t) {
+        EXPECT_TRUE(BitIdentical(it_v->first, it_t->first))
+            << from_view.column_name;
+        EXPECT_EQ(it_v->second, it_t->second) << from_view.column_name;
+      }
+      EXPECT_TRUE(BitIdentical(from_view.min, from_table.min))
+          << from_view.column_name;
+      EXPECT_TRUE(BitIdentical(from_view.max, from_table.max))
+          << from_view.column_name;
+    }
+  }
+}
+
+WorkloadStats FuzzStats() {
+  const std::vector<std::string> sqls = {
+      "SELECT * FROM homes WHERE price BETWEEN 100000 AND 200000",
+      "SELECT * FROM homes WHERE price <= 300000 AND neighborhood IN "
+      "('Redmond', 'Bellevue')",
+      "SELECT * FROM homes WHERE bedroomcount >= 3",
+      "SELECT * FROM homes WHERE propertytype = 'Condo' AND price <= "
+      "250000",
+      "SELECT * FROM homes WHERE yearbuilt >= 1990 AND squarefootage "
+      "BETWEEN 1000 AND 3000",
+      "SELECT * FROM homes WHERE neighborhood = 'Seattle' AND "
+      "bedroomcount BETWEEN 2 AND 4",
+  };
+  const Schema schema = FuzzSchema();
+  const Workload workload = Workload::Parse(sqls, schema, nullptr);
+  EXPECT_EQ(workload.size(), sqls.size());
+  WorkloadStatsOptions options;
+  options.split_intervals = {{"price", 5000},
+                             {"squarefootage", 100},
+                             {"yearbuilt", 5},
+                             {"bedroomcount", 1},
+                             {"bathcount", 1}};
+  auto stats = WorkloadStats::Build(workload, schema, options);
+  EXPECT_TRUE(stats.ok());
+  return std::move(stats).value();
+}
+
+void ExpectPartitionsIdentical(
+    const std::vector<PartitionCategory>& from_table,
+    const std::vector<PartitionCategory>& from_view,
+    const std::string& context) {
+  ASSERT_EQ(from_table.size(), from_view.size()) << context;
+  for (size_t i = 0; i < from_table.size(); ++i) {
+    const CategoryLabel& a = from_table[i].label;
+    const CategoryLabel& b = from_view[i].label;
+    EXPECT_EQ(a.attribute(), b.attribute()) << context;
+    ASSERT_EQ(a.is_categorical(), b.is_categorical()) << context;
+    if (a.is_categorical()) {
+      ASSERT_EQ(a.values().size(), b.values().size()) << context;
+      for (size_t v = 0; v < a.values().size(); ++v) {
+        EXPECT_TRUE(BitIdentical(a.values()[v], b.values()[v])) << context;
+      }
+    } else {
+      EXPECT_TRUE(BitIdentical(Value(a.lo()), Value(b.lo()))) << context;
+      EXPECT_TRUE(BitIdentical(Value(a.hi()), Value(b.hi()))) << context;
+      EXPECT_EQ(a.hi_inclusive(), b.hi_inclusive()) << context;
+    }
+    EXPECT_EQ(from_table[i].tuples, from_view[i].tuples)
+        << context << " category " << i;
+  }
+}
+
+TEST(ColumnarEquivalenceTest, PartitionersViewVsTable) {
+  const WorkloadStats stats = FuzzStats();
+  for (const bool projected : {false, true}) {
+    const ViewFixture f(projected);
+    const std::string tag = projected ? " (projected)" : " (all columns)";
+
+    for (const std::string attr : {"neighborhood", "price"}) {
+      const bool numeric = attr == "price";
+      if (numeric) {
+        NumericPartitionOptions options;
+        AUTOCAT_ASSERT_OK_AND_MOVE(
+            auto from_table,
+            PartitionNumeric(f.materialized, f.all_tuples, attr, stats,
+                             options, nullptr));
+        AUTOCAT_ASSERT_OK_AND_MOVE(
+            auto from_view,
+            PartitionNumeric(f.view, f.all_tuples, attr, stats, options,
+                             nullptr));
+        ExpectPartitionsIdentical(from_table, from_view,
+                                  "PartitionNumeric " + attr + tag);
+
+        AUTOCAT_ASSERT_OK_AND_MOVE(
+            auto ew_table,
+            PartitionNumericEquiWidth(f.materialized, f.all_tuples, attr,
+                                      25000, nullptr));
+        AUTOCAT_ASSERT_OK_AND_MOVE(
+            auto ew_view,
+            PartitionNumericEquiWidth(f.view, f.all_tuples, attr, 25000,
+                                      nullptr));
+        ExpectPartitionsIdentical(ew_table, ew_view,
+                                  "PartitionNumericEquiWidth " + attr +
+                                      tag);
+      } else {
+        AUTOCAT_ASSERT_OK_AND_MOVE(
+            auto from_table,
+            PartitionCategorical(f.materialized, f.all_tuples, attr,
+                                 stats));
+        AUTOCAT_ASSERT_OK_AND_MOVE(
+            auto from_view,
+            PartitionCategorical(f.view, f.all_tuples, attr, stats));
+        ExpectPartitionsIdentical(from_table, from_view,
+                                  "PartitionCategorical " + attr + tag);
+
+        // Same seed on both sides: the shuffle order must match too.
+        Random rng_table(7);
+        Random rng_view(7);
+        AUTOCAT_ASSERT_OK_AND_MOVE(
+            auto arb_table,
+            PartitionCategoricalArbitrary(f.materialized, f.all_tuples,
+                                          attr, &rng_table));
+        AUTOCAT_ASSERT_OK_AND_MOVE(
+            auto arb_view,
+            PartitionCategoricalArbitrary(f.view, f.all_tuples, attr,
+                                          &rng_view));
+        ExpectPartitionsIdentical(arb_table, arb_view,
+                                  "PartitionCategoricalArbitrary " + attr +
+                                      tag);
+      }
+    }
+  }
+}
+
+TEST(ColumnarEquivalenceTest, RankingViewVsTable) {
+  const WorkloadStats stats = FuzzStats();
+  const ViewFixture f(false);
+  const std::vector<std::string> attributes = {"neighborhood", "price",
+                                               "bedroomcount"};
+  AUTOCAT_ASSERT_OK_AND_MOVE(
+      std::vector<size_t> from_table,
+      RankTuples(f.materialized, f.all_tuples, attributes, stats));
+  AUTOCAT_ASSERT_OK_AND_MOVE(
+      std::vector<size_t> from_view,
+      RankTuples(f.view, f.all_tuples, attributes, stats));
+  EXPECT_EQ(from_table, from_view);
+  for (size_t r = 0; r < f.view.num_rows(); r += 13) {
+    AUTOCAT_ASSERT_OK_AND_MOVE(
+        const double score_table,
+        TupleScore(f.materialized, r, attributes, stats));
+    AUTOCAT_ASSERT_OK_AND_MOVE(const double score_view,
+                               TupleScore(f.view, r, attributes, stats));
+    EXPECT_EQ(score_table, score_view) << "row " << r;
+  }
+}
+
+TEST(ColumnarEquivalenceTest, CostBasedCategorizerViewVsTable) {
+  const WorkloadStats stats = FuzzStats();
+  const ViewFixture f(false);
+  CategorizerOptions options;
+  options.candidate_attributes = {"neighborhood", "propertytype", "price",
+                                  "bedroomcount"};
+  options.attribute_usage_threshold = 0.0;
+  const CostBasedCategorizer categorizer(&stats, options);
+
+  auto query = ParseQuery("SELECT * FROM homes WHERE price <= 900000");
+  ASSERT_TRUE(query.ok());
+  auto profile = SelectionProfile::FromQuery(query.value(), FuzzSchema());
+  ASSERT_TRUE(profile.ok());
+
+  AUTOCAT_ASSERT_OK_AND_MOVE(
+      const CategoryTree from_table,
+      categorizer.Categorize(f.materialized, &profile.value()));
+  AUTOCAT_ASSERT_OK_AND_MOVE(
+      const CategoryTree from_view,
+      categorizer.Categorize(f.view, f.materialized, &profile.value()));
+
+  EXPECT_EQ(from_table.level_attributes(), from_view.level_attributes());
+  ASSERT_EQ(from_table.num_nodes(), from_view.num_nodes());
+  for (size_t id = 0; id < from_table.num_nodes(); ++id) {
+    const CategoryNode& a = from_table.node(static_cast<NodeId>(id));
+    const CategoryNode& b = from_view.node(static_cast<NodeId>(id));
+    EXPECT_EQ(a.parent, b.parent) << "node " << id;
+    EXPECT_EQ(a.children, b.children) << "node " << id;
+    EXPECT_EQ(a.tuples, b.tuples) << "node " << id;
+    EXPECT_EQ(a.label.ToString(), b.label.ToString()) << "node " << id;
+  }
+
+  // A mismatched view is rejected rather than silently miscombined.
+  const ViewFixture other(true);
+  EXPECT_FALSE(
+      categorizer.Categorize(other.view, f.materialized, &profile.value())
+          .ok());
+}
+
+}  // namespace
+}  // namespace autocat

@@ -10,30 +10,49 @@
 //      unbounded range and are omitted from the WHERE text), but a second
 //      pass must reach a fixed point — and the canonical text must always
 //      re-parse and re-normalize without error.
+//   3. The columnar predicate kernels are refuse-or-exact (stage 5): over
+//      a fixed table seeded with hostile cells, a WHERE clause that
+//      compiles filters bit-identically to row-at-a-time evaluation at
+//      multiple thread counts, and any clause the row path errors on is
+//      refused with kNotSupported.
 //
 // Built as a libFuzzer target (autocat_sql_fuzzer) only when the compiler
 // supports -fsanitize=fuzzer (clang); in every configuration the same
 // entry point links against tests/fuzz/fuzz_replay_main.cc into
 // autocat_fuzz_replay, which replays tests/fuzz/corpus under plain ctest.
 
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
+#include <memory>
 #include <string_view>
+#include <vector>
 
+#include "common/thread_pool.h"
+#include "exec/kernels.h"
+#include "exec/predicate.h"
 #include "sql/lexer.h"
 #include "sql/parser.h"
 #include "sql/selection.h"
+#include "storage/columnar.h"
 #include "storage/schema.h"
+#include "storage/table.h"
 
 namespace {
 
 using autocat::AttributeCondition;
 using autocat::ColumnDef;
 using autocat::ColumnKind;
+using autocat::ColumnarTable;
+using autocat::CompiledPredicate;
+using autocat::ParallelOptions;
 using autocat::Schema;
 using autocat::SelectionProfile;
+using autocat::Table;
+using autocat::Value;
 using autocat::ValueType;
 
 // The homes schema of the paper's running example: a realistic mix of
@@ -60,6 +79,62 @@ const Schema& FuzzSchema() {
     return new Schema(std::move(result).value());
   }();
   return *schema;
+}
+
+// Small fixed homes table with hostile cells (NULLs, NaN, signed zeros,
+// int64 extremes, 2^53 + 1) for the stage-5 filter-equivalence check.
+const Table& FuzzTable() {
+  static const Table* table = [] {
+    auto* t = new Table(FuzzSchema());
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const int64_t i64max = std::numeric_limits<int64_t>::max();
+    const int64_t i64min = std::numeric_limits<int64_t>::min();
+    const struct {
+      Value cells[8];
+    } rows[] = {
+        {{Value("Redmond"), Value("Seattle"), Value("Single Family"),
+          Value(210000.0), Value(3), Value(2.5), Value(1800.0),
+          Value(1984)}},
+        {{Value("Bellevue"), Value("Bellevue"), Value("Condo"),
+          Value(250000.0), Value(2), Value(1.0), Value(900.0),
+          Value(2005)}},
+        {{Value("Seattle"), Value("Seattle"), Value("Townhome"),
+          Value(180000.0), Value(4), Value(2.0), Value(2100.0),
+          Value(1999)}},
+        {{Value("Kirkland"), Value("Seattle"), Value("Condo"), Value(),
+          Value(5), Value(3.0), Value(2600.0), Value(2015)}},
+        {{Value(), Value("Redmond"), Value("Single Family"), Value(nan),
+          Value(1), Value(1.5), Value(700.0), Value(1970)}},
+        {{Value("Ballard"), Value(), Value(), Value(-0.0), Value(0),
+          Value(0.25), Value(320.0), Value(int64_t{9007199254740993})}},
+        {{Value("Queen Anne"), Value("Seattle"), Value("Condo"),
+          Value(0.0), Value(i64max), Value(4.0), Value(5200.0),
+          Value(2020)}},
+        {{Value(""), Value("Bellevue"), Value("Townhome"), Value(1e308),
+          Value(i64min), Value(2.25), Value(4100.0), Value(1900)}},
+        {{Value("Redmond"), Value("Seattle"), Value("Single Family"),
+          Value(), Value(), Value(), Value(), Value()}},
+    };
+    for (const auto& row : rows) {
+      auto status = t->AppendRow({row.cells[0], row.cells[1], row.cells[2],
+                                  row.cells[3], row.cells[4], row.cells[5],
+                                  row.cells[6], row.cells[7]});
+      if (!status.ok()) {
+        std::fprintf(stderr, "fuzz table construction failed: %s\n",
+                     status.ToString().c_str());
+        std::abort();  // autocat-lint: allow(banned-call) — harness setup
+      }
+    }
+    return t;
+  }();
+  return *table;
+}
+
+const std::shared_ptr<const ColumnarTable>& FuzzShadow() {
+  static const auto* shadow = new std::shared_ptr<const ColumnarTable>(
+      std::make_shared<const ColumnarTable>(
+          ColumnarTable::Build(FuzzTable())));
+  return *shadow;
 }
 
 void FailRoundTrip(std::string_view stage, std::string_view detail,
@@ -93,6 +168,80 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
   // columns and unsupported shapes surface as Status; anything else must
   // produce a profile.
   auto profile = SelectionProfile::FromQuery(query.value(), FuzzSchema());
+
+  // Stage 5 (runs regardless of stage 3/4's outcome): columnar kernels
+  // must be refuse-or-exact against the row path over the fixed hostile
+  // table. If Compile accepts a WHERE clause, the row path must evaluate
+  // every row without error and the selection vectors must match exactly
+  // (threads 1 and 3); if the row path errors, Compile must have refused.
+  if (query.value().where != nullptr) {
+    const Table& table = FuzzTable();
+    const autocat::Expr& where = *query.value().where;
+    auto compiled =
+        CompiledPredicate::Compile(where, FuzzSchema(), FuzzShadow());
+    std::vector<uint32_t> expected;
+    bool row_error = false;
+    for (size_t r = 0; r < table.num_rows() && !row_error; ++r) {
+      auto match =
+          autocat::EvaluatePredicate(where, table.row(r), FuzzSchema());
+      if (!match.ok()) {
+        row_error = true;
+      } else if (match.value()) {
+        expected.push_back(static_cast<uint32_t>(r));
+      }
+    }
+    if (!compiled.ok()) {
+      if (compiled.status().code() !=
+          autocat::StatusCode::kNotSupported) {
+        FailRoundTrip("kernel compile surfaced a non-refusal error",
+                      compiled.status().ToString(), sql);
+      }
+    } else if (row_error) {
+      FailRoundTrip("kernel compiled a predicate the row path errors on",
+                    "refuse-or-exact contract violated", sql);
+    } else {
+      for (const size_t threads : {size_t{1}, size_t{3}}) {
+        ParallelOptions parallel;
+        parallel.threads = threads;
+        auto selection = compiled.value().Filter(parallel);
+        if (!selection.ok()) {
+          FailRoundTrip("kernel filter errored",
+                        selection.status().ToString(), sql);
+        }
+        if (selection.value() != expected) {
+          FailRoundTrip("kernel selection != row selection", sql, sql);
+        }
+      }
+    }
+    // Profile flavor: MatchesRow never errors, so a compiled profile
+    // always has a row-path twin to compare against.
+    if (profile.ok()) {
+      auto compiled_profile = CompiledPredicate::CompileProfile(
+          profile.value(), FuzzSchema(), FuzzShadow());
+      if (compiled_profile.ok()) {
+        std::vector<uint32_t> matched;
+        for (size_t r = 0; r < table.num_rows(); ++r) {
+          if (profile.value().MatchesRow(table.row(r), FuzzSchema())) {
+            matched.push_back(static_cast<uint32_t>(r));
+          }
+        }
+        ParallelOptions parallel;
+        parallel.threads = 1;
+        auto selection = compiled_profile.value().Filter(parallel);
+        if (!selection.ok() || selection.value() != matched) {
+          FailRoundTrip("profile kernel selection != MatchesRow",
+                        selection.ok() ? "selection mismatch"
+                                       : selection.status().ToString(),
+                        sql);
+        }
+      } else if (compiled_profile.status().code() !=
+                 autocat::StatusCode::kNotSupported) {
+        FailRoundTrip("profile kernel compile surfaced a non-refusal error",
+                      compiled_profile.status().ToString(), sql);
+      }
+    }
+  }
+
   if (!profile.ok()) {
     return 0;
   }

@@ -11,11 +11,17 @@
 #   5. clang-tidy over src/ (skipped with a notice when clang-tidy is not
 #      installed; the ctest gate skips the same way via exit code 77)
 #
-# Usage: tools/ci.sh [--fast|--serve]
+# Usage: tools/ci.sh [--fast|--serve|--bench-smoke]
 #   --fast   run only the Release leg (useful as a pre-push smoke test)
 #   --serve  run only the serving-layer suite (src/serve/ + histogram)
 #            under ASan and TSan — the targeted gate for cache/admission
 #            concurrency work
+#   --bench-smoke
+#            build and run bench_exec_filter and bench_serve_throughput
+#            at tiny sizes (--smoke) under ASan and TSan — the targeted
+#            gate for the columnar engine's kernels, views, and the
+#            threaded serve path, exercised through the real benchmark
+#            drivers rather than unit fixtures
 
 set -euo pipefail
 
@@ -23,10 +29,13 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 FAST=0
 SERVE=0
+BENCH_SMOKE=0
 if [[ "${1:-}" == "--fast" ]]; then
   FAST=1
 elif [[ "${1:-}" == "--serve" ]]; then
   SERVE=1
+elif [[ "${1:-}" == "--bench-smoke" ]]; then
+  BENCH_SMOKE=1
 fi
 
 # Every serving-layer test suite, plus the histogram the metrics build on.
@@ -44,6 +53,30 @@ serve_leg() {
   (cd "$ROOT/$dir" && ctest --output-on-failure -j "$JOBS" \
     -R "$SERVE_FILTER")
 }
+
+bench_smoke_leg() {
+  local name="$1" dir="$2"
+  shift 2
+  echo "==== [bench-smoke/$name] configure ===="
+  cmake -B "$ROOT/$dir" -S "$ROOT" "$@"
+  echo "==== [bench-smoke/$name] build ===="
+  cmake --build "$ROOT/$dir" -j "$JOBS" \
+    --target bench_exec_filter bench_serve_throughput
+  echo "==== [bench-smoke/$name] bench_exec_filter ===="
+  "$ROOT/$dir/bench/bench_exec_filter" --smoke --benchmark_min_time=0.01
+  echo "==== [bench-smoke/$name] bench_serve_throughput ===="
+  "$ROOT/$dir/bench/bench_serve_throughput" --smoke \
+    --benchmark_min_time=0.01
+}
+
+if [[ "$BENCH_SMOKE" == "1" ]]; then
+  bench_smoke_leg asan build-ci-asan \
+    -DCMAKE_BUILD_TYPE=Debug -DAUTOCAT_SANITIZE=address
+  bench_smoke_leg tsan build-ci-tsan \
+    -DCMAKE_BUILD_TYPE=Debug -DAUTOCAT_SANITIZE=thread
+  echo "==== bench-smoke legs passed ===="
+  exit 0
+fi
 
 if [[ "$SERVE" == "1" ]]; then
   serve_leg asan build-ci-asan \
