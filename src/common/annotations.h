@@ -1,0 +1,118 @@
+#ifndef AUTOCAT_COMMON_ANNOTATIONS_H_
+#define AUTOCAT_COMMON_ANNOTATIONS_H_
+
+/// Clang Thread Safety Analysis attributes behind repo-local macros
+/// (DESIGN.md §11, "Concurrency discipline").
+///
+/// Under clang the macros expand to the `capability`-family attributes and
+/// the whole tree is compiled with `-Wthread-safety -Werror=thread-safety`
+/// (wired in the top-level CMakeLists and the ci.sh --analyze leg), so
+/// every lock-discipline violation — touching a guarded member without its
+/// mutex, acquiring a capability a function promised to exclude, releasing
+/// a lock that was never held — is a compile error on *every* path, not a
+/// runtime race TSan may or may not trigger. Under other compilers the
+/// macros expand to nothing and the annotated code compiles unchanged.
+///
+/// Conventions:
+///   - Every shared mutable member is declared `T member_
+///     AUTOCAT_GUARDED_BY(mu_);` next to its mutex.
+///   - Functions that assume the lock is already held are named
+///     `FooLocked()` and annotated `AUTOCAT_REQUIRES(mu_)`; their public
+///     wrappers acquire the lock and are annotated
+///     `AUTOCAT_EXCLUDES(mu_)`.
+///   - Locks are taken through the RAII types in common/mutex.h
+///     (MutexLock / ReaderLock / WriterLock), never via manual
+///     lock()/unlock() pairs — the `manual-lock` lint rule enforces this
+///     textually where the analysis cannot see (e.g. non-clang builds).
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define AUTOCAT_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+#ifndef AUTOCAT_THREAD_ANNOTATION_
+#define AUTOCAT_THREAD_ANNOTATION_(x)  // expands to nothing outside clang
+#endif
+
+/// Marks a type as a capability (lock). `name` appears in diagnostics,
+/// e.g. AUTOCAT_CAPABILITY("mutex").
+#define AUTOCAT_CAPABILITY(name) \
+  AUTOCAT_THREAD_ANNOTATION_(capability(name))
+
+/// Marks an RAII type whose constructor acquires and destructor releases a
+/// capability (MutexLock and friends).
+#define AUTOCAT_SCOPED_CAPABILITY \
+  AUTOCAT_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Declares that a data member is protected by the given capability:
+/// reads require the capability held shared, writes require it exclusive.
+#define AUTOCAT_GUARDED_BY(x) AUTOCAT_THREAD_ANNOTATION_(guarded_by(x))
+
+/// As AUTOCAT_GUARDED_BY, but protects the data *pointed to* by the
+/// member rather than the pointer itself.
+#define AUTOCAT_PT_GUARDED_BY(x) \
+  AUTOCAT_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// The function may only be called with the listed capabilities held
+/// exclusively; it does not acquire or release them (`FooLocked()`
+/// helpers).
+#define AUTOCAT_REQUIRES(...) \
+  AUTOCAT_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// As AUTOCAT_REQUIRES, for capabilities held in shared (reader) mode.
+#define AUTOCAT_REQUIRES_SHARED(...) \
+  AUTOCAT_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the listed capabilities exclusively and holds
+/// them on return (Mutex::Lock, MutexLock's constructor).
+#define AUTOCAT_ACQUIRE(...) \
+  AUTOCAT_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// As AUTOCAT_ACQUIRE, in shared (reader) mode.
+#define AUTOCAT_ACQUIRE_SHARED(...) \
+  AUTOCAT_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+/// The function releases the listed capabilities (or, on an RAII type's
+/// destructor with no argument, whatever the constructor acquired).
+#define AUTOCAT_RELEASE(...) \
+  AUTOCAT_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// As AUTOCAT_RELEASE, for capabilities held in shared mode.
+#define AUTOCAT_RELEASE_SHARED(...) \
+  AUTOCAT_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+/// The function attempts to acquire the capability and returns `result`
+/// (true/false) on success.
+#define AUTOCAT_TRY_ACQUIRE(...) \
+  AUTOCAT_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// The caller must NOT hold the listed capabilities: the function acquires
+/// them itself, so calling it with one held would self-deadlock (public
+/// wrappers around `FooLocked()` helpers).
+#define AUTOCAT_EXCLUDES(...) \
+  AUTOCAT_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Informs the analysis (without runtime effect here) that the capability
+/// is held — an assertion-style escape hatch for invariants the analysis
+/// cannot derive.
+#define AUTOCAT_ASSERT_CAPABILITY(x) \
+  AUTOCAT_THREAD_ANNOTATION_(assert_capability(x))
+
+/// The function returns a reference to the named capability (accessor
+/// functions exposing a member mutex).
+#define AUTOCAT_RETURN_CAPABILITY(x) \
+  AUTOCAT_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Documents lock-acquisition order between capabilities (also declared
+/// globally in tools/lock_order.txt for the `lock-order` lint rule).
+#define AUTOCAT_ACQUIRED_BEFORE(...) \
+  AUTOCAT_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define AUTOCAT_ACQUIRED_AFTER(...) \
+  AUTOCAT_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+/// Disables the analysis for one function. Last resort — every use must
+/// carry a comment explaining why the contract holds anyway.
+#define AUTOCAT_NO_THREAD_SAFETY_ANALYSIS \
+  AUTOCAT_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // AUTOCAT_COMMON_ANNOTATIONS_H_

@@ -16,8 +16,12 @@ namespace autocat {
 /// from the same bounds can be merged and snapshotted deterministically
 /// (the serving layer's metrics export depends on this).
 ///
-/// The class itself is not thread-safe; concurrent writers must hold an
-/// external lock (ServiceMetrics does).
+/// The class itself is not thread-safe and deliberately carries no lock:
+/// every shared Histogram must be a member declared with
+/// AUTOCAT_GUARDED_BY next to the owning component's Mutex, so the
+/// thread-safety analysis proves each access holds the lock at compile
+/// time (ServiceMetrics in serve/metrics.h is the template; see
+/// DESIGN.md §11). Stack-local histograms and snapshots need no lock.
 class Histogram {
  public:
   /// `upper_bounds` must be non-empty and strictly increasing.

@@ -1,0 +1,155 @@
+#ifndef AUTOCAT_COMMON_MUTEX_H_
+#define AUTOCAT_COMMON_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/annotations.h"
+
+/// Annotated synchronization primitives (DESIGN.md §11).
+///
+/// The standard library's mutex types carry no thread-safety-analysis
+/// attributes, so clang cannot reason about them. These thin wrappers add
+/// the capability annotations (and nothing else — each is exactly one
+/// std object) and are the only sanctioned lock types outside this file:
+/// the `unannotated-sync` lint rule flags raw std::mutex /
+/// std::shared_mutex / std::condition_variable members anywhere in the
+/// annotated tree (src/serve, src/exec, src/common), and the
+/// `manual-lock` rule flags lock()/unlock() calls outside the RAII
+/// guards below.
+namespace autocat {
+
+class CondVar;
+
+/// An exclusive lock; wraps std::mutex. Acquire through MutexLock.
+class AUTOCAT_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() AUTOCAT_ACQUIRE() { native_.lock(); }
+  void Unlock() AUTOCAT_RELEASE() { native_.unlock(); }
+  bool TryLock() AUTOCAT_TRY_ACQUIRE(true) { return native_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex native_;
+};
+
+/// A reader-writer lock; wraps std::shared_mutex. Acquire through
+/// WriterLock (exclusive) or ReaderLock (shared).
+class AUTOCAT_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() AUTOCAT_ACQUIRE() { native_.lock(); }
+  void Unlock() AUTOCAT_RELEASE() { native_.unlock(); }
+  void LockShared() AUTOCAT_ACQUIRE_SHARED() { native_.lock_shared(); }
+  void UnlockShared() AUTOCAT_RELEASE_SHARED() {
+    native_.unlock_shared();
+  }
+
+ private:
+  std::shared_mutex native_;
+};
+
+/// RAII exclusive lock on a Mutex; the only way the annotated tree takes
+/// a Mutex (no manual Lock/Unlock pairing to get wrong on an early
+/// return).
+class AUTOCAT_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) AUTOCAT_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~MutexLock() AUTOCAT_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// RAII exclusive lock on a SharedMutex (writer side).
+class AUTOCAT_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu) AUTOCAT_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~WriterLock() AUTOCAT_RELEASE() { mu_.Unlock(); }
+
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII shared lock on a SharedMutex (reader side).
+class AUTOCAT_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mu) AUTOCAT_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_.LockShared();
+  }
+  ~ReaderLock() AUTOCAT_RELEASE() { mu_.UnlockShared(); }
+
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable paired with Mutex. Waits require the mutex held (a
+/// compile-time error under the analysis otherwise); internally the wait
+/// adopts the already-held native mutex and releases it back untouched,
+/// so this stays a plain std::condition_variable — no
+/// condition_variable_any overhead.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks until notified, reacquires `mu`.
+  void Wait(Mutex& mu) AUTOCAT_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.native_, std::adopt_lock);
+    native_.wait(native);
+    native.release();
+  }
+
+  /// Waits until `pred()` holds (re-checked after every wakeup).
+  template <typename Pred>
+  void Wait(Mutex& mu, Pred pred) AUTOCAT_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.native_, std::adopt_lock);
+    native_.wait(native, std::move(pred));
+    native.release();
+  }
+
+  /// Waits at most `ms` milliseconds; returns false on timeout. The
+  /// mutex is held again either way.
+  bool WaitForMillis(Mutex& mu, int64_t ms) AUTOCAT_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.native_, std::adopt_lock);
+    const std::cv_status status =
+        native_.wait_for(native, std::chrono::milliseconds(ms));
+    native.release();
+    return status == std::cv_status::no_timeout;
+  }
+
+  void NotifyOne() { native_.notify_one(); }
+  void NotifyAll() { native_.notify_all(); }
+
+ private:
+  std::condition_variable native_;
+};
+
+}  // namespace autocat
+
+#endif  // AUTOCAT_COMMON_MUTEX_H_

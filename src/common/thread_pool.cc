@@ -6,13 +6,18 @@
 #include <limits>
 #include <memory>
 
+#include "common/annotations.h"
+#include "common/mutex.h"
+
 namespace autocat {
 
 namespace {
 
 /// Set while the current thread executes ParallelFor chunks (either as the
 /// caller or as a pool worker). Guards against nested parallel regions,
-/// which could deadlock a fixed-size pool.
+/// which could deadlock a fixed-size pool. Deliberately a plain
+/// thread_local bool, not an atomic: each thread reads and writes only its
+/// own copy, so there is no cross-thread ordering to establish.
 thread_local bool tls_in_parallel_for = false;
 
 Status NestedParallelForError() {
@@ -33,11 +38,21 @@ struct ForState {
   size_t num_chunks = 0;
   const std::function<Status(size_t, size_t)>* fn = nullptr;
 
+  // atomic-order: relaxed — a pure claim counter. fetch_add only needs
+  // each chunk index handed out exactly once; the chunk *results* are
+  // published by the Submit/future join, not by this counter, so no
+  // acquire/release pairing is needed here.
   std::atomic<size_t> next{0};
+  // atomic-order: release/acquire — the store(release) in RunChunks
+  // happens after the error fields are written under `mu`; the
+  // load(acquire) in the claim loop therefore observes a fully recorded
+  // error before any thread stops claiming. seq_cst would add nothing:
+  // there is no multi-variable ordering to arbitrate.
   std::atomic<bool> failed{false};
-  std::mutex mu;
-  size_t first_error_chunk = std::numeric_limits<size_t>::max();
-  Status error;
+  Mutex mu;
+  size_t first_error_chunk AUTOCAT_GUARDED_BY(mu) =
+      std::numeric_limits<size_t>::max();
+  Status error AUTOCAT_GUARDED_BY(mu);
 };
 
 Status RunChunk(const ForState& state, size_t chunk) {
@@ -62,7 +77,7 @@ void RunChunks(ForState& state) {
     }
     Status status = RunChunk(state, chunk);
     if (!status.ok()) {
-      std::lock_guard<std::mutex> lock(state.mu);
+      MutexLock lock(state.mu);
       if (chunk < state.first_error_chunk) {
         state.first_error_chunk = chunk;
         state.error = std::move(status);
@@ -93,10 +108,10 @@ ThreadPool::ThreadPool(size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& worker : workers_) {
     worker.join();
   }
@@ -106,8 +121,10 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stop_ && queue_.empty()) {
+        cv_.Wait(mu_);
+      }
       if (queue_.empty()) {
         return;  // stop_ set and nothing left to drain
       }
@@ -137,10 +154,10 @@ std::future<Status> ThreadPool::Submit(std::function<Status()> task) {
     return future;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.emplace_back([wrapped] { (*wrapped)(); });
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
   return future;
 }
 
@@ -183,7 +200,7 @@ Status ThreadPool::ParallelFor(
     // their chunk index so the reported error is deterministic.
     (void)future.get();
   }
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(state.mu);
   return state.error;
 }
 

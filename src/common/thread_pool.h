@@ -1,15 +1,15 @@
 #ifndef AUTOCAT_COMMON_THREAD_POOL_H_
 #define AUTOCAT_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/annotations.h"
+#include "common/mutex.h"
 #include "common/status.h"
 
 namespace autocat {
@@ -56,7 +56,8 @@ class ThreadPool {
   /// Enqueues `task` and returns a future for its Status. With no workers
   /// the task runs inline before Submit returns. Tasks must not block on
   /// futures of other submitted tasks (the pool does not grow).
-  std::future<Status> Submit(std::function<Status()> task);
+  std::future<Status> Submit(std::function<Status()> task)
+      AUTOCAT_EXCLUDES(mu_);
 
   /// Runs `fn(chunk_begin, chunk_end)` over [begin, end) split into
   /// chunks of at most `grain` items (chunk i covers
@@ -82,12 +83,14 @@ class ThreadPool {
   static ThreadPool& Shared();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() AUTOCAT_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ AUTOCAT_GUARDED_BY(mu_);
+  bool stop_ AUTOCAT_GUARDED_BY(mu_) = false;
+  // Written once by the constructor before any worker can observe it,
+  // immutable afterwards (threads() and ParallelFor read it lock-free).
   std::vector<std::thread> workers_;
 };
 

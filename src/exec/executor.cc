@@ -18,7 +18,7 @@ Database::Database(const Database& other) : tables_(other.tables_) {}
 Database& Database::operator=(const Database& other) {
   if (this != &other) {
     tables_ = other.tables_;
-    const std::lock_guard<std::mutex> lock(columnar_mu_);
+    const MutexLock lock(columnar_mu_);
     columnar_.clear();
   }
   return *this;
@@ -30,7 +30,7 @@ Database::Database(Database&& other) noexcept
 Database& Database::operator=(Database&& other) noexcept {
   if (this != &other) {
     tables_ = std::move(other.tables_);
-    const std::lock_guard<std::mutex> lock(columnar_mu_);
+    const MutexLock lock(columnar_mu_);
     columnar_.clear();
   }
   return *this;
@@ -49,7 +49,7 @@ Status Database::RegisterTable(std::string_view name, Table table) {
 void Database::PutTable(std::string_view name, Table table) {
   const std::string key = ToLower(name);
   tables_[key] = std::move(table);
-  const std::lock_guard<std::mutex> lock(columnar_mu_);
+  const MutexLock lock(columnar_mu_);
   columnar_.erase(key);
 }
 
@@ -73,17 +73,29 @@ Result<std::shared_ptr<const ColumnarTable>> Database::ColumnarFor(
                                 "' too large for a columnar shadow");
   }
   {
-    const std::lock_guard<std::mutex> lock(columnar_mu_);
-    const auto cached = columnar_.find(key);
-    if (cached != columnar_.end()) {
-      return cached->second;
+    const MutexLock lock(columnar_mu_);
+    if (auto cached = LookupColumnarLocked(key)) {
+      return cached;
     }
   }
   // Build outside the lock; if two threads race here the second insert is
   // a no-op and both return an equivalent shadow.
   auto shadow =
       std::make_shared<const ColumnarTable>(ColumnarTable::Build(it->second));
-  const std::lock_guard<std::mutex> lock(columnar_mu_);
+  const MutexLock lock(columnar_mu_);
+  return InsertColumnarLocked(key, std::move(shadow));
+}
+
+std::shared_ptr<const ColumnarTable> Database::LookupColumnarLocked(
+    const std::string& key) const AUTOCAT_REQUIRES(columnar_mu_) {
+  const auto cached = columnar_.find(key);
+  return cached != columnar_.end() ? cached->second : nullptr;
+}
+
+std::shared_ptr<const ColumnarTable> Database::InsertColumnarLocked(
+    const std::string& key,
+    std::shared_ptr<const ColumnarTable> shadow) const
+    AUTOCAT_REQUIRES(columnar_mu_) {
   return columnar_.emplace(key, std::move(shadow)).first->second;
 }
 

@@ -3,10 +3,11 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 
+#include "common/annotations.h"
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "sql/ast.h"
@@ -60,20 +61,30 @@ class Database {
   /// threads only under the same external synchronization GetTable
   /// requires for the row data itself.
   Result<std::shared_ptr<const ColumnarTable>> ColumnarFor(
-      std::string_view name) const;
+      std::string_view name) const AUTOCAT_EXCLUDES(columnar_mu_);
 
   bool HasTable(std::string_view name) const;
   size_t num_tables() const { return tables_.size(); }
 
  private:
+  /// The cached shadow for `key`, or nullptr when none is cached yet.
+  std::shared_ptr<const ColumnarTable> LookupColumnarLocked(
+      const std::string& key) const AUTOCAT_REQUIRES(columnar_mu_);
+  /// Caches `shadow` under `key` (first writer wins on a race) and
+  /// returns the cached entry.
+  std::shared_ptr<const ColumnarTable> InsertColumnarLocked(
+      const std::string& key,
+      std::shared_ptr<const ColumnarTable> shadow) const
+      AUTOCAT_REQUIRES(columnar_mu_);
+
   std::map<std::string, Table> tables_;  // keyed by lowercase name
 
   // Lazily built columnar shadows, keyed like tables_. Guarded by
   // columnar_mu_ so read-only callers (ColumnarFor is const) can share a
   // cache without racing on the map itself.
-  mutable std::mutex columnar_mu_;
+  mutable Mutex columnar_mu_;
   mutable std::map<std::string, std::shared_ptr<const ColumnarTable>>
-      columnar_;
+      columnar_ AUTOCAT_GUARDED_BY(columnar_mu_);
 };
 
 /// Knobs for ExecuteQuery/ExecuteSql. Defaults favor the serving layer:

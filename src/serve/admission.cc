@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "common/mutex.h"
+
 namespace autocat {
 
 AdmissionController::AdmissionController(size_t max_concurrent,
@@ -22,7 +24,7 @@ int64_t AdmissionController::NowMs() const {
 }
 
 Status AdmissionController::Admit(const Deadline& deadline) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (executing_ < max_concurrent_) {
     ++executing_;
     return Status::OK();
@@ -38,19 +40,18 @@ Status AdmissionController::Admit(const Deadline& deadline) {
   while (executing_ >= max_concurrent_) {
     if (deadline.ExpiredAt(NowMs())) {
       --queued_;
-      cv_.notify_one();  // another waiter may be runnable now
+      cv_.NotifyOne();  // another waiter may be runnable now
       return Status::DeadlineExceeded(
           "deadline passed while queued for admission");
     }
     if (deadline.is_unbounded()) {
-      cv_.wait(lock);
+      cv_.Wait(mu_);
     } else {
       // The deadline is expressed against the (possibly injected) service
       // clock; the condition-variable timeout just bounds how long one
       // sleep lasts before the deadline is re-checked against that clock.
       const int64_t remaining = deadline.RemainingMs(NowMs());
-      cv_.wait_for(lock, std::chrono::milliseconds(
-                             std::clamp<int64_t>(remaining, 1, 100)));
+      cv_.WaitForMillis(mu_, std::clamp<int64_t>(remaining, 1, 100));
     }
   }
   --queued_;
@@ -60,19 +61,19 @@ Status AdmissionController::Admit(const Deadline& deadline) {
 
 void AdmissionController::Release() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     --executing_;
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 size_t AdmissionController::queue_high_water() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return queue_high_water_;
 }
 
 uint64_t AdmissionController::rejected() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return rejected_;
 }
 

@@ -1,12 +1,12 @@
 #ifndef AUTOCAT_SERVE_ADMISSION_H_
 #define AUTOCAT_SERVE_ADMISSION_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <limits>
-#include <mutex>
 
+#include "common/annotations.h"
+#include "common/mutex.h"
 #include "common/status.h"
 
 namespace autocat {
@@ -51,20 +51,20 @@ class AdmissionController {
   /// bounded queue). Returns OK when admitted — the caller must pair it
   /// with Release() — kOverloaded when the queue is full, or
   /// kDeadlineExceeded when `deadline` passed before a slot freed.
-  Status Admit(const Deadline& deadline);
+  Status Admit(const Deadline& deadline) AUTOCAT_EXCLUDES(mu_);
 
   /// Frees the execution slot taken by a successful Admit().
-  void Release();
+  void Release() AUTOCAT_EXCLUDES(mu_);
 
   size_t max_concurrent() const { return max_concurrent_; }
   size_t max_queue() const { return max_queue_; }
 
   /// Largest number of simultaneously queued (waiting, not executing)
   /// requests observed so far.
-  size_t queue_high_water() const;
+  size_t queue_high_water() const AUTOCAT_EXCLUDES(mu_);
 
   /// Requests rejected with kOverloaded so far.
-  uint64_t rejected() const;
+  uint64_t rejected() const AUTOCAT_EXCLUDES(mu_);
 
  private:
   int64_t NowMs() const;
@@ -73,12 +73,12 @@ class AdmissionController {
   const size_t max_queue_;
   const std::function<int64_t()> now_ms_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  size_t executing_ = 0;
-  size_t queued_ = 0;
-  size_t queue_high_water_ = 0;
-  uint64_t rejected_ = 0;
+  mutable Mutex mu_;
+  CondVar cv_;
+  size_t executing_ AUTOCAT_GUARDED_BY(mu_) = 0;
+  size_t queued_ AUTOCAT_GUARDED_BY(mu_) = 0;
+  size_t queue_high_water_ AUTOCAT_GUARDED_BY(mu_) = 0;
+  uint64_t rejected_ AUTOCAT_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace autocat

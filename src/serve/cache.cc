@@ -78,7 +78,8 @@ int64_t SignatureCache::NowMs() const {
 }
 
 void SignatureCache::RemoveLocked(Shard& shard,
-                                  std::list<Entry>::iterator it) {
+                                  std::list<Entry>::iterator it)
+    AUTOCAT_REQUIRES(shard.mu) {
   shard.bytes -= it->bytes;
   shard.index.erase(it->key);
   shard.lru.erase(it);
@@ -88,7 +89,13 @@ std::shared_ptr<const CachedCategorization> SignatureCache::Get(
     const std::string& key, uint64_t hash) {
   Shard& shard = ShardFor(hash);
   const uint64_t epoch = epoch_.load(std::memory_order_acquire);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
+  return GetLocked(shard, key, epoch);
+}
+
+std::shared_ptr<const CachedCategorization> SignatureCache::GetLocked(
+    Shard& shard, const std::string& key, uint64_t epoch)
+    AUTOCAT_REQUIRES(shard.mu) {
   const auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     ++shard.misses;
@@ -126,13 +133,20 @@ void SignatureCache::Insert(
   if (payload == nullptr) {
     return;
   }
-  // Per-entry overhead: the key (stored twice) plus node bookkeeping.
-  const size_t bytes = payload->approx_bytes() + 2 * key.size() +
-                       sizeof(Entry) + 64;
   Shard& shard = ShardFor(hash);
+  MutexLock lock(shard.mu);
+  InsertLocked(shard, key, std::move(payload), observed_epoch);
+}
+
+void SignatureCache::InsertLocked(
+    Shard& shard, const std::string& key,
+    std::shared_ptr<const CachedCategorization> payload,
+    uint64_t observed_epoch) AUTOCAT_REQUIRES(shard.mu) {
+  // Per-entry overhead: the key (stored twice) plus node bookkeeping.
+  const size_t entry_bytes = payload->approx_bytes() + 2 * key.size() +
+                             sizeof(Entry) + 64;
   const uint64_t epoch = observed_epoch;
-  std::lock_guard<std::mutex> lock(shard.mu);
-  if (bytes > per_shard_capacity_) {
+  if (entry_bytes > per_shard_capacity_) {
     ++shard.oversized;
     return;
   }
@@ -140,21 +154,22 @@ void SignatureCache::Insert(
   if (existing != shard.index.end()) {
     RemoveLocked(shard, existing->second);
   }
-  while (shard.bytes + bytes > per_shard_capacity_ && !shard.lru.empty()) {
+  while (shard.bytes + entry_bytes > per_shard_capacity_ &&
+         !shard.lru.empty()) {
     ++shard.evictions;
     RemoveLocked(shard, std::prev(shard.lru.end()));
   }
   Entry entry;
   entry.key = key;
   entry.payload = std::move(payload);
-  entry.bytes = bytes;
+  entry.bytes = entry_bytes;
   entry.epoch = epoch;
   entry.expires_at_ms =
       options_.ttl_ms > 0 ? NowMs() + options_.ttl_ms
                           : std::numeric_limits<int64_t>::max();
   shard.lru.push_front(std::move(entry));
   shard.index[key] = shard.lru.begin();
-  shard.bytes += bytes;
+  shard.bytes += entry_bytes;
 }
 
 void SignatureCache::BumpEpoch() {
@@ -163,7 +178,7 @@ void SignatureCache::BumpEpoch() {
 
 void SignatureCache::Clear() {
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     shard->lru.clear();
     shard->index.clear();
     shard->bytes = 0;
@@ -175,7 +190,7 @@ CacheStats SignatureCache::Stats() const {
   stats.capacity_bytes = per_shard_capacity_ * shards_.size();
   stats.epoch = epoch_.load(std::memory_order_acquire);
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     stats.hits += shard->hits;
     stats.misses += shard->misses;
     stats.evictions += shard->evictions;

@@ -7,10 +7,11 @@
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/annotations.h"
+#include "common/mutex.h"
 #include "common/result.h"
 #include "core/category.h"
 #include "storage/table.h"
@@ -113,6 +114,9 @@ class SignatureCache {
   void Insert(const std::string& key, uint64_t hash,
               std::shared_ptr<const CachedCategorization> payload,
               uint64_t observed_epoch);
+  // (Both public entry points pick the shard, take its lock once, and
+  // delegate to the *Locked helpers below — no conditional or repeated
+  // acquisition inside one operation.)
 
   /// The current invalidation epoch.
   uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
@@ -136,28 +140,48 @@ class SignatureCache {
   };
 
   struct Shard {
-    mutable std::mutex mu;
-    std::list<Entry> lru;  // front = most recently used
-    std::map<std::string, std::list<Entry>::iterator> index;
-    size_t bytes = 0;
-    uint64_t hits = 0;
-    uint64_t misses = 0;
-    uint64_t evictions = 0;
-    uint64_t expirations = 0;
-    uint64_t invalidations = 0;
-    uint64_t oversized = 0;
+    mutable Mutex mu;
+    // front = most recently used
+    std::list<Entry> lru AUTOCAT_GUARDED_BY(mu);
+    std::map<std::string, std::list<Entry>::iterator> index
+        AUTOCAT_GUARDED_BY(mu);
+    size_t bytes AUTOCAT_GUARDED_BY(mu) = 0;
+    uint64_t hits AUTOCAT_GUARDED_BY(mu) = 0;
+    uint64_t misses AUTOCAT_GUARDED_BY(mu) = 0;
+    uint64_t evictions AUTOCAT_GUARDED_BY(mu) = 0;
+    uint64_t expirations AUTOCAT_GUARDED_BY(mu) = 0;
+    uint64_t invalidations AUTOCAT_GUARDED_BY(mu) = 0;
+    uint64_t oversized AUTOCAT_GUARDED_BY(mu) = 0;
   };
 
   Shard& ShardFor(uint64_t hash) {
     return *shards_[hash % shards_.size()];
   }
   int64_t NowMs() const;
+  /// Get() with `shard`'s lock already held: lookup, staleness checks
+  /// (against `epoch`, the value loaded before locking), LRU refresh.
+  std::shared_ptr<const CachedCategorization> GetLocked(
+      Shard& shard, const std::string& key, uint64_t epoch)
+      AUTOCAT_REQUIRES(shard.mu);
+  /// Insert() with `shard`'s lock already held: byte accounting,
+  /// replacement, LRU eviction, epoch stamping.
+  void InsertLocked(Shard& shard, const std::string& key,
+                    std::shared_ptr<const CachedCategorization> payload,
+                    uint64_t observed_epoch) AUTOCAT_REQUIRES(shard.mu);
   // Removes `it` from `shard` (index, list, byte accounting).
-  static void RemoveLocked(Shard& shard, std::list<Entry>::iterator it);
+  static void RemoveLocked(Shard& shard, std::list<Entry>::iterator it)
+      AUTOCAT_REQUIRES(shard.mu);
 
   CacheOptions options_;
   size_t per_shard_capacity_ = 0;
+  // The shard vector itself is immutable after construction; each shard's
+  // contents are guarded by its own `mu`.
   std::vector<std::unique_ptr<Shard>> shards_;
+  // atomic-order: release/acquire — BumpEpoch's increment must be visible
+  // to readers that subsequently observe new table contents, and Get pairs
+  // its acquire load with the service's state_mu_ critical sections.
+  // Entries from earlier epochs are detected by value comparison, so no
+  // stronger ordering is needed.
   std::atomic<uint64_t> epoch_{0};
 };
 

@@ -1,5 +1,7 @@
 #include "serve/metrics.h"
 
+#include "common/mutex.h"
+
 namespace autocat {
 
 std::string_view ServeOutcomeToString(ServeOutcome outcome) {
@@ -35,7 +37,7 @@ std::string_view ServeStageToString(ServeStage stage) {
 }
 
 void ServiceMetrics::Record(ServeOutcome outcome, double latency_ms) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++by_outcome_[static_cast<size_t>(outcome)];
   latency_all_.Add(latency_ms);
   if (outcome == ServeOutcome::kHit) {
@@ -46,12 +48,12 @@ void ServiceMetrics::Record(ServeOutcome outcome, double latency_ms) {
 }
 
 void ServiceMetrics::RecordStage(ServeStage stage, double ms) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   stage_ms_[static_cast<size_t>(stage)].Add(ms);
 }
 
 void ServiceMetrics::FillSnapshot(ServiceMetricsSnapshot* snapshot) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   snapshot->requests_total = 0;
   for (size_t i = 0; i < kNumServeOutcomes; ++i) {
     snapshot->by_outcome[i] = by_outcome_[i];

@@ -2,12 +2,13 @@
 #define AUTOCAT_SERVE_METRICS_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/histogram.h"
+#include "common/mutex.h"
 #include "serve/cache.h"
 
 namespace autocat {
@@ -67,22 +68,29 @@ class ServiceMetrics {
  public:
   ServiceMetrics() = default;
 
-  void Record(ServeOutcome outcome, double latency_ms);
+  void Record(ServeOutcome outcome, double latency_ms)
+      AUTOCAT_EXCLUDES(mu_);
 
   /// Adds one cold-path stage duration (see ServeStage).
-  void RecordStage(ServeStage stage, double ms);
+  void RecordStage(ServeStage stage, double ms) AUTOCAT_EXCLUDES(mu_);
 
   /// Copies the request-side counters into `snapshot` (cache and queue
   /// fields are the caller's to fill).
-  void FillSnapshot(ServiceMetricsSnapshot* snapshot) const;
+  void FillSnapshot(ServiceMetricsSnapshot* snapshot) const
+      AUTOCAT_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  uint64_t by_outcome_[kNumServeOutcomes] = {0, 0, 0, 0, 0};
-  Histogram latency_all_ = Histogram::LatencyMs();
-  Histogram latency_hit_ = Histogram::LatencyMs();
-  Histogram latency_miss_ = Histogram::LatencyMs();
-  std::vector<Histogram> stage_ms_ =
+  // Histogram itself is lock-free data + no internal synchronization
+  // (common/histogram.h); every histogram here is a guarded member, so
+  // all mutation funnels through mu_.
+  mutable Mutex mu_;
+  uint64_t by_outcome_[kNumServeOutcomes] AUTOCAT_GUARDED_BY(mu_) = {
+      0, 0, 0, 0, 0};
+  Histogram latency_all_ AUTOCAT_GUARDED_BY(mu_) = Histogram::LatencyMs();
+  Histogram latency_hit_ AUTOCAT_GUARDED_BY(mu_) = Histogram::LatencyMs();
+  Histogram latency_miss_ AUTOCAT_GUARDED_BY(mu_) =
+      Histogram::LatencyMs();
+  std::vector<Histogram> stage_ms_ AUTOCAT_GUARDED_BY(mu_) =
       std::vector<Histogram>(kNumServeStages, Histogram::LatencyMs());
 };
 

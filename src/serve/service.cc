@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "exec/kernels.h"
@@ -129,7 +130,7 @@ Result<ServeResponse> CategorizationService::HandleAdmitted(
   for (int attempt = 0; attempt < 2; ++attempt) {
     std::shared_ptr<const WorkloadStats> stats;
     {
-      std::shared_lock<std::shared_mutex> lock(state_mu_);
+      ReaderLock lock(state_mu_);
       AUTOCAT_ASSIGN_OR_RETURN(const Table* table,
                                db_.GetTable(table_key));
       AUTOCAT_ASSIGN_OR_RETURN(
@@ -153,8 +154,10 @@ Result<ServeResponse> CategorizationService::HandleAdmitted(
             "deadline passed before query execution");
       }
 
-      const auto stats_it = stats_by_table_.find(table_key);
-      if (stats_it != stats_by_table_.end()) {
+      // as_const: the const overload of find() — under a shared (reader)
+      // lock the analysis only permits const access to guarded members.
+      const auto stats_it = std::as_const(stats_by_table_).find(table_key);
+      if (stats_it != stats_by_table_.cend()) {
         stats = stats_it->second;
         const uint64_t observed_epoch = cache_.epoch();
 
@@ -268,7 +271,13 @@ Result<ServeResponse> CategorizationService::HandleAdmitted(
 
 Result<std::shared_ptr<const WorkloadStats>> CategorizationService::StatsFor(
     const std::string& table_key) {
-  std::unique_lock<std::shared_mutex> lock(state_mu_);
+  WriterLock lock(state_mu_);
+  return StatsForLocked(table_key);
+}
+
+Result<std::shared_ptr<const WorkloadStats>>
+CategorizationService::StatsForLocked(const std::string& table_key)
+    AUTOCAT_REQUIRES(state_mu_) {
   const auto it = stats_by_table_.find(table_key);
   if (it != stats_by_table_.end()) {
     return it->second;
@@ -291,7 +300,7 @@ Result<std::shared_ptr<const WorkloadStats>> CategorizationService::StatsFor(
 
 void CategorizationService::PutTable(std::string_view name, Table table) {
   {
-    std::unique_lock<std::shared_mutex> lock(state_mu_);
+    WriterLock lock(state_mu_);
     db_.PutTable(name, std::move(table));
     // The schema (hence the stats' numeric/categorical view) may have
     // changed; rebuild lazily on next use.
@@ -302,7 +311,7 @@ void CategorizationService::PutTable(std::string_view name, Table table) {
 
 Status CategorizationService::RegisterTable(std::string_view name,
                                             Table table) {
-  std::unique_lock<std::shared_mutex> lock(state_mu_);
+  WriterLock lock(state_mu_);
   // A brand-new table cannot be referenced by any cached entry, so the
   // epoch is deliberately kept.
   return db_.RegisterTable(name, std::move(table));
@@ -310,7 +319,7 @@ Status CategorizationService::RegisterTable(std::string_view name,
 
 void CategorizationService::RebuildWorkload(Workload workload) {
   {
-    std::unique_lock<std::shared_mutex> lock(state_mu_);
+    WriterLock lock(state_mu_);
     workload_ = std::move(workload);
     stats_by_table_.clear();
   }

@@ -5,9 +5,10 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 
+#include "common/annotations.h"
+#include "common/mutex.h"
 #include "common/result.h"
 #include "core/categorizer.h"
 #include "exec/executor.h"
@@ -91,19 +92,22 @@ class CategorizationService {
   /// kNotFound / kNotSupported for bad requests. The deadline is checked
   /// at stage boundaries; a request whose final stage completes is
   /// answered even if the budget ran out during it.
-  Result<ServeResponse> Handle(const ServeRequest& request);
+  Result<ServeResponse> Handle(const ServeRequest& request)
+      AUTOCAT_EXCLUDES(state_mu_);
 
   /// Replaces or creates a table and invalidates every cached entry (the
   /// epoch bump). Blocks until in-flight requests finish.
-  void PutTable(std::string_view name, Table table);
+  void PutTable(std::string_view name, Table table)
+      AUTOCAT_EXCLUDES(state_mu_);
 
   /// Registers a new table (kAlreadyExists if the name is taken). New
   /// tables cannot affect cached entries, so the epoch is kept.
-  Status RegisterTable(std::string_view name, Table table);
+  Status RegisterTable(std::string_view name, Table table)
+      AUTOCAT_EXCLUDES(state_mu_);
 
   /// Replaces the query log, drops every preprocessed WorkloadStats, and
   /// invalidates the cache (trees depend on workload counts).
-  void RebuildWorkload(Workload workload);
+  void RebuildWorkload(Workload workload) AUTOCAT_EXCLUDES(state_mu_);
 
   /// Merged snapshot of request, cache, and admission counters.
   ServiceMetricsSnapshot SnapshotMetrics() const;
@@ -116,23 +120,30 @@ class CategorizationService {
   int64_t NowMs() const;
   /// The preprocessed stats for `table_key`, built on first use under the
   /// write lock (the table's schema is re-fetched there, so a concurrent
-  /// PutTable cannot leave the stats keyed to a stale schema).
+  /// PutTable cannot leave the stats keyed to a stale schema). The public
+  /// wrapper takes the write lock once; StatsForLocked assumes it.
   Result<std::shared_ptr<const WorkloadStats>> StatsFor(
-      const std::string& table_key);
+      const std::string& table_key) AUTOCAT_EXCLUDES(state_mu_);
+  Result<std::shared_ptr<const WorkloadStats>> StatsForLocked(
+      const std::string& table_key) AUTOCAT_REQUIRES(state_mu_);
   /// The post-admission pipeline; sets `outcome` for metrics.
   Result<ServeResponse> HandleAdmitted(const ServeRequest& request,
                                        const Deadline& deadline,
-                                       ServeOutcome* outcome);
+                                       ServeOutcome* outcome)
+      AUTOCAT_EXCLUDES(state_mu_);
 
   ServiceOptions options_;
   // Guards db_, workload_, and stats_by_table_: requests hold it shared
   // for their whole read (the GetTable pointer-stability contract makes
   // the pointer safe, but contents mutate under PutTable's unique lock).
-  mutable std::shared_mutex state_mu_;
-  Database db_;
-  Workload workload_;
+  // Lock order (tools/lock_order.txt): state_mu_ is the outermost lock —
+  // cache shard, metrics, and admission locks may be taken while it is
+  // held, never the reverse.
+  mutable SharedMutex state_mu_;
+  Database db_ AUTOCAT_GUARDED_BY(state_mu_);
+  Workload workload_ AUTOCAT_GUARDED_BY(state_mu_);
   std::map<std::string, std::shared_ptr<const WorkloadStats>>
-      stats_by_table_;
+      stats_by_table_ AUTOCAT_GUARDED_BY(state_mu_);
   SignatureCache cache_;
   AdmissionController admission_;
   ServiceMetrics metrics_;

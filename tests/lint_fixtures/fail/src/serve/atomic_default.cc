@@ -1,0 +1,24 @@
+// Fixture for the atomic-order rule: atomic operations relying on the
+// implicit seq_cst default. Carries exactly four violations; the
+// explicit-order calls (including the multi-line compare-exchange) and
+// the suppressed line must not count.
+namespace autocat {
+
+// atomic-order: relaxed — fixture counter; the rule under test is the
+// call sites below, so the declaration itself is documented.
+std::atomic<int> counter{0};
+
+void DefaultedOrders(int expected) {
+  counter.load();
+  counter.store(1);
+  counter.fetch_add(2);
+  counter.exchange(3);
+  counter.fetch_sub(1);  // autocat-lint: allow(atomic-order)
+  counter.load(std::memory_order_acquire);
+  counter.store(4, std::memory_order_release);
+  counter.compare_exchange_strong(expected, 5,
+                                  std::memory_order_acq_rel,
+                                  std::memory_order_acquire);
+}
+
+}  // namespace autocat

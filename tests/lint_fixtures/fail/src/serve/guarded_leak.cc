@@ -1,0 +1,30 @@
+// Fixture for the guarded-read rule: reads of an AUTOCAT_GUARDED_BY
+// field outside any guard scope or annotated function. Carries exactly
+// two violations: the bare read in Peek and the write after the guard's
+// block closes; the locked accesses, the annotated accessor, and the
+// suppressed line must not count.
+namespace autocat {
+
+struct Queue {
+  Mutex mu;
+  int depth_ AUTOCAT_GUARDED_BY(mu) = 0;
+};
+
+int Peek(const Queue& queue) {
+  return queue.depth_;
+}
+
+void Reset(Queue& queue) {
+  {
+    MutexLock lock(queue.mu);
+    queue.depth_ = 0;
+  }
+  queue.depth_ = 1;
+  queue.depth_ = 2;  // autocat-lint: allow(guarded-read)
+}
+
+int PeekLocked(const Queue& queue) AUTOCAT_REQUIRES(queue.mu) {
+  return queue.depth_;
+}
+
+}  // namespace autocat

@@ -1,0 +1,17 @@
+// Fixture for the lock-order rule: acquires the service state lock
+// while a cache shard lock is held, inverting the declared order
+// (state_mu_ is outermost). Carries exactly one violation — the
+// correctly ordered nesting below must not count.
+namespace autocat {
+
+void Inverted(Shard& shard) {
+  MutexLock shard_lock(shard.mu);
+  WriterLock state_lock(state_mu_);
+}
+
+void Ordered(Shard& shard) {
+  WriterLock state_lock(state_mu_);
+  MutexLock shard_lock(shard.mu);
+}
+
+}  // namespace autocat

@@ -1,0 +1,17 @@
+// Fixture for the manual-lock rule: bare lock()/unlock() calls instead
+// of RAII guards. Carries exactly four violations; the suppressed call
+// and the mu.lock() mentions in this comment and the string below must
+// not count.
+namespace autocat {
+
+void ManualLocking(Guard& mu, Guard* rw) {
+  mu.lock();
+  mu.unlock();
+  rw->lock_shared();
+  rw->unlock_shared();
+  mu.try_lock();  // autocat-lint: allow(manual-lock)
+  const char* note = "mu.lock() in a string";
+  (void)note;
+}
+
+}  // namespace autocat

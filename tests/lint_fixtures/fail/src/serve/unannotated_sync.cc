@@ -1,0 +1,20 @@
+// Fixture for the unannotated-sync rule: raw std synchronization
+// primitives in the annotated tree. Carries exactly five violations:
+// the include, the three raw types, and the undocumented atomic. The
+// suppressed line, the documented atomic, and the std::mutex mention in
+// this comment must not count.
+#include <mutex>
+
+namespace autocat {
+
+struct RawState {
+  std::mutex m;
+  std::shared_mutex rw;
+  std::condition_variable cv;
+  std::atomic<int> pending{0};
+  std::atomic<bool> stop{false};  // autocat-lint: allow(unannotated-sync)
+  // atomic-order: relaxed — documented, so this member must not count.
+  std::atomic<int> documented{0};
+};
+
+}  // namespace autocat

@@ -1,0 +1,29 @@
+// Fixture: a serving-layer component following the concurrency
+// discipline — capability-annotated wrappers, guarded members, a
+// documented atomic, RAII locking — which every concurrency rule must
+// accept.
+#ifndef AUTOCAT_SERVE_ANNOTATED_SYNC_H_
+#define AUTOCAT_SERVE_ANNOTATED_SYNC_H_
+
+namespace autocat {
+
+class Counters {
+ public:
+  void Bump() AUTOCAT_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    ++total_;
+  }
+
+  int total_locked() const AUTOCAT_REQUIRES(mu_) { return total_; }
+
+ private:
+  mutable Mutex mu_;
+  int total_ AUTOCAT_GUARDED_BY(mu_) = 0;
+  // atomic-order: relaxed — a monotonically increasing tick with no
+  // ordering obligations to any other field.
+  std::atomic<int> ticks_{0};
+};
+
+}  // namespace autocat
+
+#endif  // AUTOCAT_SERVE_ANNOTATED_SYNC_H_

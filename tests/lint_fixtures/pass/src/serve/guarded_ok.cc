@@ -1,0 +1,38 @@
+// Fixture: every access to the guarded fields happens under a RAII
+// guard or inside an AUTOCAT_REQUIRES-annotated function (including one
+// whose signature spans lines); guarded-read must accept the file.
+namespace autocat {
+
+struct Ledger {
+  Mutex mu;
+  long balance AUTOCAT_GUARDED_BY(mu) = 0;
+  long entries_ AUTOCAT_GUARDED_BY(mu) = 0;
+};
+
+void Deposit(Ledger& ledger, long amount) {
+  MutexLock lock(ledger.mu);
+  ledger.balance += amount;
+  ledger.entries_ += 1;
+}
+
+long BalanceLocked(const Ledger& ledger) AUTOCAT_REQUIRES(ledger.mu) {
+  return ledger.balance;
+}
+
+long EntriesLocked(const Ledger& ledger)
+    AUTOCAT_REQUIRES(ledger.mu)
+{
+  return ledger.entries_;
+}
+
+long Drain(Ledger& ledger) {
+  long drained = 0;
+  {
+    MutexLock lock(ledger.mu);
+    drained = ledger.balance;
+    ledger.balance = 0;
+  }
+  return drained;
+}
+
+}  // namespace autocat

@@ -1,0 +1,24 @@
+// Fixture: RAII-only locking in the declared order with explicit atomic
+// memory orders; the concurrency rules must accept all of it. The
+// mu_.lock() mention in this comment and the string below must not trip
+// manual-lock.
+namespace autocat {
+
+void OrderedAcquisition(Service& service, Shard& shard) {
+  WriterLock state_lock(state_mu_);
+  {
+    MutexLock shard_lock(shard.mu);
+    shard.pending = 0;
+  }
+}
+
+void ExplicitOrders(ForState& state) {
+  state.next.fetch_add(1, std::memory_order_relaxed);
+  if (!state.failed.load(std::memory_order_acquire)) {
+    state.failed.store(true, std::memory_order_release);
+  }
+  const char* note = "never call mu_.lock() by hand";
+  (void)note;
+}
+
+}  // namespace autocat

@@ -233,14 +233,291 @@ TEST(UnorderedContainerRuleTest, AcceptsOrderedContainers) {
                   .empty());
 }
 
+TEST(UnannotatedSyncRuleTest, FlagsRawPrimitivesAndIncludes) {
+  const std::string content =
+      "#include <mutex>\n"
+      "#include <shared_mutex>\n"
+      "#include <condition_variable>\n"
+      "std::mutex m;\n"
+      "std::shared_mutex rw;\n"
+      "std::condition_variable cv;\n"
+      "std::recursive_mutex rm;\n";
+  const auto issues = CheckUnannotatedSync("src/serve/foo.cc", content);
+  EXPECT_EQ(issues.size(), 7u);
+  ASSERT_FALSE(issues.empty());
+  EXPECT_EQ(issues[0].rule, "unannotated-sync");
+  EXPECT_NE(issues[0].message.find("common/mutex.h"), std::string::npos);
+}
+
+TEST(UnannotatedSyncRuleTest, AtomicNeedsOrderComment) {
+  // Undocumented atomic: flagged.
+  EXPECT_EQ(CheckUnannotatedSync("src/serve/foo.cc",
+                                 "std::atomic<int> n{0};\n")
+                .size(),
+            1u);
+  // Same-line and block-above comments both document the protocol.
+  EXPECT_TRUE(CheckUnannotatedSync(
+                  "src/serve/foo.cc",
+                  "std::atomic<int> n{0};  // atomic-order: relaxed\n")
+                  .empty());
+  EXPECT_TRUE(CheckUnannotatedSync(
+                  "src/serve/foo.cc",
+                  "// atomic-order: release/acquire — pairs with load\n"
+                  "// in the worker loop.\n"
+                  "std::atomic<bool> done{false};\n")
+                  .empty());
+  // A non-comment line breaks the block-above association.
+  EXPECT_EQ(CheckUnannotatedSync(
+                "src/serve/foo.cc",
+                "// atomic-order: relaxed\n"
+                "int unrelated = 0;\n"
+                "std::atomic<int> n{0};\n")
+                .size(),
+            1u);
+}
+
+TEST(UnannotatedSyncRuleTest, ScopeAndSuppression) {
+  const std::string content = "std::mutex m;\n";
+  // Outside the annotated tree the rule does not apply.
+  EXPECT_TRUE(CheckUnannotatedSync("src/core/foo.cc", content).empty());
+  EXPECT_TRUE(CheckUnannotatedSync("tools/foo.cc", content).empty());
+  // mutex.h implements the wrappers and is exempt.
+  EXPECT_TRUE(CheckUnannotatedSync("src/common/mutex.h", content).empty());
+  // The rest of src/common is in scope.
+  EXPECT_EQ(CheckUnannotatedSync("src/common/foo.cc", content).size(), 1u);
+  EXPECT_TRUE(CheckUnannotatedSync(
+                  "src/serve/foo.cc",
+                  "std::mutex m;  // autocat-lint: allow(unannotated-sync)\n")
+                  .empty());
+}
+
+TEST(ManualLockRuleTest, FlagsManualCallsOutsideMutexHeader) {
+  const std::string content =
+      "mu.lock();\n"
+      "mu.unlock();\n"
+      "rw->lock_shared();\n"
+      "rw->unlock_shared();\n"
+      "mu.try_lock();\n";
+  const auto issues = CheckManualLock("src/serve/foo.cc", content);
+  EXPECT_EQ(issues.size(), 5u);
+  ASSERT_FALSE(issues.empty());
+  EXPECT_EQ(issues[0].rule, "manual-lock");
+  EXPECT_NE(issues[0].message.find("RAII"), std::string::npos);
+  EXPECT_TRUE(CheckManualLock("src/common/mutex.h", content).empty());
+  EXPECT_TRUE(CheckManualLock("src/core/foo.cc", content).empty());
+}
+
+TEST(ManualLockRuleTest, IgnoresCommentsStringsAndSuppressions) {
+  const std::string content =
+      "// mu.lock() in a comment\n"
+      "const char* s = \"mu.unlock()\";\n"
+      "mu.lock();  // autocat-lint: allow(manual-lock)\n"
+      "csv.unlocked();\n";
+  EXPECT_TRUE(CheckManualLock("src/serve/foo.cc", content).empty());
+}
+
+TEST(AtomicOrderRuleTest, FlagsDefaultSeqCstCalls) {
+  const std::string content =
+      "n.load();\n"
+      "n.store(1);\n"
+      "n.fetch_add(2);\n"
+      "n.exchange(3);\n";
+  const auto issues = CheckAtomicOrder("src/serve/foo.cc", content);
+  EXPECT_EQ(issues.size(), 4u);
+  ASSERT_FALSE(issues.empty());
+  EXPECT_EQ(issues[0].rule, "atomic-order");
+  EXPECT_NE(issues[0].message.find("std::memory_order"), std::string::npos);
+}
+
+TEST(AtomicOrderRuleTest, AcceptsExplicitOrders) {
+  const std::string content =
+      "n.load(std::memory_order_acquire);\n"
+      "n.store(1, std::memory_order_release);\n"
+      "n.fetch_add(2, std::memory_order_relaxed);\n"
+      // The order may land on a continuation line.
+      "n.compare_exchange_strong(expected, 5,\n"
+      "                          std::memory_order_acq_rel,\n"
+      "                          std::memory_order_acquire);\n";
+  EXPECT_TRUE(CheckAtomicOrder("src/serve/foo.cc", content).empty());
+}
+
+TEST(AtomicOrderRuleTest, ScopeAndSuppression) {
+  EXPECT_TRUE(CheckAtomicOrder("src/core/foo.cc", "n.load();\n").empty());
+  EXPECT_TRUE(CheckAtomicOrder(
+                  "src/serve/foo.cc",
+                  "n.load();  // autocat-lint: allow(atomic-order)\n")
+                  .empty());
+}
+
+TEST(LockOrderRuleTest, ParsesOrderFile) {
+  const std::string content =
+      "# outermost first\n"
+      "state_mu_\n"
+      "\n"
+      "shard.mu   # shard locks\n"
+      "  mu_  \n";
+  const auto order = ParseLockOrder(content);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], "state_mu_");
+  EXPECT_EQ(order[1], "shard.mu");
+  EXPECT_EQ(order[2], "mu_");
+}
+
+TEST(LockOrderRuleTest, FlagsInversionAgainstDeclaredOrder) {
+  const std::vector<std::string> order = {"state_mu_", "shard.mu"};
+  const std::string inverted =
+      "void f() {\n"
+      "  MutexLock shard_lock(shard.mu);\n"
+      "  WriterLock state_lock(state_mu_);\n"
+      "}\n";
+  const auto issues = CheckLockOrder("src/serve/foo.cc", inverted, order);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].rule, "lock-order");
+  EXPECT_EQ(issues[0].line, 3u);
+  EXPECT_NE(issues[0].message.find("'state_mu_' while 'shard.mu'"),
+            std::string::npos);
+}
+
+TEST(LockOrderRuleTest, AcceptsDeclaredOrderAndScopedRelease) {
+  const std::vector<std::string> order = {"state_mu_", "shard.mu"};
+  const std::string ordered =
+      "void f() {\n"
+      "  WriterLock state_lock(state_mu_);\n"
+      "  MutexLock shard_lock(shard.mu);\n"
+      "}\n"
+      // Sequential (non-nested) acquisitions in any order are fine: the
+      // first guard's block closes before the second opens.
+      "void g() {\n"
+      "  { MutexLock shard_lock(shard.mu); }\n"
+      "  WriterLock state_lock(state_mu_);\n"
+      "}\n";
+  EXPECT_TRUE(CheckLockOrder("src/serve/foo.cc", ordered, order).empty());
+}
+
+TEST(LockOrderRuleTest, UnknownTokensAndSuppressionsIgnored) {
+  const std::vector<std::string> order = {"state_mu_", "shard.mu"};
+  const std::string content =
+      "void f() {\n"
+      "  MutexLock a(local_mu);\n"
+      "  WriterLock b(state_mu_);\n"
+      "  MutexLock c(shard.mu);\n"
+      "  WriterLock d(state_mu_);  // autocat-lint: allow(lock-order)\n"
+      "}\n";
+  EXPECT_TRUE(CheckLockOrder("src/serve/foo.cc", content, order).empty());
+}
+
+TEST(GuardedReadRuleTest, CollectsGuardedFields) {
+  const std::string content =
+      "int depth_ AUTOCAT_GUARDED_BY(mu) = 0;\n"
+      "std::map<int, int> index AUTOCAT_GUARDED_BY(mu);\n"
+      "#define AUTOCAT_GUARDED_BY(x) __attribute__((guarded_by(x)))\n"
+      "int plain = 0;\n";
+  const auto fields = CollectGuardedFields(content);
+  EXPECT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields.count("depth_"), 1u);
+  EXPECT_EQ(fields.count("index"), 1u);
+}
+
+TEST(GuardedReadRuleTest, FlagsUnprotectedAccess) {
+  const std::string content =
+      "struct Q {\n"
+      "  int depth_ AUTOCAT_GUARDED_BY(mu) = 0;\n"
+      "};\n"
+      "int Peek(const Q& q) {\n"
+      "  return q.depth_;\n"
+      "}\n";
+  const auto issues =
+      CheckGuardedRead("src/serve/foo.cc", content, {"depth_"});
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].rule, "guarded-read");
+  EXPECT_EQ(issues[0].line, 5u);
+  EXPECT_NE(issues[0].message.find("'depth_'"), std::string::npos);
+}
+
+TEST(GuardedReadRuleTest, GuardScopeEndsWithItsBlock) {
+  const std::string content =
+      "void Reset(Q& q) {\n"
+      "  {\n"
+      "    MutexLock lock(q.mu);\n"
+      "    q.depth_ = 0;\n"
+      "  }\n"
+      "  q.depth_ = 1;\n"
+      "}\n";
+  const auto issues =
+      CheckGuardedRead("src/serve/foo.cc", content, {"depth_"});
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].line, 6u);
+}
+
+TEST(GuardedReadRuleTest, AnnotatedFunctionsAreProtected) {
+  const std::string content =
+      "int PeekLocked(const Q& q) AUTOCAT_REQUIRES(q.mu) {\n"
+      "  return q.depth_;\n"
+      "}\n"
+      // A multi-line signature: the annotation lands before the body
+      // opens on a later line.
+      "int PeekLocked2(const Q& q)\n"
+      "    AUTOCAT_REQUIRES(q.mu)\n"
+      "{\n"
+      "  return q.depth_;\n"
+      "}\n";
+  EXPECT_TRUE(
+      CheckGuardedRead("src/serve/foo.cc", content, {"depth_"}).empty());
+}
+
+TEST(GuardedReadRuleTest, PlainLocalNamesDoNotCount) {
+  // A bare name without a trailing underscore only counts as a guarded
+  // access through . or -> (locals may shadow short field names).
+  const std::string content =
+      "void f() {\n"
+      "  int bytes = 0;\n"
+      "  bytes += 1;\n"
+      "}\n";
+  EXPECT_TRUE(
+      CheckGuardedRead("src/serve/foo.cc", content, {"bytes"}).empty());
+  const std::string member =
+      "void f(Shard& shard) {\n"
+      "  shard.bytes += 1;\n"
+      "}\n";
+  EXPECT_EQ(
+      CheckGuardedRead("src/serve/foo.cc", member, {"bytes"}).size(), 1u);
+}
+
+TEST(GuardedReadRuleTest, FileScopeAndSuppressionExempt) {
+  // Constructor init lists and signatures sit at brace depth zero (the
+  // namespace does not count) and are exempt.
+  const std::string content =
+      "namespace autocat {\n"
+      "Service::Service(Database db)\n"
+      "    : db_(std::move(db)),\n"
+      "      workload_(Workload{}) {\n"
+      "}\n"
+      "}  // namespace autocat\n";
+  EXPECT_TRUE(
+      CheckGuardedRead("src/serve/foo.cc", content, {"db_", "workload_"})
+          .empty());
+  EXPECT_TRUE(CheckGuardedRead(
+                  "src/serve/foo.cc",
+                  "void f() {\n"
+                  "  db_.Reset();  // autocat-lint: allow(guarded-read)\n"
+                  "}\n",
+                  {"db_"})
+                  .empty());
+}
+
 TEST(LintFixtureTest, PassTreeLintsClean) {
   std::vector<LintIssue> issues;
   const std::string root =
       std::string(AUTOCAT_LINT_FIXTURE_DIR) + "/pass";
+  const std::vector<std::string> lock_order = {"state_mu_", "columnar_mu_",
+                                               "shard.mu", "mu_"};
   ASSERT_TRUE(LintFiles(root,
                         {"src/widget/widget.h", "src/widget/widget.cc",
-                         "src/serve/ordered.cc"},
-                        &issues));
+                         "src/serve/ordered.cc",
+                         "src/serve/annotated_sync.h",
+                         "src/serve/raii_lock.cc",
+                         "src/serve/guarded_ok.cc"},
+                        lock_order, &issues));
   for (const auto& issue : issues) {
     ADD_FAILURE() << issue.ToString();
   }
@@ -253,18 +530,30 @@ TEST(LintFixtureTest, FailTreeTripsEveryRule) {
   // The fixture's dropped.cc calls functions declared in the pass tree's
   // header; hand the checker that header's declarations by linting it
   // from the fail root via a relative path.
+  const std::vector<std::string> lock_order = {"state_mu_", "columnar_mu_",
+                                               "shard.mu", "mu_"};
   ASSERT_TRUE(LintFiles(root,
                         {"src/broken/wrong_guard.h", "src/broken/banned.cc",
                          "src/broken/dropped.cc",
                          "src/broken/raw_thread.cc",
                          "src/serve/unordered.cc",
+                         "src/serve/unannotated_sync.cc",
+                         "src/serve/manual_lock.cc",
+                         "src/serve/atomic_default.cc",
+                         "src/serve/lock_inversion.cc",
+                         "src/serve/guarded_leak.cc",
                          "../pass/src/widget/widget.h"},
-                        &issues));
+                        lock_order, &issues));
   EXPECT_TRUE(HasRule(issues, "include-guard"));
   EXPECT_TRUE(HasRule(issues, "banned-call"));
   EXPECT_TRUE(HasRule(issues, "dropped-status"));
   EXPECT_TRUE(HasRule(issues, "raw-thread"));
   EXPECT_TRUE(HasRule(issues, "unordered-container"));
+  EXPECT_TRUE(HasRule(issues, "unannotated-sync"));
+  EXPECT_TRUE(HasRule(issues, "manual-lock"));
+  EXPECT_TRUE(HasRule(issues, "atomic-order"));
+  EXPECT_TRUE(HasRule(issues, "lock-order"));
+  EXPECT_TRUE(HasRule(issues, "guarded-read"));
   // banned.cc carries exactly three banned calls.
   const auto banned =
       std::count_if(issues.begin(), issues.end(), [](const LintIssue& i) {
@@ -290,6 +579,23 @@ TEST(LintFixtureTest, FailTreeTripsEveryRule) {
         return i.rule == "unordered-container";
       });
   EXPECT_EQ(unordered, 3);
+  const auto count_rule = [&issues](const std::string& rule) {
+    return std::count_if(issues.begin(), issues.end(),
+                         [&rule](const LintIssue& i) {
+                           return i.rule == rule;
+                         });
+  };
+  // serve/unannotated_sync.cc: the include, three raw types, and one
+  // undocumented atomic (the suppressed and documented ones don't count).
+  EXPECT_EQ(count_rule("unannotated-sync"), 5);
+  // serve/manual_lock.cc: four manual calls (one suppressed).
+  EXPECT_EQ(count_rule("manual-lock"), 4);
+  // serve/atomic_default.cc: four defaulted-order operations.
+  EXPECT_EQ(count_rule("atomic-order"), 4);
+  // serve/lock_inversion.cc: one inversion (the ordered nesting is fine).
+  EXPECT_EQ(count_rule("lock-order"), 1);
+  // serve/guarded_leak.cc: the bare read and the post-guard write.
+  EXPECT_EQ(count_rule("guarded-read"), 2);
 }
 
 }  // namespace

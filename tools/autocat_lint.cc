@@ -1,15 +1,21 @@
 // autocat_lint: repo-specific lint rules (include guards, banned calls,
-// dropped Status/Result returns). Runs as a ctest gate; see tools/lint.h
-// for the rule definitions and DESIGN.md for the conventions it enforces.
+// dropped Status/Result returns, and the concurrency-discipline rules:
+// unannotated-sync, manual-lock, atomic-order, lock-order, guarded-read).
+// Runs as a ctest gate; see tools/lint.h for the rule definitions and
+// DESIGN.md section 11 for the conventions it enforces.
 //
-// Usage: autocat_lint --root <repo-root> [path ...]
+// Usage: autocat_lint --root <repo-root> [--lock-order <file>] [path ...]
 //   Paths are repo-root-relative files or directories (directories are
 //   walked recursively for .h/.cc/.cpp). Default paths: src tools.
+//   --lock-order names the declared lock order file; the default is
+//   <root>/tools/lock_order.txt, skipped silently when absent.
 // Exits 0 when clean, 1 on violations, 2 on usage/IO errors.
 
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -52,6 +58,7 @@ bool CollectFiles(const std::string& root, const std::string& rel,
 
 int main(int argc, char** argv) {
   std::string root = ".";
+  std::string lock_order_path;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -61,9 +68,16 @@ int main(int argc, char** argv) {
         return 2;
       }
       root = argv[++i];
+    } else if (arg == "--lock-order") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "autocat_lint: --lock-order needs a value\n");
+        return 2;
+      }
+      lock_order_path = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
       std::fprintf(stderr,
-                   "usage: autocat_lint --root <repo-root> [path ...]\n");
+                   "usage: autocat_lint --root <repo-root> "
+                   "[--lock-order <file>] [path ...]\n");
       return 2;
     } else {
       paths.push_back(arg);
@@ -71,6 +85,26 @@ int main(int argc, char** argv) {
   }
   if (paths.empty()) {
     paths = {"src", "tools"};
+  }
+
+  // The declared lock order: required when named explicitly, optional at
+  // its default location (repos without one just skip the rule).
+  std::vector<std::string> lock_order;
+  const bool explicit_order = !lock_order_path.empty();
+  if (!explicit_order) {
+    lock_order_path = root + "/tools/lock_order.txt";
+  }
+  {
+    std::ifstream in(lock_order_path);
+    if (in) {
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      lock_order = autocat::lint::ParseLockOrder(buffer.str());
+    } else if (explicit_order) {
+      std::fprintf(stderr, "autocat_lint: cannot read lock order file %s\n",
+                   lock_order_path.c_str());
+      return 2;
+    }
   }
 
   std::vector<std::string> files;
@@ -83,7 +117,7 @@ int main(int argc, char** argv) {
   files.erase(std::unique(files.begin(), files.end()), files.end());
 
   std::vector<autocat::lint::LintIssue> issues;
-  if (!autocat::lint::LintFiles(root, files, &issues)) {
+  if (!autocat::lint::LintFiles(root, files, lock_order, &issues)) {
     for (const auto& issue : issues) {
       std::fprintf(stderr, "%s\n", issue.ToString().c_str());
     }

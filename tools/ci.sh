@@ -8,10 +8,14 @@
 #   3. Debug + UndefinedBehaviorSanitizer build + full ctest
 #   4. Debug + ThreadSanitizer build + full ctest (the parallel engine's
 #      pool, hot paths, and determinism suite under real interleavings)
-#   5. clang-tidy over src/ (skipped with a notice when clang-tidy is not
-#      installed; the ctest gate skips the same way via exit code 77)
+#   5. The static-analysis leg (also available alone as --analyze):
+#      clang thread-safety analysis over the annotated tree, the
+#      concurrency lint rules (autocat_lint), and clang-tidy with the
+#      concurrency-* checks. Clang-dependent stages skip with a notice
+#      when the toolchain is absent (the ctest gates skip the same way
+#      via exit code 77); the lint stage always runs.
 #
-# Usage: tools/ci.sh [--fast|--serve|--bench-smoke]
+# Usage: tools/ci.sh [--fast|--serve|--bench-smoke|--analyze]
 #   --fast   run only the Release leg (useful as a pre-push smoke test)
 #   --serve  run only the serving-layer suite (src/serve/ + histogram)
 #            under ASan and TSan — the targeted gate for cache/admission
@@ -22,6 +26,9 @@
 #            gate for the columnar engine's kernels, views, and the
 #            threaded serve path, exercised through the real benchmark
 #            drivers rather than unit fixtures
+#   --analyze
+#            run only the static-analysis leg — the targeted gate for
+#            concurrency-discipline work (DESIGN.md section 11)
 
 set -euo pipefail
 
@@ -30,12 +37,15 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 FAST=0
 SERVE=0
 BENCH_SMOKE=0
+ANALYZE=0
 if [[ "${1:-}" == "--fast" ]]; then
   FAST=1
 elif [[ "${1:-}" == "--serve" ]]; then
   SERVE=1
 elif [[ "${1:-}" == "--bench-smoke" ]]; then
   BENCH_SMOKE=1
+elif [[ "${1:-}" == "--analyze" ]]; then
+  ANALYZE=1
 fi
 
 # Every serving-layer test suite, plus the histogram the metrics build on.
@@ -68,6 +78,51 @@ bench_smoke_leg() {
   "$ROOT/$dir/bench/bench_serve_throughput" --smoke \
     --benchmark_min_time=0.01
 }
+
+# The static-analysis leg: thread-safety annotations (clang), the
+# concurrency lint rules, and clang-tidy's concurrency checks. Needs a
+# Release build dir for the lint binary and the compile database.
+analyze_leg() {
+  local dir="build-ci-release"
+  echo "==== [analyze] configure + build lint ===="
+  cmake -B "$ROOT/$dir" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$ROOT/$dir" -j "$JOBS" --target autocat_lint
+
+  echo "==== [analyze] thread-safety ===="
+  if "$ROOT/tools/run_thread_safety.sh" "$ROOT"; then
+    echo "thread-safety: clean"
+  else
+    local rc=$?
+    if [[ "$rc" == "77" ]]; then
+      echo "thread-safety: clang++ not installed, skipped"
+    else
+      echo "thread-safety: FAILED (exit $rc)" >&2
+      exit "$rc"
+    fi
+  fi
+
+  echo "==== [analyze] autocat_lint (concurrency rules) ===="
+  "$ROOT/$dir/tools/autocat_lint" --root "$ROOT" src tools
+
+  echo "==== [analyze] clang-tidy (incl. concurrency-*) ===="
+  if "$ROOT/tools/run_clang_tidy.sh" "$ROOT" "$ROOT/$dir"; then
+    echo "clang-tidy: clean"
+  else
+    local rc=$?
+    if [[ "$rc" == "77" ]]; then
+      echo "clang-tidy: not installed, skipped"
+    else
+      echo "clang-tidy: FAILED (exit $rc)" >&2
+      exit "$rc"
+    fi
+  fi
+}
+
+if [[ "$ANALYZE" == "1" ]]; then
+  analyze_leg
+  echo "==== analyze leg passed ===="
+  exit 0
+fi
 
 if [[ "$BENCH_SMOKE" == "1" ]]; then
   bench_smoke_leg asan build-ci-asan \
@@ -109,17 +164,6 @@ if [[ "$FAST" == "0" ]]; then
     -DCMAKE_BUILD_TYPE=Debug -DAUTOCAT_SANITIZE=thread
 fi
 
-echo "==== [clang-tidy] ===="
-if "$ROOT/tools/run_clang_tidy.sh" "$ROOT" "$ROOT/build-ci-release"; then
-  echo "clang-tidy: clean"
-else
-  rc=$?
-  if [[ "$rc" == "77" ]]; then
-    echo "clang-tidy: not installed, skipped"
-  else
-    echo "clang-tidy: FAILED (exit $rc)" >&2
-    exit "$rc"
-  fi
-fi
+analyze_leg
 
 echo "==== CI matrix passed ===="

@@ -73,6 +73,69 @@ std::vector<LintIssue> CheckDroppedStatus(
     const std::string& rel_path, const std::string& content,
     const std::set<std::string>& status_functions);
 
+/// True for files under the concurrency-annotated tree (src/serve/,
+/// src/exec/, src/common/), where the capability-annotation rules below
+/// apply. Everything else (sql/, core/, storage/, workload/, tools/) is
+/// single-threaded by design and exempt.
+bool InConcurrencyScope(const std::string& rel_path);
+
+/// Rule `unannotated-sync`: in the annotated tree, raw `std::mutex` /
+/// `std::shared_mutex` / `std::condition_variable` (and their timed /
+/// recursive variants, plus the matching #includes) are banned — use the
+/// capability-annotated wrappers in common/mutex.h, which the clang
+/// thread-safety analysis understands. `std::atomic` members are allowed
+/// but must carry an `// atomic-order:` comment (same line or the comment
+/// block directly above) documenting the memory-order protocol.
+/// common/mutex.h itself, which implements the wrappers, is exempt.
+std::vector<LintIssue> CheckUnannotatedSync(const std::string& rel_path,
+                                            const std::string& content);
+
+/// Rule `manual-lock`: `.lock()` / `.unlock()` (and the try_ / _shared
+/// variants) outside common/mutex.h — locking in the annotated tree is
+/// RAII-only (MutexLock / ReaderLock / WriterLock), so a lock can never
+/// leak past a scope and the acquire/release annotations stay paired.
+std::vector<LintIssue> CheckManualLock(const std::string& rel_path,
+                                       const std::string& content);
+
+/// Rule `atomic-order`: atomic member-function calls (`.load(`,
+/// `.store(`, `.fetch_*`, `.exchange(`, `.compare_exchange_*`) whose
+/// argument list carries no explicit `std::memory_order` — the default
+/// seq_cst hides the intended protocol and costs fences the documented
+/// orders avoid. Every atomic access must spell its order.
+std::vector<LintIssue> CheckAtomicOrder(const std::string& rel_path,
+                                        const std::string& content);
+
+/// Parses a declared lock order file: one lock token per line, outermost
+/// first; blank lines and `#` comments ignored; whitespace inside a token
+/// removed (so `shard . mu` == `shard.mu`).
+std::vector<std::string> ParseLockOrder(const std::string& content);
+
+/// Rule `lock-order`: tracks RAII guard constructions through each
+/// function body (by brace depth) and flags an acquisition of a lock
+/// token that `declared_order` places *before* a token already held —
+/// a lexical inversion of the declared order (tools/lock_order.txt).
+/// Tokens not in `declared_order` are ignored; the check is per-file and
+/// lexical, the clang analysis (ACQUIRED_BEFORE) is the semantic layer.
+std::vector<LintIssue> CheckLockOrder(
+    const std::string& rel_path, const std::string& content,
+    const std::vector<std::string>& declared_order);
+
+/// Harvests field names declared with AUTOCAT_GUARDED_BY(...) on the
+/// same line (the repo convention), for use with CheckGuardedRead.
+std::set<std::string> CollectGuardedFields(const std::string& content);
+
+/// Rule `guarded-read`: an occurrence of a guarded field (member-access
+/// `x.field` / `x->field`, or any bare `field_`-style name) on a line
+/// that is neither inside a live RAII guard scope nor inside a function
+/// annotated AUTOCAT_REQUIRES / AUTOCAT_ACQUIRE / AUTOCAT_RELEASE /
+/// AUTOCAT_NO_THREAD_SAFETY_ANALYSIS. `guarded_fields` is pair-scoped:
+/// LintFiles harvests it from the file's own .h/.cc pair only, so field
+/// names stay local to the component that declared them. Depth-0 lines
+/// (signatures, constructor init lists) are exempt.
+std::vector<LintIssue> CheckGuardedRead(
+    const std::string& rel_path, const std::string& content,
+    const std::set<std::string>& guarded_fields);
+
 /// Strips `//` and `/*...*/` comments and string/char literal contents
 /// from one line of code, preserving column positions with spaces.
 /// `in_block_comment` carries /*...*/ state across lines.
@@ -83,17 +146,30 @@ std::string StripCommentsAndStrings(const std::string& line,
 /// suppression for `rule`.
 bool IsSuppressed(const std::string& line, const std::string& rule);
 
+/// Cross-file state the rules need, assembled by LintFiles' first pass
+/// (or by hand in tests): Status/Result function names for
+/// dropped-status, the declared lock order for lock-order, and the
+/// guarded fields of the file's own .h/.cc pair for guarded-read.
+struct LintContext {
+  std::set<std::string> status_functions;
+  std::vector<std::string> lock_order;
+  std::set<std::string> guarded_fields;
+};
+
 /// Runs every applicable rule over one file's content. `rel_path` decides
 /// which rules apply (headers get include-guard; src/common is exempt
-/// from banned-call).
-std::vector<LintIssue> LintFileContent(
-    const std::string& rel_path, const std::string& content,
-    const std::set<std::string>& status_functions);
+/// from banned-call; the concurrency rules cover src/serve, src/exec,
+/// and src/common).
+std::vector<LintIssue> LintFileContent(const std::string& rel_path,
+                                       const std::string& content,
+                                       const LintContext& context);
 
 /// Loads `root`-relative `files`, harvests Status/Result declarations
-/// from every header among them, lints each file, and appends issues.
-/// Returns false when any file cannot be read.
+/// from every header and guarded fields per .h/.cc pair, lints each file
+/// against `lock_order`, and appends issues. Returns false when any file
+/// cannot be read.
 bool LintFiles(const std::string& root, const std::vector<std::string>& files,
+               const std::vector<std::string>& lock_order,
                std::vector<LintIssue>* issues);
 
 }  // namespace autocat::lint

@@ -1,0 +1,33 @@
+#!/bin/sh
+# Clang thread-safety analysis gate over the annotated tree (src/common,
+# src/exec, src/serve): syntax-only compiles with -Wthread-safety
+# promoted to an error, so a GUARDED_BY field touched without its lock or
+# an unannotated locking path fails the gate even when the main build
+# uses g++ (which ignores the annotations).
+#
+# Usage: run_thread_safety.sh <source-root>
+# Exit codes: 0 clean, 1 violations, 2 usage error,
+#             77 clang++ unavailable (ctest SKIP_RETURN_CODE).
+set -u
+
+if [ "$#" -ne 1 ]; then
+  echo "usage: $0 <source-root>" >&2
+  exit 2
+fi
+SRC_ROOT=$1
+
+CLANGXX=${CLANGXX:-clang++}
+if ! command -v "$CLANGXX" >/dev/null 2>&1; then
+  echo "clang++ not found in PATH; skipping (install clang to enable)" >&2
+  exit 77
+fi
+
+FAILED=0
+for f in "$SRC_ROOT"/src/common/*.cc "$SRC_ROOT"/src/exec/*.cc \
+         "$SRC_ROOT"/src/serve/*.cc; do
+  if ! "$CLANGXX" -std=c++20 -fsyntax-only -I "$SRC_ROOT/src" \
+       -Wthread-safety -Werror=thread-safety "$f"; then
+    FAILED=1
+  fi
+done
+exit "$FAILED"
