@@ -1,0 +1,137 @@
+// Scenario-replay throughput: every builtin workload scenario
+// (steady/skewed/bursty/drifting/mixed) driven end to end through
+// ScenarioHarness, reporting requests/sec plus the scenario's overall and
+// worst-phase hit rates as counters. The drifting scenario additionally
+// runs with the adaptive serving knobs on, so the counter delta
+// (hit_rate_adaptive vs hit_rate) is the same recovery the ctest drift
+// gate asserts — visible here as a benchmark row.
+//
+// --smoke keeps only the steady and drifting scenarios for the sanitizer
+// legs (tools/ci.sh --workload runs it under TSan).
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "workloadgen/harness.h"
+#include "workloadgen/scenario.h"
+
+namespace {
+
+using namespace autocat;  // NOLINT
+
+bool& SmokeMode() {
+  static bool smoke = false;
+  return smoke;
+}
+
+size_t TotalRequests(const ScenarioReport& report) {
+  size_t total = 0;
+  for (const PhaseReport& phase : report.phases) {
+    total += phase.requests;
+  }
+  return total;
+}
+
+double OverallHitRate(const ScenarioReport& report) {
+  uint64_t hits = 0;
+  uint64_t answered = 0;
+  for (const PhaseReport& phase : report.phases) {
+    hits += phase.hits;
+    answered += phase.hits + phase.misses;
+  }
+  return answered == 0
+             ? 0.0
+             : static_cast<double>(hits) / static_cast<double>(answered);
+}
+
+double WorstPhaseHitRate(const ScenarioReport& report) {
+  double worst = 1.0;
+  for (const PhaseReport& phase : report.phases) {
+    worst = std::min(worst, phase.hit_rate);
+  }
+  return worst;
+}
+
+void BM_Scenario(benchmark::State& state, const std::string& name,
+                 bool adaptive) {
+  auto spec = BuiltinScenario(name);
+  AUTOCAT_CHECK(spec.ok());
+  HarnessOptions options;
+  options.threads = 1;
+  options.adaptive = adaptive;
+  size_t requests = 0;
+  double hit_rate = 0;
+  double worst_phase = 0;
+  uint64_t actions = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (auto _ : state) {
+    auto report = ScenarioHarness::Run(spec.value(), options);
+    AUTOCAT_CHECK(report.ok());
+    requests += TotalRequests(report.value());
+    hit_rate = OverallHitRate(report.value());
+    worst_phase = WorstPhaseHitRate(report.value());
+    actions = report->adaptive_actions;
+    benchmark::DoNotOptimize(report->service_metrics_json);
+  }
+  const double elapsed_s = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+  state.counters["requests_per_s"] =
+      elapsed_s > 0 ? static_cast<double>(requests) / elapsed_s : 0;
+  state.counters[adaptive ? "hit_rate_adaptive" : "hit_rate"] = hit_rate;
+  state.counters["worst_phase_hit_rate"] = worst_phase;
+  if (adaptive) {
+    state.counters["adaptive_actions"] = static_cast<double>(actions);
+  }
+  state.SetLabel(name + (adaptive ? " (adaptive)" : ""));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      SmokeMode() = true;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+
+  std::vector<std::string> names = BuiltinScenarioNames();
+  if (SmokeMode()) {
+    names = {"steady", "drifting"};
+  }
+  for (const std::string& name : names) {
+    benchmark::RegisterBenchmark(
+        ("BM_Scenario/" + name).c_str(),
+        [name](benchmark::State& state) {
+          BM_Scenario(state, name, /*adaptive=*/false);
+        })
+        ->Unit(benchmark::kMillisecond)
+        ->UseRealTime();
+  }
+  // The drift-recovery pair: same scenario, knobs on.
+  benchmark::RegisterBenchmark(
+      "BM_Scenario/drifting_adaptive",
+      [](benchmark::State& state) {
+        BM_Scenario(state, "drifting", /*adaptive=*/true);
+      })
+      ->Unit(benchmark::kMillisecond)
+      ->UseRealTime();
+
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,8 +1,10 @@
 #include "common/string_util.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace autocat {
 
@@ -109,6 +111,61 @@ std::string HumanizeNumber(double v) {
     std::snprintf(buf, sizeof(buf), "%g", v);
   }
   return buf;
+}
+
+namespace {
+
+// Shared strict-parse shell: trims, rejects empty input, runs `parse`
+// (an errno-reporting strtoX wrapper), and requires full consumption.
+template <typename T, typename Parse>
+Result<T> StrictParse(std::string_view text, const char* what,
+                      const Parse& parse) {
+  const std::string_view trimmed = TrimWhitespace(text);
+  if (trimmed.empty()) {
+    return Status::InvalidArgument(std::string("empty ") + what +
+                                   " value");
+  }
+  const std::string owned(trimmed);  // strtoX needs NUL termination
+  errno = 0;
+  char* end = nullptr;
+  const T value = parse(owned.c_str(), &end);
+  if (errno == ERANGE) {
+    return Status::InvalidArgument(std::string(what) +
+                                   " value out of range: '" + owned + "'");
+  }
+  if (end != owned.c_str() + owned.size()) {
+    return Status::InvalidArgument(std::string("malformed ") + what +
+                                   " value: '" + owned + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+Result<uint64_t> ParseUint64(std::string_view text) {
+  // strtoull accepts a leading '-' (wrapping the value); reject it first.
+  if (!TrimWhitespace(text).empty() && TrimWhitespace(text)[0] == '-') {
+    return Status::InvalidArgument("negative unsigned value: '" +
+                                   std::string(TrimWhitespace(text)) + "'");
+  }
+  return StrictParse<uint64_t>(
+      text, "unsigned integer", [](const char* s, char** end) {
+        return static_cast<uint64_t>(std::strtoull(s, end, 10));
+      });
+}
+
+Result<int64_t> ParseInt64(std::string_view text) {
+  return StrictParse<int64_t>(
+      text, "integer", [](const char* s, char** end) {
+        return static_cast<int64_t>(std::strtoll(s, end, 10));
+      });
+}
+
+Result<double> ParseDouble(std::string_view text) {
+  return StrictParse<double>(text, "numeric",
+                             [](const char* s, char** end) {
+                               return std::strtod(s, end);
+                             });
 }
 
 }  // namespace autocat

@@ -1,9 +1,12 @@
 #ifndef AUTOCAT_COMMON_STRING_UTIL_H_
 #define AUTOCAT_COMMON_STRING_UTIL_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/result.h"
 
 namespace autocat {
 
@@ -32,6 +35,14 @@ bool StartsWith(std::string_view text, std::string_view prefix);
 /// Renders a (typically monetary) number compactly the way the paper's
 /// figures do: 200000 -> "200K", 1500000 -> "1.5M", 1234 -> "1234".
 std::string HumanizeNumber(double v);
+
+/// Strict numeric parsing for flag and spec values: the whole trimmed
+/// string must be consumed and non-empty, otherwise kInvalidArgument.
+/// (strtoull-style partial parses that silently yield 0 are exactly what
+/// these exist to reject.)
+Result<uint64_t> ParseUint64(std::string_view text);
+Result<int64_t> ParseInt64(std::string_view text);
+Result<double> ParseDouble(std::string_view text);
 
 }  // namespace autocat
 

@@ -1,0 +1,154 @@
+#include "serve/adaptive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace autocat {
+
+void TrafficObserver::Record(bool hit, const SelectionProfile& profile) {
+  MutexLock lock(mu_);
+  ++window_requests_;
+  ++total_requests_;
+  if (hit) {
+    ++window_hits_;
+  }
+  for (const auto& [attribute, condition] : profile.conditions()) {
+    if (!condition.is_range() || !condition.range.IsBounded()) {
+      continue;
+    }
+    AttributeWindow& window = attributes_[attribute];
+    ++window.observations;
+    if (window.pairs.size() < max_tracked_) {
+      window.pairs.emplace(
+          static_cast<int64_t>(std::llround(condition.range.lo)),
+          static_cast<int64_t>(std::llround(condition.range.hi)));
+    }
+  }
+}
+
+TrafficWindowSnapshot TrafficObserver::SnapshotAndReset() {
+  MutexLock lock(mu_);
+  TrafficWindowSnapshot snapshot;
+  snapshot.requests = window_requests_;
+  snapshot.hits = window_hits_;
+  for (const auto& [attribute, window] : attributes_) {
+    EndpointWindowStats stats;
+    stats.observations = window.observations;
+    stats.distinct_pairs = window.pairs.size();
+    snapshot.endpoints[attribute] = stats;
+  }
+  window_requests_ = 0;
+  window_hits_ = 0;
+  attributes_.clear();
+  return snapshot;
+}
+
+uint64_t TrafficObserver::total_requests() const {
+  MutexLock lock(mu_);
+  return total_requests_;
+}
+
+std::string AdaptiveAction::ToJson() const {
+  char buf[64];
+  std::string out = "{";
+  out += "\"round\":" + std::to_string(round);
+  std::snprintf(buf, sizeof(buf), "%.4f", window_hit_rate);
+  out += ",\"window_hit_rate\":";
+  out += buf;
+  out += ",\"window_requests\":" + std::to_string(window_requests);
+  out += ",\"width_multipliers\":{";
+  bool first = true;
+  for (const auto& [attribute, multiplier] : width_multipliers) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    std::snprintf(buf, sizeof(buf), "%g", multiplier);
+    out += "\"" + attribute + "\":";
+    out += buf;
+  }
+  out += "}";
+  out += ",\"widths_changed\":";
+  out += widths_changed ? "true" : "false";
+  out += ",\"ttl_ms\":" + std::to_string(ttl_ms);
+  out += ",\"ttl_changed\":";
+  out += ttl_changed ? "true" : "false";
+  out += ",\"capacity_bytes\":" + std::to_string(capacity_bytes);
+  out += ",\"capacity_changed\":";
+  out += capacity_changed ? "true" : "false";
+  out += "}";
+  return out;
+}
+
+AdaptiveAction AdaptiveController::Plan(const TrafficWindowSnapshot& window,
+                                        const CacheStats& cache) {
+  AdaptiveAction action;
+  action.round = ++rounds_;
+  action.window_hit_rate = window.HitRate();
+  action.window_requests = window.requests;
+  action.width_multipliers = multipliers_;
+  action.ttl_ms = ttl_ms_;
+  action.capacity_bytes = capacity_bytes_;
+
+  // Counter deltas since the previous round (CacheStats is cumulative).
+  const uint64_t d_expirations = cache.expirations - last_cache_.expirations;
+  const uint64_t d_evictions = cache.evictions - last_cache_.evictions;
+  const uint64_t d_misses = cache.misses - last_cache_.misses;
+  last_cache_ = cache;
+
+  if (window.requests < options_.min_window_requests ||
+      window.HitRate() >= options_.target_hit_rate) {
+    return action;
+  }
+
+  // First lever: snap widths. An attribute whose distinct snapped
+  // endpoint pairs are a large fraction of the window's requests is
+  // shattering the signature space; doubling its width merges neighbors.
+  for (const auto& [attribute, stats] : window.endpoints) {
+    if (stats.observations == 0) {
+      continue;
+    }
+    const double dispersion =
+        static_cast<double>(stats.distinct_pairs) /
+        static_cast<double>(window.requests);
+    if (dispersion <= options_.dispersion_threshold) {
+      continue;
+    }
+    double& multiplier =
+        multipliers_.emplace(attribute, 1.0).first->second;
+    if (multiplier * 2 <= options_.max_width_multiplier) {
+      multiplier *= 2;
+      action.widths_changed = true;
+    }
+  }
+  action.width_multipliers = multipliers_;
+  if (action.widths_changed) {
+    return action;
+  }
+
+  // Second lever: TTL. Expirations producing a meaningful share of the
+  // window's misses mean entries die before their re-use distance.
+  if (ttl_ms_ > 0 && d_misses > 0 && d_expirations * 4 >= d_misses) {
+    const int64_t next =
+        std::clamp<int64_t>(ttl_ms_ * 2, options_.min_ttl_ms,
+                            options_.max_ttl_ms);
+    if (next != ttl_ms_) {
+      ttl_ms_ = next;
+      action.ttl_ms = next;
+      action.ttl_changed = true;
+      return action;
+    }
+  }
+
+  // Third lever: capacity. Evictions while below target mean the working
+  // set genuinely does not fit.
+  if (d_evictions > 0 && capacity_bytes_ * 2 <= options_.max_capacity_bytes) {
+    capacity_bytes_ *= 2;
+    action.capacity_bytes = capacity_bytes_;
+    action.capacity_changed = true;
+  }
+  return action;
+}
+
+}  // namespace autocat

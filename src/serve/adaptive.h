@@ -1,0 +1,153 @@
+#ifndef AUTOCAT_SERVE_ADAPTIVE_H_
+#define AUTOCAT_SERVE_ADAPTIVE_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
+#include "serve/cache.h"
+#include "sql/selection.h"
+
+namespace autocat {
+
+/// Knobs of the adaptive serving loop (DESIGN.md §12). The loop observes
+/// a window of served traffic and, when the hit rate is below target,
+/// moves whichever knob the window's evidence points at: snap widths
+/// when signatures are dispersed, TTL when entries expire under the
+/// request stream, capacity when the LRU is evicting.
+struct AdaptiveOptions {
+  /// Whether the harness/operator wants the loop to act at all. The
+  /// observer records regardless (it only feeds metrics then).
+  bool enabled = false;
+  /// Hit-rate the controller steers toward.
+  double target_hit_rate = 0.5;
+  /// Windows with fewer requests than this produce no action (not
+  /// enough evidence).
+  uint64_t min_window_requests = 48;
+  /// Snap-width multipliers double per round up to this cap.
+  double max_width_multiplier = 128;
+  /// An attribute is "dispersed" when its distinct snapped endpoint
+  /// pairs exceed this fraction of the window's requests.
+  double dispersion_threshold = 0.1;
+  /// TTL doubling bounds (only applied when a TTL is configured).
+  int64_t min_ttl_ms = 250;
+  int64_t max_ttl_ms = 60000;
+  /// Capacity doubling bound.
+  size_t max_capacity_bytes = 512ull << 20;
+  /// Distinct endpoint pairs tracked per attribute per window (bounds
+  /// observer memory; saturation still reads as maximal dispersion).
+  size_t max_tracked_endpoints = 512;
+};
+
+/// Per-attribute view of one observation window.
+struct EndpointWindowStats {
+  uint64_t observations = 0;
+  /// Distinct snapped (lo, hi) endpoint pairs seen (bounded).
+  size_t distinct_pairs = 0;
+};
+
+/// One drained observation window.
+struct TrafficWindowSnapshot {
+  uint64_t requests = 0;
+  uint64_t hits = 0;
+  std::map<std::string, EndpointWindowStats> endpoints;
+
+  double HitRate() const {
+    return requests == 0
+               ? 0.0
+               : static_cast<double>(hits) / static_cast<double>(requests);
+  }
+};
+
+/// Thread-safe accumulator fed by the service on every answered request
+/// (hit or miss) with the canonical profile it served. Windows are
+/// drained by SnapshotAndReset at the adaptation cadence.
+class TrafficObserver {
+ public:
+  explicit TrafficObserver(size_t max_tracked_endpoints)
+      : max_tracked_(max_tracked_endpoints) {}
+
+  void Record(bool hit, const SelectionProfile& profile)
+      AUTOCAT_EXCLUDES(mu_);
+
+  /// Drains the current window (cumulative totals are kept).
+  TrafficWindowSnapshot SnapshotAndReset() AUTOCAT_EXCLUDES(mu_);
+
+  /// Requests observed since construction (across all windows).
+  uint64_t total_requests() const AUTOCAT_EXCLUDES(mu_);
+
+ private:
+  struct AttributeWindow {
+    uint64_t observations = 0;
+    std::set<std::pair<int64_t, int64_t>> pairs;
+  };
+
+  const size_t max_tracked_;
+  mutable Mutex mu_;
+  uint64_t window_requests_ AUTOCAT_GUARDED_BY(mu_) = 0;
+  uint64_t window_hits_ AUTOCAT_GUARDED_BY(mu_) = 0;
+  uint64_t total_requests_ AUTOCAT_GUARDED_BY(mu_) = 0;
+  std::map<std::string, AttributeWindow> attributes_
+      AUTOCAT_GUARDED_BY(mu_);
+};
+
+/// What one adaptation round decided. Fields carry the knobs' NEW values;
+/// the *_changed flags say which ones actually moved this round.
+struct AdaptiveAction {
+  uint64_t round = 0;
+  double window_hit_rate = 0;
+  uint64_t window_requests = 0;
+  std::map<std::string, double> width_multipliers;
+  bool widths_changed = false;
+  int64_t ttl_ms = 0;
+  bool ttl_changed = false;
+  size_t capacity_bytes = 0;
+  bool capacity_changed = false;
+
+  bool any_change() const {
+    return widths_changed || ttl_changed || capacity_changed;
+  }
+  /// Deterministic rendering (fixed key order, fixed precision).
+  std::string ToJson() const;
+};
+
+/// The decision half of the loop: pure state machine, no locking (the
+/// service serializes calls). Policy per round, evaluated on one drained
+/// window plus the cache counters' delta since the previous round:
+///   - hit rate >= target, or too few requests: no action;
+///   - else, each dispersed attribute's width multiplier doubles (cap
+///     max_width_multiplier) — collapses jittered endpoints into fewer
+///     signatures;
+///   - else-if nothing was dispersed: expirations dominating the misses
+///     double the TTL (within [min, max]); evictions with the cache full
+///     double the capacity (cap max_capacity_bytes).
+class AdaptiveController {
+ public:
+  AdaptiveController(AdaptiveOptions options, int64_t initial_ttl_ms,
+                     size_t initial_capacity_bytes)
+      : options_(options),
+        ttl_ms_(initial_ttl_ms),
+        capacity_bytes_(initial_capacity_bytes) {}
+
+  AdaptiveAction Plan(const TrafficWindowSnapshot& window,
+                      const CacheStats& cache);
+
+  const AdaptiveOptions& options() const { return options_; }
+  uint64_t rounds() const { return rounds_; }
+
+ private:
+  AdaptiveOptions options_;
+  std::map<std::string, double> multipliers_;
+  int64_t ttl_ms_;
+  size_t capacity_bytes_;
+  CacheStats last_cache_;
+  uint64_t rounds_ = 0;
+};
+
+}  // namespace autocat
+
+#endif  // AUTOCAT_SERVE_ADAPTIVE_H_

@@ -27,6 +27,7 @@ Status AdmissionController::Admit(const Deadline& deadline) {
   MutexLock lock(mu_);
   if (executing_ < max_concurrent_) {
     ++executing_;
+    ++admitted_;
     return Status::OK();
   }
   if (queued_ >= max_queue_) {
@@ -40,6 +41,7 @@ Status AdmissionController::Admit(const Deadline& deadline) {
   while (executing_ >= max_concurrent_) {
     if (deadline.ExpiredAt(NowMs())) {
       --queued_;
+      ++deadline_exceeded_;
       cv_.NotifyOne();  // another waiter may be runnable now
       return Status::DeadlineExceeded(
           "deadline passed while queued for admission");
@@ -56,6 +58,7 @@ Status AdmissionController::Admit(const Deadline& deadline) {
   }
   --queued_;
   ++executing_;
+  ++admitted_;
   return Status::OK();
 }
 
@@ -75,6 +78,21 @@ size_t AdmissionController::queue_high_water() const {
 uint64_t AdmissionController::rejected() const {
   MutexLock lock(mu_);
   return rejected_;
+}
+
+uint64_t AdmissionController::admitted() const {
+  MutexLock lock(mu_);
+  return admitted_;
+}
+
+uint64_t AdmissionController::deadline_exceeded() const {
+  MutexLock lock(mu_);
+  return deadline_exceeded_;
+}
+
+size_t AdmissionController::queued() const {
+  MutexLock lock(mu_);
+  return queued_;
 }
 
 }  // namespace autocat

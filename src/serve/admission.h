@@ -66,6 +66,16 @@ class AdmissionController {
   /// Requests rejected with kOverloaded so far.
   uint64_t rejected() const AUTOCAT_EXCLUDES(mu_);
 
+  /// Requests admitted (immediately or after queueing) so far.
+  uint64_t admitted() const AUTOCAT_EXCLUDES(mu_);
+
+  /// Queued requests that gave up with kDeadlineExceeded so far.
+  uint64_t deadline_exceeded() const AUTOCAT_EXCLUDES(mu_);
+
+  /// Requests currently waiting in the queue (for tests that need to
+  /// observe a scripted burst reaching a known shape).
+  size_t queued() const AUTOCAT_EXCLUDES(mu_);
+
  private:
   int64_t NowMs() const;
 
@@ -79,6 +89,8 @@ class AdmissionController {
   size_t queued_ AUTOCAT_GUARDED_BY(mu_) = 0;
   size_t queue_high_water_ AUTOCAT_GUARDED_BY(mu_) = 0;
   uint64_t rejected_ AUTOCAT_GUARDED_BY(mu_) = 0;
+  uint64_t admitted_ AUTOCAT_GUARDED_BY(mu_) = 0;
+  uint64_t deadline_exceeded_ AUTOCAT_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace autocat

@@ -60,8 +60,10 @@ Result<std::shared_ptr<const CachedCategorization>> CachedCategorization::
 SignatureCache::SignatureCache(CacheOptions options)
     : options_(std::move(options)) {
   const size_t num_shards = std::max<size_t>(options_.shards, 1);
-  per_shard_capacity_ = std::max<size_t>(options_.capacity_bytes /
-                                             num_shards, 1);
+  per_shard_capacity_.store(
+      std::max<size_t>(options_.capacity_bytes / num_shards, 1),
+      std::memory_order_relaxed);
+  ttl_ms_.store(options_.ttl_ms, std::memory_order_relaxed);
   shards_.reserve(num_shards);
   for (size_t i = 0; i < num_shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
@@ -146,7 +148,9 @@ void SignatureCache::InsertLocked(
   const size_t entry_bytes = payload->approx_bytes() + 2 * key.size() +
                              sizeof(Entry) + 64;
   const uint64_t epoch = observed_epoch;
-  if (entry_bytes > per_shard_capacity_) {
+  const size_t shard_capacity =
+      per_shard_capacity_.load(std::memory_order_relaxed);
+  if (entry_bytes > shard_capacity) {
     ++shard.oversized;
     return;
   }
@@ -154,19 +158,19 @@ void SignatureCache::InsertLocked(
   if (existing != shard.index.end()) {
     RemoveLocked(shard, existing->second);
   }
-  while (shard.bytes + entry_bytes > per_shard_capacity_ &&
+  while (shard.bytes + entry_bytes > shard_capacity &&
          !shard.lru.empty()) {
     ++shard.evictions;
     RemoveLocked(shard, std::prev(shard.lru.end()));
   }
+  const int64_t ttl_ms = ttl_ms_.load(std::memory_order_relaxed);
   Entry entry;
   entry.key = key;
   entry.payload = std::move(payload);
   entry.bytes = entry_bytes;
   entry.epoch = epoch;
-  entry.expires_at_ms =
-      options_.ttl_ms > 0 ? NowMs() + options_.ttl_ms
-                          : std::numeric_limits<int64_t>::max();
+  entry.expires_at_ms = ttl_ms > 0 ? NowMs() + ttl_ms
+                                   : std::numeric_limits<int64_t>::max();
   shard.lru.push_front(std::move(entry));
   shard.index[key] = shard.lru.begin();
   shard.bytes += entry_bytes;
@@ -174,6 +178,25 @@ void SignatureCache::InsertLocked(
 
 void SignatureCache::BumpEpoch() {
   epoch_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void SignatureCache::SetTtlMs(int64_t ttl_ms) {
+  ttl_ms_.store(ttl_ms, std::memory_order_relaxed);
+}
+
+void SignatureCache::SetCapacityBytes(size_t capacity_bytes) {
+  const size_t per_shard =
+      std::max<size_t>(capacity_bytes / shards_.size(), 1);
+  per_shard_capacity_.store(per_shard, std::memory_order_relaxed);
+  // Shrink immediately: a smaller budget should free memory now, not on
+  // the next insert that happens to land in each shard.
+  for (const auto& shard : shards_) {
+    MutexLock lock(shard->mu);
+    while (shard->bytes > per_shard && !shard->lru.empty()) {
+      ++shard->evictions;
+      RemoveLocked(*shard, std::prev(shard->lru.end()));
+    }
+  }
 }
 
 void SignatureCache::Clear() {
@@ -187,7 +210,8 @@ void SignatureCache::Clear() {
 
 CacheStats SignatureCache::Stats() const {
   CacheStats stats;
-  stats.capacity_bytes = per_shard_capacity_ * shards_.size();
+  stats.capacity_bytes =
+      per_shard_capacity_.load(std::memory_order_relaxed) * shards_.size();
   stats.epoch = epoch_.load(std::memory_order_acquire);
   for (const auto& shard : shards_) {
     MutexLock lock(shard->mu);

@@ -128,6 +128,19 @@ class SignatureCache {
   /// Removes every entry immediately (counters are kept).
   void Clear();
 
+  /// Runtime knobs for the adaptive serving loop. SetTtlMs applies to
+  /// entries inserted from now on (live entries keep their stamped
+  /// expiry); SetCapacityBytes resizes every shard's share and evicts
+  /// immediately down to the new limit. Both are safe against concurrent
+  /// requests.
+  void SetTtlMs(int64_t ttl_ms);
+  void SetCapacityBytes(size_t capacity_bytes);
+  int64_t ttl_ms() const { return ttl_ms_.load(std::memory_order_relaxed); }
+  size_t capacity_bytes() const {
+    return per_shard_capacity_.load(std::memory_order_relaxed) *
+           shards_.size();
+  }
+
   CacheStats Stats() const;
 
  private:
@@ -173,7 +186,14 @@ class SignatureCache {
       AUTOCAT_REQUIRES(shard.mu);
 
   CacheOptions options_;
-  size_t per_shard_capacity_ = 0;
+  // atomic-order: relaxed — the adaptive knobs are advisory limits, not
+  // synchronization points. A shard applies whatever value an insert
+  // happens to read; eventual agreement is enough, and every structural
+  // mutation they gate happens under the shard's mu anyway.
+  std::atomic<size_t> per_shard_capacity_{0};
+  // atomic-order: relaxed — same advisory-knob reasoning as
+  // per_shard_capacity_; TTL stamping needs no cross-thread ordering.
+  std::atomic<int64_t> ttl_ms_{0};
   // The shard vector itself is immutable after construction; each shard's
   // contents are guarded by its own `mu`.
   std::vector<std::unique_ptr<Shard>> shards_;

@@ -99,6 +99,9 @@ std::string ServiceMetricsSnapshot::ToJson() const {
   }
   out += "},\"queue\":{\"depth_high_water\":" +
          std::to_string(queue_depth_high_water);
+  out += "},\"adaptive\":{\"observed_requests\":" +
+         std::to_string(adaptive_observed_requests);
+  out += ",\"actions\":" + std::to_string(adaptive_actions);
   out += "}}";
   return out;
 }

@@ -57,6 +57,10 @@ struct ServiceMetricsSnapshot {
   /// Indexed by ServeStage.
   std::vector<Histogram> stage_ms =
       std::vector<Histogram>(kNumServeStages, Histogram::LatencyMs());
+  /// Adaptive-loop counters (see serve/adaptive.h): requests the traffic
+  /// observer has seen, and adaptation rounds that changed a knob.
+  uint64_t adaptive_observed_requests = 0;
+  uint64_t adaptive_actions = 0;
 
   std::string ToJson() const;
 };

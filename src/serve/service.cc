@@ -58,11 +58,19 @@ CategorizationService::CategorizationService(Database db, Workload workload,
     : options_(std::move(options)),
       db_(std::move(db)),
       workload_(std::move(workload)),
+      adaptive_(options_.adaptive, options_.cache.ttl_ms,
+                options_.cache.capacity_bytes),
       cache_(WithServiceClock(options_.cache, options_.now_ms)),
       admission_(options_.max_concurrent, options_.max_queue,
-                 options_.now_ms) {
+                 options_.now_ms),
+      traffic_(options_.adaptive.max_tracked_endpoints) {
   options_.signature =
       WithDefaultBuckets(std::move(options_.signature), options_.stats);
+  base_signature_ = options_.signature;
+  {
+    WriterLock lock(state_mu_);
+    signature_ = base_signature_;
+  }
   // The serving layer takes its parallelism across requests; an
   // unconfigured categorizer (threads = 0 elsewhere means "hardware")
   // builds each tree sequentially so concurrent requests don't oversubscribe.
@@ -135,11 +143,12 @@ Result<ServeResponse> CategorizationService::HandleAdmitted(
                                db_.GetTable(table_key));
       AUTOCAT_ASSIGN_OR_RETURN(
           CanonicalQuery canonical,
-          CanonicalizeQuery(query, table->schema(), options_.signature));
+          CanonicalizeQuery(query, table->schema(), signature_));
 
       if (!request.bypass_cache) {
         if (auto payload = cache_.Get(canonical.key, canonical.hash)) {
           *outcome = ServeOutcome::kHit;
+          traffic_.Record(true, canonical.profile);
           ServeResponse response;
           response.payload = std::move(payload);
           response.cache_hit = true;
@@ -252,6 +261,7 @@ Result<ServeResponse> CategorizationService::HandleAdmitted(
         if (!request.bypass_cache) {
           cache_.Insert(canonical.key, canonical.hash, payload,
                         observed_epoch);
+          traffic_.Record(false, canonical.profile);
         }
         *outcome = ServeOutcome::kMiss;
         ServeResponse response;
@@ -326,11 +336,55 @@ void CategorizationService::RebuildWorkload(Workload workload) {
   cache_.BumpEpoch();
 }
 
+AdaptiveAction CategorizationService::Adapt() {
+  const TrafficWindowSnapshot window = traffic_.SnapshotAndReset();
+  const CacheStats cache_stats = cache_.Stats();
+  AdaptiveAction action;
+  if (!options_.adaptive.enabled) {
+    return action;
+  }
+  {
+    WriterLock lock(state_mu_);
+    action = adaptive_.Plan(window, cache_stats);
+    if (action.widths_changed) {
+      // Rebuild from the base so multipliers stay absolute (no
+      // compounding drift from repeated in-place scaling).
+      signature_ = base_signature_;
+      for (auto& [attribute, width] : signature_.bucket_widths) {
+        const auto it = action.width_multipliers.find(attribute);
+        if (it != action.width_multipliers.end()) {
+          width *= it->second;
+        }
+      }
+    }
+  }
+  // Wider signatures make the old, narrower keys unreachable — they are
+  // still correct for their keys, so no epoch bump; LRU ages them out.
+  if (action.ttl_changed) {
+    cache_.SetTtlMs(action.ttl_ms);
+  }
+  if (action.capacity_changed) {
+    cache_.SetCapacityBytes(action.capacity_bytes);
+  }
+  if (action.any_change()) {
+    adaptive_actions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return action;
+}
+
+SignatureOptions CategorizationService::CurrentSignatureOptions() const {
+  ReaderLock lock(state_mu_);
+  return signature_;
+}
+
 ServiceMetricsSnapshot CategorizationService::SnapshotMetrics() const {
   ServiceMetricsSnapshot snapshot;
   metrics_.FillSnapshot(&snapshot);
   snapshot.cache = cache_.Stats();
   snapshot.queue_depth_high_water = admission_.queue_high_water();
+  snapshot.adaptive_observed_requests = traffic_.total_requests();
+  snapshot.adaptive_actions =
+      adaptive_actions_.load(std::memory_order_relaxed);
   return snapshot;
 }
 

@@ -1,6 +1,7 @@
 #ifndef AUTOCAT_SERVE_SERVICE_H_
 #define AUTOCAT_SERVE_SERVICE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -12,6 +13,7 @@
 #include "common/result.h"
 #include "core/categorizer.h"
 #include "exec/executor.h"
+#include "serve/adaptive.h"
 #include "serve/admission.h"
 #include "serve/cache.h"
 #include "serve/metrics.h"
@@ -61,6 +63,8 @@ struct ServiceOptions {
   size_t max_concurrent = 4;
   size_t max_queue = 16;
   int64_t default_deadline_ms = 0;
+  /// Adaptive serving loop: targets, bounds, and whether Adapt() acts.
+  AdaptiveOptions adaptive;
   /// Service clock in milliseconds (monotonic); injectable for deadline
   /// and TTL tests. Null uses the steady clock. Also used by the cache
   /// and admission controller unless their own clocks are set.
@@ -109,10 +113,23 @@ class CategorizationService {
   /// invalidates the cache (trees depend on workload counts).
   void RebuildWorkload(Workload workload) AUTOCAT_EXCLUDES(state_mu_);
 
+  /// One adaptation round (DESIGN.md §12): drains the traffic observer's
+  /// window, asks the controller for a plan, and applies it — snap widths
+  /// under the write lock, TTL and capacity directly on the cache. A
+  /// no-op (beyond draining the window) when `options().adaptive.enabled`
+  /// is false. The caller picks the cadence; tools/loadgen calls it every
+  /// `--adapt_every` completed requests.
+  AdaptiveAction Adapt() AUTOCAT_EXCLUDES(state_mu_);
+
   /// Merged snapshot of request, cache, and admission counters.
   ServiceMetricsSnapshot SnapshotMetrics() const;
   /// SnapshotMetrics() rendered as deterministic JSON.
   std::string MetricsJson() const;
+
+  /// The effective snap widths right now (base widths times the adaptive
+  /// multipliers applied so far).
+  SignatureOptions CurrentSignatureOptions() const
+      AUTOCAT_EXCLUDES(state_mu_);
 
   const ServiceOptions& options() const { return options_; }
 
@@ -144,9 +161,22 @@ class CategorizationService {
   Workload workload_ AUTOCAT_GUARDED_BY(state_mu_);
   std::map<std::string, std::shared_ptr<const WorkloadStats>>
       stats_by_table_ AUTOCAT_GUARDED_BY(state_mu_);
+  // The signature options requests canonicalize with. `base_signature_`
+  // is the seeded configuration, immutable after the constructor;
+  // `signature_` is base widths times the adaptive multipliers, read
+  // under the shared lock by every request and rewritten by Adapt().
+  SignatureOptions base_signature_;
+  SignatureOptions signature_ AUTOCAT_GUARDED_BY(state_mu_);
+  // The adaptive controller's knob state machine; Adapt() serializes
+  // planning against requests and other Adapt() calls via state_mu_.
+  AdaptiveController adaptive_ AUTOCAT_GUARDED_BY(state_mu_);
   SignatureCache cache_;
   AdmissionController admission_;
   ServiceMetrics metrics_;
+  TrafficObserver traffic_;
+  // atomic-order: relaxed — a monotone metrics counter; readers only need
+  // an eventually-consistent count, no ordering with other state.
+  std::atomic<uint64_t> adaptive_actions_{0};
 };
 
 }  // namespace autocat

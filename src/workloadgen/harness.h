@@ -1,0 +1,93 @@
+#ifndef AUTOCAT_WORKLOADGEN_HARNESS_H_
+#define AUTOCAT_WORKLOADGEN_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/result.h"
+#include "serve/service.h"
+#include "workloadgen/scenario.h"
+
+namespace autocat {
+
+/// How the harness drives the service.
+struct HarnessOptions {
+  /// Request concurrency (thread-pool width and admission slots).
+  /// 1 replays strictly sequentially — the fully deterministic mode the
+  /// ctest gates run in.
+  size_t threads = 1;
+  /// Turns the adaptive serving loop on (Adapt() every `adapt_every`
+  /// completed requests).
+  bool adaptive = false;
+  size_t adapt_every = 64;
+  /// Adaptive targets/bounds (used when `adaptive` is true).
+  AdaptiveOptions adaptive_options;
+  /// Honor the event stream's arrival_ms gaps in wall-clock time. Off by
+  /// default: gates replay as fast as admission allows.
+  bool paced = false;
+  /// Per-request deadline (0 = unbounded).
+  int64_t deadline_ms = 0;
+  /// Admission queue bound (slots are `threads`).
+  size_t max_queue = 32;
+};
+
+/// Per-phase results, aggregated from the harness's own per-event
+/// records (service histograms cannot be split by phase).
+struct PhaseReport {
+  std::string name;
+  size_t requests = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t overloaded = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t errors = 0;
+  /// hits / (hits + misses); 0 when nothing was answered.
+  double hit_rate = 0;
+  /// Distinct signatures among answered requests.
+  size_t distinct_signatures = 0;
+  double latency_p50_ms = 0;
+  double latency_p90_ms = 0;
+  double latency_p99_ms = 0;
+
+  /// Deterministic key order; latency values vary run to run, counters
+  /// do not (at threads = 1).
+  std::string ToJson() const;
+};
+
+struct ScenarioReport {
+  std::string scenario;
+  bool adaptive = false;
+  std::vector<PhaseReport> phases;
+  /// Adaptation rounds that moved a knob.
+  uint64_t adaptive_actions = 0;
+  /// The service's full metrics JSON at the end of the run.
+  std::string service_metrics_json;
+
+  std::string ToJson() const;
+
+  /// Hit rate of the named phase (kNotFound if absent).
+  Result<double> PhaseHitRate(std::string_view phase_name) const;
+};
+
+/// Runs declarative scenarios against a CategorizationService built over
+/// the synthetic ListProperty environment. The service's workload stats
+/// are trained on a seeded-shuffle subset of the first phase's session
+/// pool (train/test selected independently from one query pool, the
+/// feedback-kde runExperiment.py split), then the composed traffic is
+/// replayed through Handle() and reported per phase.
+class ScenarioHarness {
+ public:
+  static Result<ScenarioReport> Run(const ScenarioSpec& spec,
+                                    const HarnessOptions& options);
+
+  /// The training queries Run() would use (exposed for tests): all
+  /// queries of the first phase's session pool, seeded-shuffled, first
+  /// `train_fraction` kept.
+  static std::vector<std::string> TrainQueries(const ScenarioSpec& spec);
+};
+
+}  // namespace autocat
+
+#endif  // AUTOCAT_WORKLOADGEN_HARNESS_H_

@@ -1,0 +1,438 @@
+#include "workloadgen/session.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "common/value.h"
+
+namespace autocat {
+
+namespace {
+
+double RoundDownTo(double x, double granularity) {
+  return std::floor(x / granularity) * granularity;
+}
+double RoundUpTo(double x, double granularity) {
+  return std::ceil(x / granularity) * granularity;
+}
+
+// The mutable exploration state a session carries between steps. SQL is
+// rendered from this state in a fixed attribute order; the signature
+// layer canonicalizes anyway, and fixed order keeps golden tests stable.
+struct SessionState {
+  const Region* region = nullptr;
+  // Neighborhood indices into region->neighborhoods, kept sorted.
+  std::set<size_t> neighborhoods;
+  bool has_price = false;
+  double price_lo = 0;
+  double price_hi = 0;
+  bool has_bedrooms = false;
+  int64_t bed_lo = 0;
+  int64_t bed_hi = 0;
+  bool has_sqft = false;
+  double sqft_lo = 0;
+  double sqft_hi = 0;
+  bool has_type = false;
+  std::string property_type;
+  bool has_year = false;
+  int64_t year_lo = 0;
+};
+
+std::string RenderSql(const SessionState& s) {
+  std::vector<std::string> conditions;
+  if (!s.neighborhoods.empty()) {
+    // std::set keeps indices sorted; render names in index order for a
+    // stable string (the profile normalizer sorts values anyway).
+    if (s.neighborhoods.size() == 1) {
+      conditions.push_back(
+          "neighborhood = " +
+          Value(s.region->neighborhoods[*s.neighborhoods.begin()])
+              .ToSqlLiteral());
+    } else {
+      std::string cond = "neighborhood IN (";
+      bool first = true;
+      for (const size_t idx : s.neighborhoods) {
+        if (!first) {
+          cond += ", ";
+        }
+        first = false;
+        cond += Value(s.region->neighborhoods[idx]).ToSqlLiteral();
+      }
+      cond += ")";
+      conditions.push_back(std::move(cond));
+    }
+  }
+  if (s.has_price) {
+    conditions.push_back("price BETWEEN " + Value(s.price_lo).ToString() +
+                         " AND " + Value(s.price_hi).ToString());
+  }
+  if (s.has_bedrooms) {
+    conditions.push_back("bedroomcount BETWEEN " +
+                         std::to_string(s.bed_lo) + " AND " +
+                         std::to_string(s.bed_hi));
+  }
+  if (s.has_sqft) {
+    conditions.push_back("squarefootage BETWEEN " +
+                         Value(s.sqft_lo).ToString() + " AND " +
+                         Value(s.sqft_hi).ToString());
+  }
+  if (s.has_type) {
+    conditions.push_back("propertytype = " +
+                         Value(s.property_type).ToSqlLiteral());
+  }
+  if (s.has_year) {
+    conditions.push_back("yearbuilt >= " + std::to_string(s.year_lo));
+  }
+  AUTOCAT_CHECK(!conditions.empty());
+  return "SELECT * FROM ListProperty WHERE " + Join(conditions, " AND ");
+}
+
+const char* const kPropertyTypes[] = {"Single Family", "Condo",
+                                      "Townhouse", "Multi-Family"};
+
+// The drift-positioned hot window: the first neighborhood index sessions
+// currently cluster around. Sessions jitter a little around it so their
+// IN sets overlap without being identical.
+size_t HotWindowStart(const Region& region, const DriftSpec& drift) {
+  const size_t n = region.neighborhoods.size();
+  return static_cast<size_t>(std::floor(drift.position *
+                                        drift.neighborhood_rotation *
+                                        static_cast<double>(n))) %
+         std::max<size_t>(n, 1);
+}
+
+// Snaps and orders a price range around `center` with the given relative
+// half-widths, on the session price grid.
+void SetPriceAround(SessionState* s, double center, double lo_frac,
+                    double hi_frac, double granularity) {
+  s->has_price = true;
+  s->price_lo = std::max(0.0, RoundDownTo(center * lo_frac, granularity));
+  s->price_hi = RoundUpTo(center * hi_frac, granularity);
+  if (s->price_hi <= s->price_lo) {
+    s->price_hi = s->price_lo + granularity;
+  }
+}
+
+// Mean price tier of the session's picked neighborhoods.
+double Tier(const SessionState& s) {
+  if (s.neighborhoods.empty()) {
+    return 1.0;
+  }
+  double sum = 0;
+  for (const size_t idx : s.neighborhoods) {
+    sum += NeighborhoodPriceMultiplier(idx,
+                                       s.region->neighborhoods.size());
+  }
+  return sum / static_cast<double>(s.neighborhoods.size());
+}
+
+// The session's personal price center under `drift`.
+double DriftedCenter(const SessionState& s, const DriftSpec& drift,
+                     double personal_factor) {
+  return s.region->price_center * Tier(s) *
+         (1.0 + drift.price_amplitude * drift.position) * personal_factor;
+}
+
+void PickNeighborhoodWindow(SessionState* s, const DriftSpec& drift,
+                            Random& rng) {
+  const size_t n = s->region->neighborhoods.size();
+  const size_t start = HotWindowStart(*s->region, drift);
+  const size_t jitter = static_cast<size_t>(rng.Uniform(0, 2));
+  const size_t count = static_cast<size_t>(
+      rng.Uniform(1, static_cast<int64_t>(std::min<size_t>(3, n))));
+  s->neighborhoods.clear();
+  for (size_t k = 0; k < count; ++k) {
+    s->neighborhoods.insert((start + jitter + k) % n);
+  }
+}
+
+// Applies one refine step; returns the mutated attribute.
+std::string Refine(SessionState* s, const SessionConfig& config,
+                   Random& rng) {
+  // Options in fixed order: tighten price, add a missing condition,
+  // drop a neighborhood. Weighted-choice over the applicable ones.
+  enum { kTightenPrice, kAddCondition, kDropNeighborhood };
+  std::vector<int> applicable;
+  if (s->has_price) {
+    applicable.push_back(kTightenPrice);
+  }
+  if (!s->has_bedrooms || !s->has_sqft || !s->has_type || !s->has_year) {
+    applicable.push_back(kAddCondition);
+  }
+  if (s->neighborhoods.size() > 1) {
+    applicable.push_back(kDropNeighborhood);
+  }
+  AUTOCAT_CHECK(!applicable.empty());
+  const int choice = applicable[static_cast<size_t>(rng.Uniform(
+      0, static_cast<int64_t>(applicable.size()) - 1))];
+  switch (choice) {
+    case kTightenPrice: {
+      const double width = s->price_hi - s->price_lo;
+      const double step = std::max(
+          config.price_granularity,
+          RoundDownTo(width * 0.12, config.price_granularity));
+      if (s->price_hi - step > s->price_lo + step) {
+        s->price_lo += step;
+        s->price_hi -= step;
+      } else {
+        s->price_hi = s->price_lo + config.price_granularity;
+      }
+      return "price";
+    }
+    case kAddCondition: {
+      if (!s->has_bedrooms) {
+        s->has_bedrooms = true;
+        s->bed_lo = rng.Uniform(1, 4);
+        s->bed_hi = s->bed_lo + rng.Uniform(0, 2);
+        return "bedroomcount";
+      }
+      if (!s->has_sqft) {
+        s->has_sqft = true;
+        s->sqft_lo = 250.0 * static_cast<double>(rng.Uniform(2, 8));
+        s->sqft_hi =
+            s->sqft_lo + 250.0 * static_cast<double>(rng.Uniform(2, 6));
+        return "squarefootage";
+      }
+      if (!s->has_type) {
+        s->has_type = true;
+        s->property_type =
+            kPropertyTypes[static_cast<size_t>(rng.Uniform(0, 3))];
+        return "propertytype";
+      }
+      s->has_year = true;
+      s->year_lo = 1950 + 5 * rng.Uniform(0, 10);
+      return "yearbuilt";
+    }
+    default: {
+      // Drop the last (least preferred) neighborhood of the window.
+      auto it = s->neighborhoods.end();
+      --it;
+      s->neighborhoods.erase(it);
+      return "neighborhood";
+    }
+  }
+}
+
+// Applies one relax step; returns the mutated attribute.
+std::string Relax(SessionState* s, const SessionConfig& config,
+                  const DriftSpec& drift, Random& rng) {
+  enum { kWidenPrice, kDropCondition, kAddNeighborhood };
+  std::vector<int> applicable;
+  if (s->has_price) {
+    applicable.push_back(kWidenPrice);
+  }
+  if (s->has_bedrooms || s->has_sqft || s->has_type || s->has_year) {
+    applicable.push_back(kDropCondition);
+  }
+  if (s->neighborhoods.size() <
+      std::min<size_t>(4, s->region->neighborhoods.size())) {
+    applicable.push_back(kAddNeighborhood);
+  }
+  AUTOCAT_CHECK(!applicable.empty());
+  const int choice = applicable[static_cast<size_t>(rng.Uniform(
+      0, static_cast<int64_t>(applicable.size()) - 1))];
+  switch (choice) {
+    case kWidenPrice: {
+      const double width = s->price_hi - s->price_lo;
+      const double step = std::max(
+          config.price_granularity,
+          RoundUpTo(width * 0.15, config.price_granularity));
+      s->price_lo = std::max(0.0, s->price_lo - step);
+      s->price_hi += step;
+      return "price";
+    }
+    case kDropCondition: {
+      if (s->has_year) {
+        s->has_year = false;
+        return "yearbuilt";
+      }
+      if (s->has_type) {
+        s->has_type = false;
+        return "propertytype";
+      }
+      if (s->has_sqft) {
+        s->has_sqft = false;
+        return "squarefootage";
+      }
+      s->has_bedrooms = false;
+      return "bedroomcount";
+    }
+    default: {
+      // Extend the window by the next neighborhood after the current
+      // ones (stays inside the hot cluster).
+      const size_t n = s->region->neighborhoods.size();
+      size_t candidate = (*s->neighborhoods.rbegin() + 1) % n;
+      for (size_t tries = 0; tries < n; ++tries) {
+        if (s->neighborhoods.count(candidate) == 0) {
+          break;
+        }
+        candidate = (candidate + 1) % n;
+      }
+      (void)drift;
+      s->neighborhoods.insert(candidate);
+      return "neighborhood";
+    }
+  }
+}
+
+// Applies one pivot step; returns the mutated attribute.
+std::string Pivot(SessionState* s, const SessionConfig& config,
+                  const DriftSpec& drift, Random& rng) {
+  enum { kShiftPrice, kRepickNeighborhoods, kChangeType };
+  const int choice = static_cast<int>(rng.Uniform(0, 2));
+  switch (choice) {
+    case kShiftPrice: {
+      if (!s->has_price) {
+        SetPriceAround(s, DriftedCenter(*s, drift, 1.0), 0.8, 1.25,
+                       config.price_granularity);
+        return "price";
+      }
+      const double width =
+          std::max(s->price_hi - s->price_lo, config.price_granularity);
+      const double factor = rng.Bernoulli(0.5) ? 0.8 : 1.25;
+      const double center = (s->price_lo + s->price_hi) / 2 * factor;
+      s->price_lo = std::max(
+          0.0, RoundDownTo(center - width / 2, config.price_granularity));
+      s->price_hi =
+          RoundUpTo(center + width / 2, config.price_granularity);
+      if (s->price_hi <= s->price_lo) {
+        s->price_hi = s->price_lo + config.price_granularity;
+      }
+      return "price";
+    }
+    case kRepickNeighborhoods: {
+      PickNeighborhoodWindow(s, drift, rng);
+      return "neighborhood";
+    }
+    default: {
+      s->has_type = true;
+      s->property_type =
+          kPropertyTypes[static_cast<size_t>(rng.Uniform(0, 3))];
+      return "propertytype";
+    }
+  }
+}
+
+/// Sessions generated per RNG stream. Fixed constant (not derived from
+/// the thread count) so chunk c always covers the same sessions and draws
+/// from the same stream — the pool is identical at any parallelism.
+constexpr size_t kSessionsPerChunk = 16;
+
+}  // namespace
+
+std::string_view SessionMutationToString(SessionMutation mutation) {
+  switch (mutation) {
+    case SessionMutation::kInitial:
+      return "initial";
+    case SessionMutation::kRefine:
+      return "refine";
+    case SessionMutation::kRelax:
+      return "relax";
+    case SessionMutation::kPivot:
+      return "pivot";
+  }
+  return "unknown";
+}
+
+std::vector<UserSession> SessionGenerator::Generate(
+    const DriftSpec& drift) const {
+  const std::vector<Region>& regions = geo_->regions();
+  AUTOCAT_CHECK(!regions.empty());
+  std::vector<double> popularity;
+  popularity.reserve(regions.size());
+  for (const Region& region : regions) {
+    popularity.push_back(region.popularity);
+  }
+
+  // Fold the drift position into the stream seed so distinct drift
+  // regimes are independent pools (same discipline, different streams).
+  const uint64_t drift_key = static_cast<uint64_t>(
+      std::llround(drift.position * 1e6));
+  const uint64_t pool_seed = SplitMixSeed(config_.seed, drift_key);
+
+  std::vector<UserSession> sessions(config_.num_sessions);
+  const Status status = ParallelFor(
+      config_.parallel, 0, config_.num_sessions, kSessionsPerChunk,
+      [&](size_t lo, size_t hi) -> Status {
+        Random rng(SplitMixSeed(pool_seed, lo / kSessionsPerChunk));
+        for (size_t i = lo; i < hi; ++i) {
+          UserSession& session = sessions[i];
+          session.id = i;
+
+          SessionState state;
+          state.region = &regions[rng.WeightedChoice(popularity)];
+          session.region = state.region->name;
+          PickNeighborhoodWindow(&state, drift, rng);
+          SetPriceAround(&state,
+                         DriftedCenter(state, drift,
+                                       std::exp(rng.Gaussian(0, 0.15))),
+                         0.8, 1.25, config_.price_granularity);
+          if (rng.Bernoulli(0.55)) {
+            state.has_bedrooms = true;
+            state.bed_lo = rng.Uniform(1, 4);
+            state.bed_hi = state.bed_lo + rng.Uniform(0, 2);
+          }
+          if (rng.Bernoulli(0.35)) {
+            state.has_sqft = true;
+            state.sqft_lo = 250.0 * static_cast<double>(rng.Uniform(2, 8));
+            state.sqft_hi = state.sqft_lo +
+                            250.0 * static_cast<double>(rng.Uniform(2, 6));
+          }
+          if (rng.Bernoulli(0.3)) {
+            state.has_type = true;
+            state.property_type =
+                kPropertyTypes[static_cast<size_t>(rng.Uniform(0, 3))];
+          }
+
+          const size_t steps = static_cast<size_t>(rng.Uniform(
+              static_cast<int64_t>(config_.min_steps),
+              static_cast<int64_t>(
+                  std::max(config_.max_steps, config_.min_steps))));
+          session.queries.reserve(steps);
+          SessionQuery initial;
+          initial.step = 0;
+          initial.mutation = SessionMutation::kInitial;
+          initial.sql = RenderSql(state);
+          session.queries.push_back(std::move(initial));
+
+          const std::vector<double> mix = {config_.p_refine,
+                                           config_.p_relax,
+                                           config_.p_pivot};
+          for (size_t step = 1; step < steps; ++step) {
+            SessionQuery query;
+            query.step = step;
+            switch (rng.WeightedChoice(mix)) {
+              case 0:
+                query.mutation = SessionMutation::kRefine;
+                query.mutated_attribute = Refine(&state, config_, rng);
+                break;
+              case 1:
+                query.mutation = SessionMutation::kRelax;
+                query.mutated_attribute =
+                    Relax(&state, config_, drift, rng);
+                break;
+              default:
+                query.mutation = SessionMutation::kPivot;
+                query.mutated_attribute =
+                    Pivot(&state, config_, drift, rng);
+                break;
+            }
+            query.sql = RenderSql(state);
+            session.queries.push_back(std::move(query));
+          }
+        }
+        return Status::OK();
+      });
+  // The chunk body never fails; only a nested-ParallelFor contract
+  // violation could surface here.
+  AUTOCAT_CHECK(status.ok());
+  return sessions;
+}
+
+}  // namespace autocat

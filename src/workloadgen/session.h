@@ -1,0 +1,110 @@
+#ifndef AUTOCAT_WORKLOADGEN_SESSION_H_
+#define AUTOCAT_WORKLOADGEN_SESSION_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "simgen/geo.h"
+
+namespace autocat {
+
+/// Scripted intent drift: how far the population's interest has moved
+/// from the trained workload. `position` 0 is the historical regime the
+/// workload stats were trained on; 1 is a fully shifted market. Drift
+/// moves both the price level buyers ask for and which neighborhoods of
+/// each region are hot, so previously-hot snapped signatures stop being
+/// requested.
+struct DriftSpec {
+  /// Drift position in [0, 1].
+  double position = 0;
+  /// Relative shift of session price centers at position 1 (0.8 means
+  /// centers move up 80%).
+  double price_amplitude = 0.8;
+  /// Fraction of a region's neighborhood list the hot window has rotated
+  /// through at position 1.
+  double neighborhood_rotation = 0.6;
+};
+
+/// Configuration of the session pool. Sessions are generated in
+/// fixed-size chunks, each from its own RNG stream seeded by
+/// (seed, chunk index), so the pool is bit-identical at any thread count
+/// (the same per-chunk SplitMix discipline as simgen).
+struct SessionConfig {
+  size_t num_sessions = 64;
+  /// Queries per session, drawn uniformly in [min_steps, max_steps].
+  size_t min_steps = 3;
+  size_t max_steps = 10;
+  uint64_t seed = 991177;
+  /// Mutation mix: relative weights of refine / relax / pivot steps.
+  double p_refine = 0.45;
+  double p_relax = 0.25;
+  double p_pivot = 0.30;
+  /// Price endpoints land on this grid. Finer than the 5000-wide
+  /// signature buckets, so distinct sessions disperse across buckets and
+  /// the adaptive snap-width knob has a real endpoint distribution to
+  /// react to.
+  double price_granularity = 1000;
+  ParallelOptions parallel;
+};
+
+/// How one session query relates to the session's previous query.
+enum class SessionMutation {
+  kInitial = 0,  ///< The session's opening query.
+  kRefine,       ///< Narrowed: tighter range, extra condition, fewer
+                 ///< neighborhoods.
+  kRelax,        ///< Widened: looser range, dropped condition, extra
+                 ///< neighborhood.
+  kPivot,        ///< Sideways: shifted price center, re-picked
+                 ///< neighborhoods, or changed property type.
+};
+inline constexpr size_t kNumSessionMutations = 4;
+
+std::string_view SessionMutationToString(SessionMutation mutation);
+
+/// One query of one session.
+struct SessionQuery {
+  size_t step = 0;
+  SessionMutation mutation = SessionMutation::kInitial;
+  /// The attribute the mutation touched ("" for the initial query).
+  std::string mutated_attribute;
+  std::string sql;
+};
+
+/// One simulated user's coherent exploration: a chain of queries over
+/// ListProperty where each query is a refine/relax/pivot mutation of the
+/// previous one (the session-coherence model of "Detecting coherent
+/// explorations in SQL workloads").
+struct UserSession {
+  size_t id = 0;
+  std::string region;
+  std::vector<SessionQuery> queries;
+};
+
+/// Deterministic generator of session pools over the synthetic
+/// ListProperty schema. A session opens inside one region (picked by
+/// popularity) with a small neighborhood set drawn from the region's
+/// drift-positioned hot window and a price range anchored on those
+/// neighborhoods' price tier, then mutates step by step.
+class SessionGenerator {
+ public:
+  /// `geo` is not owned and must outlive the generator.
+  SessionGenerator(const Geography* geo, SessionConfig config)
+      : geo_(geo), config_(config) {}
+
+  /// Generates the pool for one drift position. Bit-identical at any
+  /// thread count and across runs for a fixed (config.seed, drift).
+  std::vector<UserSession> Generate(const DriftSpec& drift = {}) const;
+
+  const SessionConfig& config() const { return config_; }
+
+ private:
+  const Geography* geo_;
+  SessionConfig config_;
+};
+
+}  // namespace autocat
+
+#endif  // AUTOCAT_WORKLOADGEN_SESSION_H_

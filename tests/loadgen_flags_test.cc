@@ -1,0 +1,140 @@
+// Unit tests for tools/loadgen_flags.h: every numeric flag goes through
+// the strict common/string_util parsers, so malformed values are
+// kInvalidArgument errors naming the flag — never the silent-zero
+// behavior of bare strtoull.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "tools/loadgen_flags.h"
+
+namespace autocat {
+namespace {
+
+Result<LoadgenConfig> Parse(std::vector<std::string> args) {
+  return ParseLoadgenArgs(args);
+}
+
+TEST(LoadgenFlagsTest, DefaultsWithNoArgs) {
+  auto config = Parse({});
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->num_homes, 20000u);
+  EXPECT_EQ(config->num_queries, 2000u);
+  EXPECT_EQ(config->num_requests, 500u);
+  EXPECT_EQ(config->num_signatures, 64u);
+  EXPECT_DOUBLE_EQ(config->qps, 0);
+  EXPECT_EQ(config->threads, 4u);
+  EXPECT_EQ(config->deadline_ms, 0);
+  EXPECT_EQ(config->cache_mb, 64u);
+  EXPECT_EQ(config->seed, 4242u);
+  EXPECT_FALSE(config->bypass_cache);
+  EXPECT_FALSE(config->scenario_mode());
+  EXPECT_FALSE(config->adaptive);
+  EXPECT_EQ(config->adapt_every, 64u);
+  EXPECT_FALSE(config->paced);
+}
+
+TEST(LoadgenFlagsTest, ParsesEveryFlag) {
+  auto config = Parse({"--homes=100", "--queries=50", "--requests=25",
+                       "--signatures=8", "--qps=12.5", "--threads=2",
+                       "--deadline-ms=150", "--cache-mb=16", "--seed=9",
+                       "--bypass-cache", "--adaptive", "--adapt-every=32",
+                       "--paced", "--scenario=drifting"});
+  ASSERT_TRUE(config.ok()) << config.status().ToString();
+  EXPECT_EQ(config->num_homes, 100u);
+  EXPECT_EQ(config->num_queries, 50u);
+  EXPECT_EQ(config->num_requests, 25u);
+  EXPECT_EQ(config->num_signatures, 8u);
+  EXPECT_DOUBLE_EQ(config->qps, 12.5);
+  EXPECT_EQ(config->threads, 2u);
+  EXPECT_EQ(config->deadline_ms, 150);
+  EXPECT_EQ(config->cache_mb, 16u);
+  EXPECT_EQ(config->seed, 9u);
+  EXPECT_TRUE(config->bypass_cache);
+  EXPECT_TRUE(config->adaptive);
+  EXPECT_EQ(config->adapt_every, 32u);
+  EXPECT_TRUE(config->paced);
+  EXPECT_EQ(config->scenario, "drifting");
+  EXPECT_TRUE(config->scenario_mode());
+}
+
+TEST(LoadgenFlagsTest, RejectsMalformedNumbers) {
+  // The strtoull this replaced silently parsed all of these to 0 (or to
+  // a partial prefix); now each is an error naming the flag.
+  for (const char* arg :
+       {"--homes=20x", "--homes=", "--homes=x20", "--homes=4 2",
+        "--requests=1.5", "--qps=1e--3", "--qps=fast",
+        "--deadline-ms=12ms", "--seed=0xbeef", "--cache-mb=64MB"}) {
+    const auto config = Parse({arg});
+    EXPECT_FALSE(config.ok()) << arg << " should not parse";
+    // The error must name the offending flag.
+    const std::string flag =
+        std::string(arg).substr(0, std::string(arg).find('='));
+    EXPECT_NE(config.status().message().find(flag), std::string::npos)
+        << "error for " << arg
+        << " must name the flag: " << config.status().ToString();
+  }
+}
+
+TEST(LoadgenFlagsTest, RejectsNegativeUnsigned) {
+  // strtoull accepts '-5' by wrapping to 2^64-5; strict parsing refuses.
+  EXPECT_FALSE(Parse({"--homes=-5"}).ok());
+  EXPECT_FALSE(Parse({"--seed=-1"}).ok());
+  EXPECT_FALSE(Parse({"--deadline-ms=-1"}).ok());
+  EXPECT_FALSE(Parse({"--qps=-0.5"}).ok());
+}
+
+TEST(LoadgenFlagsTest, BoundaryValues) {
+  // Max uint64 round-trips; one past it is an out-of-range error.
+  auto max = Parse({"--seed=18446744073709551615"});
+  ASSERT_TRUE(max.ok());
+  EXPECT_EQ(max->seed, 18446744073709551615ull);
+  EXPECT_FALSE(Parse({"--seed=18446744073709551616"}).ok());
+
+  // Zero-value semantics: allowed where 0 means "unbounded/unpaced",
+  // rejected where it would be degenerate.
+  EXPECT_TRUE(Parse({"--qps=0"}).ok());
+  EXPECT_TRUE(Parse({"--deadline-ms=0"}).ok());
+  EXPECT_TRUE(Parse({"--signatures=0"}).ok());
+  EXPECT_FALSE(Parse({"--threads=0"}).ok());
+  EXPECT_FALSE(Parse({"--adapt-every=0"}).ok());
+
+  // Strict parsing still trims surrounding whitespace.
+  auto padded = Parse({"--homes= 42 "});
+  ASSERT_TRUE(padded.ok());
+  EXPECT_EQ(padded->num_homes, 42u);
+}
+
+TEST(LoadgenFlagsTest, RejectsUnknownFlags) {
+  EXPECT_FALSE(Parse({"--frobnicate=1"}).ok());
+  EXPECT_FALSE(Parse({"--homes"}).ok());  // missing '='
+  EXPECT_FALSE(Parse({"homes=5"}).ok());  // missing '--'
+  const auto config = Parse({"--frobnicate=1"});
+  EXPECT_NE(config.status().message().find("--frobnicate=1"),
+            std::string::npos);
+}
+
+TEST(LoadgenFlagsTest, ScenarioAndFileAreMutuallyExclusive) {
+  EXPECT_TRUE(Parse({"--scenario=steady"}).ok());
+  EXPECT_TRUE(Parse({"--scenario-file=/tmp/x.scenario"}).ok());
+  const auto both =
+      Parse({"--scenario=steady", "--scenario-file=/tmp/x.scenario"});
+  EXPECT_FALSE(both.ok());
+  EXPECT_EQ(both.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LoadgenFlagsTest, UsageMentionsEveryFlag) {
+  const std::string usage = LoadgenUsage("loadgen");
+  for (const char* flag :
+       {"--homes", "--queries", "--requests", "--signatures", "--qps",
+        "--threads", "--deadline-ms", "--cache-mb", "--seed",
+        "--bypass-cache", "--scenario", "--scenario-file", "--adaptive",
+        "--adapt-every", "--paced"}) {
+    EXPECT_NE(usage.find(flag), std::string::npos) << flag;
+  }
+}
+
+}  // namespace
+}  // namespace autocat

@@ -20,6 +20,8 @@
 #include "test_util.h"
 #include "workload/counts.h"
 #include "workload/workload.h"
+#include "workloadgen/session.h"
+#include "workloadgen/traffic.h"
 
 namespace autocat {
 namespace {
@@ -269,6 +271,97 @@ TEST(ParallelDeterminismTest, EnumerationIdenticalAtAnyThreadCount) {
     EXPECT_EQ(orders[i].cost, orders[0].cost);
     EXPECT_EQ(orders[i].order, orders[0].order);
     EXPECT_EQ(orders[i].tree, orders[0].tree);
+  }
+}
+
+// Golden determinism for the session workload generator (src/workloadgen):
+// the full session pool — ids, regions, mutation kinds, mutated
+// attributes, and rendered SQL — is bit-identical for a fixed seed at
+// every thread count, and across two independently constructed
+// generators (no hidden state).
+TEST(ParallelDeterminismTest, SessionPoolIdenticalAtAnyThreadCount) {
+  const Geography geo = Geography::UnitedStates();
+  DriftSpec drift;
+  drift.position = 0.6;
+  std::vector<std::string> fingerprints;
+  for (const size_t threads : kThreadCounts) {
+    SessionConfig config;
+    config.num_sessions = 100;  // spans several 16-session chunks
+    config.seed = 424207;
+    config.parallel = Par(threads);
+    const SessionGenerator generator(&geo, config);
+    for (int run = 0; run < 2; ++run) {
+      std::string fingerprint;
+      for (const UserSession& session : generator.Generate(drift)) {
+        fingerprint += std::to_string(session.id);
+        fingerprint += '|';
+        fingerprint += session.region;
+        for (const SessionQuery& query : session.queries) {
+          fingerprint += '|';
+          fingerprint += std::to_string(query.step);
+          fingerprint += ',';
+          fingerprint += SessionMutationToString(query.mutation);
+          fingerprint += ',';
+          fingerprint += query.mutated_attribute;
+          fingerprint += ',';
+          fingerprint += query.sql;
+        }
+        fingerprint += '\n';
+      }
+      fingerprints.push_back(std::move(fingerprint));
+    }
+  }
+  ASSERT_FALSE(fingerprints[0].empty());
+  for (size_t i = 1; i < fingerprints.size(); ++i) {
+    EXPECT_EQ(fingerprints[i], fingerprints[0])
+        << "threads=" << kThreadCounts[i / 2] << " run=" << i % 2
+        << " diverged from threads=1 run=0";
+  }
+}
+
+// The composed traffic stream (pools + Zipf picks + burst arrivals) is
+// likewise bit-identical: phase composition is sequential by design, and
+// the chunk-parallel pool generation underneath may not leak through.
+TEST(ParallelDeterminismTest, TrafficStreamIdenticalAtAnyThreadCount) {
+  const Geography geo = Geography::UnitedStates();
+  std::vector<std::string> fingerprints;
+  for (const size_t threads : kThreadCounts) {
+    SessionConfig config;
+    config.num_sessions = 64;
+    config.seed = 77001;
+    config.parallel = Par(threads);
+    for (int run = 0; run < 2; ++run) {
+      TrafficStream stream(&geo, config, 9090);
+      PhaseSpec steady;
+      steady.name = "steady";
+      steady.requests = 300;
+      steady.zipf_s = 1.0;
+      PhaseSpec drifted;
+      drifted.name = "drifted";
+      drifted.requests = 300;
+      drifted.zipf_s = 1.0;
+      drifted.drift.position = 0.7;
+      drifted.burst_size = 16;
+      drifted.burst_pause_ms = 25;
+      ASSERT_TRUE(stream.AddPhase(steady).ok());
+      ASSERT_TRUE(stream.AddPhase(drifted).ok());
+      std::string fingerprint;
+      for (const TrafficEvent& event : stream.events()) {
+        fingerprint += std::to_string(event.phase) + "," +
+                       std::to_string(event.pool_key) + "," +
+                       std::to_string(event.session) + "," +
+                       std::to_string(event.step) + "," +
+                       std::to_string(event.arrival_ms) + "|" +
+                       stream.Sql(event) + "\n";
+      }
+      fingerprints.push_back(std::move(fingerprint));
+    }
+  }
+  ASSERT_FALSE(fingerprints[0].empty());
+  for (size_t i = 1; i < fingerprints.size(); ++i) {
+    EXPECT_EQ(fingerprints[i], fingerprints[0])
+        << "threads=" << kThreadCounts[i / 2] << " run=" << i % 2
+        << " diverged from threads=1 run=0";
   }
 }
 

@@ -4,9 +4,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cctype>
 #include <cstdint>
+#include <fstream>
 #include <future>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -338,6 +342,127 @@ TEST(AdmissionTest, WaiterProceedsWhenSlotFrees) {
   SleepForMillis(20);
   admission.Release();
   EXPECT_TRUE(waiter.get().ok());
+}
+
+// Scripted burst against one execution slot and a two-deep queue, on an
+// injected clock: every outcome count is exact, not a range. Runs under
+// TSan in the CI matrix (tools/ci.sh --workload), so the queue-waiter
+// interleaving is also race-checked.
+TEST(AdmissionTest, BurstSettlesToExactCounts) {
+  std::atomic<int64_t> now{0};
+  AdmissionController admission(
+      1, 2, [&now]() { return now.load(std::memory_order_relaxed); });
+
+  // t=0: one request holds the only slot.
+  ASSERT_TRUE(admission.Admit(Deadline::Never()).ok());
+
+  // Two requests with a t=50 deadline queue up behind it. ThreadPool(n)
+  // keeps n-1 dedicated workers (the caller is the nth), so size 3 gives
+  // the two waiters a thread each.
+  ThreadPool pool(3);
+  std::vector<std::future<Status>> waiters;
+  for (int i = 0; i < 2; ++i) {
+    waiters.push_back(pool.Submit(
+        [&admission]() { return admission.Admit(Deadline::At(50)); }));
+  }
+  for (int spins = 0; admission.queued() < 2 && spins < 5000; ++spins) {
+    SleepForMillis(1);
+  }
+  ASSERT_EQ(admission.queued(), 2u);
+
+  // The burst overflows: with the queue full, three more are shed
+  // immediately with kOverloaded.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(admission.Admit(Deadline::At(50)).code(),
+              StatusCode::kOverloaded);
+  }
+
+  // The clock jumps past the waiters' deadline; both give up. (Queued
+  // waiters re-check the injected clock at least every 100ms of wall
+  // time, so no notification is needed.)
+  now.store(100, std::memory_order_relaxed);
+  for (auto& waiter : waiters) {
+    EXPECT_EQ(waiter.get().code(), StatusCode::kDeadlineExceeded);
+  }
+  EXPECT_EQ(admission.queued(), 0u);
+
+  // The slot frees and a late request sails through.
+  admission.Release();
+  ASSERT_TRUE(admission.Admit(Deadline::At(200)).ok());
+  admission.Release();
+
+  EXPECT_EQ(admission.admitted(), 2u);
+  EXPECT_EQ(admission.rejected(), 3u);
+  EXPECT_EQ(admission.deadline_exceeded(), 2u);
+  EXPECT_EQ(admission.queue_high_water(), 2u);
+}
+
+// Replaces every numeric literal outside of strings with 0, leaving the
+// key structure: two metrics exports with different counters canonicalize
+// to the same schema string.
+std::string CanonicalizeMetricsJson(const std::string& json) {
+  std::string out;
+  bool in_string = false;
+  for (size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (c == '"') {
+      in_string = !in_string;
+      out += c;
+      continue;
+    }
+    if (!in_string &&
+        (std::isdigit(static_cast<unsigned char>(c)) || c == '-')) {
+      while (i + 1 < json.size() &&
+             (std::isdigit(static_cast<unsigned char>(json[i + 1])) ||
+              json[i + 1] == '.' || json[i + 1] == 'e' ||
+              json[i + 1] == 'E' || json[i + 1] == '+' ||
+              json[i + 1] == '-')) {
+        ++i;
+      }
+      out += '0';
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+// Golden-file pin of the MetricsJson schema: dashboards and the workload
+// harness parse these keys, so adding a section is a conscious golden
+// update, and renaming or dropping one is a test failure.
+TEST(ServiceTest, MetricsJsonMatchesGoldenSchema) {
+  auto service = MakeService();
+  ServeRequest request;
+  request.sql = "SELECT * FROM Homes WHERE price <= 300000";
+  ASSERT_TRUE(service->Handle(request).ok());
+  ASSERT_TRUE(service->Handle(request).ok());
+
+  const std::string canonical =
+      CanonicalizeMetricsJson(service->MetricsJson());
+
+  const std::string golden_path =
+      std::string(AUTOCAT_GOLDEN_DIR) + "/metrics_schema.json";
+  std::ifstream in(golden_path);
+  ASSERT_TRUE(in.good()) << "missing golden file " << golden_path
+                         << "; expected contents:\n"
+                         << canonical;
+  std::ostringstream golden;
+  golden << in.rdbuf();
+  std::string want = golden.str();
+  // The checked-in golden ends with a trailing newline; the export is a
+  // single line.
+  while (!want.empty() && (want.back() == '\n' || want.back() == '\r')) {
+    want.pop_back();
+  }
+  EXPECT_EQ(canonical, want)
+      << "MetricsJson schema changed; update tests/golden/"
+         "metrics_schema.json if intentional. Actual canonical form:\n"
+      << canonical;
+
+  // Canonicalization must be counter-independent: more traffic, same
+  // schema.
+  ASSERT_TRUE(service->Handle(request).ok());
+  EXPECT_EQ(CanonicalizeMetricsJson(service->MetricsJson()), canonical);
 }
 
 TEST(ServiceMetricsTest, RecordAndSnapshot) {

@@ -15,7 +15,7 @@
 #      when the toolchain is absent (the ctest gates skip the same way
 #      via exit code 77); the lint stage always runs.
 #
-# Usage: tools/ci.sh [--fast|--serve|--bench-smoke|--analyze]
+# Usage: tools/ci.sh [--fast|--serve|--bench-smoke|--workload|--analyze]
 #   --fast   run only the Release leg (useful as a pre-push smoke test)
 #   --serve  run only the serving-layer suite (src/serve/ + histogram)
 #            under ASan and TSan — the targeted gate for cache/admission
@@ -26,6 +26,14 @@
 #            gate for the columnar engine's kernels, views, and the
 #            threaded serve path, exercised through the real benchmark
 #            drivers rather than unit fixtures
+#   --workload
+#            run the workload-harness suites (session/traffic/scenario
+#            generators, the scenario harness with its drift-recovery
+#            gate, loadgen flag parsing, admission bursts, and the
+#            determinism proofs) in Release and under TSan, plus the
+#            scenario benchmark at --smoke sizes — the targeted gate for
+#            workload-synthesis and adaptive-serving work. The TSan pass
+#            of this leg also runs in the default matrix.
 #   --analyze
 #            run only the static-analysis leg — the targeted gate for
 #            concurrency-discipline work (DESIGN.md section 11)
@@ -37,6 +45,7 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 FAST=0
 SERVE=0
 BENCH_SMOKE=0
+WORKLOAD=0
 ANALYZE=0
 if [[ "${1:-}" == "--fast" ]]; then
   FAST=1
@@ -44,6 +53,8 @@ elif [[ "${1:-}" == "--serve" ]]; then
   SERVE=1
 elif [[ "${1:-}" == "--bench-smoke" ]]; then
   BENCH_SMOKE=1
+elif [[ "${1:-}" == "--workload" ]]; then
+  WORKLOAD=1
 elif [[ "${1:-}" == "--analyze" ]]; then
   ANALYZE=1
 fi
@@ -62,6 +73,30 @@ serve_leg() {
   echo "==== [serve/$name] ctest ===="
   (cd "$ROOT/$dir" && ctest --output-on-failure -j "$JOBS" \
     -R "$SERVE_FILTER")
+}
+
+# The workload-harness gate: scenario/session/traffic generation, the
+# scenario harness (including the drift-recovery acceptance gate), strict
+# loadgen flag parsing, the scripted admission burst, and the
+# bit-identical-at-any-thread-count determinism proofs.
+WORKLOAD_FILTER='^(SessionGeneratorTest|TrafficStreamTest|ScenarioSpecTest|WorkloadHarnessTest|LoadgenFlagsTest|ParallelDeterminismTest|AdmissionTest)\.'
+
+workload_leg() {
+  local name="$1" dir="$2"
+  shift 2
+  echo "==== [workload/$name] configure ===="
+  cmake -B "$ROOT/$dir" -S "$ROOT" "$@"
+  echo "==== [workload/$name] build ===="
+  cmake --build "$ROOT/$dir" -j "$JOBS" \
+    --target autocat_workloadgen_tests autocat_tooling_tests \
+             autocat_parallel_tests autocat_serve_tests \
+             bench_workload_scenarios
+  echo "==== [workload/$name] ctest ===="
+  (cd "$ROOT/$dir" && ctest --output-on-failure -j "$JOBS" \
+    -R "$WORKLOAD_FILTER")
+  echo "==== [workload/$name] bench_workload_scenarios --smoke ===="
+  "$ROOT/$dir/bench/bench_workload_scenarios" --smoke \
+    --benchmark_min_time=0.01
 }
 
 bench_smoke_leg() {
@@ -133,6 +168,14 @@ if [[ "$BENCH_SMOKE" == "1" ]]; then
   exit 0
 fi
 
+if [[ "$WORKLOAD" == "1" ]]; then
+  workload_leg release build-ci-release -DCMAKE_BUILD_TYPE=Release
+  workload_leg tsan build-ci-tsan \
+    -DCMAKE_BUILD_TYPE=Debug -DAUTOCAT_SANITIZE=thread
+  echo "==== workload legs passed ===="
+  exit 0
+fi
+
 if [[ "$SERVE" == "1" ]]; then
   serve_leg asan build-ci-asan \
     -DCMAKE_BUILD_TYPE=Debug -DAUTOCAT_SANITIZE=address
@@ -161,6 +204,12 @@ if [[ "$FAST" == "0" ]]; then
   run_leg ubsan build-ci-ubsan \
     -DCMAKE_BUILD_TYPE=Debug -DAUTOCAT_SANITIZE=undefined
   run_leg tsan build-ci-tsan \
+    -DCMAKE_BUILD_TYPE=Debug -DAUTOCAT_SANITIZE=thread
+  # The workload gate's TSan pass: the full leg above already ran these
+  # suites, so this reuses the build dir and adds only the scenario
+  # benchmark under TSan (threaded harness replay the unit legs don't
+  # exercise through the benchmark driver).
+  workload_leg tsan build-ci-tsan \
     -DCMAKE_BUILD_TYPE=Debug -DAUTOCAT_SANITIZE=thread
 fi
 

@@ -1,101 +1,101 @@
 // Load generator for the categorization service (src/serve/).
 //
-// Builds the synthetic ListProperty environment, stands up a
-// CategorizationService over it, and replays the generated query log at a
-// target request rate through the shared thread pool. Prints the service
-// metrics JSON plus a short human summary, so the output doubles as a
-// smoke test for the serving stack:
+// Two modes:
 //
-//   loadgen --homes=20000 --queries=2000 --requests=500 --qps=200
-//           --threads=4 --deadline-ms=0 --cache-mb=64
+//   Legacy replay (default): builds the synthetic ListProperty
+//   environment, stands up a CategorizationService over it, and replays
+//   the generated query log at a target request rate through the shared
+//   thread pool:
 //
-// With --qps=0 (the default) requests are issued as fast as the admission
+//     loadgen --homes=20000 --queries=2000 --requests=500 --qps=200
+//             --threads=4 --deadline-ms=0 --cache-mb=64
+//
+//   Scenario harness: runs a declarative session-workload scenario
+//   (src/workloadgen/) — coherent per-user refine/relax/pivot sessions
+//   composed into phases with Zipf skew, bursts, and intent drift —
+//   optionally with the adaptive serving knobs on:
+//
+//     loadgen --scenario=drifting --threads=2 --adaptive --adapt-every=64
+//     loadgen --scenario-file=my.scenario --paced
+//
+// Both modes print deterministic JSON plus a short human summary, so the
+// output doubles as a smoke test for the serving stack. With --qps=0
+// (the default) legacy requests are issued as fast as the admission
 // queue accepts them, which exercises the kOverloaded path.
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
-#include <cstdlib>
+#include <fstream>
 #include <future>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/thread_pool.h"
 #include "serve/service.h"
 #include "simgen/study.h"
+#include "tools/loadgen_flags.h"
+#include "workloadgen/harness.h"
+#include "workloadgen/scenario.h"
 
 namespace {
 
-struct LoadgenConfig {
-  size_t num_homes = 20000;
-  size_t num_queries = 2000;
-  size_t num_requests = 500;
-  // The request stream cycles through this many distinct workload queries,
-  // so steady state mixes cache hits with the occasional cold signature.
-  // 0 replays the whole log (every request distinct when requests <= log).
-  size_t num_signatures = 64;
-  double qps = 0;  // 0 = unpaced.
-  size_t threads = 4;
-  int64_t deadline_ms = 0;
-  size_t cache_mb = 64;
-  uint64_t seed = 4242;
-  bool bypass_cache = false;
-};
+using namespace autocat;
 
-bool ParseFlag(const std::string& arg, const std::string& name,
-               std::string* value) {
-  const std::string prefix = "--" + name + "=";
-  if (arg.rfind(prefix, 0) != 0) {
-    return false;
-  }
-  *value = arg.substr(prefix.size());
-  return true;
-}
-
-int Usage(const char* argv0) {
-  std::fprintf(
-      stderr,
-      "usage: %s [--homes=N] [--queries=N] [--requests=N]\n"
-      "          [--signatures=N] [--qps=D] [--threads=N]\n"
-      "          [--deadline-ms=N] [--cache-mb=N] [--seed=N]\n"
-      "          [--bypass-cache]\n",
-      argv0);
-  return 2;
-}
-
-}  // namespace
-
-int main(int argc, char** argv) {
-  LoadgenConfig config;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    std::string value;
-    if (ParseFlag(arg, "homes", &value)) {
-      config.num_homes = std::strtoull(value.c_str(), nullptr, 10);
-    } else if (ParseFlag(arg, "queries", &value)) {
-      config.num_queries = std::strtoull(value.c_str(), nullptr, 10);
-    } else if (ParseFlag(arg, "requests", &value)) {
-      config.num_requests = std::strtoull(value.c_str(), nullptr, 10);
-    } else if (ParseFlag(arg, "signatures", &value)) {
-      config.num_signatures = std::strtoull(value.c_str(), nullptr, 10);
-    } else if (ParseFlag(arg, "qps", &value)) {
-      config.qps = std::strtod(value.c_str(), nullptr);
-    } else if (ParseFlag(arg, "threads", &value)) {
-      config.threads = std::strtoull(value.c_str(), nullptr, 10);
-    } else if (ParseFlag(arg, "deadline-ms", &value)) {
-      config.deadline_ms = std::strtoll(value.c_str(), nullptr, 10);
-    } else if (ParseFlag(arg, "cache-mb", &value)) {
-      config.cache_mb = std::strtoull(value.c_str(), nullptr, 10);
-    } else if (ParseFlag(arg, "seed", &value)) {
-      config.seed = std::strtoull(value.c_str(), nullptr, 10);
-    } else if (arg == "--bypass-cache") {
-      config.bypass_cache = true;
-    } else {
-      return Usage(argv[0]);
+int RunScenario(const LoadgenConfig& config) {
+  Result<ScenarioSpec> spec = Status::Internal("unreachable");
+  if (!config.scenario.empty()) {
+    spec = BuiltinScenario(config.scenario);
+  } else {
+    std::ifstream in(config.scenario_file);
+    if (!in) {
+      std::fprintf(stderr, "cannot open scenario file '%s'\n",
+                   config.scenario_file.c_str());
+      return 1;
     }
+    std::ostringstream text;
+    text << in.rdbuf();
+    spec = ParseScenarioSpec(text.str());
+  }
+  if (!spec.ok()) {
+    std::fprintf(stderr, "scenario: %s\n",
+                 spec.status().ToString().c_str());
+    return 1;
+  }
+  if (config.seed != LoadgenConfig().seed) {
+    spec.value().seed = config.seed;
+  }
+  if (config.cache_mb != LoadgenConfig().cache_mb) {
+    spec.value().cache_mb = config.cache_mb;
   }
 
-  using namespace autocat;
+  HarnessOptions options;
+  options.threads = config.threads;
+  options.adaptive = config.adaptive;
+  options.adapt_every = config.adapt_every;
+  options.paced = config.paced;
+  options.deadline_ms = config.deadline_ms;
 
+  const Result<ScenarioReport> report =
+      ScenarioHarness::Run(spec.value(), options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "harness: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", report.value().ToJson().c_str());
+  for (const PhaseReport& phase : report.value().phases) {
+    std::printf(
+        "# phase %-12s %5zu requests, hit rate %.3f, %4zu signatures, "
+        "p50 %.2fms p99 %.2fms\n",
+        phase.name.c_str(), phase.requests, phase.hit_rate,
+        phase.distinct_signatures, phase.latency_p50_ms,
+        phase.latency_p99_ms);
+  }
+  return 0;
+}
+
+int RunLegacyReplay(const LoadgenConfig& config) {
   StudyConfig study = DefaultStudyConfig();
   study.num_homes = config.num_homes;
   study.num_workload_queries = config.num_queries;
@@ -187,4 +187,23 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(
           snapshot.by_outcome[static_cast<size_t>(ServeOutcome::kError)]));
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    args.emplace_back(argv[i]);
+  }
+  const Result<LoadgenConfig> config = ParseLoadgenArgs(args);
+  if (!config.ok()) {
+    std::fprintf(stderr, "%s\nusage: %s", config.status().ToString().c_str(),
+                 LoadgenUsage(argv[0]).c_str());
+    return 2;
+  }
+  if (config.value().scenario_mode()) {
+    return RunScenario(config.value());
+  }
+  return RunLegacyReplay(config.value());
 }
