@@ -161,11 +161,50 @@ ValueGroups GroupsOf(const TableView& view, const std::vector<size_t>& tuples,
     }
     return out;
   }
+  if (cc != nullptr && cc->regular && cc->type == ValueType::kInt64) {
+    // Regular int64 column: int64 order equals Value order when every
+    // non-NULL cell is an int64, so grouping by the raw value reproduces
+    // the Value-map walk (and reads mapped segments without synthesizing
+    // cells).
+    std::map<int64_t, std::vector<size_t>> groups;
+    for (size_t idx : tuples) {
+      const uint32_t row = view.base_row(idx);
+      if (!cc->IsNull(row)) {
+        groups[cc->i64[row]].push_back(idx);
+      }
+    }
+    ValueGroups out;
+    out.reserve(groups.size());
+    for (auto& [value, group] : groups) {
+      out.emplace_back(Value(value), std::move(group));
+    }
+    return out;
+  }
   std::map<Value, std::vector<size_t>> groups;
-  for (size_t idx : tuples) {
-    const Value& v = view.ValueAt(idx, col);
-    if (!v.is_null()) {
-      groups[v].push_back(idx);
+  if (cc != nullptr && cc->regular && cc->type == ValueType::kDouble) {
+    // Regular double column: wrap the raw bits in a Value so ordering
+    // (including any NaN handling) matches the generic walk exactly.
+    for (size_t idx : tuples) {
+      const uint32_t row = view.base_row(idx);
+      if (!cc->IsNull(row)) {
+        groups[Value(cc->f64[row])].push_back(idx);
+      }
+    }
+  } else if (!view.base().has_rows()) {
+    // Column-backed base without a typed path: synthesize owned cells.
+    for (size_t idx : tuples) {
+      Value v = view.base().CellValue(view.base_row(idx),
+                                      view.base_column(col));
+      if (!v.is_null()) {
+        groups[std::move(v)].push_back(idx);
+      }
+    }
+  } else {
+    for (size_t idx : tuples) {
+      const Value& v = view.ValueAt(idx, col);
+      if (!v.is_null()) {
+        groups[v].push_back(idx);
+      }
     }
   }
   ValueGroups out;
@@ -335,6 +374,15 @@ Result<std::vector<std::pair<double, size_t>>> SortedNumericValues(
       const uint32_t row = view.base_row(idx);
       if (!cc->IsNull(row)) {
         values.emplace_back(cc->f64[row], idx);
+      }
+    }
+  } else if (!view.base().has_rows()) {
+    // Column-backed base without a typed path: synthesize owned cells.
+    for (size_t idx : tuples) {
+      const Value v = view.base().CellValue(view.base_row(idx),
+                                            view.base_column(col));
+      if (!v.is_null()) {
+        values.emplace_back(v.AsDouble(), idx);
       }
     }
   } else {

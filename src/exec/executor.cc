@@ -72,6 +72,11 @@ Result<std::shared_ptr<const ColumnarTable>> Database::ColumnarFor(
     return Status::NotSupported("table '" + std::string(name) +
                                 "' too large for a columnar shadow");
   }
+  if (!it->second.has_rows()) {
+    // Column-backed tables (segment-store mode) carry their columnar
+    // representation already — no shadow to build or cache.
+    return it->second.columnar_backing();
+  }
   {
     const MutexLock lock(columnar_mu_);
     if (auto cached = LookupColumnarLocked(key)) {
@@ -109,6 +114,20 @@ Result<std::vector<size_t>> FilterTable(const Table& table,
   if (where == nullptr) {
     indices.resize(table.num_rows());
     std::iota(indices.begin(), indices.end(), 0);
+    return indices;
+  }
+  if (!table.has_rows()) {
+    // Column-backed base: synthesize each candidate row for the exact
+    // row-at-a-time evaluator (reached only when kernel compilation
+    // refuses the WHERE clause).
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      AUTOCAT_ASSIGN_OR_RETURN(
+          const bool keep,
+          EvaluatePredicate(*where, table.CopyRow(r), table.schema()));
+      if (keep) {
+        indices.push_back(r);
+      }
+    }
     return indices;
   }
   for (size_t r = 0; r < table.num_rows(); ++r) {

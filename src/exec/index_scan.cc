@@ -86,8 +86,16 @@ std::vector<size_t> IndexedTable::Select(
   std::vector<size_t> out;
   out.reserve(driver_rows.size());
   const Schema& schema = table_->schema();
+  Row owned;
   for (size_t row_id : driver_rows) {
-    const Row& row = table_->row(row_id);
+    const Row* row_ptr;
+    if (table_->has_rows()) {
+      row_ptr = &table_->row(row_id);
+    } else {
+      owned = table_->CopyRow(row_id);
+      row_ptr = &owned;
+    }
+    const Row& row = *row_ptr;
     bool keep = true;
     for (const auto& [attr, cond] : profile.conditions()) {
       if (attr == driver_attr) {

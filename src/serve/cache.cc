@@ -18,6 +18,12 @@ size_t ApproxValueBytes(const Value& v) {
 
 size_t ApproxTableBytes(const Table& table) {
   size_t bytes = sizeof(Table);
+  if (!table.has_rows()) {
+    // Column-backed tables are shared views of a mapped store; only the
+    // handle itself is attributable to the cache entry. (In practice only
+    // materialized result tables are cached.)
+    return bytes;
+  }
   for (const Row& row : table.rows()) {
     bytes += sizeof(Row);
     for (const Value& v : row) {

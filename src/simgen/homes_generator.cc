@@ -124,11 +124,8 @@ std::vector<Value> GenerateRow(Random& rng,
 
 }  // namespace
 
-Result<Table> HomesGenerator::Generate() const {
-  AUTOCAT_ASSIGN_OR_RETURN(Schema schema, ListPropertySchema());
-  Table table(std::move(schema));
-  table.Reserve(config_.num_rows);
-
+Status HomesGenerator::StreamRows(
+    const std::function<Status(std::vector<Row>)>& sink) const {
   const std::vector<Region>& regions = geo_->regions();
   std::vector<double> popularity;
   popularity.reserve(regions.size());
@@ -136,30 +133,45 @@ Result<Table> HomesGenerator::Generate() const {
     popularity.push_back(region.popularity);
   }
 
-  // Generate per-chunk row buffers concurrently, each from its own RNG
-  // stream, then append them in chunk order.
+  // Generate a window of chunks concurrently — each chunk from its own
+  // RNG stream, exactly as before — then drain the window to the sink in
+  // chunk order. Windowing bounds memory to ~64Ki rows however large the
+  // table is.
+  constexpr size_t kChunksPerWindow = 64;
   const size_t num_chunks =
       config_.num_rows == 0
           ? 0
           : (config_.num_rows + kRowsPerChunk - 1) / kRowsPerChunk;
-  std::vector<std::vector<std::vector<Value>>> chunks(num_chunks);
-  AUTOCAT_RETURN_IF_ERROR(ParallelFor(
-      config_.parallel, 0, config_.num_rows, kRowsPerChunk,
-      [&](size_t lo, size_t hi) -> Status {
-        const size_t chunk = lo / kRowsPerChunk;
-        Random rng(SplitMixSeed(config_.seed, chunk));
-        std::vector<std::vector<Value>>& rows = chunks[chunk];
-        rows.reserve(hi - lo);
-        for (size_t r = lo; r < hi; ++r) {
-          rows.push_back(GenerateRow(rng, regions, popularity));
-        }
-        return Status::OK();
-      }));
-  for (std::vector<std::vector<Value>>& rows : chunks) {
-    for (std::vector<Value>& row : rows) {
-      AUTOCAT_RETURN_IF_ERROR(table.AppendRow(std::move(row)));
+  for (size_t w = 0; w < num_chunks; w += kChunksPerWindow) {
+    const size_t w_end = std::min(num_chunks, w + kChunksPerWindow);
+    std::vector<std::vector<Row>> chunks(w_end - w);
+    AUTOCAT_RETURN_IF_ERROR(ParallelFor(
+        config_.parallel, w * kRowsPerChunk,
+        std::min(config_.num_rows, w_end * kRowsPerChunk), kRowsPerChunk,
+        [&](size_t lo, size_t hi) -> Status {
+          const size_t chunk = lo / kRowsPerChunk;
+          Random rng(SplitMixSeed(config_.seed, chunk));
+          std::vector<Row>& rows = chunks[chunk - w];
+          rows.reserve(hi - lo);
+          for (size_t r = lo; r < hi; ++r) {
+            rows.push_back(GenerateRow(rng, regions, popularity));
+          }
+          return Status::OK();
+        }));
+    for (std::vector<Row>& rows : chunks) {
+      AUTOCAT_RETURN_IF_ERROR(sink(std::move(rows)));
     }
   }
+  return Status::OK();
+}
+
+Result<Table> HomesGenerator::Generate() const {
+  AUTOCAT_ASSIGN_OR_RETURN(Schema schema, ListPropertySchema());
+  Table table(std::move(schema));
+  table.Reserve(config_.num_rows);
+  AUTOCAT_RETURN_IF_ERROR(StreamRows([&table](std::vector<Row> rows) {
+    return table.AppendRows(std::move(rows));
+  }));
   return table;
 }
 

@@ -2,6 +2,8 @@
 #define AUTOCAT_SIMGEN_HOMES_GENERATOR_H_
 
 #include <cstdint>
+#include <functional>
+#include <vector>
 
 #include "common/result.h"
 #include "common/thread_pool.h"
@@ -40,6 +42,16 @@ class HomesGenerator {
 
   /// Generates the table deterministically from the seed.
   Result<Table> Generate() const;
+
+  /// Streams the same rows as Generate() — byte-identical, in the same
+  /// order — without ever materializing the whole table: windows of
+  /// chunks are generated in parallel, then handed to `sink` one chunk
+  /// at a time. Peak memory is one window (~64Ki rows) regardless of
+  /// num_rows, which is what lets `simgen --out-store` push 10M+ rows
+  /// through a StoreWriter. A non-OK status from `sink` aborts the
+  /// stream and is returned.
+  Status StreamRows(
+      const std::function<Status(std::vector<Row>)>& sink) const;
 
  private:
   const Geography* geo_;

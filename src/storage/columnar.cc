@@ -17,20 +17,21 @@ ColumnarTable ColumnarTable::Build(const Table& table) {
   for (size_t c = 0; c < table.num_columns(); ++c) {
     Column& col = out.columns_[c];
     col.type = table.schema().column(c).type;
-    col.null_words.assign(words, 0);
+    col.owned_null_words.assign(words, 0);
     switch (col.type) {
       case ValueType::kInt64:
-        col.i64.assign(n, 0);
+        col.owned_i64.assign(n, 0);
         break;
       case ValueType::kDouble:
-        col.f64.assign(n, 0);
+        col.owned_f64.assign(n, 0);
         break;
       case ValueType::kString:
-        col.codes.assign(n, 0);
+        col.owned_codes.assign(n, 0);
         break;
       case ValueType::kNull:
         break;
     }
+    col.PointAtOwned();
     if (col.type == ValueType::kString) {
       // Pass 1: sorted distinct strings. string_view order equals
       // std::string order equals Value string order.
@@ -38,7 +39,7 @@ ColumnarTable ColumnarTable::Build(const Table& table) {
       for (size_t r = 0; r < n; ++r) {
         const Value& v = table.ValueAt(r, c);
         if (v.is_null()) {
-          col.null_words[r >> 6] |= uint64_t{1} << (r & 63);
+          col.owned_null_words[r >> 6] |= uint64_t{1} << (r & 63);
           ++col.null_count;
         } else if (v.is_string()) {
           dict_map.emplace(v.string_value(), 0);
@@ -58,7 +59,7 @@ ColumnarTable ColumnarTable::Build(const Table& table) {
       for (size_t r = 0; r < n; ++r) {
         const Value& v = table.ValueAt(r, c);
         if (!v.is_null()) {
-          col.codes[r] = dict_map.find(v.string_value())->second;
+          col.owned_codes[r] = dict_map.find(v.string_value())->second;
         }
       }
       continue;
@@ -66,7 +67,7 @@ ColumnarTable ColumnarTable::Build(const Table& table) {
     for (size_t r = 0; r < n; ++r) {
       const Value& v = table.ValueAt(r, c);
       if (v.is_null()) {
-        col.null_words[r >> 6] |= uint64_t{1} << (r & 63);
+        col.owned_null_words[r >> 6] |= uint64_t{1} << (r & 63);
         ++col.null_count;
         continue;
       }
@@ -75,12 +76,22 @@ ColumnarTable ColumnarTable::Build(const Table& table) {
         continue;
       }
       if (col.type == ValueType::kInt64) {
-        col.i64[r] = v.int64_value();
+        col.owned_i64[r] = v.int64_value();
       } else if (col.type == ValueType::kDouble) {
-        col.f64[r] = v.double_value();
+        col.owned_f64[r] = v.double_value();
       }
     }
   }
+  return out;
+}
+
+ColumnarTable ColumnarTable::FromColumns(size_t num_rows,
+                                         std::vector<Column> columns,
+                                         std::shared_ptr<const void> owner) {
+  ColumnarTable out;
+  out.num_rows_ = num_rows;
+  out.columns_ = std::move(columns);
+  out.owner_ = std::move(owner);
   return out;
 }
 
@@ -135,6 +146,20 @@ Table TableView::Materialize() const {
     return out;
   }
   out.rows_.reserve(rows_.size());
+  if (!base_->has_rows()) {
+    // Column-backed base: gather each cell from the columnar arrays.
+    // Bit-identical to the row gather because the store round-trips cells
+    // losslessly (raw doubles, exact int64 decode, dictionary strings).
+    for (const uint32_t r : rows_) {
+      Row projected;
+      projected.reserve(projection_.size());
+      for (const size_t c : projection_) {
+        projected.push_back(base_->CellValue(r, c));
+      }
+      out.rows_.push_back(std::move(projected));
+    }
+    return out;
+  }
   const bool identity =
       projection_.size() == base_->num_columns() &&
       [this] {

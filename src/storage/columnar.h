@@ -13,18 +13,51 @@
 
 namespace autocat {
 
-/// A read-only columnar shadow of a row-store `Table`: per column, one
+/// A borrowed, read-only view of a contiguous typed array. The columnar
+/// kernels and partitioners read column data through this type so the
+/// same code path serves both in-memory shadows (the span points at a
+/// vector owned by the column) and mapped segment stores (the span points
+/// straight into the mmapped file, zero-copy). Mirrors the subset of the
+/// std::vector read API the consumers use.
+template <typename T>
+class ColumnSpan {
+ public:
+  ColumnSpan() = default;
+  ColumnSpan(const T* data, size_t size) : data_(data), size_(size) {}
+  explicit ColumnSpan(const std::vector<T>& v)
+      : data_(v.data()), size_(v.size()) {}
+
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+ private:
+  const T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+/// A read-only columnar representation of a relation: per column, one
 /// contiguous typed array plus a null bitmap. Strings are
 /// dictionary-encoded against a *sorted* dictionary, so dictionary-code
 /// order equals `Value` comparison order — grouping or comparing by code
 /// is exactly grouping or comparing by value.
 ///
-/// The shadow is immutable after `Build` and carries no reference to the
-/// source table; `Database::ColumnarFor` caches one per table and drops it
-/// when `PutTable` replaces the contents. Columns whose cells do not all
-/// match the declared type (impossible through `Table::AppendRow`, which
-/// coerces) are marked `regular = false` and consumers fall back to the
-/// row representation.
+/// Two constructions exist:
+///  - `Build` derives an in-memory shadow of a row-store `Table`
+///    (`Database::ColumnarFor` caches one per table and drops it when
+///    `PutTable` replaces the contents);
+///  - `FromColumns` wraps columns whose spans point at externally owned
+///    memory — the segment store (src/store/) uses it to expose mapped,
+///    decompressed-or-raw column segments zero-copy, with `owner` keeping
+///    the mapping alive for the table's lifetime.
+///
+/// Either way the table is immutable after construction. Columns whose
+/// cells do not all match the declared type (impossible through
+/// `Table::AppendRow`, which coerces) are marked `regular = false` and
+/// consumers fall back to the row representation.
 class ColumnarTable {
  public:
   struct Column {
@@ -33,15 +66,40 @@ class ColumnarTable {
     bool regular = true;
     size_t null_count = 0;
     /// Bit r set <=> row r is NULL. size = ceil(num_rows / 64).
-    std::vector<uint64_t> null_words;
+    ColumnSpan<uint64_t> null_words;
     /// type == kInt64: one entry per row (0 for NULL cells).
-    std::vector<int64_t> i64;
+    ColumnSpan<int64_t> i64;
     /// type == kDouble: one entry per row (0 for NULL cells).
-    std::vector<double> f64;
+    ColumnSpan<double> f64;
     /// type == kString: dictionary code per row (0 for NULL cells).
-    std::vector<uint32_t> codes;
+    ColumnSpan<uint32_t> codes;
     /// type == kString: sorted distinct non-NULL strings.
     std::vector<std::string> dict;
+
+    /// Owned backing arrays. `Build` fills these and points the spans at
+    /// them; the segment store leaves raw-encoded arrays here empty (the
+    /// spans point into the mapping) and fills only what it had to
+    /// decode (delta/varint-compressed numerics). Move-only: moving a
+    /// vector preserves its heap buffer, so the spans stay valid; a copy
+    /// would leave them pointing at the source's storage.
+    std::vector<uint64_t> owned_null_words;
+    std::vector<int64_t> owned_i64;
+    std::vector<double> owned_f64;
+    std::vector<uint32_t> owned_codes;
+
+    Column() = default;
+    Column(const Column&) = delete;
+    Column& operator=(const Column&) = delete;
+    Column(Column&&) = default;
+    Column& operator=(Column&&) = default;
+
+    /// Points each span at its owned vector (call after filling them).
+    void PointAtOwned() {
+      null_words = ColumnSpan<uint64_t>(owned_null_words);
+      i64 = ColumnSpan<int64_t>(owned_i64);
+      f64 = ColumnSpan<double>(owned_f64);
+      codes = ColumnSpan<uint32_t>(owned_codes);
+    }
 
     bool IsNull(size_t row) const {
       return (null_words[row >> 6] >> (row & 63)) & 1;
@@ -49,11 +107,22 @@ class ColumnarTable {
   };
 
   ColumnarTable() = default;
+  ColumnarTable(const ColumnarTable&) = delete;
+  ColumnarTable& operator=(const ColumnarTable&) = delete;
+  ColumnarTable(ColumnarTable&&) = default;
+  ColumnarTable& operator=(ColumnarTable&&) = default;
 
-  /// Builds the shadow in one pass per column (two for strings: dictionary
-  /// then codes). Requires `table.num_rows() <= UINT32_MAX` (callers gate;
-  /// selection vectors are 32-bit).
+  /// Builds an in-memory shadow in one pass per column (two for strings:
+  /// dictionary then codes). Requires `table.num_rows() <= UINT32_MAX`
+  /// (callers gate; selection vectors are 32-bit).
   static ColumnarTable Build(const Table& table);
+
+  /// Wraps externally built columns (the segment store's open path).
+  /// `owner` is an opaque keep-alive for whatever memory the spans
+  /// borrow — typically the store's file mapping.
+  static ColumnarTable FromColumns(size_t num_rows,
+                                   std::vector<Column> columns,
+                                   std::shared_ptr<const void> owner);
 
   size_t num_rows() const { return num_rows_; }
   size_t num_columns() const { return columns_.size(); }
@@ -62,6 +131,8 @@ class ColumnarTable {
  private:
   size_t num_rows_ = 0;
   std::vector<Column> columns_;
+  // Keep-alive for borrowed span memory (null for in-memory shadows).
+  std::shared_ptr<const void> owner_;
 };
 
 /// A zero-copy view over a base table: a selection vector of base-row
@@ -108,12 +179,17 @@ class TableView {
   const std::vector<uint32_t>& selection() const { return rows_; }
 
   /// Cell accessor in view coordinates; bounds unchecked in release.
+  /// Valid only when the base table stores rows (see Table::has_rows);
+  /// consumers reading a column-backed base go through the columnar
+  /// fast paths, which cover every regular column.
   const Value& ValueAt(size_t row, size_t col) const {
     return base_->ValueAt(rows_[row], projection_[col]);
   }
 
   /// Copies the view into an owned row-store table: one gather pass, row
-  /// copies taken whole when the projection is the identity.
+  /// copies taken whole when the projection is the identity. For a
+  /// column-backed base the cells are synthesized from the columnar
+  /// arrays instead (bit-identical by the store's lossless round-trip).
   Table Materialize() const;
 
  private:

@@ -12,9 +12,11 @@ Result<SortedColumnIndex> SortedColumnIndex::Build(
   index.column_name_ = table.schema().column(col).name;
   index.entries_.reserve(table.num_rows());
   for (size_t r = 0; r < table.num_rows(); ++r) {
-    const Value& v = table.ValueAt(r, col);
+    // CellValue works in both storage modes (column-backed tables have no
+    // rows to hand out references into).
+    Value v = table.CellValue(r, col);
     if (!v.is_null()) {
-      index.entries_.emplace_back(v, r);
+      index.entries_.emplace_back(std::move(v), r);
     }
   }
   std::sort(index.entries_.begin(), index.entries_.end(),

@@ -3,75 +3,166 @@
 #include <algorithm>
 #include <cmath>
 #include <set>
+#include <utility>
+
+#include "storage/columnar.h"
 
 namespace autocat {
 
 namespace {
 
-// Coerces `cell` to the declared `type` when a lossless conversion exists.
-// NULL passes through untouched.
-Result<Value> CoerceCell(const Value& cell, const ColumnDef& col) {
-  if (cell.is_null()) {
-    return cell;
+// Coerces `*cell` to the declared `type` in place when a lossless
+// conversion exists. NULL and already-typed cells pass through untouched
+// (no copy — the caller keeps ownership of string payloads).
+Status CoerceCellInPlace(Value* cell, const ColumnDef& col) {
+  if (cell->is_null() || cell->type() == col.type) {
+    return Status::OK();
   }
-  if (cell.type() == col.type) {
-    return cell;
+  if (col.type == ValueType::kDouble && cell->is_int64()) {
+    *cell = Value(static_cast<double>(cell->int64_value()));
+    return Status::OK();
   }
-  if (col.type == ValueType::kDouble && cell.is_int64()) {
-    return Value(static_cast<double>(cell.int64_value()));
-  }
-  if (col.type == ValueType::kInt64 && cell.is_double()) {
-    const double d = cell.double_value();
+  if (col.type == ValueType::kInt64 && cell->is_double()) {
+    const double d = cell->double_value();
     if (std::floor(d) == d && std::fabs(d) < 9.2e18) {
-      return Value(static_cast<int64_t>(d));
+      *cell = Value(static_cast<int64_t>(d));
+      return Status::OK();
     }
     return Status::InvalidArgument(
-        "cannot losslessly store " + cell.ToString() + " in int64 column '" +
+        "cannot losslessly store " + cell->ToString() + " in int64 column '" +
         col.name + "'");
   }
   return Status::InvalidArgument(
       "type mismatch in column '" + col.name + "': expected " +
       std::string(ValueTypeToString(col.type)) + ", got " +
-      std::string(ValueTypeToString(cell.type())));
+      std::string(ValueTypeToString(cell->type())));
 }
 
 }  // namespace
 
-Status Table::AppendRow(Row row) {
-  if (row.size() != schema_.num_columns()) {
+Status CoerceRowToSchema(Row* row, const Schema& schema) {
+  if (row->size() != schema.num_columns()) {
     return Status::InvalidArgument(
-        "row has " + std::to_string(row.size()) + " cells, schema has " +
-        std::to_string(schema_.num_columns()) + " columns");
+        "row has " + std::to_string(row->size()) + " cells, schema has " +
+        std::to_string(schema.num_columns()) + " columns");
   }
-  for (size_t c = 0; c < row.size(); ++c) {
-    AUTOCAT_ASSIGN_OR_RETURN(row[c], CoerceCell(row[c], schema_.column(c)));
+  for (size_t c = 0; c < row->size(); ++c) {
+    AUTOCAT_RETURN_IF_ERROR(CoerceCellInPlace(&(*row)[c], schema.column(c)));
   }
+  return Status::OK();
+}
+
+Table Table::FromColumnar(Schema schema,
+                          std::shared_ptr<const ColumnarTable> columnar) {
+  AUTOCAT_CHECK(columnar != nullptr);
+  AUTOCAT_CHECK_EQ(columnar->num_columns(), schema.num_columns());
+  Table out(std::move(schema));
+  out.columnar_rows_ = columnar->num_rows();
+  out.columnar_ = std::move(columnar);
+  return out;
+}
+
+Value Table::CellValue(size_t row, size_t col) const {
+  if (columnar_ == nullptr) {
+    return rows_[row][col];
+  }
+  const ColumnarTable::Column& cc = columnar_->column(col);
+  if (cc.IsNull(row)) {
+    return Value();
+  }
+  switch (cc.type) {
+    case ValueType::kInt64:
+      return Value(cc.i64[row]);
+    case ValueType::kDouble:
+      return Value(cc.f64[row]);
+    case ValueType::kString:
+      return Value(cc.dict[cc.codes[row]]);
+    case ValueType::kNull:
+      return Value();
+  }
+  return Value();
+}
+
+Row Table::CopyRow(size_t i) const {
+  if (columnar_ == nullptr) {
+    return rows_[i];
+  }
+  Row out;
+  out.reserve(num_columns());
+  for (size_t c = 0; c < num_columns(); ++c) {
+    out.push_back(CellValue(i, c));
+  }
+  return out;
+}
+
+Status Table::AppendRow(Row row) {
+  if (columnar_ != nullptr) {
+    return Status::InvalidArgument(
+        "cannot append to a column-backed table");
+  }
+  AUTOCAT_RETURN_IF_ERROR(CoerceRowToSchema(&row, schema_));
   rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+Status Table::AppendRows(std::vector<Row> rows) {
+  if (columnar_ != nullptr) {
+    return Status::InvalidArgument(
+        "cannot append to a column-backed table");
+  }
+  // Validate (and coerce in place) before touching rows_, so a failed
+  // batch leaves the table unchanged.
+  for (Row& row : rows) {
+    AUTOCAT_RETURN_IF_ERROR(CoerceRowToSchema(&row, schema_));
+  }
+  rows_.reserve(rows_.size() + rows.size());
+  for (Row& row : rows) {
+    rows_.push_back(std::move(row));
+  }
   return Status::OK();
 }
 
 Result<Table> Table::SelectRows(const std::vector<size_t>& indices) const {
   Table out(schema_);
   out.Reserve(indices.size());
+  const size_t n = num_rows();
   for (size_t idx : indices) {
-    if (idx >= rows_.size()) {
+    if (idx >= n) {
       return Status::OutOfRange("row index " + std::to_string(idx) +
                                 " out of range");
     }
-    out.rows_.push_back(rows_[idx]);
+    if (columnar_ == nullptr) {
+      out.rows_.push_back(rows_[idx]);
+    } else {
+      out.rows_.push_back(CopyRow(idx));
+    }
   }
   return out;
 }
 
 std::vector<size_t> Table::FilterIndices(
     const std::function<bool(const Row&)>& pred) const {
+  const size_t n = num_rows();
   std::vector<size_t> out;
   // Heuristic: most filters on this path are selective; a quarter of the
   // table avoids the early doubling reallocations without ballooning
   // memory when only a handful of rows match.
-  out.reserve(rows_.size() / 4 + 16);
-  for (size_t i = 0; i < rows_.size(); ++i) {
-    if (pred(rows_[i])) {
+  out.reserve(n / 4 + 16);
+  if (columnar_ == nullptr) {
+    for (size_t i = 0; i < n; ++i) {
+      if (pred(rows_[i])) {
+        out.push_back(i);
+      }
+    }
+    return out;
+  }
+  Row scratch;
+  for (size_t i = 0; i < n; ++i) {
+    scratch.clear();
+    for (size_t c = 0; c < num_columns(); ++c) {
+      scratch.push_back(CellValue(i, c));
+    }
+    if (pred(scratch)) {
       out.push_back(i);
     }
   }
@@ -89,6 +180,20 @@ Result<Table> Table::Project(
     src_indices.push_back(idx);
   }
   AUTOCAT_ASSIGN_OR_RETURN(Schema out_schema, Schema::Create(std::move(cols)));
+  const size_t n = num_rows();
+  Table out(std::move(out_schema));
+  out.Reserve(n);
+  if (columnar_ != nullptr) {
+    for (size_t r = 0; r < n; ++r) {
+      Row projected;
+      projected.reserve(src_indices.size());
+      for (const size_t c : src_indices) {
+        projected.push_back(CellValue(r, c));
+      }
+      out.rows_.push_back(std::move(projected));
+    }
+    return out;
+  }
   // Identity projection: every column in schema order — the rows can be
   // copied whole instead of cell by cell.
   const bool identity =
@@ -101,8 +206,6 @@ Result<Table> Table::Project(
         }
         return true;
       }();
-  Table out(std::move(out_schema));
-  out.Reserve(rows_.size());
   if (identity) {
     out.rows_ = rows_;
     return out;
@@ -121,6 +224,27 @@ Result<std::vector<Value>> Table::DistinctValues(size_t col) const {
   if (col >= schema_.num_columns()) {
     return Status::OutOfRange("column index out of range");
   }
+  if (columnar_ != nullptr) {
+    const ColumnarTable::Column& cc = columnar_->column(col);
+    if (cc.type == ValueType::kString && cc.regular) {
+      // The dictionary IS the sorted distinct non-NULL value set.
+      std::vector<Value> out;
+      out.reserve(cc.dict.size());
+      for (const std::string& s : cc.dict) {
+        out.emplace_back(s);
+      }
+      return out;
+    }
+    std::set<Value> distinct;
+    const size_t n = num_rows();
+    for (size_t r = 0; r < n; ++r) {
+      Value v = CellValue(r, col);
+      if (!v.is_null()) {
+        distinct.insert(std::move(v));
+      }
+    }
+    return std::vector<Value>(distinct.begin(), distinct.end());
+  }
   std::set<Value> distinct;
   for (const Row& r : rows_) {
     if (!r[col].is_null()) {
@@ -137,18 +261,26 @@ Result<std::pair<Value, Value>> Table::MinMax(size_t col) const {
   bool seen = false;
   Value min_v;
   Value max_v;
-  for (const Row& r : rows_) {
-    const Value& v = r[col];
-    if (v.is_null()) {
+  const size_t n = num_rows();
+  for (size_t r = 0; r < n; ++r) {
+    Value owned;
+    const Value* v;
+    if (columnar_ == nullptr) {
+      v = &rows_[r][col];
+    } else {
+      owned = CellValue(r, col);
+      v = &owned;
+    }
+    if (v->is_null()) {
       continue;
     }
     if (!seen) {
-      min_v = v;
-      max_v = v;
+      min_v = *v;
+      max_v = *v;
       seen = true;
     } else {
-      if (v < min_v) min_v = v;
-      if (v > max_v) max_v = v;
+      if (*v < min_v) min_v = *v;
+      if (*v > max_v) max_v = *v;
     }
   }
   if (!seen) {
@@ -160,7 +292,7 @@ Result<std::pair<Value, Value>> Table::MinMax(size_t col) const {
 
 std::string Table::ToString(size_t max_rows) const {
   const size_t ncols = schema_.num_columns();
-  const size_t shown = std::min(max_rows, rows_.size());
+  const size_t shown = std::min(max_rows, num_rows());
 
   std::vector<std::vector<std::string>> cells;
   std::vector<size_t> widths(ncols, 0);
@@ -172,7 +304,7 @@ std::string Table::ToString(size_t max_rows) const {
   for (size_t r = 0; r < shown; ++r) {
     std::vector<std::string> row_cells(ncols);
     for (size_t c = 0; c < ncols; ++c) {
-      row_cells[c] = rows_[r][c].ToString();
+      row_cells[c] = CellValue(r, c).ToString();
       widths[c] = std::max(widths[c], row_cells[c].size());
     }
     cells.push_back(std::move(row_cells));
@@ -198,8 +330,8 @@ std::string Table::ToString(size_t max_rows) const {
   for (const auto& row_cells : cells) {
     append_row(out, row_cells);
   }
-  if (shown < rows_.size()) {
-    out += "... (" + std::to_string(rows_.size() - shown) + " more rows)\n";
+  if (shown < num_rows()) {
+    out += "... (" + std::to_string(num_rows() - shown) + " more rows)\n";
   }
   return out;
 }

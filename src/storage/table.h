@@ -2,17 +2,29 @@
 #define AUTOCAT_STORAGE_TABLE_H_
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/check.h"
 #include "common/result.h"
 #include "common/value.h"
 #include "storage/schema.h"
 
 namespace autocat {
 
+class ColumnarTable;
+
 /// A row of cells. Rows are owned by a Table and always match its schema.
 using Row = std::vector<Value>;
+
+/// Validates `row` against `schema` — arity, then per-cell type — and
+/// coerces numeric cells to the declared column type in place (int64 into
+/// double columns; double into int64 columns when lossless). Cells that
+/// already match are left untouched, so no Value (or string payload) is
+/// copied. Shared by Table appends and the segment-store bulk loader so
+/// both accept exactly the same rows.
+Status CoerceRowToSchema(Row* row, const Schema& schema);
 
 /// An in-memory row-store relation.
 ///
@@ -22,6 +34,19 @@ using Row = std::vector<Value>;
 /// `Table`s. Appends validate arity and cell types against the schema and
 /// coerce int64 into double columns (and vice versa when lossless), so a
 /// stored column is always homogeneous.
+///
+/// A table comes in one of two storage modes:
+///  - **row-backed** (the default): cells live in `rows_`, appends are
+///    allowed, and `row()` / `rows()` / `ValueAt()` hand out references.
+///  - **column-backed** (`FromColumnar`): the cells live in a shared
+///    `ColumnarTable` — typically zero-copy views into a mapped segment
+///    store — and no row vectors exist at all. The table is immutable,
+///    `row()` / `rows()` / `ValueAt()` must not be called (`has_rows()` is
+///    false; debug builds check), and row-shaped consumers go through
+///    `CopyRow` / `CellValue`, which synthesize owned cells on demand.
+/// All query operators (`SelectRows`, `FilterIndices`, `Project`,
+/// `DistinctValues`, `MinMax`, `ToString`) work in both modes and always
+/// produce row-backed results.
 class Table {
  public:
   Table() = default;
@@ -32,38 +57,83 @@ class Table {
   Table(Table&&) = default;
   Table& operator=(Table&&) = default;
 
+  /// Wraps an already-built columnar relation (every column regular — the
+  /// segment store guarantees this) as an immutable column-backed table.
+  /// `columnar.num_columns()` must equal `schema.num_columns()` with
+  /// matching types.
+  static Table FromColumnar(Schema schema,
+                            std::shared_ptr<const ColumnarTable> columnar);
+
   const Schema& schema() const { return schema_; }
-  size_t num_rows() const { return rows_.size(); }
+  size_t num_rows() const {
+    return columnar_ == nullptr ? rows_.size() : columnar_rows_;
+  }
   size_t num_columns() const { return schema_.num_columns(); }
-  bool empty() const { return rows_.empty(); }
+  bool empty() const { return num_rows() == 0; }
 
-  const Row& row(size_t i) const { return rows_[i]; }
-  const std::vector<Row>& rows() const { return rows_; }
+  /// True when cells are stored as rows (references below are valid).
+  bool has_rows() const { return columnar_ == nullptr; }
+  /// The backing columnar relation, or nullptr for row-backed tables.
+  const std::shared_ptr<const ColumnarTable>& columnar_backing() const {
+    return columnar_;
+  }
 
-  /// Cell accessor; bounds unchecked in release builds.
+  const Row& row(size_t i) const {
+    AUTOCAT_DCHECK(has_rows());
+    return rows_[i];
+  }
+  const std::vector<Row>& rows() const {
+    AUTOCAT_DCHECK(has_rows());
+    return rows_;
+  }
+
+  /// Cell accessor; bounds unchecked in release builds. Row-backed only.
   const Value& ValueAt(size_t row, size_t col) const {
+    AUTOCAT_DCHECK(has_rows());
     return rows_[row][col];
   }
 
+  /// Mode-independent cell accessor: returns an owned copy, synthesized
+  /// from the columnar arrays when column-backed.
+  Value CellValue(size_t row, size_t col) const;
+
+  /// Mode-independent row accessor: an owned copy of row `i`.
+  Row CopyRow(size_t i) const;
+
   /// Appends `row` after validating arity and coercing numeric cells to the
-  /// declared column type. NULL is accepted in any column.
+  /// declared column type. NULL is accepted in any column. Cells that
+  /// already match the declared type are moved, not copied. Errors with
+  /// kFailedPrecondition on column-backed tables.
   Status AppendRow(Row row);
 
-  /// Reserves capacity for `n` rows.
-  void Reserve(size_t n) { rows_.reserve(n); }
+  /// Bulk append: validates and coerces every row, then splices them in
+  /// with a single capacity reservation. On any invalid row, nothing is
+  /// appended (the whole batch is rejected, first error returned).
+  Status AppendRows(std::vector<Row> rows);
+
+  /// Reserves capacity for `n` additional rows beyond the current size.
+  void Reserve(size_t n) {
+    if (columnar_ == nullptr) {
+      rows_.reserve(rows_.size() + n);
+    }
+  }
 
   /// Returns a table with the same schema containing the rows at `indices`
   /// (in the given order). Indices must be in range.
   Result<Table> SelectRows(const std::vector<size_t>& indices) const;
 
-  /// Returns indices of the rows for which `pred` is true.
+  /// Returns indices of the rows for which `pred` is true. On
+  /// column-backed tables each candidate row is synthesized for the
+  /// predicate (the columnar kernels are the fast path; this is the
+  /// semantic fallback).
   std::vector<size_t> FilterIndices(
       const std::function<bool(const Row&)>& pred) const;
 
   /// Returns a table with only the named columns, in the given order.
   Result<Table> Project(const std::vector<std::string>& column_names) const;
 
-  /// Sorted distinct non-NULL values of column `col`.
+  /// Sorted distinct non-NULL values of column `col`. Column-backed
+  /// string columns answer straight from the sorted dictionary.
   Result<std::vector<Value>> DistinctValues(size_t col) const;
 
   /// Min and max of the non-NULL values in column `col`. Errors if the
@@ -81,6 +151,9 @@ class Table {
 
   Schema schema_;
   std::vector<Row> rows_;
+  // Column-backed mode: non-null backing + its row count; rows_ empty.
+  std::shared_ptr<const ColumnarTable> columnar_;
+  size_t columnar_rows_ = 0;
 };
 
 }  // namespace autocat

@@ -1,0 +1,34 @@
+#include "store/buffer_manager.h"
+
+#include <algorithm>
+
+namespace autocat {
+
+Result<std::string_view> BufferManager::Page(uint64_t page_id) const {
+  const uint64_t offset = page_id * kStorePageSize;
+  if (page_id >= num_pages()) {
+    return Status::OutOfRange("page " + std::to_string(page_id) +
+                              " beyond end of store (" +
+                              std::to_string(num_pages()) + " pages)");
+  }
+  const uint64_t bytes =
+      std::min<uint64_t>(kStorePageSize, file_->size() - offset);
+  page_reads_.fetch_add(1, std::memory_order_relaxed);
+  return std::string_view(file_->data() + offset,
+                          static_cast<size_t>(bytes));
+}
+
+Result<std::string_view> BufferManager::Bytes(const RegionRef& ref) const {
+  if (ref.offset > file_->size() || ref.bytes > file_->size() - ref.offset) {
+    return Status::ParseError(
+        "region [" + std::to_string(ref.offset) + ", +" +
+        std::to_string(ref.bytes) + ") exceeds store file of " +
+        std::to_string(file_->size()) + " bytes");
+  }
+  region_reads_.fetch_add(1, std::memory_order_relaxed);
+  region_bytes_.fetch_add(ref.bytes, std::memory_order_relaxed);
+  return std::string_view(file_->data() + ref.offset,
+                          static_cast<size_t>(ref.bytes));
+}
+
+}  // namespace autocat

@@ -1,0 +1,85 @@
+#ifndef AUTOCAT_STORE_BUFFER_MANAGER_H_
+#define AUTOCAT_STORE_BUFFER_MANAGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "common/result.h"
+#include "storage/columnar.h"
+#include "store/format.h"
+#include "store/mapped_file.h"
+
+namespace autocat {
+
+/// Validated access to the pages and regions of a mapped store file.
+///
+/// The kernel's page cache does the actual caching for a mmapped file, so
+/// this "buffer manager" does not shuttle pages through its own pool;
+/// what it owns is the safety contract: every page or region handed out
+/// is bounds-checked against the file, typed regions are checked for
+/// alignment (mmap bases are page-aligned, so page-aligned offsets are
+/// alignment-safe for every column type), and access counts are kept so
+/// tests and benchmarks can observe read traffic. All accessors are
+/// const and safe from any thread (counters are relaxed atomics).
+class BufferManager {
+ public:
+  explicit BufferManager(std::shared_ptr<const MappedFile> file)
+      : file_(std::move(file)) {}
+
+  uint64_t file_bytes() const { return file_->size(); }
+  uint64_t num_pages() const {
+    return (file_->size() + kStorePageSize - 1) / kStorePageSize;
+  }
+  const std::shared_ptr<const MappedFile>& file() const { return file_; }
+
+  /// The `page_id`-th fixed-size page (the final page may be short).
+  Result<std::string_view> Page(uint64_t page_id) const;
+
+  /// The raw bytes of `ref`, bounds-checked.
+  Result<std::string_view> Bytes(const RegionRef& ref) const;
+
+  /// A typed span over `ref` holding exactly `count` elements of T,
+  /// bounds- and alignment-checked. The span borrows the mapping — the
+  /// caller must keep the MappedFile alive (tables hold it via
+  /// ColumnarTable's owner).
+  template <typename T>
+  Result<ColumnSpan<T>> Region(const RegionRef& ref, uint64_t count) const {
+    AUTOCAT_ASSIGN_OR_RETURN(const std::string_view bytes, Bytes(ref));
+    if (bytes.size() != count * sizeof(T)) {
+      return Status::ParseError("region holds " +
+                                std::to_string(bytes.size()) +
+                                " bytes, expected " +
+                                std::to_string(count * sizeof(T)));
+    }
+    if (reinterpret_cast<uintptr_t>(bytes.data()) % alignof(T) != 0) {
+      return Status::ParseError("region misaligned for its element type");
+    }
+    return ColumnSpan<T>(reinterpret_cast<const T*>(bytes.data()),
+                         static_cast<size_t>(count));
+  }
+
+  struct Stats {
+    uint64_t page_reads = 0;
+    uint64_t region_reads = 0;
+    uint64_t region_bytes = 0;
+  };
+  Stats stats() const {
+    Stats s;
+    s.page_reads = page_reads_.load(std::memory_order_relaxed);
+    s.region_reads = region_reads_.load(std::memory_order_relaxed);
+    s.region_bytes = region_bytes_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  std::shared_ptr<const MappedFile> file_;
+  mutable std::atomic<uint64_t> page_reads_{0};
+  mutable std::atomic<uint64_t> region_reads_{0};
+  mutable std::atomic<uint64_t> region_bytes_{0};
+};
+
+}  // namespace autocat
+
+#endif  // AUTOCAT_STORE_BUFFER_MANAGER_H_

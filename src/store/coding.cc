@@ -1,0 +1,88 @@
+#include "store/coding.h"
+
+namespace autocat {
+
+void AppendVarint64(uint64_t v, std::string* out) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+void AppendFixed32(uint32_t v, std::string* out) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+void AppendFixed64(uint64_t v, std::string* out) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+void AppendLengthPrefixed(std::string_view bytes, std::string* out) {
+  AppendVarint64(bytes.size(), out);
+  out->append(bytes.data(), bytes.size());
+}
+
+Result<uint64_t> ByteReader::ReadVarint64() {
+  uint64_t v = 0;
+  int shift = 0;
+  while (p_ != end_) {
+    const uint8_t byte = static_cast<uint8_t>(*p_++);
+    if (shift == 63 && byte > 1) {
+      return Status::ParseError("varint overflows 64 bits");
+    }
+    v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      return v;
+    }
+    shift += 7;
+    if (shift > 63) {
+      return Status::ParseError("varint longer than 10 bytes");
+    }
+  }
+  return Status::ParseError("truncated varint");
+}
+
+Result<uint32_t> ByteReader::ReadFixed32() {
+  if (remaining() < 4) {
+    return Status::ParseError("truncated fixed32");
+  }
+  uint32_t v;
+  std::memcpy(&v, p_, 4);
+  p_ += 4;
+  return v;
+}
+
+Result<uint64_t> ByteReader::ReadFixed64() {
+  if (remaining() < 8) {
+    return Status::ParseError("truncated fixed64");
+  }
+  uint64_t v;
+  std::memcpy(&v, p_, 8);
+  p_ += 8;
+  return v;
+}
+
+Result<std::string_view> ByteReader::ReadLengthPrefixed() {
+  AUTOCAT_ASSIGN_OR_RETURN(const uint64_t len, ReadVarint64());
+  if (len > remaining()) {
+    return Status::ParseError("length prefix exceeds remaining bytes");
+  }
+  const std::string_view out(p_, static_cast<size_t>(len));
+  p_ += len;
+  return out;
+}
+
+Status ByteReader::Skip(size_t n) {
+  if (n > remaining()) {
+    return Status::ParseError("skip past end of buffer");
+  }
+  p_ += n;
+  return Status::OK();
+}
+
+}  // namespace autocat

@@ -1,0 +1,65 @@
+#ifndef AUTOCAT_STORE_CODING_H_
+#define AUTOCAT_STORE_CODING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "common/result.h"
+
+namespace autocat {
+
+/// Byte-level primitives for the segment store's on-disk format: LEB128
+/// varints, zigzag transforms for signed deltas, and a bounds-checked
+/// sequential reader. Everything here operates on (pointer, size) buffers
+/// and reports malformed input via Status — never UB — so the decode
+/// surface can be fuzzed directly (tests/fuzz/store_decoder_fuzz.cc).
+
+/// Zigzag-maps signed to unsigned so small-magnitude deltas get short
+/// varints: 0,-1,1,-2,... -> 0,1,2,3,...
+inline uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^
+         static_cast<uint64_t>(v >> 63);
+}
+
+inline int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+/// Appends `v` to `out` as a LEB128 varint (1–10 bytes).
+void AppendVarint64(uint64_t v, std::string* out);
+
+/// Appends fixed-width little-endian integers.
+void AppendFixed32(uint32_t v, std::string* out);
+void AppendFixed64(uint64_t v, std::string* out);
+
+/// Appends a length-prefixed byte string (varint length + bytes).
+void AppendLengthPrefixed(std::string_view bytes, std::string* out);
+
+/// A bounds-checked sequential reader over an immutable byte buffer.
+/// Every accessor returns kParseError instead of reading past `end`.
+class ByteReader {
+ public:
+  ByteReader(const char* data, size_t size)
+      : p_(data), end_(data + size) {}
+
+  size_t remaining() const { return static_cast<size_t>(end_ - p_); }
+  bool empty() const { return p_ == end_; }
+
+  Result<uint64_t> ReadVarint64();
+  Result<uint32_t> ReadFixed32();
+  Result<uint64_t> ReadFixed64();
+  /// Reads a varint length then that many bytes (borrowed, not copied).
+  Result<std::string_view> ReadLengthPrefixed();
+  /// Skips `n` bytes.
+  Status Skip(size_t n);
+
+ private:
+  const char* p_;
+  const char* end_;
+};
+
+}  // namespace autocat
+
+#endif  // AUTOCAT_STORE_CODING_H_

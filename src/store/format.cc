@@ -1,0 +1,205 @@
+#include "store/format.h"
+
+#include "common/value.h"
+#include "store/coding.h"
+#include "storage/schema.h"
+
+namespace autocat {
+
+namespace {
+
+void AppendRegion(const RegionRef& r, std::string* out) {
+  AppendFixed64(r.offset, out);
+  AppendFixed64(r.bytes, out);
+}
+
+Result<RegionRef> ReadRegion(ByteReader* r) {
+  RegionRef out;
+  AUTOCAT_ASSIGN_OR_RETURN(out.offset, r->ReadFixed64());
+  AUTOCAT_ASSIGN_OR_RETURN(out.bytes, r->ReadFixed64());
+  return out;
+}
+
+bool ValidValueType(uint8_t t) {
+  switch (static_cast<ValueType>(t)) {
+    case ValueType::kInt64:
+    case ValueType::kDouble:
+    case ValueType::kString:
+      return true;
+    case ValueType::kNull:
+      return false;
+  }
+  return false;
+}
+
+bool ValidColumnKind(uint8_t k) {
+  return k == static_cast<uint8_t>(ColumnKind::kCategorical) ||
+         k == static_cast<uint8_t>(ColumnKind::kNumeric);
+}
+
+bool ValidEncoding(uint8_t e) {
+  return e <= static_cast<uint8_t>(ColumnEncoding::kDictCodes);
+}
+
+Result<ColumnMeta> ReadColumn(ByteReader* r) {
+  ColumnMeta col;
+  AUTOCAT_ASSIGN_OR_RETURN(const std::string_view name,
+                           r->ReadLengthPrefixed());
+  col.name.assign(name);
+  if (col.name.empty()) {
+    return Status::ParseError("empty column name");
+  }
+  AUTOCAT_ASSIGN_OR_RETURN(const uint64_t vt, r->ReadVarint64());
+  AUTOCAT_ASSIGN_OR_RETURN(const uint64_t kind, r->ReadVarint64());
+  AUTOCAT_ASSIGN_OR_RETURN(const uint64_t enc, r->ReadVarint64());
+  if (vt > 255 || !ValidValueType(static_cast<uint8_t>(vt))) {
+    return Status::ParseError("invalid value type in column '" + col.name +
+                              "'");
+  }
+  if (kind > 255 || !ValidColumnKind(static_cast<uint8_t>(kind))) {
+    return Status::ParseError("invalid column kind in column '" + col.name +
+                              "'");
+  }
+  if (enc > 255 || !ValidEncoding(static_cast<uint8_t>(enc))) {
+    return Status::ParseError("invalid encoding in column '" + col.name +
+                              "'");
+  }
+  col.value_type = static_cast<uint8_t>(vt);
+  col.column_kind = static_cast<uint8_t>(kind);
+  col.encoding = static_cast<uint8_t>(enc);
+  AUTOCAT_ASSIGN_OR_RETURN(col.null_count, r->ReadVarint64());
+  AUTOCAT_ASSIGN_OR_RETURN(col.null_words, ReadRegion(r));
+  AUTOCAT_ASSIGN_OR_RETURN(col.data, ReadRegion(r));
+  AUTOCAT_ASSIGN_OR_RETURN(col.dict_count, r->ReadVarint64());
+  AUTOCAT_ASSIGN_OR_RETURN(col.dict_offsets, ReadRegion(r));
+  AUTOCAT_ASSIGN_OR_RETURN(col.dict_blob, ReadRegion(r));
+  AUTOCAT_ASSIGN_OR_RETURN(const uint64_t nsegs, r->ReadVarint64());
+  // Each serialized segment is >= 12 bytes; a count beyond the remaining
+  // bytes is corrupt and must not drive allocation.
+  if (nsegs > r->remaining() / 12 + 1) {
+    return Status::ParseError("segment count exceeds catalog bytes");
+  }
+  col.segments.reserve(static_cast<size_t>(nsegs));
+  for (uint64_t s = 0; s < nsegs; ++s) {
+    SegmentMeta seg;
+    AUTOCAT_ASSIGN_OR_RETURN(seg.byte_offset, r->ReadVarint64());
+    AUTOCAT_ASSIGN_OR_RETURN(seg.byte_length, r->ReadVarint64());
+    AUTOCAT_ASSIGN_OR_RETURN(const uint64_t rows, r->ReadVarint64());
+    if (rows == 0 || rows > kSegmentRows) {
+      return Status::ParseError("segment row count out of range");
+    }
+    seg.row_count = static_cast<uint32_t>(rows);
+    AUTOCAT_ASSIGN_OR_RETURN(seg.valid_count, r->ReadVarint64());
+    if (seg.valid_count > rows) {
+      return Status::ParseError("segment valid count exceeds rows");
+    }
+    AUTOCAT_ASSIGN_OR_RETURN(seg.min_bits, r->ReadFixed64());
+    AUTOCAT_ASSIGN_OR_RETURN(seg.max_bits, r->ReadFixed64());
+    col.segments.push_back(seg);
+  }
+  return col;
+}
+
+}  // namespace
+
+std::string EncodeCatalog(const StoreCatalog& catalog) {
+  std::string out;
+  AppendVarint64(catalog.tables.size(), &out);
+  for (const TableMeta& table : catalog.tables) {
+    AppendLengthPrefixed(table.name, &out);
+    AppendVarint64(table.num_rows, &out);
+    AppendVarint64(table.columns.size(), &out);
+    for (const ColumnMeta& col : table.columns) {
+      AppendLengthPrefixed(col.name, &out);
+      AppendVarint64(col.value_type, &out);
+      AppendVarint64(col.column_kind, &out);
+      AppendVarint64(col.encoding, &out);
+      AppendVarint64(col.null_count, &out);
+      AppendRegion(col.null_words, &out);
+      AppendRegion(col.data, &out);
+      AppendVarint64(col.dict_count, &out);
+      AppendRegion(col.dict_offsets, &out);
+      AppendRegion(col.dict_blob, &out);
+      AppendVarint64(col.segments.size(), &out);
+      for (const SegmentMeta& seg : col.segments) {
+        AppendVarint64(seg.byte_offset, &out);
+        AppendVarint64(seg.byte_length, &out);
+        AppendVarint64(seg.row_count, &out);
+        AppendVarint64(seg.valid_count, &out);
+        AppendFixed64(seg.min_bits, &out);
+        AppendFixed64(seg.max_bits, &out);
+      }
+    }
+  }
+  return out;
+}
+
+Result<StoreCatalog> DecodeCatalog(const char* data, size_t size) {
+  ByteReader r(data, size);
+  StoreCatalog catalog;
+  AUTOCAT_ASSIGN_OR_RETURN(const uint64_t ntables, r.ReadVarint64());
+  if (ntables > r.remaining()) {
+    return Status::ParseError("table count exceeds catalog bytes");
+  }
+  for (uint64_t t = 0; t < ntables; ++t) {
+    TableMeta table;
+    AUTOCAT_ASSIGN_OR_RETURN(const std::string_view name,
+                             r.ReadLengthPrefixed());
+    table.name.assign(name);
+    if (table.name.empty()) {
+      return Status::ParseError("empty table name");
+    }
+    AUTOCAT_ASSIGN_OR_RETURN(table.num_rows, r.ReadVarint64());
+    AUTOCAT_ASSIGN_OR_RETURN(const uint64_t ncols, r.ReadVarint64());
+    if (ncols > r.remaining()) {
+      return Status::ParseError("column count exceeds catalog bytes");
+    }
+    for (uint64_t c = 0; c < ncols; ++c) {
+      AUTOCAT_ASSIGN_OR_RETURN(ColumnMeta col, ReadColumn(&r));
+      table.columns.push_back(std::move(col));
+    }
+    catalog.tables.push_back(std::move(table));
+  }
+  if (!r.empty()) {
+    return Status::ParseError("trailing bytes after catalog");
+  }
+  return catalog;
+}
+
+std::string EncodeHeader(RegionRef catalog) {
+  std::string out(kStoreMagic, sizeof(kStoreMagic));
+  AppendFixed32(kStoreFormatVersion, &out);
+  AppendFixed32(static_cast<uint32_t>(kStorePageSize), &out);
+  AppendFixed32(kEndianProbe, &out);
+  AppendRegion(catalog, &out);
+  return out;
+}
+
+Result<RegionRef> DecodeHeader(const char* data, size_t size) {
+  ByteReader r(data, size);
+  if (size < sizeof(kStoreMagic)) {
+    return Status::ParseError("file too small for a store header");
+  }
+  if (std::memcmp(data, kStoreMagic, sizeof(kStoreMagic)) != 0) {
+    return Status::ParseError("bad store magic (not a segment store file)");
+  }
+  AUTOCAT_RETURN_IF_ERROR(r.Skip(sizeof(kStoreMagic)));
+  AUTOCAT_ASSIGN_OR_RETURN(const uint32_t version, r.ReadFixed32());
+  if (version != kStoreFormatVersion) {
+    return Status::NotSupported("store format version " +
+                                std::to_string(version) + " not supported");
+  }
+  AUTOCAT_ASSIGN_OR_RETURN(const uint32_t page_size, r.ReadFixed32());
+  if (page_size != kStorePageSize) {
+    return Status::ParseError("unexpected page size " +
+                              std::to_string(page_size));
+  }
+  AUTOCAT_ASSIGN_OR_RETURN(const uint32_t endian, r.ReadFixed32());
+  if (endian != kEndianProbe) {
+    return Status::NotSupported(
+        "store file written with a different byte order");
+  }
+  return ReadRegion(&r);
+}
+
+}  // namespace autocat

@@ -1,0 +1,112 @@
+#ifndef AUTOCAT_STORE_FORMAT_H_
+#define AUTOCAT_STORE_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace autocat {
+
+/// On-disk layout of a segment store file (little-endian throughout):
+///
+///   page 0          header: magic, version, page size, endianness probe,
+///                   catalog region reference (patched in last)
+///   pages 1..k      per-column regions, each starting on a page boundary:
+///                     - null bitmap (raw uint64 words; bit r = row r NULL)
+///                     - data (encoding per column type, see ColumnEncoding)
+///                     - for strings: dictionary offsets + blob
+///   tail            catalog (EncodeCatalog bytes), page-aligned
+///
+/// Raw regions (doubles, dictionary codes, null words) are page-aligned
+/// and therefore alignment-safe to expose as typed spans straight out of
+/// the mapping — the zero-copy read path. Varint-compressed int64 columns
+/// are decoded once at table-open into owned arrays; per-segment byte
+/// offsets let each 64 Ki-row segment decode independently (and give the
+/// fuzzer a self-contained unit).
+inline constexpr char kStoreMagic[8] = {'A', 'C', 'A', 'T',
+                                        'S', 'G', '0', '1'};
+inline constexpr uint32_t kStoreFormatVersion = 1;
+inline constexpr uint64_t kStorePageSize = 4096;
+/// Fixed row span of one segment (the unit of min/max zone metadata and
+/// of independent int64 decode).
+inline constexpr uint64_t kSegmentRows = 64 * 1024;
+/// Written as fixed32; reads back differently on a big-endian host, which
+/// the header check turns into a clean kNotSupported.
+inline constexpr uint32_t kEndianProbe = 0x01020304;
+
+/// Physical encoding of a column's data region.
+enum class ColumnEncoding : uint8_t {
+  /// Raw 8-byte doubles, one per row (zero-copy span).
+  kRawF64 = 0,
+  /// Per-segment delta + zigzag + varint int64 (decoded at open).
+  kVarintI64 = 1,
+  /// Raw uint32 dictionary codes, one per row (zero-copy span).
+  kDictCodes = 2,
+};
+
+/// A byte range within the store file.
+struct RegionRef {
+  uint64_t offset = 0;
+  uint64_t bytes = 0;
+};
+
+/// Zone metadata for one segment (up to kSegmentRows rows).
+/// `min_bits`/`max_bits` hold the extrema of the segment's non-NULL
+/// values in the column's physical domain — int64, double bit pattern, or
+/// dictionary code — and are meaningless when valid_count == 0.
+struct SegmentMeta {
+  /// Byte range within the column's data region (varint columns; raw
+  /// columns compute it from the row span).
+  uint64_t byte_offset = 0;
+  uint64_t byte_length = 0;
+  uint32_t row_count = 0;
+  uint64_t valid_count = 0;
+  uint64_t min_bits = 0;
+  uint64_t max_bits = 0;
+};
+
+struct ColumnMeta {
+  std::string name;
+  uint8_t value_type = 0;   // autocat::ValueType
+  uint8_t column_kind = 0;  // autocat::ColumnKind
+  uint8_t encoding = 0;     // ColumnEncoding
+  uint64_t null_count = 0;
+  RegionRef null_words;
+  RegionRef data;
+  // Strings only; dict_offsets holds (dict_count + 1) fixed64 entries.
+  uint64_t dict_count = 0;
+  RegionRef dict_offsets;
+  RegionRef dict_blob;
+  std::vector<SegmentMeta> segments;
+};
+
+struct TableMeta {
+  std::string name;
+  uint64_t num_rows = 0;
+  std::vector<ColumnMeta> columns;
+};
+
+struct StoreCatalog {
+  std::vector<TableMeta> tables;
+};
+
+/// Serializes the catalog (varint/length-prefixed; parse with
+/// DecodeCatalog).
+std::string EncodeCatalog(const StoreCatalog& catalog);
+
+/// Parses catalog bytes. Malformed input — truncation, overflowing
+/// counts, out-of-range enums — returns kParseError; counts are never
+/// trusted for allocation ahead of the bytes that back them.
+Result<StoreCatalog> DecodeCatalog(const char* data, size_t size);
+
+/// Serializes the fixed-size header (always < one page).
+std::string EncodeHeader(RegionRef catalog);
+
+/// Parses and validates the header; returns the catalog region.
+Result<RegionRef> DecodeHeader(const char* data, size_t size);
+
+}  // namespace autocat
+
+#endif  // AUTOCAT_STORE_FORMAT_H_

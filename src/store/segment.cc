@@ -1,0 +1,119 @@
+#include "store/segment.h"
+
+#include <cstring>
+
+#include "store/coding.h"
+
+namespace autocat {
+
+void EncodeInt64Segment(const int64_t* values, size_t n, std::string* out) {
+  int64_t prev = 0;
+  for (size_t i = 0; i < n; ++i) {
+    // First value encodes against an implicit 0, so encode and decode
+    // share one uniform delta chain.
+    const int64_t delta =
+        static_cast<int64_t>(static_cast<uint64_t>(values[i]) -
+                             static_cast<uint64_t>(prev));
+    AppendVarint64(ZigZagEncode(delta), out);
+    prev = values[i];
+  }
+}
+
+Status DecodeInt64Segment(const char* data, size_t size,
+                          size_t expected_rows, int64_t* out) {
+  // Hand-rolled varint loop rather than ByteReader: this decode runs for
+  // every row of every int64 column at store-open time, and the
+  // per-value Result<> round trip is the dominant cost of mapping a
+  // store. Error semantics match ByteReader::ReadVarint64 exactly
+  // (truncation, 10-byte overflow, >10-byte overlong).
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(data);
+  const uint8_t* const end = p + size;
+  uint64_t prev = 0;
+  for (size_t i = 0; i < expected_rows; ++i) {
+    uint64_t raw;
+    if (p != end && *p < 0x80) {
+      raw = *p++;  // one-byte fast path: sorted runs are mostly this
+    } else {
+      raw = 0;
+      int shift = 0;
+      for (;;) {
+        if (p == end) {
+          return Status::ParseError("truncated varint");
+        }
+        const uint8_t byte = *p++;
+        if (shift == 63 && byte > 1) {
+          return Status::ParseError("varint overflows 64 bits");
+        }
+        raw |= static_cast<uint64_t>(byte & 0x7f) << shift;
+        if ((byte & 0x80) == 0) {
+          break;
+        }
+        shift += 7;
+        if (shift > 63) {
+          return Status::ParseError("varint longer than 10 bytes");
+        }
+      }
+    }
+    // Wrapping add: the encoder produced the delta by wrapping
+    // subtraction, so any int64 round-trips exactly.
+    prev += static_cast<uint64_t>(ZigZagDecode(raw));
+    out[i] = static_cast<int64_t>(prev);
+  }
+  if (p != end) {
+    return Status::ParseError("trailing bytes after int64 segment");
+  }
+  return Status::OK();
+}
+
+void EncodeDict(const std::vector<std::string>& dict,
+                std::string* offsets_out, std::string* blob_out) {
+  uint64_t offset = 0;
+  AppendFixed64(0, offsets_out);
+  for (const std::string& s : dict) {
+    blob_out->append(s);
+    offset += s.size();
+    AppendFixed64(offset, offsets_out);
+  }
+}
+
+Result<std::vector<std::string>> DecodeDict(std::string_view offsets,
+                                            std::string_view blob,
+                                            uint64_t count) {
+  if (count > (uint64_t{1} << 32)) {
+    return Status::ParseError("dictionary count exceeds 32-bit code space");
+  }
+  if (offsets.size() != (count + 1) * 8) {
+    return Status::ParseError("dictionary offsets region holds " +
+                              std::to_string(offsets.size()) +
+                              " bytes, expected " +
+                              std::to_string((count + 1) * 8));
+  }
+  std::vector<std::string> dict;
+  dict.reserve(static_cast<size_t>(count));
+  uint64_t prev_off = 0;
+  std::memcpy(&prev_off, offsets.data(), 8);
+  if (prev_off != 0) {
+    return Status::ParseError("dictionary offsets must start at 0");
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t next_off = 0;
+    std::memcpy(&next_off, offsets.data() + (i + 1) * 8, 8);
+    if (next_off < prev_off || next_off > blob.size()) {
+      return Status::ParseError("dictionary offsets not monotone within "
+                                "the blob");
+    }
+    dict.emplace_back(blob.substr(static_cast<size_t>(prev_off),
+                                  static_cast<size_t>(next_off - prev_off)));
+    if (i > 0 && !(dict[static_cast<size_t>(i) - 1] < dict.back())) {
+      return Status::ParseError(
+          "dictionary not strictly ascending at code " + std::to_string(i));
+    }
+    prev_off = next_off;
+  }
+  if (prev_off != blob.size()) {
+    return Status::ParseError("dictionary blob has trailing bytes");
+  }
+  return dict;
+}
+
+}  // namespace autocat

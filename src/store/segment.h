@@ -1,0 +1,42 @@
+#ifndef AUTOCAT_STORE_SEGMENT_H_
+#define AUTOCAT_STORE_SEGMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace autocat {
+
+/// Segment-level codecs for the store's compressed columns. Like the
+/// coding layer, every decoder takes a (pointer, size) buffer and returns
+/// Status on malformed input — these are the fuzzer's main targets.
+
+/// Encodes `n` int64 values as one segment: the first value zigzag+varint
+/// as-is, each subsequent value as zigzag+varint of its delta to the
+/// previous one. Sorted or clustered runs (the bulk loader's output)
+/// collapse to 1–2 bytes per row.
+void EncodeInt64Segment(const int64_t* values, size_t n, std::string* out);
+
+/// Decodes exactly `expected_rows` values into `out[0..expected_rows)`.
+/// Fails (without writing past `out`) when the buffer is truncated,
+/// over-long, or a varint is malformed.
+Status DecodeInt64Segment(const char* data, size_t size,
+                          size_t expected_rows, int64_t* out);
+
+/// Encodes a sorted dictionary as (count + 1) fixed64 offsets plus a
+/// concatenated string blob.
+void EncodeDict(const std::vector<std::string>& dict,
+                std::string* offsets_out, std::string* blob_out);
+
+/// Decodes and validates a dictionary: offsets must be monotone within
+/// the blob and the strings strictly ascending (code order == value
+/// order is what the kernels' accept tables rely on).
+Result<std::vector<std::string>> DecodeDict(std::string_view offsets,
+                                            std::string_view blob,
+                                            uint64_t count);
+
+}  // namespace autocat
+
+#endif  // AUTOCAT_STORE_SEGMENT_H_

@@ -1,0 +1,426 @@
+#include "store/writer.h"
+
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "common/value.h"
+#include "store/coding.h"
+#include "store/mapped_file.h"
+#include "store/segment.h"
+
+namespace autocat {
+
+namespace {
+
+uint64_t DoubleBits(double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, 8);
+  return bits;
+}
+
+}  // namespace
+
+// A fully encoded table waiting for Finish() to place its regions.
+struct StoreWriter::PendingTable {
+  std::string name;
+  Schema schema;
+  uint64_t num_rows = 0;
+
+  struct Col {
+    std::vector<uint64_t> null_words;
+    uint64_t null_count = 0;
+    std::vector<SegmentMeta> segments;
+    std::string data_path;
+    uint64_t data_bytes = 0;
+    std::vector<std::string> dict;
+  };
+  std::vector<Col> cols;
+};
+
+// Per-column scratch while replaying the merged row stream.
+struct StoreWriter::ColumnEncoderState {
+  std::ofstream out;
+  // int64 columns buffer one segment before encoding it in one shot.
+  std::vector<int64_t> i64_buf;
+  uint64_t bytes_written = 0;
+  // Current segment accumulators.
+  uint32_t seg_rows = 0;
+  uint64_t seg_valid = 0;
+  bool has_extrema = false;
+  int64_t i64_min = 0, i64_max = 0;
+  double f64_min = 0, f64_max = 0;
+  uint32_t code_min = 0, code_max = 0;
+};
+
+StoreWriter::StoreWriter(std::string path, StoreWriterOptions options)
+    : path_(std::move(path)), options_(std::move(options)) {}
+
+StoreWriter::~StoreWriter() {
+  if (!finished_) {
+    // Abandoned writer: drop spill state (run files die with the sorter).
+    for (const auto& pending : pending_) {
+      for (const auto& col : pending->cols) {
+        std::error_code ec;
+        std::filesystem::remove(col.data_path, ec);
+      }
+    }
+    std::error_code ec;
+    std::filesystem::remove(options_.temp_dir, ec);
+  }
+}
+
+Result<std::unique_ptr<StoreWriter>> StoreWriter::Create(
+    std::string path, StoreWriterOptions options) {
+  if (path.empty()) {
+    return Status::InvalidArgument("store path must not be empty");
+  }
+  if (options.temp_dir.empty()) {
+    options.temp_dir = path + ".tmp";
+  }
+  return std::unique_ptr<StoreWriter>(
+      new StoreWriter(std::move(path), std::move(options)));
+}
+
+Status StoreWriter::BeginTable(const std::string& name,
+                               const Schema& schema) {
+  if (finished_) {
+    return Status::InvalidArgument("BeginTable after Finish");
+  }
+  if (current_ != nullptr) {
+    return Status::InvalidArgument("finish table '" + current_->name +
+                                   "' before starting '" + name + "'");
+  }
+  if (name.empty()) {
+    return Status::InvalidArgument("table name must not be empty");
+  }
+  if (schema.num_columns() == 0) {
+    return Status::InvalidArgument("table '" + name + "' has no columns");
+  }
+  for (const auto& pending : pending_) {
+    if (pending->name == name) {
+      return Status::AlreadyExists("table '" + name +
+                                   "' already written to this store");
+    }
+  }
+  SorterOptions sorter_options;
+  sorter_options.memory_budget_bytes = options_.memory_budget_bytes;
+  sorter_options.temp_dir = options_.temp_dir;
+  for (const std::string& col : options_.sort_columns) {
+    AUTOCAT_ASSIGN_OR_RETURN(const size_t idx, schema.ColumnIndex(col));
+    sorter_options.sort_columns.push_back(idx);
+  }
+  current_ = std::make_unique<PendingTable>();
+  current_->name = name;
+  current_->schema = schema;
+  current_->cols.resize(schema.num_columns());
+  sorter_ = std::make_unique<ExternalRowSorter>(schema,
+                                                std::move(sorter_options));
+  dict_builders_.assign(schema.num_columns(), {});
+  return Status::OK();
+}
+
+Status StoreWriter::Append(Row row) {
+  if (current_ == nullptr) {
+    return Status::InvalidArgument("Append outside BeginTable/FinishTable");
+  }
+  AUTOCAT_RETURN_IF_ERROR(CoerceRowToSchema(&row, current_->schema));
+  for (size_t c = 0; c < row.size(); ++c) {
+    if (current_->schema.column(c).type == ValueType::kString &&
+        row[c].is_string()) {
+      dict_builders_[c].emplace(row[c].string_value(), 0);
+    }
+  }
+  ++stats_.rows;
+  return sorter_->AddRow(row);
+}
+
+Status StoreWriter::FinishTable() {
+  if (current_ == nullptr) {
+    return Status::InvalidArgument("FinishTable without BeginTable");
+  }
+  std::unique_ptr<PendingTable> pending = std::move(current_);
+  const Status status = EncodeTable(pending.get());
+  AUTOCAT_RETURN_IF_ERROR(sorter_->Cleanup());
+  sorter_.reset();
+  dict_builders_.clear();
+  AUTOCAT_RETURN_IF_ERROR(status);
+  pending_.push_back(std::move(pending));
+  return Status::OK();
+}
+
+Status StoreWriter::EncodeTable(PendingTable* t) {
+  AUTOCAT_RETURN_IF_ERROR(sorter_->Finish());
+  stats_.spilled_runs += sorter_->num_runs();
+  t->num_rows = sorter_->num_rows();
+  const size_t ncols = t->schema.num_columns();
+  const uint64_t words = (t->num_rows + 63) / 64;
+
+  std::error_code ec;
+  std::filesystem::create_directories(options_.temp_dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create temp dir '" + options_.temp_dir +
+                           "': " + ec.message());
+  }
+
+  std::vector<ColumnEncoderState> enc(ncols);
+  for (size_t c = 0; c < ncols; ++c) {
+    PendingTable::Col& col = t->cols[c];
+    col.null_words.assign(words, 0);
+    if (t->schema.column(c).type == ValueType::kString) {
+      uint32_t code = 0;
+      col.dict.reserve(dict_builders_[c].size());
+      for (auto& [s, assigned] : dict_builders_[c]) {
+        assigned = code++;
+        col.dict.push_back(s);
+      }
+      if (col.dict.size() > (uint64_t{1} << 32)) {
+        return Status::NotSupported("dictionary for column '" +
+                                    t->schema.column(c).name +
+                                    "' exceeds 32-bit code space");
+      }
+    }
+    col.data_path = options_.temp_dir + "/" + t->name + "_col" +
+                    std::to_string(c) + ".dat";
+    enc[c].out.open(col.data_path, std::ios::binary | std::ios::trunc);
+    if (!enc[c].out) {
+      return Status::IOError("cannot create column spill file '" +
+                             col.data_path + "'");
+    }
+  }
+
+  // Flushes column c's current segment: encodes buffered int64 data,
+  // records the segment's byte span and zone metadata.
+  auto flush_segment = [&](size_t c) -> Status {
+    ColumnEncoderState& e = enc[c];
+    if (e.seg_rows == 0) {
+      return Status::OK();
+    }
+    PendingTable::Col& col = t->cols[c];
+    const ValueType type = t->schema.column(c).type;
+    SegmentMeta seg;
+    seg.row_count = e.seg_rows;
+    seg.valid_count = e.seg_valid;
+    seg.byte_offset = e.bytes_written;
+    if (type == ValueType::kInt64) {
+      std::string bytes;
+      EncodeInt64Segment(e.i64_buf.data(), e.i64_buf.size(), &bytes);
+      e.out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+      seg.byte_length = bytes.size();
+      seg.min_bits = static_cast<uint64_t>(e.i64_min);
+      seg.max_bits = static_cast<uint64_t>(e.i64_max);
+      e.i64_buf.clear();
+    } else if (type == ValueType::kDouble) {
+      seg.byte_length = uint64_t{8} * e.seg_rows;
+      seg.min_bits = DoubleBits(e.f64_min);
+      seg.max_bits = DoubleBits(e.f64_max);
+    } else {
+      seg.byte_length = uint64_t{4} * e.seg_rows;
+      seg.min_bits = e.code_min;
+      seg.max_bits = e.code_max;
+    }
+    e.bytes_written += seg.byte_length;
+    col.segments.push_back(seg);
+    e.seg_rows = 0;
+    e.seg_valid = 0;
+    e.has_extrema = false;
+    return Status::OK();
+  };
+
+  AUTOCAT_ASSIGN_OR_RETURN(ExternalRowSorter::Stream stream,
+                           sorter_->OpenStream());
+  Row row;
+  for (uint64_t r = 0;; ++r) {
+    AUTOCAT_ASSIGN_OR_RETURN(const bool more, stream.Next(&row));
+    if (!more) {
+      break;
+    }
+    for (size_t c = 0; c < ncols; ++c) {
+      ColumnEncoderState& e = enc[c];
+      PendingTable::Col& col = t->cols[c];
+      const Value& v = row[c];
+      const ValueType type = t->schema.column(c).type;
+      const bool null = v.is_null();
+      if (null) {
+        col.null_words[r >> 6] |= uint64_t{1} << (r & 63);
+        ++col.null_count;
+      } else {
+        ++e.seg_valid;
+      }
+      if (type == ValueType::kInt64) {
+        // NULL slots encode the same in-range default (0) the in-memory
+        // shadow uses, so kernels see identical arrays either way.
+        const int64_t x = null ? 0 : v.int64_value();
+        e.i64_buf.push_back(x);
+        if (!null) {
+          if (!e.has_extrema || x < e.i64_min) e.i64_min = x;
+          if (!e.has_extrema || x > e.i64_max) e.i64_max = x;
+          e.has_extrema = true;
+        }
+      } else if (type == ValueType::kDouble) {
+        const double x = null ? 0.0 : v.double_value();
+        char buf[8];
+        std::memcpy(buf, &x, 8);
+        e.out.write(buf, 8);
+        // NaNs are excluded from zone extrema (they order nowhere); a
+        // segment whose valid cells are all NaN keeps extrema of 0.
+        if (!null && !std::isnan(x)) {
+          if (!e.has_extrema || x < e.f64_min) e.f64_min = x;
+          if (!e.has_extrema || x > e.f64_max) e.f64_max = x;
+          e.has_extrema = true;
+        }
+      } else {
+        uint32_t code = 0;
+        if (!null) {
+          code = dict_builders_[c].find(v.string_value())->second;
+        }
+        char buf[4];
+        std::memcpy(buf, &code, 4);
+        e.out.write(buf, 4);
+        if (!null) {
+          if (!e.has_extrema || code < e.code_min) e.code_min = code;
+          if (!e.has_extrema || code > e.code_max) e.code_max = code;
+          e.has_extrema = true;
+        }
+      }
+      if (++e.seg_rows == kSegmentRows) {
+        AUTOCAT_RETURN_IF_ERROR(flush_segment(c));
+      }
+    }
+  }
+  for (size_t c = 0; c < ncols; ++c) {
+    AUTOCAT_RETURN_IF_ERROR(flush_segment(c));
+    t->cols[c].data_bytes = enc[c].bytes_written;
+    enc[c].out.flush();
+    if (!enc[c].out) {
+      return Status::IOError("cannot write column spill file '" +
+                             t->cols[c].data_path + "'");
+    }
+    enc[c].out.close();
+  }
+  return Status::OK();
+}
+
+Status StoreWriter::Finish() {
+  if (finished_) {
+    return Status::InvalidArgument("Finish called twice");
+  }
+  if (current_ != nullptr) {
+    return Status::InvalidArgument("finish table '" + current_->name +
+                                   "' before finishing the store");
+  }
+  AUTOCAT_ASSIGN_OR_RETURN(std::unique_ptr<MappedFile> file,
+                           MappedFile::Create(path_));
+  // Page 0: header placeholder, patched after the catalog lands.
+  {
+    const std::string zeros(kStorePageSize, '\0');
+    AUTOCAT_RETURN_IF_ERROR(file->Append(zeros.data(), zeros.size()));
+  }
+
+  // Appends a spill file's contents in chunks, returning its region.
+  auto append_file = [&](const std::string& path) -> Result<RegionRef> {
+    AUTOCAT_RETURN_IF_ERROR(file->PadTo(kStorePageSize));
+    RegionRef region;
+    region.offset = file->size();
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      return Status::IOError("cannot reopen column spill file '" + path +
+                             "'");
+    }
+    std::string buf(4ull << 20, '\0');
+    while (in) {
+      in.read(buf.data(), static_cast<std::streamsize>(buf.size()));
+      const std::streamsize got = in.gcount();
+      if (got > 0) {
+        AUTOCAT_RETURN_IF_ERROR(
+            file->Append(buf.data(), static_cast<size_t>(got)));
+      }
+    }
+    region.bytes = file->size() - region.offset;
+    return region;
+  };
+
+  auto append_bytes = [&](const void* data, size_t n) -> Result<RegionRef> {
+    AUTOCAT_RETURN_IF_ERROR(file->PadTo(kStorePageSize));
+    RegionRef region;
+    region.offset = file->size();
+    region.bytes = n;
+    AUTOCAT_RETURN_IF_ERROR(file->Append(data, n));
+    return region;
+  };
+
+  StoreCatalog catalog;
+  for (const auto& pending : pending_) {
+    TableMeta table;
+    table.name = pending->name;
+    table.num_rows = pending->num_rows;
+    for (size_t c = 0; c < pending->cols.size(); ++c) {
+      const PendingTable::Col& src = pending->cols[c];
+      const ColumnDef& def = pending->schema.column(c);
+      ColumnMeta col;
+      col.name = def.name;
+      col.value_type = static_cast<uint8_t>(def.type);
+      col.column_kind = static_cast<uint8_t>(def.kind);
+      switch (def.type) {
+        case ValueType::kInt64:
+          col.encoding = static_cast<uint8_t>(ColumnEncoding::kVarintI64);
+          break;
+        case ValueType::kDouble:
+          col.encoding = static_cast<uint8_t>(ColumnEncoding::kRawF64);
+          break;
+        default:
+          col.encoding = static_cast<uint8_t>(ColumnEncoding::kDictCodes);
+          break;
+      }
+      col.null_count = src.null_count;
+      col.segments = src.segments;
+      AUTOCAT_ASSIGN_OR_RETURN(
+          col.null_words,
+          append_bytes(src.null_words.data(), src.null_words.size() * 8));
+      AUTOCAT_ASSIGN_OR_RETURN(col.data, append_file(src.data_path));
+      if (col.data.bytes != src.data_bytes) {
+        return Status::Internal("column spill file '" + src.data_path +
+                                "' changed size");
+      }
+      if (def.type == ValueType::kString) {
+        std::string offsets;
+        std::string blob;
+        EncodeDict(src.dict, &offsets, &blob);
+        col.dict_count = src.dict.size();
+        AUTOCAT_ASSIGN_OR_RETURN(col.dict_offsets,
+                                 append_bytes(offsets.data(),
+                                              offsets.size()));
+        AUTOCAT_ASSIGN_OR_RETURN(col.dict_blob,
+                                 append_bytes(blob.data(), blob.size()));
+      }
+      table.columns.push_back(std::move(col));
+    }
+    catalog.tables.push_back(std::move(table));
+  }
+
+  const std::string catalog_bytes = EncodeCatalog(catalog);
+  AUTOCAT_ASSIGN_OR_RETURN(
+      const RegionRef catalog_region,
+      append_bytes(catalog_bytes.data(), catalog_bytes.size()));
+  const std::string header = EncodeHeader(catalog_region);
+  AUTOCAT_RETURN_IF_ERROR(file->WriteAt(0, header.data(), header.size()));
+  AUTOCAT_RETURN_IF_ERROR(file->Finish());
+  stats_.file_bytes = file->size();
+
+  // Spill files served their purpose.
+  for (const auto& pending : pending_) {
+    for (const auto& col : pending->cols) {
+      std::error_code ec;
+      std::filesystem::remove(col.data_path, ec);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::remove(options_.temp_dir, ec);
+  finished_ = true;
+  return Status::OK();
+}
+
+}  // namespace autocat

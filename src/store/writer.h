@@ -1,0 +1,105 @@
+#ifndef AUTOCAT_STORE_WRITER_H_
+#define AUTOCAT_STORE_WRITER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/schema.h"
+#include "storage/table.h"
+#include "store/format.h"
+#include "store/sorter.h"
+
+namespace autocat {
+
+struct StoreWriterOptions {
+  /// Budget for the external sorter's in-memory chunk. Everything else
+  /// the writer holds is small relative to the data: null bitmaps
+  /// (rows/8 bytes per column), per-segment metadata, and the string
+  /// dictionaries (which must fit in memory — the homes domains are tiny;
+  /// a pathological all-distinct string column would not be, and is out
+  /// of scope for this format).
+  size_t memory_budget_bytes = 64ull << 20;
+  /// Column names to sort each table by (Value order, ties keep input
+  /// order). Empty preserves input order — required when a bit-identical
+  /// twin of an in-memory table is wanted.
+  std::vector<std::string> sort_columns;
+  /// Spill directory; defaults to "<path>.tmp".
+  std::string temp_dir;
+};
+
+/// Streaming bulk loader for a segment store file. Usage:
+///
+///   auto writer = StoreWriter::Create(path, options);
+///   writer->BeginTable("homes", schema);
+///   for (...) writer->Append(row);      // spills beyond the budget
+///   writer->FinishTable();              // dictionaries + encode columns
+///   writer->Finish();                   // assemble file, catalog, header
+///
+/// Rows stream through an ExternalRowSorter (serialized spill runs), so
+/// peak memory stays near the budget regardless of table size. After the
+/// last Append the merged run stream is replayed once, encoding every
+/// column into a spill file; Finish() concatenates those into page-aligned
+/// regions of the final mapped file and writes the catalog.
+class StoreWriter {
+ public:
+  static Result<std::unique_ptr<StoreWriter>> Create(
+      std::string path, StoreWriterOptions options);
+
+  ~StoreWriter();
+  StoreWriter(const StoreWriter&) = delete;
+  StoreWriter& operator=(const StoreWriter&) = delete;
+
+  /// Starts a table. Finish the previous one first.
+  Status BeginTable(const std::string& name, const Schema& schema);
+
+  /// Validates `row` against the schema exactly as Table::AppendRow does
+  /// (NULL anywhere, lossless numeric coercion) and streams it in.
+  Status Append(Row row);
+
+  /// Encodes the current table's columns (two scans of the spilled rows
+  /// overall: dictionaries are collected during Append, so this replays
+  /// the merged stream once).
+  Status FinishTable();
+
+  /// Assembles the store file. No further appends afterwards.
+  Status Finish();
+
+  struct Stats {
+    uint64_t rows = 0;
+    uint64_t spilled_runs = 0;
+    uint64_t file_bytes = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  StoreWriter(std::string path, StoreWriterOptions options);
+
+  // Per-column encode state while replaying the merged stream.
+  struct ColumnEncoderState;
+  // A fully encoded table waiting for Finish() to place its regions.
+  struct PendingTable;
+
+  Status EncodeTable(PendingTable* pending);
+
+  std::string path_;
+  StoreWriterOptions options_;
+  bool finished_ = false;
+
+  // In-flight table (between BeginTable and FinishTable).
+  std::unique_ptr<PendingTable> current_;
+  std::unique_ptr<ExternalRowSorter> sorter_;
+  // Sorted-unique strings per string column, collected during Append;
+  // codes assigned (sorted order) at FinishTable.
+  std::vector<std::map<std::string, uint32_t>> dict_builders_;
+
+  std::vector<std::unique_ptr<PendingTable>> pending_;
+  Stats stats_;
+};
+
+}  // namespace autocat
+
+#endif  // AUTOCAT_STORE_WRITER_H_

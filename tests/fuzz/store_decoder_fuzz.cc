@@ -1,0 +1,170 @@
+// libFuzzer harness for the segment store's decode surface: varint /
+// fixed-width readers, int64 segment decode, dictionary decode, catalog
+// decode, and header decode. The store's safety contract is that every
+// decoder consumes attacker-controlled (pointer, size) buffers and
+// reports malformed input through Status — never UB, never a count
+// trusted for allocation ahead of the bytes that back it. The harness
+// asserts behavioral properties on top of "no crash":
+//
+//   1. Every decoder terminates with ok() or an error Status.
+//   2. A dictionary that decodes must be strictly ascending (the kernels'
+//      accept tables index it by code and rely on code order == value
+//      order).
+//   3. A catalog that decodes must re-encode and re-decode to a fixed
+//      point (the writer emits canonical bytes, so decode(encode(x)) can
+//      never fail for a decodable x).
+//   4. Int64 segment decode writes exactly `expected_rows` values or
+//      nothing observable — it never reads or writes out of bounds
+//      (enforced by ASan on the exact-sized output buffer).
+//
+// The first input byte selects the target decoder; the rest is the
+// payload. Built as a libFuzzer target (autocat_store_fuzzer) under
+// clang; always linked with fuzz_replay_main.cc into
+// autocat_store_fuzz_replay, which replays tests/fuzz/store_corpus
+// under plain ctest.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "store/coding.h"
+#include "store/format.h"
+#include "store/segment.h"
+
+namespace {
+
+using autocat::ByteReader;
+using autocat::DecodeCatalog;
+using autocat::DecodeDict;
+using autocat::DecodeHeader;
+using autocat::DecodeInt64Segment;
+using autocat::EncodeCatalog;
+using autocat::Result;
+using autocat::StoreCatalog;
+
+void FuzzByteReader(const char* data, size_t size) {
+  ByteReader reader(data, size);
+  // Walk the buffer with a rotating schedule of reads until exhausted or
+  // an error; every outcome must be a clean Status.
+  size_t step = 0;
+  while (!reader.empty()) {
+    bool ok = false;
+    switch (step++ % 5) {
+      case 0:
+        ok = reader.ReadVarint64().ok();
+        break;
+      case 1:
+        ok = reader.ReadFixed32().ok();
+        break;
+      case 2:
+        ok = reader.ReadFixed64().ok();
+        break;
+      case 3:
+        ok = reader.ReadLengthPrefixed().ok();
+        break;
+      default:
+        ok = reader.Skip(1).ok();
+        break;
+    }
+    if (!ok) {
+      break;
+    }
+  }
+}
+
+void FuzzInt64Segment(const char* data, size_t size) {
+  if (size == 0) {
+    return;
+  }
+  // The first payload byte picks the expected row count, so the fuzzer
+  // explores truncated/overlong buffers against many row counts. The
+  // output buffer is exactly expected_rows long: any out-of-bounds write
+  // trips ASan.
+  const size_t expected_rows = static_cast<uint8_t>(data[0]) + 1;
+  std::vector<int64_t> out(expected_rows);
+  (void)DecodeInt64Segment(data + 1, size - 1, expected_rows, out.data());
+}
+
+void FuzzDict(const char* data, size_t size) {
+  if (size < 2) {
+    return;
+  }
+  // Split point and count both attacker-chosen; clamp the split to the
+  // payload so the harness itself never indexes out of range.
+  const size_t split =
+      std::min(static_cast<uint8_t>(data[0]) * size / 256, size - 2);
+  const uint64_t count = static_cast<uint8_t>(data[1]);
+  const std::string_view payload(data + 2, size - 2);
+  const std::string_view offsets = payload.substr(0, split);
+  const std::string_view blob = payload.substr(split);
+  const Result<std::vector<std::string>> dict =
+      DecodeDict(offsets, blob, count);
+  if (dict.ok()) {
+    const std::vector<std::string>& d = dict.value();
+    for (size_t i = 1; i < d.size(); ++i) {
+      if (!(d[i - 1] < d[i])) {
+        std::fprintf(stderr,
+                     "store fuzz: decoded dictionary not strictly "
+                     "ascending at %zu\n",
+                     i);
+        std::abort();  // autocat-lint: allow(banned-call) — fuzz property
+      }
+    }
+  }
+}
+
+void FuzzCatalog(const char* data, size_t size) {
+  const Result<StoreCatalog> catalog = DecodeCatalog(data, size);
+  if (!catalog.ok()) {
+    return;
+  }
+  // Fixed point: canonical re-encode must decode cleanly.
+  const std::string reencoded = EncodeCatalog(catalog.value());
+  const Result<StoreCatalog> again =
+      DecodeCatalog(reencoded.data(), reencoded.size());
+  if (!again.ok()) {
+    std::fprintf(stderr, "store fuzz: re-encoded catalog rejected: %s\n",
+                 again.status().ToString().c_str());
+    std::abort();  // autocat-lint: allow(banned-call) — fuzz property
+  }
+  if (again.value().tables.size() != catalog.value().tables.size()) {
+    std::fprintf(stderr, "store fuzz: catalog round trip lost tables\n");
+    std::abort();  // autocat-lint: allow(banned-call) — fuzz property
+  }
+}
+
+void FuzzHeader(const char* data, size_t size) {
+  (void)DecodeHeader(data, size);
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size == 0) {
+    return 0;
+  }
+  const char* payload = reinterpret_cast<const char*>(data) + 1;
+  const size_t payload_size = size - 1;
+  switch (data[0] % 5) {
+    case 0:
+      FuzzByteReader(payload, payload_size);
+      break;
+    case 1:
+      FuzzInt64Segment(payload, payload_size);
+      break;
+    case 2:
+      FuzzDict(payload, payload_size);
+      break;
+    case 3:
+      FuzzCatalog(payload, payload_size);
+      break;
+    default:
+      FuzzHeader(payload, payload_size);
+      break;
+  }
+  return 0;
+}

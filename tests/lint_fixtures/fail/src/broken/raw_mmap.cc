@@ -1,0 +1,23 @@
+// Fixture: raw file-mapping syscalls outside src/store/. Exactly four
+// raw-mmap violations — the suppressed call and the member/prefixed
+// lookalikes must not count.
+
+void MapIt(const char* path) {
+  int fd = open(path, 0);
+  (void)ftruncate(fd, 4096);
+  void* base = mmap(nullptr, 4096, 0, 0, fd, 0);
+  munmap(base, 4096);
+  // Suppressed: does not count.
+  msync(base, 4096, 0);  // autocat-lint: allow(raw-mmap)
+}
+
+void Lookalikes() {
+  // Member opens, fopen, is_open, and capitalized Open are all fine.
+  stream.open("x");
+  file->open("y");
+  (void)fopen("z", "r");
+  if (stream.is_open()) {
+  }
+  (void)MappedFile::Open("w");
+  // mmap( inside a comment or string never counts: "mmap(never)".
+}

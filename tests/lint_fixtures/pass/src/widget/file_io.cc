@@ -1,0 +1,22 @@
+// Fixture: file I/O idioms outside src/store/ that the raw-mmap rule
+// must accept — iostream member opens, fopen, is_open probes, the
+// capitalized MappedFile::Open entry point, and mentions in comments and
+// strings.
+
+void ReadConfig(const char* path) {
+  std::ifstream in;
+  in.open(path);
+  if (!in.is_open()) {
+    return;
+  }
+}
+
+void WriteLog(Logger* logger) {
+  logger->open("log.txt");
+  FILE* f = fopen("raw.txt", "w");
+  (void)f;
+  // Raw mmap(2) and ftruncate(2) live behind MappedFile::Open.
+  const char* doc = "call mmap( through store/mapped_file.h";
+  (void)doc;
+  (void)MappedFile::Open("homes.store");
+}

@@ -106,6 +106,52 @@ TEST(BannedCallRuleTest, SuppressionCommentIsHonored) {
   EXPECT_TRUE(CheckBannedCalls("src/core/foo.cc", content).empty());
 }
 
+TEST(RawMmapRuleTest, FlagsRawSyscallsOutsideStore) {
+  const std::string content =
+      "int fd = open(path, O_RDWR);\n"
+      "ftruncate(fd, 4096);\n"
+      "void* base = mmap(nullptr, n, prot, flags, fd, 0);\n"
+      "msync(base, n, MS_SYNC);\n"
+      "munmap(base, n);\n"
+      "::open(path, O_RDONLY);\n";
+  const auto issues = CheckRawMmap("src/exec/foo.cc", content);
+  EXPECT_EQ(issues.size(), 6u);
+  ASSERT_FALSE(issues.empty());
+  EXPECT_EQ(issues[0].rule, "raw-mmap");
+  EXPECT_NE(issues[0].message.find("MappedFile"), std::string::npos);
+}
+
+TEST(RawMmapRuleTest, ExemptsOnlyTheStoreTree) {
+  const std::string content = "void* base = mmap(0, n, 0, 0, fd, 0);\n";
+  EXPECT_TRUE(CheckRawMmap("src/store/mapped_file.cc", content).empty());
+  EXPECT_TRUE(CheckRawMmap("src/store/store.cc", content).empty());
+  EXPECT_FALSE(CheckRawMmap("src/storage/table.cc", content).empty());
+  EXPECT_FALSE(CheckRawMmap("tools/loadgen.cc", content).empty());
+}
+
+TEST(RawMmapRuleTest, DoesNotFlagMemberOpensOrLookalikes) {
+  const std::string content =
+      "stream.open(path);\n"
+      "file->open(path);\n"
+      "if (stream.is_open()) {\n"
+      "FILE* f = fopen(path, \"r\");\n"
+      "auto file = MappedFile::Open(path);\n"
+      "freopen(path, \"r\", stdin);\n"
+      "reopen(path);\n"
+      "my::open(path);\n";
+  EXPECT_TRUE(CheckRawMmap("src/exec/foo.cc", content).empty());
+}
+
+TEST(RawMmapRuleTest, IgnoresCommentsStringsAndSuppressions) {
+  const std::string content =
+      "// mmap( the file lazily\n"
+      "/* ftruncate( grows it */\n"
+      "const char* s = \"open(2)\";\n"
+      "void* b = mmap(0, n, 0, 0, fd, 0);  "
+      "// autocat-lint: allow(raw-mmap)\n";
+  EXPECT_TRUE(CheckRawMmap("src/exec/foo.cc", content).empty());
+}
+
 TEST(RawThreadRuleTest, FlagsThreadUsesOutsideThreadPool) {
   const std::string content =
       "#include <thread>\n"
@@ -513,6 +559,7 @@ TEST(LintFixtureTest, PassTreeLintsClean) {
                                                "shard.mu", "mu_"};
   ASSERT_TRUE(LintFiles(root,
                         {"src/widget/widget.h", "src/widget/widget.cc",
+                         "src/widget/file_io.cc",
                          "src/serve/ordered.cc",
                          "src/serve/annotated_sync.h",
                          "src/serve/raii_lock.cc",
@@ -536,6 +583,7 @@ TEST(LintFixtureTest, FailTreeTripsEveryRule) {
                         {"src/broken/wrong_guard.h", "src/broken/banned.cc",
                          "src/broken/dropped.cc",
                          "src/broken/raw_thread.cc",
+                         "src/broken/raw_mmap.cc",
                          "src/serve/unordered.cc",
                          "src/serve/unannotated_sync.cc",
                          "src/serve/manual_lock.cc",
@@ -548,6 +596,7 @@ TEST(LintFixtureTest, FailTreeTripsEveryRule) {
   EXPECT_TRUE(HasRule(issues, "banned-call"));
   EXPECT_TRUE(HasRule(issues, "dropped-status"));
   EXPECT_TRUE(HasRule(issues, "raw-thread"));
+  EXPECT_TRUE(HasRule(issues, "raw-mmap"));
   EXPECT_TRUE(HasRule(issues, "unordered-container"));
   EXPECT_TRUE(HasRule(issues, "unannotated-sync"));
   EXPECT_TRUE(HasRule(issues, "manual-lock"));
@@ -572,6 +621,13 @@ TEST(LintFixtureTest, FailTreeTripsEveryRule) {
         return i.rule == "raw-thread";
       });
   EXPECT_EQ(raw, 2);
+  // raw_mmap.cc carries exactly four raw syscalls (the suppressed msync
+  // and the member/prefixed lookalikes don't count).
+  const auto mmapped =
+      std::count_if(issues.begin(), issues.end(), [](const LintIssue& i) {
+        return i.rule == "raw-mmap";
+      });
+  EXPECT_EQ(mmapped, 4);
   // serve/unordered.cc carries exactly three hash-container uses (the
   // suppressed one and the comment/string mentions don't count).
   const auto unordered =

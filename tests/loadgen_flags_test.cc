@@ -125,13 +125,31 @@ TEST(LoadgenFlagsTest, ScenarioAndFileAreMutuallyExclusive) {
   EXPECT_EQ(both.status().code(), StatusCode::kInvalidArgument);
 }
 
+TEST(LoadgenFlagsTest, StoreFlag) {
+  EXPECT_TRUE(Parse({}).value().store.empty());
+  const auto config = Parse({"--store=/tmp/homes.store"});
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->store, "/tmp/homes.store");
+
+  // An empty path is a configuration error, not a silent default.
+  const auto empty = Parse({"--store="});
+  ASSERT_FALSE(empty.ok());
+  EXPECT_EQ(empty.status().code(), StatusCode::kInvalidArgument);
+
+  // Store mode is legacy-replay only.
+  const auto with_scenario =
+      Parse({"--store=/tmp/h.store", "--scenario=steady"});
+  ASSERT_FALSE(with_scenario.ok());
+  EXPECT_EQ(with_scenario.status().code(), StatusCode::kInvalidArgument);
+}
+
 TEST(LoadgenFlagsTest, UsageMentionsEveryFlag) {
   const std::string usage = LoadgenUsage("loadgen");
   for (const char* flag :
        {"--homes", "--queries", "--requests", "--signatures", "--qps",
         "--threads", "--deadline-ms", "--cache-mb", "--seed",
-        "--bypass-cache", "--scenario", "--scenario-file", "--adaptive",
-        "--adapt-every", "--paced"}) {
+        "--bypass-cache", "--store", "--scenario", "--scenario-file",
+        "--adaptive", "--adapt-every", "--paced"}) {
     EXPECT_NE(usage.find(flag), std::string::npos) << flag;
   }
 }

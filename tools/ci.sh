@@ -15,7 +15,7 @@
 #      when the toolchain is absent (the ctest gates skip the same way
 #      via exit code 77); the lint stage always runs.
 #
-# Usage: tools/ci.sh [--fast|--serve|--bench-smoke|--workload|--analyze]
+# Usage: tools/ci.sh [--fast|--serve|--bench-smoke|--workload|--store|--analyze]
 #   --fast   run only the Release leg (useful as a pre-push smoke test)
 #   --serve  run only the serving-layer suite (src/serve/ + histogram)
 #            under ASan and TSan — the targeted gate for cache/admission
@@ -34,6 +34,13 @@
 #            scenario benchmark at --smoke sizes — the targeted gate for
 #            workload-synthesis and adaptive-serving work. The TSan pass
 #            of this leg also runs in the default matrix.
+#   --store  run the persistent segment-store suite (coding/segment
+#            decoders, mapped file + buffer manager, external-sort
+#            writer, corruption rejection, the store-vs-memory
+#            equivalence gate, simgen flag parsing, and the decoder
+#            fuzz-corpus replay) in Release and under ASan and TSan —
+#            the targeted gate for on-disk-format work. The ASan and
+#            TSan passes of this leg also run in the default matrix.
 #   --analyze
 #            run only the static-analysis leg — the targeted gate for
 #            concurrency-discipline work (DESIGN.md section 11)
@@ -46,6 +53,7 @@ FAST=0
 SERVE=0
 BENCH_SMOKE=0
 WORKLOAD=0
+STORE=0
 ANALYZE=0
 if [[ "${1:-}" == "--fast" ]]; then
   FAST=1
@@ -55,6 +63,8 @@ elif [[ "${1:-}" == "--bench-smoke" ]]; then
   BENCH_SMOKE=1
 elif [[ "${1:-}" == "--workload" ]]; then
   WORKLOAD=1
+elif [[ "${1:-}" == "--store" ]]; then
+  STORE=1
 elif [[ "${1:-}" == "--analyze" ]]; then
   ANALYZE=1
 fi
@@ -97,6 +107,25 @@ workload_leg() {
   echo "==== [workload/$name] bench_workload_scenarios --smoke ===="
   "$ROOT/$dir/bench/bench_workload_scenarios" --smoke \
     --benchmark_min_time=0.01
+}
+
+# The segment-store gate: every Store* suite in tests/store_test.cc and
+# the store-vs-memory equivalence tests, the strict simgen flag parser,
+# and the decoder fuzz corpus replayed as a plain ctest entry.
+STORE_FILTER='^(StoreCodingTest|StoreSegmentTest|StoreMappedFileTest|StoreBufferManagerTest|StoreSorterTest|StoreWriterTest|StoreRoundTripTest|StoreCorruptionTest|StoreEquivalenceTest|SimgenFlagsTest)\.|^store_fuzz_corpus_replay$'
+
+store_leg() {
+  local name="$1" dir="$2"
+  shift 2
+  echo "==== [store/$name] configure ===="
+  cmake -B "$ROOT/$dir" -S "$ROOT" "$@"
+  echo "==== [store/$name] build ===="
+  cmake --build "$ROOT/$dir" -j "$JOBS" \
+    --target autocat_store_tests autocat_tooling_tests \
+             autocat_store_fuzz_replay
+  echo "==== [store/$name] ctest ===="
+  (cd "$ROOT/$dir" && ctest --output-on-failure -j "$JOBS" \
+    -R "$STORE_FILTER")
 }
 
 bench_smoke_leg() {
@@ -176,6 +205,16 @@ if [[ "$WORKLOAD" == "1" ]]; then
   exit 0
 fi
 
+if [[ "$STORE" == "1" ]]; then
+  store_leg release build-ci-release -DCMAKE_BUILD_TYPE=Release
+  store_leg asan build-ci-asan \
+    -DCMAKE_BUILD_TYPE=Debug -DAUTOCAT_SANITIZE=address
+  store_leg tsan build-ci-tsan \
+    -DCMAKE_BUILD_TYPE=Debug -DAUTOCAT_SANITIZE=thread
+  echo "==== store legs passed ===="
+  exit 0
+fi
+
 if [[ "$SERVE" == "1" ]]; then
   serve_leg asan build-ci-asan \
     -DCMAKE_BUILD_TYPE=Debug -DAUTOCAT_SANITIZE=address
@@ -210,6 +249,13 @@ if [[ "$FAST" == "0" ]]; then
   # benchmark under TSan (threaded harness replay the unit legs don't
   # exercise through the benchmark driver).
   workload_leg tsan build-ci-tsan \
+    -DCMAKE_BUILD_TYPE=Debug -DAUTOCAT_SANITIZE=thread
+  # The store gate's sanitizer passes (the full ASan/TSan legs above ran
+  # the suites already; these reuse the build dirs and pin the filter so
+  # a future split of the full matrix keeps the store gate explicit).
+  store_leg asan build-ci-asan \
+    -DCMAKE_BUILD_TYPE=Debug -DAUTOCAT_SANITIZE=address
+  store_leg tsan build-ci-tsan \
     -DCMAKE_BUILD_TYPE=Debug -DAUTOCAT_SANITIZE=thread
 fi
 

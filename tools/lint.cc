@@ -317,6 +317,40 @@ std::vector<LintIssue> CheckRawThread(const std::string& rel_path,
   return issues;
 }
 
+std::vector<LintIssue> CheckRawMmap(const std::string& rel_path,
+                                    const std::string& content) {
+  std::vector<LintIssue> issues;
+  if (StartsWith(rel_path, "src/store/")) {
+    return issues;  // MappedFile/BufferManager own the mapping lifecycle
+  }
+  // Call-shaped and word-bounded: the preceding character may not be an
+  // identifier character, `.`, `>` (member access), or `:` (namespace
+  // qualification other than the leading `::` the group itself eats), so
+  // `f.open(`, `f->open(`, `fopen(`, and `is_open(` never match while
+  // `open(`, `::open(`, and `mmap(` do.
+  static const std::regex kRawMmap(
+      R"((^|[^A-Za-z0-9_.>:])((?:::)?(?:mmap|munmap|msync|ftruncate|open))\s*\()");
+  const std::vector<std::string> lines = SplitLines(content);
+  bool in_block_comment = false;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string code = StripCommentsAndStrings(lines[i],
+                                                     &in_block_comment);
+    if (IsSuppressed(lines[i], "raw-mmap")) {
+      continue;
+    }
+    std::smatch m;
+    if (std::regex_search(code, m, kRawMmap)) {
+      issues.push_back(LintIssue{
+          rel_path, i + 1, "raw-mmap",
+          "raw '" + m[2].str() +
+              "' call outside src/store/; the open/ftruncate/mmap "
+              "lifecycle lives behind MappedFile / BufferManager "
+              "(store/mapped_file.h)"});
+    }
+  }
+  return issues;
+}
+
 std::vector<LintIssue> CheckUnorderedContainer(const std::string& rel_path,
                                                const std::string& content) {
   std::vector<LintIssue> issues;
@@ -731,6 +765,7 @@ std::vector<LintIssue> LintFileContent(const std::string& rel_path,
     append(CheckIncludeGuard(rel_path, content));
   }
   append(CheckBannedCalls(rel_path, content));
+  append(CheckRawMmap(rel_path, content));
   append(CheckRawThread(rel_path, content));
   append(CheckUnorderedContainer(rel_path, content));
   append(CheckDroppedStatus(rel_path, content, context.status_functions));

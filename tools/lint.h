@@ -59,6 +59,17 @@ std::vector<LintIssue> CheckRawThread(const std::string& rel_path,
 std::vector<LintIssue> CheckUnorderedContainer(const std::string& rel_path,
                                                const std::string& content);
 
+/// Rule `raw-mmap`: the raw file-mapping syscalls — `mmap(`, `munmap(`,
+/// `msync(`, `ftruncate(`, and POSIX `open(` — may appear only under
+/// src/store/, where MappedFile owns the fd/mapping lifecycle (bounds,
+/// grow-remap, cleanup-on-error). Everywhere else must go through
+/// MappedFile / BufferManager (store/mapped_file.h) or iostreams. The
+/// match is word-bounded and call-shaped: member opens (`f.open(`,
+/// `f->open(`), `fopen(`, `is_open(`, and capitalized `Open(` methods do
+/// not count. Comment and string contents are ignored.
+std::vector<LintIssue> CheckRawMmap(const std::string& rel_path,
+                                    const std::string& content);
+
 /// Harvests names of functions declared to return `Status` or
 /// `Result<...>` from a header's `content` (declaration-at-line-start
 /// heuristic), for use with CheckDroppedStatus.

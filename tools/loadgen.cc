@@ -34,6 +34,7 @@
 #include "common/thread_pool.h"
 #include "serve/service.h"
 #include "simgen/study.h"
+#include "store/store.h"
 #include "tools/loadgen_flags.h"
 #include "workloadgen/harness.h"
 #include "workloadgen/scenario.h"
@@ -113,7 +114,29 @@ int RunLegacyReplay(const LoadgenConfig& config) {
   }
 
   Database db;
-  if (Status s = db.RegisterTable("ListProperty", env.homes()); !s.ok()) {
+  if (!config.store.empty()) {
+    // Store mode: ListProperty is mapped zero-copy from the segment
+    // store built by `simgen --out-store`; the generated environment is
+    // still used for the query log (its queries depend only on the
+    // geography, not on the row count).
+    const auto map_start = std::chrono::steady_clock::now();
+    if (Status s = AttachStoreTables(config.store, &db); !s.ok()) {
+      std::fprintf(stderr, "store: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    if (!db.HasTable("ListProperty")) {
+      std::fprintf(stderr, "store '%s' has no ListProperty table\n",
+                   config.store.c_str());
+      return 1;
+    }
+    const double map_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - map_start)
+            .count();
+    std::printf("# mapped store '%s' in %.1fms\n", config.store.c_str(),
+                map_ms);
+  } else if (Status s = db.RegisterTable("ListProperty", env.homes());
+             !s.ok()) {
     std::fprintf(stderr, "register: %s\n", s.ToString().c_str());
     return 1;
   }

@@ -41,6 +41,12 @@ struct LoadgenConfig {
   size_t adapt_every = 64;
   bool paced = false;
 
+  /// Path to a segment store file (built by tools/simgen --out-store).
+  /// Legacy replay mode only: the service's ListProperty table is mapped
+  /// from the store instead of generated in memory, so startup is a map,
+  /// not a build. Empty (the default) keeps the in-memory path.
+  std::string store;
+
   bool scenario_mode() const {
     return !scenario.empty() || !scenario_file.empty();
   }
@@ -52,7 +58,7 @@ inline std::string LoadgenUsage(std::string_view argv0) {
       " [--homes=N] [--queries=N] [--requests=N]\n"
       "          [--signatures=N] [--qps=D] [--threads=N]\n"
       "          [--deadline-ms=N] [--cache-mb=N] [--seed=N]\n"
-      "          [--bypass-cache]\n"
+      "          [--bypass-cache] [--store=PATH]\n"
       "          [--scenario=NAME | --scenario-file=PATH]\n"
       "          [--adaptive] [--adapt-every=N] [--paced]\n";
   return out;
@@ -145,6 +151,11 @@ inline Result<LoadgenConfig> ParseLoadgenArgs(
         return FlagError("seed", parsed.status());
       }
       config.seed = parsed.value();
+    } else if (MatchFlag(arg, "store", &value)) {
+      if (value.empty()) {
+        return Status::InvalidArgument("--store: path must not be empty");
+      }
+      config.store = std::string(value);
     } else if (MatchFlag(arg, "scenario", &value)) {
       config.scenario = std::string(value);
     } else if (MatchFlag(arg, "scenario-file", &value)) {
@@ -168,6 +179,10 @@ inline Result<LoadgenConfig> ParseLoadgenArgs(
   if (!config.scenario.empty() && !config.scenario_file.empty()) {
     return Status::InvalidArgument(
         "--scenario and --scenario-file are mutually exclusive");
+  }
+  if (!config.store.empty() && config.scenario_mode()) {
+    return Status::InvalidArgument(
+        "--store applies to legacy replay mode only, not --scenario");
   }
   return config;
 }

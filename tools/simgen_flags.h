@@ -1,0 +1,103 @@
+#ifndef AUTOCAT_TOOLS_SIMGEN_FLAGS_H_
+#define AUTOCAT_TOOLS_SIMGEN_FLAGS_H_
+
+// Flag parsing for tools/simgen, following the loadgen_flags.h pattern
+// (and reusing its strict helpers): numeric values go through the
+// common/string_util parsers, so a malformed value is a kInvalidArgument
+// error naming the flag, never a silent zero.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "tools/loadgen_flags.h"
+
+namespace autocat {
+
+struct SimgenConfig {
+  size_t num_rows = 120000;
+  uint64_t seed = 20040613;  // HomesGeneratorConfig's default.
+  size_t threads = 4;
+  /// External-sort chunk budget for the bulk loader, in MiB.
+  size_t budget_mb = 64;
+  /// Output store path (required).
+  std::string out_store;
+  /// Optional column names to sort the table by before encoding. Empty
+  /// preserves generation order, which keeps the store a bit-identical
+  /// twin of HomesGenerator::Generate().
+  std::vector<std::string> sort_by;
+};
+
+inline std::string SimgenUsage(std::string_view argv0) {
+  std::string out(argv0);
+  out +=
+      " --out-store=PATH [--rows=N] [--seed=N] [--threads=N]\n"
+      "          [--budget-mb=N] [--sort-by=col1,col2,...]\n";
+  return out;
+}
+
+/// Parses command-line arguments (excluding argv[0]). Unknown flags,
+/// malformed values, and a missing --out-store are kInvalidArgument.
+inline Result<SimgenConfig> ParseSimgenArgs(
+    const std::vector<std::string>& args) {
+  using loadgen_internal::FlagError;
+  using loadgen_internal::MatchFlag;
+  using loadgen_internal::ParseSize;
+  SimgenConfig config;
+  for (const std::string& arg : args) {
+    std::string_view value;
+    if (MatchFlag(arg, "rows", &value)) {
+      AUTOCAT_RETURN_IF_ERROR(ParseSize("rows", value, &config.num_rows));
+    } else if (MatchFlag(arg, "seed", &value)) {
+      const Result<uint64_t> parsed = ParseUint64(value);
+      if (!parsed.ok()) {
+        return FlagError("seed", parsed.status());
+      }
+      config.seed = parsed.value();
+    } else if (MatchFlag(arg, "threads", &value)) {
+      AUTOCAT_RETURN_IF_ERROR(ParseSize("threads", value, &config.threads));
+      if (config.threads == 0) {
+        return Status::InvalidArgument("--threads: must be >= 1");
+      }
+    } else if (MatchFlag(arg, "budget-mb", &value)) {
+      AUTOCAT_RETURN_IF_ERROR(
+          ParseSize("budget-mb", value, &config.budget_mb));
+      if (config.budget_mb == 0) {
+        return Status::InvalidArgument("--budget-mb: must be >= 1");
+      }
+    } else if (MatchFlag(arg, "out-store", &value)) {
+      if (value.empty()) {
+        return Status::InvalidArgument("--out-store: path must not be empty");
+      }
+      config.out_store = std::string(value);
+    } else if (MatchFlag(arg, "sort-by", &value)) {
+      config.sort_by.clear();
+      while (!value.empty()) {
+        const size_t comma = value.find(',');
+        const std::string_view name = value.substr(0, comma);
+        if (name.empty()) {
+          return Status::InvalidArgument(
+              "--sort-by: empty column name in list");
+        }
+        config.sort_by.emplace_back(name);
+        value = comma == std::string_view::npos ? std::string_view()
+                                                : value.substr(comma + 1);
+      }
+      if (config.sort_by.empty()) {
+        return Status::InvalidArgument("--sort-by: list must not be empty");
+      }
+    } else {
+      return Status::InvalidArgument("unknown flag '" + arg + "'");
+    }
+  }
+  if (config.out_store.empty()) {
+    return Status::InvalidArgument("--out-store=PATH is required");
+  }
+  return config;
+}
+
+}  // namespace autocat
+
+#endif  // AUTOCAT_TOOLS_SIMGEN_FLAGS_H_
