@@ -1,0 +1,248 @@
+// Cold-serve comparison: the pre-pipeline filter -> materialize -> rescan
+// chain (ServiceOptions::use_pipeline = false) against the push-based
+// morsel pipeline (DESIGN.md §14), at WHERE selectivities from ~1% to the
+// whole table. Both services run over the same generated ListProperty
+// data with bypass_cache requests, so every iteration is a full cold
+// execution; the closing table reports the per-selectivity speedup.
+//
+// --smoke shrinks the environment for sanitizer CI legs (tools/ci.sh
+// --bench-smoke); --threads=N is accepted for interface parity with the
+// other serve benchmarks (the cold path itself is single-threaded per
+// request by service policy).
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "serve/service.h"
+
+namespace {
+
+using namespace autocat;  // NOLINT
+
+bool& SmokeMode() {
+  static bool smoke = false;
+  return smoke;
+}
+
+// Mean cold ms/op per (variant, selectivity-label), filled by the
+// benchmark bodies and printed as a comparison table at exit.
+std::map<std::string, std::map<std::string, double>>& Results() {
+  static auto* results =
+      new std::map<std::string, std::map<std::string, double>>();
+  return *results;
+}
+
+struct SelectivityQuery {
+  std::string label;  // e.g. "sel=0.10"
+  std::string sql;
+};
+
+// One environment, two services over identical copies of the table: the
+// only difference between them is the use_pipeline knob.
+struct PipelineFixture {
+  StudyConfig config;
+  std::unique_ptr<StudyEnvironment> env;
+  std::unique_ptr<CategorizationService> legacy;
+  std::unique_ptr<CategorizationService> pipelined;
+  std::vector<SelectivityQuery> queries;
+  // The first 64 distinct workload queries — the same stream
+  // bench_serve_throughput's BM_ServeCold cycles, so the "mix" rows here
+  // explain that benchmark's variant delta operator by operator.
+  std::vector<std::string> mix_sqls;
+
+  static PipelineFixture& Get() {
+    static PipelineFixture* fixture = [] {
+      auto* f = new PipelineFixture();
+      f->config = bench::FullScaleConfig();
+      if (SmokeMode()) {
+        f->config.num_homes = 2000;
+        f->config.num_workload_queries = 500;
+      }
+      auto env = StudyEnvironment::Create(f->config);
+      AUTOCAT_CHECK(env.ok());
+      f->env = std::make_unique<StudyEnvironment>(std::move(env).value());
+
+      const auto make_service = [&](bool use_pipeline) {
+        Database db;
+        AUTOCAT_CHECK(
+            db.RegisterTable("ListProperty", f->env->homes()).ok());
+        ServiceOptions options;
+        options.categorizer = f->config.categorizer;
+        options.stats = f->config.stats;
+        options.use_pipeline = use_pipeline;
+        return std::make_unique<CategorizationService>(
+            std::move(db), f->env->workload(), std::move(options));
+      };
+      f->legacy = make_service(false);
+      f->pipelined = make_service(true);
+
+      // Price thresholds at quantiles of the generated data give WHERE
+      // clauses with known survivor fractions.
+      const Table& homes = f->env->homes();
+      const auto price_col = homes.schema().ColumnIndex("price");
+      AUTOCAT_CHECK(price_col.ok());
+      std::vector<double> prices;
+      prices.reserve(homes.num_rows());
+      for (size_t r = 0; r < homes.num_rows(); ++r) {
+        const Value& v = homes.ValueAt(r, price_col.value());
+        if (!v.is_null()) {
+          prices.push_back(v.AsDouble());
+        }
+      }
+      AUTOCAT_CHECK(!prices.empty());
+      std::sort(prices.begin(), prices.end());
+      for (const double q : {0.01, 0.10, 0.50, 1.00}) {
+        const size_t at = std::min(
+            prices.size() - 1,
+            static_cast<size_t>(q * static_cast<double>(prices.size())));
+        char label[32];
+        std::snprintf(label, sizeof(label), "sel=%.2f", q);
+        f->queries.push_back(
+            {label, "SELECT * FROM ListProperty WHERE price <= " +
+                        std::to_string(prices[at])});
+      }
+
+      for (size_t i = 0;
+           i < f->env->workload().size() && f->mix_sqls.size() < 64; ++i) {
+        f->mix_sqls.push_back(f->env->workload().entry(i).sql);
+      }
+      AUTOCAT_CHECK(!f->mix_sqls.empty());
+
+      // Warm the per-table WorkloadStats in both services so the timed
+      // iterations measure execution, not preprocessing.
+      for (CategorizationService* service :
+           {f->legacy.get(), f->pipelined.get()}) {
+        ServeRequest warm;
+        warm.sql = f->queries.front().sql;
+        warm.bypass_cache = true;
+        AUTOCAT_CHECK(service->Handle(warm).ok());
+      }
+      return f;
+    }();
+    return *fixture;
+  }
+};
+
+void BM_Cold(benchmark::State& state, const std::string& variant,
+             size_t query_index) {
+  PipelineFixture& fixture = PipelineFixture::Get();
+  CategorizationService* service = variant == "pipeline"
+                                       ? fixture.pipelined.get()
+                                       : fixture.legacy.get();
+  const SelectivityQuery& query = fixture.queries[query_index];
+  size_t ops = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (auto _ : state) {
+    ServeRequest request;
+    request.sql = query.sql;
+    request.bypass_cache = true;
+    auto response = service->Handle(request);
+    AUTOCAT_CHECK(response.ok());
+    benchmark::DoNotOptimize(response->payload);
+    ++ops;
+  }
+  const double elapsed_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
+  if (ops > 0) {
+    Results()[variant][query.label] =
+        elapsed_ms / static_cast<double>(ops);
+  }
+}
+
+// The workload-query stream BM_ServeCold serves, cold, per variant.
+void BM_ColdMix(benchmark::State& state, const std::string& variant) {
+  PipelineFixture& fixture = PipelineFixture::Get();
+  CategorizationService* service = variant == "pipeline"
+                                       ? fixture.pipelined.get()
+                                       : fixture.legacy.get();
+  size_t ops = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (auto _ : state) {
+    ServeRequest request;
+    request.sql = fixture.mix_sqls[ops % fixture.mix_sqls.size()];
+    request.bypass_cache = true;
+    auto response = service->Handle(request);
+    AUTOCAT_CHECK(response.ok());
+    benchmark::DoNotOptimize(response->payload);
+    ++ops;
+  }
+  const double elapsed_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
+  if (ops > 0) {
+    Results()[variant]["workload-mix"] =
+        elapsed_ms / static_cast<double>(ops);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      SmokeMode() = true;
+      continue;
+    }
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      continue;  // accepted for interface parity; cold path is 1 thread
+    }
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+
+  PipelineFixture& fixture = PipelineFixture::Get();
+  for (const char* variant : {"legacy", "pipeline"}) {
+    for (size_t q = 0; q < fixture.queries.size(); ++q) {
+      const std::string name = std::string("BM_Cold/") + variant + "/" +
+                               fixture.queries[q].label;
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [variant, q](benchmark::State& state) {
+            BM_Cold(state, variant, q);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->UseRealTime();
+    }
+    benchmark::RegisterBenchmark(
+        (std::string("BM_Cold/") + variant + "/workload-mix").c_str(),
+        [variant](benchmark::State& state) { BM_ColdMix(state, variant); })
+        ->Unit(benchmark::kMillisecond)
+        ->UseRealTime();
+  }
+
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  const auto& results = Results();
+  const auto legacy = results.find("legacy");
+  const auto pipeline = results.find("pipeline");
+  if (legacy != results.end() && pipeline != results.end()) {
+    std::printf("\ncold serve, legacy vs pipeline (ms/op):\n");
+    for (const auto& [label, legacy_ms] : legacy->second) {
+      const auto it = pipeline->second.find(label);
+      if (it == pipeline->second.end() || it->second <= 0) {
+        continue;
+      }
+      std::printf("  %-10s %8.3f -> %8.3f  (%.2fx)\n", label.c_str(),
+                  legacy_ms, it->second, legacy_ms / it->second);
+    }
+  }
+  std::printf("legacy   %s\n", fixture.legacy->MetricsJson().c_str());
+  std::printf("pipeline %s\n", fixture.pipelined->MetricsJson().c_str());
+  return 0;
+}

@@ -15,6 +15,12 @@ namespace {
 using PartitionFn = std::function<Result<std::vector<PartitionCategory>>(
     const std::vector<size_t>& tuples, const std::string& attribute)>;
 
+// Summary twin of PartitionFn: the partition's labels and tset sizes
+// without the tuple vectors (see PartitionSummary). An empty function
+// disables two-phase scoring.
+using SummarizeFn = std::function<Result<std::vector<PartitionSummary>>(
+    const std::vector<size_t>& tuples, const std::string& attribute)>;
+
 // Returns the query's numeric range condition on `attribute`, or nullptr.
 const NumericRange* QueryRangeFor(const SelectionProfile* query,
                                   const std::string& attribute) {
@@ -59,11 +65,20 @@ Status ValidateCandidates(const std::vector<std::string>& candidates,
 // the strict minimum in candidate order (earliest wins on ties), so the
 // chosen attribute — hence the whole tree — is identical at any thread
 // count.
+//
+// `summarize`, when non-empty (cost-based choice only), switches scoring
+// to two phases: candidates are scored from partition *summaries* (labels
+// and tset sizes — all the cost model consumes) and only the winner is
+// re-partitioned with tuple vectors via `partition`. `partition` must be
+// a pure function of (tuples, attribute) and `summarize` must mirror it
+// exactly, so the winner and the attached partition are identical to the
+// single-phase construction.
 Result<CategoryTree> BuildLevelByLevel(
     const Table& result, std::vector<std::string> candidates,
     const CostModel& model, bool cost_based_choice,
-    const PartitionFn& partition, size_t max_tuples_per_category,
-    size_t max_levels, const ParallelOptions* parallel) {
+    const PartitionFn& partition, const SummarizeFn& summarize,
+    size_t max_tuples_per_category, size_t max_levels,
+    const ParallelOptions* parallel) {
   AUTOCAT_RETURN_IF_ERROR(ValidateCandidates(candidates, result.schema()));
   CategoryTree tree(&result);
   const ProbabilityEstimator& estimator = model.estimator();
@@ -116,9 +131,40 @@ Result<CategoryTree> BuildLevelByLevel(
         double total = 0;
         std::vector<std::vector<PartitionCategory>> parts;
       };
+      const bool two_phase = static_cast<bool>(summarize);
       const auto evaluate = [&](const std::string& attr,
                                 CandidateScore* score) -> Status {
         const double pw = estimator.ShowTuplesProbability(attr);
+        if (two_phase) {
+          // Score from summaries only; no tuple vectors are built for
+          // losing candidates.
+          for (NodeId id : oversized) {
+            const CategoryNode& node = tree.node(id);
+            AUTOCAT_ASSIGN_OR_RETURN(const auto summaries,
+                                     summarize(node.tuples, attr));
+            double cost_one_level;
+            if (summaries.empty() ||
+                (summaries.size() == 1 &&
+                 summaries[0].size == node.tset_size())) {
+              cost_one_level = static_cast<double>(node.tset_size());
+            } else {
+              std::vector<double> probs;
+              std::vector<size_t> sizes;
+              probs.reserve(summaries.size());
+              sizes.reserve(summaries.size());
+              for (const PartitionSummary& summary : summaries) {
+                probs.push_back(
+                    estimator.ExplorationProbability(summary.label));
+                sizes.push_back(summary.size);
+              }
+              cost_one_level =
+                  model.OneLevelCostAll(pw, node.tset_size(), probs, sizes);
+            }
+            score->total += model.NodeExplorationProbability(tree, id) *
+                            cost_one_level;
+          }
+          return Status::OK();
+        }
         score->parts.reserve(oversized.size());
         for (NodeId id : oversized) {
           const CategoryNode& node = tree.node(id);
@@ -179,7 +225,18 @@ Result<CategoryTree> BuildLevelByLevel(
       }
       if (best_i < candidates.size()) {
         chosen_attr = candidates[best_i];
-        chosen_parts = std::move(scores[best_i].parts);
+        if (two_phase) {
+          // Materialize only the winner; `partition` is pure, so this is
+          // the partition the single-phase scan would have kept.
+          chosen_parts.reserve(oversized.size());
+          for (NodeId id : oversized) {
+            AUTOCAT_ASSIGN_OR_RETURN(
+                auto parts, partition(tree.node(id).tuples, chosen_attr));
+            chosen_parts.push_back(std::move(parts));
+          }
+        } else {
+          chosen_parts = std::move(scores[best_i].parts);
+        }
       }
     }
     AUTOCAT_CHECK(!chosen_attr.empty());
@@ -207,30 +264,39 @@ Result<CategoryTree> BuildLevelByLevel(
   return tree;
 }
 
-// Cost-based partitioning dispatch (Sections 5.1.2 / 5.1.3).
+// The cost-based numeric partitioning knobs from the categorizer options.
+NumericPartitionOptions NumericOptionsOf(const CategorizerOptions& options) {
+  NumericPartitionOptions numeric_options;
+  numeric_options.num_buckets = options.num_buckets;
+  numeric_options.max_tuples_per_category = options.max_tuples_per_category;
+  numeric_options.max_buckets = options.max_buckets;
+  numeric_options.min_bucket_tuples = options.min_bucket_tuples;
+  numeric_options.auto_buckets = options.auto_numeric_buckets;
+  numeric_options.goodness_fraction = options.goodness_fraction;
+  return numeric_options;
+}
+
+// Cost-based partitioning dispatch (Sections 5.1.2 / 5.1.3). `index`,
+// when non-null, is the cold pipeline's precomputed ResultAttributeIndex;
+// the partitioners reuse its root-level sorted values / groups.
 PartitionFn MakeCostBasedPartition(const Table& result,
                                    const WorkloadStats* stats,
                                    const CategorizerOptions& options,
-                                   const SelectionProfile* query) {
-  return [&result, stats, &options, query](
+                                   const SelectionProfile* query,
+                                   const ResultAttributeIndex* index =
+                                       nullptr) {
+  return [&result, stats, &options, query, index](
              const std::vector<size_t>& tuples,
              const std::string& attribute)
              -> Result<std::vector<PartitionCategory>> {
     AUTOCAT_ASSIGN_OR_RETURN(const size_t col,
                              result.schema().ColumnIndex(attribute));
     if (result.schema().column(col).kind == ColumnKind::kCategorical) {
-      return PartitionCategorical(result, tuples, attribute, *stats);
+      return PartitionCategorical(result, tuples, attribute, *stats, index);
     }
-    NumericPartitionOptions numeric_options;
-    numeric_options.num_buckets = options.num_buckets;
-    numeric_options.max_tuples_per_category =
-        options.max_tuples_per_category;
-    numeric_options.max_buckets = options.max_buckets;
-    numeric_options.min_bucket_tuples = options.min_bucket_tuples;
-    numeric_options.auto_buckets = options.auto_numeric_buckets;
-    numeric_options.goodness_fraction = options.goodness_fraction;
     return PartitionNumeric(result, tuples, attribute, *stats,
-                            numeric_options, QueryRangeFor(query, attribute));
+                            NumericOptionsOf(options),
+                            QueryRangeFor(query, attribute), index);
   };
 }
 
@@ -240,26 +306,67 @@ PartitionFn MakeCostBasedPartition(const Table& result,
 PartitionFn MakeCostBasedPartition(const TableView& view,
                                    const WorkloadStats* stats,
                                    const CategorizerOptions& options,
-                                   const SelectionProfile* query) {
-  return [&view, stats, &options, query](
+                                   const SelectionProfile* query,
+                                   const ResultAttributeIndex* index =
+                                       nullptr) {
+  return [&view, stats, &options, query, index](
              const std::vector<size_t>& tuples,
              const std::string& attribute)
              -> Result<std::vector<PartitionCategory>> {
     AUTOCAT_ASSIGN_OR_RETURN(const size_t col,
                              view.schema().ColumnIndex(attribute));
     if (view.schema().column(col).kind == ColumnKind::kCategorical) {
-      return PartitionCategorical(view, tuples, attribute, *stats);
+      return PartitionCategorical(view, tuples, attribute, *stats, index);
     }
-    NumericPartitionOptions numeric_options;
-    numeric_options.num_buckets = options.num_buckets;
-    numeric_options.max_tuples_per_category =
-        options.max_tuples_per_category;
-    numeric_options.max_buckets = options.max_buckets;
-    numeric_options.min_bucket_tuples = options.min_bucket_tuples;
-    numeric_options.auto_buckets = options.auto_numeric_buckets;
-    numeric_options.goodness_fraction = options.goodness_fraction;
     return PartitionNumeric(view, tuples, attribute, *stats,
-                            numeric_options, QueryRangeFor(query, attribute));
+                            NumericOptionsOf(options),
+                            QueryRangeFor(query, attribute), index);
+  };
+}
+
+// Summary twins of the two dispatches above, for two-phase scoring. Must
+// take the same branches so the summaries mirror the partitions exactly.
+SummarizeFn MakeCostBasedSummarize(const Table& result,
+                                   const WorkloadStats* stats,
+                                   const CategorizerOptions& options,
+                                   const SelectionProfile* query,
+                                   const ResultAttributeIndex* index =
+                                       nullptr) {
+  return [&result, stats, &options, query, index](
+             const std::vector<size_t>& tuples,
+             const std::string& attribute)
+             -> Result<std::vector<PartitionSummary>> {
+    AUTOCAT_ASSIGN_OR_RETURN(const size_t col,
+                             result.schema().ColumnIndex(attribute));
+    if (result.schema().column(col).kind == ColumnKind::kCategorical) {
+      return SummarizePartitionCategorical(result, tuples, attribute,
+                                           *stats, index);
+    }
+    return SummarizePartitionNumeric(result, tuples, attribute, *stats,
+                                     NumericOptionsOf(options),
+                                     QueryRangeFor(query, attribute), index);
+  };
+}
+
+SummarizeFn MakeCostBasedSummarize(const TableView& view,
+                                   const WorkloadStats* stats,
+                                   const CategorizerOptions& options,
+                                   const SelectionProfile* query,
+                                   const ResultAttributeIndex* index =
+                                       nullptr) {
+  return [&view, stats, &options, query, index](
+             const std::vector<size_t>& tuples,
+             const std::string& attribute)
+             -> Result<std::vector<PartitionSummary>> {
+    AUTOCAT_ASSIGN_OR_RETURN(const size_t col,
+                             view.schema().ColumnIndex(attribute));
+    if (view.schema().column(col).kind == ColumnKind::kCategorical) {
+      return SummarizePartitionCategorical(view, tuples, attribute, *stats,
+                                           index);
+    }
+    return SummarizePartitionNumeric(view, tuples, attribute, *stats,
+                                     NumericOptionsOf(options),
+                                     QueryRangeFor(query, attribute), index);
   };
 }
 
@@ -312,6 +419,9 @@ Result<CategoryTree> CostBasedCategorizer::Categorize(
       result, RetainedAttributes(result.schema()), model,
       /*cost_based_choice=*/true,
       MakeCostBasedPartition(result, stats_, options_, query),
+      options_.two_phase_scoring
+          ? MakeCostBasedSummarize(result, stats_, options_, query)
+          : SummarizeFn(),
       options_.max_tuples_per_category, options_.max_levels,
       &options_.parallel);
 }
@@ -319,6 +429,12 @@ Result<CategoryTree> CostBasedCategorizer::Categorize(
 Result<CategoryTree> CostBasedCategorizer::Categorize(
     const TableView& view, const Table& result,
     const SelectionProfile* query) const {
+  return Categorize(view, result, query, /*index=*/nullptr);
+}
+
+Result<CategoryTree> CostBasedCategorizer::Categorize(
+    const TableView& view, const Table& result, const SelectionProfile* query,
+    const ResultAttributeIndex* index) const {
   // The tree's tuple indices are rows of `result`; the partitioners read
   // the same rows through `view`, so the two must describe one relation.
   if (view.num_rows() != result.num_rows() ||
@@ -334,12 +450,19 @@ Result<CategoryTree> CostBasedCategorizer::Categorize(
           "view schema does not match the result table");
     }
   }
+  if (index != nullptr && index->num_rows != result.num_rows()) {
+    return Status::InvalidArgument(
+        "attribute index does not cover the result table");
+  }
   ProbabilityEstimator estimator(stats_, &result.schema());
   CostModel model(&estimator, options_.cost_params);
   return BuildLevelByLevel(
       result, RetainedAttributes(result.schema()), model,
       /*cost_based_choice=*/true,
-      MakeCostBasedPartition(view, stats_, options_, query),
+      MakeCostBasedPartition(view, stats_, options_, query, index),
+      options_.two_phase_scoring
+          ? MakeCostBasedSummarize(view, stats_, options_, query, index)
+          : SummarizeFn(),
       options_.max_tuples_per_category, options_.max_levels,
       &options_.parallel);
 }
@@ -359,6 +482,7 @@ Result<CategoryTree> AttrCostCategorizer::Categorize(
       result, candidates, model,
       /*cost_based_choice=*/true,
       MakeBaselinePartition(result, stats_, options_, query, &rng),
+      /*summarize=*/SummarizeFn(),
       options_.max_tuples_per_category, options_.max_levels,
       /*parallel=*/nullptr);
 }
@@ -373,6 +497,7 @@ Result<CategoryTree> CategorizeWithFixedAttributeOrder(
       result, attribute_order, model,
       /*cost_based_choice=*/false,
       MakeCostBasedPartition(result, stats, options, query),
+      /*summarize=*/SummarizeFn(),
       options.max_tuples_per_category, options.max_levels,
       /*parallel=*/nullptr);
 }
@@ -391,6 +516,7 @@ Result<CategoryTree> NoCostCategorizer::Categorize(
       result, std::move(candidates), model,
       /*cost_based_choice=*/false,
       MakeBaselinePartition(result, stats_, options_, query, &rng),
+      /*summarize=*/SummarizeFn(),
       options_.max_tuples_per_category, options_.max_levels,
       /*parallel=*/nullptr);
 }

@@ -55,6 +55,17 @@ struct CategorizerOptions {
   /// and category order).
   uint64_t arbitrary_seed = 42;
 
+  /// Two-phase candidate scoring (cost-based technique only): candidate
+  /// attributes are *scored* from partition summaries (labels + tset
+  /// sizes — everything the cost model reads) and only the winning
+  /// attribute's partition is materialized with tuple vectors. The winner
+  /// and its partition are bit-identical to single-phase construction
+  /// because the summaries mirror the partitions exactly and the
+  /// partition functions are pure. The baselines never use this (their
+  /// partitioners share a mutable Random whose stream the tree depends
+  /// on).
+  bool two_phase_scoring = true;
+
   /// Threads used by the cost-based technique to score candidate
   /// attributes concurrently per level. Candidate costs are reduced in
   /// candidate order with a strict-minimum tie-break, so the chosen tree
@@ -113,6 +124,15 @@ class CostBasedCategorizer final : public Categorizer {
   Result<CategoryTree> Categorize(
       const TableView& view, const Table& result,
       const SelectionProfile* query) const override;
+
+  /// Columnar construction with a precomputed `ResultAttributeIndex` over
+  /// `result` (built by the cold pipeline's StatsAccumulate sink): the
+  /// root-level partitioners reuse its sorted values / value groups
+  /// instead of rescanning, producing the identical tree. `index` may be
+  /// null; entries apply only where they exist.
+  Result<CategoryTree> Categorize(const TableView& view, const Table& result,
+                                  const SelectionProfile* query,
+                                  const ResultAttributeIndex* index) const;
 
   std::string name() const override { return "Cost-based"; }
 

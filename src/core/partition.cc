@@ -215,6 +215,120 @@ ValueGroups GroupsOf(const TableView& view, const std::vector<size_t>& tuples,
   return out;
 }
 
+// The index entry usable for (`tuples`, `col`), or nullptr: entries
+// answer only for the identity tuple set over the indexed rows (the tree
+// root's tset; see storage/attr_index.h).
+const AttributeIndexEntry* RootIndexEntry(const ResultAttributeIndex* index,
+                                          size_t col,
+                                          const std::vector<size_t>& tuples) {
+  if (index == nullptr) {
+    return nullptr;
+  }
+  const AttributeIndexEntry* entry = index->entry(col);
+  if (entry == nullptr || !IsIdentityTupleSet(tuples, index->num_rows)) {
+    return nullptr;
+  }
+  return entry;
+}
+
+// A copy of the index entry's groups in the GroupsOf shape (the copies
+// become the partition's tuple vectors; the entry stays reusable).
+ValueGroups GroupsFromIndex(const AttributeIndexEntry& entry) {
+  ValueGroups out;
+  out.reserve(entry.groups.size());
+  for (const auto& [value, group] : entry.groups) {
+    out.emplace_back(value, group);
+  }
+  return out;
+}
+
+// Distinct-value counts in ascending value order, NULL cells dropped —
+// the groups' sizes without the groups. Branch structure mirrors
+// GroupsOf so the counted (and ordered) values are identical.
+using ValueCounts = std::vector<std::pair<Value, size_t>>;
+
+ValueCounts CountsOf(const Table& result, const std::vector<size_t>& tuples,
+                     size_t col) {
+  std::map<Value, size_t> counts;
+  for (size_t idx : tuples) {
+    const Value& v = result.ValueAt(idx, col);
+    if (!v.is_null()) {
+      ++counts[v];
+    }
+  }
+  return ValueCounts(counts.begin(), counts.end());
+}
+
+ValueCounts CountsOf(const TableView& view, const std::vector<size_t>& tuples,
+                     size_t col) {
+  const ColumnarTable::Column* cc =
+      view.columnar() == nullptr
+          ? nullptr
+          : &view.columnar()->column(view.base_column(col));
+  if (cc != nullptr && cc->regular && cc->type == ValueType::kString) {
+    std::vector<size_t> per_code(cc->dict.size(), 0);
+    std::vector<uint32_t> touched;
+    for (size_t idx : tuples) {
+      const uint32_t row = view.base_row(idx);
+      if (cc->IsNull(row)) {
+        continue;
+      }
+      const uint32_t code = cc->codes[row];
+      if (per_code[code] == 0) {
+        touched.push_back(code);
+      }
+      ++per_code[code];
+    }
+    std::sort(touched.begin(), touched.end());
+    ValueCounts out;
+    out.reserve(touched.size());
+    for (uint32_t code : touched) {
+      out.emplace_back(Value(cc->dict[code]), per_code[code]);
+    }
+    return out;
+  }
+  if (cc != nullptr && cc->regular && cc->type == ValueType::kInt64) {
+    std::map<int64_t, size_t> counts;
+    for (size_t idx : tuples) {
+      const uint32_t row = view.base_row(idx);
+      if (!cc->IsNull(row)) {
+        ++counts[cc->i64[row]];
+      }
+    }
+    ValueCounts out;
+    out.reserve(counts.size());
+    for (const auto& [value, count] : counts) {
+      out.emplace_back(Value(value), count);
+    }
+    return out;
+  }
+  std::map<Value, size_t> counts;
+  if (cc != nullptr && cc->regular && cc->type == ValueType::kDouble) {
+    for (size_t idx : tuples) {
+      const uint32_t row = view.base_row(idx);
+      if (!cc->IsNull(row)) {
+        ++counts[Value(cc->f64[row])];
+      }
+    }
+  } else if (!view.base().has_rows()) {
+    for (size_t idx : tuples) {
+      Value v = view.base().CellValue(view.base_row(idx),
+                                      view.base_column(col));
+      if (!v.is_null()) {
+        ++counts[std::move(v)];
+      }
+    }
+  } else {
+    for (size_t idx : tuples) {
+      const Value& v = view.ValueAt(idx, col);
+      if (!v.is_null()) {
+        ++counts[v];
+      }
+    }
+  }
+  return ValueCounts(counts.begin(), counts.end());
+}
+
 // Section 5.1.2 presentation order over pre-grouped values.
 std::vector<PartitionCategory> CostCategoricalFromGroups(
     const std::string& attribute, const WorkloadStats& stats,
@@ -246,6 +360,47 @@ std::vector<PartitionCategory> CostCategoricalFromGroups(
   return out;
 }
 
+// The counts in the CountsOf shape taken straight from the index entry's
+// groups (ascending value order, as CountsOf produces).
+ValueCounts CountsFromIndex(const AttributeIndexEntry& entry) {
+  ValueCounts out;
+  out.reserve(entry.groups.size());
+  for (const auto& [value, group] : entry.groups) {
+    out.emplace_back(value, group.size());
+  }
+  return out;
+}
+
+// Summary twin of CostCategoricalFromGroups: identical Entry ordering
+// (stable sort on decreasing occ over ascending-value input), labels
+// built the same way, sizes instead of tuple vectors.
+std::vector<PartitionSummary> CostCategoricalSummaryFromCounts(
+    const std::string& attribute, const WorkloadStats& stats,
+    ValueCounts counts) {
+  struct Entry {
+    Value value;
+    size_t occ;
+    size_t count;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(counts.size());
+  for (auto& [value, count] : counts) {
+    entries.push_back(
+        Entry{value, stats.OccurrenceCount(attribute, value), count});
+  }
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const Entry& a, const Entry& b) {
+                     return a.occ > b.occ;
+                   });
+  std::vector<PartitionSummary> out;
+  out.reserve(entries.size());
+  for (Entry& e : entries) {
+    out.push_back(PartitionSummary{
+        CategoryLabel::Categorical(attribute, {e.value}), e.count});
+  }
+  return out;
+}
+
 // Section 6.1 'No cost' order over pre-grouped values.
 std::vector<PartitionCategory> ArbitraryCategoricalFromGroups(
     const std::string& attribute, Random* rng, ValueGroups groups) {
@@ -266,20 +421,62 @@ std::vector<PartitionCategory> ArbitraryCategoricalFromGroups(
 
 Result<std::vector<PartitionCategory>> PartitionCategorical(
     const Table& result, const std::vector<size_t>& tuples,
-    const std::string& attribute, const WorkloadStats& stats) {
+    const std::string& attribute, const WorkloadStats& stats,
+    const ResultAttributeIndex* index) {
   AUTOCAT_ASSIGN_OR_RETURN(const size_t col,
                            AttributeColumn(result, attribute));
+  if (const AttributeIndexEntry* entry = RootIndexEntry(index, col, tuples);
+      entry != nullptr && entry->has_groups) {
+    return CostCategoricalFromGroups(attribute, stats,
+                                     GroupsFromIndex(*entry));
+  }
   return CostCategoricalFromGroups(attribute, stats,
                                    GroupsOf(result, tuples, col));
 }
 
 Result<std::vector<PartitionCategory>> PartitionCategorical(
     const TableView& view, const std::vector<size_t>& tuples,
-    const std::string& attribute, const WorkloadStats& stats) {
+    const std::string& attribute, const WorkloadStats& stats,
+    const ResultAttributeIndex* index) {
   AUTOCAT_ASSIGN_OR_RETURN(const size_t col,
                            AttributeColumn(view, attribute));
+  if (const AttributeIndexEntry* entry = RootIndexEntry(index, col, tuples);
+      entry != nullptr && entry->has_groups) {
+    return CostCategoricalFromGroups(attribute, stats,
+                                     GroupsFromIndex(*entry));
+  }
   return CostCategoricalFromGroups(attribute, stats,
                                    GroupsOf(view, tuples, col));
+}
+
+Result<std::vector<PartitionSummary>> SummarizePartitionCategorical(
+    const Table& result, const std::vector<size_t>& tuples,
+    const std::string& attribute, const WorkloadStats& stats,
+    const ResultAttributeIndex* index) {
+  AUTOCAT_ASSIGN_OR_RETURN(const size_t col,
+                           AttributeColumn(result, attribute));
+  if (const AttributeIndexEntry* entry = RootIndexEntry(index, col, tuples);
+      entry != nullptr && entry->has_groups) {
+    return CostCategoricalSummaryFromCounts(attribute, stats,
+                                            CountsFromIndex(*entry));
+  }
+  return CostCategoricalSummaryFromCounts(attribute, stats,
+                                          CountsOf(result, tuples, col));
+}
+
+Result<std::vector<PartitionSummary>> SummarizePartitionCategorical(
+    const TableView& view, const std::vector<size_t>& tuples,
+    const std::string& attribute, const WorkloadStats& stats,
+    const ResultAttributeIndex* index) {
+  AUTOCAT_ASSIGN_OR_RETURN(const size_t col,
+                           AttributeColumn(view, attribute));
+  if (const AttributeIndexEntry* entry = RootIndexEntry(index, col, tuples);
+      entry != nullptr && entry->has_groups) {
+    return CostCategoricalSummaryFromCounts(attribute, stats,
+                                            CountsFromIndex(*entry));
+  }
+  return CostCategoricalSummaryFromCounts(attribute, stats,
+                                          CountsOf(view, tuples, col));
 }
 
 namespace {
@@ -437,15 +634,21 @@ size_t CountInRange(const std::vector<std::pair<double, size_t>>& values,
   return static_cast<size_t>(end - begin);
 }
 
-// Section 5.1.3 over pre-sorted (value, index) pairs; shared by the Table
-// and TableView overloads.
-std::vector<PartitionCategory> PartitionNumericCore(
+// The boundary-planning half of Section 5.1.3 — range resolution, bucket
+// count, split-point selection — shared by the partition and summary
+// flavors so both pick identical buckets. Requires non-empty `values`.
+struct NumericBucketPlan {
+  std::vector<double> boundaries;  // ascending; meaningless when degenerate
+  bool degenerate = false;         // vmin == vmax: one closed point bucket
+  double vmin = 0;
+  double vmax = 0;
+};
+
+NumericBucketPlan PlanNumericBuckets(
     const std::string& attribute, const WorkloadStats& stats,
     const NumericPartitionOptions& options, const NumericRange* query_range,
     const std::vector<std::pair<double, size_t>>& values) {
-  if (values.empty()) {
-    return std::vector<PartitionCategory>{};
-  }
+  NumericBucketPlan plan;
   double vmin = 0;
   double vmax = 0;
   ResolveRange(values, query_range, &vmin, &vmax);
@@ -516,15 +719,33 @@ std::vector<PartitionCategory> PartitionNumericCore(
     chosen.insert(cand.v);
   }
 
-  std::vector<double> boundaries;
-  boundaries.push_back(vmin);
-  boundaries.insert(boundaries.end(), chosen.begin(), chosen.end());
-  boundaries.push_back(vmax);
-  if (vmin == vmax) {
+  plan.boundaries.push_back(vmin);
+  plan.boundaries.insert(plan.boundaries.end(), chosen.begin(),
+                         chosen.end());
+  plan.boundaries.push_back(vmax);
+  plan.degenerate = (vmin == vmax);
+  plan.vmin = vmin;
+  plan.vmax = vmax;
+  return plan;
+}
+
+// Section 5.1.3 over pre-sorted (value, index) pairs; shared by the Table
+// and TableView overloads.
+std::vector<PartitionCategory> PartitionNumericCore(
+    const std::string& attribute, const WorkloadStats& stats,
+    const NumericPartitionOptions& options, const NumericRange* query_range,
+    const std::vector<std::pair<double, size_t>>& values) {
+  if (values.empty()) {
+    return std::vector<PartitionCategory>{};
+  }
+  const NumericBucketPlan plan =
+      PlanNumericBuckets(attribute, stats, options, query_range, values);
+  if (plan.degenerate) {
     // Degenerate single-point domain: one closed bucket.
     std::vector<PartitionCategory> out;
     PartitionCategory category;
-    category.label = CategoryLabel::Numeric(attribute, vmin, vmax, true);
+    category.label =
+        CategoryLabel::Numeric(attribute, plan.vmin, plan.vmax, true);
     for (const auto& [value, idx] : values) {
       (void)value;
       category.tuples.push_back(idx);
@@ -534,8 +755,41 @@ std::vector<PartitionCategory> PartitionNumericCore(
     return out;
   }
   std::vector<PartitionCategory> out =
-      MaterializeBuckets(attribute, values, boundaries);
+      MaterializeBuckets(attribute, values, plan.boundaries);
   AUTOCAT_DCHECK(ValidateNumericPartition(out).ok());
+  return out;
+}
+
+// Summary twin of PartitionNumericCore: the same plan, with per-bucket
+// counts taken by the same binary searches MaterializeBuckets slices
+// with (empties dropped identically).
+std::vector<PartitionSummary> SummarizeNumericCore(
+    const std::string& attribute, const WorkloadStats& stats,
+    const NumericPartitionOptions& options, const NumericRange* query_range,
+    const std::vector<std::pair<double, size_t>>& values) {
+  if (values.empty()) {
+    return std::vector<PartitionSummary>{};
+  }
+  const NumericBucketPlan plan =
+      PlanNumericBuckets(attribute, stats, options, query_range, values);
+  std::vector<PartitionSummary> out;
+  if (plan.degenerate) {
+    out.push_back(PartitionSummary{
+        CategoryLabel::Numeric(attribute, plan.vmin, plan.vmax, true),
+        values.size()});
+    return out;
+  }
+  for (size_t b = 0; b + 1 < plan.boundaries.size(); ++b) {
+    const double lo = plan.boundaries[b];
+    const double hi = plan.boundaries[b + 1];
+    const bool last = (b + 2 == plan.boundaries.size());
+    const size_t count = CountInRange(values, lo, hi, /*closed=*/last);
+    if (count == 0) {
+      continue;  // drop empty bucket
+    }
+    out.push_back(PartitionSummary{
+        CategoryLabel::Numeric(attribute, lo, hi, last), count});
+  }
   return out;
 }
 
@@ -572,10 +826,17 @@ std::vector<PartitionCategory> EquiWidthCore(
 Result<std::vector<PartitionCategory>> PartitionNumeric(
     const Table& result, const std::vector<size_t>& tuples,
     const std::string& attribute, const WorkloadStats& stats,
-    const NumericPartitionOptions& options,
-    const NumericRange* query_range) {
+    const NumericPartitionOptions& options, const NumericRange* query_range,
+    const ResultAttributeIndex* index) {
   AUTOCAT_ASSIGN_OR_RETURN(const size_t col,
                            AttributeColumn(result, attribute));
+  // Index entries exist only for numeric-kind columns, so the reuse path
+  // cannot skip the kind check SortedNumericValues performs.
+  if (const AttributeIndexEntry* entry = RootIndexEntry(index, col, tuples);
+      entry != nullptr && entry->has_sorted_values) {
+    return PartitionNumericCore(attribute, stats, options, query_range,
+                                entry->sorted_values);
+  }
   AUTOCAT_ASSIGN_OR_RETURN(
       const auto values, SortedNumericValues(result, tuples, col, attribute));
   return PartitionNumericCore(attribute, stats, options, query_range,
@@ -585,13 +846,54 @@ Result<std::vector<PartitionCategory>> PartitionNumeric(
 Result<std::vector<PartitionCategory>> PartitionNumeric(
     const TableView& view, const std::vector<size_t>& tuples,
     const std::string& attribute, const WorkloadStats& stats,
-    const NumericPartitionOptions& options,
-    const NumericRange* query_range) {
+    const NumericPartitionOptions& options, const NumericRange* query_range,
+    const ResultAttributeIndex* index) {
   AUTOCAT_ASSIGN_OR_RETURN(const size_t col,
                            AttributeColumn(view, attribute));
+  if (const AttributeIndexEntry* entry = RootIndexEntry(index, col, tuples);
+      entry != nullptr && entry->has_sorted_values) {
+    return PartitionNumericCore(attribute, stats, options, query_range,
+                                entry->sorted_values);
+  }
   AUTOCAT_ASSIGN_OR_RETURN(
       const auto values, SortedNumericValues(view, tuples, col, attribute));
   return PartitionNumericCore(attribute, stats, options, query_range,
+                              values);
+}
+
+Result<std::vector<PartitionSummary>> SummarizePartitionNumeric(
+    const Table& result, const std::vector<size_t>& tuples,
+    const std::string& attribute, const WorkloadStats& stats,
+    const NumericPartitionOptions& options, const NumericRange* query_range,
+    const ResultAttributeIndex* index) {
+  AUTOCAT_ASSIGN_OR_RETURN(const size_t col,
+                           AttributeColumn(result, attribute));
+  if (const AttributeIndexEntry* entry = RootIndexEntry(index, col, tuples);
+      entry != nullptr && entry->has_sorted_values) {
+    return SummarizeNumericCore(attribute, stats, options, query_range,
+                                entry->sorted_values);
+  }
+  AUTOCAT_ASSIGN_OR_RETURN(
+      const auto values, SortedNumericValues(result, tuples, col, attribute));
+  return SummarizeNumericCore(attribute, stats, options, query_range,
+                              values);
+}
+
+Result<std::vector<PartitionSummary>> SummarizePartitionNumeric(
+    const TableView& view, const std::vector<size_t>& tuples,
+    const std::string& attribute, const WorkloadStats& stats,
+    const NumericPartitionOptions& options, const NumericRange* query_range,
+    const ResultAttributeIndex* index) {
+  AUTOCAT_ASSIGN_OR_RETURN(const size_t col,
+                           AttributeColumn(view, attribute));
+  if (const AttributeIndexEntry* entry = RootIndexEntry(index, col, tuples);
+      entry != nullptr && entry->has_sorted_values) {
+    return SummarizeNumericCore(attribute, stats, options, query_range,
+                                entry->sorted_values);
+  }
+  AUTOCAT_ASSIGN_OR_RETURN(
+      const auto values, SortedNumericValues(view, tuples, col, attribute));
+  return SummarizeNumericCore(attribute, stats, options, query_range,
                               values);
 }
 

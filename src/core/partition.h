@@ -7,6 +7,7 @@
 #include "common/random.h"
 #include "common/result.h"
 #include "core/category.h"
+#include "storage/attr_index.h"
 #include "storage/columnar.h"
 #include "workload/counts.h"
 
@@ -18,6 +19,15 @@ namespace autocat {
 struct PartitionCategory {
   CategoryLabel label;
   std::vector<size_t> tuples;
+};
+
+/// A partition category without its tuple list: the label plus the tset
+/// size. This is everything the cost model consumes, so candidate
+/// attributes can be *scored* from summaries (see the Summarize*
+/// functions) and only the winning attribute's partition materialized.
+struct PartitionSummary {
+  CategoryLabel label;
+  size_t size = 0;
 };
 
 /// Options for cost-based numeric partitioning (Section 5.1.3).
@@ -45,9 +55,18 @@ struct NumericPartitionOptions {
 /// category per distinct value of `attribute` among `tuples`, presented in
 /// decreasing occurrence count occ(v) (ties in value order). Tuples with a
 /// NULL cell are not placed in any category.
+/// All four cost-based entry points accept an optional
+/// `ResultAttributeIndex` built over the same result relation (by the
+/// cold pipeline's StatsAccumulate sink). When `tuples` is the identity
+/// set over the indexed rows — the tree root's tset — the precomputed
+/// sorted values / value groups are reused instead of rescanning and
+/// re-sorting the column; the index holds exactly the shapes these
+/// functions would build, so the output is bit-identical. Any other
+/// tuple set (or a null/absent entry) falls back to the scan.
 Result<std::vector<PartitionCategory>> PartitionCategorical(
     const Table& result, const std::vector<size_t>& tuples,
-    const std::string& attribute, const WorkloadStats& stats);
+    const std::string& attribute, const WorkloadStats& stats,
+    const ResultAttributeIndex* index = nullptr);
 
 /// TableView overload. `tuples` index view rows (== rows of the
 /// materialized result, so the output is interchangeable with the Table
@@ -56,7 +75,8 @@ Result<std::vector<PartitionCategory>> PartitionCategorical(
 /// partitioning is bit-identical.
 Result<std::vector<PartitionCategory>> PartitionCategorical(
     const TableView& view, const std::vector<size_t>& tuples,
-    const std::string& attribute, const WorkloadStats& stats);
+    const std::string& attribute, const WorkloadStats& stats,
+    const ResultAttributeIndex* index = nullptr);
 
 /// Cost-based numeric partitioning (Section 5.1.3): picks the top
 /// necessary split points by goodness score SUM(start_v, end_v) from the
@@ -67,13 +87,46 @@ Result<std::vector<PartitionCategory>> PartitionCategorical(
 Result<std::vector<PartitionCategory>> PartitionNumeric(
     const Table& result, const std::vector<size_t>& tuples,
     const std::string& attribute, const WorkloadStats& stats,
-    const NumericPartitionOptions& options, const NumericRange* query_range);
+    const NumericPartitionOptions& options, const NumericRange* query_range,
+    const ResultAttributeIndex* index = nullptr);
 
 /// TableView overload (typed-array value extraction, identical output).
 Result<std::vector<PartitionCategory>> PartitionNumeric(
     const TableView& view, const std::vector<size_t>& tuples,
     const std::string& attribute, const WorkloadStats& stats,
-    const NumericPartitionOptions& options, const NumericRange* query_range);
+    const NumericPartitionOptions& options, const NumericRange* query_range,
+    const ResultAttributeIndex* index = nullptr);
+
+/// Summary flavor of `PartitionCategorical`: the labels and tset sizes of
+/// exactly the partition the full function returns (same presentation
+/// order, NULL cells dropped), computed without building any per-category
+/// tuple vector. Two-phase candidate scoring runs on these.
+Result<std::vector<PartitionSummary>> SummarizePartitionCategorical(
+    const Table& result, const std::vector<size_t>& tuples,
+    const std::string& attribute, const WorkloadStats& stats,
+    const ResultAttributeIndex* index = nullptr);
+
+/// TableView overload (dictionary-code counting, identical output).
+Result<std::vector<PartitionSummary>> SummarizePartitionCategorical(
+    const TableView& view, const std::vector<size_t>& tuples,
+    const std::string& attribute, const WorkloadStats& stats,
+    const ResultAttributeIndex* index = nullptr);
+
+/// Summary flavor of `PartitionNumeric`: identical split-point selection
+/// and bucket boundaries (empties dropped the same way), with per-bucket
+/// counts taken by the same binary searches that would slice the tuples.
+Result<std::vector<PartitionSummary>> SummarizePartitionNumeric(
+    const Table& result, const std::vector<size_t>& tuples,
+    const std::string& attribute, const WorkloadStats& stats,
+    const NumericPartitionOptions& options, const NumericRange* query_range,
+    const ResultAttributeIndex* index = nullptr);
+
+/// TableView overload (typed-array value extraction, identical output).
+Result<std::vector<PartitionSummary>> SummarizePartitionNumeric(
+    const TableView& view, const std::vector<size_t>& tuples,
+    const std::string& attribute, const WorkloadStats& stats,
+    const NumericPartitionOptions& options, const NumericRange* query_range,
+    const ResultAttributeIndex* index = nullptr);
 
 /// Baseline categorical partitioning (Section 6.1, 'No cost'):
 /// single-value categories in arbitrary order — value order, shuffled when

@@ -5,6 +5,9 @@
 #include <string>
 #include <utility>
 
+#include "exec/pipeline/morsel.h"
+#include "exec/pipeline/scheduler.h"
+
 namespace autocat {
 
 namespace {
@@ -618,7 +621,9 @@ Result<Node> CompileCondition(const AttributeCondition& cond,
 
 // ---- evaluation ------------------------------------------------------
 
-constexpr size_t kChunkRows = 2048;
+// A kernel chunk and a pipeline morsel are the same unit, so survivors
+// flow from AppendMorselSurvivors straight into the pipeline sinks.
+constexpr size_t kChunkRows = kMorselRows;
 
 void EvalNode(const Node& node, size_t begin, size_t end, uint8_t* mask);
 
@@ -751,6 +756,27 @@ Result<CompiledPredicate> CompiledPredicate::CompileProfile(
   return CompiledPredicate(std::move(columnar), std::move(root));
 }
 
+size_t CompiledPredicate::num_morsels() const {
+  return NumMorsels(num_rows());
+}
+
+void CompiledPredicate::AppendMorselSurvivors(
+    size_t m, std::vector<uint32_t>* out) const {
+  const size_t n = num_rows();
+  const size_t begin = m * kChunkRows;
+  const size_t end = std::min(n, begin + kChunkRows);
+  if (begin >= end) {
+    return;
+  }
+  uint8_t mask[kChunkRows];
+  EvalNode(root_, begin, end, mask);
+  for (size_t r = begin; r < end; ++r) {
+    if (mask[r - begin] != 0) {
+      out->push_back(static_cast<uint32_t>(r));
+    }
+  }
+}
+
 Result<std::vector<uint32_t>> CompiledPredicate::Filter(
     const ParallelOptions& parallel) const {
   const size_t n = num_rows();
@@ -758,40 +784,21 @@ Result<std::vector<uint32_t>> CompiledPredicate::Filter(
   if (n == 0) {
     return out;
   }
-  const size_t num_chunks = (n + kChunkRows - 1) / kChunkRows;
-  if (parallel.ResolvedThreads() <= 1 || num_chunks <= 1) {
+  const size_t chunks = num_morsels();
+  if (parallel.ResolvedThreads() <= 1 || chunks <= 1) {
     // Sequential fast path: identical chunking, appended in chunk order.
-    std::vector<uint8_t> mask(kChunkRows);
-    for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
-      const size_t begin = chunk * kChunkRows;
-      const size_t end = std::min(n, begin + kChunkRows);
-      EvalNode(root_, begin, end, mask.data());
-      for (size_t r = begin; r < end; ++r) {
-        if (mask[r - begin] != 0) {
-          out.push_back(static_cast<uint32_t>(r));
-        }
-      }
+    for (size_t chunk = 0; chunk < chunks; ++chunk) {
+      AppendMorselSurvivors(chunk, &out);
     }
     return out;
   }
   // Per-chunk shards merged in chunk order: bit-identical to the
-  // sequential path at any thread count.
-  std::vector<std::vector<uint32_t>> shards(num_chunks);
-  AUTOCAT_RETURN_IF_ERROR(ParallelFor(
-      parallel, 0, num_chunks, /*grain=*/1,
-      [&](size_t lo, size_t hi) -> Status {
-        std::vector<uint8_t> mask(kChunkRows);
-        for (size_t chunk = lo; chunk < hi; ++chunk) {
-          const size_t begin = chunk * kChunkRows;
-          const size_t end = std::min(n, begin + kChunkRows);
-          EvalNode(root_, begin, end, mask.data());
-          std::vector<uint32_t>& shard = shards[chunk];
-          for (size_t r = begin; r < end; ++r) {
-            if (mask[r - begin] != 0) {
-              shard.push_back(static_cast<uint32_t>(r));
-            }
-          }
-        }
+  // sequential path at any thread count. Dispatch goes through the morsel
+  // scheduler — the sole ParallelFor site for the exec/serve layers.
+  std::vector<std::vector<uint32_t>> shards(chunks);
+  AUTOCAT_RETURN_IF_ERROR(MorselScheduler::Run(
+      parallel, chunks, [&](size_t chunk) -> Status {
+        AppendMorselSurvivors(chunk, &shards[chunk]);
         return Status::OK();
       }));
   size_t total = 0;

@@ -69,9 +69,18 @@ class CompiledPredicate {
   /// row indices in ascending order. Deterministic at any thread count.
   Result<std::vector<uint32_t>> Filter(const ParallelOptions& parallel) const;
 
+  /// Morsel-granular evaluation for the push pipeline: appends the
+  /// surviving base-row indices of morsel `m` (rows
+  /// [m*kMorselRows, min(n, (m+1)*kMorselRows))) to `out`, ascending.
+  /// Evaluating every morsel in index order reproduces `Filter` exactly.
+  void AppendMorselSurvivors(size_t m, std::vector<uint32_t>* out) const;
+
   size_t num_rows() const {
     return columnar_ == nullptr ? 0 : columnar_->num_rows();
   }
+
+  /// Number of evaluation morsels (kMorselRows-wide chunks) over the base.
+  size_t num_morsels() const;
 
  private:
   CompiledPredicate(std::shared_ptr<const ColumnarTable> columnar, Node root)

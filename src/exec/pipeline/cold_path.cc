@@ -1,0 +1,122 @@
+#include "exec/pipeline/cold_path.h"
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <utility>
+
+#include "exec/pipeline/scheduler.h"
+#include "storage/schema.h"
+
+namespace autocat {
+
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+Result<ColdPipelineResult> RunColdPipeline(
+    const CompiledPredicate& predicate, const Table& base,
+    const ColumnarTable* columnar, const std::vector<std::string>& columns,
+    const ColdPipelineOptions& options) {
+  // Resolve the projection exactly as TableView::Create does.
+  PipelineInput input;
+  input.base = &base;
+  input.columnar = columnar;
+  std::vector<size_t> projection;
+  Schema schema;
+  if (columns.empty()) {
+    projection.resize(base.num_columns());
+    std::iota(projection.begin(), projection.end(), size_t{0});
+    schema = base.schema();
+  } else {
+    std::vector<ColumnDef> defs;
+    defs.reserve(columns.size());
+    projection.reserve(columns.size());
+    for (const std::string& name : columns) {
+      AUTOCAT_ASSIGN_OR_RETURN(const size_t idx,
+                               base.schema().ColumnIndex(name));
+      defs.push_back(base.schema().column(idx));
+      projection.push_back(idx);
+    }
+    AUTOCAT_ASSIGN_OR_RETURN(schema, Schema::Create(std::move(defs)));
+  }
+  input.schema = &schema;
+  input.projection = &projection;
+  input.stats_attributes = options.stats_attributes;
+  input.num_morsels = predicate.num_morsels();
+
+  SelectionSink selection_sink;
+  ProjectSink project_sink;
+  StatsAccumulateSink stats_sink;
+  // The sinks' Open returns void. autocat-lint: allow(dropped-status)
+  selection_sink.Open(input);  // autocat-lint: allow(dropped-status)
+  project_sink.Open(input);    // autocat-lint: allow(dropped-status)
+  if (options.build_attr_index) {
+    stats_sink.Open(input);    // autocat-lint: allow(dropped-status)
+  }
+
+  const size_t n = predicate.num_rows();
+  std::vector<size_t> counts(input.num_morsels, 0);
+  // atomic-order: relaxed — pure accumulators; MorselScheduler::Run's
+  // join is the synchronization point before they are read.
+  std::atomic<uint64_t> filter_ns{0};   // atomic-order: relaxed (above)
+  std::atomic<uint64_t> project_ns{0};  // atomic-order: relaxed (above)
+  std::atomic<uint64_t> stats_ns{0};    // atomic-order: relaxed (above)
+  AUTOCAT_RETURN_IF_ERROR(MorselScheduler::Run(
+      options.parallel, input.num_morsels, [&](size_t m) -> Status {
+        const Morsel morsel = MorselAt(m, n);
+        std::vector<uint32_t> survivors;
+        uint64_t t0 = NowNs();
+        predicate.AppendMorselSurvivors(m, &survivors);
+        const uint64_t t1 = NowNs();
+        filter_ns.fetch_add(t1 - t0, std::memory_order_relaxed);
+        counts[m] = survivors.size();
+        selection_sink.Push(morsel, survivors.data(), survivors.size());
+        project_sink.Push(morsel, survivors.data(), survivors.size());
+        const uint64_t t2 = NowNs();
+        project_ns.fetch_add(t2 - t1, std::memory_order_relaxed);
+        if (options.build_attr_index) {
+          stats_sink.Push(morsel, survivors.data(), survivors.size());
+          stats_ns.fetch_add(NowNs() - t2, std::memory_order_relaxed);
+        }
+        return Status::OK();
+      }));
+
+  std::vector<size_t> offsets(input.num_morsels + 1, 0);
+  for (size_t m = 0; m < input.num_morsels; ++m) {
+    offsets[m + 1] = offsets[m] + counts[m];
+  }
+
+  ColdPipelineResult out;
+  uint64_t t0 = NowNs();
+  AUTOCAT_RETURN_IF_ERROR(selection_sink.Finish(offsets));
+  AUTOCAT_RETURN_IF_ERROR(project_sink.Finish(offsets));
+  const uint64_t t1 = NowNs();
+  project_ns.fetch_add(t1 - t0, std::memory_order_relaxed);
+  if (options.build_attr_index) {
+    AUTOCAT_RETURN_IF_ERROR(stats_sink.Finish(offsets));
+    stats_ns.fetch_add(NowNs() - t1, std::memory_order_relaxed);
+    out.attr_index = std::move(stats_sink.index());
+  }
+
+  out.selection = std::move(selection_sink.selection());
+  out.result = std::move(project_sink.result());
+  out.result_bytes = project_sink.result_bytes();
+  out.timings.morsels = input.num_morsels;
+  out.timings.filter_ms =
+      static_cast<double>(filter_ns.load(std::memory_order_relaxed)) / 1e6;
+  out.timings.project_ms =
+      static_cast<double>(project_ns.load(std::memory_order_relaxed)) / 1e6;
+  out.timings.stats_ms =
+      static_cast<double>(stats_ns.load(std::memory_order_relaxed)) / 1e6;
+  return out;
+}
+
+}  // namespace autocat

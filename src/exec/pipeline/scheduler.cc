@@ -1,0 +1,30 @@
+#include "exec/pipeline/scheduler.h"
+
+namespace autocat {
+
+Status MorselScheduler::Run(const ParallelOptions& parallel,
+                            size_t num_morsels,
+                            const std::function<Status(size_t)>& fn) {
+  if (num_morsels == 0) {
+    return Status::OK();
+  }
+  if (parallel.ResolvedThreads() <= 1 || num_morsels == 1) {
+    for (size_t m = 0; m < num_morsels; ++m) {
+      AUTOCAT_RETURN_IF_ERROR(fn(m));
+    }
+    return Status::OK();
+  }
+  // The one sanctioned ParallelFor call in src/exec + src/serve (see the
+  // direct-parallel-for lint rule). Grain 1: a morsel is already the
+  // batching unit, and single-index claims let fast morsels steal ahead
+  // of slow ones.
+  return ParallelFor(parallel, 0, num_morsels, /*grain=*/1,
+                     [&fn](size_t lo, size_t hi) -> Status {
+                       for (size_t m = lo; m < hi; ++m) {
+                         AUTOCAT_RETURN_IF_ERROR(fn(m));
+                       }
+                       return Status::OK();
+                     });
+}
+
+}  // namespace autocat

@@ -1,0 +1,37 @@
+#ifndef AUTOCAT_EXEC_PIPELINE_SCHEDULER_H_
+#define AUTOCAT_EXEC_PIPELINE_SCHEDULER_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+
+namespace autocat {
+
+/// The single morsel-granular dispatch point for the execution and
+/// serving layers.
+///
+/// Everything in `src/exec/` and `src/serve/` that wants parallelism goes
+/// through `MorselScheduler::Run` instead of calling `ParallelFor`
+/// directly (enforced by the `direct-parallel-for` lint rule; the
+/// scheduler TU is the one sanctioned call site). Centralizing the
+/// dispatch keeps the determinism contract in one place: the scheduler
+/// promises only that `fn` runs exactly once per morsel index — callers
+/// own ordering, which they get by keying partials on the morsel index
+/// and merging in index order after Run returns.
+class MorselScheduler {
+ public:
+  /// Runs `fn(morsel_index)` exactly once for every index in
+  /// [0, num_morsels), spread over the shared thread pool when `parallel`
+  /// resolves to more than one thread (sequential and ascending
+  /// otherwise). Returns the error of the lowest-indexed failing morsel
+  /// (the `ParallelFor` contract), so error selection is also
+  /// deterministic.
+  static Status Run(const ParallelOptions& parallel, size_t num_morsels,
+                    const std::function<Status(size_t)>& fn);
+};
+
+}  // namespace autocat
+
+#endif  // AUTOCAT_EXEC_PIPELINE_SCHEDULER_H_

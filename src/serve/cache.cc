@@ -4,6 +4,8 @@
 #include <chrono>
 #include <limits>
 
+#include "common/check.h"
+
 namespace autocat {
 
 namespace {
@@ -60,6 +62,19 @@ Result<std::shared_ptr<const CachedCategorization>> CachedCategorization::
   payload->tree_ = std::move(tree);
   payload->approx_bytes_ =
       ApproxTableBytes(payload->result_) + ApproxTreeBytes(payload->tree_);
+  return std::shared_ptr<const CachedCategorization>(std::move(payload));
+}
+
+Result<std::shared_ptr<const CachedCategorization>> CachedCategorization::
+    Build(Table result, size_t table_bytes,
+          const std::function<Result<CategoryTree>(const Table&)>&
+              build_tree) {
+  AUTOCAT_DCHECK_EQ(table_bytes, ApproxTableBytes(result));
+  std::shared_ptr<CachedCategorization> payload(
+      new CachedCategorization(std::move(result)));
+  AUTOCAT_ASSIGN_OR_RETURN(CategoryTree tree, build_tree(payload->result_));
+  payload->tree_ = std::move(tree);
+  payload->approx_bytes_ = table_bytes + ApproxTreeBytes(payload->tree_);
   return std::shared_ptr<const CachedCategorization>(std::move(payload));
 }
 

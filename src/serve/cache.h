@@ -32,6 +32,15 @@ class CachedCategorization {
       Table result,
       const std::function<Result<CategoryTree>(const Table&)>& build_tree);
 
+  /// Build with a precomputed table-byte estimate. The pipeline's gather
+  /// sink accounts every row as it copies it (the same per-cell formula
+  /// as the internal scan, over the same stored Values), so the scan over
+  /// the finished table is redundant there. `table_bytes` must equal what
+  /// that scan would report.
+  static Result<std::shared_ptr<const CachedCategorization>> Build(
+      Table result, size_t table_bytes,
+      const std::function<Result<CategoryTree>(const Table&)>& build_tree);
+
   const Table& result() const { return result_; }
   const CategoryTree& tree() const { return tree_; }
   size_t result_rows() const { return result_.num_rows(); }

@@ -1,0 +1,91 @@
+#include "serve/coalesce.h"
+
+#include <chrono>
+#include <utility>
+
+namespace autocat {
+
+CoalesceTicket CoalescingRegistry::JoinOrLead(const std::string& key,
+                                              uint64_t observed_epoch) {
+  MutexLock lock(mu_);
+  const auto it = flights_.find(key);
+  if (it == flights_.end()) {
+    CoalesceTicket ticket;
+    ticket.kind = CoalesceTicket::Kind::kLeader;
+    ticket.flight = std::make_shared<CoalescedFlight>(observed_epoch);
+    flights_[key] = ticket.flight;
+    return ticket;
+  }
+  if (it->second->epoch == observed_epoch) {
+    CoalesceTicket ticket;
+    ticket.kind = CoalesceTicket::Kind::kFollower;
+    ticket.flight = it->second;
+    return ticket;
+  }
+  // The in-flight execution observed a different cache epoch than this
+  // request did; its result may describe table contents this request
+  // never saw. Execute independently (and leave the slot alone — the
+  // flight's own leader erases it).
+  return CoalesceTicket{};
+}
+
+AwaitOutcome CoalescingRegistry::Await(CoalescedFlight& flight,
+                                       int64_t timeout_ms) {
+  AwaitOutcome outcome;
+  waiting_.fetch_add(1, std::memory_order_relaxed);
+  {
+    MutexLock lock(flight.mu);
+    if (timeout_ms < 0) {
+      while (!flight.done) {
+        flight.cv.Wait(flight.mu);
+      }
+    } else {
+      // A bounded wait: WaitForMillis re-arms with the remaining budget
+      // after every spurious wakeup via the predicate recheck loop.
+      int64_t remaining = timeout_ms;
+      while (!flight.done && remaining > 0) {
+        const auto start = std::chrono::steady_clock::now();
+        if (!flight.cv.WaitForMillis(flight.mu, remaining)) {
+          break;  // timed out
+        }
+        remaining -= std::chrono::duration_cast<std::chrono::milliseconds>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+      }
+    }
+    if (flight.done) {
+      outcome.completed = true;
+      outcome.status = flight.status;
+      outcome.payload = flight.payload;
+      outcome.computed_epoch = flight.computed_epoch;
+    }
+  }
+  waiting_.fetch_sub(1, std::memory_order_relaxed);
+  return outcome;
+}
+
+void CoalescingRegistry::Publish(
+    const std::string& key, const std::shared_ptr<CoalescedFlight>& flight,
+    Status status, std::shared_ptr<const CachedCategorization> payload,
+    uint64_t computed_epoch) {
+  {
+    MutexLock lock(mu_);
+    const auto it = flights_.find(key);
+    if (it != flights_.end() && it->second == flight) {
+      flights_.erase(it);
+    }
+  }
+  // Registry lock released before the flight lock: the two are never
+  // held together, so followers taking flight.mu cannot deadlock with a
+  // JoinOrLead holding mu_.
+  {
+    MutexLock lock(flight->mu);
+    flight->status = std::move(status);
+    flight->payload = std::move(payload);
+    flight->computed_epoch = computed_epoch;
+    flight->done = true;
+  }
+  flight->cv.NotifyAll();
+}
+
+}  // namespace autocat

@@ -1,0 +1,161 @@
+#ifndef AUTOCAT_SERVE_COALESCE_H_
+#define AUTOCAT_SERVE_COALESCE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
+#include "common/result.h"
+#include "serve/cache.h"
+
+namespace autocat {
+
+/// In-flight request coalescing (DESIGN.md §14): while one request (the
+/// *leader*) executes the cold path for a canonical signature, identical
+/// requests arriving meanwhile (*followers*) wait on the leader's flight
+/// and share its payload instead of executing the same query again.
+///
+/// Flights are versioned by the cache epoch the leader observed when it
+/// took the slot: a request that observed a different epoch must not
+/// follow (it could receive a result computed against table contents it
+/// never saw), and a follower discards the result when the leader's
+/// *computed* epoch differs from the epoch it joined under (a PutTable
+/// raced the flight) — it then retries as a solo execution.
+///
+/// Lock order (tools/lock_order.txt): registry mutex, then flight mutex.
+/// The service's state_mu_ is never held while either is taken for a
+/// blocking wait — followers wait holding no other locks.
+
+/// One in-flight cold execution. Created by the registry; the leader
+/// publishes exactly once (PublishGuard guarantees it on every exit
+/// path), after which `done` never goes false again.
+struct CoalescedFlight {
+  explicit CoalescedFlight(uint64_t observed_epoch)
+      : epoch(observed_epoch) {}
+
+  /// The cache epoch the leader observed when the flight was created;
+  /// immutable, readable without the mutex.
+  const uint64_t epoch;
+
+  Mutex mu;
+  CondVar cv;
+  bool done AUTOCAT_GUARDED_BY(mu) = false;
+  Status status AUTOCAT_GUARDED_BY(mu) = Status::OK();
+  std::shared_ptr<const CachedCategorization> payload
+      AUTOCAT_GUARDED_BY(mu);
+  /// The cache epoch the leader's execution actually ran under (it
+  /// re-validates under a fresh lock; a racing PutTable may have moved
+  /// it past `epoch`).
+  uint64_t computed_epoch AUTOCAT_GUARDED_BY(mu) = 0;
+};
+
+/// What JoinOrLead handed the caller.
+struct CoalesceTicket {
+  enum class Kind {
+    kLeader,    ///< Caller owns the flight; it must publish (PublishGuard).
+    kFollower,  ///< Caller should Await the flight.
+    kSolo,      ///< Slot taken by a different epoch; execute without
+                ///< coalescing.
+  };
+  Kind kind = Kind::kSolo;
+  std::shared_ptr<CoalescedFlight> flight;  ///< Null only for kSolo.
+};
+
+/// A follower's view of a finished (or timed-out) flight.
+struct AwaitOutcome {
+  bool completed = false;  ///< False: deadline expired before publish.
+  Status status = Status::OK();
+  std::shared_ptr<const CachedCategorization> payload;
+  uint64_t computed_epoch = 0;
+};
+
+/// The signature-keyed registry of in-flight cold executions.
+/// Thread-safe; one per service.
+class CoalescingRegistry {
+ public:
+  CoalescingRegistry() = default;
+  CoalescingRegistry(const CoalescingRegistry&) = delete;
+  CoalescingRegistry& operator=(const CoalescingRegistry&) = delete;
+
+  /// Takes the flight slot for `key` (kLeader), joins the existing one
+  /// (kFollower, same epoch), or steps aside (kSolo, different epoch).
+  CoalesceTicket JoinOrLead(const std::string& key, uint64_t observed_epoch)
+      AUTOCAT_EXCLUDES(mu_);
+
+  /// Blocks until the flight publishes or ~`timeout_ms` elapses
+  /// (`timeout_ms` < 0 waits unbounded). Holds only the flight mutex
+  /// while waiting. Bumps the `waiting` gauge for the duration.
+  AwaitOutcome Await(CoalescedFlight& flight, int64_t timeout_ms);
+
+  /// Followers currently blocked in Await (a point-in-time gauge).
+  uint64_t waiting() const {
+    return waiting_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class PublishGuard;
+
+  /// Removes `key` iff it still maps to `flight`, then publishes the
+  /// result on the flight and wakes every follower. Idempotence is the
+  /// guard's job; the registry publishes blindly.
+  void Publish(const std::string& key,
+               const std::shared_ptr<CoalescedFlight>& flight,
+               Status status,
+               std::shared_ptr<const CachedCategorization> payload,
+               uint64_t computed_epoch) AUTOCAT_EXCLUDES(mu_);
+
+  mutable Mutex mu_;
+  std::map<std::string, std::shared_ptr<CoalescedFlight>> flights_
+      AUTOCAT_GUARDED_BY(mu_);
+  // atomic-order: relaxed — a metrics gauge; readers need no ordering
+  // with the flight state.
+  std::atomic<uint64_t> waiting_{0};
+};
+
+/// RAII publisher for a leader: guarantees the flight is published on
+/// every exit path. If the leader returns without calling Publish (an
+/// error or early return), the destructor publishes a failure so
+/// followers wake and retry solo instead of blocking until timeout.
+class PublishGuard {
+ public:
+  PublishGuard(CoalescingRegistry* registry, std::string key,
+               std::shared_ptr<CoalescedFlight> flight)
+      : registry_(registry),
+        key_(std::move(key)),
+        flight_(std::move(flight)) {}
+
+  ~PublishGuard() {
+    if (!published_) {
+      registry_->Publish(
+          key_, flight_,
+          Status::Internal("coalescing leader aborted without publishing"),
+          nullptr, 0);
+    }
+  }
+
+  PublishGuard(const PublishGuard&) = delete;
+  PublishGuard& operator=(const PublishGuard&) = delete;
+
+  void Publish(Status status,
+               std::shared_ptr<const CachedCategorization> payload,
+               uint64_t computed_epoch) {
+    registry_->Publish(key_, flight_, std::move(status), std::move(payload),
+                       computed_epoch);
+    published_ = true;
+  }
+
+ private:
+  CoalescingRegistry* registry_;
+  std::string key_;
+  std::shared_ptr<CoalescedFlight> flight_;
+  bool published_ = false;
+};
+
+}  // namespace autocat
+
+#endif  // AUTOCAT_SERVE_COALESCE_H_

@@ -20,17 +20,19 @@ std::string_view ServeOutcomeToString(ServeOutcome outcome) {
   return "unknown";
 }
 
-std::string_view ServeStageToString(ServeStage stage) {
-  switch (stage) {
-    case ServeStage::kParse:
+std::string_view ServeOperatorToString(ServeOperator op) {
+  switch (op) {
+    case ServeOperator::kParse:
       return "parse";
-    case ServeStage::kFilter:
+    case ServeOperator::kFilter:
       return "filter";
-    case ServeStage::kMaterialize:
-      return "materialize";
-    case ServeStage::kStats:
-      return "stats";
-    case ServeStage::kCategorize:
+    case ServeOperator::kGather:
+      return "gather";
+    case ServeOperator::kAttrIndex:
+      return "attr_index";
+    case ServeOperator::kStatsBuild:
+      return "stats_build";
+    case ServeOperator::kCategorize:
       return "categorize";
   }
   return "unknown";
@@ -47,9 +49,25 @@ void ServiceMetrics::Record(ServeOutcome outcome, double latency_ms) {
   }
 }
 
-void ServiceMetrics::RecordStage(ServeStage stage, double ms) {
+void ServiceMetrics::RecordOperator(ServeOperator op, double ms) {
   MutexLock lock(mu_);
-  stage_ms_[static_cast<size_t>(stage)].Add(ms);
+  operator_ms_[static_cast<size_t>(op)].Add(ms);
+}
+
+void ServiceMetrics::RecordPipeline(size_t morsels) {
+  MutexLock lock(mu_);
+  ++pipeline_requests_;
+  pipeline_morsels_ += morsels;
+}
+
+void ServiceMetrics::RecordCoalescedLeader() {
+  MutexLock lock(mu_);
+  ++coalesced_leaders_;
+}
+
+void ServiceMetrics::RecordCoalescedHit() {
+  MutexLock lock(mu_);
+  ++coalesced_hits_;
 }
 
 void ServiceMetrics::FillSnapshot(ServiceMetricsSnapshot* snapshot) const {
@@ -62,7 +80,11 @@ void ServiceMetrics::FillSnapshot(ServiceMetricsSnapshot* snapshot) const {
   snapshot->latency_all = latency_all_;
   snapshot->latency_hit = latency_hit_;
   snapshot->latency_miss = latency_miss_;
-  snapshot->stage_ms = stage_ms_;
+  snapshot->operator_ms = operator_ms_;
+  snapshot->pipeline_requests = pipeline_requests_;
+  snapshot->pipeline_morsels = pipeline_morsels_;
+  snapshot->coalesced_leaders = coalesced_leaders_;
+  snapshot->coalesced_hits = coalesced_hits_;
 }
 
 std::string ServiceMetricsSnapshot::ToJson() const {
@@ -88,15 +110,21 @@ std::string ServiceMetricsSnapshot::ToJson() const {
   out += "\"all\":" + latency_all.ToJson();
   out += ",\"hit\":" + latency_hit.ToJson();
   out += ",\"miss\":" + latency_miss.ToJson();
-  out += "},\"stages\":{";
-  for (size_t i = 0; i < kNumServeStages && i < stage_ms.size(); ++i) {
+  out += "},\"operators\":{";
+  for (size_t i = 0; i < kNumServeOperators && i < operator_ms.size(); ++i) {
     if (i > 0) {
       out += ",";
     }
     out += "\"";
-    out += ServeStageToString(static_cast<ServeStage>(i));
-    out += "\":" + stage_ms[i].ToJson();
+    out += ServeOperatorToString(static_cast<ServeOperator>(i));
+    out += "\":" + operator_ms[i].ToJson();
   }
+  out += "},\"pipeline\":{\"requests\":" + std::to_string(pipeline_requests);
+  out += ",\"morsels\":" + std::to_string(pipeline_morsels);
+  out += "},\"coalescing\":{\"leaders\":" +
+         std::to_string(coalesced_leaders);
+  out += ",\"hits\":" + std::to_string(coalesced_hits);
+  out += ",\"waiting\":" + std::to_string(coalescing_waiting);
   out += "},\"queue\":{\"depth_high_water\":" +
          std::to_string(queue_depth_high_water);
   out += "},\"adaptive\":{\"observed_requests\":" +

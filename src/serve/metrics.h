@@ -27,19 +27,23 @@ inline constexpr size_t kNumServeOutcomes = 5;
 
 std::string_view ServeOutcomeToString(ServeOutcome outcome);
 
-/// Cold-path stage breakdown: where a cache miss spends its time. Each
-/// stage is recorded once per request that reaches it (kStats only when
-/// the per-table WorkloadStats had to be built).
-enum class ServeStage {
+/// Cold-path operator breakdown: where a cache miss spends its time,
+/// named after the pipeline operators (DESIGN.md §14). Each operator is
+/// recorded once per request that reaches it — kAttrIndex only on the
+/// pipelined path (the StatsAccumulate sink), kStatsBuild only when the
+/// per-table WorkloadStats had to be built. The legacy (non-pipelined)
+/// cold path records its materialization under kGather.
+enum class ServeOperator {
   kParse = 0,
   kFilter,
-  kMaterialize,
-  kStats,
+  kGather,
+  kAttrIndex,
+  kStatsBuild,
   kCategorize,
 };
-inline constexpr size_t kNumServeStages = 5;
+inline constexpr size_t kNumServeOperators = 6;
 
-std::string_view ServeStageToString(ServeStage stage);
+std::string_view ServeOperatorToString(ServeOperator op);
 
 /// A point-in-time copy of every service counter, assembled by
 /// CategorizationService::SnapshotMetrics(). ToJson() renders with fixed
@@ -54,9 +58,19 @@ struct ServiceMetricsSnapshot {
   Histogram latency_miss = Histogram::LatencyMs();
   CacheStats cache;
   size_t queue_depth_high_water = 0;
-  /// Indexed by ServeStage.
-  std::vector<Histogram> stage_ms =
-      std::vector<Histogram>(kNumServeStages, Histogram::LatencyMs());
+  /// Indexed by ServeOperator.
+  std::vector<Histogram> operator_ms =
+      std::vector<Histogram>(kNumServeOperators, Histogram::LatencyMs());
+  /// Pipelined cold executions and the morsels they scheduled.
+  uint64_t pipeline_requests = 0;
+  uint64_t pipeline_morsels = 0;
+  /// In-flight request coalescing: executions that led a flight, requests
+  /// answered from another request's in-flight execution, and the
+  /// point-in-time count of followers currently waiting (a gauge read
+  /// from the registry at snapshot time).
+  uint64_t coalesced_leaders = 0;
+  uint64_t coalesced_hits = 0;
+  uint64_t coalescing_waiting = 0;
   /// Adaptive-loop counters (see serve/adaptive.h): requests the traffic
   /// observer has seen, and adaptation rounds that changed a knob.
   uint64_t adaptive_observed_requests = 0;
@@ -75,11 +89,21 @@ class ServiceMetrics {
   void Record(ServeOutcome outcome, double latency_ms)
       AUTOCAT_EXCLUDES(mu_);
 
-  /// Adds one cold-path stage duration (see ServeStage).
-  void RecordStage(ServeStage stage, double ms) AUTOCAT_EXCLUDES(mu_);
+  /// Adds one cold-path operator duration (see ServeOperator).
+  void RecordOperator(ServeOperator op, double ms) AUTOCAT_EXCLUDES(mu_);
 
-  /// Copies the request-side counters into `snapshot` (cache and queue
-  /// fields are the caller's to fill).
+  /// Counts one pipelined cold execution and the morsels it scheduled.
+  void RecordPipeline(size_t morsels) AUTOCAT_EXCLUDES(mu_);
+
+  /// Counts one execution that led a coalescing flight.
+  void RecordCoalescedLeader() AUTOCAT_EXCLUDES(mu_);
+
+  /// Counts one request answered from another request's in-flight
+  /// execution.
+  void RecordCoalescedHit() AUTOCAT_EXCLUDES(mu_);
+
+  /// Copies the request-side counters into `snapshot` (cache, queue, and
+  /// the coalescing waiting gauge are the caller's to fill).
   void FillSnapshot(ServiceMetricsSnapshot* snapshot) const
       AUTOCAT_EXCLUDES(mu_);
 
@@ -94,8 +118,12 @@ class ServiceMetrics {
   Histogram latency_hit_ AUTOCAT_GUARDED_BY(mu_) = Histogram::LatencyMs();
   Histogram latency_miss_ AUTOCAT_GUARDED_BY(mu_) =
       Histogram::LatencyMs();
-  std::vector<Histogram> stage_ms_ AUTOCAT_GUARDED_BY(mu_) =
-      std::vector<Histogram>(kNumServeStages, Histogram::LatencyMs());
+  std::vector<Histogram> operator_ms_ AUTOCAT_GUARDED_BY(mu_) =
+      std::vector<Histogram>(kNumServeOperators, Histogram::LatencyMs());
+  uint64_t pipeline_requests_ AUTOCAT_GUARDED_BY(mu_) = 0;
+  uint64_t pipeline_morsels_ AUTOCAT_GUARDED_BY(mu_) = 0;
+  uint64_t coalesced_leaders_ AUTOCAT_GUARDED_BY(mu_) = 0;
+  uint64_t coalesced_hits_ AUTOCAT_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace autocat

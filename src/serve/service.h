@@ -16,6 +16,7 @@
 #include "serve/adaptive.h"
 #include "serve/admission.h"
 #include "serve/cache.h"
+#include "serve/coalesce.h"
 #include "serve/metrics.h"
 #include "serve/signature.h"
 #include "workload/counts.h"
@@ -69,6 +70,21 @@ struct ServiceOptions {
   /// and TTL tests. Null uses the steady clock. Also used by the cache
   /// and admission controller unless their own clocks are set.
   std::function<int64_t()> now_ms;
+  /// Cold requests run the push-based operator pipeline (DESIGN.md §14):
+  /// WHERE-kernel survivors flow morsel-by-morsel into the gather and
+  /// stats-accumulate sinks, and the categorizer reuses the accumulated
+  /// attribute index. Off = the pre-pipeline filter-then-materialize
+  /// path; both produce bit-identical responses.
+  bool use_pipeline = true;
+  /// Coalesce concurrent cold requests with identical canonical
+  /// signatures onto one execution (see serve/coalesce.h). Cache-bypass
+  /// requests never coalesce.
+  bool coalesce_inflight = true;
+  /// Test hook: called with the canonical key right before a leader/solo
+  /// cold execution starts, with no service locks held — a test can
+  /// interleave PutTable here to exercise the epoch-versioned coalescing
+  /// slot. Null in production.
+  std::function<void(const std::string&)> on_cold_execute;
 };
 
 /// The paper's query-time categorization, packaged as a long-lived
@@ -149,6 +165,26 @@ class CategorizationService {
                                        ServeOutcome* outcome)
       AUTOCAT_EXCLUDES(state_mu_);
 
+  /// One full serve attempt under a single fresh shared-lock section:
+  /// canonicalize, probe the cache, execute the cold path (pipelined or
+  /// legacy), and insert. `need_stats` asks the caller to build the
+  /// per-table WorkloadStats and retry.
+  struct ColdAttempt {
+    bool need_stats = false;
+    ServeResponse response;
+    /// For publishing to a coalescing flight: the payload, the cache
+    /// epoch the attempt ran under, and the canonical key it used.
+    std::shared_ptr<const CachedCategorization> payload;
+    uint64_t epoch = 0;
+    std::string key;
+  };
+  Result<ColdAttempt> AttemptServe(const SelectQuery& query,
+                                   const std::string& table_key,
+                                   const ServeRequest& request,
+                                   const Deadline& deadline,
+                                   ServeOutcome* outcome)
+      AUTOCAT_EXCLUDES(state_mu_);
+
   ServiceOptions options_;
   // Guards db_, workload_, and stats_by_table_: requests hold it shared
   // for their whole read (the GetTable pointer-stability contract makes
@@ -171,6 +207,10 @@ class CategorizationService {
   // planning against requests and other Adapt() calls via state_mu_.
   AdaptiveController adaptive_ AUTOCAT_GUARDED_BY(state_mu_);
   SignatureCache cache_;
+  // In-flight cold-execution coalescing (self-locking; its internal
+  // mutexes sit after state_mu_ in the lock order and are never held
+  // across a blocking wait together with it).
+  CoalescingRegistry coalescing_;
   AdmissionController admission_;
   ServiceMetrics metrics_;
   TrafficObserver traffic_;

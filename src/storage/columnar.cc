@@ -81,6 +81,29 @@ ColumnarTable ColumnarTable::Build(const Table& table) {
         col.owned_f64[r] = v.double_value();
       }
     }
+    if (col.regular &&
+        (col.type == ValueType::kInt64 || col.type == ValueType::kDouble)) {
+      // One (double, row) sort per table lifetime. Keys are the same
+      // doubles the partitioners read (int64 cells through the same
+      // static_cast), so rank-filtering this order reproduces a per-query
+      // survivor sort bit for bit, ties included.
+      std::vector<std::pair<double, uint32_t>> keyed;
+      keyed.reserve(n - col.null_count);
+      for (size_t r = 0; r < n; ++r) {
+        if (col.IsNull(r)) {
+          continue;
+        }
+        const double key = col.type == ValueType::kInt64
+                               ? static_cast<double>(col.owned_i64[r])
+                               : col.owned_f64[r];
+        keyed.emplace_back(key, static_cast<uint32_t>(r));
+      }
+      std::sort(keyed.begin(), keyed.end());
+      col.sorted_order.reserve(keyed.size());
+      for (const auto& [key, row] : keyed) {
+        col.sorted_order.push_back(row);
+      }
+    }
   }
   return out;
 }

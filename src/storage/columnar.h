@@ -75,6 +75,14 @@ class ColumnarTable {
     ColumnSpan<uint32_t> codes;
     /// type == kString: sorted distinct non-NULL strings.
     std::vector<std::string> dict;
+    /// Regular kInt64/kDouble columns built by `Build`: the non-NULL row
+    /// indices ordered by (value as double ascending, row ascending) —
+    /// the same total order sorting per-query (value, position) pairs
+    /// produces. Computed once per table so the stats-accumulate sink can
+    /// rank-filter a selection against it instead of re-sorting survivors
+    /// on every cold request. Empty when unavailable (irregular columns,
+    /// segment-store wrapped columns), and consumers must fall back.
+    std::vector<uint32_t> sorted_order;
 
     /// Owned backing arrays. `Build` fills these and points the spans at
     /// them; the segment store leaves raw-encoded arrays here empty (the

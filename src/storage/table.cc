@@ -62,6 +62,12 @@ Table Table::FromColumnar(Schema schema,
   return out;
 }
 
+Table Table::FromValidatedRows(Schema schema, std::vector<Row> rows) {
+  Table out(std::move(schema));
+  out.rows_ = std::move(rows);
+  return out;
+}
+
 Value Table::CellValue(size_t row, size_t col) const {
   if (columnar_ == nullptr) {
     return rows_[row][col];

@@ -64,6 +64,14 @@ class Table {
   static Table FromColumnar(Schema schema,
                             std::shared_ptr<const ColumnarTable> columnar);
 
+  /// Builds a row-backed table from rows that already conform to `schema`
+  /// — every cell a copy of a cell validated against the same declared
+  /// column types (the pipeline gather sink's case). Skips the per-cell
+  /// validation/coercion of `AppendRows`; passing rows that were not
+  /// gathered from a schema-matching table breaks the homogeneity
+  /// invariant.
+  static Table FromValidatedRows(Schema schema, std::vector<Row> rows);
+
   const Schema& schema() const { return schema_; }
   size_t num_rows() const {
     return columnar_ == nullptr ? rows_.size() : columnar_rows_;

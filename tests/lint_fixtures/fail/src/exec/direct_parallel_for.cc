@@ -1,0 +1,30 @@
+// Lint fixture: direct ParallelFor dispatch from operator code. The
+// morsel scheduler TU (src/exec/pipeline/scheduler.cc) is the only
+// sanctioned caller in src/exec/ and src/serve/; these three calls must
+// each trip rule direct-parallel-for, and the lookalikes below must not.
+namespace autocat {
+
+Status ScanBare(const ParallelOptions& options) {
+  return ParallelFor(options, 0, 128, 1, [](size_t) {});
+}
+
+Status ScanQualified(const ParallelOptions& options) {
+  return autocat::ParallelFor(options, 0, 128, 1, [](size_t) {});
+}
+
+Status ScanGlobal(const ParallelOptions& options) {
+  return ::ParallelFor(options, 0, 128, 1, [](size_t) {});
+}
+
+Status Lookalikes(ThreadPool& pool, const ParallelOptions& options) {
+  Status helper = RunParallelFor(0, 128);
+  Status member = pool.ParallelFor(0, 128, 1, [](size_t) {});
+  Status shared = ThreadPool::Shared().ParallelFor(0, 128, 1, [](size_t) {});
+  // A comment mentioning ParallelFor( does not count, nor does a string:
+  const char* name = "ParallelFor(begin, end)";
+  Status quiet = ParallelFor(  // autocat-lint: allow(direct-parallel-for)
+      options, 0, 128, 1, [](size_t) {});
+  return helper;
+}
+
+}  // namespace autocat

@@ -1,0 +1,11 @@
+// Lint fixture: the sanctioned dispatch point. A direct ParallelFor call
+// in this TU is exempt from rule direct-parallel-for by path — every
+// other file under src/exec/ and src/serve/ must go through the morsel
+// scheduler this TU implements.
+namespace autocat {
+
+Status RunMorselPipeline(const ParallelOptions& options, size_t morsels) {
+  return ParallelFor(options, 0, morsels, 1, [](size_t) {});
+}
+
+}  // namespace autocat

@@ -152,6 +152,53 @@ TEST(RawMmapRuleTest, IgnoresCommentsStringsAndSuppressions) {
   EXPECT_TRUE(CheckRawMmap("src/exec/foo.cc", content).empty());
 }
 
+TEST(DirectParallelForRuleTest, FlagsDirectCallsInExecAndServe) {
+  const std::string content =
+      "Status s = ParallelFor(options, 0, n, 1, fn);\n"
+      "return autocat::ParallelFor(options, 0, n, 1, fn);\n"
+      "AUTOCAT_RETURN_IF_ERROR(::ParallelFor(options, 0, n, 1, fn));\n";
+  const auto issues = CheckDirectParallelFor("src/exec/kernels.cc", content);
+  EXPECT_EQ(issues.size(), 3u);
+  ASSERT_FALSE(issues.empty());
+  EXPECT_EQ(issues[0].rule, "direct-parallel-for");
+  EXPECT_NE(issues[0].message.find("morsel scheduler"), std::string::npos);
+  EXPECT_EQ(
+      CheckDirectParallelFor("src/serve/service.cc", content).size(), 3u);
+}
+
+TEST(DirectParallelForRuleTest, ExemptsSchedulerTuAndOtherLayers) {
+  const std::string content =
+      "Status s = ParallelFor(options, 0, n, 1, fn);\n";
+  EXPECT_TRUE(
+      CheckDirectParallelFor("src/exec/pipeline/scheduler.cc", content)
+          .empty());
+  // Layers outside exec/serve keep their direct calls.
+  EXPECT_TRUE(
+      CheckDirectParallelFor("src/core/enumerate.cc", content).empty());
+  EXPECT_TRUE(
+      CheckDirectParallelFor("src/store/store.cc", content).empty());
+  EXPECT_TRUE(
+      CheckDirectParallelFor("src/common/thread_pool.cc", content).empty());
+  // The scheduler's header and sibling TUs are not exempt.
+  EXPECT_FALSE(
+      CheckDirectParallelFor("src/exec/pipeline/cold_path.cc", content)
+          .empty());
+}
+
+TEST(DirectParallelForRuleTest, DoesNotFlagMemberCallsOrLookalikes) {
+  const std::string content =
+      "Status s = pool.ParallelFor(0, n, 1, fn);\n"
+      "Status t = ThreadPool::Shared().ParallelFor(0, n, 1, fn);\n"
+      "Status u = ThreadPool::ParallelFor(0, n, 1, fn);\n"
+      "Status v = RunParallelFor(0, n);\n"
+      "// ParallelFor( in a comment\n"
+      "const char* s2 = \"ParallelFor(\";\n"
+      "Status w = ParallelFor(options, 0, n, 1, fn);  "
+      "// autocat-lint: allow(direct-parallel-for)\n";
+  EXPECT_TRUE(
+      CheckDirectParallelFor("src/exec/kernels.cc", content).empty());
+}
+
 TEST(RawThreadRuleTest, FlagsThreadUsesOutsideThreadPool) {
   const std::string content =
       "#include <thread>\n"
@@ -560,6 +607,7 @@ TEST(LintFixtureTest, PassTreeLintsClean) {
   ASSERT_TRUE(LintFiles(root,
                         {"src/widget/widget.h", "src/widget/widget.cc",
                          "src/widget/file_io.cc",
+                         "src/exec/pipeline/scheduler.cc",
                          "src/serve/ordered.cc",
                          "src/serve/annotated_sync.h",
                          "src/serve/raii_lock.cc",
@@ -584,6 +632,7 @@ TEST(LintFixtureTest, FailTreeTripsEveryRule) {
                          "src/broken/dropped.cc",
                          "src/broken/raw_thread.cc",
                          "src/broken/raw_mmap.cc",
+                         "src/exec/direct_parallel_for.cc",
                          "src/serve/unordered.cc",
                          "src/serve/unannotated_sync.cc",
                          "src/serve/manual_lock.cc",
@@ -597,6 +646,7 @@ TEST(LintFixtureTest, FailTreeTripsEveryRule) {
   EXPECT_TRUE(HasRule(issues, "dropped-status"));
   EXPECT_TRUE(HasRule(issues, "raw-thread"));
   EXPECT_TRUE(HasRule(issues, "raw-mmap"));
+  EXPECT_TRUE(HasRule(issues, "direct-parallel-for"));
   EXPECT_TRUE(HasRule(issues, "unordered-container"));
   EXPECT_TRUE(HasRule(issues, "unannotated-sync"));
   EXPECT_TRUE(HasRule(issues, "manual-lock"));
@@ -628,6 +678,13 @@ TEST(LintFixtureTest, FailTreeTripsEveryRule) {
         return i.rule == "raw-mmap";
       });
   EXPECT_EQ(mmapped, 4);
+  // exec/direct_parallel_for.cc carries exactly three direct dispatches
+  // (the member/prefixed lookalikes and the suppressed call don't count).
+  const auto direct_pf =
+      std::count_if(issues.begin(), issues.end(), [](const LintIssue& i) {
+        return i.rule == "direct-parallel-for";
+      });
+  EXPECT_EQ(direct_pf, 3);
   // serve/unordered.cc carries exactly three hash-container uses (the
   // suppressed one and the comment/string mentions don't count).
   const auto unordered =

@@ -143,13 +143,39 @@ TEST(LoadgenFlagsTest, StoreFlag) {
   EXPECT_EQ(with_scenario.status().code(), StatusCode::kInvalidArgument);
 }
 
+TEST(LoadgenFlagsTest, BurstFlag) {
+  EXPECT_EQ(Parse({}).value().burst, 1u);
+  const auto config = Parse({"--burst=8"});
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->burst, 8u);
+
+  const auto zero = Parse({"--burst=0"});
+  ASSERT_FALSE(zero.ok());
+  EXPECT_EQ(zero.status().code(), StatusCode::kInvalidArgument);
+
+  const auto malformed = Parse({"--burst=8x"});
+  ASSERT_FALSE(malformed.ok());
+  EXPECT_EQ(malformed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(malformed.status().message().find("--burst"),
+            std::string::npos);
+
+  // Bursts coalesce in-flight duplicates; cache-bypass requests never
+  // coalesce, and the scenario harness drives its own traffic shape.
+  const auto with_bypass = Parse({"--burst=8", "--bypass-cache"});
+  ASSERT_FALSE(with_bypass.ok());
+  EXPECT_EQ(with_bypass.status().code(), StatusCode::kInvalidArgument);
+  const auto with_scenario = Parse({"--burst=8", "--scenario=steady"});
+  ASSERT_FALSE(with_scenario.ok());
+  EXPECT_EQ(with_scenario.status().code(), StatusCode::kInvalidArgument);
+}
+
 TEST(LoadgenFlagsTest, UsageMentionsEveryFlag) {
   const std::string usage = LoadgenUsage("loadgen");
   for (const char* flag :
        {"--homes", "--queries", "--requests", "--signatures", "--qps",
         "--threads", "--deadline-ms", "--cache-mb", "--seed",
-        "--bypass-cache", "--store", "--scenario", "--scenario-file",
-        "--adaptive", "--adapt-every", "--paced"}) {
+        "--bypass-cache", "--burst", "--store", "--scenario",
+        "--scenario-file", "--adaptive", "--adapt-every", "--paced"}) {
     EXPECT_NE(usage.find(flag), std::string::npos) << flag;
   }
 }

@@ -15,17 +15,25 @@
 #      when the toolchain is absent (the ctest gates skip the same way
 #      via exit code 77); the lint stage always runs.
 #
-# Usage: tools/ci.sh [--fast|--serve|--bench-smoke|--workload|--store|--analyze]
+# Usage: tools/ci.sh [--fast|--serve|--pipeline|--bench-smoke|--workload|--store|--analyze]
 #   --fast   run only the Release leg (useful as a pre-push smoke test)
 #   --serve  run only the serving-layer suite (src/serve/ + histogram)
 #            under ASan and TSan — the targeted gate for cache/admission
 #            concurrency work
+#   --pipeline
+#            run the push-based cold-path pipeline and request-coalescing
+#            suites (legacy-vs-pipeline equivalence at several thread
+#            counts, the morsel scheduler's determinism, the coalescing
+#            registry, and the service burst tests) in Release and under
+#            ASan and TSan, plus bench_pipeline at --smoke sizes — the
+#            targeted gate for operator/scheduler/coalescing work. The
+#            TSan pass of this leg also runs in the default matrix.
 #   --bench-smoke
-#            build and run bench_exec_filter and bench_serve_throughput
-#            at tiny sizes (--smoke) under ASan and TSan — the targeted
-#            gate for the columnar engine's kernels, views, and the
-#            threaded serve path, exercised through the real benchmark
-#            drivers rather than unit fixtures
+#            build and run bench_exec_filter, bench_serve_throughput, and
+#            bench_pipeline at tiny sizes (--smoke) under ASan and TSan —
+#            the targeted gate for the columnar engine's kernels, views,
+#            and the threaded serve path, exercised through the real
+#            benchmark drivers rather than unit fixtures
 #   --workload
 #            run the workload-harness suites (session/traffic/scenario
 #            generators, the scenario harness with its drift-recovery
@@ -51,6 +59,7 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 FAST=0
 SERVE=0
+PIPELINE=0
 BENCH_SMOKE=0
 WORKLOAD=0
 STORE=0
@@ -59,6 +68,8 @@ if [[ "${1:-}" == "--fast" ]]; then
   FAST=1
 elif [[ "${1:-}" == "--serve" ]]; then
   SERVE=1
+elif [[ "${1:-}" == "--pipeline" ]]; then
+  PIPELINE=1
 elif [[ "${1:-}" == "--bench-smoke" ]]; then
   BENCH_SMOKE=1
 elif [[ "${1:-}" == "--workload" ]]; then
@@ -83,6 +94,27 @@ serve_leg() {
   echo "==== [serve/$name] ctest ===="
   (cd "$ROOT/$dir" && ctest --output-on-failure -j "$JOBS" \
     -R "$SERVE_FILTER")
+}
+
+# The pipeline/coalescing gate: the push-based cold path's
+# legacy-vs-pipeline equivalence suite (bit-identical results and
+# attribute indexes at thread counts 1/2/7/16), the coalescing registry
+# units, and the service-level burst/epoch-invalidation tests.
+PIPELINE_FILTER='^(PipelineEquivalenceTest|CoalescingRegistryTest|ServiceCoalescingTest)\.'
+
+pipeline_leg() {
+  local name="$1" dir="$2"
+  shift 2
+  echo "==== [pipeline/$name] configure ===="
+  cmake -B "$ROOT/$dir" -S "$ROOT" "$@"
+  echo "==== [pipeline/$name] build ===="
+  cmake --build "$ROOT/$dir" -j "$JOBS" \
+    --target autocat_columnar_tests autocat_serve_tests bench_pipeline
+  echo "==== [pipeline/$name] ctest ===="
+  (cd "$ROOT/$dir" && ctest --output-on-failure -j "$JOBS" \
+    -R "$PIPELINE_FILTER")
+  echo "==== [pipeline/$name] bench_pipeline --smoke ===="
+  "$ROOT/$dir/bench/bench_pipeline" --smoke --benchmark_min_time=0.01
 }
 
 # The workload-harness gate: scenario/session/traffic generation, the
@@ -135,12 +167,14 @@ bench_smoke_leg() {
   cmake -B "$ROOT/$dir" -S "$ROOT" "$@"
   echo "==== [bench-smoke/$name] build ===="
   cmake --build "$ROOT/$dir" -j "$JOBS" \
-    --target bench_exec_filter bench_serve_throughput
+    --target bench_exec_filter bench_serve_throughput bench_pipeline
   echo "==== [bench-smoke/$name] bench_exec_filter ===="
   "$ROOT/$dir/bench/bench_exec_filter" --smoke --benchmark_min_time=0.01
   echo "==== [bench-smoke/$name] bench_serve_throughput ===="
   "$ROOT/$dir/bench/bench_serve_throughput" --smoke \
     --benchmark_min_time=0.01
+  echo "==== [bench-smoke/$name] bench_pipeline ===="
+  "$ROOT/$dir/bench/bench_pipeline" --smoke --benchmark_min_time=0.01
 }
 
 # The static-analysis leg: thread-safety annotations (clang), the
@@ -224,6 +258,16 @@ if [[ "$SERVE" == "1" ]]; then
   exit 0
 fi
 
+if [[ "$PIPELINE" == "1" ]]; then
+  pipeline_leg release build-ci-release -DCMAKE_BUILD_TYPE=Release
+  pipeline_leg asan build-ci-asan \
+    -DCMAKE_BUILD_TYPE=Debug -DAUTOCAT_SANITIZE=address
+  pipeline_leg tsan build-ci-tsan \
+    -DCMAKE_BUILD_TYPE=Debug -DAUTOCAT_SANITIZE=thread
+  echo "==== pipeline legs passed ===="
+  exit 0
+fi
+
 run_leg() {
   local name="$1" dir="$2"
   shift 2
@@ -249,6 +293,11 @@ if [[ "$FAST" == "0" ]]; then
   # benchmark under TSan (threaded harness replay the unit legs don't
   # exercise through the benchmark driver).
   workload_leg tsan build-ci-tsan \
+    -DCMAKE_BUILD_TYPE=Debug -DAUTOCAT_SANITIZE=thread
+  # The pipeline/coalescing gate's TSan pass: same build-dir reuse; adds
+  # bench_pipeline --smoke under TSan (morsel fan-out through the real
+  # benchmark driver).
+  pipeline_leg tsan build-ci-tsan \
     -DCMAKE_BUILD_TYPE=Debug -DAUTOCAT_SANITIZE=thread
   # The store gate's sanitizer passes (the full ASan/TSan legs above ran
   # the suites already; these reuse the build dirs and pin the filter so

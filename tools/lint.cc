@@ -351,6 +351,43 @@ std::vector<LintIssue> CheckRawMmap(const std::string& rel_path,
   return issues;
 }
 
+std::vector<LintIssue> CheckDirectParallelFor(const std::string& rel_path,
+                                              const std::string& content) {
+  std::vector<LintIssue> issues;
+  if (!StartsWith(rel_path, "src/exec/") &&
+      !StartsWith(rel_path, "src/serve/")) {
+    return issues;  // other layers keep their direct ParallelFor calls
+  }
+  if (rel_path == "src/exec/pipeline/scheduler.cc") {
+    return issues;  // the one sanctioned dispatch point
+  }
+  // Word-bounded and call-shaped: `RunParallelFor(`, `pool.ParallelFor(`,
+  // and `ThreadPool::ParallelFor(` do not match (preceding identifier
+  // character, `.`, `>`, or `:` outside the qualifier the group itself
+  // eats); the free-function call — bare, `::`-, or
+  // `autocat::`-qualified — does.
+  static const std::regex kDirectParallelFor(
+      R"((^|[^A-Za-z0-9_.>:])((?:::|autocat::)?ParallelFor)\s*\()");
+  const std::vector<std::string> lines = SplitLines(content);
+  bool in_block_comment = false;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string code = StripCommentsAndStrings(lines[i],
+                                                     &in_block_comment);
+    if (IsSuppressed(lines[i], "direct-parallel-for")) {
+      continue;
+    }
+    if (std::regex_search(code, kDirectParallelFor)) {
+      issues.push_back(LintIssue{
+          rel_path, i + 1, "direct-parallel-for",
+          "direct ParallelFor call outside "
+          "src/exec/pipeline/scheduler.cc; exec/serve code drives "
+          "parallel work through the morsel scheduler "
+          "(RunMorselPipeline)"});
+    }
+  }
+  return issues;
+}
+
 std::vector<LintIssue> CheckUnorderedContainer(const std::string& rel_path,
                                                const std::string& content) {
   std::vector<LintIssue> issues;
@@ -766,6 +803,7 @@ std::vector<LintIssue> LintFileContent(const std::string& rel_path,
   }
   append(CheckBannedCalls(rel_path, content));
   append(CheckRawMmap(rel_path, content));
+  append(CheckDirectParallelFor(rel_path, content));
   append(CheckRawThread(rel_path, content));
   append(CheckUnorderedContainer(rel_path, content));
   append(CheckDroppedStatus(rel_path, content, context.status_functions));

@@ -70,6 +70,18 @@ std::vector<LintIssue> CheckUnorderedContainer(const std::string& rel_path,
 std::vector<LintIssue> CheckRawMmap(const std::string& rel_path,
                                     const std::string& content);
 
+/// Rule `direct-parallel-for`: a direct `ParallelFor(` call under
+/// src/exec/ or src/serve/ outside the one sanctioned TU,
+/// src/exec/pipeline/scheduler.cc. Operator and serving code must drive
+/// parallel work through the morsel scheduler (RunMorselPipeline), which
+/// owns grain choice and the chunk-ordered-merge determinism contract —
+/// a stray ParallelFor reintroduces the per-stage barriers the pipeline
+/// removed. The match is word-bounded and call-shaped, so
+/// `RunParallelFor(` and mentions in comments or strings do not count.
+/// Other layers (core/, workload/, store/) keep their direct calls.
+std::vector<LintIssue> CheckDirectParallelFor(const std::string& rel_path,
+                                              const std::string& content);
+
 /// Harvests names of functions declared to return `Status` or
 /// `Result<...>` from a header's `content` (declaration-at-line-start
 /// heuristic), for use with CheckDroppedStatus.

@@ -32,6 +32,12 @@ struct LoadgenConfig {
   size_t cache_mb = 64;
   uint64_t seed = 4242;
   bool bypass_cache = false;
+  // Duplicate-signature burst mode: each scheduled request is issued as
+  // this many concurrent duplicates of the same query (total requests =
+  // --requests * --burst). Duplicates of a cold signature coalesce onto
+  // one in-flight execution (serve/coalesce.h); the replay summary
+  // reports the executed-cold-path reduction. 1 = off.
+  size_t burst = 1;
 
   // Scenario harness mode, selected by --scenario=<builtin name> or
   // --scenario-file=<spec path> (mutually exclusive).
@@ -58,7 +64,7 @@ inline std::string LoadgenUsage(std::string_view argv0) {
       " [--homes=N] [--queries=N] [--requests=N]\n"
       "          [--signatures=N] [--qps=D] [--threads=N]\n"
       "          [--deadline-ms=N] [--cache-mb=N] [--seed=N]\n"
-      "          [--bypass-cache] [--store=PATH]\n"
+      "          [--bypass-cache] [--burst=K] [--store=PATH]\n"
       "          [--scenario=NAME | --scenario-file=PATH]\n"
       "          [--adaptive] [--adapt-every=N] [--paced]\n";
   return out;
@@ -151,6 +157,11 @@ inline Result<LoadgenConfig> ParseLoadgenArgs(
         return FlagError("seed", parsed.status());
       }
       config.seed = parsed.value();
+    } else if (MatchFlag(arg, "burst", &value)) {
+      AUTOCAT_RETURN_IF_ERROR(ParseSize("burst", value, &config.burst));
+      if (config.burst == 0) {
+        return Status::InvalidArgument("--burst: must be >= 1");
+      }
     } else if (MatchFlag(arg, "store", &value)) {
       if (value.empty()) {
         return Status::InvalidArgument("--store: path must not be empty");
@@ -183,6 +194,14 @@ inline Result<LoadgenConfig> ParseLoadgenArgs(
   if (!config.store.empty() && config.scenario_mode()) {
     return Status::InvalidArgument(
         "--store applies to legacy replay mode only, not --scenario");
+  }
+  if (config.burst > 1 && config.scenario_mode()) {
+    return Status::InvalidArgument(
+        "--burst applies to legacy replay mode only, not --scenario");
+  }
+  if (config.burst > 1 && config.bypass_cache) {
+    return Status::InvalidArgument(
+        "--burst needs coalescing, which --bypass-cache disables");
   }
   return config;
 }
