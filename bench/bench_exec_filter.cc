@@ -3,14 +3,21 @@
 // chunk-order merge, swept across selectivities {0.1%, 1%, 10%, 90%} of
 // the synthetic ListProperty table (price-quantile range predicates).
 //
+// The same queries also run over a price-clustered copy (rows sorted by
+// price, the simgen --sort-by emission) and an explicitly shuffled copy,
+// with and without the SIMD kernels, to isolate the two zone-map
+// effects: morsel pruning (clustered zones rule most morsels all-fail
+// or all-pass) and the AVX2 mask kernels (mixed morsels). Each layout
+// run reports the pruned / all-pass morsel fractions as counters.
+//
 // Flags:
 //   --threads=N   restrict the parallel sweep to one thread count
 //   --smoke       tiny table (4K rows) and a {1, 2} sweep, for running
 //                 under sanitizers in CI (tools/ci.sh --bench-smoke)
 //
-// Startup cross-checks every (selectivity) query on both paths and
-// aborts on any divergence, so the timings below are only ever reported
-// for bit-identical results.
+// Startup cross-checks every (layout, selectivity) query on both paths
+// and aborts on any divergence, so the timings below are only ever
+// reported for bit-identical results.
 
 #include <benchmark/benchmark.h>
 
@@ -20,11 +27,15 @@
 #include <cstring>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_common.h"
 #include "common/check.h"
+#include "common/random.h"
 #include "exec/executor.h"
+#include "exec/kernels.h"
+#include "exec/simd_kernels.h"
 #include "simgen/geo.h"
 #include "simgen/homes_generator.h"
 #include "sql/parser.h"
@@ -43,18 +54,28 @@ bench::ThreadScalingReporter& Reporter() {
   return *reporter;
 }
 
+// Row layouts under test: the generator's emission order, a price-sorted
+// copy (what `simgen --sort-by price` ships to the store loader), and a
+// seeded shuffle (the adversarial layout for zone maps).
+enum Layout { kGenerator = 0, kClustered = 1, kShuffled = 2 };
+inline constexpr const char* kLayoutTables[] = {
+    "ListProperty", "ListPropertyClustered", "ListPropertyShuffled"};
+
 struct SelectivityCase {
   std::string label;    // e.g. "sel=1%"
-  SelectQuery query;    // SELECT * FROM ListProperty WHERE price <= X
+  SelectQuery query;    // SELECT * FROM <layout table> WHERE price <= X
   size_t matching = 0;  // rows the predicate keeps (both paths agree)
+  double pruned_frac = 0.0;    // morsels the zone prover ruled all-fail
+  double all_pass_frac = 0.0;  // morsels it ruled all-pass
 };
 
-// The homes table, its database, and one pre-parsed query per target
-// selectivity. Built once, after flag parsing.
+// The homes table in each layout, their shared database, and one
+// pre-parsed query per (layout, selectivity). Built once, after flag
+// parsing.
 struct FilterFixture {
   Database db;
   size_t num_rows = 0;
-  std::vector<SelectivityCase> cases;
+  std::vector<SelectivityCase> cases[3];
 
   static FilterFixture& Get() {
     static FilterFixture* fixture = [] {
@@ -66,22 +87,64 @@ struct FilterFixture {
       auto homes = generator.Generate();
       AUTOCAT_CHECK(homes.ok());
       f->num_rows = homes.value().num_rows();
+      const Schema schema = homes.value().schema();
 
       // Price thresholds at the target quantiles.
-      size_t price_col = homes.value().schema().num_columns();
-      for (size_t c = 0; c < homes.value().schema().num_columns(); ++c) {
-        if (homes.value().schema().column(c).name == "price") {
+      size_t price_col = schema.num_columns();
+      for (size_t c = 0; c < schema.num_columns(); ++c) {
+        if (schema.column(c).name == "price") {
           price_col = c;
         }
       }
-      AUTOCAT_CHECK(price_col < homes.value().schema().num_columns());
+      AUTOCAT_CHECK(price_col < schema.num_columns());
       std::vector<double> prices;
       prices.reserve(f->num_rows);
       for (size_t r = 0; r < f->num_rows; ++r) {
         prices.push_back(homes.value().ValueAt(r, price_col).AsDouble());
       }
-      std::sort(prices.begin(), prices.end());
 
+      // Clustered and shuffled copies of the same rows.
+      std::vector<Row> sorted_rows;
+      std::vector<Row> shuffled_rows;
+      sorted_rows.reserve(f->num_rows);
+      for (size_t r = 0; r < f->num_rows; ++r) {
+        sorted_rows.push_back(homes.value().row(r));
+      }
+      shuffled_rows = sorted_rows;
+      std::vector<size_t> order(f->num_rows);
+      for (size_t r = 0; r < f->num_rows; ++r) {
+        order[r] = r;
+      }
+      std::stable_sort(order.begin(), order.end(),
+                       [&prices](size_t a, size_t b) {
+                         return prices[a] < prices[b];
+                       });
+      for (size_t r = 0; r < f->num_rows; ++r) {
+        sorted_rows[r] = homes.value().row(order[r]);
+      }
+      Random rng(97);
+      for (size_t r = f->num_rows; r > 1; --r) {
+        std::swap(shuffled_rows[r - 1],
+                  shuffled_rows[static_cast<size_t>(
+                      rng.Uniform(0, static_cast<int64_t>(r) - 1))]);
+      }
+      AUTOCAT_CHECK(f->db
+                        .RegisterTable(kLayoutTables[kClustered],
+                                       Table::FromValidatedRows(
+                                           schema, std::move(sorted_rows)))
+                        .ok());
+      AUTOCAT_CHECK(
+          f->db
+              .RegisterTable(kLayoutTables[kShuffled],
+                             Table::FromValidatedRows(
+                                 schema, std::move(shuffled_rows)))
+              .ok());
+      AUTOCAT_CHECK(f->db
+                        .RegisterTable(kLayoutTables[kGenerator],
+                                       std::move(homes).value())
+                        .ok());
+
+      std::sort(prices.begin(), prices.end());
       const struct {
         const char* label;
         double quantile;
@@ -89,43 +152,78 @@ struct FilterFixture {
                      {"sel=1%", 0.01},
                      {"sel=10%", 0.10},
                      {"sel=90%", 0.90}};
-      AUTOCAT_CHECK(f->db.RegisterTable("ListProperty",
-                                        std::move(homes).value())
-                        .ok());
-      for (const auto& target : targets) {
-        const size_t rank = std::min(
-            prices.size() - 1,
-            static_cast<size_t>(target.quantile *
-                                static_cast<double>(prices.size())));
-        const std::string sql = "SELECT * FROM ListProperty WHERE price <= " +
-                                std::to_string(prices[rank]);
-        auto query = ParseQuery(sql);
-        AUTOCAT_CHECK(query.ok());
-        SelectivityCase c;
-        c.label = target.label;
-        c.query = std::move(query).value();
-        f->cases.push_back(std::move(c));
+      for (int layout = 0; layout < 3; ++layout) {
+        for (const auto& target : targets) {
+          const size_t rank = std::min(
+              prices.size() - 1,
+              static_cast<size_t>(target.quantile *
+                                  static_cast<double>(prices.size())));
+          // price is an int64 column; an integer literal keeps the
+          // predicate on the exact int64 compare (and its SIMD kernel)
+          // instead of the widening scalar-only mixed-numeric branch.
+          const std::string sql =
+              std::string("SELECT * FROM ") + kLayoutTables[layout] +
+              " WHERE price <= " +
+              std::to_string(static_cast<int64_t>(prices[rank]));
+          auto query = ParseQuery(sql);
+          AUTOCAT_CHECK(query.ok());
+          SelectivityCase c;
+          c.label = target.label;
+          c.query = std::move(query).value();
+          f->cases[layout].push_back(std::move(c));
+        }
       }
 
       // Equality gate: both paths must agree cell-for-cell before any
-      // timing is trusted.
-      for (SelectivityCase& c : f->cases) {
-        ExecOptions row_opts;
-        row_opts.use_columnar = false;
-        ExecOptions col_opts;
-        auto by_rows = ExecuteQuery(c.query, f->db, row_opts);
-        auto by_cols = ExecuteQuery(c.query, f->db, col_opts);
-        AUTOCAT_CHECK(by_rows.ok() && by_cols.ok());
-        AUTOCAT_CHECK(by_rows.value().num_rows() ==
-                      by_cols.value().num_rows());
-        for (size_t r = 0; r < by_rows.value().num_rows(); ++r) {
-          for (size_t col = 0; col < by_rows.value().schema().num_columns();
-               ++col) {
-            AUTOCAT_CHECK(by_rows.value().ValueAt(r, col) ==
-                          by_cols.value().ValueAt(r, col));
+      // timing is trusted; the zone stats come from the same compiled
+      // predicates the columnar path runs.
+      for (int layout = 0; layout < 3; ++layout) {
+        auto shadow = f->db.ColumnarFor(kLayoutTables[layout]);
+        AUTOCAT_CHECK(shadow.ok());
+        for (SelectivityCase& c : f->cases[layout]) {
+          ExecOptions row_opts;
+          row_opts.use_columnar = false;
+          ExecOptions col_opts;
+          auto by_rows = ExecuteQuery(c.query, f->db, row_opts);
+          auto by_cols = ExecuteQuery(c.query, f->db, col_opts);
+          AUTOCAT_CHECK(by_rows.ok() && by_cols.ok());
+          AUTOCAT_CHECK(by_rows.value().num_rows() ==
+                        by_cols.value().num_rows());
+          for (size_t r = 0; r < by_rows.value().num_rows(); ++r) {
+            for (size_t col = 0;
+                 col < by_rows.value().schema().num_columns(); ++col) {
+              AUTOCAT_CHECK(by_rows.value().ValueAt(r, col) ==
+                            by_cols.value().ValueAt(r, col));
+            }
+          }
+          c.matching = by_rows.value().num_rows();
+
+          AUTOCAT_CHECK(c.query.where != nullptr);
+          auto compiled = CompiledPredicate::Compile(
+              *c.query.where, schema, shadow.value());
+          AUTOCAT_CHECK(compiled.ok());
+          size_t pruned = 0;
+          size_t all_pass = 0;
+          const size_t morsels = compiled.value().num_morsels();
+          for (size_t m = 0; m < morsels; ++m) {
+            switch (compiled.value().MorselVerdict(m)) {
+              case CompiledPredicate::ZoneVerdict::kAllFail:
+                ++pruned;
+                break;
+              case CompiledPredicate::ZoneVerdict::kAllPass:
+                ++all_pass;
+                break;
+              case CompiledPredicate::ZoneVerdict::kMixed:
+                break;
+            }
+          }
+          if (morsels > 0) {
+            c.pruned_frac =
+                static_cast<double>(pruned) / static_cast<double>(morsels);
+            c.all_pass_frac = static_cast<double>(all_pass) /
+                              static_cast<double>(morsels);
           }
         }
-        c.matching = by_rows.value().num_rows();
       }
       return f;
     }();
@@ -134,14 +232,21 @@ struct FilterFixture {
 };
 
 // One benchmark body: execute the case's query end to end (filter +
-// materialize) with the given options, reporting ms/op and selectivity.
+// materialize) with the given options, reporting ms/op, selectivity, and
+// the layout's zone-verdict fractions. `force_scalar` turns the SIMD
+// kernels off for the duration (zone pruning stays on — the two effects
+// are separable).
 void BM_Filter(benchmark::State& state, const std::string& mode,
-               size_t case_index, bool use_columnar, size_t threads) {
+               int layout, size_t case_index, bool use_columnar,
+               size_t threads, bool force_scalar = false) {
   FilterFixture& fixture = FilterFixture::Get();
-  const SelectivityCase& c = fixture.cases[case_index];
+  const SelectivityCase& c = fixture.cases[layout][case_index];
   ExecOptions options;
   options.use_columnar = use_columnar;
   options.parallel.threads = threads;
+  if (force_scalar) {
+    simd::ForceScalarForTest(true);
+  }
   size_t ops = 0;
   const auto start = std::chrono::steady_clock::now();
   for (auto _ : state) {
@@ -153,9 +258,14 @@ void BM_Filter(benchmark::State& state, const std::string& mode,
   const double elapsed_ms = std::chrono::duration<double, std::milli>(
                                 std::chrono::steady_clock::now() - start)
                                 .count();
+  if (force_scalar) {
+    simd::ForceScalarForTest(false);
+  }
   state.counters["threads"] = static_cast<double>(threads);
   state.counters["rows"] = static_cast<double>(fixture.num_rows);
   state.counters["selected"] = static_cast<double>(c.matching);
+  state.counters["pruned_frac"] = c.pruned_frac;
+  state.counters["all_pass_frac"] = c.all_pass_frac;
   state.SetLabel(c.label);
   if (ops > 0) {
     Reporter().Record(mode + " " + c.label, threads,
@@ -190,14 +300,14 @@ int main(int argc, char** argv) {
     benchmark::RegisterBenchmark(
         ("BM_FilterRow" + suffix).c_str(),
         [i](benchmark::State& state) {
-          BM_Filter(state, "row", i, false, 1);
+          BM_Filter(state, "row", kGenerator, i, false, 1);
         })
         ->Unit(benchmark::kMillisecond)
         ->UseRealTime();
     benchmark::RegisterBenchmark(
         ("BM_FilterColumnar" + suffix).c_str(),
         [i](benchmark::State& state) {
-          BM_Filter(state, "columnar", i, true, 1);
+          BM_Filter(state, "columnar", kGenerator, i, true, 1);
         })
         ->Unit(benchmark::kMillisecond)
         ->UseRealTime();
@@ -207,7 +317,33 @@ int main(int argc, char** argv) {
            std::to_string(threads))
               .c_str(),
           [i, threads](benchmark::State& state) {
-            BM_Filter(state, "columnar", i, true, threads);
+            BM_Filter(state, "columnar", kGenerator, i, true, threads);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->UseRealTime();
+    }
+    // Layout sweep: zone pruning (clustered vs shuffled) and the SIMD
+    // kernels (on vs forced-scalar), single-threaded so the per-morsel
+    // work is what's measured.
+    const struct {
+      const char* name;
+      int layout;
+      bool force_scalar;
+    } layout_runs[] = {
+        {"BM_FilterClustered", kClustered, false},
+        {"BM_FilterClusteredScalar", kClustered, true},
+        {"BM_FilterShuffled", kShuffled, false},
+        {"BM_FilterShuffledScalar", kShuffled, true},
+    };
+    for (const auto& run : layout_runs) {
+      const std::string mode =
+          std::string(run.layout == kClustered ? "clustered" : "shuffled") +
+          (run.force_scalar ? "-scalar" : "");
+      benchmark::RegisterBenchmark(
+          (run.name + suffix).c_str(),
+          [i, run, mode](benchmark::State& state) {
+            BM_Filter(state, mode, run.layout, i, true, 1,
+                      run.force_scalar);
           })
           ->Unit(benchmark::kMillisecond)
           ->UseRealTime();

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <memory>
 #include <string>
 #include <utility>
 
 #include "exec/pipeline/morsel.h"
 #include "exec/pipeline/scheduler.h"
+#include "exec/simd_kernels.h"
 
 namespace autocat {
 
@@ -113,27 +116,116 @@ bool MemberOf(const std::vector<double>& v, double a) {
   return found;
 }
 
+// ---- zone proving + SIMD plumbing ------------------------------------
+
+using ZV = CompiledPredicate::ZoneVerdict;
+using ZoneFn = std::function<ZV(size_t)>;
+using SimdFill = std::function<bool(size_t begin, size_t end,
+                                    uint64_t* bits)>;
+
+double DoubleFromBits(uint64_t bits) {
+  double d = 0;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+// Expands a row-per-bit verdict bitmap into the 0/1 byte-mask protocol of
+// the leaf kernels: 8 bits become 8 bytes per step via the multiply
+// spread (replicate the byte into every lane, isolate one bit per lane,
+// saturate it down to 0/1).
+void ExpandBits(const uint64_t* bits, size_t n, uint8_t* mask) {
+  size_t j = 0;
+  for (size_t w = 0; j < n; ++w) {
+    uint64_t word = bits[w];
+    for (int byte = 0; byte < 8 && j < n; ++byte, word >>= 8) {
+      uint64_t m = (word & 0xff) * 0x0101010101010101ULL;
+      m &= 0x8040201008040201ULL;
+      m = ((m + 0x7f7f7f7f7f7f7f7fULL) >> 7) & 0x0101010101010101ULL;
+      if (n - j >= 8) {
+        std::memcpy(mask + j, &m, 8);
+        j += 8;
+      } else {
+        std::memcpy(mask + j, &m, n - j);
+        j = n;
+      }
+    }
+  }
+}
+
+// Truth-table bits reachable by a Cmp3 result in [cmin, cmax]. The
+// three-way compare against a fixed literal is monotone non-decreasing in
+// the cell value, so the verdicts of a zone's cells lie between the
+// verdicts of its extrema — the reachable set is exactly this interval
+// (and a superset is sound for both all-fail and all-pass anyway).
+uint8_t PossibleBits(int cmin, int cmax) {
+  uint8_t possible = 0;
+  for (int c = cmin; c <= cmax; ++c) {
+    possible |= static_cast<uint8_t>(1 << (c + 1));
+  }
+  return possible;
+}
+
+// all-fail when no reachable class is accepted; all-pass when every
+// reachable class is accepted; otherwise unprovable.
+ZV TableZoneVerdict(uint8_t possible, uint8_t table) {
+  if ((table & possible) == 0) {
+    return ZV::kAllFail;
+  }
+  if ((possible & static_cast<uint8_t>(~table) & 0b111) == 0) {
+    return ZV::kAllPass;
+  }
+  return ZV::kMixed;
+}
+
 // Wraps a per-row predicate (null handling excluded) into a leaf that
 // masks NULL rows off with the null bitmap — or skips the bitmap
 // entirely when the column has no NULLs. The predicate is evaluated
 // unconditionally: NULL slots hold in-range defaults (0 / 0.0 / code 0,
 // see ColumnarTable::Build), so the loads are safe and the `&` keeps the
 // result exact.
+//
+// When `simd_fill` is provided the leaf first offers the span to the
+// vector kernel. Morsel dispatch always starts chunks on a multiple of
+// kMorselRows (a multiple of 64), so the verdict words line up with the
+// null-bitmap words and the NULL mask is a word-wise ANDNOT instead of a
+// per-row bit probe. The kernel either produces bit-identical verdicts
+// or declines (no AVX2, test override), in which case the scalar loop
+// runs — the mask is the same either way.
 template <typename Pred>
-Node MaskedLeaf(const Column* col, Pred pred) {
+Node MaskedLeafSimd(const Column* col, Pred pred, SimdFill simd_fill) {
   Node node;
   if (col->null_count == 0) {
-    node = LeafNode([pred](size_t begin, size_t end, uint8_t* mask) {
+    node = LeafNode([pred, simd_fill](size_t begin, size_t end,
+                                      uint8_t* mask) {
+      if (simd_fill && (begin & 63) == 0 && end - begin <= kMorselRows) {
+        uint64_t bits[kMorselRows / 64];
+        if (simd_fill(begin, end, bits)) {
+          ExpandBits(bits, end - begin, mask);
+          return;
+        }
+      }
       for (size_t r = begin; r < end; ++r) {
         mask[r - begin] = static_cast<uint8_t>(pred(r));
       }
     });
     node.row_pred = pred;
+    node.simd = static_cast<bool>(simd_fill);
     return node;
   }
   const uint64_t* null_words = col->null_words.data();
-  node = LeafNode([null_words, pred](size_t begin, size_t end,
-                                     uint8_t* mask) {
+  node = LeafNode([null_words, pred, simd_fill](size_t begin, size_t end,
+                                                uint8_t* mask) {
+    if (simd_fill && (begin & 63) == 0 && end - begin <= kMorselRows) {
+      uint64_t bits[kMorselRows / 64];
+      if (simd_fill(begin, end, bits)) {
+        const size_t words = (end - begin + 63) / 64;
+        for (size_t w = 0; w < words; ++w) {
+          bits[w] &= ~null_words[(begin >> 6) + w];
+        }
+        ExpandBits(bits, end - begin, mask);
+        return;
+      }
+    }
     for (size_t r = begin; r < end; ++r) {
       const auto not_null =
           static_cast<uint8_t>(~(null_words[r >> 6] >> (r & 63)) & 1);
@@ -143,7 +235,95 @@ Node MaskedLeaf(const Column* col, Pred pred) {
   node.row_pred = [null_words, pred](size_t r) {
     return ((~(null_words[r >> 6] >> (r & 63)) & 1) != 0) && pred(r);
   };
+  node.simd = static_cast<bool>(simd_fill);
   return node;
+}
+
+template <typename Pred>
+Node MaskedLeaf(const Column* col, Pred pred) {
+  return MaskedLeafSimd(col, std::move(pred), SimdFill());
+}
+
+// Wraps an extrema-level prover `zp` — a verdict about a zone's non-NULL,
+// non-NaN cells, derived from its ZoneEntry — into the per-morsel zone fn
+// of a MaskedLeaf, restoring the cells the extrema do not describe: NULL
+// rows always fail a masked leaf, so all-pass additionally requires a
+// NULL-free zone (all-NULL zones fail outright); NaN cells get the leaf's
+// compile-time constant verdict `nan_pass`, so a has_nan zone keeps
+// all-pass only when NaN passes too, and all-fail only when NaN fails.
+// An all-NaN zone retains zeroed extrema — still sound, because `zp`'s
+// claim then quantifies over zero cells and only the NaN/NULL
+// adjustments decide the verdict.
+template <typename ZP>
+ZoneFn MaskedZone(const Column* col, bool nan_pass, ZP zp) {
+  if (col->zones.empty()) {
+    return nullptr;
+  }
+  const ZoneEntry* zones = col->zones.data();
+  const size_t num_zones = col->zones.size();
+  return [zones, num_zones, nan_pass, zp](size_t m) {
+    if (m >= num_zones) {
+      return ZV::kMixed;
+    }
+    const ZoneEntry& z = zones[m];
+    if (z.valid_count == 0) {
+      return ZV::kAllFail;
+    }
+    ZV v = zp(z);
+    if (z.has_nan && ((v == ZV::kAllPass && !nan_pass) ||
+                      (v == ZV::kAllFail && nan_pass))) {
+      v = ZV::kMixed;
+    }
+    if (v == ZV::kAllPass && z.valid_count != z.row_count) {
+      v = ZV::kMixed;
+    }
+    return v;
+  };
+}
+
+// Zone prover for dictionary-code accept tables: prefix sums turn "how
+// many accepted codes lie in [min_code, max_code]" into O(1) per zone.
+// The dictionary is sorted, so the code extrema bound the zone's codes
+// exactly; a full interval of accepted codes proves all-pass, an empty
+// one all-fail.
+ZoneFn DictZone(const Column* col, const std::vector<uint8_t>& accept) {
+  if (col->zones.empty()) {
+    return nullptr;
+  }
+  auto prefix =
+      std::make_shared<std::vector<uint32_t>>(col->dict.size() + 1, 0);
+  for (size_t c = 0; c < col->dict.size(); ++c) {
+    (*prefix)[c + 1] = (*prefix)[c] + accept[c];
+  }
+  return MaskedZone(
+      col, /*nan_pass=*/false,
+      [prefix, n = col->dict.size()](const ZoneEntry& z) {
+        const uint64_t lo = z.min_bits;
+        const uint64_t hi = z.max_bits;
+        if (hi >= n || lo > hi) {
+          return ZV::kMixed;  // defensive: never trust corrupt extrema
+        }
+        const uint32_t hits = (*prefix)[hi + 1] - (*prefix)[lo];
+        if (hits == 0) {
+          return ZV::kAllFail;
+        }
+        if (hits == hi - lo + 1) {
+          return ZV::kAllPass;
+        }
+        return ZV::kMixed;
+      });
+}
+
+// Widens a compiled uint8 accept table once (the gather kernel reads full
+// 32-bit lanes) and binds the AcceptCodes SIMD fill for `col`'s codes.
+SimdFill DictSimd(const Column* col, const std::vector<uint8_t>& accept) {
+  auto accept32 = std::make_shared<std::vector<uint32_t>>(accept.begin(),
+                                                          accept.end());
+  return [codes = col->codes.data(), accept32](size_t begin, size_t end,
+                                               uint64_t* bits) {
+    return simd::AcceptCodes(codes + begin, end - begin, accept32->data(),
+                             accept32->size(), bits);
+  };
 }
 
 // ---- comparison kernels ----------------------------------------------
@@ -153,22 +333,66 @@ Node NumericCompareLeaf(const Column* col, const Value& lit, uint8_t table) {
     // Both int64: Value::Compare compares exactly, with no double
     // round-trip (distinguishes 2^53 + 1 from 2^53).
     const int64_t b = lit.int64_value();
-    return MaskedLeaf(col, [vals = col->i64.data(), b, table](size_t r) {
-      return ((table >> (Cmp3(vals[r], b) + 1)) & 1) != 0;
-    });
+    const int64_t* vals = col->i64.data();
+    Node node = MaskedLeafSimd(
+        col,
+        [vals, b, table](size_t r) {
+          return ((table >> (Cmp3(vals[r], b) + 1)) & 1) != 0;
+        },
+        [vals, b, table](size_t begin, size_t end, uint64_t* bits) {
+          return simd::CompareI64(vals + begin, end - begin, b, table,
+                                  bits);
+        });
+    node.zone = MaskedZone(
+        col, /*nan_pass=*/false, [b, table](const ZoneEntry& z) {
+          const int cmin = Cmp3(static_cast<int64_t>(z.min_bits), b);
+          const int cmax = Cmp3(static_cast<int64_t>(z.max_bits), b);
+          return TableZoneVerdict(PossibleBits(cmin, cmax), table);
+        });
+    return node;
   }
   if (col->type == ValueType::kInt64) {
     // int64 cell vs double literal: mixed numerics widen via AsDouble.
+    // Scalar only (AVX2 has no packed int64->double conversion), but the
+    // cast is monotone, so the zone prover still applies to the widened
+    // extrema.
     const double b = lit.double_value();
-    return MaskedLeaf(col, [vals = col->i64.data(), b, table](size_t r) {
+    Node node = MaskedLeaf(col, [vals = col->i64.data(), b,
+                                 table](size_t r) {
       return ((table >> (Cmp3(static_cast<double>(vals[r]), b) + 1)) & 1) !=
              0;
     });
+    node.zone = MaskedZone(
+        col, /*nan_pass=*/false, [b, table](const ZoneEntry& z) {
+          const int cmin = Cmp3(
+              static_cast<double>(static_cast<int64_t>(z.min_bits)), b);
+          const int cmax = Cmp3(
+              static_cast<double>(static_cast<int64_t>(z.max_bits)), b);
+          return TableZoneVerdict(PossibleBits(cmin, cmax), table);
+        });
+    return node;
   }
   const double b = lit.AsDouble();
-  return MaskedLeaf(col, [vals = col->f64.data(), b, table](size_t r) {
-    return ((table >> (Cmp3(vals[r], b) + 1)) & 1) != 0;
-  });
+  const double* vals = col->f64.data();
+  Node node = MaskedLeafSimd(
+      col,
+      [vals, b, table](size_t r) {
+        return ((table >> (Cmp3(vals[r], b) + 1)) & 1) != 0;
+      },
+      [vals, b, table](size_t begin, size_t end, uint64_t* bits) {
+        return simd::CompareF64(vals + begin, end - begin, b, table, bits);
+      });
+  // NaN cells land on c == 0, the bit the literal's truth table accepts
+  // or rejects uniformly; a NaN literal pins every comparison (extrema
+  // included) to c == 0, so the possible-bits interval stays exact.
+  node.zone = MaskedZone(
+      col, /*nan_pass=*/((table >> 1) & 1) != 0,
+      [b, table](const ZoneEntry& z) {
+        const int cmin = Cmp3(DoubleFromBits(z.min_bits), b);
+        const int cmax = Cmp3(DoubleFromBits(z.max_bits), b);
+        return TableZoneVerdict(PossibleBits(cmin, cmax), table);
+      });
+  return node;
 }
 
 Node StringCompareLeaf(const Column* col, const std::string& s,
@@ -186,10 +410,16 @@ Node StringCompareLeaf(const Column* col, const std::string& s,
     const int c = present ? Cmp3(code, p) : (code < p ? -1 : 1);
     accept[code] = static_cast<uint8_t>((table >> (c + 1)) & 1);
   }
-  return MaskedLeaf(col, [codes = col->codes.data(),
-                          accept = std::move(accept)](size_t r) {
-    return accept[codes[r]] != 0;
-  });
+  ZoneFn zone = DictZone(col, accept);
+  SimdFill fill = DictSimd(col, accept);
+  Node node = MaskedLeafSimd(col,
+                             [codes = col->codes.data(),
+                              accept = std::move(accept)](size_t r) {
+                               return accept[codes[r]] != 0;
+                             },
+                             std::move(fill));
+  node.zone = std::move(zone);
+  return node;
 }
 
 Result<Node> CompileComparison(const ComparisonExpr& cmp,
@@ -274,10 +504,16 @@ Result<Node> CompileInList(const InListExpr& in, const Schema& schema,
         member[code] ^= 1;
       }
     }
-    return MaskedLeaf(&col, [codes = col.codes.data(),
-                             member = std::move(member)](size_t r) {
-      return member[codes[r]] != 0;
-    });
+    ZoneFn zone = DictZone(&col, member);
+    SimdFill fill = DictSimd(&col, member);
+    Node node = MaskedLeafSimd(&col,
+                               [codes = col.codes.data(),
+                                member = std::move(member)](size_t r) {
+                                 return member[codes[r]] != 0;
+                               },
+                               std::move(fill));
+    node.zone = std::move(zone);
+    return node;
   }
   // Numeric column. int64 literals are kept exact for int64 columns; a
   // NaN literal compares "equal" to every numeric cell under
@@ -300,15 +536,45 @@ Result<Node> CompileInList(const InListExpr& in, const Schema& schema,
     }
     std::sort(vi.begin(), vi.end());
     std::sort(vd.begin(), vd.end());
-    return MaskedLeaf(&col, [vals = col.i64.data(), vi = std::move(vi),
-                             vd = std::move(vd), match_all,
-                             negated](size_t r) {
+    // Zone prover: a NaN literal matches everything (uniform verdict); a
+    // constant zone evaluates the membership once; a zone whose value
+    // range misses every member (both lists sorted) proves no match.
+    // Overlap proves nothing — membership inside the range stays kMixed.
+    ZoneFn zone = MaskedZone(
+        &col, /*nan_pass=*/false,
+        [vi, vd, match_all, negated](const ZoneEntry& z) {
+          const int64_t zmin = static_cast<int64_t>(z.min_bits);
+          const int64_t zmax = static_cast<int64_t>(z.max_bits);
+          if (match_all) {
+            return negated ? ZV::kAllFail : ZV::kAllPass;
+          }
+          if (zmin == zmax) {
+            const bool found =
+                MemberOf(vi, zmin) ||
+                (!vd.empty() && MemberOf(vd, static_cast<double>(zmin)));
+            return found != negated ? ZV::kAllPass : ZV::kAllFail;
+          }
+          const bool vi_overlap =
+              !vi.empty() && vi.back() >= zmin && vi.front() <= zmax;
+          const bool vd_overlap = !vd.empty() &&
+                                  vd.back() >= static_cast<double>(zmin) &&
+                                  vd.front() <= static_cast<double>(zmax);
+          if (!vi_overlap && !vd_overlap) {
+            return negated ? ZV::kAllPass : ZV::kAllFail;
+          }
+          return ZV::kMixed;
+        });
+    Node node = MaskedLeaf(&col, [vals = col.i64.data(), vi = std::move(vi),
+                                  vd = std::move(vd), match_all,
+                                  negated](size_t r) {
       const int64_t a = vals[r];
       const bool found =
           match_all || MemberOf(vi, a) ||
           (!vd.empty() && MemberOf(vd, static_cast<double>(a)));
       return found != negated;
     });
+    node.zone = std::move(zone);
+    return node;
   }
   bool any_numeric = false;
   std::vector<double> vd;
@@ -325,8 +591,29 @@ Result<Node> CompileInList(const InListExpr& in, const Schema& schema,
     }
   }
   std::sort(vd.begin(), vd.end());
-  return MaskedLeaf(&col, [vals = col.f64.data(), vd = std::move(vd),
-                           match_all, any_numeric, negated](size_t r) {
+  // nan_pass: a NaN cell matches iff the list has a numeric entry, then
+  // negation flips. A bit-constant zone (min_bits == max_bits) evaluates
+  // once — sound even across ±0.0, which compare equal everywhere the
+  // predicate looks.
+  ZoneFn zone = MaskedZone(
+      &col, /*nan_pass=*/any_numeric != negated,
+      [vd, match_all, negated](const ZoneEntry& z) {
+        const double zmin = DoubleFromBits(z.min_bits);
+        const double zmax = DoubleFromBits(z.max_bits);
+        if (match_all) {
+          return negated ? ZV::kAllFail : ZV::kAllPass;
+        }
+        if (z.min_bits == z.max_bits) {
+          return MemberOf(vd, zmin) != negated ? ZV::kAllPass
+                                               : ZV::kAllFail;
+        }
+        if (vd.empty() || vd.back() < zmin || vd.front() > zmax) {
+          return negated ? ZV::kAllPass : ZV::kAllFail;
+        }
+        return ZV::kMixed;
+      });
+  Node node = MaskedLeaf(&col, [vals = col.f64.data(), vd = std::move(vd),
+                                match_all, any_numeric, negated](size_t r) {
     const double a = vals[r];
     // A NaN cell compares "equal" to the first numeric literal the row
     // scan reaches, so it matches iff the list has any numeric entry.
@@ -334,6 +621,8 @@ Result<Node> CompileInList(const InListExpr& in, const Schema& schema,
         std::isnan(a) ? any_numeric : (match_all || MemberOf(vd, a));
     return found != negated;
   });
+  node.zone = std::move(zone);
+  return node;
 }
 
 // ---- BETWEEN kernels -------------------------------------------------
@@ -394,16 +683,22 @@ Result<Node> CompileBetween(const BetweenExpr& bt, const Schema& schema,
       const bool inside = code >= lo_code && code < hi_code;
       accept[code] = static_cast<uint8_t>(inside != negated);
     }
-    return MaskedLeaf(&col, [codes = col.codes.data(),
-                             accept = std::move(accept)](size_t r) {
-      return accept[codes[r]] != 0;
-    });
+    ZoneFn zone = DictZone(&col, accept);
+    SimdFill fill = DictSimd(&col, accept);
+    Node node = MaskedLeafSimd(&col,
+                               [codes = col.codes.data(),
+                                accept = std::move(accept)](size_t r) {
+                                 return accept[codes[r]] != 0;
+                               },
+                               std::move(fill));
+    node.zone = std::move(zone);
+    return node;
   }
   const NumBound lo = MakeBound(bt.lo());
   const NumBound hi = MakeBound(bt.hi());
   if (col.type == ValueType::kInt64) {
-    return MaskedLeaf(&col, [vals = col.i64.data(), lo, hi,
-                             negated](size_t r) {
+    Node node = MaskedLeaf(&col, [vals = col.i64.data(), lo, hi,
+                                  negated](size_t r) {
       const int64_t a = vals[r];
       const int c1 = lo.is_int ? Cmp3(a, lo.i)
                                : Cmp3(static_cast<double>(a), lo.d);
@@ -412,13 +707,66 @@ Result<Node> CompileBetween(const BetweenExpr& bt, const Schema& schema,
       const bool inside = (c1 >= 0) & (c2 <= 0);
       return inside != negated;
     });
+    // Interval membership is provable from extrema alone: both endpoints
+    // inside means every cell inside (the per-bound compare is monotone
+    // in the cell, NaN bounds included — a NaN bound compares c == 0 for
+    // every cell, which is exactly what the row kernel computes).
+    node.zone = MaskedZone(
+        &col, /*nan_pass=*/false, [lo, hi, negated](const ZoneEntry& z) {
+          const int64_t zmin = static_cast<int64_t>(z.min_bits);
+          const int64_t zmax = static_cast<int64_t>(z.max_bits);
+          const auto c_lo = [&lo](int64_t a) {
+            return lo.is_int ? Cmp3(a, lo.i)
+                             : Cmp3(static_cast<double>(a), lo.d);
+          };
+          const auto c_hi = [&hi](int64_t a) {
+            return hi.is_int ? Cmp3(a, hi.i)
+                             : Cmp3(static_cast<double>(a), hi.d);
+          };
+          if (c_lo(zmin) >= 0 && c_hi(zmax) <= 0) {
+            return negated ? ZV::kAllFail : ZV::kAllPass;
+          }
+          if (c_lo(zmax) < 0 || c_hi(zmin) > 0) {
+            return negated ? ZV::kAllPass : ZV::kAllFail;
+          }
+          return ZV::kMixed;
+        });
+    return node;
   }
-  return MaskedLeaf(&col, [vals = col.f64.data(), lo, hi,
-                           negated](size_t r) {
-    const double a = vals[r];
-    const bool inside = (Cmp3(a, lo.d) >= 0) & (Cmp3(a, hi.d) <= 0);
-    return inside != negated;
-  });
+  const double* fvals = col.f64.data();
+  // The non-negated form is exactly RangeF64's inclusive-inclusive test,
+  // NaN semantics included (a NaN cell — and a NaN bound — compares
+  // "equal", putting the row inside). Negation inverts the mask, which
+  // the bit kernel does not model, so NOT BETWEEN stays scalar.
+  SimdFill fill;
+  if (!negated) {
+    fill = [fvals, lo, hi](size_t begin, size_t end, uint64_t* bits) {
+      return simd::RangeF64(fvals + begin, end - begin, lo.d,
+                            /*lo_inclusive=*/true, hi.d,
+                            /*hi_inclusive=*/true, bits);
+    };
+  }
+  Node node = MaskedLeafSimd(&col,
+                             [vals = fvals, lo, hi, negated](size_t r) {
+                               const double a = vals[r];
+                               const bool inside = (Cmp3(a, lo.d) >= 0) &
+                                                   (Cmp3(a, hi.d) <= 0);
+                               return inside != negated;
+                             },
+                             std::move(fill));
+  node.zone = MaskedZone(
+      &col, /*nan_pass=*/!negated, [lo, hi, negated](const ZoneEntry& z) {
+        const double zmin = DoubleFromBits(z.min_bits);
+        const double zmax = DoubleFromBits(z.max_bits);
+        if (Cmp3(zmin, lo.d) >= 0 && Cmp3(zmax, hi.d) <= 0) {
+          return negated ? ZV::kAllFail : ZV::kAllPass;
+        }
+        if (Cmp3(zmax, lo.d) < 0 || Cmp3(zmin, hi.d) > 0) {
+          return negated ? ZV::kAllPass : ZV::kAllFail;
+        }
+        return ZV::kMixed;
+      });
+  return node;
 }
 
 // ---- IS NULL / logical -----------------------------------------------
@@ -452,6 +800,25 @@ Result<Node> CompileIsNull(const IsNullExpr& expr, const Schema& schema,
   node.row_pred = [null_words, flip](size_t r) {
     return (((null_words[r >> 6] >> (r & 63)) & 1) ^ flip) != 0;
   };
+  // The zone counts decide IS [NOT] NULL exactly — no extrema involved.
+  if (!col.zones.empty()) {
+    node.zone = [zones = col.zones.data(), nz = col.zones.size(),
+                 negated](size_t m) {
+      if (m >= nz) {
+        return CompiledPredicate::ZoneVerdict::kMixed;
+      }
+      const ZoneEntry& z = zones[m];
+      const uint32_t matching =
+          negated ? z.valid_count : z.row_count - z.valid_count;
+      if (matching == 0) {
+        return CompiledPredicate::ZoneVerdict::kAllFail;
+      }
+      if (matching == z.row_count) {
+        return CompiledPredicate::ZoneVerdict::kAllPass;
+      }
+      return CompiledPredicate::ZoneVerdict::kMixed;
+    };
+  }
   return node;
 }
 
@@ -531,8 +898,31 @@ Result<Node> CompileCondition(const AttributeCondition& cond,
       return ConstNode(false);
     }
     const NumericRange range = cond.range;
+    // Extrema prove ranges directly: out_lo is non-increasing and out_hi
+    // non-decreasing in the cell, so the zone is all-inside iff its min
+    // clears the low bound and its max clears the high bound, and
+    // all-outside iff its max is below the range or its min above. NaN
+    // cells are inside every range (nan_pass).
+    const auto range_zone = [range](double zmin, double zmax) {
+      const auto out_lo = [range](double x) {
+        return ((x < range.lo) |
+                ((x == range.lo) & !range.lo_inclusive)) != 0;
+      };
+      const auto out_hi = [range](double x) {
+        return ((x > range.hi) |
+                ((x == range.hi) & !range.hi_inclusive)) != 0;
+      };
+      if (!out_lo(zmin) && !out_hi(zmax)) {
+        return ZV::kAllPass;
+      }
+      if (out_lo(zmax) || out_hi(zmin)) {
+        return ZV::kAllFail;
+      }
+      return ZV::kMixed;
+    };
     if (col.type == ValueType::kInt64) {
-      return MaskedLeaf(&col, [vals = col.i64.data(), range](size_t r) {
+      Node node = MaskedLeaf(&col, [vals = col.i64.data(),
+                                    range](size_t r) {
         const double x = static_cast<double>(vals[r]);
         const bool out_lo =
             (x < range.lo) | ((x == range.lo) & !range.lo_inclusive);
@@ -540,15 +930,36 @@ Result<Node> CompileCondition(const AttributeCondition& cond,
             (x > range.hi) | ((x == range.hi) & !range.hi_inclusive);
         return !(out_lo | out_hi);
       });
+      node.zone = MaskedZone(
+          &col, /*nan_pass=*/true, [range_zone](const ZoneEntry& z) {
+            return range_zone(
+                static_cast<double>(static_cast<int64_t>(z.min_bits)),
+                static_cast<double>(static_cast<int64_t>(z.max_bits)));
+          });
+      return node;
     }
-    return MaskedLeaf(&col, [vals = col.f64.data(), range](size_t r) {
-      const double x = vals[r];
-      const bool out_lo =
-          (x < range.lo) | ((x == range.lo) & !range.lo_inclusive);
-      const bool out_hi =
-          (x > range.hi) | ((x == range.hi) & !range.hi_inclusive);
-      return !(out_lo | out_hi);
-    });
+    const double* fvals = col.f64.data();
+    Node node = MaskedLeafSimd(
+        &col,
+        [vals = fvals, range](size_t r) {
+          const double x = vals[r];
+          const bool out_lo =
+              (x < range.lo) | ((x == range.lo) & !range.lo_inclusive);
+          const bool out_hi =
+              (x > range.hi) | ((x == range.hi) & !range.hi_inclusive);
+          return !(out_lo | out_hi);
+        },
+        [fvals, range](size_t begin, size_t end, uint64_t* bits) {
+          return simd::RangeF64(fvals + begin, end - begin, range.lo,
+                                range.lo_inclusive, range.hi,
+                                range.hi_inclusive, bits);
+        });
+    node.zone = MaskedZone(
+        &col, /*nan_pass=*/true, [range_zone](const ZoneEntry& z) {
+          return range_zone(DoubleFromBits(z.min_bits),
+                            DoubleFromBits(z.max_bits));
+        });
+    return node;
   }
   // Value set: only members of the column's comparison class can be equal
   // to a cell; mixed-class members are simply never matched by the
@@ -575,10 +986,16 @@ Result<Node> CompileCondition(const AttributeCondition& cond,
     if (!any) {
       return ConstNode(false);
     }
-    return MaskedLeaf(&col, [codes = col.codes.data(),
-                             member = std::move(member)](size_t r) {
-      return member[codes[r]] != 0;
-    });
+    ZoneFn zone = DictZone(&col, member);
+    SimdFill fill = DictSimd(&col, member);
+    Node node = MaskedLeafSimd(&col,
+                               [codes = col.codes.data(),
+                                member = std::move(member)](size_t r) {
+                                 return member[codes[r]] != 0;
+                               },
+                               std::move(fill));
+    node.zone = std::move(zone);
+    return node;
   }
   bool any_numeric = false;
   std::vector<int64_t> vi;
@@ -603,20 +1020,60 @@ Result<Node> CompileCondition(const AttributeCondition& cond,
   std::sort(vi.begin(), vi.end());
   std::sort(vd.begin(), vd.end());
   if (col.type == ValueType::kInt64) {
-    return MaskedLeaf(&col, [vals = col.i64.data(), vi = std::move(vi),
-                             vd = std::move(vd)](size_t r) {
+    // Same zone shape as the IN-list prover: constant zones evaluate
+    // once, member-disjoint ranges prove no match, overlap stays kMixed.
+    ZoneFn zone = MaskedZone(
+        &col, /*nan_pass=*/false, [vi, vd](const ZoneEntry& z) {
+          const int64_t zmin = static_cast<int64_t>(z.min_bits);
+          const int64_t zmax = static_cast<int64_t>(z.max_bits);
+          if (zmin == zmax) {
+            const bool found =
+                MemberOf(vi, zmin) ||
+                (!vd.empty() && MemberOf(vd, static_cast<double>(zmin)));
+            return found ? ZV::kAllPass : ZV::kAllFail;
+          }
+          const bool vi_overlap =
+              !vi.empty() && vi.back() >= zmin && vi.front() <= zmax;
+          const bool vd_overlap = !vd.empty() &&
+                                  vd.back() >= static_cast<double>(zmin) &&
+                                  vd.front() <= static_cast<double>(zmax);
+          if (!vi_overlap && !vd_overlap) {
+            return ZV::kAllFail;
+          }
+          return ZV::kMixed;
+        });
+    Node node = MaskedLeaf(&col, [vals = col.i64.data(), vi = std::move(vi),
+                                  vd = std::move(vd)](size_t r) {
       const int64_t a = vals[r];
       return MemberOf(vi, a) ||
              (!vd.empty() && MemberOf(vd, static_cast<double>(a)));
     });
+    node.zone = std::move(zone);
+    return node;
   }
-  return MaskedLeaf(&col, [vals = col.f64.data(), vd = std::move(vd),
-                           any_numeric](size_t r) {
+  // any_numeric is true here (the empty set folded to const-false), so a
+  // NaN cell always matches: nan_pass.
+  ZoneFn zone = MaskedZone(
+      &col, /*nan_pass=*/true, [vd](const ZoneEntry& z) {
+        const double zmin = DoubleFromBits(z.min_bits);
+        const double zmax = DoubleFromBits(z.max_bits);
+        if (z.min_bits == z.max_bits) {
+          return MemberOf(vd, zmin) ? ZV::kAllPass : ZV::kAllFail;
+        }
+        if (vd.empty() || vd.back() < zmin || vd.front() > zmax) {
+          return ZV::kAllFail;
+        }
+        return ZV::kMixed;
+      });
+  Node node = MaskedLeaf(&col, [vals = col.f64.data(), vd = std::move(vd),
+                                any_numeric](size_t r) {
     const double a = vals[r];
     // A NaN cell is "equivalent" to any numeric member under the set's
     // comparator, so count() finds one iff a numeric member exists.
     return std::isnan(a) ? any_numeric : MemberOf(vd, a);
   });
+  node.zone = std::move(zone);
+  return node;
 }
 
 // ---- evaluation ------------------------------------------------------
@@ -702,7 +1159,64 @@ void EvalNode(const Node& node, size_t begin, size_t end, uint8_t* mask) {
   }
 }
 
+// Composes leaf zone verdicts over the tree. AND: one all-fail child
+// zeroes the conjunction, all-all-pass keeps every row; OR is the dual.
+// A leaf without a prover (or a morsel outside its zone map) is simply
+// unprovable — kMixed is always safe, so composition refuses rather than
+// approximates and the verdict never contradicts EvalNode.
+ZV NodeVerdict(const Node& node, size_t m) {
+  switch (node.kind) {
+    case Node::Kind::kConstFalse:
+      return ZV::kAllFail;
+    case Node::Kind::kConstTrue:
+      return ZV::kAllPass;
+    case Node::Kind::kLeaf:
+      return node.zone ? node.zone(m) : ZV::kMixed;
+    case Node::Kind::kAnd: {
+      bool all_pass = true;
+      for (const Node& child : node.children) {
+        const ZV v = NodeVerdict(child, m);
+        if (v == ZV::kAllFail) {
+          return ZV::kAllFail;
+        }
+        all_pass &= (v == ZV::kAllPass);
+      }
+      return all_pass ? ZV::kAllPass : ZV::kMixed;
+    }
+    case Node::Kind::kOr: {
+      bool all_fail = true;
+      for (const Node& child : node.children) {
+        const ZV v = NodeVerdict(child, m);
+        if (v == ZV::kAllPass) {
+          return ZV::kAllPass;
+        }
+        all_fail &= (v == ZV::kAllFail);
+      }
+      return all_fail ? ZV::kAllFail : ZV::kMixed;
+    }
+  }
+  return ZV::kMixed;
+}
+
+bool TreeUsesSimd(const Node& node) {
+  if (node.simd) {
+    return true;
+  }
+  for (const Node& child : node.children) {
+    if (TreeUsesSimd(child)) {
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace
+
+CompiledPredicate::CompiledPredicate(
+    std::shared_ptr<const ColumnarTable> columnar, Node root)
+    : columnar_(std::move(columnar)),
+      root_(std::move(root)),
+      uses_simd_(TreeUsesSimd(root_)) {}
 
 Result<CompiledPredicate> CompiledPredicate::Compile(
     const Expr& expr, const Schema& schema,
@@ -760,6 +1274,11 @@ size_t CompiledPredicate::num_morsels() const {
   return NumMorsels(num_rows());
 }
 
+CompiledPredicate::ZoneVerdict CompiledPredicate::MorselVerdict(
+    size_t m) const {
+  return NodeVerdict(root_, m);
+}
+
 void CompiledPredicate::AppendMorselSurvivors(
     size_t m, std::vector<uint32_t>* out) const {
   const size_t n = num_rows();
@@ -767,6 +1286,19 @@ void CompiledPredicate::AppendMorselSurvivors(
   const size_t end = std::min(n, begin + kChunkRows);
   if (begin >= end) {
     return;
+  }
+  switch (NodeVerdict(root_, m)) {
+    case ZoneVerdict::kAllFail:
+      return;  // proven empty: no cell is touched
+    case ZoneVerdict::kAllPass: {
+      // Proven full: dense append, no per-row evaluation.
+      for (size_t r = begin; r < end; ++r) {
+        out->push_back(static_cast<uint32_t>(r));
+      }
+      return;
+    }
+    case ZoneVerdict::kMixed:
+      break;
   }
   uint8_t mask[kChunkRows];
   EvalNode(root_, begin, end, mask);

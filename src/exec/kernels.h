@@ -35,6 +35,13 @@ namespace autocat {
 /// at any thread count.
 class CompiledPredicate {
  public:
+  /// Tri-state zone-prover verdict for one morsel: no row can match,
+  /// every row must match, or unprovable (evaluate per row). Verdicts are
+  /// *refuse-or-exact*: a prover that cannot decide says kMixed, never a
+  /// wrong definite answer, so honoring kAllFail/kAllPass is always
+  /// bit-identical to evaluating.
+  enum class ZoneVerdict : uint8_t { kAllFail, kAllPass, kMixed };
+
   /// Implementation detail, public only so the compiler helpers in
   /// kernels.cc can build trees: a predicate node. Leaves fill a 0/1 mask
   /// for base rows [begin, end); And/Or combine child masks bitwise
@@ -49,6 +56,12 @@ class CompiledPredicate {
     /// the null mask). Lets an all-leaf conjunction evaluate its first
     /// child densely and test later children only on surviving rows.
     std::function<bool(size_t row)> row_pred;
+    /// Optional zone prover: a per-morsel verdict derived from the
+    /// column's zone map, never contradicting `leaf`. Missing means every
+    /// morsel is unprovable (kMixed).
+    std::function<ZoneVerdict(size_t m)> zone;
+    /// True when `leaf` routes dense morsels through the SIMD kernels.
+    bool simd = false;
   };
 
   /// Compiles a WHERE expression against the table's schema and columnar
@@ -73,7 +86,21 @@ class CompiledPredicate {
   /// surviving base-row indices of morsel `m` (rows
   /// [m*kMorselRows, min(n, (m+1)*kMorselRows))) to `out`, ascending.
   /// Evaluating every morsel in index order reproduces `Filter` exactly.
+  /// Consults the zone prover first: kAllFail morsels append nothing and
+  /// kAllPass morsels append the dense row range, both without touching a
+  /// single cell.
   void AppendMorselSurvivors(size_t m, std::vector<uint32_t>* out) const;
+
+  /// Zone-prover verdict for morsel `m`, composed over the predicate tree
+  /// (AND: any all-fail child zeroes it, all all-pass children keep it
+  /// full; OR is the dual; anything else is kMixed). Schedulers use this
+  /// to avoid dispatching kAllFail morsels at all.
+  ZoneVerdict MorselVerdict(size_t m) const;
+
+  /// True when some leaf routes dense morsels through the SIMD kernels
+  /// (serving metrics attribution; the scalar fallback stays available
+  /// per call).
+  bool uses_simd() const { return uses_simd_; }
 
   size_t num_rows() const {
     return columnar_ == nullptr ? 0 : columnar_->num_rows();
@@ -83,11 +110,11 @@ class CompiledPredicate {
   size_t num_morsels() const;
 
  private:
-  CompiledPredicate(std::shared_ptr<const ColumnarTable> columnar, Node root)
-      : columnar_(std::move(columnar)), root_(std::move(root)) {}
+  CompiledPredicate(std::shared_ptr<const ColumnarTable> columnar, Node root);
 
   std::shared_ptr<const ColumnarTable> columnar_;
   Node root_;
+  bool uses_simd_ = false;
 };
 
 }  // namespace autocat

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "exec/pipeline/scheduler.h"
+#include "exec/simd_kernels.h"
 #include "storage/schema.h"
 
 namespace autocat {
@@ -63,6 +64,27 @@ Result<ColdPipelineResult> RunColdPipeline(
   }
 
   const size_t n = predicate.num_rows();
+
+  // Zone-prove every morsel up front. All-fail morsels are never
+  // dispatched at all — the sinks tolerate un-pushed morsels (zero
+  // survivors), so pruning drops both the kernel work and the scheduling
+  // overhead. All-pass morsels still dispatch (their dense survivors must
+  // flow into the sinks) but skip per-row evaluation inside
+  // AppendMorselSurvivors; only the mixed remainder does real work.
+  std::vector<size_t> worklist;
+  worklist.reserve(input.num_morsels);
+  size_t all_pass_morsels = 0;
+  for (size_t m = 0; m < input.num_morsels; ++m) {
+    const auto verdict = predicate.MorselVerdict(m);
+    if (verdict == CompiledPredicate::ZoneVerdict::kAllFail) {
+      continue;
+    }
+    if (verdict == CompiledPredicate::ZoneVerdict::kAllPass) {
+      ++all_pass_morsels;
+    }
+    worklist.push_back(m);
+  }
+
   std::vector<size_t> counts(input.num_morsels, 0);
   // atomic-order: relaxed — pure accumulators; MorselScheduler::Run's
   // join is the synchronization point before they are read.
@@ -70,7 +92,8 @@ Result<ColdPipelineResult> RunColdPipeline(
   std::atomic<uint64_t> project_ns{0};  // atomic-order: relaxed (above)
   std::atomic<uint64_t> stats_ns{0};    // atomic-order: relaxed (above)
   AUTOCAT_RETURN_IF_ERROR(MorselScheduler::Run(
-      options.parallel, input.num_morsels, [&](size_t m) -> Status {
+      options.parallel, worklist.size(), [&](size_t w) -> Status {
+        const size_t m = worklist[w];
         const Morsel morsel = MorselAt(m, n);
         std::vector<uint32_t> survivors;
         uint64_t t0 = NowNs();
@@ -110,6 +133,14 @@ Result<ColdPipelineResult> RunColdPipeline(
   out.result = std::move(project_sink.result());
   out.result_bytes = project_sink.result_bytes();
   out.timings.morsels = input.num_morsels;
+  out.timings.morsels_pruned = input.num_morsels - worklist.size();
+  out.timings.morsels_all_pass = all_pass_morsels;
+  if (predicate.uses_simd() && simd::Enabled()) {
+    // Mixed morsels are the ones whose leaf masks actually ran; with a
+    // vectorizable predicate and AVX2 live, those went through the SIMD
+    // kernels.
+    out.timings.simd_morsels = worklist.size() - all_pass_morsels;
+  }
   out.timings.filter_ms =
       static_cast<double>(filter_ns.load(std::memory_order_relaxed)) / 1e6;
   out.timings.project_ms =

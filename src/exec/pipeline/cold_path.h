@@ -26,10 +26,19 @@ struct ColdPipelineOptions {
 };
 
 /// Cumulative per-operator wall time (summed across workers) and the
-/// morsel count — the serving layer exports these as the per-operator
-/// metrics histograms.
+/// morsel counts — the serving layer exports these as the per-operator
+/// metrics histograms and the zone-pruning counters.
 struct ColdPipelineTimings {
   size_t morsels = 0;
+  /// Morsels the zone prover ruled all-fail: never dispatched, no cell
+  /// touched.
+  size_t morsels_pruned = 0;
+  /// Morsels the zone prover ruled all-pass: dispatched with dense
+  /// survivors, no per-row evaluation.
+  size_t morsels_all_pass = 0;
+  /// Mixed morsels whose leaf masks went through the SIMD kernels (zero
+  /// when the predicate has no vectorizable leaf or AVX2 is unavailable).
+  size_t simd_morsels = 0;
   double filter_ms = 0;
   double project_ms = 0;
   double stats_ms = 0;

@@ -4,6 +4,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "storage/columnar.h"
+
 namespace autocat {
 
 /// The pipeline work unit: a fixed-width span of base rows. 2048 rows is
@@ -12,6 +14,12 @@ namespace autocat {
 /// same thing and survivors flow from the filter into the sinks without
 /// re-chunking.
 inline constexpr size_t kMorselRows = 2048;
+
+// Zone-map entries (storage/columnar.h) are keyed by the same row span:
+// zone z of a column describes exactly the rows of morsel z, so the zone
+// prover indexes `Column::zones` with the morsel index directly.
+static_assert(kMorselRows == kZoneRows,
+              "morsel width and zone-map width must match");
 
 /// One morsel: rows [begin, end) of the base relation, the `index`-th of
 /// its table. Operators key their partials by `index` and merge them in

@@ -35,10 +35,14 @@ struct PipelineInput {
 /// Push-protocol consumer of filtered morsels (the RDF-3X operator idiom
 /// turned inside out: the scheduler drives, operators receive).
 ///
-/// Lifecycle: `Open` once, then `Push` exactly once per morsel — possibly
+/// Lifecycle: `Open` once, then `Push` at most once per morsel — possibly
 /// concurrently for *different* morsels, never twice for the same one —
-/// then `Finish` once, single-threaded, after every Push returned.
-/// `survivors` are the morsel's surviving base-row indices, ascending.
+/// then `Finish` once, single-threaded, after every Push returned. A
+/// morsel the scheduler never pushes (the zone prover ruled it all-fail)
+/// contributes zero survivors: every sink's per-morsel state defaults to
+/// empty, so skipped morsels and pushed-empty morsels are
+/// indistinguishable at Finish. `survivors` are the morsel's surviving
+/// base-row indices, ascending.
 ///
 /// Determinism contract: a sink keys everything it accumulates in Push by
 /// `morsel.index` into slots pre-sized at Open (so concurrent Pushes

@@ -179,12 +179,25 @@ void StatsAccumulateSink::Open(const PipelineInput& input) {
 
 void StatsAccumulateSink::Push(const Morsel& morsel,
                                const uint32_t* survivors, size_t count) {
-  (void)morsel;
   if (survivor_words_.empty()) {
     return;  // no column wanted an entry
   }
   // Morsel bounds are multiples of kMorselRows (a multiple of 64), so
   // concurrent Pushes write disjoint words and plain ORs cannot race.
+  if (count == morsel.num_rows()) {
+    // Zone-proven all-pass morsel: every row survives, so fill whole
+    // words instead of setting 2048 bits one at a time. The last word may
+    // be partial when the morsel is the table's tail.
+    size_t r = morsel.begin;
+    for (; r + 64 <= morsel.end; r += 64) {
+      survivor_words_[r >> 6] = ~uint64_t{0};
+    }
+    if (r < morsel.end) {
+      survivor_words_[r >> 6] |=
+          (uint64_t{1} << (morsel.end - r)) - 1;
+    }
+    return;
+  }
   for (size_t k = 0; k < count; ++k) {
     const uint32_t row = survivors[k];
     survivor_words_[row >> 6] |= uint64_t{1} << (row & 63);

@@ -54,10 +54,14 @@ void ServiceMetrics::RecordOperator(ServeOperator op, double ms) {
   operator_ms_[static_cast<size_t>(op)].Add(ms);
 }
 
-void ServiceMetrics::RecordPipeline(size_t morsels) {
+void ServiceMetrics::RecordPipeline(size_t morsels, size_t pruned,
+                                    size_t all_pass, size_t simd) {
   MutexLock lock(mu_);
   ++pipeline_requests_;
   pipeline_morsels_ += morsels;
+  morsels_pruned_ += pruned;
+  morsels_all_pass_ += all_pass;
+  simd_morsels_ += simd;
 }
 
 void ServiceMetrics::RecordCoalescedLeader() {
@@ -83,6 +87,9 @@ void ServiceMetrics::FillSnapshot(ServiceMetricsSnapshot* snapshot) const {
   snapshot->operator_ms = operator_ms_;
   snapshot->pipeline_requests = pipeline_requests_;
   snapshot->pipeline_morsels = pipeline_morsels_;
+  snapshot->morsels_pruned = morsels_pruned_;
+  snapshot->morsels_all_pass = morsels_all_pass_;
+  snapshot->simd_morsels = simd_morsels_;
   snapshot->coalesced_leaders = coalesced_leaders_;
   snapshot->coalesced_hits = coalesced_hits_;
 }
@@ -121,6 +128,9 @@ std::string ServiceMetricsSnapshot::ToJson() const {
   }
   out += "},\"pipeline\":{\"requests\":" + std::to_string(pipeline_requests);
   out += ",\"morsels\":" + std::to_string(pipeline_morsels);
+  out += ",\"morsels_pruned\":" + std::to_string(morsels_pruned);
+  out += ",\"morsels_all_pass\":" + std::to_string(morsels_all_pass);
+  out += ",\"simd_morsels\":" + std::to_string(simd_morsels);
   out += "},\"coalescing\":{\"leaders\":" +
          std::to_string(coalesced_leaders);
   out += ",\"hits\":" + std::to_string(coalesced_hits);

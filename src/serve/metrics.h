@@ -61,9 +61,15 @@ struct ServiceMetricsSnapshot {
   /// Indexed by ServeOperator.
   std::vector<Histogram> operator_ms =
       std::vector<Histogram>(kNumServeOperators, Histogram::LatencyMs());
-  /// Pipelined cold executions and the morsels they scheduled.
+  /// Pipelined cold executions and the morsels they scheduled, plus the
+  /// zone-map accounting: morsels the prover ruled all-fail (never
+  /// dispatched), morsels it ruled all-pass (dense survivors, no per-row
+  /// evaluation), and mixed morsels whose masks ran on the SIMD kernels.
   uint64_t pipeline_requests = 0;
   uint64_t pipeline_morsels = 0;
+  uint64_t morsels_pruned = 0;
+  uint64_t morsels_all_pass = 0;
+  uint64_t simd_morsels = 0;
   /// In-flight request coalescing: executions that led a flight, requests
   /// answered from another request's in-flight execution, and the
   /// point-in-time count of followers currently waiting (a gauge read
@@ -92,8 +98,11 @@ class ServiceMetrics {
   /// Adds one cold-path operator duration (see ServeOperator).
   void RecordOperator(ServeOperator op, double ms) AUTOCAT_EXCLUDES(mu_);
 
-  /// Counts one pipelined cold execution and the morsels it scheduled.
-  void RecordPipeline(size_t morsels) AUTOCAT_EXCLUDES(mu_);
+  /// Counts one pipelined cold execution, the morsels it covered, and the
+  /// zone-map split: `pruned` all-fail morsels, `all_pass` dense morsels,
+  /// and `simd` mixed morsels that ran on the vector kernels.
+  void RecordPipeline(size_t morsels, size_t pruned, size_t all_pass,
+                      size_t simd) AUTOCAT_EXCLUDES(mu_);
 
   /// Counts one execution that led a coalescing flight.
   void RecordCoalescedLeader() AUTOCAT_EXCLUDES(mu_);
@@ -122,6 +131,9 @@ class ServiceMetrics {
       std::vector<Histogram>(kNumServeOperators, Histogram::LatencyMs());
   uint64_t pipeline_requests_ AUTOCAT_GUARDED_BY(mu_) = 0;
   uint64_t pipeline_morsels_ AUTOCAT_GUARDED_BY(mu_) = 0;
+  uint64_t morsels_pruned_ AUTOCAT_GUARDED_BY(mu_) = 0;
+  uint64_t morsels_all_pass_ AUTOCAT_GUARDED_BY(mu_) = 0;
+  uint64_t simd_morsels_ AUTOCAT_GUARDED_BY(mu_) = 0;
   uint64_t coalesced_leaders_ AUTOCAT_GUARDED_BY(mu_) = 0;
   uint64_t coalesced_hits_ AUTOCAT_GUARDED_BY(mu_) = 0;
 };

@@ -338,7 +338,10 @@ CategorizationService::AttemptServe(const SelectQuery& query,
                                 piped.timings.project_ms);
         metrics_.RecordOperator(ServeOperator::kAttrIndex,
                                 piped.timings.stats_ms);
-        metrics_.RecordPipeline(piped.timings.morsels);
+        metrics_.RecordPipeline(piped.timings.morsels,
+                                piped.timings.morsels_pruned,
+                                piped.timings.morsels_all_pass,
+                                piped.timings.simd_morsels);
         result = std::move(piped.result);
         result_bytes = piped.result_bytes;
         have_result_bytes = true;

@@ -1,12 +1,116 @@
 #include "storage/columnar.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstring>
 #include <map>
 #include <numeric>
 #include <string_view>
 #include <utility>
 
 namespace autocat {
+
+namespace {
+
+uint64_t DoubleBits(double d) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+// Exact per-zone metadata for a filled regular column: one pass per zone
+// over the typed array and the owned null bitmap (zone bounds are
+// multiples of 64, so each zone owns whole bitmap words). Extrema follow
+// the SegmentMeta physical-domain convention; double extrema exclude NaN
+// and record its presence in has_nan instead.
+void ComputeZones(ColumnarTable::Column* col, size_t n) {
+  if (n == 0 || !col->regular || col->type == ValueType::kNull) {
+    return;
+  }
+  const size_t num_zones = (n + kZoneRows - 1) / kZoneRows;
+  col->zones.resize(num_zones);
+  for (size_t z = 0; z < num_zones; ++z) {
+    ZoneEntry& zone = col->zones[z];
+    const size_t begin = z * kZoneRows;
+    const size_t end = std::min(n, begin + kZoneRows);
+    zone.row_count = static_cast<uint32_t>(end - begin);
+    size_t nulls = 0;
+    for (size_t w = begin >> 6; w << 6 < end; ++w) {
+      uint64_t word = col->owned_null_words[w];
+      if (((w + 1) << 6) > end) {
+        word &= (uint64_t{1} << (end & 63)) - 1;  // partial tail word
+      }
+      nulls += static_cast<size_t>(__builtin_popcountll(word));
+    }
+    zone.valid_count = static_cast<uint32_t>(end - begin - nulls);
+    if (zone.valid_count == 0) {
+      continue;
+    }
+    switch (col->type) {
+      case ValueType::kInt64: {
+        int64_t lo = 0;
+        int64_t hi = 0;
+        bool seen = false;
+        for (size_t r = begin; r < end; ++r) {
+          if (col->IsNull(r)) {
+            continue;
+          }
+          const int64_t v = col->owned_i64[r];
+          lo = seen ? std::min(lo, v) : v;
+          hi = seen ? std::max(hi, v) : v;
+          seen = true;
+        }
+        zone.min_bits = static_cast<uint64_t>(lo);
+        zone.max_bits = static_cast<uint64_t>(hi);
+        break;
+      }
+      case ValueType::kDouble: {
+        double lo = 0;
+        double hi = 0;
+        bool seen = false;
+        for (size_t r = begin; r < end; ++r) {
+          if (col->IsNull(r)) {
+            continue;
+          }
+          const double v = col->owned_f64[r];
+          if (std::isnan(v)) {
+            zone.has_nan = true;
+            continue;
+          }
+          lo = seen ? std::min(lo, v) : v;
+          hi = seen ? std::max(hi, v) : v;
+          seen = true;
+        }
+        if (seen) {
+          zone.min_bits = DoubleBits(lo);
+          zone.max_bits = DoubleBits(hi);
+        }
+        break;
+      }
+      case ValueType::kString: {
+        uint32_t lo = 0;
+        uint32_t hi = 0;
+        bool seen = false;
+        for (size_t r = begin; r < end; ++r) {
+          if (col->IsNull(r)) {
+            continue;
+          }
+          const uint32_t code = col->owned_codes[r];
+          lo = seen ? std::min(lo, code) : code;
+          hi = seen ? std::max(hi, code) : code;
+          seen = true;
+        }
+        zone.min_bits = lo;
+        zone.max_bits = hi;
+        break;
+      }
+      case ValueType::kNull:
+        break;
+    }
+  }
+}
+
+}  // namespace
 
 ColumnarTable ColumnarTable::Build(const Table& table) {
   const size_t n = table.num_rows();
@@ -62,6 +166,7 @@ ColumnarTable ColumnarTable::Build(const Table& table) {
           col.owned_codes[r] = dict_map.find(v.string_value())->second;
         }
       }
+      ComputeZones(&col, n);
       continue;
     }
     for (size_t r = 0; r < n; ++r) {
@@ -81,6 +186,7 @@ ColumnarTable ColumnarTable::Build(const Table& table) {
         col.owned_f64[r] = v.double_value();
       }
     }
+    ComputeZones(&col, n);
     if (col.regular &&
         (col.type == ValueType::kInt64 || col.type == ValueType::kDouble)) {
       // One (double, row) sort per table lifetime. Keys are the same

@@ -13,6 +13,31 @@
 
 namespace autocat {
 
+/// Rows covered by one zone-map entry. Equal to the execution layer's
+/// morsel width (exec/pipeline/morsel.h static_asserts the two match, so
+/// zone entry z describes exactly the rows of morsel z) and a multiple of
+/// 64, so each entry owns whole null-bitmap words.
+inline constexpr size_t kZoneRows = 2048;
+
+/// Zone metadata for one kZoneRows-row slice of a column: row/valid
+/// counts plus the extrema of the slice's non-NULL values in the
+/// column's physical domain — int64 cast to uint64, double bit pattern,
+/// or dictionary code (the segment store's SegmentMeta convention).
+/// Extrema may describe a superset of the slice (the store replicates
+/// per-segment extrema across the segment's zones); consumers may only
+/// draw conclusions that stay valid under widening. For double columns
+/// NaN cells are excluded from the extrema — `has_nan` records whether
+/// any were present (a slice whose valid cells are all NaN keeps extrema
+/// of 0) — so range proofs must special-case NaN. Meaningless extrema
+/// (valid_count == 0) are 0.
+struct ZoneEntry {
+  uint32_t row_count = 0;
+  uint32_t valid_count = 0;
+  uint64_t min_bits = 0;
+  uint64_t max_bits = 0;
+  bool has_nan = false;
+};
+
 /// A borrowed, read-only view of a contiguous typed array. The columnar
 /// kernels and partitioners read column data through this type so the
 /// same code path serves both in-memory shadows (the span points at a
@@ -83,6 +108,12 @@ class ColumnarTable {
     /// on every cold request. Empty when unavailable (irregular columns,
     /// segment-store wrapped columns), and consumers must fall back.
     std::vector<uint32_t> sorted_order;
+    /// Per-zone (kZoneRows-row) metadata: ceil(num_rows / kZoneRows)
+    /// entries for regular typed columns — exact for `Build` shadows,
+    /// segment-replicated extrema with exact per-zone counts for
+    /// store-mapped columns. Empty when unavailable (irregular columns);
+    /// the zone prover then treats every zone as unprovable.
+    std::vector<ZoneEntry> zones;
 
     /// Owned backing arrays. `Build` fills these and points the spans at
     /// them; the segment store leaves raw-encoded arrays here empty (the

@@ -100,6 +100,9 @@ Status MappedFile::Append(const void* bytes, size_t n) {
   if (!writable_) {
     return Status::InvalidArgument("append to a read-only mapping");
   }
+  if (n == 0) {
+    return Status::OK();  // empty buffers may pass data() == nullptr
+  }
   AUTOCAT_RETURN_IF_ERROR(EnsureCapacity(size_ + n));
   std::memcpy(static_cast<char*>(base_) + size_, bytes, n);
   size_ += n;
@@ -121,6 +124,9 @@ Status MappedFile::WriteAt(uint64_t offset, const void* bytes, size_t n) {
   }
   if (offset + n > size_) {
     return Status::OutOfRange("WriteAt past the written range");
+  }
+  if (n == 0) {
+    return Status::OK();  // empty buffers may pass data() == nullptr
   }
   std::memcpy(static_cast<char*>(base_) + offset, bytes, n);
   return Status::OK();

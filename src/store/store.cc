@@ -13,12 +13,66 @@ namespace {
 // Rows per chunk of the parallel dictionary-code validation scan.
 constexpr uint64_t kCodeScanChunk = 256 * 1024;
 
+// Zones per segment: both widths are powers of two and a segment is the
+// larger, so every zone sits inside exactly one segment.
+static_assert(kSegmentRows % kZoneRows == 0,
+              "a segment must cover whole zones");
+
 uint64_t PopcountWords(const ColumnSpan<uint64_t>& words) {
   uint64_t bits = 0;
   for (const uint64_t w : words) {
     bits += static_cast<uint64_t>(__builtin_popcountll(w));
   }
   return bits;
+}
+
+// Surfaces the catalog's per-segment extrema as per-zone metadata on a
+// mapped column: each 64 Ki-row segment's min/max replicate across its
+// 32 zones (a widening the prover's verdicts stay sound under), while
+// row/valid counts come exact from the mapped null bitmap. The store
+// format records no NaN presence — the writer excludes NaN from double
+// extrema — so double columns pay one `x != x` pass here to set
+// `has_nan` per zone; without it the extrema could not be trusted for
+// pruning at all.
+void SurfaceZones(const ColumnMeta& cm, uint64_t n,
+                  ColumnarTable::Column* col) {
+  if (n == 0) {
+    return;
+  }
+  const size_t num_zones =
+      static_cast<size_t>((n + kZoneRows - 1) / kZoneRows);
+  col->zones.resize(num_zones);
+  for (size_t z = 0; z < num_zones; ++z) {
+    ZoneEntry& zone = col->zones[z];
+    const size_t begin = z * kZoneRows;
+    const size_t end =
+        std::min(static_cast<size_t>(n), begin + kZoneRows);
+    zone.row_count = static_cast<uint32_t>(end - begin);
+    size_t nulls = 0;
+    for (size_t w = begin >> 6; w << 6 < end; ++w) {
+      uint64_t word = col->null_words[w];
+      if (((w + 1) << 6) > end) {
+        word &= (uint64_t{1} << (end & 63)) - 1;  // partial tail word
+      }
+      nulls += static_cast<size_t>(__builtin_popcountll(word));
+    }
+    zone.valid_count = static_cast<uint32_t>(end - begin - nulls);
+    if (zone.valid_count == 0) {
+      continue;
+    }
+    const SegmentMeta& seg = cm.segments[begin / kSegmentRows];
+    zone.min_bits = seg.min_bits;
+    zone.max_bits = seg.max_bits;
+    if (col->type == ValueType::kDouble) {
+      for (size_t r = begin; r < end; ++r) {
+        const double v = col->f64[r];
+        if (v != v && !col->IsNull(r)) {
+          zone.has_nan = true;
+          break;
+        }
+      }
+    }
+  }
 }
 
 // Structural validation of one column's segment list against the table's
@@ -281,6 +335,7 @@ Result<Table> SegmentStore::OpenTable(const std::string& name) const {
         break;
       }
     }
+    SurfaceZones(cm, n, &col);
     columns.push_back(std::move(col));
   }
 

@@ -1,0 +1,12 @@
+// Fixture: the one TU where raw vector intrinsics are allowed — the
+// raw-simd rule exempts exactly this path.
+
+#include <immintrin.h>
+
+bool CompareLanes(const long* vals, unsigned long* bits) {
+  __m256i x = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(vals));
+  __m256i eq = _mm256_cmpeq_epi64(x, x);
+  bits[0] = static_cast<unsigned long>(
+      _mm256_movemask_pd(_mm256_castsi256_pd(eq)));
+  return true;
+}

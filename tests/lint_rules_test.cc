@@ -152,6 +152,48 @@ TEST(RawMmapRuleTest, IgnoresCommentsStringsAndSuppressions) {
   EXPECT_TRUE(CheckRawMmap("src/exec/foo.cc", content).empty());
 }
 
+TEST(RawSimdRuleTest, FlagsIntrinsicsOutsideKernelTu) {
+  const std::string content =
+      "#include <immintrin.h>\n"
+      "__m256i x = _mm256_setzero_si256();\n"
+      "__m128d lo = _mm_setzero_pd();\n"
+      "auto g = _mm512_set1_epi64(0);\n";
+  const auto issues = CheckRawSimd("src/exec/kernels.cc", content);
+  EXPECT_EQ(issues.size(), 4u);
+  ASSERT_FALSE(issues.empty());
+  EXPECT_EQ(issues[0].rule, "raw-simd");
+  EXPECT_NE(issues[0].message.find("simd_kernels"), std::string::npos);
+}
+
+TEST(RawSimdRuleTest, ExemptsOnlyTheKernelTu) {
+  const std::string content = "__m256i x = _mm256_setzero_si256();\n";
+  EXPECT_TRUE(
+      CheckRawSimd("src/exec/simd_kernels.cc", content).empty());
+  EXPECT_FALSE(CheckRawSimd("src/exec/simd_kernels.h", content).empty());
+  EXPECT_FALSE(CheckRawSimd("src/exec/cold_path.cc", content).empty());
+  EXPECT_FALSE(CheckRawSimd("src/serve/service.cc", content).empty());
+  EXPECT_FALSE(CheckRawSimd("tools/bench_exec.cc", content).empty());
+}
+
+TEST(RawSimdRuleTest, DoesNotFlagLookalikes) {
+  const std::string content =
+      "int x__m256 = 0;\n"
+      "my_mm256_helper(x__m256);\n"
+      "double simd_mm = 0.0;\n"
+      "#include \"exec/simd_kernels.h\"\n";
+  EXPECT_TRUE(CheckRawSimd("src/exec/foo.cc", content).empty());
+}
+
+TEST(RawSimdRuleTest, IgnoresCommentsStringsAndSuppressions) {
+  const std::string content =
+      "// __m256i lanes hold four codes\n"
+      "/* _mm256_cmpeq_epi64( compares them */\n"
+      "const char* s = \"_mm256_setzero_si256()\";\n"
+      "__m256i x = _mm256_setzero_si256();  "
+      "// autocat-lint: allow(raw-simd)\n";
+  EXPECT_TRUE(CheckRawSimd("src/exec/foo.cc", content).empty());
+}
+
 TEST(DirectParallelForRuleTest, FlagsDirectCallsInExecAndServe) {
   const std::string content =
       "Status s = ParallelFor(options, 0, n, 1, fn);\n"
@@ -608,6 +650,7 @@ TEST(LintFixtureTest, PassTreeLintsClean) {
                         {"src/widget/widget.h", "src/widget/widget.cc",
                          "src/widget/file_io.cc",
                          "src/exec/pipeline/scheduler.cc",
+                         "src/exec/simd_kernels.cc",
                          "src/serve/ordered.cc",
                          "src/serve/annotated_sync.h",
                          "src/serve/raii_lock.cc",
@@ -633,6 +676,7 @@ TEST(LintFixtureTest, FailTreeTripsEveryRule) {
                          "src/broken/raw_thread.cc",
                          "src/broken/raw_mmap.cc",
                          "src/exec/direct_parallel_for.cc",
+                         "src/exec/raw_simd.cc",
                          "src/serve/unordered.cc",
                          "src/serve/unannotated_sync.cc",
                          "src/serve/manual_lock.cc",
@@ -646,6 +690,7 @@ TEST(LintFixtureTest, FailTreeTripsEveryRule) {
   EXPECT_TRUE(HasRule(issues, "dropped-status"));
   EXPECT_TRUE(HasRule(issues, "raw-thread"));
   EXPECT_TRUE(HasRule(issues, "raw-mmap"));
+  EXPECT_TRUE(HasRule(issues, "raw-simd"));
   EXPECT_TRUE(HasRule(issues, "direct-parallel-for"));
   EXPECT_TRUE(HasRule(issues, "unordered-container"));
   EXPECT_TRUE(HasRule(issues, "unannotated-sync"));
@@ -709,6 +754,9 @@ TEST(LintFixtureTest, FailTreeTripsEveryRule) {
   EXPECT_EQ(count_rule("lock-order"), 1);
   // serve/guarded_leak.cc: the bare read and the post-guard write.
   EXPECT_EQ(count_rule("guarded-read"), 2);
+  // exec/raw_simd.cc: the include, two register declarations, and one
+  // intrinsic call (the suppressed call and the lookalikes don't count).
+  EXPECT_EQ(count_rule("raw-simd"), 4);
 }
 
 }  // namespace

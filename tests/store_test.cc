@@ -19,6 +19,10 @@
 
 #include "common/random.h"
 #include "exec/executor.h"
+#include "exec/kernels.h"
+#include "sql/parser.h"
+#include "sql/selection.h"
+#include "storage/columnar.h"
 #include "storage/table.h"
 #include "store/buffer_manager.h"
 #include "store/coding.h"
@@ -670,6 +674,147 @@ TEST(StoreRoundTripTest, AllNullAndEmptyTables) {
   Result<Table> empty = store.value().OpenTable("empty");
   ASSERT_TRUE(empty.ok()) << empty.status().ToString();
   EXPECT_EQ(empty.value().num_rows(), 0u);
+}
+
+// OpenTable surfaces the persisted segment extrema as zone-map entries
+// on the zero-copy columnar backing: per-zone row/valid counts are
+// exact, extrema are the owning segment's min/max replicated across its
+// zones (a sound superset), and has_nan comes from a per-zone scan.
+TEST(StoreRoundTripTest, OpenTableSurfacesZoneMetadata) {
+  const ScratchDir scratch("zones");
+  const std::string path = scratch.Path("z.store");
+  const Schema schema = HomesSchema();
+  const size_t n = 3 * kZoneRows + 500;  // one segment, partial tail zone
+  const std::vector<Row> rows = HomesRows(n, 23);
+  BuildStore(path, "homes", schema, rows, 1 << 20);
+
+  Result<SegmentStore> store = SegmentStore::Open(path);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  Result<Table> table = store.value().OpenTable("homes");
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  const std::shared_ptr<const ColumnarTable>& shadow =
+      table.value().columnar_backing();
+  ASSERT_NE(shadow, nullptr);
+
+  const TableMeta& meta = store.value().catalog().tables[0];
+  const size_t num_zones = (n + kZoneRows - 1) / kZoneRows;
+  for (size_t c = 0; c < shadow->num_columns(); ++c) {
+    const ColumnarTable::Column& col = shadow->column(c);
+    if (!col.regular) {
+      continue;
+    }
+    ASSERT_EQ(col.zones.size(), num_zones) << "col " << c;
+    ASSERT_EQ(meta.columns[c].segments.size(), 1u) << "col " << c;
+    const SegmentMeta& segment = meta.columns[c].segments[0];
+    for (size_t z = 0; z < num_zones; ++z) {
+      const size_t begin = z * kZoneRows;
+      const size_t end = std::min(n, begin + kZoneRows);
+      const ZoneEntry& zone = col.zones[z];
+      EXPECT_EQ(zone.row_count, end - begin) << "col " << c << " zone "
+                                             << z;
+      uint32_t valid = 0;
+      bool has_nan = false;
+      for (size_t r = begin; r < end; ++r) {
+        if (col.IsNull(r)) {
+          continue;
+        }
+        ++valid;
+        if (col.type == ValueType::kDouble && std::isnan(col.f64[r])) {
+          has_nan = true;
+        }
+      }
+      EXPECT_EQ(zone.valid_count, valid) << "col " << c << " zone " << z;
+      EXPECT_EQ(zone.has_nan, has_nan) << "col " << c << " zone " << z;
+      if (valid > 0) {
+        // Segment extrema replicated: a superset claim, never tighter
+        // than the segment and never absent.
+        EXPECT_EQ(zone.min_bits, segment.min_bits)
+            << "col " << c << " zone " << z;
+        EXPECT_EQ(zone.max_bits, segment.max_bits)
+            << "col " << c << " zone " << z;
+      }
+    }
+  }
+}
+
+// A price-sorted store is value-clustered per segment, so a compiled
+// predicate selecting only the top segment's range must rule every
+// morsel of the lower segment all-fail — the store's zone surfacing has
+// to deliver real pruning, not just satisfy the soundness contract.
+TEST(StoreRoundTripTest, SortedStoreZonesPruneCompiledPredicates) {
+  const ScratchDir scratch("prune");
+  const std::string path = scratch.Path("p.store");
+  const Schema schema = HomesSchema();
+  const size_t n = kSegmentRows + 8192;  // 2 segments, 36 morsels
+  std::vector<Row> rows = HomesRows(n, 29);
+  StoreWriterOptions options;
+  options.memory_budget_bytes = 1 << 22;
+  options.sort_columns = {"price"};
+  Result<std::unique_ptr<StoreWriter>> writer =
+      StoreWriter::Create(path, options);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  ASSERT_TRUE(writer.value()->BeginTable("homes", schema).ok());
+  for (const Row& row : rows) {
+    ASSERT_TRUE(writer.value()->Append(row).ok());
+  }
+  ASSERT_TRUE(writer.value()->FinishTable().ok());
+  ASSERT_TRUE(writer.value()->Finish().ok());
+
+  Result<SegmentStore> store = SegmentStore::Open(path);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  Result<Table> table = store.value().OpenTable("homes");
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  const std::shared_ptr<const ColumnarTable>& shadow =
+      table.value().columnar_backing();
+  ASSERT_NE(shadow, nullptr);
+  const ColumnarTable::Column& price = shadow->column(1);
+  ASSERT_TRUE(price.regular);
+
+  // Threshold just above the first segment's maximum price: only rows of
+  // the second segment can match, so the first segment's 32 morsels are
+  // provably empty.
+  int64_t seg1_max = std::numeric_limits<int64_t>::min();
+  for (size_t r = 0; r < kSegmentRows; ++r) {
+    if (!price.IsNull(r)) {
+      seg1_max = std::max(seg1_max, static_cast<int64_t>(price.i64[r]));
+    }
+  }
+  const int64_t threshold = seg1_max + 1;
+  const std::string sql = "SELECT * FROM homes WHERE price >= " +
+                          std::to_string(threshold);
+  auto query = ParseQuery(sql);
+  ASSERT_TRUE(query.ok());
+  auto profile = SelectionProfile::FromQuery(query.value(), schema);
+  ASSERT_TRUE(profile.ok());
+  auto compiled =
+      CompiledPredicate::CompileProfile(profile.value(), schema, shadow);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+
+  std::vector<uint32_t> expected;
+  for (size_t r = 0; r < n; ++r) {
+    if (!price.IsNull(r) && price.i64[r] >= threshold) {
+      expected.push_back(static_cast<uint32_t>(r));
+    }
+  }
+  ASSERT_FALSE(expected.empty()) << "degenerate threshold";
+
+  ParallelOptions sequential;
+  sequential.threads = 1;
+  Result<std::vector<uint32_t>> got = compiled.value().Filter(sequential);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got.value(), expected);
+
+  using ZoneVerdict = CompiledPredicate::ZoneVerdict;
+  size_t all_fail = 0;
+  const size_t seg1_morsels = kSegmentRows / kZoneRows;  // 32
+  for (size_t m = 0; m < compiled.value().num_morsels(); ++m) {
+    const ZoneVerdict verdict = compiled.value().MorselVerdict(m);
+    all_fail += verdict == ZoneVerdict::kAllFail ? 1 : 0;
+    if (m < seg1_morsels) {
+      EXPECT_EQ(verdict, ZoneVerdict::kAllFail) << "morsel " << m;
+    }
+  }
+  EXPECT_GE(all_fail, seg1_morsels);
 }
 
 TEST(StoreRoundTripTest, NumericCoercionMatchesTableAppend) {

@@ -15,7 +15,7 @@
 #      when the toolchain is absent (the ctest gates skip the same way
 #      via exit code 77); the lint stage always runs.
 #
-# Usage: tools/ci.sh [--fast|--serve|--pipeline|--bench-smoke|--workload|--store|--analyze]
+# Usage: tools/ci.sh [--fast|--serve|--pipeline|--bench-smoke|--workload|--store|--kernels|--analyze]
 #   --fast   run only the Release leg (useful as a pre-push smoke test)
 #   --serve  run only the serving-layer suite (src/serve/ + histogram)
 #            under ASan and TSan — the targeted gate for cache/admission
@@ -49,6 +49,16 @@
 #            fuzz-corpus replay) in Release and under ASan and TSan —
 #            the targeted gate for on-disk-format work. The ASan and
 #            TSan passes of this leg also run in the default matrix.
+#   --kernels
+#            run the zone-map + SIMD kernel suites (exact zone metadata,
+#            the zone prover's refuse-or-exact verdicts against row
+#            truth, cold-pipeline pruning counters, and the
+#            SIMD-vs-scalar equivalence gate over the fuzz corpus and
+#            randomized queries at threads 1/2/7/16) in Release and
+#            under ASan and UBSan, plus bench_exec_filter at --smoke
+#            sizes — the targeted gate for filter-kernel and zone-map
+#            work (DESIGN.md section 15). The ASan and UBSan passes of
+#            this leg also run in the default matrix.
 #   --analyze
 #            run only the static-analysis leg — the targeted gate for
 #            concurrency-discipline work (DESIGN.md section 11)
@@ -63,6 +73,7 @@ PIPELINE=0
 BENCH_SMOKE=0
 WORKLOAD=0
 STORE=0
+KERNELS=0
 ANALYZE=0
 if [[ "${1:-}" == "--fast" ]]; then
   FAST=1
@@ -76,6 +87,8 @@ elif [[ "${1:-}" == "--workload" ]]; then
   WORKLOAD=1
 elif [[ "${1:-}" == "--store" ]]; then
   STORE=1
+elif [[ "${1:-}" == "--kernels" ]]; then
+  KERNELS=1
 elif [[ "${1:-}" == "--analyze" ]]; then
   ANALYZE=1
 fi
@@ -158,6 +171,28 @@ store_leg() {
   echo "==== [store/$name] ctest ===="
   (cd "$ROOT/$dir" && ctest --output-on-failure -j "$JOBS" \
     -R "$STORE_FILTER")
+}
+
+# The zone-map + SIMD kernel gate: zone metadata construction, the zone
+# prover's refuse-or-exact verdicts (randomized, NULL/NaN edges,
+# clustered pruning bite, cold-pipeline counters), the kernel-vs-scalar
+# unit comparisons, and the end-to-end SIMD-vs-scalar equivalence gate
+# (fuzz corpus + randomized queries, bit-identical at threads 1/2/7/16).
+KERNELS_FILTER='^(ZoneMapTest|ZoneProverTest|SimdKernelTest|SimdEquivalenceTest|StoreRoundTripTest)\.'
+
+kernels_leg() {
+  local name="$1" dir="$2"
+  shift 2
+  echo "==== [kernels/$name] configure ===="
+  cmake -B "$ROOT/$dir" -S "$ROOT" "$@"
+  echo "==== [kernels/$name] build ===="
+  cmake --build "$ROOT/$dir" -j "$JOBS" \
+    --target autocat_kernel_tests autocat_store_tests bench_exec_filter
+  echo "==== [kernels/$name] ctest ===="
+  (cd "$ROOT/$dir" && ctest --output-on-failure -j "$JOBS" \
+    -R "$KERNELS_FILTER")
+  echo "==== [kernels/$name] bench_exec_filter --smoke ===="
+  "$ROOT/$dir/bench/bench_exec_filter" --smoke --benchmark_min_time=0.01
 }
 
 bench_smoke_leg() {
@@ -249,6 +284,16 @@ if [[ "$STORE" == "1" ]]; then
   exit 0
 fi
 
+if [[ "$KERNELS" == "1" ]]; then
+  kernels_leg release build-ci-release -DCMAKE_BUILD_TYPE=Release
+  kernels_leg asan build-ci-asan \
+    -DCMAKE_BUILD_TYPE=Debug -DAUTOCAT_SANITIZE=address
+  kernels_leg ubsan build-ci-ubsan \
+    -DCMAKE_BUILD_TYPE=Debug -DAUTOCAT_SANITIZE=undefined
+  echo "==== kernels legs passed ===="
+  exit 0
+fi
+
 if [[ "$SERVE" == "1" ]]; then
   serve_leg asan build-ci-asan \
     -DCMAKE_BUILD_TYPE=Debug -DAUTOCAT_SANITIZE=address
@@ -306,6 +351,12 @@ if [[ "$FAST" == "0" ]]; then
     -DCMAKE_BUILD_TYPE=Debug -DAUTOCAT_SANITIZE=address
   store_leg tsan build-ci-tsan \
     -DCMAKE_BUILD_TYPE=Debug -DAUTOCAT_SANITIZE=thread
+  # The kernel gate's sanitizer passes (build-dir reuse as above; adds
+  # bench_exec_filter --smoke under ASan/UBSan through the real driver).
+  kernels_leg asan build-ci-asan \
+    -DCMAKE_BUILD_TYPE=Debug -DAUTOCAT_SANITIZE=address
+  kernels_leg ubsan build-ci-ubsan \
+    -DCMAKE_BUILD_TYPE=Debug -DAUTOCAT_SANITIZE=undefined
 fi
 
 analyze_leg

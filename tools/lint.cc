@@ -351,6 +351,40 @@ std::vector<LintIssue> CheckRawMmap(const std::string& rel_path,
   return issues;
 }
 
+std::vector<LintIssue> CheckRawSimd(const std::string& rel_path,
+                                    const std::string& content) {
+  std::vector<LintIssue> issues;
+  if (rel_path == "src/exec/simd_kernels.cc") {
+    // The one TU built with -mavx2; everywhere else the intrinsics would
+    // be compiled for the baseline target (or ICE on other arches), and
+    // the per-call runtime dispatch would be bypassed.
+    return issues;
+  }
+  // Any of: the intrinsics header, a vector register type (__m128/256/512
+  // with any element suffix), or a call-shaped _mm[256|512]_* intrinsic.
+  // Word-bounded on the left so identifiers like `x__m256` or
+  // `my_mm256_helper(` never match.
+  static const std::regex kRawSimd(
+      R"(^\s*#\s*include\s*<(?:immintrin|x86intrin|emmintrin|smmintrin|avx2?intrin)\.h>|(^|[^A-Za-z0-9_])(__m(?:128|256|512)[a-z]*\b|_mm(?:256|512)?_[A-Za-z0-9_]+\s*\())");
+  const std::vector<std::string> lines = SplitLines(content);
+  bool in_block_comment = false;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string code = StripCommentsAndStrings(lines[i],
+                                                     &in_block_comment);
+    if (IsSuppressed(lines[i], "raw-simd")) {
+      continue;
+    }
+    if (std::regex_search(code, kRawSimd)) {
+      issues.push_back(LintIssue{
+          rel_path, i + 1, "raw-simd",
+          "raw SIMD intrinsic outside src/exec/simd_kernels.cc; vector "
+          "code lives behind the runtime-dispatched kernels "
+          "(exec/simd_kernels.h)"});
+    }
+  }
+  return issues;
+}
+
 std::vector<LintIssue> CheckDirectParallelFor(const std::string& rel_path,
                                               const std::string& content) {
   std::vector<LintIssue> issues;
@@ -803,6 +837,7 @@ std::vector<LintIssue> LintFileContent(const std::string& rel_path,
   }
   append(CheckBannedCalls(rel_path, content));
   append(CheckRawMmap(rel_path, content));
+  append(CheckRawSimd(rel_path, content));
   append(CheckDirectParallelFor(rel_path, content));
   append(CheckRawThread(rel_path, content));
   append(CheckUnorderedContainer(rel_path, content));
